@@ -1,0 +1,88 @@
+// EXP-A1 — ablations of the adaptation machinery.
+//
+// On a bursty scenario (the stress case for stability), compare the full
+// adaptive configuration against variants with one safeguard removed:
+//   no-hysteresis  — act on the first epoch a candidate wins
+//   no-cost-gate   — ignore migration cost in the decision
+//   eager          — both off and zero min-gain (flap-prone)
+//   no-probes      — only passive observations (partial observability)
+//   long-window    — sluggish forecasts (registry window 512)
+// Expected shape: the eager variants remap far more often for equal or
+// worse throughput once migration state is non-trivial; no-probes reacts
+// slower because idle nodes are invisible until used.
+
+#include "bench_common.hpp"
+#include "sim/drivers.hpp"
+#include "workload/scenarios.hpp"
+
+int main() {
+  using namespace gridpipe;
+  bench::print_header("EXP-A1", "adaptation-policy ablations");
+
+  constexpr std::uint64_t kItems = 6000;
+  workload::Scenario s = workload::find_scenario("bursty", 6);
+  s.profile.state_bytes.assign(s.profile.state_bytes.size(), 64e6);
+
+  struct Variant {
+    const char* name;
+    sim::DriverOptions options;
+    bool probes = true;
+  };
+  std::vector<Variant> variants;
+  {
+    Variant v;
+    v.name = "full";
+    v.options.driver = sim::DriverKind::kAdaptive;
+    v.options.epoch = 10.0;
+    variants.push_back(v);
+  }
+  {
+    Variant v = variants[0];
+    v.name = "no-hysteresis";
+    v.options.policy.enable_hysteresis = false;
+    variants.push_back(v);
+  }
+  {
+    Variant v = variants[0];
+    v.name = "no-cost-gate";
+    v.options.policy.enable_cost_gate = false;
+    variants.push_back(v);
+  }
+  {
+    Variant v = variants[0];
+    v.name = "eager";
+    v.options.policy.enable_hysteresis = false;
+    v.options.policy.enable_cost_gate = false;
+    v.options.policy.min_gain_ratio = 0.0;
+    variants.push_back(v);
+  }
+  {
+    Variant v = variants[0];
+    v.name = "no-probes";
+    v.probes = false;
+    variants.push_back(v);
+  }
+  {
+    Variant v = variants[0];
+    v.name = "long-window";
+    v.options.registry.window_capacity = 512;
+    variants.push_back(v);
+  }
+
+  util::Table table({"variant", "makespan(s)", "thr", "remaps"});
+  for (const Variant& v : variants) {
+    sim::SimConfig config;
+    config.num_items = kItems;
+    config.probe_interval = v.probes ? 5.0 : 0.0;
+    config.probe_noise = 0.05;
+    const auto result =
+        sim::run_pipeline(s.grid, s.profile, config, v.options);
+    table.row()
+        .add(v.name)
+        .add(result.makespan, 1)
+        .add(result.mean_throughput, 3)
+        .add(result.remap_count);
+  }
+  bench::print_table(table);
+  return 0;
+}

@@ -1,0 +1,25 @@
+#pragma once
+// Shared helpers for the experiment binaries. Each bench prints a header,
+// the paper-style table(s), and a short expectation note so the output is
+// self-describing when captured into bench_output.txt / EXPERIMENTS.md.
+
+#include <iostream>
+#include <string>
+
+#include "util/table.hpp"
+
+namespace gridpipe::bench {
+
+inline void print_header(const std::string& id, const std::string& title) {
+  std::cout << "\n=== " << id << ": " << title << " ===\n";
+}
+
+inline void print_note(const std::string& note) {
+  std::cout << "note: " << note << "\n";
+}
+
+inline void print_table(const util::Table& table) {
+  std::cout << table.to_string() << std::flush;
+}
+
+}  // namespace gridpipe::bench

@@ -1,0 +1,61 @@
+// EXP-F2 — adaptation overhead vs migration state size and epoch length.
+//
+// The oscillating scenario forces frequent remaps (the bottleneck node
+// alternates every half period), so per-remap freezes accumulate.
+// Overhead is measured against the oracle (free instantaneous remaps):
+//   overhead % = (oracle_thr - adaptive_thr) / oracle_thr.
+// Expected shape: overhead grows with state size, and for heavy states it
+// shrinks as epochs lengthen (fewer, better-amortized remaps) — the
+// cost-gate keeps the worst corner bounded.
+
+#include "bench_common.hpp"
+#include "sim/drivers.hpp"
+#include "workload/scenarios.hpp"
+
+int main() {
+  using namespace gridpipe;
+  bench::print_header("EXP-F2",
+                      "adaptation overhead vs state size and epoch");
+
+  constexpr std::uint64_t kItems = 4000;
+  const double state_sizes[] = {0.0, 64e6, 256e6, 1024e6};
+  const double epochs[] = {5.0, 15.0, 60.0};
+
+  util::Table table({"state(MB)", "epoch(s)", "adaptive thr", "oracle thr",
+                     "remaps", "overhead %"});
+
+  for (const double state : state_sizes) {
+    for (const double epoch : epochs) {
+      workload::Scenario s = workload::find_scenario("oscillating", 2);
+      s.profile.state_bytes.assign(s.profile.state_bytes.size(), state);
+
+      sim::SimConfig config;
+      config.num_items = kItems;
+      config.probe_interval = 5.0;
+      config.probe_noise = 0.0;
+
+      sim::DriverOptions adaptive;
+      adaptive.driver = sim::DriverKind::kAdaptive;
+      adaptive.epoch = epoch;
+      const auto a = sim::run_pipeline(s.grid, s.profile, config, adaptive);
+
+      sim::DriverOptions oracle;
+      oracle.driver = sim::DriverKind::kOracle;
+      oracle.epoch = epoch;
+      const auto o = sim::run_pipeline(s.grid, s.profile, config, oracle);
+
+      const double overhead =
+          100.0 * (o.mean_throughput - a.mean_throughput) /
+          o.mean_throughput;
+      table.row()
+          .add(state / 1e6, 0)
+          .add(epoch, 0)
+          .add(a.mean_throughput, 3)
+          .add(o.mean_throughput, 3)
+          .add(a.remap_count)
+          .add(overhead, 1);
+    }
+  }
+  bench::print_table(table);
+  return 0;
+}

@@ -1,0 +1,64 @@
+// EXP-F3 — scalability in stages and processors.
+//
+// Stationary heterogeneous grid (speeds cycle {2,1,1,0.8,...}); uniform
+// and skewed stage-cost pipelines. For each (Ns, Np) we report the
+// mapper's modeled throughput and the simulated throughput of that
+// mapping. Expected shape: throughput grows with Np until Np ≈ Ns (no
+// more pipeline parallelism to exploit), and the model tracks the
+// simulator within a few percent.
+
+#include "bench_common.hpp"
+#include "grid/builders.hpp"
+#include "sim/drivers.hpp"
+
+int main() {
+  using namespace gridpipe;
+  bench::print_header("EXP-F3", "throughput vs #stages and #processors");
+  bench::print_note("speeds cycle {2,1,1,0.8}; LAN 1ms / 100MB/s");
+
+  util::Table table({"profile", "Ns", "Np", "model thr", "sim thr",
+                     "sim/model"});
+
+  for (const bool skewed : {false, true}) {
+    for (const std::size_t ns : {2u, 4u, 8u, 16u, 32u}) {
+      for (const std::size_t np : {2u, 4u, 8u, 16u}) {
+        std::vector<double> speeds;
+        const double cycle[] = {2.0, 1.0, 1.0, 0.8};
+        for (std::size_t n = 0; n < np; ++n) speeds.push_back(cycle[n % 4]);
+        const auto g = grid::heterogeneous_cluster(speeds, 1e-3, 1e8);
+
+        sched::PipelineProfile profile;
+        for (std::size_t i = 0; i < ns; ++i) {
+          profile.stage_work.push_back(
+              skewed ? (i % 4 == 0 ? 2.0 : 0.5) : 1.0);
+        }
+        profile.msg_bytes.assign(ns + 1, 1e4);
+        profile.state_bytes.assign(ns, 0.0);
+
+        const auto est = sched::ResourceEstimate::from_grid(g, 0.0);
+        const sched::PerfModel model;
+        const auto mapped = sim::choose_mapping(
+            model, profile, est, sim::MapperKind::kAuto, false, 0);
+
+        sim::SimConfig config;
+        config.num_items = 3000;
+        config.probe_interval = 0.0;
+        config.window = 4 * ns;
+        sim::PipelineSim pipeline_sim(g, profile, mapped.mapping, config);
+        pipeline_sim.start();
+        pipeline_sim.simulator().run();
+        const double sim_thr = pipeline_sim.metrics().mean_throughput();
+
+        table.row()
+            .add(skewed ? "skewed" : "uniform")
+            .add(ns)
+            .add(np)
+            .add(mapped.breakdown.throughput, 3)
+            .add(sim_thr, 3)
+            .add(sim_thr / mapped.breakdown.throughput, 3);
+      }
+    }
+  }
+  bench::print_table(table);
+  return 0;
+}

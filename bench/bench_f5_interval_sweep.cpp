@@ -1,0 +1,76 @@
+// EXP-F5 — the adaptation-interval trade-off.
+//
+// Fast-drifting loads, heavy (512 MB) stage state. Two adaptive
+// configurations sweep the epoch length:
+//   gated — the full policy (min-gain, cost gate, hysteresis),
+//   naive — all safeguards off (remap whenever the model sees any win).
+// Expected shape: the naive variant traces a U — short epochs burn time
+// in migration freezes, long epochs leave stale mappings — while the
+// gated variant stays near the U's bottom even at short epochs because
+// the gates suppress unprofitable remaps. Staleness still penalizes very
+// long epochs for both.
+
+#include "bench_common.hpp"
+#include "grid/builders.hpp"
+#include "sim/drivers.hpp"
+#include "workload/scenarios.hpp"
+
+int main() {
+  using namespace gridpipe;
+  bench::print_header("EXP-F5", "completion time vs adaptation interval");
+  bench::print_note("fast random-walk loads, 512 MB stage state");
+
+  constexpr std::uint64_t kItems = 3000;
+  const double epochs[] = {2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 400.0};
+
+  // Faster drift than the catalogue scenario: steps every 5 s.
+  grid::Grid g = grid::heterogeneous_cluster({2.0, 1.0, 1.0, 0.8}, 1e-3, 1e8);
+  for (grid::NodeId n = 0; n < g.num_nodes(); ++n) {
+    grid::set_node_load(g, n,
+                        std::make_shared<grid::RandomWalkLoad>(
+                            0x9000 + n, 0.5, 0.45, 5.0, 2e5, 0.0, 4.0));
+  }
+  sched::PipelineProfile profile = workload::reference_profile();
+  profile.state_bytes.assign(profile.state_bytes.size(), 512e6);
+
+  util::Table table({"epoch(s)", "naive makespan", "naive remaps",
+                     "gated makespan", "gated remaps"});
+  for (const double epoch : epochs) {
+    sim::SimConfig config;
+    config.num_items = kItems;
+    config.probe_interval = std::min(5.0, epoch);
+    config.probe_noise = 0.05;
+
+    sim::DriverOptions naive;
+    naive.driver = sim::DriverKind::kAdaptive;
+    naive.epoch = epoch;
+    naive.policy.enable_hysteresis = false;
+    naive.policy.enable_cost_gate = false;
+    naive.policy.min_gain_ratio = 0.0;
+    const auto n = sim::run_pipeline(g, profile, config, naive);
+
+    sim::DriverOptions gated;
+    gated.driver = sim::DriverKind::kAdaptive;
+    gated.epoch = epoch;
+    const auto gr = sim::run_pipeline(g, profile, config, gated);
+
+    table.row()
+        .add(epoch, 0)
+        .add(n.makespan, 1)
+        .add(n.remap_count)
+        .add(gr.makespan, 1)
+        .add(gr.remap_count);
+  }
+  bench::print_table(table);
+
+  sim::SimConfig config;
+  config.num_items = kItems;
+  config.probe_interval = 5.0;
+  sim::DriverOptions oracle;
+  oracle.driver = sim::DriverKind::kOracle;
+  oracle.epoch = 10.0;
+  const auto o = sim::run_pipeline(g, profile, config, oracle);
+  std::cout << "oracle: makespan " << util::format_double(o.makespan, 1)
+            << "s, remaps " << o.remap_count << "\n";
+  return 0;
+}

@@ -1,0 +1,55 @@
+// EXP-F6 — stage replication (farm-within-pipeline).
+//
+// One hot stage (6x the cost of its neighbours) on a pool of equal
+// nodes. We sweep the explicit replica count of the hot stage and then
+// let the replication-aware mapper pick. Expected shape: throughput rises
+// ~linearly with replicas until the next bottleneck (the neighbour
+// stages / message path) flattens the curve; the mapper stops at the
+// knee.
+
+#include "bench_common.hpp"
+#include "grid/builders.hpp"
+#include "sim/drivers.hpp"
+
+int main() {
+  using namespace gridpipe;
+  bench::print_header("EXP-F6", "throughput vs hot-stage replica count");
+
+  const auto g = grid::uniform_cluster(10, 1.0, 1e-3, 1e8);
+  sched::PipelineProfile profile;
+  profile.stage_work = {0.3, 1.8, 0.3};
+  profile.msg_bytes.assign(4, 1e4);
+  profile.state_bytes.assign(3, 0.0);
+  const auto est = sched::ResourceEstimate::from_grid(g, 0.0);
+  const sched::PerfModel model;
+
+  util::Table table({"replicas", "mapping", "model thr", "sim thr"});
+  for (std::size_t replicas = 1; replicas <= 8; ++replicas) {
+    sched::Mapping mapping(std::vector<grid::NodeId>{0, 1, 2});
+    for (std::size_t r = 1; r < replicas; ++r) {
+      mapping.add_replica(1, static_cast<grid::NodeId>(2 + r));
+    }
+    sim::SimConfig config;
+    config.num_items = 4000;
+    config.probe_interval = 0.0;
+    config.window = 32;
+    sim::PipelineSim pipeline_sim(g, profile, mapping, config);
+    pipeline_sim.start();
+    pipeline_sim.simulator().run();
+    table.row()
+        .add(replicas)
+        .add(mapping.to_string())
+        .add(model.throughput(profile, est, mapping), 3)
+        .add(pipeline_sim.metrics().mean_throughput(), 3);
+  }
+  bench::print_table(table);
+
+  // What the replication-aware mapper chooses on its own.
+  const auto chosen = sim::choose_mapping(model, profile, est,
+                                          sim::MapperKind::kAuto, false,
+                                          /*max_total_replicas=*/12);
+  std::cout << "mapper choice: " << chosen.mapping.to_string()
+            << " model thr "
+            << util::format_double(chosen.breakdown.throughput, 3) << "\n";
+  return 0;
+}

@@ -1,0 +1,68 @@
+// EXP-F8 — throughput-optimal vs latency-optimal mapping.
+//
+// Same pipeline and grid, two objectives, a sweep of offered load.
+// Expected shape: at low utilization both objectives fold consecutive
+// stages onto the fast node (fewer 20 ms transfer hops beat idle
+// parallelism, and folding also wins the throughput tie-break). As the
+// offered rate climbs, the latency objective switches to the spread
+// mapping — paying the extra hop to cut per-node utilization and hence
+// the M/D/1 queueing term — while the throughput objective stays folded.
+// Near capacity the headroom gate reports infeasible.
+
+#include "bench_common.hpp"
+#include "grid/builders.hpp"
+#include "sched/latency_mapper.hpp"
+#include "sim/pipeline_sim.hpp"
+
+int main() {
+  using namespace gridpipe;
+  bench::print_header("EXP-F8",
+                      "throughput-objective vs latency-objective mapping");
+  bench::print_note(
+      "grid {2.0, 1.0, 1.0}, 20ms LAN; 3 stages of work 0.4; transfers "
+      "cost ~20ms per hop");
+
+  // Slow-ish LAN so transfer hops visibly cost latency.
+  const auto g = grid::heterogeneous_cluster({2.0, 1.0, 1.0}, 0.02, 1e8);
+  const auto p = sched::PipelineProfile::uniform(3, 0.4, 1e4);
+  const auto est = sched::ResourceEstimate::from_grid(g, 0.0);
+  const sched::PerfModel model;
+
+  const auto thr_best = sched::ExhaustiveMapper(model).best(p, est);
+  util::Table table({"rate", "latency-map", "model lat", "sim mean lat",
+                     "thr-map lat(model)", "thr-map sim lat"});
+
+  for (const double rate : {0.5, 1.0, 1.5, 2.0, 2.6, 3.2}) {
+    const auto lat_best = sched::LatencyMapper(model).best(p, est, rate);
+    if (!lat_best) {
+      table.row().add(rate, 2).add("infeasible").add("-").add("-").add("-").add(
+          "-");
+      continue;
+    }
+    auto simulate = [&](const sched::Mapping& m) {
+      sim::SimConfig config;
+      config.num_items = 4000;
+      config.arrivals = sim::SimConfig::Arrivals::kPoisson;
+      config.arrival_rate = rate;
+      config.probe_interval = 0.0;
+      config.seed = 11;
+      sim::PipelineSim pipeline_sim(g, p, m, config);
+      pipeline_sim.start();
+      pipeline_sim.simulator().run();
+      return pipeline_sim.metrics().latency().mean();
+    };
+    table.row()
+        .add(rate, 2)
+        .add(lat_best->mapping.to_string())
+        .add(lat_best->latency, 3)
+        .add(simulate(lat_best->mapping), 3)
+        .add(model.latency_estimate(p, est, thr_best->mapping, rate), 3)
+        .add(simulate(thr_best->mapping), 3);
+  }
+  bench::print_table(table);
+  std::cout << "throughput-optimal mapping: " << thr_best->mapping.to_string()
+            << " (capacity "
+            << util::format_double(thr_best->breakdown.throughput, 3)
+            << "/s)\n";
+  return 0;
+}

@@ -1,0 +1,112 @@
+// EXP-M1 — substrate microbenchmarks (google-benchmark).
+//
+// Costs of the primitives the adaptation loop leans on: event-queue ops,
+// analytic model evaluation, the mapping searches, ensemble updates, and
+// message-queue round-trips. These bound how fast an epoch can run —
+// the "must decide faster than it saves" constraint.
+
+#include <benchmark/benchmark.h>
+
+#include "comm/channel.hpp"
+#include "grid/builders.hpp"
+#include "monitor/ensemble.hpp"
+#include "sched/dp_contiguous.hpp"
+#include "sched/exhaustive.hpp"
+#include "sched/local_search.hpp"
+#include "sim/event_queue.hpp"
+
+namespace {
+
+using namespace gridpipe;
+
+void BM_EventQueuePushPop(benchmark::State& state) {
+  sim::EventQueue q;
+  util::Xoshiro256 rng(1);
+  for (auto _ : state) {
+    for (int i = 0; i < 64; ++i) q.push(util::uniform01(rng), [] {});
+    while (!q.empty()) benchmark::DoNotOptimize(q.pop().time);
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_EventQueuePushPop);
+
+void BM_PerfModelBreakdown(benchmark::State& state) {
+  const auto ns = static_cast<std::size_t>(state.range(0));
+  const auto g = grid::uniform_cluster(4, 1.0, 1e-3, 1e8);
+  const auto p = sched::PipelineProfile::uniform(ns, 1.0, 1e4);
+  const auto est = sched::ResourceEstimate::from_grid(g, 0.0);
+  const auto m = sched::Mapping::round_robin(ns, 4);
+  const sched::PerfModel model;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.breakdown(p, est, m).throughput);
+  }
+}
+BENCHMARK(BM_PerfModelBreakdown)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_ExhaustiveMapper3x3(benchmark::State& state) {
+  const auto g = grid::heterogeneous_cluster({1.0, 2.0, 0.5}, 1e-3, 1e8);
+  const auto p = sched::PipelineProfile::uniform(3, 1.0, 1e4);
+  const auto est = sched::ResourceEstimate::from_grid(g, 0.0);
+  const sched::PerfModel model;
+  const sched::ExhaustiveMapper mapper(model);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mapper.best(p, est)->breakdown.throughput);
+  }
+}
+BENCHMARK(BM_ExhaustiveMapper3x3);
+
+void BM_DpMapper(benchmark::State& state) {
+  const auto np = static_cast<std::size_t>(state.range(0));
+  const auto g = grid::uniform_cluster(np, 1.0, 1e-3, 1e8);
+  const auto p = sched::PipelineProfile::uniform(12, 1.0, 1e4);
+  const auto est = sched::ResourceEstimate::from_grid(g, 0.0);
+  const sched::PerfModel model;
+  const sched::DpContiguousMapper mapper(model);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mapper.best(p, est)->breakdown.throughput);
+  }
+}
+BENCHMARK(BM_DpMapper)->Arg(4)->Arg(8)->Arg(12);
+
+void BM_LocalSearchMapper(benchmark::State& state) {
+  const auto g = grid::uniform_cluster(16, 1.0, 1e-3, 1e8);
+  const auto p = sched::PipelineProfile::uniform(20, 1.0, 1e4);
+  const auto est = sched::ResourceEstimate::from_grid(g, 0.0);
+  const sched::PerfModel model;
+  sched::LocalSearchOptions options;
+  options.restarts = 1;
+  const sched::LocalSearchMapper mapper(model, options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mapper.best(p, est).breakdown.throughput);
+  }
+}
+BENCHMARK(BM_LocalSearchMapper);
+
+void BM_EnsembleObserve(benchmark::State& state) {
+  monitor::EnsembleForecaster ensemble =
+      monitor::EnsembleForecaster::with_defaults();
+  util::Xoshiro256 rng(3);
+  for (auto _ : state) {
+    ensemble.observe(util::uniform01(rng));
+    benchmark::DoNotOptimize(ensemble.forecast());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EnsembleObserve);
+
+void BM_MessageQueueRoundTrip(benchmark::State& state) {
+  comm::MessageQueue q(4096);
+  for (auto _ : state) {
+    comm::Message m;
+    m.source = 0;
+    m.tag = 1;
+    q.push(std::move(m));
+    benchmark::DoNotOptimize(q.try_pop(0, 1));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MessageQueueRoundTrip);
+
+}  // namespace
+
+BENCHMARK_MAIN();

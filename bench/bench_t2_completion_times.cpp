@@ -1,0 +1,52 @@
+// EXP-T2 — stream completion time across the scenario catalogue.
+//
+// 10 000-item streams through every scenario under the four drivers.
+// Reported: makespan, mean throughput, remap count, and the adaptive
+// speedup over static-optimal. Expected shape: speedup ≈ 1.0 on the
+// stable scenario, > 1 on every dynamic one, and adaptive within a few
+// percent of oracle.
+
+#include "bench_common.hpp"
+#include "sim/drivers.hpp"
+#include "workload/scenarios.hpp"
+
+int main() {
+  using namespace gridpipe;
+  bench::print_header("EXP-T2", "completion time per scenario and driver");
+
+  constexpr std::uint64_t kItems = 10'000;
+  util::Table table({"scenario", "driver", "makespan(s)", "thr(items/s)",
+                     "remaps", "speedup-vs-static"});
+
+  for (const workload::Scenario& s : workload::scenario_catalog(1)) {
+    double static_makespan = 0.0;
+    for (const auto kind :
+         {sim::DriverKind::kStaticNaive, sim::DriverKind::kStaticOptimal,
+          sim::DriverKind::kAdaptive, sim::DriverKind::kOracle}) {
+      sim::SimConfig config;
+      config.num_items = kItems;
+      config.probe_interval = 5.0;
+      config.probe_noise = 0.0;
+      sim::DriverOptions options;
+      options.driver = kind;
+      options.epoch = 10.0;
+      const auto result =
+          sim::run_pipeline(s.grid, s.profile, config, options);
+      if (kind == sim::DriverKind::kStaticOptimal) {
+        static_makespan = result.makespan;
+      }
+      const bool have_static = static_makespan > 0.0;
+      table.row()
+          .add(s.name)
+          .add(to_string(kind))
+          .add(result.makespan, 1)
+          .add(result.mean_throughput, 3)
+          .add(result.remap_count)
+          .add(have_static ? util::format_double(
+                                 static_makespan / result.makespan, 3)
+                           : std::string("-"));
+    }
+  }
+  bench::print_table(table);
+  return 0;
+}

@@ -1,0 +1,111 @@
+#include "comm/channel.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace gridpipe::comm {
+
+MessageQueue::MessageQueue(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+bool MessageQueue::push(Message message) {
+  std::unique_lock lock(mutex_);
+  not_full_.wait(lock,
+                 [this] { return closed_ || messages_.size() < capacity_; });
+  if (closed_) return false;
+  messages_.push_back(std::move(message));
+  not_empty_.notify_all();
+  return true;
+}
+
+std::size_t MessageQueue::find_match(int source, int tag,
+                                     Clock::time_point now) const {
+  for (std::size_t i = 0; i < messages_.size(); ++i) {
+    if (matches(messages_[i], source, tag) &&
+        messages_[i].deliver_at <= now) {
+      return i;
+    }
+  }
+  return npos;
+}
+
+std::optional<Clock::time_point> MessageQueue::next_delivery(int source,
+                                                             int tag) const {
+  std::optional<Clock::time_point> earliest;
+  for (const Message& m : messages_) {
+    if (matches(m, source, tag)) {
+      if (!earliest || m.deliver_at < *earliest) earliest = m.deliver_at;
+    }
+  }
+  return earliest;
+}
+
+std::optional<Message> MessageQueue::pop(int source, int tag) {
+  std::unique_lock lock(mutex_);
+  for (;;) {
+    const std::size_t i = find_match(source, tag, Clock::now());
+    if (i != npos) {
+      Message out = std::move(messages_[i]);
+      messages_.erase(messages_.begin() + static_cast<std::ptrdiff_t>(i));
+      not_full_.notify_all();
+      return out;
+    }
+    if (closed_) return std::nullopt;
+    // Wait for a new message or for the next matching delivery deadline.
+    if (const auto deadline = next_delivery(source, tag)) {
+      not_empty_.wait_until(lock, *deadline);
+    } else {
+      not_empty_.wait(lock);
+    }
+  }
+}
+
+std::optional<Message> MessageQueue::pop_until(Clock::time_point deadline,
+                                               int source, int tag) {
+  std::unique_lock lock(mutex_);
+  for (;;) {
+    const auto now = Clock::now();
+    const std::size_t i = find_match(source, tag, now);
+    if (i != npos) {
+      Message out = std::move(messages_[i]);
+      messages_.erase(messages_.begin() + static_cast<std::ptrdiff_t>(i));
+      not_full_.notify_all();
+      return out;
+    }
+    if (closed_ || now >= deadline) return std::nullopt;
+    auto wake = deadline;
+    if (const auto next = next_delivery(source, tag)) {
+      wake = std::min(wake, *next);
+    }
+    not_empty_.wait_until(lock, wake);
+  }
+}
+
+std::optional<Message> MessageQueue::try_pop(int source, int tag) {
+  std::unique_lock lock(mutex_);
+  const std::size_t i = find_match(source, tag, Clock::now());
+  if (i == npos) return std::nullopt;
+  Message out = std::move(messages_[i]);
+  messages_.erase(messages_.begin() + static_cast<std::ptrdiff_t>(i));
+  not_full_.notify_all();
+  return out;
+}
+
+void MessageQueue::close() {
+  std::lock_guard lock(mutex_);
+  closed_ = true;
+  not_empty_.notify_all();
+  not_full_.notify_all();
+}
+
+bool MessageQueue::closed() const {
+  std::lock_guard lock(mutex_);
+  return closed_;
+}
+
+std::size_t MessageQueue::size() const {
+  std::lock_guard lock(mutex_);
+  return messages_.size();
+}
+
+}  // namespace gridpipe::comm

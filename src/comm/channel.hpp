@@ -1,0 +1,79 @@
+#pragma once
+// Thread-safe message queue with MPI-style matched receives.
+//
+// Each rank owns one MessageQueue; senders enqueue, the owner dequeues
+// with optional (source, tag) filters. Messages carry a delivery deadline
+// so the communicator can emulate link latency without dedicated delivery
+// threads: a receive does not match a message before its deliver_at time.
+// FIFO is preserved per (source, tag) pair — the MPI non-overtaking rule.
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+namespace gridpipe::comm {
+
+using Clock = std::chrono::steady_clock;
+
+inline constexpr int kAnySource = -1;
+inline constexpr int kAnyTag = -1;
+
+struct Message {
+  int source = 0;
+  int tag = 0;
+  std::vector<std::byte> payload;
+  Clock::time_point deliver_at{};  ///< emulated arrival time
+};
+
+class MessageQueue {
+ public:
+  explicit MessageQueue(std::size_t capacity = 1024);
+
+  /// Blocks while the queue is full. Returns false if closed.
+  bool push(Message message);
+
+  /// Blocks until a matching, delivered message is available or the queue
+  /// is closed and drained. A message "matches" when (source, tag) agree
+  /// with the filters (kAnySource / kAnyTag are wildcards).
+  std::optional<Message> pop(int source = kAnySource, int tag = kAnyTag);
+
+  /// Non-blocking variant; std::nullopt if no delivered match right now.
+  std::optional<Message> try_pop(int source = kAnySource, int tag = kAnyTag);
+
+  /// Like pop() but gives up at `deadline`; std::nullopt on timeout or
+  /// close-and-drained.
+  std::optional<Message> pop_until(Clock::time_point deadline,
+                                   int source = kAnySource,
+                                   int tag = kAnyTag);
+
+  /// Wakes all waiters; subsequent pushes fail, pops drain then fail.
+  void close();
+  bool closed() const;
+
+  std::size_t size() const;
+
+ private:
+  bool matches(const Message& m, int source, int tag) const noexcept {
+    return (source == kAnySource || m.source == source) &&
+           (tag == kAnyTag || m.tag == tag);
+  }
+  /// Index of the first delivered match, or npos. Caller holds the lock.
+  std::size_t find_match(int source, int tag, Clock::time_point now) const;
+  /// Earliest future deliver_at among matches (for timed waits).
+  std::optional<Clock::time_point> next_delivery(int source, int tag) const;
+
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  mutable std::mutex mutex_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<Message> messages_;
+  std::size_t capacity_;
+  bool closed_ = false;
+};
+
+}  // namespace gridpipe::comm

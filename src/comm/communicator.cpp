@@ -1,0 +1,113 @@
+#include "comm/communicator.hpp"
+
+#include <stdexcept>
+
+namespace gridpipe::comm {
+
+Communicator::Communicator(int size, const DelayModel* delays,
+                           std::function<double()> virtual_now)
+    : delays_(delays), virtual_now_(std::move(virtual_now)) {
+  if (size <= 0) throw std::invalid_argument("Communicator: size <= 0");
+  queues_.reserve(static_cast<std::size_t>(size));
+  for (int i = 0; i < size; ++i) {
+    queues_.push_back(std::make_unique<MessageQueue>());
+  }
+}
+
+Communicator::~Communicator() { shutdown(); }
+
+bool Communicator::send(int from, int to, int tag,
+                        std::vector<std::byte> payload) {
+  if (from < 0 || from >= size() || to < 0 || to >= size()) {
+    throw std::out_of_range("Communicator::send: bad rank");
+  }
+  if (shutdown_.load()) return false;
+  Message message;
+  message.source = from;
+  message.tag = tag;
+  message.deliver_at = Clock::now();
+  if (delays_) {
+    const double now = virtual_now_ ? virtual_now_() : 0.0;
+    message.deliver_at +=
+        std::chrono::duration_cast<Clock::duration>(
+            delays_->delay(from, to, payload.size(), now));
+  }
+  message.payload = std::move(payload);
+  return queues_[static_cast<std::size_t>(to)]->push(std::move(message));
+}
+
+std::optional<Message> Communicator::recv(int me, int source, int tag) {
+  if (me < 0 || me >= size()) {
+    throw std::out_of_range("Communicator::recv: bad rank");
+  }
+  return queues_[static_cast<std::size_t>(me)]->pop(source, tag);
+}
+
+std::optional<Message> Communicator::try_recv(int me, int source, int tag) {
+  if (me < 0 || me >= size()) {
+    throw std::out_of_range("Communicator::try_recv: bad rank");
+  }
+  return queues_[static_cast<std::size_t>(me)]->try_pop(source, tag);
+}
+
+std::optional<Message> Communicator::recv_for(
+    int me, std::chrono::duration<double> timeout, int source, int tag) {
+  if (me < 0 || me >= size()) {
+    throw std::out_of_range("Communicator::recv_for: bad rank");
+  }
+  const auto deadline =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(timeout);
+  return queues_[static_cast<std::size_t>(me)]->pop_until(deadline, source,
+                                                          tag);
+}
+
+void Communicator::barrier() {
+  std::unique_lock lock(barrier_mutex_);
+  const std::uint64_t my_generation = barrier_generation_;
+  if (++barrier_waiting_ == size()) {
+    barrier_waiting_ = 0;
+    ++barrier_generation_;
+    barrier_cv_.notify_all();
+    return;
+  }
+  barrier_cv_.wait(lock, [this, my_generation] {
+    return barrier_generation_ != my_generation || shutdown_.load();
+  });
+}
+
+std::vector<std::byte> Communicator::broadcast(int me, int root,
+                                               std::vector<std::byte> payload) {
+  if (me == root) {
+    for (int r = 0; r < size(); ++r) {
+      if (r != root) send(root, r, kBcastTag, payload);
+    }
+    return payload;
+  }
+  const auto message = recv(me, root, kBcastTag);
+  return message ? message->payload : std::vector<std::byte>{};
+}
+
+std::vector<std::vector<std::byte>> Communicator::gather(
+    int me, int root, std::vector<std::byte> payload) {
+  if (me != root) {
+    send(me, root, kGatherTag, std::move(payload));
+    return {};
+  }
+  std::vector<std::vector<std::byte>> out(
+      static_cast<std::size_t>(size()));
+  out[static_cast<std::size_t>(root)] = std::move(payload);
+  for (int r = 0; r < size(); ++r) {
+    if (r == root) continue;
+    const auto message = recv(root, r, kGatherTag);
+    if (message) out[static_cast<std::size_t>(r)] = message->payload;
+  }
+  return out;
+}
+
+void Communicator::shutdown() {
+  if (shutdown_.exchange(true)) return;
+  for (auto& q : queues_) q->close();
+  barrier_cv_.notify_all();
+}
+
+}  // namespace gridpipe::comm

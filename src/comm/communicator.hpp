@@ -1,0 +1,97 @@
+#pragma once
+// An MPI-flavoured in-process communicator: N ranks exchanging tagged
+// messages over per-rank queues, with optional link-delay emulation and a
+// small set of collectives. Stands in for MPICH-G2 in the threaded
+// runtime; the MPI non-overtaking guarantee holds per (source, tag).
+
+#include <atomic>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <type_traits>
+
+#include "comm/channel.hpp"
+#include "comm/delay_model.hpp"
+
+namespace gridpipe::comm {
+
+class Communicator {
+ public:
+  /// `delays` may be nullptr (zero delay). `virtual_now` supplies the
+  /// virtual time used for congestion lookups; defaults to 0.
+  explicit Communicator(int size, const DelayModel* delays = nullptr,
+                        std::function<double()> virtual_now = {});
+  ~Communicator();
+
+  Communicator(const Communicator&) = delete;
+  Communicator& operator=(const Communicator&) = delete;
+
+  int size() const noexcept { return static_cast<int>(queues_.size()); }
+
+  /// Point-to-point send; blocks only if the destination queue is full.
+  /// Returns false if the communicator was shut down.
+  bool send(int from, int to, int tag, std::vector<std::byte> payload);
+
+  /// Blocking receive with optional source/tag filters.
+  std::optional<Message> recv(int me, int source = kAnySource,
+                              int tag = kAnyTag);
+  std::optional<Message> try_recv(int me, int source = kAnySource,
+                                  int tag = kAnyTag);
+
+  /// Blocking receive that gives up after `timeout`.
+  std::optional<Message> recv_for(int me, std::chrono::duration<double> timeout,
+                                  int source = kAnySource, int tag = kAnyTag);
+
+  /// Typed helpers for trivially copyable values.
+  template <typename T>
+  bool send_value(int from, int to, int tag, const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::vector<std::byte> payload(sizeof(T));
+    std::memcpy(payload.data(), &value, sizeof(T));
+    return send(from, to, tag, std::move(payload));
+  }
+  template <typename T>
+  static T decode(const Message& message) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (message.payload.size() != sizeof(T)) {
+      throw std::invalid_argument("Communicator::decode: size mismatch");
+    }
+    T value;
+    std::memcpy(&value, message.payload.data(), sizeof(T));
+    return value;
+  }
+
+  /// Sense-reversing barrier across all ranks.
+  void barrier();
+
+  /// Rank `root` sends `payload` to every other rank (tag kBcastTag);
+  /// non-roots receive and return it.
+  std::vector<std::byte> broadcast(int me, int root,
+                                   std::vector<std::byte> payload = {});
+
+  /// Every rank contributes a payload; root receives them ordered by rank
+  /// and returns the list (empty vector on non-roots).
+  std::vector<std::vector<std::byte>> gather(int me, int root,
+                                             std::vector<std::byte> payload);
+
+  /// Closes all queues and wakes every blocked rank.
+  void shutdown();
+  bool shut_down() const noexcept { return shutdown_.load(); }
+
+  static constexpr int kBcastTag = -1000;
+  static constexpr int kGatherTag = -1001;
+
+ private:
+  std::vector<std::unique_ptr<MessageQueue>> queues_;
+  const DelayModel* delays_;
+  std::function<double()> virtual_now_;
+  std::atomic<bool> shutdown_{false};
+
+  // Central barrier state.
+  std::mutex barrier_mutex_;
+  std::condition_variable barrier_cv_;
+  int barrier_waiting_ = 0;
+  std::uint64_t barrier_generation_ = 0;
+};
+
+}  // namespace gridpipe::comm

@@ -1,0 +1,40 @@
+#include "comm/delay_model.hpp"
+
+#include <stdexcept>
+
+namespace gridpipe::comm {
+
+GridDelayModel::GridDelayModel(const grid::Grid& grid,
+                               std::vector<grid::NodeId> rank_to_node,
+                               double time_scale)
+    : grid_(grid),
+      rank_to_node_(std::move(rank_to_node)),
+      time_scale_(time_scale) {
+  if (time_scale <= 0.0) {
+    throw std::invalid_argument("GridDelayModel: time_scale <= 0");
+  }
+  for (const grid::NodeId n : rank_to_node_) {
+    if (n >= grid_.num_nodes()) {
+      throw std::invalid_argument("GridDelayModel: rank mapped to bad node");
+    }
+  }
+}
+
+grid::NodeId GridDelayModel::node_of(int rank) const {
+  if (rank < 0 || static_cast<std::size_t>(rank) >= rank_to_node_.size()) {
+    throw std::out_of_range("GridDelayModel::node_of");
+  }
+  return rank_to_node_[static_cast<std::size_t>(rank)];
+}
+
+std::chrono::duration<double> GridDelayModel::delay(int from_rank, int to_rank,
+                                                    std::size_t bytes,
+                                                    double virtual_now) const {
+  const grid::NodeId a = node_of(from_rank);
+  const grid::NodeId b = node_of(to_rank);
+  const double t = grid_.transfer_time(a, b, static_cast<double>(bytes),
+                                       virtual_now);
+  return std::chrono::duration<double>(t * time_scale_);
+}
+
+}  // namespace gridpipe::comm

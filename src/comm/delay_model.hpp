@@ -1,0 +1,52 @@
+#pragma once
+// Maps communicator ranks onto grid nodes and converts modeled link
+// transfer times into real (scaled) delays, so the threaded runtime
+// experiences the same network the simulator models.
+
+#include <chrono>
+#include <vector>
+
+#include "grid/grid.hpp"
+
+namespace gridpipe::comm {
+
+class DelayModel {
+ public:
+  virtual ~DelayModel() = default;
+  /// Real-time delay to apply to a message of `bytes` from rank a to b.
+  virtual std::chrono::duration<double> delay(int from_rank, int to_rank,
+                                              std::size_t bytes,
+                                              double virtual_now) const = 0;
+};
+
+/// No delays (plain shared-memory communicator).
+class ZeroDelayModel final : public DelayModel {
+ public:
+  std::chrono::duration<double> delay(int, int, std::size_t,
+                                      double) const override {
+    return std::chrono::duration<double>(0.0);
+  }
+};
+
+/// Grid-backed delays: rank r lives on node rank_to_node[r]; transfer time
+/// comes from the grid's link model at the given virtual time, scaled by
+/// `time_scale` (virtual seconds → real seconds).
+class GridDelayModel final : public DelayModel {
+ public:
+  GridDelayModel(const grid::Grid& grid, std::vector<grid::NodeId> rank_to_node,
+                 double time_scale = 1.0);
+
+  std::chrono::duration<double> delay(int from_rank, int to_rank,
+                                      std::size_t bytes,
+                                      double virtual_now) const override;
+
+  grid::NodeId node_of(int rank) const;
+  double time_scale() const noexcept { return time_scale_; }
+
+ private:
+  const grid::Grid& grid_;
+  std::vector<grid::NodeId> rank_to_node_;
+  double time_scale_;
+};
+
+}  // namespace gridpipe::comm

@@ -1,0 +1,32 @@
+#include "core/adaptive_pipeline.hpp"
+
+namespace gridpipe::core {
+
+AdaptivePipeline::AdaptivePipeline(const grid::Grid& grid, PipelineSpec spec,
+                                   AdaptivePipelineOptions options)
+    : grid_(grid),
+      spec_(std::move(spec)),
+      profile_(spec_.to_profile()),
+      options_(std::move(options)) {}
+
+sched::MapperResult AdaptivePipeline::plan() const {
+  const sched::PerfModel model(options_.executor.model);
+  const sched::ResourceEstimate est =
+      sched::ResourceEstimate::from_grid(grid_, 0.0);
+  return sim::choose_mapping(model, profile_, est, options_.executor.mapper,
+                             options_.pin_first_stage,
+                             options_.max_total_replicas);
+}
+
+RunReport AdaptivePipeline::run(std::vector<std::any> inputs) {
+  Executor executor(grid_, spec_, plan().mapping, options_.executor);
+  return executor.run(std::move(inputs));
+}
+
+sim::RunResult AdaptivePipeline::simulate(
+    const sim::SimConfig& sim_config,
+    const sim::DriverOptions& driver_options) const {
+  return sim::run_pipeline(grid_, profile_, sim_config, driver_options);
+}
+
+}  // namespace gridpipe::core

@@ -1,0 +1,54 @@
+#pragma once
+// AdaptivePipeline — the library façade and the paper's pattern.
+//
+// Usage:
+//   auto grid = gridpipe::grid::heterogeneous_cluster({1.0, 2.0, 1.0}, ...);
+//   gridpipe::core::PipelineSpec spec;
+//   spec.stage("parse", parse_fn, /*work=*/0.1)
+//       .stage("compute", compute_fn, /*work=*/0.4)
+//       .stage("encode", encode_fn, /*work=*/0.1);
+//   gridpipe::core::AdaptivePipeline pipeline(grid, std::move(spec), {});
+//   auto report = pipeline.run(items);          // threaded, adaptive
+//   auto planned = pipeline.plan();             // initial mapping only
+//   auto simulated = pipeline.simulate(...);    // virtual-time rehearsal
+
+#include "core/executor.hpp"
+
+namespace gridpipe::core {
+
+struct AdaptivePipelineOptions {
+  ExecutorConfig executor{};
+  /// Pin stage 0 to the node hosting the input source.
+  bool pin_first_stage = false;
+  /// Replica budget for the mapper (0 = replication off).
+  std::size_t max_total_replicas = 0;
+};
+
+class AdaptivePipeline {
+ public:
+  AdaptivePipeline(const grid::Grid& grid, PipelineSpec spec,
+                   AdaptivePipelineOptions options = {});
+
+  /// The mapping the scheduler picks for the deployment-time (t = 0)
+  /// resource state.
+  sched::MapperResult plan() const;
+
+  /// Runs the stream on the threaded runtime with adaptation enabled
+  /// (per options.executor.epoch). Blocking; returns ordered outputs.
+  RunReport run(std::vector<std::any> inputs);
+
+  /// Rehearses the same pipeline in the discrete-event simulator.
+  sim::RunResult simulate(const sim::SimConfig& sim_config,
+                          const sim::DriverOptions& driver_options) const;
+
+  const sched::PipelineProfile& profile() const noexcept { return profile_; }
+  const grid::Grid& grid() const noexcept { return grid_; }
+
+ private:
+  const grid::Grid& grid_;
+  PipelineSpec spec_;
+  sched::PipelineProfile profile_;
+  AdaptivePipelineOptions options_;
+};
+
+}  // namespace gridpipe::core

@@ -1,0 +1,325 @@
+#include "core/dist_executor.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+#include "util/logging.hpp"
+
+namespace gridpipe::core {
+
+namespace {
+
+std::vector<grid::NodeId> rank_map(const grid::Grid& grid) {
+  // Worker rank n lives on node n; the controller (last rank) sits on
+  // node 0, standing in for the submission host.
+  std::vector<grid::NodeId> map;
+  for (grid::NodeId n = 0; n < grid.num_nodes(); ++n) map.push_back(n);
+  map.push_back(0);
+  return map;
+}
+
+void append_u32(Bytes& out, std::uint32_t v) {
+  const auto* p = reinterpret_cast<const std::byte*>(&v);
+  out.insert(out.end(), p, p + sizeof(v));
+}
+void append_u64(Bytes& out, std::uint64_t v) {
+  const auto* p = reinterpret_cast<const std::byte*>(&v);
+  out.insert(out.end(), p, p + sizeof(v));
+}
+std::uint32_t read_u32(const Bytes& in, std::size_t& off) {
+  std::uint32_t v;
+  std::memcpy(&v, in.data() + off, sizeof(v));
+  off += sizeof(v);
+  return v;
+}
+std::uint64_t read_u64(const Bytes& in, std::size_t& off) {
+  std::uint64_t v;
+  std::memcpy(&v, in.data() + off, sizeof(v));
+  off += sizeof(v);
+  return v;
+}
+
+}  // namespace
+
+grid::NodeId DistributedExecutor::RoutingTable::pick(std::size_t stage) {
+  const auto& reps = mapping.replicas(stage);
+  const grid::NodeId node = reps[round_robin[stage] % reps.size()];
+  ++round_robin[stage];
+  return node;
+}
+
+DistributedExecutor::DistributedExecutor(const grid::Grid& grid,
+                                         std::vector<DistStage> stages,
+                                         sched::Mapping initial_mapping,
+                                         DistExecutorConfig config)
+    : grid_(grid),
+      stages_(std::move(stages)),
+      initial_mapping_(std::move(initial_mapping)),
+      config_(config),
+      delays_(grid, rank_map(grid), config.time_scale),
+      comm_(static_cast<int>(grid.num_nodes()) + 1, &delays_,
+            [this] { return virtual_now(); }),
+      registry_(config.registry) {
+  if (stages_.empty()) {
+    throw std::invalid_argument("DistributedExecutor: no stages");
+  }
+  initial_mapping_.validate(grid_.num_nodes());
+  if (initial_mapping_.num_stages() != stages_.size()) {
+    throw std::invalid_argument("DistributedExecutor: mapping mismatch");
+  }
+  if (config_.time_scale <= 0.0) {
+    throw std::invalid_argument("DistributedExecutor: time_scale <= 0");
+  }
+  if (config_.window == 0) {
+    config_.window = std::max<std::size_t>(4, 2 * stages_.size());
+  }
+  start_ = std::chrono::steady_clock::now();
+}
+
+sched::PipelineProfile DistributedExecutor::profile() const {
+  sched::PipelineProfile p;
+  p.msg_bytes.push_back(stages_.front().out_bytes);  // input ≈ first msg
+  for (const DistStage& s : stages_) {
+    p.stage_work.push_back(s.work);
+    p.msg_bytes.push_back(s.out_bytes);
+    p.state_bytes.push_back(s.state_bytes);
+  }
+  return p;
+}
+
+double DistributedExecutor::virtual_now() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start_)
+             .count() /
+         config_.time_scale;
+}
+
+Bytes DistributedExecutor::encode_task(std::uint64_t item,
+                                       std::uint32_t stage,
+                                       const Bytes& payload) {
+  Bytes wire;
+  wire.reserve(12 + payload.size());
+  append_u64(wire, item);
+  append_u32(wire, stage);
+  wire.insert(wire.end(), payload.begin(), payload.end());
+  return wire;
+}
+
+void DistributedExecutor::decode_task(const Bytes& wire, std::uint64_t& item,
+                                      std::uint32_t& stage, Bytes& payload) {
+  if (wire.size() < 12) throw std::invalid_argument("decode_task: short");
+  std::size_t off = 0;
+  item = read_u64(wire, off);
+  stage = read_u32(wire, off);
+  payload.assign(wire.begin() + static_cast<std::ptrdiff_t>(off), wire.end());
+}
+
+Bytes DistributedExecutor::encode_mapping(const sched::Mapping& mapping) {
+  Bytes wire;
+  append_u32(wire, static_cast<std::uint32_t>(mapping.num_stages()));
+  for (std::size_t i = 0; i < mapping.num_stages(); ++i) {
+    const auto& reps = mapping.replicas(i);
+    append_u32(wire, static_cast<std::uint32_t>(reps.size()));
+    for (const grid::NodeId n : reps) append_u32(wire, n);
+  }
+  return wire;
+}
+
+sched::Mapping DistributedExecutor::decode_mapping(const Bytes& wire) {
+  std::size_t off = 0;
+  const std::uint32_t ns = read_u32(wire, off);
+  std::vector<std::vector<grid::NodeId>> assignment(ns);
+  for (std::uint32_t i = 0; i < ns; ++i) {
+    const std::uint32_t reps = read_u32(wire, off);
+    for (std::uint32_t r = 0; r < reps; ++r) {
+      assignment[i].push_back(read_u32(wire, off));
+    }
+  }
+  return sched::Mapping(std::move(assignment));
+}
+
+void DistributedExecutor::worker_loop(int rank) {
+  RoutingTable routing{initial_mapping_,
+                       std::vector<std::size_t>(stages_.size(), 0)};
+  const auto node = static_cast<grid::NodeId>(rank);
+
+  for (;;) {
+    auto message = comm_.recv(rank);
+    if (!message || message->tag == kShutdown) return;
+
+    if (message->tag == kRemap) {
+      routing.mapping = decode_mapping(message->payload);
+      std::fill(routing.round_robin.begin(), routing.round_robin.end(), 0);
+      continue;
+    }
+    if (message->tag != kTask) continue;  // unknown control message
+
+    std::uint64_t item;
+    std::uint32_t stage;
+    Bytes payload;
+    decode_task(message->payload, item, stage, payload);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const double v0 = virtual_now();
+    Bytes out = stages_[stage].fn(payload);
+    if (config_.emulate_compute) {
+      const double service =
+          stages_[stage].work / grid_.effective_speed(node, v0);
+      std::this_thread::sleep_until(
+          t0 + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                   std::chrono::duration<double>(service *
+                                                 config_.time_scale)));
+    }
+    const double duration =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count() /
+        config_.time_scale;
+
+    // Report the observed speed to the controller's monitor.
+    if (duration > 0.0) {
+      comm_.send_value(rank, controller_rank(), kSpeedObs,
+                       stages_[stage].work / duration);
+    }
+
+    if (stage + 1 == stages_.size()) {
+      comm_.send(rank, controller_rank(), kResult,
+                 encode_task(item, stage + 1, out));
+    } else {
+      const grid::NodeId dst = routing.pick(stage + 1);
+      comm_.send(rank, static_cast<int>(dst), kTask,
+                 encode_task(item, stage + 1, out));
+    }
+  }
+}
+
+void DistributedExecutor::controller_epoch(sched::AdaptationPolicy& policy,
+                                           const sched::PerfModel& model) {
+  const sched::ResourceEstimate est =
+      sched::ResourceEstimate::from_monitor(registry_, grid_);
+  const auto p = profile();
+  const sched::MapperResult candidate =
+      sim::choose_mapping(model, p, est, config_.mapper,
+                          /*pin_first_stage=*/false, /*max_replicas=*/0);
+  const sched::AdaptationDecision decision =
+      policy.decide(p, est, controller_mapping_, candidate.mapping);
+  if (!decision.remap) return;
+
+  sim::RemapEvent event;
+  event.time = virtual_now();
+  event.pause = decision.migration_pause;
+  event.from = controller_mapping_.to_string();
+  event.to = candidate.mapping.to_string();
+  util::log_info("dist: remap ", event.from, " -> ", event.to);
+  metrics_.on_remap(std::move(event));
+
+  controller_mapping_ = candidate.mapping;
+  std::fill(controller_rr_.begin(), controller_rr_.end(), 0);
+  const Bytes wire = encode_mapping(controller_mapping_);
+  for (int rank = 0; rank < controller_rank(); ++rank) {
+    comm_.send(controller_rank(), rank, kRemap, wire);
+  }
+  policy.notify_remapped();
+}
+
+void DistributedExecutor::controller_loop(
+    std::vector<Bytes>& inputs,
+    std::vector<std::pair<std::uint64_t, Bytes>>& done) {
+  const int me = controller_rank();
+  auto admit = [&](std::uint64_t index) {
+    const grid::NodeId dst =
+        controller_mapping_
+            .replicas(0)[controller_rr_[0]++ %
+                         controller_mapping_.replica_count(0)];
+    comm_.send(me, static_cast<int>(dst), kTask,
+               encode_task(index, 0, inputs[index]));
+  };
+  for (std::uint64_t i = 0;
+       i < std::min<std::uint64_t>(config_.window, total_items_); ++i) {
+    admit(next_input_++);
+  }
+
+  const sched::PerfModel model(config_.model);
+  sched::AdaptationPolicy policy(model, config_.policy);
+  double next_epoch = config_.epoch;
+
+  while (done.size() < total_items_) {
+    // Wait at most until the next adaptation point (50 ms real otherwise).
+    double wait_real = 0.05;
+    if (config_.epoch > 0.0) {
+      wait_real = std::max(1e-3, (next_epoch - virtual_now()) *
+                                     config_.time_scale);
+    }
+    auto message =
+        comm_.recv_for(me, std::chrono::duration<double>(wait_real));
+    if (message) {
+      if (message->tag == kResult) {
+        std::uint64_t item;
+        std::uint32_t stage;
+        Bytes payload;
+        decode_task(message->payload, item, stage, payload);
+        metrics_.on_item_completed(item, virtual_now(), 0.0);
+        done.emplace_back(item, std::move(payload));
+        if (next_input_ < total_items_) admit(next_input_++);
+      } else if (message->tag == kSpeedObs) {
+        registry_.record(
+            {monitor::SensorKind::kNodeSpeed,
+             static_cast<std::uint32_t>(message->source), 0},
+            virtual_now(), comm::Communicator::decode<double>(*message));
+      }
+    }
+    if (config_.epoch > 0.0 && virtual_now() >= next_epoch) {
+      controller_epoch(policy, model);
+      next_epoch += config_.epoch;
+    }
+  }
+
+  for (int rank = 0; rank < me; ++rank) {
+    comm_.send(me, rank, kShutdown, {});
+  }
+}
+
+RunReport DistributedExecutor::run(std::vector<Bytes> inputs) {
+  RunReport report;
+  if (inputs.empty()) return report;
+
+  total_items_ = inputs.size();
+  next_input_ = 0;
+  controller_mapping_ = initial_mapping_;
+  controller_rr_.assign(stages_.size(), 0);
+  start_ = std::chrono::steady_clock::now();
+  report.initial_mapping = initial_mapping_.to_string();
+
+  std::vector<std::pair<std::uint64_t, Bytes>> done;
+  done.reserve(inputs.size());
+
+  std::vector<std::thread> workers;
+  for (int rank = 0; rank < controller_rank(); ++rank) {
+    workers.emplace_back([this, rank] { worker_loop(rank); });
+  }
+  controller_loop(inputs, done);
+  for (auto& t : workers) t.join();
+
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+          .count();
+  std::sort(done.begin(), done.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  report.outputs.reserve(done.size());
+  for (auto& [id, payload] : done) {
+    report.outputs.emplace_back(std::move(payload));
+  }
+  report.items = report.outputs.size();
+  report.wall_seconds = wall;
+  report.virtual_seconds = wall / config_.time_scale;
+  report.throughput =
+      report.virtual_seconds > 0.0
+          ? static_cast<double>(report.items) / report.virtual_seconds
+          : 0.0;
+  report.remap_count = metrics_.remaps().size();
+  report.remaps = metrics_.remaps();
+  report.final_mapping = controller_mapping_.to_string();
+  return report;
+}
+
+}  // namespace gridpipe::core

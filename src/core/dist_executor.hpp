@@ -1,0 +1,124 @@
+#pragma once
+// DistributedExecutor — the pipeline skeleton implemented purely over the
+// message-passing substrate, mirroring the eSkel-on-MPI architecture the
+// paper's implementation layer assumes.
+//
+// Topology: rank n (0 ≤ n < num_nodes) is a worker pinned to grid node n;
+// rank num_nodes is the controller. All coordination is by message:
+//
+//   controller → worker   kTask      (item id, stage, payload bytes)
+//   worker → worker       kTask      (next-stage hop, link-delayed)
+//   worker → controller   kResult    (finished item + output)
+//   worker → controller   kSpeedObs  (observed node speed sample)
+//   controller → worker   kRemap     (serialized routing table)
+//   controller → worker   kShutdown
+//
+// Workers hold a local copy of the routing table; kRemap updates arrive
+// asynchronously. Because every worker owns every stage function, a hop
+// routed with a momentarily stale table still executes correctly — the
+// item merely lands on a suboptimal node for that hop (eventual
+// consistency, no barrier needed).
+//
+// Items are byte vectors (a distributed skeleton must serialize), so the
+// stage interface here is Bytes → Bytes.
+
+#include <atomic>
+#include <functional>
+#include <thread>
+
+#include "comm/communicator.hpp"
+#include "core/report.hpp"
+#include "sched/adaptation_policy.hpp"
+#include "sim/drivers.hpp"
+
+namespace gridpipe::core {
+
+using Bytes = std::vector<std::byte>;
+using BytesStageFn = std::function<Bytes(const Bytes&)>;
+
+struct DistStage {
+  std::string name;
+  BytesStageFn fn;
+  double work = 1.0;
+  double out_bytes = 1024;
+  double state_bytes = 0.0;
+};
+
+struct DistExecutorConfig {
+  double time_scale = 0.01;   ///< real seconds per virtual second
+  std::size_t window = 0;     ///< in-flight credit (0 = auto)
+  double epoch = 0.0;         ///< adaptation period in virtual s (0 = off)
+  sched::AdaptationOptions policy{};
+  sched::PerfModelOptions model{};
+  monitor::RegistryOptions registry{};
+  sim::MapperKind mapper = sim::MapperKind::kAuto;
+  bool emulate_compute = true;
+};
+
+class DistributedExecutor {
+ public:
+  DistributedExecutor(const grid::Grid& grid, std::vector<DistStage> stages,
+                      sched::Mapping initial_mapping,
+                      DistExecutorConfig config);
+
+  /// Blocking: spawns one thread per worker rank, pushes every input
+  /// through, returns ordered outputs. Not reentrant.
+  RunReport run(std::vector<Bytes> inputs);
+
+  sched::PipelineProfile profile() const;
+
+  // Message tags (public for tests).
+  static constexpr int kTask = 1;
+  static constexpr int kResult = 2;
+  static constexpr int kRemap = 3;
+  static constexpr int kShutdown = 4;
+  static constexpr int kSpeedObs = 5;
+
+  /// Wire format helpers (public for tests).
+  static Bytes encode_task(std::uint64_t item, std::uint32_t stage,
+                           const Bytes& payload);
+  static void decode_task(const Bytes& wire, std::uint64_t& item,
+                          std::uint32_t& stage, Bytes& payload);
+  static Bytes encode_mapping(const sched::Mapping& mapping);
+  static sched::Mapping decode_mapping(const Bytes& wire);
+
+ private:
+  struct RoutingTable {
+    // Guarded copy per worker; only the owning worker touches it outside
+    // of construction.
+    sched::Mapping mapping;
+    std::vector<std::size_t> round_robin;
+    grid::NodeId pick(std::size_t stage);
+  };
+
+  void worker_loop(int rank);
+  void controller_loop(std::vector<Bytes>& inputs,
+                       std::vector<std::pair<std::uint64_t, Bytes>>& done);
+  void controller_epoch(sched::AdaptationPolicy& policy,
+                        const sched::PerfModel& model);
+  double virtual_now() const;
+
+  int controller_rank() const noexcept {
+    return static_cast<int>(grid_.num_nodes());
+  }
+
+  const grid::Grid& grid_;
+  std::vector<DistStage> stages_;
+  sched::Mapping initial_mapping_;
+  DistExecutorConfig config_;
+
+  comm::GridDelayModel delays_;
+  comm::Communicator comm_;
+  std::chrono::steady_clock::time_point start_{};
+
+  // Controller-side state.
+  monitor::MonitoringRegistry registry_;
+  sched::Mapping controller_mapping_;
+  std::vector<std::size_t> controller_rr_;
+  std::uint64_t next_input_ = 0;
+  std::uint64_t total_items_ = 0;
+  sim::SimMetrics metrics_;
+  std::vector<Bytes> const* inputs_ = nullptr;
+};
+
+}  // namespace gridpipe::core

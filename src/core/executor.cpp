@@ -1,0 +1,362 @@
+#include "core/executor.hpp"
+
+#include <algorithm>
+
+#include "util/logging.hpp"
+
+namespace gridpipe::core {
+
+namespace {
+std::chrono::steady_clock::duration to_real(double virtual_seconds,
+                                            double time_scale) {
+  return std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+      std::chrono::duration<double>(virtual_seconds * time_scale));
+}
+}  // namespace
+
+Executor::Executor(const grid::Grid& grid, PipelineSpec spec,
+                   sched::Mapping initial_mapping, ExecutorConfig config)
+    : grid_(grid),
+      spec_(std::move(spec)),
+      profile_(spec_.to_profile()),
+      config_(config),
+      mapping_(std::move(initial_mapping)),
+      registry_(config.registry),
+      rng_(config.seed) {
+  mapping_.validate(grid_.num_nodes());
+  if (mapping_.num_stages() != spec_.num_stages()) {
+    throw std::invalid_argument("Executor: mapping/spec stage mismatch");
+  }
+  if (config_.time_scale <= 0.0) {
+    throw std::invalid_argument("Executor: time_scale <= 0");
+  }
+  if (config_.window == 0) {
+    config_.window = std::max<std::size_t>(4, 2 * spec_.num_stages());
+  }
+  round_robin_.assign(spec_.num_stages(), 0);
+  for (std::size_t n = 0; n < grid_.num_nodes(); ++n) {
+    workers_.push_back(std::make_unique<NodeWorker>());
+  }
+}
+
+const sched::Mapping& Executor::mapping() const {
+  std::lock_guard lock(routing_mutex_);
+  return mapping_;
+}
+
+double Executor::virtual_now() const {
+  return std::chrono::duration<double>(Clock::now() - start_).count() /
+         config_.time_scale;
+}
+
+grid::NodeId Executor::pick_replica_locked(std::size_t stage) {
+  const auto& reps = mapping_.replicas(stage);
+  const grid::NodeId node = reps[round_robin_[stage] % reps.size()];
+  ++round_robin_[stage];
+  return node;
+}
+
+void Executor::admit_locked(std::uint64_t index) {
+  RtTask task;
+  task.stage = 0;
+  task.item = index;
+  task.payload = (*inputs_)[index];
+  task.deliver_at = Clock::now();
+  const grid::NodeId node = pick_replica_locked(0);
+  {
+    std::lock_guard node_lock(workers_[node]->mutex);
+    workers_[node]->queue.push_back(std::move(task));
+  }
+  workers_[node]->cv.notify_one();
+}
+
+std::optional<Executor::RtTask> Executor::next_task(grid::NodeId node) {
+  NodeWorker& w = *workers_[node];
+  std::unique_lock lock(w.mutex);
+  for (;;) {
+    if (done_.load()) return std::nullopt;
+    const auto now = Clock::now();
+    const auto freeze = Clock::time_point(
+        Clock::duration(freeze_until_.load(std::memory_order_acquire)));
+    if (now >= freeze) {
+      // First deliverable task in FIFO order.
+      for (auto it = w.queue.begin(); it != w.queue.end(); ++it) {
+        if (it->deliver_at <= now) {
+          RtTask task = std::move(*it);
+          w.queue.erase(it);
+          return task;
+        }
+      }
+    }
+    // Sleep until something could change: a wakeup, the freeze end, or
+    // the earliest pending delivery.
+    auto deadline = Clock::time_point::max();
+    if (freeze > now) deadline = freeze;
+    for (const RtTask& t : w.queue) {
+      deadline = std::min(deadline, std::max(t.deliver_at, freeze));
+    }
+    if (deadline == Clock::time_point::max()) {
+      w.cv.wait(lock);
+    } else {
+      w.cv.wait_until(lock, deadline);
+    }
+  }
+}
+
+void Executor::worker_loop(grid::NodeId node) {
+  for (;;) {
+    auto task = next_task(node);
+    if (!task) return;
+
+    const auto t0 = Clock::now();
+    const double v0 = virtual_now();
+    std::any result = spec_.at(task->stage).fn(std::move(task->payload));
+
+    if (config_.emulate_compute) {
+      const double service_virtual =
+          profile_.stage_work[task->stage] / grid_.effective_speed(node, v0);
+      std::this_thread::sleep_until(t0 +
+                                    to_real(service_virtual, config_.time_scale));
+    }
+    const double duration_virtual =
+        std::chrono::duration<double>(Clock::now() - t0).count() /
+        config_.time_scale;
+
+    {
+      std::lock_guard lock(metrics_mutex_);
+      metrics_.on_service(task->stage, duration_virtual);
+      if (duration_virtual > 0.0) {
+        registry_.record({monitor::SensorKind::kNodeSpeed, node, 0},
+                         virtual_now(),
+                         profile_.stage_work[task->stage] / duration_virtual);
+      }
+    }
+
+    task->payload = std::move(result);
+    route_onward(node, std::move(*task));
+  }
+}
+
+void Executor::route_onward(grid::NodeId from, RtTask task) {
+  const std::size_t next_stage = task.stage + 1;
+  if (next_stage == spec_.num_stages()) {
+    complete_item(task.item, std::move(task.payload));
+    return;
+  }
+  grid::NodeId dst;
+  {
+    std::lock_guard lock(routing_mutex_);
+    dst = pick_replica_locked(next_stage);
+  }
+  const double delay_virtual = grid_.transfer_time(
+      from, dst, profile_.msg_bytes[next_stage], virtual_now());
+  task.stage = next_stage;
+  task.deliver_at = Clock::now() + to_real(delay_virtual, config_.time_scale);
+  {
+    std::lock_guard node_lock(workers_[dst]->mutex);
+    workers_[dst]->queue.push_back(std::move(task));
+  }
+  workers_[dst]->cv.notify_one();
+}
+
+void Executor::complete_item(std::uint64_t item, std::any output) {
+  {
+    std::lock_guard lock(metrics_mutex_);
+    metrics_.on_item_completed(item, virtual_now(), 0.0);
+  }
+  bool all_done = false;
+  {
+    std::lock_guard lock(result_mutex_);
+    completed_.emplace_back(item, std::move(output));
+    all_done = completed_.size() == total_items_;
+  }
+  if (all_done) {
+    result_cv_.notify_all();
+    return;
+  }
+  // Admit the next input under the credit window.
+  std::lock_guard lock(routing_mutex_);
+  if (inputs_ && next_input_ < inputs_->size()) {
+    admit_locked(next_input_++);
+  }
+}
+
+void Executor::record_probes(double vnow) {
+  std::lock_guard lock(metrics_mutex_);
+  for (grid::NodeId n = 0; n < grid_.num_nodes(); ++n) {
+    const double noise = std::max(0.1, 1.0 + 0.02 * util::normal(rng_, 0, 1));
+    registry_.record({monitor::SensorKind::kNodeSpeed, n, 0}, vnow,
+                     std::max(1e-9, grid_.effective_speed(n, vnow) * noise));
+  }
+  for (grid::NodeId a = 0; a < grid_.num_nodes(); ++a) {
+    for (grid::NodeId b = 0; b < grid_.num_nodes(); ++b) {
+      if (a == b) continue;
+      const double noise = std::max(0.1, 1.0 + 0.02 * util::normal(rng_, 0, 1));
+      registry_.record({monitor::SensorKind::kLinkInflation, a, b}, vnow,
+                       std::max(0.01, (1.0 + grid_.link(a, b).congestion_at(
+                                                 vnow)) *
+                                          noise));
+    }
+  }
+}
+
+void Executor::do_remap(const sched::Mapping& to, double pause_virtual) {
+  // Lock order: routing, then nodes in id order (route_onward uses the
+  // same routing -> node order, never the reverse while holding a node).
+  std::lock_guard routing_lock(routing_mutex_);
+  const auto now = Clock::now();
+  const auto freeze_end = now + to_real(pause_virtual, config_.time_scale);
+  freeze_until_.store(freeze_end.time_since_epoch().count(),
+                      std::memory_order_release);
+
+  sim::RemapEvent event;
+  event.time = virtual_now();
+  event.pause = pause_virtual;
+  event.from = mapping_.to_string();
+  event.to = to.to_string();
+  {
+    std::lock_guard lock(metrics_mutex_);
+    metrics_.on_remap(std::move(event));
+  }
+
+  // Drain all queues, switch the mapping, redistribute.
+  std::vector<RtTask> pending;
+  for (auto& worker : workers_) {
+    std::lock_guard node_lock(worker->mutex);
+    std::move(worker->queue.begin(), worker->queue.end(),
+              std::back_inserter(pending));
+    worker->queue.clear();
+  }
+  std::sort(pending.begin(), pending.end(),
+            [](const RtTask& a, const RtTask& b) { return a.item < b.item; });
+  mapping_ = to;
+  std::fill(round_robin_.begin(), round_robin_.end(), 0);
+  for (RtTask& task : pending) {
+    const grid::NodeId node = pick_replica_locked(task.stage);
+    std::lock_guard node_lock(workers_[node]->mutex);
+    workers_[node]->queue.push_back(std::move(task));
+  }
+  for (auto& worker : workers_) worker->cv.notify_all();
+}
+
+void Executor::controller_loop() {
+  if (config_.epoch <= 0.0) {
+    // No adaptation: just wait for completion.
+    std::unique_lock lock(result_mutex_);
+    result_cv_.wait(lock, [this] { return completed_.size() == total_items_; });
+    return;
+  }
+  const sched::PerfModel model(config_.model);
+  sched::AdaptationPolicy policy(model, config_.policy);
+  const auto epoch_real = to_real(config_.epoch, config_.time_scale);
+
+  for (;;) {
+    {
+      std::unique_lock lock(result_mutex_);
+      if (result_cv_.wait_for(lock, epoch_real, [this] {
+            return completed_.size() == total_items_;
+          })) {
+        return;
+      }
+    }
+    const double vnow = virtual_now();
+    if (config_.monitor_all) record_probes(vnow);
+
+    sched::ResourceEstimate est;
+    {
+      std::lock_guard lock(metrics_mutex_);
+      est = sched::ResourceEstimate::from_monitor(registry_, grid_);
+    }
+    const sched::MapperResult candidate = sim::choose_mapping(
+        model, profile_, est, config_.mapper, /*pin_first_stage=*/false,
+        /*max_total_replicas=*/0);
+
+    sched::Mapping deployed;
+    {
+      std::lock_guard lock(routing_mutex_);
+      deployed = mapping_;
+    }
+    sched::AdaptationDecision decision =
+        policy.decide(profile_, est, deployed, candidate.mapping);
+    if (decision.remap) {
+      util::log_info("executor: remap ", deployed.to_string(), " -> ",
+                     candidate.mapping.to_string(), " pause ",
+                     decision.migration_pause, "s: ", decision.reason);
+      do_remap(candidate.mapping, decision.migration_pause);
+      policy.notify_remapped();
+    }
+  }
+}
+
+RunReport Executor::run(std::vector<std::any> inputs) {
+  RunReport report;
+  if (inputs.empty()) return report;
+
+  total_items_ = inputs.size();
+  completed_.clear();
+  completed_.reserve(inputs.size());
+  done_.store(false);
+  freeze_until_.store(0);
+  start_ = Clock::now();
+
+  std::string initial_mapping_str;
+  {
+    std::lock_guard lock(routing_mutex_);
+    inputs_ = &inputs;
+    next_input_ = 0;
+    initial_mapping_str = mapping_.to_string();
+    const std::uint64_t first_wave =
+        std::min<std::uint64_t>(config_.window, inputs.size());
+    for (std::uint64_t i = 0; i < first_wave; ++i) admit_locked(next_input_++);
+  }
+
+  std::vector<std::thread> threads;
+  threads.reserve(workers_.size());
+  for (grid::NodeId n = 0; n < workers_.size(); ++n) {
+    threads.emplace_back([this, n] { worker_loop(n); });
+  }
+
+  controller_loop();
+
+  done_.store(true);
+  for (auto& worker : workers_) worker->cv.notify_all();
+  for (auto& thread : threads) thread.join();
+
+  const double wall = std::chrono::duration<double>(Clock::now() - start_).count();
+  {
+    std::lock_guard lock(result_mutex_);
+    std::sort(completed_.begin(), completed_.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    report.outputs.reserve(completed_.size());
+    for (auto& [id, payload] : completed_) {
+      report.outputs.push_back(std::move(payload));
+    }
+  }
+  {
+    std::lock_guard lock(metrics_mutex_);
+    report.remap_count = metrics_.remaps().size();
+    report.remaps = metrics_.remaps();
+    for (std::size_t s = 0; s < spec_.num_stages(); ++s) {
+      report.mean_service.push_back(
+          s < metrics_.service_stages() && metrics_.service_time(s).count()
+              ? metrics_.service_time(s).mean()
+              : 0.0);
+    }
+  }
+  report.items = report.outputs.size();
+  report.wall_seconds = wall;
+  report.virtual_seconds = wall / config_.time_scale;
+  report.throughput = report.virtual_seconds > 0.0
+                          ? static_cast<double>(report.items) /
+                                report.virtual_seconds
+                          : 0.0;
+  report.initial_mapping = std::move(initial_mapping_str);
+  {
+    std::lock_guard lock(routing_mutex_);
+    report.final_mapping = mapping_.to_string();
+    inputs_ = nullptr;
+  }
+  return report;
+}
+
+}  // namespace gridpipe::core

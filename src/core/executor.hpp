@@ -1,0 +1,117 @@
+#pragma once
+// The threaded runtime: executes a PipelineSpec on emulated grid nodes.
+//
+// Each grid node is a worker thread. Stage service is emulated by running
+// the user function and then stretching the stage to its modeled duration
+// (work / effective_speed, scaled by time_scale), so a laptop reproduces
+// the timing behaviour of a heterogeneous, dynamically loaded grid — the
+// manual heterogeneity emulation the reproduction bands call for.
+// Transfers are emulated with delivery deadlines derived from the grid's
+// link model. An adaptation controller (the caller's thread) runs the
+// same monitor → forecast → map → gate → remap loop as the simulator.
+//
+// Output order: the skeleton restores input order before returning
+// (Pipeline1for1 semantics).
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <thread>
+
+#include "core/pipeline_spec.hpp"
+#include "core/report.hpp"
+#include "sim/drivers.hpp"
+
+namespace gridpipe::core {
+
+struct ExecutorConfig {
+  /// Real seconds per virtual second (0.05 = 20× faster than modeled).
+  double time_scale = 0.05;
+  /// Max items in flight (0 = auto: 2·Ns, min 4).
+  std::size_t window = 0;
+  /// Virtual seconds between adaptation checks; 0 disables adaptation.
+  double epoch = 0.0;
+  sim::MapperKind mapper = sim::MapperKind::kAuto;
+  sched::AdaptationOptions policy{};
+  sched::PerfModelOptions model{};
+  monitor::RegistryOptions registry{};
+  /// Stretch stage execution to the modeled duration. When false the user
+  /// function's real cost is the service time (dedicated-cluster mode).
+  bool emulate_compute = true;
+  /// Record NWS-style probe observations for every node/link each epoch.
+  bool monitor_all = true;
+  std::uint64_t seed = 1;
+};
+
+class Executor {
+ public:
+  Executor(const grid::Grid& grid, PipelineSpec spec,
+           sched::Mapping initial_mapping, ExecutorConfig config);
+
+  /// Blocking: pushes every input through the pipeline and returns the
+  /// ordered outputs plus runtime statistics. Not reentrant.
+  RunReport run(std::vector<std::any> inputs);
+
+  const sched::Mapping& mapping() const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct RtTask {
+    std::size_t stage = 0;
+    std::uint64_t item = 0;
+    std::any payload;
+    Clock::time_point deliver_at{};
+  };
+  struct NodeWorker {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::deque<RtTask> queue;
+  };
+
+  void worker_loop(grid::NodeId node);
+  /// Pops the next deliverable task, honoring delivery deadlines and the
+  /// remap freeze; std::nullopt when the run is over.
+  std::optional<RtTask> next_task(grid::NodeId node);
+  void route_onward(grid::NodeId from, RtTask task);
+  void complete_item(std::uint64_t item, std::any output);
+  void admit_locked(std::uint64_t index);  // caller holds routing_mutex_
+  void controller_loop();
+  void do_remap(const sched::Mapping& to, double pause_virtual);
+  void record_probes(double vnow);
+  double virtual_now() const;
+  grid::NodeId pick_replica_locked(std::size_t stage);
+
+  const grid::Grid& grid_;
+  PipelineSpec spec_;
+  sched::PipelineProfile profile_;
+  ExecutorConfig config_;
+
+  // Routing state (mapping, round-robin, admission) — one mutex.
+  mutable std::mutex routing_mutex_;
+  sched::Mapping mapping_;
+  std::vector<std::size_t> round_robin_;
+  std::vector<std::any>* inputs_ = nullptr;
+  std::uint64_t next_input_ = 0;
+
+  std::vector<std::unique_ptr<NodeWorker>> workers_;
+  std::atomic<bool> done_{false};
+  std::atomic<Clock::rep> freeze_until_{0};
+  Clock::time_point start_{};
+
+  // Results.
+  std::mutex result_mutex_;
+  std::condition_variable result_cv_;
+  std::vector<std::pair<std::uint64_t, std::any>> completed_;
+  std::uint64_t total_items_ = 0;
+
+  // Monitoring / adaptation.
+  monitor::MonitoringRegistry registry_;
+  std::mutex metrics_mutex_;
+  sim::SimMetrics metrics_;
+  util::Xoshiro256 rng_;
+};
+
+}  // namespace gridpipe::core

@@ -1,0 +1,57 @@
+#include "core/pipeline_spec.hpp"
+
+#include <stdexcept>
+
+namespace gridpipe::core {
+
+PipelineSpec& PipelineSpec::stage(std::string name, StageFn fn, double work,
+                                  double out_bytes, double state_bytes) {
+  if (!fn) throw std::invalid_argument("PipelineSpec::stage: null function");
+  if (work <= 0.0) throw std::invalid_argument("PipelineSpec::stage: work <= 0");
+  if (out_bytes < 0.0 || state_bytes < 0.0) {
+    throw std::invalid_argument("PipelineSpec::stage: negative bytes");
+  }
+  stages_.push_back({std::move(name), std::move(fn), work, out_bytes,
+                     state_bytes});
+  return *this;
+}
+
+const StageSpec& PipelineSpec::at(std::size_t i) const {
+  if (i >= stages_.size()) throw std::out_of_range("PipelineSpec::at");
+  return stages_[i];
+}
+
+PipelineSpec& PipelineSpec::input_bytes(double bytes) {
+  if (bytes < 0.0) throw std::invalid_argument("input_bytes: negative");
+  input_bytes_ = bytes;
+  return *this;
+}
+
+sched::PipelineProfile PipelineSpec::to_profile() const {
+  validate();
+  sched::PipelineProfile profile;
+  profile.stage_work.reserve(stages_.size());
+  profile.msg_bytes.reserve(stages_.size() + 1);
+  profile.state_bytes.reserve(stages_.size());
+  profile.msg_bytes.push_back(input_bytes_);
+  for (const StageSpec& s : stages_) {
+    profile.stage_work.push_back(s.work);
+    profile.msg_bytes.push_back(s.out_bytes);
+    profile.state_bytes.push_back(s.state_bytes);
+  }
+  return profile;
+}
+
+std::any PipelineSpec::run_inline(std::any item) const {
+  validate();
+  for (const StageSpec& s : stages_) item = s.fn(std::move(item));
+  return item;
+}
+
+void PipelineSpec::validate() const {
+  if (stages_.empty()) {
+    throw std::invalid_argument("PipelineSpec: no stages");
+  }
+}
+
+}  // namespace gridpipe::core

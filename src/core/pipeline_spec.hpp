@@ -1,0 +1,57 @@
+#pragma once
+// The public pipeline-skeleton description: an ordered list of stages,
+// each a user function plus cost annotations the scheduler needs. This is
+// the eSkel-style "Pipeline1for1" contract: every stage consumes one item
+// and produces exactly one item.
+
+#include <any>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sched/perf_model.hpp"
+
+namespace gridpipe::core {
+
+/// A stage transform. Items are type-erased; each stage must accept the
+/// std::any produced by its predecessor.
+using StageFn = std::function<std::any(std::any)>;
+
+struct StageSpec {
+  std::string name;
+  StageFn fn;
+  /// Cost annotations (same units as grid node speeds / bytes):
+  double work = 1.0;         ///< work units per item
+  double out_bytes = 1024;   ///< bytes of the item this stage emits
+  double state_bytes = 0.0;  ///< migratable stage state (remap cost)
+};
+
+class PipelineSpec {
+ public:
+  /// Fluent builder: returns *this for chaining.
+  PipelineSpec& stage(std::string name, StageFn fn, double work = 1.0,
+                      double out_bytes = 1024, double state_bytes = 0.0);
+
+  std::size_t num_stages() const noexcept { return stages_.size(); }
+  const StageSpec& at(std::size_t i) const;
+  const std::vector<StageSpec>& stages() const noexcept { return stages_; }
+
+  /// Bytes of the initial input items (edge 0 of the profile).
+  PipelineSpec& input_bytes(double bytes);
+
+  /// Derives the scheduler profile from the annotations.
+  sched::PipelineProfile to_profile() const;
+
+  /// Runs the whole pipeline inline on one item (reference semantics for
+  /// tests and for computing expected outputs).
+  std::any run_inline(std::any item) const;
+
+  /// Throws std::invalid_argument if the spec is unusable.
+  void validate() const;
+
+ private:
+  std::vector<StageSpec> stages_;
+  double input_bytes_ = 1024;
+};
+
+}  // namespace gridpipe::core

@@ -1,0 +1,20 @@
+#include "core/report.hpp"
+
+#include <sstream>
+
+#include "util/table.hpp"
+
+namespace gridpipe::core {
+
+std::string RunReport::summary() const {
+  std::ostringstream os;
+  os << items << " items in " << util::format_double(virtual_seconds, 3)
+     << " virtual s (" << util::format_double(wall_seconds, 3)
+     << " wall s), throughput " << util::format_double(throughput, 3)
+     << " items/s, " << remap_count << " remap(s), mapping "
+     << initial_mapping;
+  if (final_mapping != initial_mapping) os << " -> " << final_mapping;
+  return os.str();
+}
+
+}  // namespace gridpipe::core

@@ -1,0 +1,30 @@
+#pragma once
+// Result of a threaded-runtime pipeline run.
+
+#include <any>
+#include <string>
+#include <vector>
+
+#include "sim/metrics.hpp"
+
+namespace gridpipe::core {
+
+struct RunReport {
+  /// Outputs ordered by input index (the skeleton restores stream order).
+  std::vector<std::any> outputs;
+  std::uint64_t items = 0;
+  double wall_seconds = 0.0;     ///< real elapsed time
+  double virtual_seconds = 0.0;  ///< wall / time_scale
+  double throughput = 0.0;       ///< items per *virtual* second
+  std::size_t remap_count = 0;
+  std::vector<sim::RemapEvent> remaps;
+  std::string initial_mapping;
+  std::string final_mapping;
+  /// Mean observed service time per stage (virtual seconds).
+  std::vector<double> mean_service;
+
+  /// One-paragraph human-readable summary.
+  std::string summary() const;
+};
+
+}  // namespace gridpipe::core

@@ -1,0 +1,85 @@
+#include "grid/builders.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "util/rng.hpp"
+
+namespace gridpipe::grid {
+
+Grid uniform_cluster(std::size_t n, double speed, double latency,
+                     double bandwidth) {
+  return heterogeneous_cluster(std::vector<double>(n, speed), latency,
+                               bandwidth);
+}
+
+Grid heterogeneous_cluster(const std::vector<double>& speeds, double latency,
+                           double bandwidth) {
+  if (speeds.empty()) {
+    throw std::invalid_argument("heterogeneous_cluster: no nodes");
+  }
+  Grid grid;
+  for (std::size_t i = 0; i < speeds.size(); ++i) {
+    grid.add_node("node" + std::to_string(i), speeds[i]);
+  }
+  for (NodeId a = 0; a < speeds.size(); ++a) {
+    for (NodeId b = 0; b < speeds.size(); ++b) {
+      if (a != b) grid.set_link(a, b, Link(latency, bandwidth));
+    }
+  }
+  return grid;
+}
+
+Grid multi_site_grid(const std::vector<SiteSpec>& sites, double wan_latency,
+                     double wan_bandwidth) {
+  if (sites.empty()) throw std::invalid_argument("multi_site_grid: no sites");
+  Grid grid;
+  std::vector<std::size_t> site_of;  // node -> site index
+  for (std::size_t s = 0; s < sites.size(); ++s) {
+    for (std::size_t i = 0; i < sites[s].nodes; ++i) {
+      grid.add_node("site" + std::to_string(s) + ".node" + std::to_string(i),
+                    sites[s].speed);
+      site_of.push_back(s);
+    }
+  }
+  for (NodeId a = 0; a < grid.num_nodes(); ++a) {
+    for (NodeId b = 0; b < grid.num_nodes(); ++b) {
+      if (a == b) continue;
+      if (site_of[a] == site_of[b]) {
+        const SiteSpec& site = sites[site_of[a]];
+        grid.set_link(a, b, Link(site.intra_latency, site.intra_bandwidth));
+      } else {
+        grid.set_link(a, b, Link(wan_latency, wan_bandwidth));
+      }
+    }
+  }
+  return grid;
+}
+
+Grid random_grid(std::uint64_t seed, const RandomGridParams& params) {
+  if (params.nodes == 0) throw std::invalid_argument("random_grid: no nodes");
+  util::Xoshiro256 rng(seed);
+  Grid grid;
+  for (std::size_t i = 0; i < params.nodes; ++i) {
+    grid.add_node("rnd" + std::to_string(i),
+                  util::uniform(rng, params.speed_lo, params.speed_hi));
+  }
+  const double log_lo = std::log(params.lat_lo);
+  const double log_hi = std::log(params.lat_hi);
+  for (NodeId a = 0; a < params.nodes; ++a) {
+    for (NodeId b = 0; b < params.nodes; ++b) {
+      if (a == b) continue;
+      const double latency = std::exp(util::uniform(rng, log_lo, log_hi));
+      const double bw = util::uniform(rng, params.bw_lo, params.bw_hi);
+      grid.set_link(a, b, Link(latency, bw));
+    }
+  }
+  return grid;
+}
+
+void set_node_load(Grid& grid, NodeId node, LoadModelPtr load) {
+  grid.node(node).set_load_model(std::move(load));
+}
+
+}  // namespace gridpipe::grid

@@ -1,0 +1,49 @@
+#pragma once
+// Convenience constructors for common grid topologies used across tests,
+// benches and examples.
+
+#include <cstdint>
+#include <vector>
+
+#include "grid/grid.hpp"
+
+namespace gridpipe::grid {
+
+/// Homogeneous dedicated cluster: `n` nodes of equal speed, uniform
+/// latency/bandwidth between distinct nodes.
+Grid uniform_cluster(std::size_t n, double speed, double latency,
+                     double bandwidth);
+
+/// Heterogeneous dedicated machines: one node per entry of `speeds`,
+/// uniform interconnect.
+Grid heterogeneous_cluster(const std::vector<double>& speeds, double latency,
+                           double bandwidth);
+
+/// Parameters for multi_site_grid().
+struct SiteSpec {
+  std::size_t nodes;      ///< machines at this site
+  double speed;           ///< per-machine base speed
+  double intra_latency;   ///< LAN latency within the site (s)
+  double intra_bandwidth; ///< LAN bandwidth within the site (bytes/s)
+};
+
+/// A grid of several sites; within a site links use the site's LAN
+/// parameters, across sites the (slower) WAN parameters.
+Grid multi_site_grid(const std::vector<SiteSpec>& sites, double wan_latency,
+                     double wan_bandwidth);
+
+/// Randomized heterogeneous grid for property tests: speeds uniform in
+/// [speed_lo, speed_hi], latencies log-uniform in [lat_lo, lat_hi],
+/// bandwidth uniform in [bw_lo, bw_hi]. Deterministic in the seed.
+struct RandomGridParams {
+  std::size_t nodes = 4;
+  double speed_lo = 0.5, speed_hi = 4.0;
+  double lat_lo = 1e-4, lat_hi = 1e-1;
+  double bw_lo = 1e7, bw_hi = 1e9;
+};
+Grid random_grid(std::uint64_t seed, const RandomGridParams& params);
+
+/// Attaches a load model to one node of an existing grid (builder sugar).
+void set_node_load(Grid& grid, NodeId node, LoadModelPtr load);
+
+}  // namespace gridpipe::grid

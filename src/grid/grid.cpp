@@ -1,0 +1,61 @@
+#include "grid/grid.hpp"
+
+#include <stdexcept>
+
+namespace gridpipe::grid {
+
+namespace {
+Link default_remote_link() { return Link(1e-3, 1e8); }
+}  // namespace
+
+NodeId Grid::add_node(std::string name, double base_speed, LoadModelPtr load) {
+  const auto id = static_cast<NodeId>(nodes_.size());
+  nodes_.emplace_back(id, std::move(name), base_speed, std::move(load));
+
+  // Rebuild the dense link matrix preserving existing entries.
+  const std::size_t n = nodes_.size();
+  std::vector<Link> grown;
+  grown.reserve(n * n);
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = 0; b < n; ++b) {
+      if (a + 1 < n && b + 1 < n) {
+        grown.push_back(links_[a * (n - 1) + b]);
+      } else {
+        grown.push_back(a == b ? Link::loopback() : default_remote_link());
+      }
+    }
+  }
+  links_ = std::move(grown);
+  return id;
+}
+
+const Node& Grid::node(NodeId id) const {
+  if (id >= nodes_.size()) throw std::out_of_range("Grid::node: bad id");
+  return nodes_[id];
+}
+
+Node& Grid::node(NodeId id) {
+  if (id >= nodes_.size()) throw std::out_of_range("Grid::node: bad id");
+  return nodes_[id];
+}
+
+void Grid::set_link(NodeId a, NodeId b, Link link) {
+  if (a >= nodes_.size() || b >= nodes_.size()) {
+    throw std::out_of_range("Grid::set_link: bad node id");
+  }
+  links_[index(a, b)] = std::move(link);
+}
+
+void Grid::set_symmetric_link(NodeId a, NodeId b, const Link& link) {
+  set_link(a, b, link);
+  set_link(b, a, link);
+}
+
+const Link& Grid::link(NodeId a, NodeId b) const {
+  if (a >= nodes_.size() || b >= nodes_.size()) {
+    throw std::out_of_range("Grid::link: bad node id");
+  }
+  return links_[index(a, b)];
+}
+
+}  // namespace gridpipe::grid

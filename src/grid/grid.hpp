@@ -1,0 +1,54 @@
+#pragma once
+// The grid topology: a set of heterogeneous nodes plus a dense matrix of
+// directed links. This is the resource model everything else (performance
+// model, simulator, threaded runtime) consumes.
+
+#include <vector>
+
+#include "grid/link.hpp"
+#include "grid/node.hpp"
+
+namespace gridpipe::grid {
+
+class Grid {
+ public:
+  Grid() = default;
+
+  /// Adds a node; returns its id (dense, 0-based). All links to/from the
+  /// new node default to loopback (self) or a 1 ms / 100 MB/s WAN-ish
+  /// placeholder (others) until set_link() overrides them.
+  NodeId add_node(std::string name, double base_speed,
+                  LoadModelPtr load = nullptr);
+
+  std::size_t num_nodes() const noexcept { return nodes_.size(); }
+  const Node& node(NodeId id) const;
+  Node& node(NodeId id);
+  const std::vector<Node>& nodes() const noexcept { return nodes_; }
+
+  /// Sets the directed link a→b. Self-links may also be overridden.
+  void set_link(NodeId a, NodeId b, Link link);
+  /// Sets both a→b and b→a.
+  void set_symmetric_link(NodeId a, NodeId b, const Link& link);
+  const Link& link(NodeId a, NodeId b) const;
+
+  /// Time for `bytes` to travel a→b starting at time t (0 if a == b is
+  /// *not* assumed: loopback cost applies, which is near-zero).
+  double transfer_time(NodeId a, NodeId b, double bytes, double t) const {
+    return link(a, b).transfer_time(bytes, t);
+  }
+
+  /// Effective speed of node n at time t (base / (1 + external load)).
+  double effective_speed(NodeId n, double t) const {
+    return node(n).effective_speed(t);
+  }
+
+ private:
+  std::size_t index(NodeId a, NodeId b) const noexcept {
+    return static_cast<std::size_t>(a) * nodes_.size() + b;
+  }
+
+  std::vector<Node> nodes_;
+  std::vector<Link> links_;  // dense row-major num_nodes × num_nodes
+};
+
+}  // namespace gridpipe::grid

@@ -1,0 +1,15 @@
+#include "grid/link.hpp"
+
+#include <stdexcept>
+
+namespace gridpipe::grid {
+
+Link::Link(double latency, double bandwidth, LoadModelPtr congestion)
+    : latency_(latency), bandwidth_(bandwidth), congestion_(std::move(congestion)) {
+  if (latency < 0.0) throw std::invalid_argument("Link: negative latency");
+  if (bandwidth <= 0.0) throw std::invalid_argument("Link: bandwidth <= 0");
+}
+
+Link Link::loopback() { return Link(1e-4, 1e10); }
+
+}  // namespace gridpipe::grid

@@ -1,0 +1,44 @@
+#pragma once
+// A directed network link between two grid nodes: fixed latency plus
+// bandwidth-limited transfer, optionally scaled by a time-varying
+// congestion model. The loopback link (same node) has near-zero cost,
+// matching the "really high rate on the same computer" convention.
+
+#include "grid/load_model.hpp"
+
+namespace gridpipe::grid {
+
+class Link {
+ public:
+  /// `latency` in seconds, `bandwidth` in bytes/second. An optional
+  /// congestion model c(t) scales both: effective latency L·(1+c),
+  /// effective bandwidth B/(1+c).
+  Link(double latency, double bandwidth, LoadModelPtr congestion = nullptr);
+
+  /// A conventional loopback link: 0.1 ms latency, 10 GB/s.
+  static Link loopback();
+
+  double latency() const noexcept { return latency_; }
+  double bandwidth() const noexcept { return bandwidth_; }
+
+  double congestion_at(double t) const noexcept {
+    return congestion_ ? congestion_->load_at(t) : 0.0;
+  }
+
+  /// Time to move `bytes` across this link starting at time t.
+  double transfer_time(double bytes, double t) const noexcept {
+    const double c = congestion_at(t);
+    return latency_ * (1.0 + c) + bytes * (1.0 + c) / bandwidth_;
+  }
+
+  void set_congestion(LoadModelPtr congestion) noexcept {
+    congestion_ = std::move(congestion);
+  }
+
+ private:
+  double latency_;
+  double bandwidth_;
+  LoadModelPtr congestion_;
+};
+
+}  // namespace gridpipe::grid

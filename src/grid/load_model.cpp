@@ -1,0 +1,127 @@
+#include "grid/load_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace gridpipe::grid {
+
+ConstantLoad::ConstantLoad(double load) : load_(load) {
+  if (load < 0.0) throw std::invalid_argument("ConstantLoad: negative load");
+}
+
+double ConstantLoad::load_at(double) const noexcept { return load_; }
+
+StepLoad::StepLoad(std::vector<Step> steps, double initial)
+    : steps_(std::move(steps)), initial_(initial) {
+  if (initial < 0.0) throw std::invalid_argument("StepLoad: negative initial");
+  std::sort(steps_.begin(), steps_.end(),
+            [](const Step& a, const Step& b) { return a.time < b.time; });
+  for (const Step& s : steps_) {
+    if (s.load < 0.0) throw std::invalid_argument("StepLoad: negative load");
+  }
+}
+
+double StepLoad::load_at(double t) const noexcept {
+  double current = initial_;
+  for (const Step& s : steps_) {
+    if (s.time > t) break;
+    current = s.load;
+  }
+  return current;
+}
+
+SineLoad::SineLoad(double mean, double amplitude, double period, double phase)
+    : mean_(mean), amplitude_(amplitude), period_(period), phase_(phase) {
+  if (period <= 0.0) throw std::invalid_argument("SineLoad: period <= 0");
+}
+
+double SineLoad::load_at(double t) const noexcept {
+  if (t < 0.0) t = 0.0;
+  const double v =
+      mean_ + amplitude_ * std::sin(2.0 * M_PI * t / period_ + phase_);
+  return std::max(0.0, v);
+}
+
+RandomWalkLoad::RandomWalkLoad(std::uint64_t seed, double initial,
+                               double step_stddev, double dt, double horizon,
+                               double lo, double hi)
+    : dt_(dt) {
+  if (dt <= 0.0 || horizon <= 0.0) {
+    throw std::invalid_argument("RandomWalkLoad: dt/horizon must be positive");
+  }
+  if (lo < 0.0 || hi <= lo) {
+    throw std::invalid_argument("RandomWalkLoad: bad bounds");
+  }
+  util::Xoshiro256 rng(seed);
+  const auto segments = static_cast<std::size_t>(std::ceil(horizon / dt)) + 1;
+  values_.reserve(segments);
+  double v = std::clamp(initial, lo, hi);
+  for (std::size_t i = 0; i < segments; ++i) {
+    values_.push_back(v);
+    v += util::normal(rng, 0.0, step_stddev);
+    // Reflect at the bounds to keep the walk inside [lo, hi].
+    while (v < lo || v > hi) {
+      if (v < lo) v = 2.0 * lo - v;
+      if (v > hi) v = 2.0 * hi - v;
+    }
+  }
+}
+
+double RandomWalkLoad::load_at(double t) const noexcept {
+  if (t < 0.0) t = 0.0;
+  const auto idx = static_cast<std::size_t>(t / dt_);
+  return values_[std::min(idx, values_.size() - 1)];
+}
+
+MarkovOnOffLoad::MarkovOnOffLoad(std::uint64_t seed, double on_load,
+                                 double mean_on, double mean_off,
+                                 double horizon, bool start_on) {
+  if (on_load < 0.0 || mean_on <= 0.0 || mean_off <= 0.0 || horizon <= 0.0) {
+    throw std::invalid_argument("MarkovOnOffLoad: bad parameters");
+  }
+  util::Xoshiro256 rng(seed);
+  double t = 0.0;
+  bool on = start_on;
+  while (t < horizon) {
+    intervals_.push_back({t, on ? on_load : 0.0});
+    t += util::exponential(rng, 1.0 / (on ? mean_on : mean_off));
+    on = !on;
+  }
+}
+
+double MarkovOnOffLoad::load_at(double t) const noexcept {
+  if (t < 0.0) t = 0.0;
+  // Find the last interval starting at or before t.
+  auto it = std::upper_bound(
+      intervals_.begin(), intervals_.end(), t,
+      [](double value, const Interval& iv) { return value < iv.start; });
+  if (it == intervals_.begin()) return intervals_.front().load;
+  return std::prev(it)->load;
+}
+
+TraceLoad::TraceLoad(std::vector<double> samples, double dt)
+    : samples_(std::move(samples)), dt_(dt) {
+  if (samples_.empty()) throw std::invalid_argument("TraceLoad: empty trace");
+  if (dt <= 0.0) throw std::invalid_argument("TraceLoad: dt <= 0");
+  for (const double s : samples_) {
+    if (s < 0.0) throw std::invalid_argument("TraceLoad: negative sample");
+  }
+}
+
+double TraceLoad::load_at(double t) const noexcept {
+  if (t < 0.0) t = 0.0;
+  const auto idx = static_cast<std::size_t>(t / dt_);
+  return samples_[std::min(idx, samples_.size() - 1)];
+}
+
+SumLoad::SumLoad(LoadModelPtr a, LoadModelPtr b)
+    : a_(std::move(a)), b_(std::move(b)) {
+  if (!a_ || !b_) throw std::invalid_argument("SumLoad: null component");
+}
+
+double SumLoad::load_at(double t) const noexcept {
+  return a_->load_at(t) + b_->load_at(t);
+}
+
+}  // namespace gridpipe::grid

@@ -1,0 +1,124 @@
+#pragma once
+// Time-varying external load models for grid resources.
+//
+// A LoadModel answers "how much competing work does this resource carry at
+// virtual time t?" as a dimensionless factor ℓ(t) ≥ 0. A node with base
+// speed s and load ℓ delivers effective speed s / (1 + ℓ): ℓ = 1 means the
+// resource is shared equally with one competing process, as on a
+// non-dedicated grid node.
+//
+// All models are immutable after construction (stochastic ones pre-draw
+// their trajectory from a seed), so they can be shared between the
+// simulator, the oracle driver, and the analytic model, and every
+// experiment is reproducible.
+
+#include <memory>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace gridpipe::grid {
+
+/// Interface: external load factor as a function of virtual time.
+class LoadModel {
+ public:
+  virtual ~LoadModel() = default;
+  /// Load factor at time t (t < 0 is clamped to 0). Never negative.
+  virtual double load_at(double t) const noexcept = 0;
+};
+
+using LoadModelPtr = std::shared_ptr<const LoadModel>;
+
+/// Constant load (0 = dedicated resource).
+class ConstantLoad final : public LoadModel {
+ public:
+  explicit ConstantLoad(double load = 0.0);
+  double load_at(double t) const noexcept override;
+
+ private:
+  double load_;
+};
+
+/// Piecewise-constant schedule of (time, load) steps; load holds its last
+/// value after the final step. Used for the "node becomes busy at t=150 s"
+/// experiments.
+class StepLoad final : public LoadModel {
+ public:
+  struct Step {
+    double time;
+    double load;
+  };
+  explicit StepLoad(std::vector<Step> steps, double initial = 0.0);
+  double load_at(double t) const noexcept override;
+
+ private:
+  std::vector<Step> steps_;  // sorted by time
+  double initial_;
+};
+
+/// Sinusoidal load: ℓ(t) = max(0, mean + amplitude·sin(2πt/period + phase)).
+/// Models diurnal-style slow oscillation of background load.
+class SineLoad final : public LoadModel {
+ public:
+  SineLoad(double mean, double amplitude, double period, double phase = 0.0);
+  double load_at(double t) const noexcept override;
+
+ private:
+  double mean_, amplitude_, period_, phase_;
+};
+
+/// Reflected random walk, pre-drawn on a fixed grid of dt-wide segments up
+/// to `horizon`; beyond the horizon the last value holds. Deterministic in
+/// the seed.
+class RandomWalkLoad final : public LoadModel {
+ public:
+  RandomWalkLoad(std::uint64_t seed, double initial, double step_stddev,
+                 double dt, double horizon, double lo = 0.0, double hi = 4.0);
+  double load_at(double t) const noexcept override;
+  double dt() const noexcept { return dt_; }
+
+ private:
+  std::vector<double> values_;
+  double dt_;
+};
+
+/// Two-state Markov on/off load (exponential sojourns), pre-drawn to a
+/// horizon. Models bursty interactive usage of a shared node.
+class MarkovOnOffLoad final : public LoadModel {
+ public:
+  MarkovOnOffLoad(std::uint64_t seed, double on_load, double mean_on,
+                  double mean_off, double horizon, bool start_on = false);
+  double load_at(double t) const noexcept override;
+
+ private:
+  struct Interval {
+    double start;
+    double load;
+  };
+  std::vector<Interval> intervals_;  // sorted by start
+};
+
+/// Plays back an externally supplied trace sampled every dt seconds
+/// (e.g. from a real /proc/loadavg capture); holds the last sample after
+/// the end.
+class TraceLoad final : public LoadModel {
+ public:
+  TraceLoad(std::vector<double> samples, double dt);
+  double load_at(double t) const noexcept override;
+
+ private:
+  std::vector<double> samples_;
+  double dt_;
+};
+
+/// Sum of two load models (e.g. a baseline sine plus bursty on/off).
+class SumLoad final : public LoadModel {
+ public:
+  SumLoad(LoadModelPtr a, LoadModelPtr b);
+  double load_at(double t) const noexcept override;
+
+ private:
+  LoadModelPtr a_, b_;
+};
+
+}  // namespace gridpipe::grid

@@ -1,0 +1,22 @@
+#include "grid/node.hpp"
+
+#include <stdexcept>
+
+namespace gridpipe::grid {
+
+Node::Node(NodeId id, std::string name, double base_speed, LoadModelPtr load)
+    : id_(id),
+      name_(std::move(name)),
+      base_speed_(base_speed),
+      load_(load ? std::move(load) : std::make_shared<ConstantLoad>(0.0)) {
+  if (base_speed <= 0.0) {
+    throw std::invalid_argument("Node: base_speed must be positive");
+  }
+}
+
+void Node::set_load_model(LoadModelPtr load) {
+  if (!load) throw std::invalid_argument("Node::set_load_model: null model");
+  load_ = std::move(load);
+}
+
+}  // namespace gridpipe::grid

@@ -1,0 +1,49 @@
+#pragma once
+// A grid processor: a named resource with a base processing speed and an
+// external (competing) load model. "Processor" follows the paper's usage:
+// the hardware executing one or more pipeline stages, regardless of its
+// internal design.
+
+#include <cstdint>
+#include <string>
+
+#include "grid/load_model.hpp"
+
+namespace gridpipe::grid {
+
+using NodeId = std::uint32_t;
+
+class Node {
+ public:
+  /// `base_speed` is in abstract work-units per second; stage costs are in
+  /// the same work-units, so time = work / effective_speed.
+  Node(NodeId id, std::string name, double base_speed,
+       LoadModelPtr load = nullptr);
+
+  NodeId id() const noexcept { return id_; }
+  const std::string& name() const noexcept { return name_; }
+  double base_speed() const noexcept { return base_speed_; }
+  const LoadModel& load_model() const noexcept { return *load_; }
+
+  /// External load factor at time t.
+  double load_at(double t) const noexcept { return load_->load_at(t); }
+
+  /// Speed available to our application at time t: base / (1 + load).
+  /// Sharing among co-mapped pipeline stages is applied on top of this by
+  /// the simulator / performance model, not here.
+  double effective_speed(double t) const noexcept {
+    return base_speed_ / (1.0 + load_->load_at(t));
+  }
+
+  /// Replaces the load model (used by failure-injection tests to degrade a
+  /// node mid-experiment). The node stays immutable during simulation runs.
+  void set_load_model(LoadModelPtr load);
+
+ private:
+  NodeId id_;
+  std::string name_;
+  double base_speed_;
+  LoadModelPtr load_;
+};
+
+}  // namespace gridpipe::grid

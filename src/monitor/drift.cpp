@@ -1,0 +1,44 @@
+#include "monitor/drift.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace gridpipe::monitor {
+
+PageHinkley::PageHinkley(double delta, double lambda, std::size_t min_samples)
+    : delta_(delta), lambda_(lambda), min_samples_(min_samples) {
+  if (delta < 0.0 || lambda <= 0.0) {
+    throw std::invalid_argument("PageHinkley: bad parameters");
+  }
+}
+
+bool PageHinkley::observe(double value) {
+  ++n_;
+  mean_ += (value - mean_) / static_cast<double>(n_);
+
+  // Upward drift: cumulative (x - mean - delta).
+  cum_up_ += value - mean_ - delta_;
+  min_up_ = std::min(min_up_, cum_up_);
+  // Downward drift: cumulative (mean - x - delta).
+  cum_down_ += mean_ - value - delta_;
+  max_down_ = std::min(max_down_, cum_down_);  // track minimum as baseline
+
+  if (n_ < min_samples_) return false;
+  const bool drift_up = cum_up_ - min_up_ > lambda_;
+  const bool drift_down = cum_down_ - max_down_ > lambda_;
+  if (drift_up || drift_down) {
+    reset();
+    return true;
+  }
+  return false;
+}
+
+void PageHinkley::reset() noexcept {
+  n_ = 0;
+  mean_ = 0.0;
+  cum_up_ = min_up_ = 0.0;
+  cum_down_ = max_down_ = 0.0;
+}
+
+}  // namespace gridpipe::monitor

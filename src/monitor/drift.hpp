@@ -1,0 +1,41 @@
+#pragma once
+// Change detection for event-driven adaptation.
+//
+// PageHinkley — the classical sequential drift test on a single sample
+// stream: alarms when the cumulative deviation from the running mean
+// exceeds a threshold. Use per sensor when raw samples are available.
+// (The coarse whole-estimate gate lives in sched::ResourceChangeGate.)
+
+#include <cstddef>
+
+namespace gridpipe::monitor {
+
+class PageHinkley {
+ public:
+  /// `delta` is the magnitude of change considered negligible (same
+  /// units as the samples); `lambda` the alarm threshold on cumulative
+  /// deviation; `min_samples` the warm-up length.
+  PageHinkley(double delta, double lambda, std::size_t min_samples = 8);
+
+  /// Feeds one sample; returns true when drift is detected (in either
+  /// direction). The detector resets itself after an alarm.
+  bool observe(double value);
+
+  void reset() noexcept;
+  std::size_t samples() const noexcept { return n_; }
+  double mean() const noexcept { return mean_; }
+
+ private:
+  double delta_;
+  double lambda_;
+  std::size_t min_samples_;
+
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double cum_up_ = 0.0;    // deviation accumulator, increases
+  double min_up_ = 0.0;
+  double cum_down_ = 0.0;  // deviation accumulator, decreases
+  double max_down_ = 0.0;
+};
+
+}  // namespace gridpipe::monitor

@@ -1,0 +1,71 @@
+#include "monitor/ensemble.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace gridpipe::monitor {
+
+EnsembleForecaster::EnsembleForecaster(std::vector<ForecasterPtr> members,
+                                       std::size_t error_window)
+    : members_(std::move(members)) {
+  if (members_.empty()) {
+    throw std::invalid_argument("EnsembleForecaster: no members");
+  }
+  member_names_.reserve(members_.size());
+  errors_.reserve(members_.size());
+  for (const auto& m : members_) {
+    member_names_.push_back(m->name());
+    errors_.emplace_back(error_window);
+  }
+}
+
+EnsembleForecaster EnsembleForecaster::with_defaults(std::size_t error_window) {
+  return EnsembleForecaster(default_forecasters(), error_window);
+}
+
+void EnsembleForecaster::observe(double value) {
+  // Score first (each member's current forecast is its prediction of this
+  // very sample), then update.
+  if (observations_ > 0) {
+    for (std::size_t i = 0; i < members_.size(); ++i) {
+      errors_[i].add(std::abs(members_[i]->forecast() - value));
+    }
+  }
+  for (auto& m : members_) m->observe(value);
+  ++observations_;
+}
+
+std::size_t EnsembleForecaster::best_member() const noexcept {
+  std::size_t best = 0;
+  double best_err = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    // Unscored members rank behind any scored member.
+    const double err = errors_[i].empty()
+                           ? std::numeric_limits<double>::infinity()
+                           : errors_[i].mean();
+    if (err < best_err) {
+      best_err = err;
+      best = i;
+    }
+  }
+  return best;
+}
+
+double EnsembleForecaster::forecast() const {
+  return members_[best_member()]->forecast();
+}
+
+void EnsembleForecaster::reset() {
+  for (auto& m : members_) m->reset();
+  for (auto& e : errors_) e.clear();
+  observations_ = 0;
+}
+
+double EnsembleForecaster::member_error(std::size_t i) const {
+  if (i >= errors_.size()) {
+    throw std::out_of_range("EnsembleForecaster::member_error");
+  }
+  return errors_[i].empty() ? 0.0 : errors_[i].mean();
+}
+
+}  // namespace gridpipe::monitor

@@ -1,0 +1,49 @@
+#pragma once
+// NWS-style ensemble forecaster: runs a family of predictors in parallel,
+// scores each by its trailing mean absolute error, and answers with the
+// prediction of the currently best-scoring member. This is the documented
+// mechanism of the Network Weather Service forecaster, re-implemented.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "monitor/forecaster.hpp"
+#include "util/stats.hpp"
+
+namespace gridpipe::monitor {
+
+class EnsembleForecaster final : public Forecaster {
+ public:
+  /// `members` must be non-empty; `error_window` is the number of recent
+  /// one-step errors each member is scored over.
+  explicit EnsembleForecaster(std::vector<ForecasterPtr> members,
+                              std::size_t error_window = 32);
+
+  /// Ensemble with the default NWS-like predictor mix.
+  static EnsembleForecaster with_defaults(std::size_t error_window = 32);
+
+  /// Scores every member against `value` (its pre-update forecast), then
+  /// feeds `value` to every member.
+  void observe(double value) override;
+  double forecast() const override;
+  void reset() override;
+  std::string name() const override { return "ensemble"; }
+
+  std::size_t num_members() const noexcept { return members_.size(); }
+  /// Index of the member whose trailing MAE is currently lowest.
+  std::size_t best_member() const noexcept;
+  const std::string& member_name(std::size_t i) const {
+    return member_names_.at(i);
+  }
+  /// Trailing MAE of member i (0 until it has been scored once).
+  double member_error(std::size_t i) const;
+
+ private:
+  std::vector<ForecasterPtr> members_;
+  std::vector<std::string> member_names_;
+  std::vector<util::SlidingWindow> errors_;
+  std::size_t observations_ = 0;
+};
+
+}  // namespace gridpipe::monitor

@@ -1,0 +1,104 @@
+#include "monitor/forecaster.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/table.hpp"
+
+namespace gridpipe::monitor {
+
+void LastValueForecaster::observe(double value) {
+  last_ = value;
+  seen_ = true;
+}
+double LastValueForecaster::forecast() const { return seen_ ? last_ : kFallback; }
+void LastValueForecaster::reset() {
+  seen_ = false;
+  last_ = kFallback;
+}
+
+WindowMeanForecaster::WindowMeanForecaster(std::size_t window)
+    : window_(window) {}
+void WindowMeanForecaster::observe(double value) { window_.add(value); }
+double WindowMeanForecaster::forecast() const {
+  return window_.empty() ? kFallback : window_.mean();
+}
+void WindowMeanForecaster::reset() { window_.clear(); }
+std::string WindowMeanForecaster::name() const {
+  return "mean" + std::to_string(window_.capacity());
+}
+
+WindowMedianForecaster::WindowMedianForecaster(std::size_t window)
+    : window_(window) {}
+void WindowMedianForecaster::observe(double value) { window_.add(value); }
+double WindowMedianForecaster::forecast() const {
+  return window_.empty() ? kFallback : window_.median();
+}
+void WindowMedianForecaster::reset() { window_.clear(); }
+std::string WindowMedianForecaster::name() const {
+  return "median" + std::to_string(window_.capacity());
+}
+
+EwmaForecaster::EwmaForecaster(double alpha) : alpha_(alpha) {
+  if (alpha <= 0.0 || alpha > 1.0) {
+    throw std::invalid_argument("EwmaForecaster: alpha must be in (0,1]");
+  }
+}
+void EwmaForecaster::observe(double value) {
+  value_ = seen_ ? alpha_ * value + (1.0 - alpha_) * value_ : value;
+  seen_ = true;
+}
+double EwmaForecaster::forecast() const { return seen_ ? value_ : kFallback; }
+void EwmaForecaster::reset() {
+  seen_ = false;
+  value_ = kFallback;
+}
+std::string EwmaForecaster::name() const {
+  return "ewma" + util::format_double(alpha_, 2);
+}
+
+Ar1Forecaster::Ar1Forecaster(std::size_t window) : window_(window) {
+  if (window < 3) throw std::invalid_argument("Ar1Forecaster: window < 3");
+}
+void Ar1Forecaster::observe(double value) { window_.add(value); }
+
+double Ar1Forecaster::forecast() const {
+  const std::size_t n = window_.size();
+  if (n == 0) return kFallback;
+  if (n < 3) return window_.mean();
+  // Least-squares fit of x(k+1) against x(k) over the window.
+  double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0;
+  const auto& s = window_.samples();
+  const auto pairs = static_cast<double>(n - 1);
+  for (std::size_t k = 0; k + 1 < n; ++k) {
+    sx += s[k];
+    sy += s[k + 1];
+    sxx += s[k] * s[k];
+    sxy += s[k] * s[k + 1];
+  }
+  const double denom = pairs * sxx - sx * sx;
+  if (std::abs(denom) < 1e-12) return window_.mean();
+  const double m = (pairs * sxy - sx * sy) / denom;
+  const double c = (sy - m * sx) / pairs;
+  // Clamp unstable fits (|m| >= 1 diverges on extrapolation).
+  if (!std::isfinite(m) || std::abs(m) >= 1.5) return window_.mean();
+  return m * s[n - 1] + c;
+}
+
+void Ar1Forecaster::reset() { window_.clear(); }
+std::string Ar1Forecaster::name() const {
+  return "ar1_" + std::to_string(window_.capacity());
+}
+
+std::vector<ForecasterPtr> default_forecasters() {
+  std::vector<ForecasterPtr> out;
+  out.push_back(std::make_unique<LastValueForecaster>());
+  out.push_back(std::make_unique<WindowMeanForecaster>(8));
+  out.push_back(std::make_unique<WindowMeanForecaster>(32));
+  out.push_back(std::make_unique<WindowMedianForecaster>(15));
+  out.push_back(std::make_unique<EwmaForecaster>(0.3));
+  out.push_back(std::make_unique<Ar1Forecaster>(16));
+  return out;
+}
+
+}  // namespace gridpipe::monitor

@@ -1,0 +1,105 @@
+#pragma once
+// One-step-ahead forecasters for resource performance series, in the style
+// of the Network Weather Service predictor family. Each forecaster sees
+// samples via observe() and answers forecast() for the next value.
+//
+// All forecasters are cheap (O(1) or O(window)) because the adaptation
+// loop queries them every epoch for every sensor.
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace gridpipe::monitor {
+
+class Forecaster {
+ public:
+  virtual ~Forecaster() = default;
+  virtual void observe(double value) = 0;
+  /// Predicted next value. Before any observation, returns `fallback`.
+  virtual double forecast() const = 0;
+  virtual void reset() = 0;
+  virtual std::string name() const = 0;
+
+  /// Value returned before the first observation.
+  static constexpr double kFallback = 0.0;
+};
+
+using ForecasterPtr = std::unique_ptr<Forecaster>;
+
+/// Predicts the most recent observation (NWS "LAST").
+class LastValueForecaster final : public Forecaster {
+ public:
+  void observe(double value) override;
+  double forecast() const override;
+  void reset() override;
+  std::string name() const override { return "last"; }
+
+ private:
+  bool seen_ = false;
+  double last_ = kFallback;
+};
+
+/// Mean over a sliding window (NWS "SW_AVG").
+class WindowMeanForecaster final : public Forecaster {
+ public:
+  explicit WindowMeanForecaster(std::size_t window);
+  void observe(double value) override;
+  double forecast() const override;
+  void reset() override;
+  std::string name() const override;
+
+ private:
+  util::SlidingWindow window_;
+};
+
+/// Median over a sliding window (NWS "SW_MEDIAN") — robust to spikes.
+class WindowMedianForecaster final : public Forecaster {
+ public:
+  explicit WindowMedianForecaster(std::size_t window);
+  void observe(double value) override;
+  double forecast() const override;
+  void reset() override;
+  std::string name() const override;
+
+ private:
+  util::SlidingWindow window_;
+};
+
+/// Exponentially weighted moving average with gain `alpha` in (0, 1].
+class EwmaForecaster final : public Forecaster {
+ public:
+  explicit EwmaForecaster(double alpha);
+  void observe(double value) override;
+  double forecast() const override;
+  void reset() override;
+  std::string name() const override;
+
+ private:
+  double alpha_;
+  bool seen_ = false;
+  double value_ = kFallback;
+};
+
+/// First-order autoregressive fit x̂(k+1) = m·x(k) + c, least-squares over
+/// a sliding window. Falls back to the window mean with < 3 samples or a
+/// degenerate fit. Captures trends (ramps) the averaging predictors lag on.
+class Ar1Forecaster final : public Forecaster {
+ public:
+  explicit Ar1Forecaster(std::size_t window);
+  void observe(double value) override;
+  double forecast() const override;
+  void reset() override;
+  std::string name() const override;
+
+ private:
+  util::SlidingWindow window_;
+};
+
+/// The default predictor set used by the ensemble (mirrors the NWS mix).
+std::vector<ForecasterPtr> default_forecasters();
+
+}  // namespace gridpipe::monitor

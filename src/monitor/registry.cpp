@@ -1,0 +1,42 @@
+#include "monitor/registry.hpp"
+
+namespace gridpipe::monitor {
+
+MonitoringRegistry::MonitoringRegistry(RegistryOptions options)
+    : options_(options) {}
+
+void MonitoringRegistry::record(SensorId id, double time, double value) {
+  auto [it, inserted] = sensors_.try_emplace(key(id), options_);
+  it->second.window.add(time, value);
+  it->second.ensemble.observe(value);
+}
+
+double MonitoringRegistry::forecast(SensorId id, double fallback) const {
+  const auto it = sensors_.find(key(id));
+  if (it == sensors_.end() || it->second.window.empty()) return fallback;
+  return it->second.ensemble.forecast();
+}
+
+std::optional<double> MonitoringRegistry::last(SensorId id) const {
+  const auto it = sensors_.find(key(id));
+  if (it == sensors_.end() || it->second.window.empty()) return std::nullopt;
+  return it->second.window.last_value();
+}
+
+std::size_t MonitoringRegistry::sample_count(SensorId id) const {
+  const auto it = sensors_.find(key(id));
+  return it == sensors_.end() ? 0 : it->second.window.size();
+}
+
+bool MonitoringRegistry::has(SensorId id) const {
+  return sensors_.contains(key(id));
+}
+
+const TimedWindow* MonitoringRegistry::window(SensorId id) const {
+  const auto it = sensors_.find(key(id));
+  return it == sensors_.end() ? nullptr : &it->second.window;
+}
+
+void MonitoringRegistry::clear() { sensors_.clear(); }
+
+}  // namespace gridpipe::monitor

@@ -1,0 +1,97 @@
+#pragma once
+// The monitoring registry: a keyed collection of sensors, each backed by a
+// timestamped window and an NWS-style ensemble forecaster. The simulator
+// and the threaded runtime push observations in; the adaptation policy
+// pulls one-step-ahead forecasts out to build a ResourceEstimate.
+//
+// Sensor vocabulary:
+//   kNodeSpeed(n)       — observed effective speed of node n (work/s)
+//   kLinkInflation(a,b) — observed transfer time divided by the nominal
+//                         (uncongested) transfer time for that message; 1
+//                         means the link performs at catalog speed
+//   kStageWork(i)       — observed per-item work of stage i (work units)
+//   kStageBytes(i)      — observed output bytes of stage i per item
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "monitor/ensemble.hpp"
+#include "monitor/window.hpp"
+
+namespace gridpipe::monitor {
+
+enum class SensorKind : std::uint8_t {
+  kNodeSpeed = 0,
+  kLinkInflation = 1,
+  kStageWork = 2,
+  kStageBytes = 3,
+};
+
+struct SensorId {
+  SensorKind kind;
+  std::uint32_t a = 0;  ///< node id / stage index / link source
+  std::uint32_t b = 0;  ///< link destination (links only)
+
+  friend bool operator==(const SensorId&, const SensorId&) = default;
+};
+
+/// Configuration shared by all sensors in a registry.
+struct RegistryOptions {
+  std::size_t window_capacity = 64;  ///< samples kept per sensor
+  double max_sample_age = 0.0;       ///< seconds; 0 disables age eviction
+  std::size_t error_window = 32;     ///< ensemble scoring window
+};
+
+class MonitoringRegistry {
+ public:
+  explicit MonitoringRegistry(RegistryOptions options = {});
+
+  /// Records one observation; creates the sensor on first use.
+  void record(SensorId id, double time, double value);
+
+  /// One-step-ahead forecast, or `fallback` if the sensor is absent/empty.
+  double forecast(SensorId id, double fallback) const;
+
+  /// Most recent raw observation, if any.
+  std::optional<double> last(SensorId id) const;
+
+  std::size_t sample_count(SensorId id) const;
+  std::size_t num_sensors() const noexcept { return sensors_.size(); }
+  bool has(SensorId id) const;
+
+  /// Raw window access (tests, diagnostics); nullptr if absent.
+  const TimedWindow* window(SensorId id) const;
+
+  void clear();
+
+ private:
+  struct Sensor {
+    explicit Sensor(const RegistryOptions& options)
+        : window(options.window_capacity, options.max_sample_age),
+          ensemble(EnsembleForecaster::with_defaults(options.error_window)) {}
+    TimedWindow window;
+    EnsembleForecaster ensemble;
+  };
+
+  struct KeyHash {
+    std::size_t operator()(std::uint64_t k) const noexcept {
+      // splitmix-style finalizer: unordered_map with sequential keys
+      // otherwise clusters.
+      k = (k ^ (k >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      k = (k ^ (k >> 27)) * 0x94D049BB133111EBULL;
+      return static_cast<std::size_t>(k ^ (k >> 31));
+    }
+  };
+
+  static std::uint64_t key(SensorId id) noexcept {
+    return (static_cast<std::uint64_t>(id.kind) << 56) |
+           (static_cast<std::uint64_t>(id.a) << 28) |
+           static_cast<std::uint64_t>(id.b);
+  }
+
+  RegistryOptions options_;
+  std::unordered_map<std::uint64_t, Sensor, KeyHash> sensors_;
+};
+
+}  // namespace gridpipe::monitor

@@ -1,0 +1,53 @@
+#include "monitor/window.hpp"
+
+#include <stdexcept>
+
+namespace gridpipe::monitor {
+
+TimedWindow::TimedWindow(std::size_t capacity, double max_age)
+    : capacity_(capacity == 0 ? 1 : capacity), max_age_(max_age) {}
+
+void TimedWindow::add(double time, double value) {
+  if (!samples_.empty() && time < samples_.back().time) {
+    throw std::invalid_argument("TimedWindow: non-monotonic timestamp");
+  }
+  if (samples_.size() == capacity_) {
+    sum_ -= samples_.front().value;
+    samples_.pop_front();
+  }
+  samples_.push_back({time, value});
+  sum_ += value;
+  if (max_age_ > 0.0) {
+    while (!samples_.empty() && samples_.front().time < time - max_age_) {
+      sum_ -= samples_.front().value;
+      samples_.pop_front();
+    }
+  }
+}
+
+void TimedWindow::clear() noexcept {
+  samples_.clear();
+  sum_ = 0.0;
+}
+
+double TimedWindow::mean() const noexcept {
+  return samples_.empty() ? 0.0
+                          : sum_ / static_cast<double>(samples_.size());
+}
+
+double TimedWindow::last_value() const noexcept {
+  return samples_.empty() ? 0.0 : samples_.back().value;
+}
+
+double TimedWindow::last_time() const noexcept {
+  return samples_.empty() ? 0.0 : samples_.back().time;
+}
+
+std::vector<double> TimedWindow::values() const {
+  std::vector<double> out;
+  out.reserve(samples_.size());
+  for (const TimedSample& s : samples_) out.push_back(s.value);
+  return out;
+}
+
+}  // namespace gridpipe::monitor

@@ -1,0 +1,46 @@
+#pragma once
+// Timestamped sample windows for resource sensors. Unlike
+// util::SlidingWindow (count-bounded), TimedWindow also evicts by age so a
+// sensor that stops receiving samples does not keep stale history forever.
+
+#include <cstddef>
+#include <deque>
+
+#include "util/stats.hpp"
+
+namespace gridpipe::monitor {
+
+struct TimedSample {
+  double time;
+  double value;
+};
+
+class TimedWindow {
+ public:
+  /// Keeps at most `capacity` samples and drops samples older than
+  /// `max_age` seconds relative to the newest insertion (max_age <= 0
+  /// disables age-based eviction).
+  explicit TimedWindow(std::size_t capacity, double max_age = 0.0);
+
+  void add(double time, double value);
+  void clear() noexcept;
+
+  std::size_t size() const noexcept { return samples_.size(); }
+  bool empty() const noexcept { return samples_.empty(); }
+
+  double mean() const noexcept;
+  double last_value() const noexcept;
+  double last_time() const noexcept;
+  const std::deque<TimedSample>& samples() const noexcept { return samples_; }
+
+  /// Values only, oldest first — the input format forecasters consume.
+  std::vector<double> values() const;
+
+ private:
+  std::size_t capacity_;
+  double max_age_;
+  std::deque<TimedSample> samples_;
+  double sum_ = 0.0;
+};
+
+}  // namespace gridpipe::monitor

@@ -1,0 +1,102 @@
+#include "sched/adaptation_policy.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace gridpipe::sched {
+
+ResourceChangeGate::ResourceChangeGate(double rel_threshold)
+    : rel_threshold_(rel_threshold) {
+  if (rel_threshold <= 0.0) {
+    throw std::invalid_argument("ResourceChangeGate: threshold <= 0");
+  }
+}
+
+bool ResourceChangeGate::differs(double a, double b, double rel) noexcept {
+  const double scale = std::max(std::abs(a), std::abs(b));
+  return scale > 0.0 && std::abs(a - b) > rel * scale;
+}
+
+bool ResourceChangeGate::changed(const ResourceEstimate& est) const {
+  if (node_speed_.size() != est.num_nodes) return true;  // no snapshot
+  for (std::size_t n = 0; n < est.num_nodes; ++n) {
+    if (differs(node_speed_[n], est.node_speed[n], rel_threshold_)) {
+      return true;
+    }
+  }
+  std::size_t k = 0;
+  for (grid::NodeId a = 0; a < est.num_nodes; ++a) {
+    for (grid::NodeId b = 0; b < est.num_nodes; ++b, ++k) {
+      if (a == b) continue;
+      const double t = est.latency(a, b) + 1.0 / est.bandwidth(a, b);
+      if (differs(link_time_[k], t, rel_threshold_)) return true;
+    }
+  }
+  return false;
+}
+
+void ResourceChangeGate::accept(const ResourceEstimate& est) {
+  node_speed_ = est.node_speed;
+  link_time_.assign(est.num_nodes * est.num_nodes, 0.0);
+  std::size_t k = 0;
+  for (grid::NodeId a = 0; a < est.num_nodes; ++a) {
+    for (grid::NodeId b = 0; b < est.num_nodes; ++b, ++k) {
+      if (a == b) continue;
+      link_time_[k] = est.latency(a, b) + 1.0 / est.bandwidth(a, b);
+    }
+  }
+}
+
+AdaptationDecision AdaptationPolicy::decide(const PipelineProfile& profile,
+                                            const ResourceEstimate& est,
+                                            const Mapping& deployed,
+                                            const Mapping& candidate) {
+  AdaptationDecision d;
+  d.current_throughput = model_.throughput(profile, est, deployed);
+  d.candidate_throughput = model_.throughput(profile, est, candidate);
+
+  if (candidate == deployed) {
+    streak_ = 0;
+    d.reason = "candidate equals deployed mapping";
+    return d;
+  }
+
+  // Gate 1: minimum relative gain.
+  const double required =
+      d.current_throughput * (1.0 + options_.min_gain_ratio);
+  if (d.candidate_throughput <= required) {
+    streak_ = 0;
+    d.reason = "gain below min_gain_ratio";
+    return d;
+  }
+
+  // Gate 2: cost–benefit over the amortization horizon.
+  d.migration_pause = migration_cost(profile, est, deployed, candidate,
+                                     options_.restart_latency);
+  const double gained =
+      (d.candidate_throughput - d.current_throughput) *
+      options_.amortization_horizon;
+  const double lost_in_pause = d.candidate_throughput * d.migration_pause;
+  d.predicted_gain_items = gained - lost_in_pause;
+  if (options_.enable_cost_gate && d.predicted_gain_items <= 0.0) {
+    streak_ = 0;
+    d.reason = "migration cost exceeds horizon gain";
+    return d;
+  }
+
+  // Gate 3: hysteresis.
+  ++streak_;
+  if (options_.enable_hysteresis && streak_ < options_.hysteresis_epochs) {
+    d.reason = "hysteresis: streak " + std::to_string(streak_) + "/" +
+               std::to_string(options_.hysteresis_epochs);
+    return d;
+  }
+
+  d.remap = true;
+  d.reason = "remap approved";
+  streak_ = 0;
+  return d;
+}
+
+}  // namespace gridpipe::sched

@@ -1,0 +1,93 @@
+#pragma once
+// The adaptation decision: given the currently deployed mapping and the
+// best candidate the mapper found under fresh forecasts, decide whether a
+// remap pays off. Three safeguards keep the pattern stable on a noisy
+// grid:
+//
+//  1. Minimum-gain gate — the candidate must beat the deployed mapping's
+//     *predicted* throughput by a relative margin.
+//  2. Cost–benefit gate — the extra items gained over the amortization
+//     horizon must exceed the items lost while the pipeline is frozen for
+//     migration.
+//  3. Hysteresis — the candidate must win for `hysteresis_epochs`
+//     consecutive decision points before a remap is issued (one epoch of
+//     a transient spike never triggers migration).
+//
+// Each of these is independently disableable for the EXP-A1 ablations.
+
+#include <string>
+
+#include "sched/perf_model.hpp"
+
+namespace gridpipe::sched {
+
+struct AdaptationOptions {
+  double min_gain_ratio = 0.10;      ///< candidate must beat current by 10 %
+  std::size_t hysteresis_epochs = 2; ///< consecutive wins required
+  double amortization_horizon = 120; ///< seconds of future credited to a remap
+  double restart_latency = 0.5;      ///< fixed per-remap pause (s)
+  bool enable_cost_gate = true;
+  bool enable_hysteresis = true;
+};
+
+struct AdaptationDecision {
+  bool remap = false;
+  double current_throughput = 0.0;    ///< model estimate, deployed mapping
+  double candidate_throughput = 0.0;  ///< model estimate, candidate mapping
+  double migration_pause = 0.0;       ///< modeled freeze (s) if remapping
+  double predicted_gain_items = 0.0;  ///< net items gained over the horizon
+  std::string reason;                 ///< human-readable trace
+};
+
+/// Scale-free change gate over a whole ResourceEstimate: answers "did any
+/// node speed or inter-node link time move by more than X% since the
+/// snapshot taken at the last accepted decision?". The kOnChange
+/// adaptation trigger uses it to skip mapping searches on quiet epochs.
+class ResourceChangeGate {
+ public:
+  /// `rel_threshold` is the relative change that counts as significant
+  /// (0.25 = 25 %).
+  explicit ResourceChangeGate(double rel_threshold = 0.25);
+
+  /// True if no snapshot has been accepted yet, or any resource differs
+  /// from the snapshot by more than the threshold.
+  bool changed(const ResourceEstimate& est) const;
+
+  /// Takes `est` as the new reference snapshot.
+  void accept(const ResourceEstimate& est);
+
+  bool has_snapshot() const noexcept { return !node_speed_.empty(); }
+  double threshold() const noexcept { return rel_threshold_; }
+
+ private:
+  static bool differs(double a, double b, double rel) noexcept;
+
+  double rel_threshold_;
+  std::vector<double> node_speed_;
+  std::vector<double> link_time_;  // latency + 1/bandwidth per pair
+};
+
+class AdaptationPolicy {
+ public:
+  AdaptationPolicy(const PerfModel& model, AdaptationOptions options = {})
+      : model_(model), options_(options) {}
+
+  /// Evaluates candidate vs deployed under the estimate. Stateful: tracks
+  /// the hysteresis streak across calls (call once per epoch).
+  AdaptationDecision decide(const PipelineProfile& profile,
+                            const ResourceEstimate& est,
+                            const Mapping& deployed, const Mapping& candidate);
+
+  /// Resets the hysteresis streak (call after an executed remap).
+  void notify_remapped() noexcept { streak_ = 0; }
+
+  const AdaptationOptions& options() const noexcept { return options_; }
+  std::size_t streak() const noexcept { return streak_; }
+
+ private:
+  const PerfModel& model_;
+  AdaptationOptions options_;
+  std::size_t streak_ = 0;
+};
+
+}  // namespace gridpipe::sched

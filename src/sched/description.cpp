@@ -1,0 +1,217 @@
+#include "sched/description.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace gridpipe::sched {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t line, const std::string& message) {
+  throw std::invalid_argument("description line " + std::to_string(line) +
+                              ": " + message);
+}
+
+std::vector<std::string> split_ws(const std::string& s) {
+  std::vector<std::string> out;
+  std::istringstream is(s);
+  std::string token;
+  while (is >> token) out.push_back(token);
+  return out;
+}
+
+std::vector<std::string> split_on(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::string current;
+  for (const char c : s) {
+    if (c == sep) {
+      out.push_back(current);
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  out.push_back(current);
+  return out;
+}
+
+double num(const std::string& token, std::size_t line) {
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(token, &used);
+    if (used != token.size()) fail(line, "bad number '" + token + "'");
+    return v;
+  } catch (const std::invalid_argument&) {
+    fail(line, "bad number '" + token + "'");
+  } catch (const std::out_of_range&) {
+    fail(line, "number out of range '" + token + "'");
+  }
+}
+
+grid::LoadModelPtr parse_load(const std::string& spec, std::size_t line) {
+  const auto parts = split_on(spec, ',');
+  const std::string& kind = parts.front();
+  auto arg = [&](std::size_t i) -> double {
+    if (i >= parts.size()) fail(line, "load=" + kind + ": missing argument");
+    return num(parts[i], line);
+  };
+  if (kind == "const") {
+    return std::make_shared<grid::ConstantLoad>(arg(1));
+  }
+  if (kind == "step") {
+    return std::make_shared<grid::StepLoad>(
+        std::vector<grid::StepLoad::Step>{{arg(1), arg(2)}});
+  }
+  if (kind == "sine") {
+    return std::make_shared<grid::SineLoad>(arg(1), arg(2), arg(3));
+  }
+  if (kind == "walk") {
+    // seed, initial, stddev, dt, horizon
+    return std::make_shared<grid::RandomWalkLoad>(
+        static_cast<std::uint64_t>(arg(1)), arg(2), arg(3), arg(4), arg(5));
+  }
+  if (kind == "onoff") {
+    // seed, on_load, mean_on, mean_off, horizon
+    return std::make_shared<grid::MarkovOnOffLoad>(
+        static_cast<std::uint64_t>(arg(1)), arg(2), arg(3), arg(4), arg(5));
+  }
+  fail(line, "unknown load model '" + kind + "'");
+}
+
+}  // namespace
+
+GridDescription parse_description(const std::string& text) {
+  GridDescription out;
+
+  struct PendingLink {
+    std::string a, b;
+    double latency, bandwidth;
+    std::size_t line;
+  };
+  std::vector<PendingLink> links;
+  double default_latency = 1e-3;
+  double default_bandwidth = 1e8;
+  bool saw_default = false;
+
+  enum class Section { kNone, kNodes, kLinks, kPipeline };
+  Section section = Section::kNone;
+
+  std::istringstream is(text);
+  std::string raw;
+  std::size_t line_no = 0;
+  while (std::getline(is, raw)) {
+    ++line_no;
+    const auto hash = raw.find('#');
+    if (hash != std::string::npos) raw.erase(hash);
+    const auto tokens = split_ws(raw);
+    if (tokens.empty()) continue;
+
+    if (tokens[0] == "[nodes]") {
+      section = Section::kNodes;
+      continue;
+    }
+    if (tokens[0] == "[links]") {
+      section = Section::kLinks;
+      continue;
+    }
+    if (tokens[0] == "[pipeline]") {
+      section = Section::kPipeline;
+      continue;
+    }
+
+    switch (section) {
+      case Section::kNone:
+        fail(line_no, "content before any [section]");
+      case Section::kNodes: {
+        if (tokens.size() < 2) fail(line_no, "node needs: name speed");
+        grid::LoadModelPtr load;
+        for (std::size_t i = 2; i < tokens.size(); ++i) {
+          if (tokens[i].rfind("load=", 0) == 0) {
+            load = parse_load(tokens[i].substr(5), line_no);
+          } else {
+            fail(line_no, "unknown node attribute '" + tokens[i] + "'");
+          }
+        }
+        out.grid.add_node(tokens[0], num(tokens[1], line_no), std::move(load));
+        out.node_names.push_back(tokens[0]);
+        break;
+      }
+      case Section::kLinks: {
+        if (tokens[0] == "default") {
+          if (tokens.size() != 3) {
+            fail(line_no, "default needs: latency bandwidth");
+          }
+          default_latency = num(tokens[1], line_no);
+          default_bandwidth = num(tokens[2], line_no);
+          saw_default = true;
+        } else {
+          if (tokens.size() != 4) {
+            fail(line_no, "link needs: a b latency bandwidth");
+          }
+          links.push_back({tokens[0], tokens[1], num(tokens[2], line_no),
+                           num(tokens[3], line_no), line_no});
+        }
+        break;
+      }
+      case Section::kPipeline: {
+        if (tokens.size() < 3 || tokens.size() > 4) {
+          fail(line_no, "stage needs: name work out_bytes [state_bytes]");
+        }
+        out.stage_names.push_back(tokens[0]);
+        out.profile.stage_work.push_back(num(tokens[1], line_no));
+        if (out.profile.msg_bytes.empty()) {
+          out.profile.msg_bytes.push_back(num(tokens[2], line_no));  // input
+        }
+        out.profile.msg_bytes.push_back(num(tokens[2], line_no));
+        out.profile.state_bytes.push_back(
+            tokens.size() == 4 ? num(tokens[3], line_no) : 0.0);
+        break;
+      }
+    }
+  }
+
+  if (out.grid.num_nodes() == 0) {
+    throw std::invalid_argument("description: no nodes");
+  }
+  if (out.profile.stage_work.empty()) {
+    throw std::invalid_argument("description: no pipeline stages");
+  }
+
+  auto node_id = [&](const std::string& name, std::size_t line) {
+    for (grid::NodeId n = 0; n < out.node_names.size(); ++n) {
+      if (out.node_names[n] == name) return n;
+    }
+    fail(line, "unknown node '" + name + "'");
+  };
+
+  // Apply default links between distinct nodes, then explicit overrides.
+  if (saw_default || !links.empty()) {
+    for (grid::NodeId a = 0; a < out.grid.num_nodes(); ++a) {
+      for (grid::NodeId b = 0; b < out.grid.num_nodes(); ++b) {
+        if (a != b) {
+          out.grid.set_link(a, b,
+                            grid::Link(default_latency, default_bandwidth));
+        }
+      }
+    }
+  }
+  for (const PendingLink& link : links) {
+    out.grid.set_symmetric_link(node_id(link.a, link.line),
+                                node_id(link.b, link.line),
+                                grid::Link(link.latency, link.bandwidth));
+  }
+
+  out.profile.validate();
+  return out;
+}
+
+GridDescription load_description(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) throw std::runtime_error("cannot read description: " + path);
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return parse_description(buffer.str());
+}
+
+}  // namespace gridpipe::sched

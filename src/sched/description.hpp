@@ -1,0 +1,50 @@
+#pragma once
+// Textual grid + application description files, in the spirit of the
+// AMoGeT tool's input: the user (or a resource-information service)
+// describes the processors, the links, and the pipeline stages; the
+// library generates and compares candidate mappings from it (see
+// examples/mapping_planner).
+//
+// Format (line-based, '#' comments, three sections):
+//
+//   [nodes]
+//   # name speed [load=TYPE,arg1,arg2,...]
+//   n0 2.0
+//   n1 1.0 load=step,150,8.0          # load 8.0 from t=150 s
+//   n2 1.0 load=sine,1.0,0.5,240      # mean, amplitude, period
+//   n3 1.0 load=const,2.0
+//
+//   [links]
+//   # "default latency bandwidth" or "a b latency bandwidth" (symmetric)
+//   default 1e-3 1e8
+//   n0 n1 1e-4 1e9
+//
+//   [pipeline]
+//   # stage_name work out_bytes [state_bytes]
+//   parse   1.0 1e4
+//   compute 4.0 1e4 4e6
+//   render  1.0 1e4
+
+#include <string>
+#include <vector>
+
+#include "sched/perf_model.hpp"
+
+namespace gridpipe::sched {
+
+struct GridDescription {
+  grid::Grid grid;
+  PipelineProfile profile;
+  std::vector<std::string> node_names;
+  std::vector<std::string> stage_names;
+};
+
+/// Parses a description document. Throws std::invalid_argument with a
+/// line-numbered message on malformed input.
+GridDescription parse_description(const std::string& text);
+
+/// Reads and parses a description file (throws std::runtime_error when
+/// the file cannot be read).
+GridDescription load_description(const std::string& path);
+
+}  // namespace gridpipe::sched

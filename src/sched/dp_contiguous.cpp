@@ -1,0 +1,138 @@
+#include "sched/dp_contiguous.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace gridpipe::sched {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+std::optional<MapperResult> DpContiguousMapper::best(
+    const PipelineProfile& profile, const ResourceEstimate& est) const {
+  profile.validate();
+  const std::size_t ns = profile.num_stages();
+  const std::size_t np = est.num_nodes;
+  if (np == 0 || np > options_.max_nodes) return std::nullopt;
+  const std::size_t masks = std::size_t{1} << np;
+
+  // Prefix sums of stage work for O(1) interval busy-time queries.
+  std::vector<double> prefix(ns + 1, 0.0);
+  for (std::size_t i = 0; i < ns; ++i) {
+    prefix[i + 1] = prefix[i] + profile.stage_work[i];
+  }
+
+  // Cap contributed by interval [i, j) on node n: the node busy cap min'd
+  // with the loopback edges internal to the interval.
+  auto interval_cap = [&](std::size_t i, std::size_t j, grid::NodeId n) {
+    const double busy = (prefix[j] - prefix[i]) / est.node_speed[n];
+    double cap = 1.0 / busy;
+    for (std::size_t e = i + 1; e < j; ++e) {
+      const double t = est.transfer_time(n, n, profile.msg_bytes[e]);
+      if (t > 0.0) cap = std::min(cap, 1.0 / t);
+    }
+    return cap;
+  };
+
+  // dp[(j * np + n) * masks + mask]: best bottleneck for stages [0, j)
+  // with the last interval on n, used-set mask.
+  const std::size_t states = (ns + 1) * np * masks;
+  std::vector<double> dp(states, -1.0);
+  struct Parent {
+    std::uint32_t boundary = 0;  // start of the last interval
+    std::int32_t prev_node = -1;
+  };
+  std::vector<Parent> parent(states);
+  auto idx = [&](std::size_t j, std::size_t n, std::size_t mask) {
+    return (j * np + n) * masks + mask;
+  };
+
+  // Seed: first interval [0, j) on node m.
+  for (std::size_t j = 1; j <= ns; ++j) {
+    for (grid::NodeId m = 0; m < np; ++m) {
+      double cap = interval_cap(0, j, m);
+      if (profile.count_io_edges) {
+        const double t =
+            est.transfer_time(profile.source_node, m, profile.msg_bytes[0]);
+        if (t > 0.0) cap = std::min(cap, 1.0 / t);
+      }
+      const std::size_t s = idx(j, m, std::size_t{1} << m);
+      if (cap > dp[s]) {
+        dp[s] = cap;
+        parent[s] = {0, -1};
+      }
+    }
+  }
+
+  // Extend: append interval [j, j2) on a fresh node m.
+  for (std::size_t j = 1; j < ns; ++j) {
+    for (std::size_t n = 0; n < np; ++n) {
+      for (std::size_t mask = 0; mask < masks; ++mask) {
+        const double v = dp[idx(j, n, mask)];
+        if (v < 0.0) continue;
+        for (grid::NodeId m = 0; m < np; ++m) {
+          if (mask & (std::size_t{1} << m)) continue;
+          const double boundary_t = est.transfer_time(
+              static_cast<grid::NodeId>(n), m, profile.msg_bytes[j]);
+          const double boundary_cap = boundary_t > 0.0 ? 1.0 / boundary_t : kInf;
+          for (std::size_t j2 = j + 1; j2 <= ns; ++j2) {
+            const double cap = std::min(
+                {v, boundary_cap, interval_cap(j, j2, m)});
+            const std::size_t s = idx(j2, m, mask | (std::size_t{1} << m));
+            if (cap > dp[s]) {
+              dp[s] = cap;
+              parent[s] = {static_cast<std::uint32_t>(j),
+                           static_cast<std::int32_t>(n)};
+            }
+          }
+        }
+      }
+    }
+  }
+
+  // Pick the best terminal state (optionally charging the sink edge).
+  double best_value = -1.0;
+  std::size_t best_n = 0, best_mask = 0;
+  for (std::size_t n = 0; n < np; ++n) {
+    for (std::size_t mask = 0; mask < masks; ++mask) {
+      double v = dp[idx(ns, n, mask)];
+      if (v < 0.0) continue;
+      if (profile.count_io_edges) {
+        const double t = est.transfer_time(static_cast<grid::NodeId>(n),
+                                           profile.sink_node,
+                                           profile.msg_bytes[ns]);
+        if (t > 0.0) v = std::min(v, 1.0 / t);
+      }
+      if (v > best_value) {
+        best_value = v;
+        best_n = n;
+        best_mask = mask;
+      }
+    }
+  }
+  if (best_value < 0.0) return std::nullopt;
+
+  // Reconstruct the interval chain.
+  std::vector<grid::NodeId> assign(ns, 0);
+  std::size_t j = ns, n = best_n, mask = best_mask;
+  while (j > 0) {
+    const Parent& p = parent[idx(j, n, mask)];
+    for (std::size_t k = p.boundary; k < j; ++k) {
+      assign[k] = static_cast<grid::NodeId>(n);
+    }
+    mask &= ~(std::size_t{1} << n);
+    j = p.boundary;
+    if (p.prev_node < 0) break;
+    n = static_cast<std::size_t>(p.prev_node);
+  }
+
+  MapperResult result;
+  result.mapping = Mapping{assign};
+  result.breakdown = model_.breakdown(profile, est, result.mapping);
+  result.candidates_evaluated = states;
+  return result;
+}
+
+}  // namespace gridpipe::sched

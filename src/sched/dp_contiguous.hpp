@@ -1,0 +1,42 @@
+#pragma once
+// Optimal contiguous mapping by dynamic programming.
+//
+// Restricts the search space to contiguous stage intervals, each interval
+// on a distinct node — the classical "chains on chains" pipeline mapping.
+// Within that space the mapper is exactly optimal for the max-min
+// bottleneck objective, because caps compose by min:
+//
+//   dp[j][n][mask] = best achievable bottleneck for stages [0, j) where
+//                    the last interval runs on node n and `mask` is the
+//                    set of nodes already used.
+//
+// Complexity O(Ns² · Np² · 2^Np); practical for Np ≤ 12 (guarded).
+// For pipelines whose optimum is non-contiguous the exhaustive mapper can
+// beat it — EXP-T1 row (1,2,1) is exactly such a case, and a property
+// test pins this down.
+
+#include <optional>
+
+#include "sched/exhaustive.hpp"
+
+namespace gridpipe::sched {
+
+struct DpOptions {
+  std::size_t max_nodes = 12;  ///< refuse larger instances (2^Np blowup)
+};
+
+class DpContiguousMapper {
+ public:
+  DpContiguousMapper(const PerfModel& model, DpOptions options = {})
+      : model_(model), options_(options) {}
+
+  /// Best contiguous mapping, or std::nullopt when Np > max_nodes.
+  std::optional<MapperResult> best(const PipelineProfile& profile,
+                                   const ResourceEstimate& est) const;
+
+ private:
+  const PerfModel& model_;
+  DpOptions options_;
+};
+
+}  // namespace gridpipe::sched

@@ -1,0 +1,53 @@
+#pragma once
+// Exhaustive mapping search: enumerates every stage→node assignment (no
+// replication) and returns the best under the PerfModel objective. Only
+// feasible for small instances (guarded); it is the optimality reference
+// the other mappers are property-tested against, and the engine behind
+// the calibration table (3 stages × 3 processors = 27 candidates).
+
+#include <cstddef>
+#include <optional>
+
+#include "sched/perf_model.hpp"
+
+namespace gridpipe::sched {
+
+struct ExhaustiveOptions {
+  /// Pin stage 0 to profile.source_node (the calibration table fixes the
+  /// first stage on processor 1).
+  bool pin_first_stage = false;
+  /// Abort if the candidate count would exceed this.
+  std::size_t max_candidates = 2'000'000;
+};
+
+struct MapperResult {
+  Mapping mapping;
+  ThroughputBreakdown breakdown;
+  std::size_t candidates_evaluated = 0;
+};
+
+class ExhaustiveMapper {
+ public:
+  ExhaustiveMapper(const PerfModel& model, ExhaustiveOptions options = {})
+      : model_(model), options_(options) {}
+
+  /// Best mapping, or std::nullopt when the space exceeds max_candidates.
+  std::optional<MapperResult> best(const PipelineProfile& profile,
+                                   const ResourceEstimate& est) const;
+
+ private:
+  const PerfModel& model_;
+  ExhaustiveOptions options_;
+};
+
+/// Greedy replica search for EXP-F6: starting from `base`, repeatedly adds
+/// a replica of the current bottleneck stage on the node that most
+/// improves modeled throughput, until no single added replica helps or
+/// `max_total_replicas` is reached. Returns the improved mapping.
+MapperResult improve_with_replication(const PerfModel& model,
+                                      const PipelineProfile& profile,
+                                      const ResourceEstimate& est,
+                                      const Mapping& base,
+                                      std::size_t max_total_replicas);
+
+}  // namespace gridpipe::sched

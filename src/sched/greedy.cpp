@@ -1,0 +1,55 @@
+#include "sched/greedy.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace gridpipe::sched {
+
+MapperResult GreedyMapper::best(const PipelineProfile& profile,
+                                const ResourceEstimate& est) const {
+  profile.validate();
+  const std::size_t ns = profile.num_stages();
+  const std::size_t np = est.num_nodes;
+  if (np == 0) throw std::invalid_argument("GreedyMapper: no nodes");
+
+  std::vector<double> node_busy(np, 0.0);
+  std::vector<grid::NodeId> assign;
+  assign.reserve(ns);
+  std::size_t evaluated = 0;
+
+  for (std::size_t i = 0; i < ns; ++i) {
+    grid::NodeId best_node = 0;
+    double best_bottleneck = std::numeric_limits<double>::infinity();
+    for (grid::NodeId n = 0; n < np; ++n) {
+      ++evaluated;
+      // Bottleneck time if stage i goes on n: the worst of (a) every
+      // node's accumulated busy time, (b) the new boundary edge time.
+      double bottleneck = node_busy[n] + profile.stage_work[i] / est.node_speed[n];
+      for (grid::NodeId other = 0; other < np; ++other) {
+        if (other != n) bottleneck = std::max(bottleneck, node_busy[other]);
+      }
+      if (i > 0) {
+        bottleneck = std::max(
+            bottleneck, est.transfer_time(assign[i - 1], n, profile.msg_bytes[i]));
+      } else if (profile.count_io_edges) {
+        bottleneck = std::max(bottleneck, est.transfer_time(profile.source_node,
+                                                            n,
+                                                            profile.msg_bytes[0]));
+      }
+      if (bottleneck < best_bottleneck) {
+        best_bottleneck = bottleneck;
+        best_node = n;
+      }
+    }
+    node_busy[best_node] += profile.stage_work[i] / est.node_speed[best_node];
+    assign.push_back(best_node);
+  }
+
+  MapperResult result;
+  result.mapping = Mapping{assign};
+  result.breakdown = model_.breakdown(profile, est, result.mapping);
+  result.candidates_evaluated = evaluated;
+  return result;
+}
+
+}  // namespace gridpipe::sched

@@ -1,0 +1,23 @@
+#pragma once
+// Greedy bottleneck mapper: assigns stages in pipeline order, placing each
+// stage on the node that minimizes the partial pipeline's modeled
+// bottleneck (node busy times plus the newly created boundary edge).
+// O(Ns · Np) model evaluations; the cheap mapper the adaptation loop uses
+// when the exhaustive space is too large and Np exceeds the DP guard.
+
+#include "sched/exhaustive.hpp"
+
+namespace gridpipe::sched {
+
+class GreedyMapper {
+ public:
+  explicit GreedyMapper(const PerfModel& model) : model_(model) {}
+
+  MapperResult best(const PipelineProfile& profile,
+                    const ResourceEstimate& est) const;
+
+ private:
+  const PerfModel& model_;
+};
+
+}  // namespace gridpipe::sched

@@ -1,0 +1,58 @@
+#include "sched/latency_mapper.hpp"
+
+#include <cmath>
+
+namespace gridpipe::sched {
+
+std::optional<LatencyMapperResult> LatencyMapper::best(
+    const PipelineProfile& profile, const ResourceEstimate& est,
+    double arrival_rate) const {
+  profile.validate();
+  if (arrival_rate <= 0.0) {
+    throw std::invalid_argument("LatencyMapper: rate <= 0");
+  }
+  const std::size_t ns = profile.num_stages();
+  const std::size_t np = est.num_nodes;
+  if (np == 0) return std::nullopt;
+  const double space =
+      std::pow(static_cast<double>(np), static_cast<double>(ns));
+  if (space > static_cast<double>(options_.max_candidates)) {
+    return std::nullopt;
+  }
+  const double required_capacity = arrival_rate * (1.0 + options_.headroom);
+
+  std::vector<grid::NodeId> assign(ns, 0);
+  std::optional<LatencyMapperResult> best_result;
+  std::size_t evaluated = 0;
+
+  for (;;) {
+    Mapping candidate{assign};
+    ++evaluated;
+    const double capacity = model_.throughput(profile, est, candidate);
+    if (capacity >= required_capacity) {
+      const double latency =
+          model_.latency_estimate(profile, est, candidate, arrival_rate);
+      if (!best_result || latency < best_result->latency - 1e-12) {
+        best_result = LatencyMapperResult{std::move(candidate), latency,
+                                          capacity, 0};
+      }
+    }
+    // Odometer increment.
+    std::size_t digit = ns;
+    bool carried_out = true;
+    while (digit > 0) {
+      --digit;
+      if (static_cast<std::size_t>(++assign[digit]) < np) {
+        carried_out = false;
+        break;
+      }
+      assign[digit] = 0;
+    }
+    if (carried_out) break;
+  }
+
+  if (best_result) best_result->candidates_evaluated = evaluated;
+  return best_result;
+}
+
+}  // namespace gridpipe::sched

@@ -1,0 +1,51 @@
+#pragma once
+// Latency-objective mapping search.
+//
+// The throughput mappers maximize sustained items/s — right for saturated
+// streams. Interactive pipelines fed well below capacity care about
+// response time instead, and the two objectives genuinely conflict: at
+// low load, folding consecutive stages onto one fast node removes
+// transfer hops (lower latency) even though it lowers the throughput
+// ceiling. This mapper minimizes PerfModel::latency_estimate at a given
+// offered rate, subject to stability (rate < modeled throughput).
+
+#include <optional>
+
+#include "sched/exhaustive.hpp"
+
+namespace gridpipe::sched {
+
+struct LatencyMapperOptions {
+  /// Required headroom: candidate mappings must sustain
+  /// rate * (1 + headroom) to be considered (protects against forecast
+  /// error pushing a tight mapping over the edge).
+  double headroom = 0.10;
+  std::size_t max_candidates = 2'000'000;
+};
+
+struct LatencyMapperResult {
+  Mapping mapping;
+  double latency = 0.0;      ///< modeled mean end-to-end latency (s)
+  double throughput = 0.0;   ///< modeled capacity of the chosen mapping
+  std::size_t candidates_evaluated = 0;
+};
+
+class LatencyMapper {
+ public:
+  LatencyMapper(const PerfModel& model, LatencyMapperOptions options = {})
+      : model_(model), options_(options) {}
+
+  /// Exhaustively searches stage→node assignments (no replication) for
+  /// the lowest-latency feasible mapping at `arrival_rate` items/s.
+  /// std::nullopt when the space exceeds max_candidates or no mapping is
+  /// feasible at the required headroom.
+  std::optional<LatencyMapperResult> best(const PipelineProfile& profile,
+                                          const ResourceEstimate& est,
+                                          double arrival_rate) const;
+
+ private:
+  const PerfModel& model_;
+  LatencyMapperOptions options_;
+};
+
+}  // namespace gridpipe::sched

@@ -1,0 +1,94 @@
+#include "sched/local_search.hpp"
+
+#include "util/rng.hpp"
+
+namespace gridpipe::sched {
+
+MapperResult LocalSearchMapper::improve(const PipelineProfile& profile,
+                                        const ResourceEstimate& est,
+                                        const Mapping& start) const {
+  MapperResult current;
+  current.mapping = start;
+  current.breakdown = model_.breakdown(profile, est, start);
+  std::size_t evaluated = 1;
+
+  const std::size_t ns = profile.num_stages();
+  const std::size_t np = est.num_nodes;
+
+  for (std::size_t iter = 0; iter < options_.max_iterations; ++iter) {
+    MapperResult best_neighbour = current;
+    bool improved = false;
+
+    auto consider = [&](Mapping candidate) {
+      const ThroughputBreakdown bd = model_.breakdown(profile, est, candidate);
+      ++evaluated;
+      if (model_.better(bd, candidate.nodes_used().size(),
+                        best_neighbour.breakdown,
+                        best_neighbour.mapping.nodes_used().size())) {
+        best_neighbour.mapping = std::move(candidate);
+        best_neighbour.breakdown = bd;
+        improved = true;
+      }
+    };
+
+    // Move neighbourhood.
+    for (std::size_t i = 0; i < ns; ++i) {
+      for (grid::NodeId n = 0; n < np; ++n) {
+        if (current.mapping.node_of(i) == n) continue;
+        Mapping candidate = current.mapping;
+        candidate.reassign(i, n);
+        consider(std::move(candidate));
+      }
+    }
+    // Swap neighbourhood.
+    for (std::size_t i = 0; i < ns; ++i) {
+      for (std::size_t j = i + 1; j < ns; ++j) {
+        const grid::NodeId ni = current.mapping.node_of(i);
+        const grid::NodeId nj = current.mapping.node_of(j);
+        if (ni == nj) continue;
+        Mapping candidate = current.mapping;
+        candidate.reassign(i, nj);
+        candidate.reassign(j, ni);
+        consider(std::move(candidate));
+      }
+    }
+
+    if (!improved) break;
+    current.mapping = std::move(best_neighbour.mapping);
+    current.breakdown = best_neighbour.breakdown;
+  }
+  current.candidates_evaluated = evaluated;
+  return current;
+}
+
+MapperResult LocalSearchMapper::best(const PipelineProfile& profile,
+                                     const ResourceEstimate& est) const {
+  // Start 1: greedy seed.
+  const GreedyMapper greedy(model_);
+  MapperResult best_result =
+      improve(profile, est, greedy.best(profile, est).mapping);
+
+  // Random restarts.
+  util::Xoshiro256 rng(options_.seed);
+  const std::size_t ns = profile.num_stages();
+  for (std::size_t r = 0; r < options_.restarts; ++r) {
+    std::vector<grid::NodeId> assign(ns);
+    for (auto& n : assign) {
+      n = static_cast<grid::NodeId>(
+          util::uniform_int(rng, 0, est.num_nodes - 1));
+    }
+    MapperResult candidate = improve(profile, est, Mapping{assign});
+    candidate.candidates_evaluated += best_result.candidates_evaluated;
+    if (model_.better(candidate.breakdown,
+                      candidate.mapping.nodes_used().size(),
+                      best_result.breakdown,
+                      best_result.mapping.nodes_used().size())) {
+      best_result = std::move(candidate);
+    } else {
+      best_result.candidates_evaluated = candidate.candidates_evaluated;
+    }
+  }
+  return best_result;
+}
+
+}  // namespace gridpipe::sched

@@ -1,0 +1,40 @@
+#pragma once
+// Hill-climbing local search over mappings: starts from a seed mapping
+// (greedy by default), then repeatedly applies the best of
+//   * move  — reassign one stage to another node,
+//   * swap  — exchange the nodes of two stages,
+// until no neighbour improves the PerfModel objective, with optional
+// seeded random restarts. Deterministic for a fixed seed. This is the
+// production mapper for instances beyond the exhaustive/DP guards.
+
+#include <cstdint>
+
+#include "sched/greedy.hpp"
+
+namespace gridpipe::sched {
+
+struct LocalSearchOptions {
+  std::size_t max_iterations = 1000;  ///< neighbourhood sweeps per start
+  std::size_t restarts = 2;           ///< additional random starts
+  std::uint64_t seed = 42;            ///< RNG seed for random starts
+};
+
+class LocalSearchMapper {
+ public:
+  LocalSearchMapper(const PerfModel& model, LocalSearchOptions options = {})
+      : model_(model), options_(options) {}
+
+  MapperResult best(const PipelineProfile& profile,
+                    const ResourceEstimate& est) const;
+
+  /// Climbs from a caller-supplied start (exposed for warm-starting from
+  /// the currently deployed mapping).
+  MapperResult improve(const PipelineProfile& profile,
+                       const ResourceEstimate& est, const Mapping& start) const;
+
+ private:
+  const PerfModel& model_;
+  LocalSearchOptions options_;
+};
+
+}  // namespace gridpipe::sched

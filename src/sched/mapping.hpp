@@ -1,0 +1,70 @@
+#pragma once
+// Stage-to-processor mappings. A mapping assigns every pipeline stage an
+// ordered list of nodes: one node in the common case, several when the
+// stage is replicated (farmed) across processors. The textual form follows
+// the paper's tuple notation, e.g. "(1,1,2)" = stages 1-2 on processor 1,
+// stage 3 on processor 2 (1-based in text, 0-based in code).
+
+#include <string>
+#include <vector>
+
+#include "grid/grid.hpp"
+
+namespace gridpipe::sched {
+
+class Mapping {
+ public:
+  Mapping() = default;
+  /// One node per stage.
+  explicit Mapping(std::vector<grid::NodeId> stage_to_node);
+  /// Full form with replication.
+  explicit Mapping(std::vector<std::vector<grid::NodeId>> assignment);
+
+  /// Stages 0..num_stages-1 assigned to nodes round-robin.
+  static Mapping round_robin(std::size_t num_stages, std::size_t num_nodes);
+  /// Contiguous blocks of ~equal size, one block per node (block i on
+  /// node i); uses at most num_stages nodes.
+  static Mapping block(std::size_t num_stages, std::size_t num_nodes);
+  /// Every stage on one node.
+  static Mapping all_on(std::size_t num_stages, grid::NodeId node);
+
+  std::size_t num_stages() const noexcept { return assignment_.size(); }
+  bool empty() const noexcept { return assignment_.empty(); }
+
+  /// Replicas of stage i (ordered; size >= 1 for a valid mapping).
+  const std::vector<grid::NodeId>& replicas(std::size_t stage) const;
+  /// Primary (first) replica of stage i.
+  grid::NodeId node_of(std::size_t stage) const;
+  std::size_t replica_count(std::size_t stage) const;
+  bool has_replication() const noexcept;
+
+  /// Adds a replica of `stage` on `node` (no-op if already present).
+  void add_replica(std::size_t stage, grid::NodeId node);
+  /// Moves stage i (all replicas collapsed) to a single node.
+  void reassign(std::size_t stage, grid::NodeId node);
+
+  /// Distinct nodes used by the mapping, ascending.
+  std::vector<grid::NodeId> nodes_used() const;
+  /// Number of stage-replicas hosted on `node`.
+  std::size_t stages_on(grid::NodeId node) const noexcept;
+
+  /// Stages whose replica sets differ between `from` and `to` — the set
+  /// that must migrate state on a remap.
+  static std::vector<std::size_t> moved_stages(const Mapping& from,
+                                               const Mapping& to);
+
+  /// Validates against a grid (every node id exists, every stage has >= 1
+  /// replica, no duplicate replica nodes). Throws std::invalid_argument.
+  void validate(std::size_t num_nodes) const;
+
+  /// Paper-style tuple "(1,2,2)" (1-based primary nodes); replicated
+  /// stages render as "[1|3]".
+  std::string to_string() const;
+
+  friend bool operator==(const Mapping&, const Mapping&) = default;
+
+ private:
+  std::vector<std::vector<grid::NodeId>> assignment_;
+};
+
+}  // namespace gridpipe::sched

@@ -1,0 +1,94 @@
+#pragma once
+// End-to-end experiment drivers: wire a Grid, a PipelineProfile and a
+// policy together and run a full stream through PipelineSim.
+//
+//  kStaticNaive   — block mapping, never changes (the "no scheduler"
+//                   baseline).
+//  kStaticOptimal — best mapping for the deployment-time (t = 0) resource
+//                   state, never changes (the paper's non-adaptive
+//                   competitor: a good initial schedule that goes stale).
+//  kAdaptive      — the contribution: epochs of monitor → forecast → map
+//                   → gate → live remap with migration cost.
+//  kOracle        — upper bound: ground-truth estimates every epoch,
+//                   free instantaneous remaps, no gates.
+
+#include <limits>
+
+#include "sched/adaptation_policy.hpp"
+#include "sched/dp_contiguous.hpp"
+#include "sched/exhaustive.hpp"
+#include "sched/greedy.hpp"
+#include "sched/local_search.hpp"
+#include "sim/pipeline_sim.hpp"
+
+namespace gridpipe::sim {
+
+enum class DriverKind { kStaticNaive, kStaticOptimal, kAdaptive, kOracle };
+enum class MapperKind { kAuto, kExhaustive, kDpContiguous, kGreedy, kLocalSearch };
+
+/// When does the adaptive driver run a full mapping decision?
+///  kEveryEpoch — at every epoch tick (the baseline pattern).
+///  kOnChange   — only when the ResourceChangeGate reports a significant
+///                move since the last decision, or max_staleness elapsed;
+///                quiet epochs cost one estimate build and no search.
+enum class AdaptationTrigger { kEveryEpoch, kOnChange };
+
+const char* to_string(DriverKind kind);
+
+struct DriverOptions {
+  DriverKind driver = DriverKind::kAdaptive;
+  MapperKind mapper = MapperKind::kAuto;
+  double epoch = 10.0;     ///< seconds between adaptation decisions
+  double horizon = std::numeric_limits<double>::infinity();
+  sched::AdaptationOptions policy{};
+  sched::PerfModelOptions model{};
+  monitor::RegistryOptions registry{};
+  /// Pin stage 0 to profile.source_node during mapping search.
+  bool pin_first_stage = false;
+  /// If > num_stages, the mapper may replicate stages up to this total
+  /// replica budget (0 = replication disabled).
+  std::size_t max_total_replicas = 0;
+
+  AdaptationTrigger trigger = AdaptationTrigger::kEveryEpoch;
+  /// kOnChange: relative resource move that counts as significant.
+  double change_threshold = 0.25;
+  /// kOnChange: force a full decision after this many seconds without one.
+  double max_staleness = 120.0;
+};
+
+/// One adaptation decision point (diagnostics for benches).
+struct EpochRecord {
+  double time = 0.0;
+  double deployed_estimate = 0.0;   ///< modeled thr of deployed mapping
+  double candidate_estimate = 0.0;  ///< modeled thr of best candidate
+  bool decided = false;             ///< a full mapping search ran
+  bool remapped = false;
+};
+
+struct RunResult {
+  SimMetrics metrics;
+  sched::Mapping initial_mapping;
+  sched::Mapping final_mapping;
+  std::vector<EpochRecord> epochs;
+  std::size_t remap_count = 0;
+  double makespan = 0.0;
+  double mean_throughput = 0.0;
+};
+
+/// Single mapping decision with the configured mapper (kAuto picks
+/// exhaustive for small spaces, then DP, then local search) and optional
+/// replication improvement.
+sched::MapperResult choose_mapping(const sched::PerfModel& model,
+                                   const sched::PipelineProfile& profile,
+                                   const sched::ResourceEstimate& est,
+                                   MapperKind mapper, bool pin_first_stage,
+                                   std::size_t max_total_replicas);
+
+/// Runs one full stream and returns the result. Deterministic in
+/// (grid, profile, sim_config.seed, options).
+RunResult run_pipeline(const grid::Grid& grid,
+                       const sched::PipelineProfile& profile,
+                       const SimConfig& sim_config,
+                       const DriverOptions& options);
+
+}  // namespace gridpipe::sim

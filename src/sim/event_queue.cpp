@@ -1,0 +1,29 @@
+#include "sim/event_queue.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace gridpipe::sim {
+
+void EventQueue::push(double time, EventFn fn) {
+  if (!(time >= 0.0)) {  // also rejects NaN
+    throw std::invalid_argument("EventQueue: negative or NaN time");
+  }
+  heap_.push(Event{time, next_seq_++, std::move(fn)});
+}
+
+EventQueue::Event EventQueue::pop() {
+  if (heap_.empty()) throw std::logic_error("EventQueue::pop: empty");
+  // priority_queue::top() is const&; move via const_cast is the standard
+  // idiom to avoid copying the std::function.
+  Event event = std::move(const_cast<Event&>(heap_.top()));
+  heap_.pop();
+  return event;
+}
+
+void EventQueue::clear() {
+  while (!heap_.empty()) heap_.pop();
+  next_seq_ = 0;
+}
+
+}  // namespace gridpipe::sim

@@ -1,0 +1,45 @@
+#pragma once
+// Min-heap event queue for the virtual-time simulator. Events at equal
+// timestamps are delivered in insertion order (the sequence number breaks
+// ties), which keeps runs deterministic.
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace gridpipe::sim {
+
+using EventFn = std::function<void()>;
+
+class EventQueue {
+ public:
+  void push(double time, EventFn fn);
+
+  bool empty() const noexcept { return heap_.empty(); }
+  std::size_t size() const noexcept { return heap_.size(); }
+  /// Timestamp of the earliest event; undefined when empty.
+  double next_time() const { return heap_.top().time; }
+
+  /// Removes and returns the earliest event.
+  struct Event {
+    double time;
+    std::uint64_t seq;
+    EventFn fn;
+  };
+  Event pop();
+
+  void clear();
+
+ private:
+  struct Compare {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+  std::priority_queue<Event, std::vector<Event>, Compare> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace gridpipe::sim

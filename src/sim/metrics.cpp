@@ -1,0 +1,40 @@
+#include "sim/metrics.hpp"
+
+#include <stdexcept>
+
+namespace gridpipe::sim {
+
+void SimMetrics::on_item_created(std::uint64_t, double) { ++created_; }
+
+void SimMetrics::on_item_completed(std::uint64_t id, double t,
+                                   double created_at) {
+  ++completed_;
+  makespan_ = t;
+  latency_.add(t - created_at);
+  latencies_.push_back(t - created_at);
+  completions_.add(t, static_cast<double>(id));
+}
+
+void SimMetrics::on_remap(RemapEvent event) {
+  remaps_.push_back(std::move(event));
+}
+
+void SimMetrics::on_service(std::size_t stage, double duration) {
+  if (stage >= per_stage_service_.size()) {
+    per_stage_service_.resize(stage + 1);
+  }
+  per_stage_service_[stage].add(duration);
+}
+
+double SimMetrics::mean_throughput() const noexcept {
+  return makespan_ > 0.0 ? static_cast<double>(completed_) / makespan_ : 0.0;
+}
+
+const util::RunningStats& SimMetrics::service_time(std::size_t stage) const {
+  if (stage >= per_stage_service_.size()) {
+    throw std::out_of_range("SimMetrics::service_time");
+  }
+  return per_stage_service_[stage];
+}
+
+}  // namespace gridpipe::sim

@@ -1,0 +1,66 @@
+#pragma once
+// Metrics collected during a simulated (or emulated) pipeline run.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sched/mapping.hpp"
+#include "util/stats.hpp"
+
+namespace gridpipe::sim {
+
+/// One executed remap.
+struct RemapEvent {
+  double time = 0.0;
+  double pause = 0.0;  ///< migration freeze charged (s)
+  std::string from;    ///< mapping tuples (textual, for reports)
+  std::string to;
+};
+
+class SimMetrics {
+ public:
+  void on_item_created(std::uint64_t id, double t);
+  void on_item_completed(std::uint64_t id, double t, double created_at);
+  void on_remap(RemapEvent event);
+  void on_service(std::size_t stage, double duration);
+
+  std::uint64_t items_created() const noexcept { return created_; }
+  std::uint64_t items_completed() const noexcept { return completed_; }
+  /// Virtual time of the last completion (the stream makespan).
+  double makespan() const noexcept { return makespan_; }
+  /// completed / makespan; 0 before the first completion.
+  double mean_throughput() const noexcept;
+
+  const util::RunningStats& latency() const noexcept { return latency_; }
+  /// Raw per-item end-to-end latencies, completion order.
+  const std::vector<double>& latencies() const noexcept { return latencies_; }
+  /// Latency percentile (p in [0,100]); 0 when no completions.
+  double latency_percentile(double p) const {
+    return util::percentile(latencies_, p);
+  }
+  const util::TimeSeries& completions() const noexcept { return completions_; }
+  const std::vector<RemapEvent>& remaps() const noexcept { return remaps_; }
+  const util::RunningStats& service_time(std::size_t stage) const;
+  /// Number of stages that have recorded at least one service.
+  std::size_t service_stages() const noexcept {
+    return per_stage_service_.size();
+  }
+
+  /// Throughput (items/s) in fixed windows over [0, horizon).
+  std::vector<double> throughput_timeline(double window, double horizon) const {
+    return completions_.rate_per_window(window, horizon);
+  }
+
+ private:
+  std::uint64_t created_ = 0;
+  std::uint64_t completed_ = 0;
+  double makespan_ = 0.0;
+  util::RunningStats latency_;
+  std::vector<double> latencies_;
+  util::TimeSeries completions_;
+  std::vector<RemapEvent> remaps_;
+  std::vector<util::RunningStats> per_stage_service_;
+};
+
+}  // namespace gridpipe::sim

@@ -1,0 +1,264 @@
+#include "sim/pipeline_sim.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace gridpipe::sim {
+
+PipelineSim::PipelineSim(const grid::Grid& grid,
+                         sched::PipelineProfile profile,
+                         sched::Mapping initial_mapping, SimConfig config,
+                         monitor::MonitoringRegistry* registry)
+    : grid_(grid),
+      profile_(std::move(profile)),
+      mapping_(std::move(initial_mapping)),
+      config_(config),
+      registry_(registry),
+      rng_(config.seed) {
+  profile_.validate();
+  mapping_.validate(grid_.num_nodes());
+  if (mapping_.num_stages() != profile_.num_stages()) {
+    throw std::invalid_argument("PipelineSim: mapping/profile mismatch");
+  }
+  if (config_.window == 0) {
+    config_.window = std::max<std::size_t>(4, 2 * profile_.num_stages());
+  }
+  nodes_.resize(grid_.num_nodes());
+  round_robin_.assign(profile_.num_stages(), 0);
+}
+
+void PipelineSim::start() {
+  if (started_) throw std::logic_error("PipelineSim::start: already started");
+  started_ = true;
+  if (config_.arrivals == SimConfig::Arrivals::kSaturated) {
+    const std::uint64_t initial =
+        std::min<std::uint64_t>(config_.window, config_.num_items);
+    for (std::uint64_t i = 0; i < initial; ++i) admit_next_item();
+  } else {
+    if (config_.arrival_rate <= 0.0) {
+      throw std::invalid_argument(
+          "PipelineSim: open arrivals need arrival_rate > 0");
+    }
+    schedule_open_arrival();
+  }
+  if (registry_ && config_.probe_interval > 0.0 && config_.monitor_all) {
+    schedule_probe();
+  }
+}
+
+void PipelineSim::schedule_open_arrival() {
+  if (next_item_ >= config_.num_items) return;
+  const double gap =
+      config_.arrivals == SimConfig::Arrivals::kPoisson
+          ? util::exponential(rng_, config_.arrival_rate)
+          : 1.0 / config_.arrival_rate;
+  sim_.after(gap, [this] {
+    admit_next_item();
+    schedule_open_arrival();
+  });
+}
+
+std::size_t PipelineSim::queue_length(grid::NodeId node) const {
+  if (node >= nodes_.size()) throw std::out_of_range("queue_length");
+  return nodes_[node].queue.size();
+}
+
+grid::NodeId PipelineSim::pick_replica(std::size_t stage) {
+  const auto& reps = mapping_.replicas(stage);
+  const grid::NodeId node = reps[round_robin_[stage] % reps.size()];
+  ++round_robin_[stage];
+  return node;
+}
+
+void PipelineSim::admit_next_item() {
+  if (next_item_ >= config_.num_items) return;
+  const Task task{0, next_item_++, sim_.now()};
+  metrics_.on_item_created(task.item, task.created_at);
+  ++in_flight_;
+  const grid::NodeId dst = pick_replica(0);
+  if (config_.apply_io_edges) {
+    transfer(profile_.source_node, dst, profile_.msg_bytes[0], task);
+  } else {
+    enqueue_task(dst, task);
+  }
+}
+
+void PipelineSim::enqueue_task(grid::NodeId node, Task task) {
+  nodes_[node].queue.push_back(task);
+  try_start(node);
+}
+
+void PipelineSim::try_start(grid::NodeId node) {
+  NodeState& state = nodes_[node];
+  if (state.busy || state.queue.empty()) return;
+  if (sim_.now() < freeze_until_) return;  // remap freeze in effect
+  const Task task = state.queue.front();
+  state.queue.pop_front();
+  state.busy = true;
+  state.in_service = task;
+  const std::uint64_t seq = state.service_seq;
+  const double duration = sample_service(task.stage, node);
+  sim_.after(duration, [this, node, task, duration, seq] {
+    // A remap may have aborted this service; its completion is then void.
+    if (nodes_[node].service_seq != seq) return;
+    on_service_complete(node, task, duration);
+  });
+}
+
+double PipelineSim::sample_service(std::size_t stage, grid::NodeId node) {
+  const double mean =
+      profile_.stage_work[stage] / grid_.effective_speed(node, sim_.now());
+  if (config_.service_model == SimConfig::ServiceModel::kExponential) {
+    return util::exponential(rng_, 1.0 / mean);
+  }
+  return mean;
+}
+
+void PipelineSim::on_service_complete(grid::NodeId node, Task task,
+                                      double duration) {
+  nodes_[node].busy = false;
+  metrics_.on_service(task.stage, duration);
+  if (registry_ && duration > 0.0) {
+    // Passive observation: the speed this node just delivered.
+    registry_->record({monitor::SensorKind::kNodeSpeed, node, 0}, sim_.now(),
+                      profile_.stage_work[task.stage] / duration);
+  }
+  route_onward(node, task);
+  try_start(node);
+}
+
+void PipelineSim::route_onward(grid::NodeId from, Task task) {
+  const std::size_t next_stage = task.stage + 1;
+  if (next_stage == profile_.num_stages()) {
+    if (config_.apply_io_edges && from != profile_.sink_node) {
+      Task sink_task = task;
+      sink_task.stage = next_stage;  // marker: heading to sink
+      transfer(from, profile_.sink_node, profile_.msg_bytes[next_stage],
+               sink_task);
+    } else {
+      complete_item(task);
+    }
+    return;
+  }
+  Task next = task;
+  next.stage = next_stage;
+  transfer(from, pick_replica(next_stage), profile_.msg_bytes[next_stage],
+           next);
+}
+
+void PipelineSim::transfer(grid::NodeId from, grid::NodeId to, double bytes,
+                           Task task) {
+  const double requested = sim_.now();
+  double depart = requested;
+  if (config_.serialize_links && from != to) {
+    const std::uint64_t key = (static_cast<std::uint64_t>(from) << 32) | to;
+    double& busy_until = link_busy_until_[key];
+    depart = std::max(depart, busy_until);
+    busy_until = depart + grid_.transfer_time(from, to, bytes, depart);
+  }
+  const double arrive = depart + grid_.transfer_time(from, to, bytes, depart);
+  sim_.at(arrive, [this, from, to, bytes, task, requested, arrive] {
+    if (registry_ && from != to) {
+      const grid::Link& link = grid_.link(from, to);
+      const double nominal = link.latency() + bytes / link.bandwidth();
+      if (nominal > 0.0) {
+        // Observed end-to-end time over the catalog (uncongested) time.
+        // Includes queueing delay under serialize_links — the monitor
+        // sees exactly what the application sees.
+        registry_->record({monitor::SensorKind::kLinkInflation, from, to},
+                          arrive, (arrive - requested) / nominal);
+      }
+    }
+    if (task.stage == profile_.num_stages()) {
+      complete_item(task);  // sink delivery
+    } else {
+      enqueue_task(to, task);
+    }
+  });
+}
+
+void PipelineSim::complete_item(const Task& task) {
+  metrics_.on_item_completed(task.item, sim_.now(), task.created_at);
+  --in_flight_;
+  if (config_.arrivals == SimConfig::Arrivals::kSaturated &&
+      next_item_ < config_.num_items) {
+    admit_next_item();  // closed loop: a completion frees a credit
+  } else if (finished()) {
+    sim_.stop();
+  }
+}
+
+void PipelineSim::schedule_probe() {
+  sim_.after(config_.probe_interval, [this] {
+    if (finished() || !registry_) return;
+    const double t = sim_.now();
+    for (grid::NodeId n = 0; n < grid_.num_nodes(); ++n) {
+      const double noise =
+          1.0 + config_.probe_noise * util::normal(rng_, 0.0, 1.0);
+      const double obs =
+          std::max(1e-9, grid_.effective_speed(n, t) * std::max(0.1, noise));
+      registry_->record({monitor::SensorKind::kNodeSpeed, n, 0}, t, obs);
+    }
+    for (grid::NodeId a = 0; a < grid_.num_nodes(); ++a) {
+      for (grid::NodeId b = 0; b < grid_.num_nodes(); ++b) {
+        if (a == b) continue;
+        const double noise =
+            1.0 + config_.probe_noise * util::normal(rng_, 0.0, 1.0);
+        const double inflation =
+            std::max(0.01, (1.0 + grid_.link(a, b).congestion_at(t)) *
+                               std::max(0.1, noise));
+        registry_->record({monitor::SensorKind::kLinkInflation, a, b}, t,
+                          inflation);
+      }
+    }
+    schedule_probe();
+  });
+}
+
+void PipelineSim::apply_mapping(const sched::Mapping& new_mapping,
+                                double pause) {
+  new_mapping.validate(grid_.num_nodes());
+  if (new_mapping.num_stages() != profile_.num_stages()) {
+    throw std::invalid_argument("apply_mapping: stage count mismatch");
+  }
+  if (pause < 0.0) throw std::invalid_argument("apply_mapping: pause < 0");
+
+  RemapEvent event;
+  event.time = sim_.now();
+  event.pause = pause;
+  event.from = mapping_.to_string();
+  event.to = new_mapping.to_string();
+  metrics_.on_remap(std::move(event));
+
+  // Collect queued tasks — and, under restart semantics, abort and
+  // collect the in-service ones too — for redirection.
+  std::vector<Task> pending;
+  for (NodeState& state : nodes_) {
+    pending.insert(pending.end(), state.queue.begin(), state.queue.end());
+    state.queue.clear();
+    if (config_.abort_in_service_on_remap && state.busy) {
+      ++state.service_seq;  // voids the scheduled completion event
+      state.busy = false;
+      pending.push_back(state.in_service);
+    }
+  }
+  // Stable order: by item id, so FIFO per stage is preserved.
+  std::sort(pending.begin(), pending.end(),
+            [](const Task& a, const Task& b) { return a.item < b.item; });
+
+  mapping_ = new_mapping;
+  std::fill(round_robin_.begin(), round_robin_.end(), 0);
+  freeze_until_ = sim_.now() + pause;
+
+  for (const Task& task : pending) {
+    const std::size_t stage =
+        std::min(task.stage, profile_.num_stages() - 1);
+    nodes_[pick_replica(stage)].queue.push_back(task);
+  }
+  // Wake every node when the freeze lifts (also handles pause == 0).
+  sim_.at(freeze_until_, [this] {
+    for (grid::NodeId n = 0; n < nodes_.size(); ++n) try_start(n);
+  });
+}
+
+}  // namespace gridpipe::sim

@@ -1,0 +1,35 @@
+#include "sim/simulator.hpp"
+
+#include <stdexcept>
+
+namespace gridpipe::sim {
+
+void Simulator::at(double t, EventFn fn) {
+  if (t < now_) {
+    throw std::invalid_argument("Simulator::at: time in the past");
+  }
+  queue_.push(t, std::move(fn));
+}
+
+void Simulator::run() {
+  stopped_ = false;
+  while (!queue_.empty() && !stopped_) {
+    EventQueue::Event event = queue_.pop();
+    now_ = event.time;
+    ++processed_;
+    event.fn();
+  }
+}
+
+void Simulator::run_until(double t) {
+  stopped_ = false;
+  while (!queue_.empty() && !stopped_ && queue_.next_time() <= t) {
+    EventQueue::Event event = queue_.pop();
+    now_ = event.time;
+    ++processed_;
+    event.fn();
+  }
+  if (!stopped_ && now_ < t) now_ = t;
+}
+
+}  // namespace gridpipe::sim

@@ -1,0 +1,37 @@
+#pragma once
+// The virtual-time discrete-event engine. Single-threaded and
+// deterministic: events fire in (time, insertion) order and may schedule
+// further events.
+
+#include "sim/event_queue.hpp"
+
+namespace gridpipe::sim {
+
+class Simulator {
+ public:
+  double now() const noexcept { return now_; }
+
+  /// Schedules `fn` at absolute virtual time t (must be >= now()).
+  void at(double t, EventFn fn);
+  /// Schedules `fn` after `dt` seconds of virtual time (dt >= 0).
+  void after(double dt, EventFn fn) { at(now_ + dt, std::move(fn)); }
+
+  /// Processes events until the queue is empty or stop() is called.
+  void run();
+  /// Processes events with time <= t, then advances now() to t.
+  void run_until(double t);
+  /// Halts run()/run_until() after the current event returns.
+  void stop() noexcept { stopped_ = true; }
+  bool stopped() const noexcept { return stopped_; }
+
+  std::size_t events_processed() const noexcept { return processed_; }
+  std::size_t pending() const noexcept { return queue_.size(); }
+
+ private:
+  EventQueue queue_;
+  double now_ = 0.0;
+  bool stopped_ = false;
+  std::size_t processed_ = 0;
+};
+
+}  // namespace gridpipe::sim

@@ -1,0 +1,56 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+namespace gridpipe::util {
+
+void Xoshiro256::jump() noexcept {
+  static constexpr std::array<std::uint64_t, 4> kJump = {
+      0x180EC6D33CFD0ABAULL, 0xD5A61266F0C9392CULL, 0xA9582618E03FC9AAULL,
+      0x39ABDC4529B1661CULL};
+  std::array<std::uint64_t, 4> acc{};
+  for (const std::uint64_t word : kJump) {
+    for (int bit = 0; bit < 64; ++bit) {
+      if (word & (1ULL << bit)) {
+        for (std::size_t i = 0; i < acc.size(); ++i) acc[i] ^= state_[i];
+      }
+      (void)(*this)();
+    }
+  }
+  state_ = acc;
+}
+
+std::uint64_t uniform_int(Xoshiro256& rng, std::uint64_t lo,
+                          std::uint64_t hi) noexcept {
+  if (lo >= hi) return lo;
+  const std::uint64_t span = hi - lo + 1;
+  if (span == 0) return rng();  // full 64-bit range
+  // Lemire-style rejection to avoid modulo bias.
+  const std::uint64_t limit = std::numeric_limits<std::uint64_t>::max() -
+                              std::numeric_limits<std::uint64_t>::max() % span;
+  std::uint64_t draw = rng();
+  while (draw >= limit) draw = rng();
+  return lo + draw % span;
+}
+
+double exponential(Xoshiro256& rng, double rate) noexcept {
+  // 1 - u in (0,1] avoids log(0).
+  return -std::log(1.0 - uniform01(rng)) / rate;
+}
+
+double normal(Xoshiro256& rng, double mean, double stddev) noexcept {
+  const double u1 = 1.0 - uniform01(rng);
+  const double u2 = uniform01(rng);
+  const double mag = std::sqrt(-2.0 * std::log(u1));
+  return mean + stddev * mag * std::cos(2.0 * M_PI * u2);
+}
+
+double bounded_pareto(Xoshiro256& rng, double alpha, double lo,
+                      double hi) noexcept {
+  const double u = uniform01(rng);
+  const double la = std::pow(lo, alpha);
+  const double ha = std::pow(hi, alpha);
+  return std::pow(-(u * ha - u * la - ha) / (ha * la), -1.0 / alpha);
+}
+
+}  // namespace gridpipe::util

@@ -1,0 +1,112 @@
+#pragma once
+// Deterministic, seedable random number generation for gridpipe.
+//
+// Experiments must be bit-reproducible across runs and platforms, so we
+// implement our own small generators (splitmix64 for seeding, xoshiro256**
+// for the stream) instead of relying on implementation-defined std::
+// distributions. All distribution helpers below are written against the
+// raw 64-bit stream and are therefore portable.
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace gridpipe::util {
+
+/// splitmix64: used to expand a single 64-bit seed into generator state.
+/// Passes BigCrush when used as a generator on sequential inputs.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** 1.0 — fast, high-quality 64-bit PRNG (Blackman/Vigna).
+/// Satisfies UniformRandomBitGenerator so it can also feed std:: utilities
+/// in non-reproducibility-critical code paths.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds all 256 bits of state from one 64-bit seed via splitmix64.
+  explicit Xoshiro256(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Equivalent to 2^128 calls to operator(); used to derive independent
+  /// sub-streams (one per simulated entity) from a single experiment seed.
+  void jump() noexcept;
+
+  /// Convenience: derive an independent child generator (jump-based).
+  Xoshiro256 split() noexcept {
+    Xoshiro256 child = *this;
+    jump();
+    return child;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::array<std::uint64_t, 4> state_{};
+};
+
+/// Portable uniform double in [0, 1) using the top 53 bits.
+inline double uniform01(Xoshiro256& rng) noexcept {
+  return static_cast<double>(rng() >> 11) * 0x1.0p-53;
+}
+
+/// Uniform double in [lo, hi).
+inline double uniform(Xoshiro256& rng, double lo, double hi) noexcept {
+  return lo + (hi - lo) * uniform01(rng);
+}
+
+/// Uniform integer in [lo, hi] (inclusive), unbiased via rejection.
+std::uint64_t uniform_int(Xoshiro256& rng, std::uint64_t lo,
+                          std::uint64_t hi) noexcept;
+
+/// Exponential variate with the given rate (mean 1/rate).
+double exponential(Xoshiro256& rng, double rate) noexcept;
+
+/// Standard normal via Box–Muller (deterministic, no cached spare).
+double normal(Xoshiro256& rng, double mean = 0.0, double stddev = 1.0) noexcept;
+
+/// Bounded Pareto variate (shape alpha, support [lo, hi]) — used for
+/// heavy-tailed burst sizes in load traces.
+double bounded_pareto(Xoshiro256& rng, double alpha, double lo,
+                      double hi) noexcept;
+
+/// Fisher–Yates shuffle with our deterministic generator.
+template <typename T>
+void shuffle(Xoshiro256& rng, std::vector<T>& items) {
+  if (items.size() < 2) return;
+  for (std::size_t i = items.size() - 1; i > 0; --i) {
+    const std::size_t j =
+        static_cast<std::size_t>(uniform_int(rng, 0, static_cast<std::uint64_t>(i)));
+    using std::swap;
+    swap(items[i], items[j]);
+  }
+}
+
+}  // namespace gridpipe::util

@@ -1,0 +1,158 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace gridpipe::util {
+
+void RunningStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::variance() const noexcept {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+SlidingWindow::SlidingWindow(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+void SlidingWindow::add(double x) {
+  if (samples_.size() == capacity_) {
+    sum_ -= samples_.front();
+    samples_.pop_front();
+  }
+  samples_.push_back(x);
+  sum_ += x;
+}
+
+void SlidingWindow::clear() noexcept {
+  samples_.clear();
+  sum_ = 0.0;
+}
+
+double SlidingWindow::mean() const noexcept {
+  return samples_.empty() ? 0.0 : sum_ / static_cast<double>(samples_.size());
+}
+
+double SlidingWindow::variance() const noexcept {
+  if (samples_.size() < 2) return 0.0;
+  const double m = mean();
+  double acc = 0.0;
+  for (const double s : samples_) acc += (s - m) * (s - m);
+  return acc / static_cast<double>(samples_.size() - 1);
+}
+
+double SlidingWindow::median() const {
+  if (samples_.empty()) return 0.0;
+  std::vector<double> sorted(samples_.begin(), samples_.end());
+  std::sort(sorted.begin(), sorted.end());
+  const std::size_t n = sorted.size();
+  return n % 2 ? sorted[n / 2] : 0.5 * (sorted[n / 2 - 1] + sorted[n / 2]);
+}
+
+double SlidingWindow::back(std::size_t i) const {
+  if (i >= samples_.size()) throw std::out_of_range("SlidingWindow::back");
+  return samples_[samples_.size() - 1 - i];
+}
+
+double percentile(std::vector<double> samples, double p) {
+  if (samples.empty()) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  std::sort(samples.begin(), samples.end());
+  const double rank = p / 100.0 * static_cast<double>(samples.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, samples.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return samples[lo] + frac * (samples[hi] - samples[lo]);
+}
+
+void TimeSeries::add(double t, double v) {
+  if (!times_.empty() && t < times_.back()) {
+    throw std::invalid_argument("TimeSeries: non-monotonic timestamp");
+  }
+  times_.push_back(t);
+  values_.push_back(v);
+}
+
+namespace {
+// Index range [first, last) of timestamps falling in [t0, t1).
+std::pair<std::size_t, std::size_t> range_in(const std::vector<double>& times,
+                                             double t0, double t1) {
+  const auto first = std::lower_bound(times.begin(), times.end(), t0);
+  const auto last = std::lower_bound(first, times.end(), t1);
+  return {static_cast<std::size_t>(first - times.begin()),
+          static_cast<std::size_t>(last - times.begin())};
+}
+}  // namespace
+
+double TimeSeries::sum_in(double t0, double t1) const noexcept {
+  const auto [first, last] = range_in(times_, t0, t1);
+  double acc = 0.0;
+  for (std::size_t i = first; i < last; ++i) acc += values_[i];
+  return acc;
+}
+
+std::size_t TimeSeries::count_in(double t0, double t1) const noexcept {
+  const auto [first, last] = range_in(times_, t0, t1);
+  return last - first;
+}
+
+double TimeSeries::mean_in(double t0, double t1) const noexcept {
+  const std::size_t n = count_in(t0, t1);
+  return n ? sum_in(t0, t1) / static_cast<double>(n) : 0.0;
+}
+
+std::vector<double> TimeSeries::rate_per_window(double window,
+                                                double horizon) const {
+  std::vector<double> rates;
+  if (window <= 0.0 || horizon <= 0.0) return rates;
+  for (double t0 = 0.0; t0 < horizon; t0 += window) {
+    rates.push_back(static_cast<double>(count_in(t0, t0 + window)) / window);
+  }
+  return rates;
+}
+
+double mean_absolute_error(const std::vector<double>& truth,
+                           const std::vector<double>& estimate) {
+  if (truth.size() != estimate.size() || truth.empty()) {
+    throw std::invalid_argument("mean_absolute_error: size mismatch");
+  }
+  double acc = 0.0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    acc += std::abs(truth[i] - estimate[i]);
+  }
+  return acc / static_cast<double>(truth.size());
+}
+
+}  // namespace gridpipe::util

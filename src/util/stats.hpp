@@ -1,0 +1,104 @@
+#pragma once
+// Streaming statistics used by the monitoring subsystem and the benches:
+// Welford accumulators, fixed-capacity sliding windows with O(1) mean,
+// percentile estimation over stored samples, and simple time series.
+
+#include <cstddef>
+#include <deque>
+#include <string>
+#include <vector>
+
+namespace gridpipe::util {
+
+/// Numerically stable streaming mean/variance (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  void merge(const RunningStats& other) noexcept;
+  void reset() noexcept { *this = RunningStats{}; }
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  /// Unbiased sample variance; 0 for fewer than two samples.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return n_ ? min_ : 0.0; }
+  double max() const noexcept { return n_ ? max_ : 0.0; }
+  double sum() const noexcept { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Fixed-capacity FIFO of samples with O(1) running sum — the storage
+/// behind every monitor sensor. Oldest samples are evicted on overflow.
+class SlidingWindow {
+ public:
+  explicit SlidingWindow(std::size_t capacity);
+
+  void add(double x);
+  void clear() noexcept;
+
+  std::size_t size() const noexcept { return samples_.size(); }
+  std::size_t capacity() const noexcept { return capacity_; }
+  bool empty() const noexcept { return samples_.empty(); }
+  bool full() const noexcept { return samples_.size() == capacity_; }
+
+  double mean() const noexcept;
+  double variance() const noexcept;
+  /// Median of the stored samples (O(n log n); windows are small).
+  double median() const;
+  /// Last sample added; 0 if empty.
+  double last() const noexcept { return samples_.empty() ? 0.0 : samples_.back(); }
+  /// Sample `i` steps back from the newest (back(0) == last()).
+  double back(std::size_t i) const;
+
+  const std::deque<double>& samples() const noexcept { return samples_; }
+
+ private:
+  std::size_t capacity_;
+  std::deque<double> samples_;
+  double sum_ = 0.0;
+};
+
+/// Percentile of a sample vector using linear interpolation between order
+/// statistics (the "exclusive" R-7 definition). `p` in [0, 100].
+double percentile(std::vector<double> samples, double p);
+
+/// A (time, value) series sampled by the simulator; supports windowed
+/// aggregation for throughput-over-time plots.
+class TimeSeries {
+ public:
+  void add(double t, double v);
+  std::size_t size() const noexcept { return times_.size(); }
+  const std::vector<double>& times() const noexcept { return times_; }
+  const std::vector<double>& values() const noexcept { return values_; }
+
+  /// Sum of values in [t0, t1).
+  double sum_in(double t0, double t1) const noexcept;
+  /// Count of points in [t0, t1).
+  std::size_t count_in(double t0, double t1) const noexcept;
+  /// Mean of values in [t0, t1); 0 when empty.
+  double mean_in(double t0, double t1) const noexcept;
+
+  /// Bucket the series into fixed-width windows over [0, horizon) and
+  /// return per-window event counts divided by the window width — i.e. a
+  /// rate (throughput) series.
+  std::vector<double> rate_per_window(double window, double horizon) const;
+
+ private:
+  std::vector<double> times_;   // strictly non-decreasing
+  std::vector<double> values_;
+};
+
+/// Mean absolute error between two equally long series (used to score
+/// forecasters in EXP-F4).
+double mean_absolute_error(const std::vector<double>& truth,
+                           const std::vector<double>& estimate);
+
+}  // namespace gridpipe::util

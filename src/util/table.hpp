@@ -1,0 +1,47 @@
+#pragma once
+// Plain-text / CSV table rendering used by every bench binary to print the
+// paper-style tables and series. Kept dependency-free so bench output is
+// easy to diff against EXPERIMENTS.md.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace gridpipe::util {
+
+/// A simple column-aligned table. Cells are strings; numeric helpers
+/// format with fixed precision so bench output is stable.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Starts a new row; subsequent add() calls fill it left to right.
+  Table& row();
+  Table& add(const std::string& cell);
+  Table& add(double value, int precision = 4);
+  Table& add(long long value);
+  Table& add(std::size_t value);
+  Table& add(int value);
+
+  std::size_t num_rows() const noexcept { return rows_.size(); }
+  const std::vector<std::vector<std::string>>& rows() const noexcept {
+    return rows_;
+  }
+
+  /// Renders an aligned ASCII table.
+  std::string to_string() const;
+  /// Renders RFC-4180-ish CSV (no quoting of embedded commas needed for
+  /// our numeric output; commas in cells are replaced by ';').
+  std::string to_csv() const;
+
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (shared by Table and benches).
+std::string format_double(double value, int precision);
+
+}  // namespace gridpipe::util

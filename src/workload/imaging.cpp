@@ -1,0 +1,110 @@
+#include "workload/imaging.hpp"
+
+#include <array>
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace gridpipe::workload {
+
+Image make_test_image(std::size_t width, std::size_t height,
+                      std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  Image img;
+  img.width = width;
+  img.height = height;
+  img.pixels.resize(width * height);
+  for (float& p : img.pixels) {
+    p = static_cast<float>(util::uniform01(rng));
+  }
+  return img;
+}
+
+Image convolve3x3(const Image& in, const std::array<float, 9>& kernel) {
+  Image out;
+  out.width = in.width;
+  out.height = in.height;
+  out.pixels.resize(in.pixels.size());
+  const auto w = static_cast<std::ptrdiff_t>(in.width);
+  const auto h = static_cast<std::ptrdiff_t>(in.height);
+  auto clamp_at = [&](std::ptrdiff_t x, std::ptrdiff_t y) {
+    x = std::max<std::ptrdiff_t>(0, std::min(x, w - 1));
+    y = std::max<std::ptrdiff_t>(0, std::min(y, h - 1));
+    return in.pixels[static_cast<std::size_t>(y * w + x)];
+  };
+  for (std::ptrdiff_t y = 0; y < h; ++y) {
+    for (std::ptrdiff_t x = 0; x < w; ++x) {
+      float acc = 0.0F;
+      for (std::ptrdiff_t ky = -1; ky <= 1; ++ky) {
+        for (std::ptrdiff_t kx = -1; kx <= 1; ++kx) {
+          acc += kernel[static_cast<std::size_t>((ky + 1) * 3 + (kx + 1))] *
+                 clamp_at(x + kx, y + ky);
+        }
+      }
+      out.pixels[static_cast<std::size_t>(y * w + x)] = acc;
+    }
+  }
+  return out;
+}
+
+Image box_blur(const Image& in) {
+  constexpr float k = 1.0F / 9.0F;
+  return convolve3x3(in, {k, k, k, k, k, k, k, k, k});
+}
+
+Image sobel(const Image& in) {
+  const Image gx = convolve3x3(in, {-1, 0, 1, -2, 0, 2, -1, 0, 1});
+  const Image gy = convolve3x3(in, {-1, -2, -1, 0, 0, 0, 1, 2, 1});
+  Image out;
+  out.width = in.width;
+  out.height = in.height;
+  out.pixels.resize(in.pixels.size());
+  for (std::size_t i = 0; i < out.pixels.size(); ++i) {
+    out.pixels[i] = std::sqrt(gx.pixels[i] * gx.pixels[i] +
+                              gy.pixels[i] * gy.pixels[i]);
+  }
+  return out;
+}
+
+Image threshold(const Image& in, float level) {
+  Image out = in;
+  for (float& p : out.pixels) p = p >= level ? 1.0F : 0.0F;
+  return out;
+}
+
+double mean_pixel(const Image& in) {
+  if (in.pixels.empty()) return 0.0;
+  double acc = 0.0;
+  for (const float p : in.pixels) acc += p;
+  return acc / static_cast<double>(in.pixels.size());
+}
+
+core::PipelineSpec image_pipeline(std::size_t width, std::size_t height) {
+  const double pixels = static_cast<double>(width * height);
+  const double bytes = pixels * sizeof(float);
+  // Work in units of "megapixel-passes": blur 1 pass, sobel 2 passes +
+  // magnitude, threshold a cheap pass.
+  core::PipelineSpec spec;
+  spec.input_bytes(bytes);
+  spec.stage(
+          "blur",
+          [](std::any item) {
+            return std::any(box_blur(std::any_cast<Image&>(item)));
+          },
+          /*work=*/pixels * 1e-6, bytes)
+      .stage(
+          "sobel",
+          [](std::any item) {
+            return std::any(sobel(std::any_cast<Image&>(item)));
+          },
+          /*work=*/pixels * 2.5e-6, bytes)
+      .stage(
+          "threshold",
+          [](std::any item) {
+            return std::any(threshold(std::any_cast<Image&>(item), 0.5F));
+          },
+          /*work=*/pixels * 0.5e-6, bytes);
+  return spec;
+}
+
+}  // namespace gridpipe::workload

@@ -1,0 +1,48 @@
+#pragma once
+// A small image-processing domain for the examples: grayscale images and
+// the classic filter chain (blur → edge detect → threshold), packaged as
+// pipeline stages. This is the kind of stream workload (per-frame
+// processing) that motivates pipeline skeletons.
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "core/pipeline_spec.hpp"
+
+namespace gridpipe::workload {
+
+struct Image {
+  std::size_t width = 0;
+  std::size_t height = 0;
+  std::vector<float> pixels;  ///< row-major, width*height
+
+  float at(std::size_t x, std::size_t y) const {
+    return pixels[y * width + x];
+  }
+  float& at(std::size_t x, std::size_t y) { return pixels[y * width + x]; }
+  double bytes() const noexcept {
+    return static_cast<double>(pixels.size() * sizeof(float));
+  }
+};
+
+/// Deterministic pseudo-random test image (values in [0, 1]).
+Image make_test_image(std::size_t width, std::size_t height,
+                      std::uint64_t seed);
+
+/// 3×3 convolution with replicate-edge padding.
+Image convolve3x3(const Image& in, const std::array<float, 9>& kernel);
+/// 3×3 box blur.
+Image box_blur(const Image& in);
+/// Sobel gradient magnitude.
+Image sobel(const Image& in);
+/// Binary threshold at `level`.
+Image threshold(const Image& in, float level);
+/// Mean pixel value (used to checksum pipelines in tests).
+double mean_pixel(const Image& in);
+
+/// Builds the blur → sobel → threshold pipeline over Image items with
+/// cost annotations derived from the image geometry.
+core::PipelineSpec image_pipeline(std::size_t width, std::size_t height);
+
+}  // namespace gridpipe::workload

@@ -1,0 +1,118 @@
+#include "workload/scenarios.hpp"
+
+#include <stdexcept>
+
+namespace gridpipe::workload {
+
+sched::PipelineProfile reference_profile() {
+  sched::PipelineProfile profile;
+  profile.stage_work = {1.0, 2.0, 4.0, 2.0, 1.0, 2.0};
+  profile.msg_bytes.assign(7, 1e5);
+  profile.state_bytes.assign(6, 4e6);
+  return profile;
+}
+
+namespace {
+
+grid::Grid base_cluster() {
+  // 4 nodes: one fast (2.0), two standard (1.0), one slower (0.8);
+  // LAN links: 1 ms, 100 MB/s.
+  return grid::heterogeneous_cluster({2.0, 1.0, 1.0, 0.8}, 1e-3, 1e8);
+}
+
+}  // namespace
+
+std::vector<Scenario> scenario_catalog(std::uint64_t seed) {
+  std::vector<Scenario> scenarios;
+
+  {
+    Scenario s;
+    s.name = "stable";
+    s.description = "dedicated heterogeneous cluster, no dynamics";
+    s.grid = base_cluster();
+    s.profile = reference_profile();
+    scenarios.push_back(std::move(s));
+  }
+  {
+    Scenario s;
+    s.name = "load-step";
+    s.description = "fastest node gains 8x competing load at t=150s";
+    s.grid = base_cluster();
+    grid::set_node_load(
+        s.grid, 0, std::make_shared<grid::StepLoad>(
+                       std::vector<grid::StepLoad::Step>{{150.0, 8.0}}));
+    s.profile = reference_profile();
+    scenarios.push_back(std::move(s));
+  }
+  {
+    Scenario s;
+    s.name = "oscillating";
+    s.description = "nodes 1 and 2 carry out-of-phase sine loads (period 240s)";
+    s.grid = base_cluster();
+    grid::set_node_load(s.grid, 1,
+                        std::make_shared<grid::SineLoad>(1.0, 1.0, 240.0, 0.0));
+    grid::set_node_load(
+        s.grid, 2,
+        std::make_shared<grid::SineLoad>(1.0, 1.0, 240.0, 3.14159265));
+    s.profile = reference_profile();
+    scenarios.push_back(std::move(s));
+  }
+  {
+    Scenario s;
+    s.name = "bursty";
+    s.description = "nodes 0 and 2 carry Markov on/off load (4x when on)";
+    s.grid = base_cluster();
+    grid::set_node_load(s.grid, 0,
+                        std::make_shared<grid::MarkovOnOffLoad>(
+                            seed ^ 0x1111, 4.0, 60.0, 90.0, 2e5));
+    grid::set_node_load(s.grid, 2,
+                        std::make_shared<grid::MarkovOnOffLoad>(
+                            seed ^ 0x2222, 4.0, 45.0, 120.0, 2e5));
+    s.profile = reference_profile();
+    scenarios.push_back(std::move(s));
+  }
+  {
+    Scenario s;
+    s.name = "drifting";
+    s.description = "all nodes random-walk between load 0 and 3";
+    s.grid = base_cluster();
+    for (grid::NodeId n = 0; n < s.grid.num_nodes(); ++n) {
+      grid::set_node_load(
+          s.grid, n,
+          std::make_shared<grid::RandomWalkLoad>(seed ^ (0x3333 + n), 0.5,
+                                                 0.25, 10.0, 2e5, 0.0, 3.0));
+    }
+    s.profile = reference_profile();
+    scenarios.push_back(std::move(s));
+  }
+  {
+    Scenario s;
+    s.name = "link-degraded";
+    s.description = "links touching node 0 congest 30x at t=200s";
+    s.grid = base_cluster();
+    const auto congestion = std::make_shared<grid::StepLoad>(
+        std::vector<grid::StepLoad::Step>{{200.0, 29.0}});
+    for (grid::NodeId n = 1; n < s.grid.num_nodes(); ++n) {
+      grid::Link out(1e-3, 1e8, congestion);
+      grid::Link in(1e-3, 1e8, congestion);
+      s.grid.set_link(0, n, std::move(out));
+      s.grid.set_link(n, 0, std::move(in));
+    }
+    s.profile = reference_profile();
+    // Messages big enough that the degraded links become the bottleneck:
+    // 50 MB at 100 MB/s is 0.5 s nominal, 15 s degraded — far above the
+    // ~3 s compute bottleneck, so staying attached to node 0 is ruinous.
+    s.profile.msg_bytes.assign(s.profile.msg_bytes.size(), 5e7);
+    scenarios.push_back(std::move(s));
+  }
+  return scenarios;
+}
+
+Scenario find_scenario(const std::string& name, std::uint64_t seed) {
+  for (Scenario& s : scenario_catalog(seed)) {
+    if (s.name == name) return std::move(s);
+  }
+  throw std::invalid_argument("find_scenario: unknown scenario " + name);
+}
+
+}  // namespace gridpipe::workload

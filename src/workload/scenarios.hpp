@@ -1,0 +1,38 @@
+#pragma once
+// The canned experiment scenarios used by EXP-T2 / EXP-F5 / EXP-A1: each
+// combines a grid (with its dynamic load script) and a pipeline profile.
+// All scenarios are deterministic in the seed.
+
+#include <string>
+#include <vector>
+
+#include "grid/builders.hpp"
+#include "sched/perf_model.hpp"
+
+namespace gridpipe::workload {
+
+struct Scenario {
+  std::string name;
+  std::string description;
+  grid::Grid grid;
+  sched::PipelineProfile profile;
+  double horizon = 600.0;  ///< virtual seconds of dynamics pre-generated
+};
+
+/// The six-scenario catalogue (DESIGN.md EXP-T2):
+///  stable        — 4 equal dedicated nodes (adaptation should not hurt)
+///  load-step     — the fastest node gets 8× competing load at t = 150 s
+///  oscillating   — two nodes carry out-of-phase sine loads
+///  bursty        — two nodes carry Markov on/off interactive load
+///  drifting      — every node's load random-walks
+///  link-degraded — the main LAN links congest 10× at t = 200 s
+std::vector<Scenario> scenario_catalog(std::uint64_t seed);
+
+/// The 6-stage reference profile shared by the scenarios: work
+/// {1,2,4,2,1,2}, 100 kB messages, 4 MB migratable state per stage.
+sched::PipelineProfile reference_profile();
+
+/// Looks a scenario up by name (throws std::invalid_argument).
+Scenario find_scenario(const std::string& name, std::uint64_t seed);
+
+}  // namespace gridpipe::workload

@@ -1,0 +1,35 @@
+#include "workload/spinwork.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <vector>
+
+namespace gridpipe::workload {
+
+double spin_work(std::uint64_t units, std::uint64_t salt) noexcept {
+  double acc = 1.0 + static_cast<double>(salt % 97) * 1e-3;
+  for (std::uint64_t i = 0; i < units; ++i) {
+    acc = acc * 1.0000001 + 1e-9;
+    if (acc > 2.0) acc -= 1.0;
+  }
+  return acc;
+}
+
+double calibrate_spin_units_per_second(int trials) {
+  using Clock = std::chrono::steady_clock;
+  constexpr std::uint64_t kProbeUnits = 2'000'000;
+  std::vector<double> rates;
+  volatile double sink = 0.0;
+  for (int t = 0; t < std::max(1, trials); ++t) {
+    const auto t0 = Clock::now();
+    sink = sink + spin_work(kProbeUnits, static_cast<std::uint64_t>(t));
+    const double secs = std::chrono::duration<double>(Clock::now() - t0).count();
+    if (secs > 0.0) rates.push_back(static_cast<double>(kProbeUnits) / secs);
+  }
+  if (rates.empty()) return 1e8;
+  std::sort(rates.begin(), rates.end());
+  return rates[rates.size() / 2];
+}
+
+}  // namespace gridpipe::workload

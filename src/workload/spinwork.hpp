@@ -1,0 +1,20 @@
+#pragma once
+// Calibrated synthetic CPU work: a deterministic floating-point kernel
+// whose cost scales linearly with the requested unit count, used by the
+// examples to put real load on the threaded runtime (dedicated-cluster
+// mode, emulate_compute = false).
+
+#include <cstdint>
+
+namespace gridpipe::workload {
+
+/// Burns roughly `units` iterations of the kernel and returns a value that
+/// depends on every iteration (prevents the optimizer from deleting the
+/// loop). Deterministic in (units, salt).
+double spin_work(std::uint64_t units, std::uint64_t salt = 0) noexcept;
+
+/// Measures how many spin_work units this machine executes per second
+/// (median of `trials` short timed runs).
+double calibrate_spin_units_per_second(int trials = 5);
+
+}  // namespace gridpipe::workload

@@ -1,0 +1,51 @@
+#include "workload/streams.hpp"
+
+namespace gridpipe::workload {
+
+std::vector<std::any> counter_items(std::size_t n) {
+  std::vector<std::any> items;
+  items.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    items.emplace_back(static_cast<std::uint64_t>(i));
+  }
+  return items;
+}
+
+std::vector<std::any> vector_items(std::size_t n, std::size_t dim,
+                                   std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  std::vector<std::any> items;
+  items.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<double> v(dim);
+    for (double& x : v) x = util::uniform(rng, -1.0, 1.0);
+    items.emplace_back(std::move(v));
+  }
+  return items;
+}
+
+std::vector<std::any> text_items(std::size_t n, std::size_t words_per_item,
+                                 std::uint64_t seed) {
+  static const std::vector<std::string> kVocabulary = {
+      "grid",  "pipeline", "stage",   "node",    "skeleton", "adaptive",
+      "map",   "stream",   "latency", "compute", "transfer", "monitor",
+      "remap", "epoch",    "load",    "link"};
+  util::Xoshiro256 rng(seed);
+  std::vector<std::any> items;
+  items.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::string text;
+    for (std::size_t w = 0; w < words_per_item; ++w) {
+      // Squaring a uniform variate skews towards low indices (Zipf-ish).
+      const double u = util::uniform01(rng);
+      const auto idx = static_cast<std::size_t>(
+          u * u * static_cast<double>(kVocabulary.size()));
+      if (w) text += ' ';
+      text += kVocabulary[std::min(idx, kVocabulary.size() - 1)];
+    }
+    items.emplace_back(std::move(text));
+  }
+  return items;
+}
+
+}  // namespace gridpipe::workload

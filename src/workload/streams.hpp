@@ -1,0 +1,25 @@
+#pragma once
+// Input-stream generators for examples and benches.
+
+#include <any>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace gridpipe::workload {
+
+/// n items carrying their own index.
+std::vector<std::any> counter_items(std::size_t n);
+
+/// n items each carrying a vector<double> of `dim` seeded random values.
+std::vector<std::any> vector_items(std::size_t n, std::size_t dim,
+                                   std::uint64_t seed);
+
+/// n pseudo-sentences of `words_per_item` lowercase words drawn from a
+/// small Zipf-ish vocabulary; deterministic in the seed.
+std::vector<std::any> text_items(std::size_t n, std::size_t words_per_item,
+                                 std::uint64_t seed);
+
+}  // namespace gridpipe::workload

@@ -1,0 +1,79 @@
+#include "workload/textproc.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace gridpipe::workload {
+
+std::vector<std::string> tokenize(const std::string& text) {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (const char c : text) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      current += static_cast<char>(
+          std::tolower(static_cast<unsigned char>(c)));
+    } else if (!current.empty()) {
+      tokens.push_back(std::move(current));
+      current.clear();
+    }
+  }
+  if (!current.empty()) tokens.push_back(std::move(current));
+  return tokens;
+}
+
+std::map<std::string, std::uint32_t> count_ngrams(
+    const std::vector<std::string>& tokens, std::size_t n) {
+  std::map<std::string, std::uint32_t> counts;
+  if (n == 0 || tokens.size() < n) return counts;
+  for (std::size_t i = 0; i + n <= tokens.size(); ++i) {
+    std::string key = tokens[i];
+    for (std::size_t j = 1; j < n; ++j) {
+      key += '_';
+      key += tokens[i + j];
+    }
+    ++counts[key];
+  }
+  return counts;
+}
+
+std::vector<std::pair<std::string, std::uint32_t>> top_k(
+    const std::map<std::string, std::uint32_t>& counts, std::size_t k) {
+  std::vector<std::pair<std::string, std::uint32_t>> entries(counts.begin(),
+                                                             counts.end());
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) {
+              if (a.second != b.second) return a.second > b.second;
+              return a.first < b.first;
+            });
+  if (entries.size() > k) entries.resize(k);
+  return entries;
+}
+
+core::PipelineSpec text_pipeline(std::size_t k, double avg_bytes) {
+  core::PipelineSpec spec;
+  spec.input_bytes(avg_bytes);
+  spec.stage(
+          "tokenize",
+          [](std::any item) {
+            return std::any(tokenize(std::any_cast<std::string&>(item)));
+          },
+          /*work=*/avg_bytes * 1e-6, avg_bytes)
+      .stage(
+          "bigrams",
+          [](std::any item) {
+            return std::any(count_ngrams(
+                std::any_cast<std::vector<std::string>&>(item), 2));
+          },
+          /*work=*/avg_bytes * 3e-6, avg_bytes * 2)
+      .stage(
+          "topk",
+          [k](std::any item) {
+            return std::any(top_k(
+                std::any_cast<std::map<std::string, std::uint32_t>&>(item),
+                k));
+          },
+          /*work=*/avg_bytes * 0.5e-6, 64.0 * static_cast<double>(k));
+  return spec;
+}
+
+}  // namespace gridpipe::workload

@@ -1,0 +1,28 @@
+#pragma once
+// A text-analytics domain for the examples: tokenize → n-gram count →
+// top-k per document, the shape of a streaming indexing pipeline.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/pipeline_spec.hpp"
+
+namespace gridpipe::workload {
+
+/// Splits on whitespace, lowercases, strips non-alphanumerics.
+std::vector<std::string> tokenize(const std::string& text);
+
+/// Counts n-grams (n >= 1) over a token list; keys join tokens with '_'.
+std::map<std::string, std::uint32_t> count_ngrams(
+    const std::vector<std::string>& tokens, std::size_t n);
+
+/// The k most frequent entries (count desc, key asc for determinism).
+std::vector<std::pair<std::string, std::uint32_t>> top_k(
+    const std::map<std::string, std::uint32_t>& counts, std::size_t k);
+
+/// tokenize → bigram count → top-k pipeline over std::string items.
+/// `avg_bytes` is the expected document size for cost annotations.
+core::PipelineSpec text_pipeline(std::size_t k, double avg_bytes);
+
+}  // namespace gridpipe::workload

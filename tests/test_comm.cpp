@@ -1,0 +1,260 @@
+// Tests for the MPI-like in-process communicator: matched receives, the
+// non-overtaking rule, delay emulation, collectives, and shutdown under
+// concurrency.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "comm/communicator.hpp"
+#include "grid/builders.hpp"
+
+namespace gridpipe::comm {
+namespace {
+
+std::vector<std::byte> bytes_of(int v) {
+  std::vector<std::byte> out(sizeof(int));
+  std::memcpy(out.data(), &v, sizeof(int));
+  return out;
+}
+
+int int_of(const Message& m) { return Communicator::decode<int>(m); }
+
+// ------------------------------------------------------------- queue
+
+TEST(MessageQueue, FifoPerSourceAndTag) {
+  MessageQueue q;
+  for (int i = 0; i < 5; ++i) {
+    Message m;
+    m.source = 0;
+    m.tag = 7;
+    m.payload = bytes_of(i);
+    q.push(std::move(m));
+  }
+  for (int i = 0; i < 5; ++i) {
+    const auto m = q.try_pop(0, 7);
+    ASSERT_TRUE(m);
+    EXPECT_EQ(int_of(*m), i);
+  }
+}
+
+TEST(MessageQueue, TagAndSourceFiltering) {
+  MessageQueue q;
+  Message a;
+  a.source = 1;
+  a.tag = 10;
+  a.payload = bytes_of(100);
+  Message b;
+  b.source = 2;
+  b.tag = 20;
+  b.payload = bytes_of(200);
+  q.push(std::move(a));
+  q.push(std::move(b));
+
+  EXPECT_FALSE(q.try_pop(1, 20));  // wrong combination
+  const auto m = q.try_pop(kAnySource, 20);
+  ASSERT_TRUE(m);
+  EXPECT_EQ(m->source, 2);
+  EXPECT_TRUE(q.try_pop(1, kAnyTag));
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(MessageQueue, DelayedMessageNotVisibleEarly) {
+  MessageQueue q;
+  Message m;
+  m.source = 0;
+  m.tag = 0;
+  m.payload = bytes_of(1);
+  m.deliver_at = Clock::now() + std::chrono::milliseconds(50);
+  q.push(std::move(m));
+  EXPECT_FALSE(q.try_pop());  // not delivered yet
+  const auto got = q.pop();   // blocks until delivery
+  ASSERT_TRUE(got);
+  EXPECT_GE(Clock::now(), got->deliver_at);
+}
+
+TEST(MessageQueue, CloseDrainsThenFails) {
+  MessageQueue q;
+  Message m;
+  m.payload = bytes_of(5);
+  q.push(std::move(m));
+  q.close();
+  EXPECT_TRUE(q.pop());          // drain
+  EXPECT_FALSE(q.pop());         // closed and empty
+  Message late;
+  EXPECT_FALSE(q.push(std::move(late)));
+}
+
+TEST(MessageQueue, BlockedReceiverWokenBySend) {
+  MessageQueue q;
+  std::thread receiver([&] {
+    const auto m = q.pop(kAnySource, 3);
+    ASSERT_TRUE(m);
+    EXPECT_EQ(int_of(*m), 42);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  Message m;
+  m.tag = 3;
+  m.payload = bytes_of(42);
+  q.push(std::move(m));
+  receiver.join();
+}
+
+// ------------------------------------------------------- communicator
+
+TEST(Communicator, PingPong) {
+  Communicator comm(2);
+  std::thread peer([&] {
+    const auto m = comm.recv(1);
+    ASSERT_TRUE(m);
+    comm.send_value(1, 0, 1, int_of(*m) + 1);
+  });
+  comm.send_value(0, 1, 0, 41);
+  const auto reply = comm.recv(0, 1, 1);
+  peer.join();
+  ASSERT_TRUE(reply);
+  EXPECT_EQ(int_of(*reply), 42);
+}
+
+TEST(Communicator, NonOvertakingPerPair) {
+  Communicator comm(2);
+  for (int i = 0; i < 100; ++i) comm.send_value(0, 1, 5, i);
+  for (int i = 0; i < 100; ++i) {
+    const auto m = comm.recv(1, 0, 5);
+    ASSERT_TRUE(m);
+    EXPECT_EQ(int_of(*m), i);
+  }
+}
+
+TEST(Communicator, BadRanksThrow) {
+  Communicator comm(2);
+  EXPECT_THROW(comm.send(0, 5, 0, {}), std::out_of_range);
+  EXPECT_THROW(comm.recv(-1), std::out_of_range);
+  EXPECT_THROW(Communicator(0), std::invalid_argument);
+}
+
+TEST(Communicator, GridDelayModelDelaysDelivery) {
+  // 2 nodes with a 100 ms link (at time_scale 1).
+  auto g = grid::uniform_cluster(2, 1.0, 0.1, 1e9);
+  const GridDelayModel delays(g, {0, 1}, 1.0);
+  Communicator comm(2, &delays);
+  const auto t0 = Clock::now();
+  comm.send_value(0, 1, 0, 1);
+  EXPECT_FALSE(comm.try_recv(1));  // still in flight
+  const auto m = comm.recv(1);
+  ASSERT_TRUE(m);
+  const double elapsed =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+  EXPECT_GE(elapsed, 0.095);
+  EXPECT_LT(elapsed, 0.5);
+}
+
+TEST(Communicator, LoopbackIsImmediate) {
+  auto g = grid::uniform_cluster(2, 1.0, 0.2, 1e9);
+  const GridDelayModel delays(g, {0, 0}, 1.0);  // both ranks on node 0
+  Communicator comm(2, &delays);
+  comm.send_value(0, 1, 0, 1);
+  // Loopback latency is 0.1 ms — delivered almost at once.
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_TRUE(comm.try_recv(1));
+}
+
+TEST(Communicator, BarrierSynchronizesRanks) {
+  constexpr int kRanks = 4;
+  Communicator comm(kRanks);
+  std::atomic<int> arrived{0};
+  std::vector<std::thread> threads;
+  for (int r = 0; r < kRanks; ++r) {
+    threads.emplace_back([&, r] {
+      (void)r;
+      arrived.fetch_add(1);
+      comm.barrier();
+      // After the barrier, every rank must have arrived.
+      EXPECT_EQ(arrived.load(), kRanks);
+    });
+  }
+  for (auto& t : threads) t.join();
+}
+
+TEST(Communicator, BroadcastDistributesPayload) {
+  constexpr int kRanks = 3;
+  Communicator comm(kRanks);
+  std::vector<std::thread> threads;
+  std::vector<int> received(kRanks, -1);
+  for (int r = 1; r < kRanks; ++r) {
+    threads.emplace_back([&, r] {
+      const auto payload = comm.broadcast(r, 0);
+      ASSERT_EQ(payload.size(), sizeof(int));
+      std::memcpy(&received[static_cast<std::size_t>(r)], payload.data(),
+                  sizeof(int));
+    });
+  }
+  comm.broadcast(0, 0, bytes_of(99));
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(received[1], 99);
+  EXPECT_EQ(received[2], 99);
+}
+
+TEST(Communicator, GatherCollectsByRank) {
+  constexpr int kRanks = 3;
+  Communicator comm(kRanks);
+  std::vector<std::thread> threads;
+  for (int r = 1; r < kRanks; ++r) {
+    threads.emplace_back([&, r] { comm.gather(r, 0, bytes_of(r * 10)); });
+  }
+  const auto all = comm.gather(0, 0, bytes_of(0));
+  for (auto& t : threads) t.join();
+  ASSERT_EQ(all.size(), 3u);
+  for (int r = 0; r < kRanks; ++r) {
+    int v = -1;
+    std::memcpy(&v, all[static_cast<std::size_t>(r)].data(), sizeof(int));
+    EXPECT_EQ(v, r * 10);
+  }
+}
+
+TEST(Communicator, ShutdownWakesBlockedReceivers) {
+  Communicator comm(2);
+  std::thread receiver([&] {
+    const auto m = comm.recv(1);
+    EXPECT_FALSE(m);  // woken by shutdown, no message
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  comm.shutdown();
+  receiver.join();
+  EXPECT_FALSE(comm.send(0, 1, 0, {}));
+}
+
+TEST(Communicator, DecodeRejectsSizeMismatch) {
+  Message m;
+  m.payload = bytes_of(1);
+  EXPECT_THROW(Communicator::decode<double>(m), std::invalid_argument);
+}
+
+// Stress: many senders, one receiver; every message arrives exactly once.
+TEST(Communicator, ManyToOneStress) {
+  constexpr int kSenders = 4;
+  constexpr int kPerSender = 250;
+  Communicator comm(kSenders + 1);
+  std::vector<std::thread> senders;
+  for (int s = 0; s < kSenders; ++s) {
+    senders.emplace_back([&, s] {
+      for (int i = 0; i < kPerSender; ++i) {
+        comm.send_value(s + 1, 0, 0, (s + 1) * 1000 + i);
+      }
+    });
+  }
+  std::vector<int> seen;
+  for (int i = 0; i < kSenders * kPerSender; ++i) {
+    const auto m = comm.recv(0);
+    ASSERT_TRUE(m);
+    seen.push_back(int_of(*m));
+  }
+  for (auto& t : senders) t.join();
+  std::sort(seen.begin(), seen.end());
+  EXPECT_TRUE(std::adjacent_find(seen.begin(), seen.end()) == seen.end());
+  EXPECT_EQ(seen.size(),
+            static_cast<std::size_t>(kSenders * kPerSender));
+}
+
+}  // namespace
+}  // namespace gridpipe::comm

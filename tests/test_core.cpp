@@ -1,0 +1,230 @@
+// Tests for the public skeleton API (PipelineSpec) and the threaded
+// Executor: output correctness and ordering, heterogeneity emulation,
+// live adaptation on real threads.
+
+#include <gtest/gtest.h>
+
+#include "core/adaptive_pipeline.hpp"
+#include "grid/builders.hpp"
+
+namespace gridpipe::core {
+namespace {
+
+using grid::NodeId;
+
+PipelineSpec arithmetic_spec() {
+  PipelineSpec spec;
+  spec.stage(
+          "double",
+          [](std::any item) {
+            return std::any(std::any_cast<int>(item) * 2);
+          },
+          /*work=*/0.02, /*out_bytes=*/16)
+      .stage(
+          "add_three",
+          [](std::any item) {
+            return std::any(std::any_cast<int>(item) + 3);
+          },
+          0.02, 16)
+      .stage(
+          "square",
+          [](std::any item) {
+            const int v = std::any_cast<int>(item);
+            return std::any(v * v);
+          },
+          0.02, 16);
+  return spec;
+}
+
+std::vector<std::any> int_items(int n) {
+  std::vector<std::any> items;
+  for (int i = 0; i < n; ++i) items.emplace_back(i);
+  return items;
+}
+
+// --------------------------------------------------------------- spec
+
+TEST(PipelineSpec, BuilderAndProfile) {
+  const PipelineSpec spec = arithmetic_spec();
+  EXPECT_EQ(spec.num_stages(), 3u);
+  EXPECT_EQ(spec.at(1).name, "add_three");
+  const auto profile = spec.to_profile();
+  EXPECT_EQ(profile.num_stages(), 3u);
+  EXPECT_DOUBLE_EQ(profile.stage_work[0], 0.02);
+  EXPECT_DOUBLE_EQ(profile.msg_bytes[1], 16.0);
+}
+
+TEST(PipelineSpec, RunInlineComposesStages) {
+  const PipelineSpec spec = arithmetic_spec();
+  // (4*2+3)^2 = 121
+  EXPECT_EQ(std::any_cast<int>(spec.run_inline(std::any(4))), 121);
+}
+
+TEST(PipelineSpec, RejectsBadStages) {
+  PipelineSpec spec;
+  EXPECT_THROW(spec.stage("null", nullptr), std::invalid_argument);
+  EXPECT_THROW(spec.stage("neg", [](std::any a) { return a; }, -1.0),
+               std::invalid_argument);
+  EXPECT_THROW(spec.to_profile(), std::invalid_argument);  // empty
+}
+
+// ------------------------------------------------------------ executor
+
+ExecutorConfig fast_config() {
+  ExecutorConfig config;
+  config.time_scale = 0.002;  // 500x faster than modeled time
+  return config;
+}
+
+TEST(Executor, ComputesCorrectOrderedOutputs) {
+  const auto g = grid::uniform_cluster(3, 1.0, 1e-3, 1e8);
+  Executor executor(g, arithmetic_spec(),
+                    sched::Mapping(std::vector<NodeId>{0, 1, 2}),
+                    fast_config());
+  const auto report = executor.run(int_items(40));
+  ASSERT_EQ(report.outputs.size(), 40u);
+  const PipelineSpec reference = arithmetic_spec();
+  for (int i = 0; i < 40; ++i) {
+    EXPECT_EQ(std::any_cast<int>(report.outputs[static_cast<std::size_t>(i)]),
+              std::any_cast<int>(reference.run_inline(std::any(i))))
+        << "item " << i;
+  }
+  EXPECT_EQ(report.items, 40u);
+  EXPECT_GT(report.throughput, 0.0);
+  EXPECT_EQ(report.remap_count, 0u);
+}
+
+TEST(Executor, EmptyInputReturnsEmptyReport) {
+  const auto g = grid::uniform_cluster(2, 1.0, 1e-3, 1e8);
+  Executor executor(g, arithmetic_spec(),
+                    sched::Mapping(std::vector<NodeId>{0, 1, 0}),
+                    fast_config());
+  const auto report = executor.run({});
+  EXPECT_EQ(report.items, 0u);
+  EXPECT_TRUE(report.outputs.empty());
+}
+
+TEST(Executor, HeterogeneityEmulationSlowsThroughput) {
+  // Same pipeline on a fast vs slow node: emulated service stretches.
+  const auto run_with_speed = [&](double speed) {
+    const auto g = grid::uniform_cluster(1, speed, 1e-3, 1e8);
+    ExecutorConfig config;
+    config.time_scale = 0.01;
+    Executor executor(g, arithmetic_spec(),
+                      sched::Mapping::all_on(3, 0), config);
+    return executor.run(int_items(20)).throughput;
+  };
+  const double fast = run_with_speed(4.0);
+  const double slow = run_with_speed(1.0);
+  EXPECT_GT(fast, 2.0 * slow);
+}
+
+TEST(Executor, ThroughputTracksModelPrediction) {
+  const auto g = grid::uniform_cluster(3, 1.0, 1e-3, 1e8);
+  const PipelineSpec spec = arithmetic_spec();
+  const sched::Mapping m(std::vector<NodeId>{0, 1, 2});
+  ExecutorConfig config;
+  config.time_scale = 0.01;
+  Executor executor(g, spec, m, config);
+  const auto report = executor.run(int_items(60));
+
+  const sched::PerfModel model;
+  const double predicted = model.throughput(
+      spec.to_profile(), sched::ResourceEstimate::from_grid(g, 0.0), m);
+  // Thread scheduling noise on one core: accept a wide band.
+  EXPECT_GT(report.throughput, 0.4 * predicted);
+  EXPECT_LT(report.throughput, 1.5 * predicted);
+}
+
+TEST(Executor, AdaptsAwayFromLoadedNode) {
+  // Node 1 is heavily loaded from the start but the initial mapping uses
+  // it; with adaptation on, the executor must move off it.
+  auto g = grid::uniform_cluster(3, 1.0, 1e-3, 1e8);
+  grid::set_node_load(g, 1, std::make_shared<grid::ConstantLoad>(9.0));
+
+  ExecutorConfig config;
+  config.time_scale = 0.002;
+  config.epoch = 4.0;  // virtual seconds
+  config.policy.hysteresis_epochs = 1;
+  config.policy.min_gain_ratio = 0.2;
+  config.policy.restart_latency = 0.1;
+
+  PipelineSpec spec = arithmetic_spec();
+  Executor executor(g, spec, sched::Mapping(std::vector<NodeId>{0, 1, 2}),
+                    config);
+  const auto report = executor.run(int_items(400));
+
+  EXPECT_EQ(report.items, 400u);
+  EXPECT_GE(report.remap_count, 1u);
+  EXPECT_EQ(report.final_mapping.find('2'), std::string::npos)
+      << "final mapping still uses loaded node: " << report.final_mapping;
+  // Outputs still correct after live remaps.
+  const PipelineSpec reference = arithmetic_spec();
+  for (int i : {0, 57, 399}) {
+    EXPECT_EQ(std::any_cast<int>(report.outputs[static_cast<std::size_t>(i)]),
+              std::any_cast<int>(reference.run_inline(std::any(i))));
+  }
+}
+
+TEST(Executor, RejectsBadConfig) {
+  const auto g = grid::uniform_cluster(2, 1.0, 1e-3, 1e8);
+  ExecutorConfig config;
+  config.time_scale = 0.0;
+  EXPECT_THROW(Executor(g, arithmetic_spec(),
+                        sched::Mapping(std::vector<NodeId>{0, 1, 0}), config),
+               std::invalid_argument);
+  EXPECT_THROW(Executor(g, arithmetic_spec(),
+                        sched::Mapping(std::vector<NodeId>{0, 1}),
+                        fast_config()),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------- adaptive facade
+
+TEST(AdaptivePipeline, PlanPicksFastNode) {
+  const auto g = grid::heterogeneous_cluster({1.0, 8.0, 1.0}, 1e-4, 1e9);
+  AdaptivePipeline pipeline(g, arithmetic_spec(), {});
+  const auto plan = pipeline.plan();
+  // All three cheap stages fit on the 8x node.
+  EXPECT_EQ(plan.mapping.to_string(), "(2,2,2)");
+}
+
+TEST(AdaptivePipeline, RunProducesOrderedResults) {
+  const auto g = grid::uniform_cluster(2, 1.0, 1e-3, 1e8);
+  AdaptivePipelineOptions options;
+  options.executor.time_scale = 0.002;
+  AdaptivePipeline pipeline(g, arithmetic_spec(), options);
+  const auto report = pipeline.run(int_items(30));
+  ASSERT_EQ(report.items, 30u);
+  EXPECT_EQ(std::any_cast<int>(report.outputs[5]), (5 * 2 + 3) * (5 * 2 + 3));
+}
+
+TEST(AdaptivePipeline, SimulateDelegatesToDes) {
+  const auto g = grid::uniform_cluster(3, 1.0, 1e-3, 1e8);
+  AdaptivePipeline pipeline(g, arithmetic_spec(), {});
+  sim::SimConfig sim_config;
+  sim_config.num_items = 500;
+  sim_config.probe_interval = 0.0;
+  sim::DriverOptions driver_options;
+  driver_options.driver = sim::DriverKind::kStaticOptimal;
+  const auto result = pipeline.simulate(sim_config, driver_options);
+  EXPECT_EQ(result.metrics.items_completed(), 500u);
+  EXPECT_GT(result.mean_throughput, 0.0);
+}
+
+TEST(RunReport, SummaryMentionsKeyNumbers) {
+  RunReport report;
+  report.items = 12;
+  report.virtual_seconds = 3.0;
+  report.wall_seconds = 0.3;
+  report.throughput = 4.0;
+  report.initial_mapping = "(1,2)";
+  report.final_mapping = "(2,2)";
+  report.remap_count = 1;
+  const std::string s = report.summary();
+  EXPECT_NE(s.find("12 items"), std::string::npos);
+  EXPECT_NE(s.find("(1,2) -> (2,2)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gridpipe::core

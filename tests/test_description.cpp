@@ -1,0 +1,120 @@
+// Tests for the AMoGeT-style description-file parser.
+
+#include <gtest/gtest.h>
+
+#include "sched/description.hpp"
+#include "sched/exhaustive.hpp"
+
+namespace gridpipe::sched {
+namespace {
+
+constexpr const char* kValid = R"(
+# demo
+[nodes]
+fast    2.0
+worker1 1.0
+worker2 1.0 load=step,150,8.0
+
+[links]
+default 1e-3 1e8
+fast worker1 1e-4 1e9
+
+[pipeline]
+parse   1.0 1e4
+compute 4.0 2e4 4e6
+render  1.0 1e4
+)";
+
+TEST(Description, ParsesNodes) {
+  const auto d = parse_description(kValid);
+  ASSERT_EQ(d.grid.num_nodes(), 3u);
+  EXPECT_EQ(d.node_names,
+            (std::vector<std::string>{"fast", "worker1", "worker2"}));
+  EXPECT_DOUBLE_EQ(d.grid.node(0).base_speed(), 2.0);
+  EXPECT_DOUBLE_EQ(d.grid.node(2).load_at(100.0), 0.0);
+  EXPECT_DOUBLE_EQ(d.grid.node(2).load_at(151.0), 8.0);
+}
+
+TEST(Description, ParsesLinksWithDefaultAndOverride) {
+  const auto d = parse_description(kValid);
+  EXPECT_DOUBLE_EQ(d.grid.link(0, 2).latency(), 1e-3);   // default
+  EXPECT_DOUBLE_EQ(d.grid.link(0, 1).latency(), 1e-4);   // override
+  EXPECT_DOUBLE_EQ(d.grid.link(1, 0).latency(), 1e-4);   // symmetric
+  EXPECT_DOUBLE_EQ(d.grid.link(1, 1).latency(), 1e-4);   // loopback kept
+}
+
+TEST(Description, ParsesPipeline) {
+  const auto d = parse_description(kValid);
+  ASSERT_EQ(d.profile.num_stages(), 3u);
+  EXPECT_EQ(d.stage_names[1], "compute");
+  EXPECT_DOUBLE_EQ(d.profile.stage_work[1], 4.0);
+  EXPECT_DOUBLE_EQ(d.profile.msg_bytes[2], 2e4);
+  EXPECT_DOUBLE_EQ(d.profile.state_bytes[1], 4e6);
+  EXPECT_DOUBLE_EQ(d.profile.state_bytes[0], 0.0);  // optional column
+  EXPECT_NO_THROW(d.profile.validate());
+}
+
+TEST(Description, AllLoadModelsParse) {
+  const auto d = parse_description(R"(
+[nodes]
+a 1.0 load=const,2.0
+b 1.0 load=sine,1.0,0.5,240
+c 1.0 load=walk,7,0.5,0.2,10,1000
+d 1.0 load=onoff,7,3.0,60,120,1000
+[pipeline]
+s 1.0 1e3
+)");
+  EXPECT_DOUBLE_EQ(d.grid.node(0).load_at(0.0), 2.0);
+  EXPECT_GE(d.grid.node(1).load_at(60.0), 0.0);
+  EXPECT_GE(d.grid.node(2).load_at(500.0), 0.0);
+  const double onoff = d.grid.node(3).load_at(500.0);
+  EXPECT_TRUE(onoff == 0.0 || onoff == 3.0);
+}
+
+TEST(Description, ErrorsCarryLineNumbers) {
+  try {
+    parse_description("[nodes]\nbad\n");
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(Description, RejectsMalformedInput) {
+  EXPECT_THROW(parse_description("x 1.0\n"), std::invalid_argument);
+  EXPECT_THROW(parse_description("[nodes]\nn0 abc\n"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_description("[nodes]\nn0 1.0 load=nope,1\n"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_description("[nodes]\nn0 1.0\n"),
+               std::invalid_argument);  // no pipeline
+  EXPECT_THROW(parse_description("[pipeline]\ns 1.0 1e3\n"),
+               std::invalid_argument);  // no nodes
+  EXPECT_THROW(
+      parse_description("[nodes]\nn0 1.0\n[links]\nn0 nX 1e-3 1e8\n"
+                        "[pipeline]\ns 1.0 1e3\n"),
+      std::invalid_argument);  // unknown node in link
+}
+
+TEST(Description, ParsedGridIsSchedulable) {
+  const auto d = parse_description(kValid);
+  const auto est = ResourceEstimate::from_grid(d.grid, 0.0);
+  const PerfModel model;
+  const auto best = ExhaustiveMapper(model).best(d.profile, est);
+  ASSERT_TRUE(best);
+  EXPECT_GT(best->breakdown.throughput, 0.0);
+  // At t=200 worker2 is 9x slower; the optimum must avoid it.
+  const auto later = ResourceEstimate::from_grid(d.grid, 200.0);
+  const auto best_later = ExhaustiveMapper(model).best(d.profile, later);
+  for (const grid::NodeId n : best_later->mapping.nodes_used()) {
+    EXPECT_NE(n, 2u);
+  }
+}
+
+TEST(Description, LoadFromMissingFileThrows) {
+  EXPECT_THROW(load_description("/nonexistent/path.grid"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace gridpipe::sched

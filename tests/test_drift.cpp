@@ -1,0 +1,188 @@
+// Tests for drift detection (PageHinkley), the ResourceChangeGate, and
+// the kOnChange adaptation trigger end to end.
+
+#include <gtest/gtest.h>
+
+#include "grid/builders.hpp"
+#include "monitor/drift.hpp"
+#include "sim/drivers.hpp"
+#include "util/rng.hpp"
+#include "workload/scenarios.hpp"
+
+namespace gridpipe {
+namespace {
+
+// --------------------------------------------------------- PageHinkley
+
+TEST(PageHinkley, NoAlarmOnStationaryNoise) {
+  monitor::PageHinkley detector(0.05, 2.0);
+  util::Xoshiro256 rng(1);
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_FALSE(detector.observe(1.0 + util::normal(rng, 0.0, 0.02)))
+        << "false alarm at sample " << i;
+  }
+}
+
+TEST(PageHinkley, DetectsUpwardStep) {
+  monitor::PageHinkley detector(0.05, 2.0);
+  util::Xoshiro256 rng(2);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_FALSE(detector.observe(1.0 + util::normal(rng, 0.0, 0.02)));
+  }
+  bool alarmed = false;
+  for (int i = 0; i < 100 && !alarmed; ++i) {
+    alarmed = detector.observe(2.0 + util::normal(rng, 0.0, 0.02));
+  }
+  EXPECT_TRUE(alarmed);
+}
+
+TEST(PageHinkley, DetectsDownwardStep) {
+  monitor::PageHinkley detector(0.05, 2.0);
+  util::Xoshiro256 rng(3);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_FALSE(detector.observe(2.0 + util::normal(rng, 0.0, 0.02)));
+  }
+  bool alarmed = false;
+  for (int i = 0; i < 100 && !alarmed; ++i) {
+    alarmed = detector.observe(0.5 + util::normal(rng, 0.0, 0.02));
+  }
+  EXPECT_TRUE(alarmed);
+}
+
+TEST(PageHinkley, ResetsAfterAlarmAndRearms) {
+  monitor::PageHinkley detector(0.01, 1.0, 4);
+  for (int i = 0; i < 50; ++i) detector.observe(1.0);
+  bool alarmed = false;
+  for (int i = 0; i < 50 && !alarmed; ++i) alarmed = detector.observe(3.0);
+  ASSERT_TRUE(alarmed);
+  EXPECT_EQ(detector.samples(), 0u);  // reset
+  // Re-arms: a second shift triggers again.
+  for (int i = 0; i < 50; ++i) detector.observe(3.0);
+  alarmed = false;
+  for (int i = 0; i < 50 && !alarmed; ++i) alarmed = detector.observe(1.0);
+  EXPECT_TRUE(alarmed);
+}
+
+TEST(PageHinkley, RespectsWarmup) {
+  monitor::PageHinkley detector(0.0, 0.001, 64);
+  for (int i = 0; i < 63; ++i) {
+    EXPECT_FALSE(detector.observe(i % 2 ? 10.0 : -10.0));
+  }
+}
+
+TEST(PageHinkley, RejectsBadParameters) {
+  EXPECT_THROW(monitor::PageHinkley(-0.1, 1.0), std::invalid_argument);
+  EXPECT_THROW(monitor::PageHinkley(0.1, 0.0), std::invalid_argument);
+}
+
+// ---------------------------------------------------------- change gate
+
+TEST(ResourceChangeGate, FirstCallAlwaysChanged) {
+  const auto g = grid::uniform_cluster(2, 1.0, 1e-3, 1e8);
+  const auto est = sched::ResourceEstimate::from_grid(g, 0.0);
+  sched::ResourceChangeGate gate(0.25);
+  EXPECT_FALSE(gate.has_snapshot());
+  EXPECT_TRUE(gate.changed(est));
+  gate.accept(est);
+  EXPECT_TRUE(gate.has_snapshot());
+  EXPECT_FALSE(gate.changed(est));
+}
+
+TEST(ResourceChangeGate, TriggersOnNodeSpeedMove) {
+  auto g = grid::uniform_cluster(2, 1.0, 1e-3, 1e8);
+  sched::ResourceChangeGate gate(0.25);
+  gate.accept(sched::ResourceEstimate::from_grid(g, 0.0));
+
+  grid::set_node_load(g, 1, std::make_shared<grid::ConstantLoad>(0.1));
+  // 9% slowdown: below threshold.
+  EXPECT_FALSE(gate.changed(sched::ResourceEstimate::from_grid(g, 0.0)));
+  grid::set_node_load(g, 1, std::make_shared<grid::ConstantLoad>(1.0));
+  // 50% slowdown: above threshold.
+  EXPECT_TRUE(gate.changed(sched::ResourceEstimate::from_grid(g, 0.0)));
+}
+
+TEST(ResourceChangeGate, TriggersOnLinkMove) {
+  auto g = grid::uniform_cluster(2, 1.0, 1e-3, 1e8);
+  sched::ResourceChangeGate gate(0.25);
+  gate.accept(sched::ResourceEstimate::from_grid(g, 0.0));
+  g.set_link(0, 1, grid::Link(5e-3, 1e8));  // 5x latency
+  EXPECT_TRUE(gate.changed(sched::ResourceEstimate::from_grid(g, 0.0)));
+}
+
+TEST(ResourceChangeGate, RejectsBadThreshold) {
+  EXPECT_THROW(sched::ResourceChangeGate(0.0), std::invalid_argument);
+}
+
+// ------------------------------------------------- kOnChange end to end
+
+TEST(OnChangeTrigger, SkipsQuietEpochsOnStableGrid) {
+  const workload::Scenario s = workload::find_scenario("stable", 1);
+  sim::SimConfig config;
+  config.num_items = 2000;
+  config.probe_interval = 5.0;
+  config.probe_noise = 0.0;
+
+  sim::DriverOptions options;
+  options.driver = sim::DriverKind::kAdaptive;
+  options.epoch = 10.0;
+  options.trigger = sim::AdaptationTrigger::kOnChange;
+  options.max_staleness = 1e9;  // isolate the gate's effect
+  const auto result = sim::run_pipeline(s.grid, s.profile, config, options);
+
+  std::size_t decisions = 0;
+  for (const auto& e : result.epochs) decisions += e.decided;
+  EXPECT_GT(result.epochs.size(), 10u);
+  // Only the first epoch (no snapshot) should decide on a static grid.
+  EXPECT_LE(decisions, 2u);
+  EXPECT_EQ(result.metrics.items_completed(), 2000u);
+}
+
+TEST(OnChangeTrigger, StillReactsToLoadStep) {
+  const workload::Scenario s = workload::find_scenario("load-step", 1);
+  sim::SimConfig config;
+  config.num_items = 2500;
+  config.probe_interval = 5.0;
+  config.probe_noise = 0.0;
+
+  auto run_with = [&](sim::AdaptationTrigger trigger) {
+    sim::DriverOptions options;
+    options.driver = sim::DriverKind::kAdaptive;
+    options.epoch = 10.0;
+    options.trigger = trigger;
+    return sim::run_pipeline(s.grid, s.profile, config, options);
+  };
+  const auto every = run_with(sim::AdaptationTrigger::kEveryEpoch);
+  const auto on_change = run_with(sim::AdaptationTrigger::kOnChange);
+
+  // Same reactivity (the step is a 10x move), far fewer decisions.
+  EXPECT_GE(on_change.remap_count, 1u);
+  EXPECT_NEAR(on_change.mean_throughput, every.mean_throughput,
+              0.05 * every.mean_throughput);
+  std::size_t every_decisions = 0, gated_decisions = 0;
+  for (const auto& e : every.epochs) every_decisions += e.decided;
+  for (const auto& e : on_change.epochs) gated_decisions += e.decided;
+  EXPECT_LT(gated_decisions * 3, every_decisions);
+}
+
+TEST(OnChangeTrigger, MaxStalenessForcesPeriodicDecision) {
+  const workload::Scenario s = workload::find_scenario("stable", 1);
+  sim::SimConfig config;
+  config.num_items = 2000;
+  config.probe_interval = 5.0;
+  config.probe_noise = 0.0;
+
+  sim::DriverOptions options;
+  options.driver = sim::DriverKind::kAdaptive;
+  options.epoch = 10.0;
+  options.trigger = sim::AdaptationTrigger::kOnChange;
+  options.max_staleness = 50.0;
+  const auto result = sim::run_pipeline(s.grid, s.profile, config, options);
+
+  std::size_t decisions = 0;
+  for (const auto& e : result.epochs) decisions += e.decided;
+  // Roughly one decision per 50 s of the ~6000 s run.
+  EXPECT_GE(decisions, result.epochs.size() / 6);
+}
+
+}  // namespace
+}  // namespace gridpipe

@@ -1,0 +1,215 @@
+// End-to-end driver tests: the paper's headline behaviour. Static
+// mappings degrade when the grid shifts; the adaptive pattern recovers;
+// the oracle bounds both.
+
+#include <gtest/gtest.h>
+
+#include "sim/drivers.hpp"
+#include "workload/scenarios.hpp"
+
+namespace gridpipe::sim {
+namespace {
+
+using grid::NodeId;
+using workload::Scenario;
+
+SimConfig stream_config(std::uint64_t items, std::uint64_t seed = 1) {
+  SimConfig config;
+  config.num_items = items;
+  config.seed = seed;
+  config.probe_interval = 5.0;
+  config.probe_noise = 0.0;
+  return config;
+}
+
+DriverOptions driver(DriverKind kind, double epoch = 10.0) {
+  DriverOptions options;
+  options.driver = kind;
+  options.epoch = epoch;
+  return options;
+}
+
+TEST(Drivers, StaticOptimalBeatsNaiveOnHeterogeneousGrid) {
+  const auto grid = grid::heterogeneous_cluster({4.0, 1.0, 1.0, 0.5},
+                                                1e-3, 1e8);
+  const auto profile = workload::reference_profile();
+  const auto optimal = run_pipeline(grid, profile, stream_config(1000),
+                                    driver(DriverKind::kStaticOptimal));
+  const auto naive = run_pipeline(grid, profile, stream_config(1000),
+                                  driver(DriverKind::kStaticNaive));
+  EXPECT_EQ(optimal.metrics.items_completed(), 1000u);
+  EXPECT_EQ(naive.metrics.items_completed(), 1000u);
+  EXPECT_GT(optimal.mean_throughput, naive.mean_throughput);
+  EXPECT_EQ(optimal.remap_count, 0u);
+}
+
+TEST(Drivers, AdaptiveRecoversFromLoadStep) {
+  const Scenario s = workload::find_scenario("load-step", 1);
+  const auto config = stream_config(2500);
+
+  const auto static_run = run_pipeline(s.grid, s.profile, config,
+                                       driver(DriverKind::kStaticOptimal));
+  const auto adaptive_run = run_pipeline(s.grid, s.profile, config,
+                                         driver(DriverKind::kAdaptive));
+  const auto oracle_run = run_pipeline(s.grid, s.profile, config,
+                                       driver(DriverKind::kOracle));
+
+  // Everyone finishes the stream.
+  EXPECT_EQ(static_run.metrics.items_completed(), 2500u);
+  EXPECT_EQ(adaptive_run.metrics.items_completed(), 2500u);
+  EXPECT_EQ(oracle_run.metrics.items_completed(), 2500u);
+
+  // Ordering: static <= adaptive <= oracle (small slack for noise).
+  EXPECT_GT(adaptive_run.mean_throughput,
+            static_run.mean_throughput * 1.10);
+  EXPECT_LE(adaptive_run.mean_throughput,
+            oracle_run.mean_throughput * 1.02);
+
+  // The adaptive run actually remapped, and moved the heavy stage (index
+  // 2, work 4.0) off the newly loaded node 0. A light stage may stay —
+  // node 0 at 8x load still offers ~0.22 speed, comparable to a small
+  // share of the remaining nodes.
+  EXPECT_GE(adaptive_run.remap_count, 1u);
+  EXPECT_NE(adaptive_run.final_mapping.node_of(2), 0u);
+  EXPECT_LE(adaptive_run.final_mapping.stages_on(0), 1u);
+}
+
+TEST(Drivers, AdaptiveMatchesStaticOnStableGrid) {
+  const Scenario s = workload::find_scenario("stable", 1);
+  const auto config = stream_config(2000);
+  const auto static_run = run_pipeline(s.grid, s.profile, config,
+                                       driver(DriverKind::kStaticOptimal));
+  const auto adaptive_run = run_pipeline(s.grid, s.profile, config,
+                                         driver(DriverKind::kAdaptive));
+  // No dynamics → no reason to pay migration costs.
+  EXPECT_NEAR(adaptive_run.mean_throughput, static_run.mean_throughput,
+              0.05 * static_run.mean_throughput);
+  EXPECT_LE(adaptive_run.remap_count, 1u);
+}
+
+TEST(Drivers, OracleNeverLosesToStaticAcrossScenarios) {
+  for (const Scenario& s : workload::scenario_catalog(3)) {
+    const auto config = stream_config(1500);
+    const auto static_run = run_pipeline(s.grid, s.profile, config,
+                                         driver(DriverKind::kStaticOptimal));
+    const auto oracle_run = run_pipeline(s.grid, s.profile, config,
+                                         driver(DriverKind::kOracle));
+    EXPECT_GE(oracle_run.mean_throughput,
+              static_run.mean_throughput * 0.98)
+        << s.name;
+  }
+}
+
+TEST(Drivers, EpochRecordsAreProduced) {
+  const Scenario s = workload::find_scenario("load-step", 1);
+  const auto result = run_pipeline(s.grid, s.profile, stream_config(2000),
+                                   driver(DriverKind::kAdaptive, 15.0));
+  EXPECT_GT(result.epochs.size(), 3u);
+  for (const EpochRecord& e : result.epochs) {
+    EXPECT_GT(e.candidate_estimate, 0.0);
+    EXPECT_GE(e.candidate_estimate, e.deployed_estimate - 1e-9);
+  }
+}
+
+TEST(Drivers, RemapEventsMatchEpochDecisions) {
+  const Scenario s = workload::find_scenario("load-step", 1);
+  const auto result = run_pipeline(s.grid, s.profile, stream_config(3000),
+                                   driver(DriverKind::kAdaptive));
+  std::size_t epoch_remaps = 0;
+  for (const EpochRecord& e : result.epochs) epoch_remaps += e.remapped;
+  EXPECT_EQ(epoch_remaps, result.remap_count);
+}
+
+TEST(Drivers, DeterministicForFixedSeed) {
+  const Scenario s = workload::find_scenario("bursty", 5);
+  const auto a = run_pipeline(s.grid, s.profile, stream_config(800, 9),
+                              driver(DriverKind::kAdaptive));
+  const auto b = run_pipeline(s.grid, s.profile, stream_config(800, 9),
+                              driver(DriverKind::kAdaptive));
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.remap_count, b.remap_count);
+  EXPECT_EQ(a.final_mapping, b.final_mapping);
+}
+
+TEST(Drivers, HorizonTruncatesRun) {
+  const Scenario s = workload::find_scenario("stable", 1);
+  auto options = driver(DriverKind::kStaticOptimal);
+  options.horizon = 10.0;
+  const auto result =
+      run_pipeline(s.grid, s.profile, stream_config(1'000'000), options);
+  EXPECT_LT(result.metrics.items_completed(), 1'000'000u);
+  EXPECT_LE(result.makespan, 10.0 + 1e-9);
+}
+
+TEST(Drivers, ReplicationBudgetUsedForHotStage) {
+  // One scorching stage, several idle equal nodes: the mapper should farm
+  // the hot stage when given replica budget.
+  const auto grid = grid::uniform_cluster(5, 1.0, 1e-4, 1e9);
+  sched::PipelineProfile profile;
+  profile.stage_work = {0.05, 1.0, 0.05};
+  profile.msg_bytes.assign(4, 1e3);
+  profile.state_bytes.assign(3, 1e5);
+
+  auto options = driver(DriverKind::kStaticOptimal);
+  const auto plain = run_pipeline(grid, profile, stream_config(1500), options);
+  options.max_total_replicas = 6;
+  const auto farmed = run_pipeline(grid, profile, stream_config(1500), options);
+  EXPECT_GT(farmed.mean_throughput, plain.mean_throughput * 1.8);
+  EXPECT_TRUE(farmed.initial_mapping.has_replication());
+}
+
+TEST(ChooseMapping, RespectsExplicitMapperChoice) {
+  const auto grid = grid::heterogeneous_cluster({2.0, 1.0, 1.0}, 1e-3, 1e8);
+  const auto profile = sched::PipelineProfile::uniform(4, 1.0, 1e3);
+  const auto est = sched::ResourceEstimate::from_grid(grid, 0.0);
+  const sched::PerfModel model;
+  for (const MapperKind kind :
+       {MapperKind::kAuto, MapperKind::kExhaustive, MapperKind::kDpContiguous,
+        MapperKind::kGreedy, MapperKind::kLocalSearch}) {
+    const auto result = choose_mapping(model, profile, est, kind, false, 0);
+    EXPECT_GT(result.breakdown.throughput, 0.0);
+    EXPECT_EQ(result.mapping.num_stages(), 4u);
+  }
+}
+
+TEST(ChooseMapping, AutoFallsBackOnLargeInstances) {
+  // 20 stages x 16 nodes: exhaustive impossible, DP refused (>12 nodes),
+  // local search must still answer.
+  const auto grid = grid::uniform_cluster(16, 1.0, 1e-3, 1e8);
+  const auto profile = sched::PipelineProfile::uniform(20, 1.0, 1e3);
+  const auto est = sched::ResourceEstimate::from_grid(grid, 0.0);
+  const sched::PerfModel model;
+  const auto result =
+      choose_mapping(model, profile, est, MapperKind::kAuto, false, 0);
+  EXPECT_GT(result.breakdown.throughput, 0.0);
+}
+
+TEST(DriverNames, Stringify) {
+  EXPECT_STREQ(to_string(DriverKind::kAdaptive), "adaptive");
+  EXPECT_STREQ(to_string(DriverKind::kOracle), "oracle");
+  EXPECT_STREQ(to_string(DriverKind::kStaticNaive), "static-naive");
+  EXPECT_STREQ(to_string(DriverKind::kStaticOptimal), "static-optimal");
+}
+
+// Scenario sweep: conservation + sane ordering on every catalogue entry.
+class ScenarioSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ScenarioSweep, AdaptiveCompletesAndIsCompetitive) {
+  const auto scenarios = workload::scenario_catalog(7);
+  const Scenario& s = scenarios[static_cast<std::size_t>(GetParam())];
+  const auto config = stream_config(1200);
+  const auto adaptive_run = run_pipeline(s.grid, s.profile, config,
+                                         driver(DriverKind::kAdaptive));
+  const auto naive_run = run_pipeline(s.grid, s.profile, config,
+                                      driver(DriverKind::kStaticNaive));
+  EXPECT_EQ(adaptive_run.metrics.items_completed(), 1200u) << s.name;
+  EXPECT_EQ(naive_run.metrics.items_completed(), 1200u) << s.name;
+  // The adaptive pattern should never lose badly to the naive baseline.
+  EXPECT_GE(adaptive_run.mean_throughput, naive_run.mean_throughput * 0.9)
+      << s.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllScenarios, ScenarioSweep, ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace gridpipe::sim

@@ -1,0 +1,211 @@
+// Unit tests for gridpipe::grid (load models, nodes, links, topologies).
+
+#include <gtest/gtest.h>
+
+#include "grid/builders.hpp"
+#include "grid/grid.hpp"
+
+namespace gridpipe::grid {
+namespace {
+
+// ------------------------------------------------------------- loads
+
+TEST(ConstantLoad, HoldsValue) {
+  const ConstantLoad load(1.5);
+  EXPECT_DOUBLE_EQ(load.load_at(0.0), 1.5);
+  EXPECT_DOUBLE_EQ(load.load_at(1e6), 1.5);
+  EXPECT_THROW(ConstantLoad(-1.0), std::invalid_argument);
+}
+
+TEST(StepLoad, StepsAtScheduledTimes) {
+  const StepLoad load({{10.0, 2.0}, {20.0, 0.5}}, 0.0);
+  EXPECT_DOUBLE_EQ(load.load_at(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(load.load_at(9.99), 0.0);
+  EXPECT_DOUBLE_EQ(load.load_at(10.0), 2.0);
+  EXPECT_DOUBLE_EQ(load.load_at(19.0), 2.0);
+  EXPECT_DOUBLE_EQ(load.load_at(25.0), 0.5);
+  EXPECT_DOUBLE_EQ(load.load_at(1e9), 0.5);
+}
+
+TEST(StepLoad, SortsUnorderedSteps) {
+  const StepLoad load({{20.0, 3.0}, {10.0, 1.0}}, 0.0);
+  EXPECT_DOUBLE_EQ(load.load_at(15.0), 1.0);
+  EXPECT_DOUBLE_EQ(load.load_at(21.0), 3.0);
+}
+
+TEST(SineLoad, NonNegativeAndPeriodic) {
+  const SineLoad load(1.0, 2.0, 100.0);  // dips below zero → clamped
+  for (double t = 0.0; t < 300.0; t += 1.0) {
+    EXPECT_GE(load.load_at(t), 0.0);
+  }
+  EXPECT_NEAR(load.load_at(25.0), 3.0, 1e-9);  // peak at quarter period
+}
+
+TEST(RandomWalkLoad, DeterministicAndBounded) {
+  const RandomWalkLoad a(5, 1.0, 0.3, 1.0, 100.0, 0.0, 2.0);
+  const RandomWalkLoad b(5, 1.0, 0.3, 1.0, 100.0, 0.0, 2.0);
+  for (double t = 0.0; t <= 120.0; t += 0.5) {
+    EXPECT_DOUBLE_EQ(a.load_at(t), b.load_at(t));
+    EXPECT_GE(a.load_at(t), 0.0);
+    EXPECT_LE(a.load_at(t), 2.0);
+  }
+}
+
+TEST(RandomWalkLoad, HoldsBeyondHorizon) {
+  const RandomWalkLoad load(5, 1.0, 0.3, 1.0, 10.0);
+  EXPECT_DOUBLE_EQ(load.load_at(1e6), load.load_at(11.0));
+}
+
+TEST(MarkovOnOffLoad, TogglesBetweenZeroAndOnLoad) {
+  const MarkovOnOffLoad load(7, 3.0, 10.0, 10.0, 500.0);
+  bool saw_on = false, saw_off = false;
+  for (double t = 0.0; t < 500.0; t += 1.0) {
+    const double v = load.load_at(t);
+    EXPECT_TRUE(v == 0.0 || v == 3.0);
+    saw_on |= v == 3.0;
+    saw_off |= v == 0.0;
+  }
+  EXPECT_TRUE(saw_on);
+  EXPECT_TRUE(saw_off);
+}
+
+TEST(TraceLoad, PlaysBackSamples) {
+  const TraceLoad load({0.0, 1.0, 2.0}, 10.0);
+  EXPECT_DOUBLE_EQ(load.load_at(5.0), 0.0);
+  EXPECT_DOUBLE_EQ(load.load_at(15.0), 1.0);
+  EXPECT_DOUBLE_EQ(load.load_at(29.0), 2.0);
+  EXPECT_DOUBLE_EQ(load.load_at(1000.0), 2.0);
+  EXPECT_THROW(TraceLoad({}, 1.0), std::invalid_argument);
+}
+
+TEST(SumLoad, AddsComponents) {
+  const SumLoad load(std::make_shared<ConstantLoad>(1.0),
+                     std::make_shared<ConstantLoad>(0.5));
+  EXPECT_DOUBLE_EQ(load.load_at(0.0), 1.5);
+}
+
+// ------------------------------------------------------------- nodes
+
+TEST(Node, EffectiveSpeedDividesByLoad) {
+  Node node(0, "n0", 2.0, std::make_shared<ConstantLoad>(1.0));
+  EXPECT_DOUBLE_EQ(node.effective_speed(0.0), 1.0);
+  node.set_load_model(std::make_shared<ConstantLoad>(3.0));
+  EXPECT_DOUBLE_EQ(node.effective_speed(0.0), 0.5);
+  EXPECT_THROW(Node(0, "bad", 0.0), std::invalid_argument);
+}
+
+TEST(Node, DedicatedByDefault) {
+  const Node node(0, "n0", 4.0);
+  EXPECT_DOUBLE_EQ(node.effective_speed(123.0), 4.0);
+}
+
+// ------------------------------------------------------------- links
+
+TEST(Link, TransferTimeLatencyPlusBandwidth) {
+  const Link link(0.01, 1e6);
+  EXPECT_NEAR(link.transfer_time(1e6, 0.0), 0.01 + 1.0, 1e-12);
+  EXPECT_THROW(Link(-0.1, 1e6), std::invalid_argument);
+  EXPECT_THROW(Link(0.1, 0.0), std::invalid_argument);
+}
+
+TEST(Link, CongestionScalesBothTerms) {
+  Link link(0.01, 1e6);
+  link.set_congestion(std::make_shared<ConstantLoad>(1.0));  // 2x
+  EXPECT_NEAR(link.transfer_time(1e6, 0.0), 2.0 * (0.01 + 1.0), 1e-12);
+}
+
+TEST(Link, LoopbackIsFast) {
+  const Link lo = Link::loopback();
+  EXPECT_LT(lo.transfer_time(1e3, 0.0), 1e-3);
+}
+
+// ------------------------------------------------------------- grid
+
+TEST(Grid, AddNodePreservesExistingLinks) {
+  Grid grid;
+  const NodeId a = grid.add_node("a", 1.0);
+  const NodeId b = grid.add_node("b", 2.0);
+  grid.set_link(a, b, Link(0.5, 1e6));
+  const NodeId c = grid.add_node("c", 3.0);
+  EXPECT_DOUBLE_EQ(grid.link(a, b).latency(), 0.5);   // preserved
+  EXPECT_DOUBLE_EQ(grid.link(a, a).latency(), 1e-4);  // loopback
+  EXPECT_GT(grid.link(a, c).latency(), 0.0);          // default remote
+  EXPECT_EQ(grid.num_nodes(), 3u);
+}
+
+TEST(Grid, BadIdsThrow) {
+  Grid grid;
+  grid.add_node("a", 1.0);
+  EXPECT_THROW(grid.node(5), std::out_of_range);
+  EXPECT_THROW(grid.link(0, 5), std::out_of_range);
+  EXPECT_THROW(grid.set_link(5, 0, Link(0.1, 1e6)), std::out_of_range);
+}
+
+TEST(Builders, UniformCluster) {
+  const Grid grid = uniform_cluster(4, 2.0, 1e-3, 1e8);
+  EXPECT_EQ(grid.num_nodes(), 4u);
+  for (NodeId n = 0; n < 4; ++n) {
+    EXPECT_DOUBLE_EQ(grid.node(n).base_speed(), 2.0);
+  }
+  EXPECT_DOUBLE_EQ(grid.link(0, 3).latency(), 1e-3);
+  EXPECT_DOUBLE_EQ(grid.link(2, 2).latency(), 1e-4);  // loopback untouched
+}
+
+TEST(Builders, HeterogeneousCluster) {
+  const Grid grid = heterogeneous_cluster({1.0, 2.0, 4.0}, 1e-3, 1e8);
+  EXPECT_DOUBLE_EQ(grid.node(2).base_speed(), 4.0);
+  EXPECT_THROW(heterogeneous_cluster({}, 1e-3, 1e8), std::invalid_argument);
+}
+
+TEST(Builders, MultiSiteGridWanVsLan) {
+  const Grid grid = multi_site_grid(
+      {{2, 1.0, 1e-4, 1e9}, {2, 2.0, 1e-4, 1e9}}, 0.05, 1e7);
+  EXPECT_EQ(grid.num_nodes(), 4u);
+  EXPECT_DOUBLE_EQ(grid.link(0, 1).latency(), 1e-4);  // intra-site
+  EXPECT_DOUBLE_EQ(grid.link(0, 2).latency(), 0.05);  // cross-site
+  EXPECT_DOUBLE_EQ(grid.node(2).base_speed(), 2.0);
+}
+
+TEST(Builders, RandomGridDeterministicInSeed) {
+  RandomGridParams params;
+  params.nodes = 5;
+  const Grid a = random_grid(99, params);
+  const Grid b = random_grid(99, params);
+  for (NodeId n = 0; n < 5; ++n) {
+    EXPECT_DOUBLE_EQ(a.node(n).base_speed(), b.node(n).base_speed());
+  }
+  for (NodeId x = 0; x < 5; ++x) {
+    for (NodeId y = 0; y < 5; ++y) {
+      EXPECT_DOUBLE_EQ(a.link(x, y).latency(), b.link(x, y).latency());
+    }
+  }
+}
+
+TEST(Builders, RandomGridRespectsRanges) {
+  RandomGridParams params;
+  params.nodes = 8;
+  const Grid grid = random_grid(1234, params);
+  for (NodeId n = 0; n < params.nodes; ++n) {
+    EXPECT_GE(grid.node(n).base_speed(), params.speed_lo);
+    EXPECT_LE(grid.node(n).base_speed(), params.speed_hi);
+  }
+  for (NodeId a = 0; a < params.nodes; ++a) {
+    for (NodeId b = 0; b < params.nodes; ++b) {
+      if (a == b) continue;
+      EXPECT_GE(grid.link(a, b).latency(), params.lat_lo * 0.999);
+      EXPECT_LE(grid.link(a, b).latency(), params.lat_hi * 1.001);
+    }
+  }
+}
+
+TEST(Builders, SetNodeLoadInjectsDynamics) {
+  Grid grid = uniform_cluster(2, 1.0, 1e-3, 1e8);
+  set_node_load(grid, 1, std::make_shared<StepLoad>(
+                             std::vector<StepLoad::Step>{{5.0, 4.0}}));
+  EXPECT_DOUBLE_EQ(grid.effective_speed(1, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(grid.effective_speed(1, 6.0), 0.2);
+  EXPECT_DOUBLE_EQ(grid.effective_speed(0, 6.0), 1.0);  // untouched
+}
+
+}  // namespace
+}  // namespace gridpipe::grid

@@ -1,0 +1,150 @@
+// Tests for the open-arrival modes, latency metrics, and the analytic
+// M/D/1 latency model.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "grid/builders.hpp"
+#include "sim/drivers.hpp"
+#include "workload/scenarios.hpp"
+
+namespace gridpipe::sim {
+namespace {
+
+using grid::NodeId;
+using sched::Mapping;
+using sched::PipelineProfile;
+
+SimConfig open_config(std::uint64_t items, double rate,
+                      SimConfig::Arrivals arrivals) {
+  SimConfig config;
+  config.num_items = items;
+  config.arrivals = arrivals;
+  config.arrival_rate = rate;
+  config.probe_interval = 0.0;
+  config.seed = 5;
+  return config;
+}
+
+TEST(OpenArrivals, ConservesItemsPoisson) {
+  const auto g = grid::uniform_cluster(2, 1.0, 1e-4, 1e9);
+  const auto p = PipelineProfile::uniform(2, 0.1, 100.0);
+  PipelineSim sim(g, p, Mapping(std::vector<NodeId>{0, 1}),
+                  open_config(500, 5.0, SimConfig::Arrivals::kPoisson));
+  sim.start();
+  sim.simulator().run();
+  EXPECT_EQ(sim.metrics().items_completed(), 500u);
+  EXPECT_EQ(sim.metrics().items_created(), 500u);
+}
+
+TEST(OpenArrivals, PeriodicArrivalsPaceTheStream) {
+  const auto g = grid::uniform_cluster(2, 1.0, 1e-4, 1e9);
+  const auto p = PipelineProfile::uniform(2, 0.1, 100.0);
+  // Capacity is 10/s; feed at 2/s → makespan ≈ items / 2.
+  PipelineSim sim(g, p, Mapping(std::vector<NodeId>{0, 1}),
+                  open_config(200, 2.0, SimConfig::Arrivals::kPeriodic));
+  sim.start();
+  sim.simulator().run();
+  EXPECT_NEAR(sim.metrics().makespan(), 100.0, 2.0);
+  // Under light load, latency ≈ raw service + transfer (~0.2 s).
+  EXPECT_NEAR(sim.metrics().latency().mean(), 0.2, 0.05);
+}
+
+TEST(OpenArrivals, RequiresPositiveRate) {
+  const auto g = grid::uniform_cluster(2, 1.0, 1e-4, 1e9);
+  const auto p = PipelineProfile::uniform(2, 0.1, 100.0);
+  PipelineSim sim(g, p, Mapping(std::vector<NodeId>{0, 1}),
+                  open_config(10, 0.0, SimConfig::Arrivals::kPoisson));
+  EXPECT_THROW(sim.start(), std::invalid_argument);
+}
+
+TEST(OpenArrivals, LatencyGrowsWithUtilization) {
+  const auto g = grid::uniform_cluster(2, 1.0, 1e-4, 1e9);
+  const auto p = PipelineProfile::uniform(2, 0.1, 100.0);  // capacity 10/s
+  double previous = 0.0;
+  for (const double rate : {3.0, 6.0, 9.0}) {
+    PipelineSim sim(g, p, Mapping(std::vector<NodeId>{0, 1}),
+                    open_config(3000, rate, SimConfig::Arrivals::kPoisson));
+    sim.start();
+    sim.simulator().run();
+    const double mean = sim.metrics().latency().mean();
+    EXPECT_GT(mean, previous) << "rate " << rate;
+    previous = mean;
+  }
+  // At 90% utilization the queueing term must dominate raw service.
+  EXPECT_GT(previous, 0.5);
+}
+
+TEST(LatencyMetrics, PercentilesOrdered) {
+  const auto g = grid::uniform_cluster(2, 1.0, 1e-4, 1e9);
+  const auto p = PipelineProfile::uniform(2, 0.1, 100.0);
+  PipelineSim sim(g, p, Mapping(std::vector<NodeId>{0, 1}),
+                  open_config(2000, 8.0, SimConfig::Arrivals::kPoisson));
+  sim.start();
+  sim.simulator().run();
+  const auto& m = sim.metrics();
+  EXPECT_EQ(m.latencies().size(), 2000u);
+  EXPECT_LE(m.latency_percentile(50), m.latency_percentile(95));
+  EXPECT_LE(m.latency_percentile(95), m.latency_percentile(99));
+  EXPECT_GT(m.latency_percentile(50), 0.0);
+}
+
+// ----------------------------------------------------- analytic latency
+
+TEST(LatencyModel, LightLoadEqualsRawPath) {
+  const auto g = grid::uniform_cluster(3, 1.0, 1e-3, 1e8);
+  const auto p = PipelineProfile::uniform(3, 0.1, 1e4);
+  const auto est = sched::ResourceEstimate::from_grid(g, 0.0);
+  const sched::PerfModel model;
+  const Mapping m(std::vector<NodeId>{0, 1, 2});
+  // Raw path: 3×0.1 service + 2×(1ms + 0.1ms) transfers ≈ 0.3022.
+  const double at_light = model.latency_estimate(p, est, m, 0.1);
+  EXPECT_NEAR(at_light, 0.3022, 0.01);
+}
+
+TEST(LatencyModel, DivergesAtSaturation) {
+  const auto g = grid::uniform_cluster(3, 1.0, 1e-3, 1e8);
+  const auto p = PipelineProfile::uniform(3, 0.1, 1e4);
+  const auto est = sched::ResourceEstimate::from_grid(g, 0.0);
+  const sched::PerfModel model;
+  const Mapping m(std::vector<NodeId>{0, 1, 2});
+  EXPECT_TRUE(std::isinf(model.latency_estimate(p, est, m, 10.0)));
+  EXPECT_TRUE(std::isinf(model.latency_estimate(p, est, m, 50.0)));
+  EXPECT_THROW(model.latency_estimate(p, est, m, 0.0),
+               std::invalid_argument);
+}
+
+TEST(LatencyModel, MonotoneInArrivalRate) {
+  const auto g = grid::uniform_cluster(2, 1.0, 1e-3, 1e8);
+  const auto p = PipelineProfile::uniform(4, 0.2, 1e4);
+  const auto est = sched::ResourceEstimate::from_grid(g, 0.0);
+  const sched::PerfModel model;
+  const Mapping m = Mapping::block(4, 2);
+  double previous = 0.0;
+  for (const double rate : {0.2, 0.8, 1.6, 2.2}) {
+    const double latency = model.latency_estimate(p, est, m, rate);
+    EXPECT_GT(latency, previous);
+    previous = latency;
+  }
+}
+
+TEST(LatencyModel, TracksSimulatorAtModerateLoad) {
+  const auto g = grid::uniform_cluster(3, 1.0, 1e-3, 1e8);
+  const auto p = PipelineProfile::uniform(3, 0.1, 1e4);
+  const auto est = sched::ResourceEstimate::from_grid(g, 0.0);
+  const sched::PerfModel model;
+  const Mapping m(std::vector<NodeId>{0, 1, 2});
+  for (const double rate : {3.0, 6.0}) {
+    PipelineSim sim(g, p, m,
+                    open_config(4000, rate, SimConfig::Arrivals::kPoisson));
+    sim.start();
+    sim.simulator().run();
+    const double predicted = model.latency_estimate(p, est, m, rate);
+    const double observed = sim.metrics().latency().mean();
+    EXPECT_NEAR(observed, predicted, 0.35 * predicted) << "rate " << rate;
+  }
+}
+
+}  // namespace
+}  // namespace gridpipe::sim

@@ -1,0 +1,212 @@
+// Unit and property tests for gridpipe::monitor (windows, forecasters,
+// the NWS-style ensemble, the registry).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "monitor/ensemble.hpp"
+#include "monitor/registry.hpp"
+#include "monitor/window.hpp"
+#include "util/rng.hpp"
+
+namespace gridpipe::monitor {
+namespace {
+
+// ------------------------------------------------------------- window
+
+TEST(TimedWindow, CapacityEviction) {
+  TimedWindow w(3);
+  for (int i = 0; i < 5; ++i) w.add(i, i * 10.0);
+  EXPECT_EQ(w.size(), 3u);
+  EXPECT_DOUBLE_EQ(w.mean(), 30.0);
+  EXPECT_DOUBLE_EQ(w.last_value(), 40.0);
+  EXPECT_DOUBLE_EQ(w.last_time(), 4.0);
+}
+
+TEST(TimedWindow, AgeEviction) {
+  TimedWindow w(100, 10.0);
+  w.add(0.0, 1.0);
+  w.add(9.0, 2.0);
+  w.add(16.0, 3.0);  // sample at t=0 is now older than 10s
+  EXPECT_EQ(w.size(), 2u);
+  EXPECT_DOUBLE_EQ(w.mean(), 2.5);
+}
+
+TEST(TimedWindow, RejectsTimeTravel) {
+  TimedWindow w(4);
+  w.add(5.0, 1.0);
+  EXPECT_THROW(w.add(4.0, 1.0), std::invalid_argument);
+}
+
+// --------------------------------------------------------- forecasters
+
+TEST(LastValueForecaster, TracksLatest) {
+  LastValueForecaster f;
+  EXPECT_DOUBLE_EQ(f.forecast(), 0.0);
+  f.observe(3.0);
+  f.observe(7.0);
+  EXPECT_DOUBLE_EQ(f.forecast(), 7.0);
+  f.reset();
+  EXPECT_DOUBLE_EQ(f.forecast(), 0.0);
+}
+
+TEST(WindowMeanForecaster, MeanOverWindow) {
+  WindowMeanForecaster f(3);
+  for (const double x : {1.0, 2.0, 3.0, 4.0}) f.observe(x);
+  EXPECT_DOUBLE_EQ(f.forecast(), 3.0);
+}
+
+TEST(WindowMedianForecaster, RobustToSpike) {
+  WindowMedianForecaster f(5);
+  for (const double x : {1.0, 1.0, 100.0, 1.0, 1.0}) f.observe(x);
+  EXPECT_DOUBLE_EQ(f.forecast(), 1.0);
+}
+
+TEST(EwmaForecaster, GainBlendsHistory) {
+  EwmaForecaster f(0.5);
+  f.observe(0.0);
+  f.observe(10.0);
+  EXPECT_DOUBLE_EQ(f.forecast(), 5.0);
+  EXPECT_THROW(EwmaForecaster(0.0), std::invalid_argument);
+  EXPECT_THROW(EwmaForecaster(1.5), std::invalid_argument);
+}
+
+TEST(Ar1Forecaster, ExtrapolatesLinearRamp) {
+  Ar1Forecaster f(16);
+  // x(k) = 2k: a perfect AR1-with-intercept fit (m=1, c=2).
+  for (int k = 0; k < 10; ++k) f.observe(2.0 * k);
+  EXPECT_NEAR(f.forecast(), 20.0, 1e-6);
+}
+
+TEST(Ar1Forecaster, FallsBackOnConstantSeries) {
+  Ar1Forecaster f(8);
+  for (int k = 0; k < 8; ++k) f.observe(5.0);
+  EXPECT_NEAR(f.forecast(), 5.0, 1e-9);
+  EXPECT_THROW(Ar1Forecaster(2), std::invalid_argument);
+}
+
+// Property: every forecaster converges to the value of a constant series.
+class ConstantConvergence : public ::testing::TestWithParam<int> {};
+
+TEST_P(ConstantConvergence, ForecastEqualsConstant) {
+  auto forecasters = default_forecasters();
+  auto& f = forecasters[static_cast<std::size_t>(GetParam())];
+  for (int i = 0; i < 64; ++i) f->observe(3.25);
+  EXPECT_NEAR(f->forecast(), 3.25, 1e-9) << f->name();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllForecasters, ConstantConvergence,
+                         ::testing::Range(0, 6));
+
+// ------------------------------------------------------------ ensemble
+
+TEST(Ensemble, PicksMedianUnderSpikes) {
+  EnsembleForecaster ensemble = EnsembleForecaster::with_defaults();
+  util::Xoshiro256 rng(4);
+  // Level 10 with occasional 100 spikes: the median member should win
+  // over the last-value member.
+  for (int i = 0; i < 200; ++i) {
+    ensemble.observe(i % 17 == 0 ? 100.0 : 10.0);
+  }
+  const double forecast = ensemble.forecast();
+  EXPECT_NEAR(forecast, 10.0, 2.0);
+}
+
+TEST(Ensemble, TracksBestMemberErrors) {
+  EnsembleForecaster ensemble = EnsembleForecaster::with_defaults();
+  for (int i = 0; i < 50; ++i) ensemble.observe(2.0);
+  const std::size_t best = ensemble.best_member();
+  EXPECT_LT(best, ensemble.num_members());
+  EXPECT_NEAR(ensemble.member_error(best), 0.0, 1e-9);
+  EXPECT_THROW(ensemble.member_error(99), std::out_of_range);
+}
+
+TEST(Ensemble, ResetClearsState) {
+  EnsembleForecaster ensemble = EnsembleForecaster::with_defaults();
+  for (int i = 0; i < 10; ++i) ensemble.observe(5.0);
+  ensemble.reset();
+  EXPECT_DOUBLE_EQ(ensemble.forecast(), 0.0);
+}
+
+TEST(Ensemble, RequiresMembers) {
+  EXPECT_THROW(EnsembleForecaster({}), std::invalid_argument);
+}
+
+// Property: on a stationary noisy series the ensemble's one-step MAE is
+// not much worse than the best individual member (the NWS guarantee).
+class EnsembleCompetitive : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EnsembleCompetitive, WithinFactorOfBestMember) {
+  util::Xoshiro256 rng(GetParam());
+  std::vector<double> series;
+  for (int i = 0; i < 400; ++i) {
+    series.push_back(5.0 + util::normal(rng, 0.0, 1.0));
+  }
+
+  auto run_mae = [&](Forecaster& f) {
+    double err = 0.0;
+    int scored = 0;
+    for (const double x : series) {
+      if (scored > 0) err += std::abs(f.forecast() - x);
+      f.observe(x);
+      ++scored;
+    }
+    return err / static_cast<double>(scored - 1);
+  };
+
+  double best_individual = std::numeric_limits<double>::infinity();
+  for (auto& f : default_forecasters()) {
+    best_individual = std::min(best_individual, run_mae(*f));
+  }
+  EnsembleForecaster ensemble = EnsembleForecaster::with_defaults();
+  const double ensemble_mae = run_mae(ensemble);
+  EXPECT_LE(ensemble_mae, best_individual * 1.35);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EnsembleCompetitive,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+// ------------------------------------------------------------ registry
+
+TEST(Registry, RecordAndForecast) {
+  MonitoringRegistry reg;
+  const SensorId id{SensorKind::kNodeSpeed, 2, 0};
+  EXPECT_FALSE(reg.has(id));
+  EXPECT_DOUBLE_EQ(reg.forecast(id, 9.0), 9.0);  // fallback
+  for (int i = 0; i < 20; ++i) reg.record(id, i, 4.0);
+  EXPECT_TRUE(reg.has(id));
+  EXPECT_NEAR(reg.forecast(id, 9.0), 4.0, 1e-9);
+  EXPECT_EQ(reg.sample_count(id), 20u);
+  EXPECT_EQ(reg.last(id).value(), 4.0);
+}
+
+TEST(Registry, SensorsAreIndependent) {
+  MonitoringRegistry reg;
+  reg.record({SensorKind::kNodeSpeed, 0, 0}, 0.0, 1.0);
+  reg.record({SensorKind::kNodeSpeed, 1, 0}, 0.0, 2.0);
+  reg.record({SensorKind::kLinkInflation, 0, 1}, 0.0, 3.0);
+  EXPECT_EQ(reg.num_sensors(), 3u);
+  EXPECT_DOUBLE_EQ(reg.last({SensorKind::kNodeSpeed, 0, 0}).value(), 1.0);
+  EXPECT_DOUBLE_EQ(reg.last({SensorKind::kLinkInflation, 0, 1}).value(), 3.0);
+  EXPECT_FALSE(reg.last({SensorKind::kLinkInflation, 1, 0}).has_value());
+}
+
+TEST(Registry, ClearRemovesEverything) {
+  MonitoringRegistry reg;
+  reg.record({SensorKind::kStageWork, 0, 0}, 0.0, 1.0);
+  reg.clear();
+  EXPECT_EQ(reg.num_sensors(), 0u);
+}
+
+TEST(Registry, WindowAccess) {
+  MonitoringRegistry reg;
+  const SensorId id{SensorKind::kStageBytes, 1, 0};
+  EXPECT_EQ(reg.window(id), nullptr);
+  reg.record(id, 1.0, 10.0);
+  ASSERT_NE(reg.window(id), nullptr);
+  EXPECT_EQ(reg.window(id)->size(), 1u);
+}
+
+}  // namespace
+}  // namespace gridpipe::monitor

@@ -1,0 +1,256 @@
+// Unit and property tests for gridpipe::util (RNG, stats, tables).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace gridpipe::util {
+namespace {
+
+// ---------------------------------------------------------------- RNG
+
+TEST(Xoshiro256, DeterministicForSeed) {
+  Xoshiro256 a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro256, DifferentSeedsDiverge) {
+  Xoshiro256 a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 4);
+}
+
+TEST(Xoshiro256, SplitProducesIndependentStream) {
+  Xoshiro256 parent(7);
+  Xoshiro256 child = parent.split();
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (parent() == child()) ++equal;
+  }
+  EXPECT_LT(equal, 4);
+}
+
+TEST(Uniform01, InHalfOpenUnitInterval) {
+  Xoshiro256 rng(42);
+  for (int i = 0; i < 10'000; ++i) {
+    const double u = uniform01(rng);
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Uniform01, MeanNearHalf) {
+  Xoshiro256 rng(42);
+  RunningStats stats;
+  for (int i = 0; i < 100'000; ++i) stats.add(uniform01(rng));
+  EXPECT_NEAR(stats.mean(), 0.5, 0.01);
+}
+
+TEST(UniformInt, RespectsInclusiveBounds) {
+  Xoshiro256 rng(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10'000; ++i) {
+    const auto v = uniform_int(rng, 3, 7);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 7u);
+    saw_lo |= v == 3;
+    saw_hi |= v == 7;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(UniformInt, DegenerateRangeReturnsLo) {
+  Xoshiro256 rng(9);
+  EXPECT_EQ(uniform_int(rng, 5, 5), 5u);
+}
+
+TEST(Exponential, MeanMatchesRate) {
+  Xoshiro256 rng(11);
+  RunningStats stats;
+  for (int i = 0; i < 100'000; ++i) stats.add(exponential(rng, 4.0));
+  EXPECT_NEAR(stats.mean(), 0.25, 0.01);
+}
+
+TEST(Normal, MeanAndStddev) {
+  Xoshiro256 rng(13);
+  RunningStats stats;
+  for (int i = 0; i < 100'000; ++i) stats.add(normal(rng, 3.0, 2.0));
+  EXPECT_NEAR(stats.mean(), 3.0, 0.05);
+  EXPECT_NEAR(stats.stddev(), 2.0, 0.05);
+}
+
+TEST(BoundedPareto, StaysInSupport) {
+  Xoshiro256 rng(17);
+  for (int i = 0; i < 10'000; ++i) {
+    const double v = bounded_pareto(rng, 1.5, 1.0, 100.0);
+    EXPECT_GE(v, 1.0 - 1e-9);
+    EXPECT_LE(v, 100.0 + 1e-9);
+  }
+}
+
+TEST(Shuffle, IsAPermutation) {
+  Xoshiro256 rng(21);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto shuffled = v;
+  shuffle(rng, shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+// ---------------------------------------------------------------- stats
+
+TEST(RunningStats, BasicMoments) {
+  RunningStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, EmptyIsZero) {
+  const RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  Xoshiro256 rng(3);
+  RunningStats all, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = normal(rng, 1.0, 5.0);
+    all.add(x);
+    (i % 2 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(SlidingWindow, EvictsOldest) {
+  SlidingWindow w(3);
+  w.add(1.0);
+  w.add(2.0);
+  w.add(3.0);
+  w.add(10.0);  // evicts 1.0
+  EXPECT_EQ(w.size(), 3u);
+  EXPECT_DOUBLE_EQ(w.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(w.last(), 10.0);
+  EXPECT_DOUBLE_EQ(w.back(2), 2.0);
+}
+
+TEST(SlidingWindow, MedianOddAndEven) {
+  SlidingWindow w(5);
+  for (const double x : {5.0, 1.0, 3.0}) w.add(x);
+  EXPECT_DOUBLE_EQ(w.median(), 3.0);
+  w.add(7.0);
+  EXPECT_DOUBLE_EQ(w.median(), 4.0);
+}
+
+TEST(SlidingWindow, BackOutOfRangeThrows) {
+  SlidingWindow w(2);
+  w.add(1.0);
+  EXPECT_THROW(w.back(1), std::out_of_range);
+}
+
+TEST(Percentile, InterpolatesLinearly) {
+  std::vector<double> v{10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100), 40.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 25.0);
+}
+
+TEST(Percentile, EmptyReturnsZero) {
+  EXPECT_DOUBLE_EQ(percentile({}, 50), 0.0);
+}
+
+TEST(TimeSeries, WindowAggregation) {
+  TimeSeries ts;
+  ts.add(0.5, 1.0);
+  ts.add(1.5, 2.0);
+  ts.add(2.5, 3.0);
+  ts.add(2.75, 4.0);
+  EXPECT_DOUBLE_EQ(ts.sum_in(0.0, 2.0), 3.0);
+  EXPECT_EQ(ts.count_in(2.0, 3.0), 2u);
+  EXPECT_DOUBLE_EQ(ts.mean_in(2.0, 3.0), 3.5);
+  const auto rates = ts.rate_per_window(1.0, 3.0);
+  ASSERT_EQ(rates.size(), 3u);
+  EXPECT_DOUBLE_EQ(rates[0], 1.0);
+  EXPECT_DOUBLE_EQ(rates[1], 1.0);
+  EXPECT_DOUBLE_EQ(rates[2], 2.0);
+}
+
+TEST(TimeSeries, RejectsNonMonotonicTime) {
+  TimeSeries ts;
+  ts.add(1.0, 0.0);
+  EXPECT_THROW(ts.add(0.5, 0.0), std::invalid_argument);
+}
+
+TEST(MeanAbsoluteError, Basic) {
+  EXPECT_DOUBLE_EQ(mean_absolute_error({1, 2, 3}, {2, 2, 1}), 1.0);
+  EXPECT_THROW(mean_absolute_error({1}, {1, 2}), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------- table
+
+TEST(Table, RendersAlignedAndCsv) {
+  Table t({"name", "value"});
+  t.row().add("alpha").add(1.5, 2);
+  t.row().add("b").add(std::size_t{42});
+  const std::string ascii = t.to_string();
+  EXPECT_NE(ascii.find("alpha"), std::string::npos);
+  EXPECT_NE(ascii.find("1.50"), std::string::npos);
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("name,value"), std::string::npos);
+  EXPECT_NE(csv.find("b,42"), std::string::npos);
+}
+
+TEST(Table, OverfullRowThrows) {
+  Table t({"one"});
+  t.row().add("x");
+  EXPECT_THROW(t.add("y"), std::logic_error);
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+// Property sweep: RunningStats variance matches the two-pass formula for
+// several distributions.
+class StatsProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(StatsProperty, WelfordMatchesTwoPass) {
+  Xoshiro256 rng(static_cast<std::uint64_t>(GetParam()));
+  std::vector<double> xs;
+  RunningStats s;
+  for (int i = 0; i < 5000; ++i) {
+    const double x = GetParam() % 2 ? exponential(rng, 0.5)
+                                    : normal(rng, -2.0, 3.0);
+    xs.push_back(x);
+    s.add(x);
+  }
+  double mean = 0.0;
+  for (const double x : xs) mean += x;
+  mean /= static_cast<double>(xs.size());
+  double var = 0.0;
+  for (const double x : xs) var += (x - mean) * (x - mean);
+  var /= static_cast<double>(xs.size() - 1);
+  EXPECT_NEAR(s.mean(), mean, 1e-9 * std::abs(mean) + 1e-12);
+  EXPECT_NEAR(s.variance(), var, 1e-9 * var + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StatsProperty, ::testing::Range(1, 11));
+
+}  // namespace
+}  // namespace gridpipe::util

@@ -1,0 +1,201 @@
+// Tests for the workload substrates: spin-work calibration, stream
+// generators, the scenario catalogue, imaging and text pipelines.
+
+#include <gtest/gtest.h>
+
+#include "workload/imaging.hpp"
+#include "workload/scenarios.hpp"
+#include "workload/spinwork.hpp"
+#include "workload/streams.hpp"
+#include "workload/textproc.hpp"
+
+namespace gridpipe::workload {
+namespace {
+
+// ------------------------------------------------------------ spinwork
+
+TEST(SpinWork, DeterministicInInputs) {
+  EXPECT_DOUBLE_EQ(spin_work(1000, 7), spin_work(1000, 7));
+  EXPECT_NE(spin_work(1000, 7), spin_work(1000, 8));
+}
+
+TEST(SpinWork, CalibrationIsPositive) {
+  const double rate = calibrate_spin_units_per_second(2);
+  EXPECT_GT(rate, 0.0);
+}
+
+// ------------------------------------------------------------- streams
+
+TEST(Streams, CounterItems) {
+  const auto items = counter_items(5);
+  ASSERT_EQ(items.size(), 5u);
+  EXPECT_EQ(std::any_cast<std::uint64_t>(items[3]), 3u);
+}
+
+TEST(Streams, VectorItemsDeterministic) {
+  const auto a = vector_items(3, 8, 42);
+  const auto b = vector_items(3, 8, 42);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(std::any_cast<const std::vector<double>&>(a[i]),
+              std::any_cast<const std::vector<double>&>(b[i]));
+  }
+  EXPECT_EQ(std::any_cast<const std::vector<double>&>(a[0]).size(), 8u);
+}
+
+TEST(Streams, TextItemsLookLikeText) {
+  const auto items = text_items(4, 10, 1);
+  for (const auto& item : items) {
+    const auto& text = std::any_cast<const std::string&>(item);
+    EXPECT_FALSE(text.empty());
+    EXPECT_EQ(std::count(text.begin(), text.end(), ' '), 9);
+  }
+}
+
+// ----------------------------------------------------------- scenarios
+
+TEST(Scenarios, CatalogueHasSixNamedEntries) {
+  const auto scenarios = scenario_catalog(1);
+  ASSERT_EQ(scenarios.size(), 6u);
+  for (const auto& s : scenarios) {
+    EXPECT_FALSE(s.name.empty());
+    EXPECT_GT(s.grid.num_nodes(), 0u);
+    EXPECT_NO_THROW(s.profile.validate());
+  }
+}
+
+TEST(Scenarios, LoadStepActuallySteps) {
+  const Scenario s = find_scenario("load-step", 1);
+  EXPECT_DOUBLE_EQ(s.grid.node(0).load_at(100.0), 0.0);
+  EXPECT_DOUBLE_EQ(s.grid.node(0).load_at(200.0), 8.0);
+}
+
+TEST(Scenarios, LinkDegradedCongestsAtStep) {
+  const Scenario s = find_scenario("link-degraded", 1);
+  const double before = s.grid.link(0, 1).transfer_time(1e6, 100.0);
+  const double after = s.grid.link(0, 1).transfer_time(1e6, 300.0);
+  EXPECT_NEAR(after / before, 30.0, 0.01);
+}
+
+TEST(Scenarios, UnknownNameThrows) {
+  EXPECT_THROW(find_scenario("nope", 1), std::invalid_argument);
+}
+
+// ------------------------------------------------------------- imaging
+
+TEST(Imaging, TestImageDeterministicAndInRange) {
+  const Image a = make_test_image(16, 12, 5);
+  const Image b = make_test_image(16, 12, 5);
+  EXPECT_EQ(a.pixels, b.pixels);
+  EXPECT_EQ(a.width, 16u);
+  EXPECT_EQ(a.height, 12u);
+  for (const float p : a.pixels) {
+    EXPECT_GE(p, 0.0F);
+    EXPECT_LE(p, 1.0F);
+  }
+}
+
+TEST(Imaging, BoxBlurPreservesConstantImage) {
+  Image img;
+  img.width = 8;
+  img.height = 8;
+  img.pixels.assign(64, 0.5F);
+  const Image out = box_blur(img);
+  for (const float p : out.pixels) EXPECT_NEAR(p, 0.5F, 1e-6F);
+}
+
+TEST(Imaging, BlurSmoothsVariance) {
+  const Image img = make_test_image(32, 32, 9);
+  const Image blurred = box_blur(img);
+  auto variance = [](const Image& im) {
+    const double mean = mean_pixel(im);
+    double acc = 0.0;
+    for (const float p : im.pixels) acc += (p - mean) * (p - mean);
+    return acc / static_cast<double>(im.pixels.size());
+  };
+  EXPECT_LT(variance(blurred), variance(img));
+}
+
+TEST(Imaging, SobelFlatImageIsZero) {
+  Image img;
+  img.width = 8;
+  img.height = 8;
+  img.pixels.assign(64, 0.7F);
+  const Image edges = sobel(img);
+  for (const float p : edges.pixels) EXPECT_NEAR(p, 0.0F, 1e-6F);
+}
+
+TEST(Imaging, SobelDetectsVerticalEdge) {
+  Image img;
+  img.width = 8;
+  img.height = 8;
+  img.pixels.assign(64, 0.0F);
+  for (std::size_t y = 0; y < 8; ++y) {
+    for (std::size_t x = 4; x < 8; ++x) img.at(x, y) = 1.0F;
+  }
+  const Image edges = sobel(img);
+  EXPECT_GT(edges.at(4, 4), 1.0F);   // on the edge
+  EXPECT_NEAR(edges.at(1, 4), 0.0F, 1e-6F);  // far from it
+}
+
+TEST(Imaging, ThresholdBinarizes) {
+  Image img = make_test_image(8, 8, 3);
+  const Image out = threshold(img, 0.5F);
+  for (const float p : out.pixels) {
+    EXPECT_TRUE(p == 0.0F || p == 1.0F);
+  }
+}
+
+TEST(Imaging, PipelineSpecMatchesDirectComposition) {
+  const auto spec = image_pipeline(16, 16);
+  const Image input = make_test_image(16, 16, 11);
+  const auto out = spec.run_inline(std::any(input));
+  const Image expected = threshold(sobel(box_blur(input)), 0.5F);
+  EXPECT_EQ(std::any_cast<const Image&>(out).pixels, expected.pixels);
+}
+
+// ------------------------------------------------------------ textproc
+
+TEST(TextProc, TokenizeNormalizes) {
+  const auto tokens = tokenize("Hello, World! grid-pipe 42");
+  EXPECT_EQ(tokens,
+            (std::vector<std::string>{"hello", "world", "grid", "pipe",
+                                      "42"}));
+  EXPECT_TRUE(tokenize("  ,,, ").empty());
+}
+
+TEST(TextProc, CountNgrams) {
+  const std::vector<std::string> tokens{"a", "b", "a", "b", "c"};
+  const auto unigrams = count_ngrams(tokens, 1);
+  EXPECT_EQ(unigrams.at("a"), 2u);
+  EXPECT_EQ(unigrams.at("c"), 1u);
+  const auto bigrams = count_ngrams(tokens, 2);
+  EXPECT_EQ(bigrams.at("a_b"), 2u);
+  EXPECT_EQ(bigrams.at("b_a"), 1u);
+  EXPECT_TRUE(count_ngrams(tokens, 0).empty());
+  EXPECT_TRUE(count_ngrams({"x"}, 2).empty());
+}
+
+TEST(TextProc, TopKOrdersByCountThenKey) {
+  std::map<std::string, std::uint32_t> counts{
+      {"b", 3}, {"a", 3}, {"c", 5}, {"d", 1}};
+  const auto top = top_k(counts, 3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].first, "c");
+  EXPECT_EQ(top[1].first, "a");  // ties break alphabetically
+  EXPECT_EQ(top[2].first, "b");
+}
+
+TEST(TextProc, PipelineSpecEndToEnd) {
+  const auto spec = text_pipeline(2, 256.0);
+  const auto out =
+      spec.run_inline(std::any(std::string("a b a b a c")));
+  const auto& top =
+      std::any_cast<const std::vector<std::pair<std::string, std::uint32_t>>&>(
+          out);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].first, "a_b");
+  EXPECT_EQ(top[0].second, 2u);
+}
+
+}  // namespace
+}  // namespace gridpipe::workload
