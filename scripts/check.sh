@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Tier-1 gate: configure → build (warnings are errors) → ctest.
+# Mirrors the one-command verify line in README.md, with -Werror added so
+# the tree stays warning-clean.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${BUILD_DIR:-build}"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+# Pin the options the gate depends on (the smoke test needs examples),
+# so a build dir whose cache was configured differently still verifies
+# the full 16-suites + smoke contract.
+cmake -B "$BUILD_DIR" -S . -DGRIDPIPE_WERROR=ON \
+  -DGRIDPIPE_BUILD_TESTS=ON -DGRIDPIPE_BUILD_EXAMPLES=ON
+cmake --build "$BUILD_DIR" -j"$JOBS"
+# cd instead of ctest --test-dir: the latter needs CTest >= 3.20 and the
+# project supports CMake 3.16.
+(cd "$BUILD_DIR" && ctest --output-on-failure -j"$JOBS")

@@ -1,58 +1,174 @@
 #include "comm/channel.hpp"
 
 #include <algorithm>
-#include <stdexcept>
 
 namespace gridpipe::comm {
 
 MessageQueue::MessageQueue(std::size_t capacity)
     : capacity_(capacity == 0 ? 1 : capacity) {}
 
-bool MessageQueue::push(Message message) {
-  std::unique_lock lock(mutex_);
-  not_full_.wait(lock,
-                 [this] { return closed_ || messages_.size() < capacity_; });
-  if (closed_) return false;
-  messages_.push_back(std::move(message));
-  not_empty_.notify_all();
-  return true;
+MessageQueue::Bucket& MessageQueue::bucket_for_locked(int source, int tag) {
+  const std::uint64_t k = key(source, tag);
+  if (cached_bucket_ && cached_key_ == k) return *cached_bucket_;
+  cached_bucket_ = &buckets_[k];
+  cached_key_ = k;
+  return *cached_bucket_;
 }
 
-std::size_t MessageQueue::find_match(int source, int tag,
-                                     Clock::time_point now) const {
-  for (std::size_t i = 0; i < messages_.size(); ++i) {
-    if (matches(messages_[i], source, tag) &&
-        messages_[i].deliver_at <= now) {
-      return i;
+void MessageQueue::insert_locked(Message message) {
+  Bucket& bucket = bucket_for_locked(message.source, message.tag);
+  bucket.fifo.push_back(Stamped{std::move(message), next_seq_++});
+  ++size_;
+}
+
+MessageQueue::Bucket* MessageQueue::find_ready_locked(int source, int tag,
+                                                      Clock::time_point now) {
+  if (source != kAnySource && tag != kAnyTag) {
+    const std::uint64_t k = key(source, tag);
+    Bucket* bucket = nullptr;
+    if (cached_bucket_ && cached_key_ == k) {
+      bucket = cached_bucket_;
+    } else {
+      const auto it = buckets_.find(k);
+      if (it == buckets_.end()) return nullptr;
+      bucket = &it->second;
+      cached_bucket_ = bucket;
+      cached_key_ = k;
+    }
+    if (bucket->fifo.empty()) return nullptr;
+    return bucket->fifo.front().msg.deliver_at <= now ? bucket : nullptr;
+  }
+  Bucket* best = nullptr;
+  std::uint64_t best_seq = 0;
+  for (auto& [k, bucket] : buckets_) {
+    if (bucket.fifo.empty()) continue;
+    const Stamped& head = bucket.fifo.front();
+    if (!matches(head.msg, source, tag) || head.msg.deliver_at > now) continue;
+    if (!best || head.seq < best_seq) {
+      best = &bucket;
+      best_seq = head.seq;
     }
   }
-  return npos;
+  return best;
 }
 
-std::optional<Clock::time_point> MessageQueue::next_delivery(int source,
-                                                             int tag) const {
+std::optional<Clock::time_point> MessageQueue::next_delivery_locked(
+    int source, int tag) const {
   std::optional<Clock::time_point> earliest;
-  for (const Message& m : messages_) {
-    if (matches(m, source, tag)) {
-      if (!earliest || m.deliver_at < *earliest) earliest = m.deliver_at;
+  if (source != kAnySource && tag != kAnyTag) {
+    const auto it = buckets_.find(key(source, tag));
+    if (it != buckets_.end() && !it->second.fifo.empty()) {
+      earliest = it->second.fifo.front().msg.deliver_at;
+    }
+    return earliest;
+  }
+  for (const auto& [k, bucket] : buckets_) {
+    if (bucket.fifo.empty()) continue;
+    const Stamped& head = bucket.fifo.front();
+    if (!matches(head.msg, source, tag)) continue;
+    if (!earliest || head.msg.deliver_at < *earliest) {
+      earliest = head.msg.deliver_at;
     }
   }
   return earliest;
 }
 
+Message MessageQueue::take_head_locked(Bucket& bucket) {
+  // Producers are notified once per pop/drain operation by the caller,
+  // not per message — a 64-message drain must not wake blocked pushers
+  // 64 times under the held mutex.
+  Message out = std::move(bucket.fifo.front().msg);
+  bucket.fifo.pop_front();
+  --size_;
+  // Empty buckets are kept: the (source, tag) vocabulary is bounded by
+  // ranks × tags, and reusing the node avoids an allocation per message
+  // on ping-pong traffic.
+  return out;
+}
+
+void MessageQueue::drain_ready_locked(std::vector<Message>& out,
+                                      std::size_t max_n, int source, int tag,
+                                      Clock::time_point now) {
+  if (source != kAnySource && tag != kAnyTag) {
+    // Exact pair: drain one bucket front-to-back, no repeated lookups.
+    const auto it = buckets_.find(key(source, tag));
+    if (it == buckets_.end()) return;
+    Bucket& bucket = it->second;
+    while (out.size() < max_n && !bucket.fifo.empty() &&
+           bucket.fifo.front().msg.deliver_at <= now) {
+      out.push_back(take_head_locked(bucket));
+    }
+    return;
+  }
+  // Wildcard: k-way merge over bucket heads by arrival seq — one O(#pairs)
+  // scan per drain plus O(log #pairs) per message, instead of re-running
+  // find_ready_locked's full scan for every message taken. All messages
+  // in a bucket share one (source, tag), so the match is checked once per
+  // bucket; only delivery must be re-checked when a new head surfaces.
+  const auto cmp = [](const std::pair<std::uint64_t, Bucket*>& a,
+                      const std::pair<std::uint64_t, Bucket*>& b) {
+    return a.first > b.first;  // min-heap on seq
+  };
+  std::vector<std::pair<std::uint64_t, Bucket*>> heap;
+  for (auto& [k, bucket] : buckets_) {
+    if (bucket.fifo.empty()) continue;
+    const Stamped& head = bucket.fifo.front();
+    if (!matches(head.msg, source, tag) || head.msg.deliver_at > now) continue;
+    heap.emplace_back(head.seq, &bucket);
+  }
+  std::make_heap(heap.begin(), heap.end(), cmp);
+  while (out.size() < max_n && !heap.empty()) {
+    std::pop_heap(heap.begin(), heap.end(), cmp);
+    Bucket& bucket = *heap.back().second;
+    heap.pop_back();
+    out.push_back(take_head_locked(bucket));
+    if (!bucket.fifo.empty() &&
+        bucket.fifo.front().msg.deliver_at <= now) {
+      heap.emplace_back(bucket.fifo.front().seq, &bucket);
+      std::push_heap(heap.begin(), heap.end(), cmp);
+    }
+  }
+}
+
+bool MessageQueue::push(Message message) {
+  std::unique_lock lock(mutex_);
+  not_full_.wait(lock, [this] { return closed_ || size_ < capacity_; });
+  if (closed_) return false;
+  insert_locked(std::move(message));
+  not_empty_.notify_all();
+  return true;
+}
+
+bool MessageQueue::push_n(std::vector<Message> batch) {
+  std::unique_lock lock(mutex_);
+  bool inserted = false;
+  for (Message& message : batch) {
+    if (size_ >= capacity_) {
+      // Let consumers see what we queued so far, or we deadlock waiting
+      // for capacity they can only free after being woken.
+      if (inserted) not_empty_.notify_all();
+      inserted = false;
+      not_full_.wait(lock, [this] { return closed_ || size_ < capacity_; });
+    }
+    if (closed_) return false;
+    insert_locked(std::move(message));
+    inserted = true;
+  }
+  if (inserted) not_empty_.notify_all();
+  return !closed_;
+}
+
 std::optional<Message> MessageQueue::pop(int source, int tag) {
   std::unique_lock lock(mutex_);
   for (;;) {
-    const std::size_t i = find_match(source, tag, Clock::now());
-    if (i != npos) {
-      Message out = std::move(messages_[i]);
-      messages_.erase(messages_.begin() + static_cast<std::ptrdiff_t>(i));
+    if (Bucket* bucket = find_ready_locked(source, tag, Clock::now())) {
+      Message out = take_head_locked(*bucket);
       not_full_.notify_all();
       return out;
     }
     if (closed_) return std::nullopt;
     // Wait for a new message or for the next matching delivery deadline.
-    if (const auto deadline = next_delivery(source, tag)) {
+    if (const auto deadline = next_delivery_locked(source, tag)) {
       not_empty_.wait_until(lock, *deadline);
     } else {
       not_empty_.wait(lock);
@@ -65,16 +181,14 @@ std::optional<Message> MessageQueue::pop_until(Clock::time_point deadline,
   std::unique_lock lock(mutex_);
   for (;;) {
     const auto now = Clock::now();
-    const std::size_t i = find_match(source, tag, now);
-    if (i != npos) {
-      Message out = std::move(messages_[i]);
-      messages_.erase(messages_.begin() + static_cast<std::ptrdiff_t>(i));
+    if (Bucket* bucket = find_ready_locked(source, tag, now)) {
+      Message out = take_head_locked(*bucket);
       not_full_.notify_all();
       return out;
     }
     if (closed_ || now >= deadline) return std::nullopt;
     auto wake = deadline;
-    if (const auto next = next_delivery(source, tag)) {
+    if (const auto next = next_delivery_locked(source, tag)) {
       wake = std::min(wake, *next);
     }
     not_empty_.wait_until(lock, wake);
@@ -83,11 +197,39 @@ std::optional<Message> MessageQueue::pop_until(Clock::time_point deadline,
 
 std::optional<Message> MessageQueue::try_pop(int source, int tag) {
   std::unique_lock lock(mutex_);
-  const std::size_t i = find_match(source, tag, Clock::now());
-  if (i == npos) return std::nullopt;
-  Message out = std::move(messages_[i]);
-  messages_.erase(messages_.begin() + static_cast<std::ptrdiff_t>(i));
+  Bucket* bucket = find_ready_locked(source, tag, Clock::now());
+  if (!bucket) return std::nullopt;
+  Message out = take_head_locked(*bucket);
   not_full_.notify_all();
+  return out;
+}
+
+std::vector<Message> MessageQueue::pop_n(std::size_t max_n, int source,
+                                         int tag) {
+  std::vector<Message> out;
+  if (max_n == 0) return out;
+  std::unique_lock lock(mutex_);
+  for (;;) {
+    drain_ready_locked(out, max_n, source, tag, Clock::now());
+    if (!out.empty() || closed_) {
+      if (!out.empty()) not_full_.notify_all();
+      return out;
+    }
+    if (const auto deadline = next_delivery_locked(source, tag)) {
+      not_empty_.wait_until(lock, *deadline);
+    } else {
+      not_empty_.wait(lock);
+    }
+  }
+}
+
+std::vector<Message> MessageQueue::try_pop_n(std::size_t max_n, int source,
+                                             int tag) {
+  std::vector<Message> out;
+  if (max_n == 0) return out;
+  std::unique_lock lock(mutex_);
+  drain_ready_locked(out, max_n, source, tag, Clock::now());
+  if (!out.empty()) not_full_.notify_all();
   return out;
 }
 
@@ -105,7 +247,7 @@ bool MessageQueue::closed() const {
 
 std::size_t MessageQueue::size() const {
   std::lock_guard lock(mutex_);
-  return messages_.size();
+  return size_;
 }
 
 }  // namespace gridpipe::comm

@@ -5,14 +5,27 @@
 // with optional (source, tag) filters. Messages carry a delivery deadline
 // so the communicator can emulate link latency without dedicated delivery
 // threads: a receive does not match a message before its deliver_at time.
-// FIFO is preserved per (source, tag) pair — the MPI non-overtaking rule.
+//
+// Storage is one FIFO bucket per (source, tag) pair rather than a single
+// scanned deque: only bucket heads are match candidates, which both
+// enforces the MPI non-overtaking rule strictly (an undelivered head
+// blocks later messages of the same pair) and makes a filtered pop O(1)
+// for an exact (source, tag) and O(#pairs) for wildcards — independent of
+// queue depth. Wildcard receives pick the delivered head with the lowest
+// arrival sequence number, preserving global arrival order across pairs.
+//
+// Batched push_n/pop_n move whole trains of messages under a single lock
+// acquisition; the executors use them to drain worker queues without
+// paying one mutex round-trip per item.
 
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <mutex>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 namespace gridpipe::comm {
@@ -36,6 +49,11 @@ class MessageQueue {
   /// Blocks while the queue is full. Returns false if closed.
   bool push(Message message);
 
+  /// Pushes a whole batch under one lock acquisition, blocking for
+  /// capacity as needed. Returns false if the queue closed before every
+  /// message was enqueued (the remainder is dropped).
+  bool push_n(std::vector<Message> batch);
+
   /// Blocks until a matching, delivered message is available or the queue
   /// is closed and drained. A message "matches" when (source, tag) agree
   /// with the filters (kAnySource / kAnyTag are wildcards).
@@ -50,28 +68,71 @@ class MessageQueue {
                                    int source = kAnySource,
                                    int tag = kAnyTag);
 
-  /// Wakes all waiters; subsequent pushes fail, pops drain then fail.
+  /// Blocks like pop() for the first message, then keeps draining
+  /// delivered matches — all under one lock acquisition — until `max_n`
+  /// messages are taken or none remain deliverable. Empty result means
+  /// closed-and-drained, except `max_n == 0`, which returns empty
+  /// immediately even on a live queue — clamp computed batch sizes to
+  /// >= 1 before using empty as a termination signal.
+  std::vector<Message> pop_n(std::size_t max_n, int source = kAnySource,
+                             int tag = kAnyTag);
+
+  /// Non-blocking batch drain; may return fewer than `max_n` (or none).
+  std::vector<Message> try_pop_n(std::size_t max_n, int source = kAnySource,
+                                 int tag = kAnyTag);
+
+  /// Wakes all waiters; subsequent pushes fail, pops drain remaining
+  /// *delivered* messages then fail.
   void close();
   bool closed() const;
 
   std::size_t size() const;
 
  private:
-  bool matches(const Message& m, int source, int tag) const noexcept {
+  struct Stamped {
+    Message msg;
+    std::uint64_t seq = 0;  ///< global arrival order, for wildcard pops
+  };
+  struct Bucket {
+    std::deque<Stamped> fifo;
+  };
+
+  static bool matches(const Message& m, int source, int tag) noexcept {
     return (source == kAnySource || m.source == source) &&
            (tag == kAnyTag || m.tag == tag);
   }
-  /// Index of the first delivered match, or npos. Caller holds the lock.
-  std::size_t find_match(int source, int tag, Clock::time_point now) const;
-  /// Earliest future deliver_at among matches (for timed waits).
-  std::optional<Clock::time_point> next_delivery(int source, int tag) const;
+  static std::uint64_t key(int source, int tag) noexcept {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(source))
+            << 32) |
+           static_cast<std::uint32_t>(tag);
+  }
 
-  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  // All helpers below assume the caller holds mutex_.
+  /// Bucket for (source, tag), via a one-entry cache: ping-pong traffic
+  /// hits the same pair every time, and unordered_map never invalidates
+  /// mapped references (buckets are never erased), so the cached pointer
+  /// stays valid across rehashes.
+  Bucket& bucket_for_locked(int source, int tag);
+  void insert_locked(Message message);
+  /// Bucket whose head matches the filters and is delivered; among several
+  /// the one with the lowest sequence number (global FIFO). nullptr if none.
+  Bucket* find_ready_locked(int source, int tag, Clock::time_point now);
+  /// Earliest deliver_at among matching bucket heads (for timed waits).
+  /// Only heads count: an undelivered head blocks its bucket.
+  std::optional<Clock::time_point> next_delivery_locked(int source,
+                                                        int tag) const;
+  Message take_head_locked(Bucket& bucket);
+  void drain_ready_locked(std::vector<Message>& out, std::size_t max_n,
+                          int source, int tag, Clock::time_point now);
 
   mutable std::mutex mutex_;
   std::condition_variable not_full_;
   std::condition_variable not_empty_;
-  std::deque<Message> messages_;
+  std::unordered_map<std::uint64_t, Bucket> buckets_;
+  std::uint64_t cached_key_ = 0;
+  Bucket* cached_bucket_ = nullptr;
+  std::size_t size_ = 0;
+  std::uint64_t next_seq_ = 0;
   std::size_t capacity_;
   bool closed_ = false;
 };

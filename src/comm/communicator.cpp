@@ -36,6 +36,32 @@ bool Communicator::send(int from, int to, int tag,
   return queues_[static_cast<std::size_t>(to)]->push(std::move(message));
 }
 
+bool Communicator::send_n(int from, int to, int tag,
+                          std::vector<std::vector<std::byte>> payloads) {
+  if (from < 0 || from >= size() || to < 0 || to >= size()) {
+    throw std::out_of_range("Communicator::send_n: bad rank");
+  }
+  if (shutdown_.load()) return false;
+  if (payloads.empty()) return true;
+  const auto base = Clock::now();
+  const double now = (delays_ && virtual_now_) ? virtual_now_() : 0.0;
+  std::vector<Message> batch;
+  batch.reserve(payloads.size());
+  for (auto& payload : payloads) {
+    Message message;
+    message.source = from;
+    message.tag = tag;
+    message.deliver_at = base;
+    if (delays_) {
+      message.deliver_at += std::chrono::duration_cast<Clock::duration>(
+          delays_->delay(from, to, payload.size(), now));
+    }
+    message.payload = std::move(payload);
+    batch.push_back(std::move(message));
+  }
+  return queues_[static_cast<std::size_t>(to)]->push_n(std::move(batch));
+}
+
 std::optional<Message> Communicator::recv(int me, int source, int tag) {
   if (me < 0 || me >= size()) {
     throw std::out_of_range("Communicator::recv: bad rank");
@@ -48,6 +74,22 @@ std::optional<Message> Communicator::try_recv(int me, int source, int tag) {
     throw std::out_of_range("Communicator::try_recv: bad rank");
   }
   return queues_[static_cast<std::size_t>(me)]->try_pop(source, tag);
+}
+
+std::vector<Message> Communicator::recv_n(int me, std::size_t max_n,
+                                          int source, int tag) {
+  if (me < 0 || me >= size()) {
+    throw std::out_of_range("Communicator::recv_n: bad rank");
+  }
+  return queues_[static_cast<std::size_t>(me)]->pop_n(max_n, source, tag);
+}
+
+std::vector<Message> Communicator::try_recv_n(int me, std::size_t max_n,
+                                              int source, int tag) {
+  if (me < 0 || me >= size()) {
+    throw std::out_of_range("Communicator::try_recv_n: bad rank");
+  }
+  return queues_[static_cast<std::size_t>(me)]->try_pop_n(max_n, source, tag);
 }
 
 std::optional<Message> Communicator::recv_for(

@@ -32,11 +32,29 @@ class Communicator {
   /// Returns false if the communicator was shut down.
   bool send(int from, int to, int tag, std::vector<std::byte> payload);
 
+  /// Sends a train of same-tag messages to one destination with a single
+  /// lock acquisition on its queue. Per-message link delays still apply,
+  /// so a large payload delays the ones queued behind it (the link
+  /// serializes). Returns false if shut down mid-batch.
+  bool send_n(int from, int to, int tag,
+              std::vector<std::vector<std::byte>> payloads);
+
   /// Blocking receive with optional source/tag filters.
   std::optional<Message> recv(int me, int source = kAnySource,
                               int tag = kAnyTag);
   std::optional<Message> try_recv(int me, int source = kAnySource,
                                   int tag = kAnyTag);
+
+  /// Blocking batch receive: waits for one delivered match, then drains up
+  /// to `max_n` under the same lock. Empty result means shut down, except
+  /// `max_n == 0`, which returns empty immediately on a live queue — clamp
+  /// computed batch sizes to >= 1 (the executors do) before using empty as
+  /// a termination signal.
+  std::vector<Message> recv_n(int me, std::size_t max_n,
+                              int source = kAnySource, int tag = kAnyTag);
+  /// Non-blocking batch drain of whatever is already delivered.
+  std::vector<Message> try_recv_n(int me, std::size_t max_n,
+                                  int source = kAnySource, int tag = kAnyTag);
 
   /// Blocking receive that gives up after `timeout`.
   std::optional<Message> recv_for(int me, std::chrono::duration<double> timeout,

@@ -19,14 +19,17 @@ std::vector<grid::NodeId> rank_map(const grid::Grid& grid) {
   return map;
 }
 
-void append_u32(Bytes& out, std::uint32_t v) {
-  const auto* p = reinterpret_cast<const std::byte*>(&v);
-  out.insert(out.end(), p, p + sizeof(v));
+// resize+memcpy instead of insert(end, p, p+sizeof): the iterator-range
+// form trips GCC 12's -Wstringop-overflow false positive (PR105329) at
+// -O3.
+template <class T>
+void append_pod(Bytes& out, T v) {
+  const std::size_t off = out.size();
+  out.resize(off + sizeof(v));
+  std::memcpy(out.data() + off, &v, sizeof(v));
 }
-void append_u64(Bytes& out, std::uint64_t v) {
-  const auto* p = reinterpret_cast<const std::byte*>(&v);
-  out.insert(out.end(), p, p + sizeof(v));
-}
+void append_u32(Bytes& out, std::uint32_t v) { append_pod(out, v); }
+void append_u64(Bytes& out, std::uint64_t v) { append_pod(out, v); }
 std::uint32_t read_u32(const Bytes& in, std::size_t& off) {
   std::uint32_t v;
   std::memcpy(&v, in.data() + off, sizeof(v));
@@ -74,6 +77,7 @@ DistributedExecutor::DistributedExecutor(const grid::Grid& grid,
   if (config_.window == 0) {
     config_.window = std::max<std::size_t>(4, 2 * stages_.size());
   }
+  if (config_.drain_batch == 0) config_.drain_batch = 1;
   start_ = std::chrono::steady_clock::now();
 }
 
@@ -145,50 +149,66 @@ void DistributedExecutor::worker_loop(int rank) {
   const auto node = static_cast<grid::NodeId>(rank);
 
   for (;;) {
-    auto message = comm_.recv(rank);
-    if (!message || message->tag == kShutdown) return;
+    // Drain the rank's queue in batches: one lock acquisition per train of
+    // delivered messages instead of one per message.
+    auto batch = comm_.recv_n(rank, config_.drain_batch);
+    if (batch.empty()) return;  // queue closed and drained
 
-    if (message->tag == kRemap) {
-      routing.mapping = decode_mapping(message->payload);
+    // Control messages jump the task queue: apply the newest kRemap in
+    // the batch before executing anything (routing is eventually
+    // consistent, so applying it a few tasks early is strictly fresher),
+    // and honor a kShutdown immediately — the controller only sends it
+    // once every result is in, so no task in this batch still matters.
+    const comm::Message* last_remap = nullptr;
+    for (const comm::Message& message : batch) {
+      if (message.tag == kShutdown) return;
+      if (message.tag == kRemap) last_remap = &message;
+    }
+    // Each remap fully overwrites the previous one, so only the newest in
+    // the batch needs decoding.
+    if (last_remap) {
+      routing.mapping = decode_mapping(last_remap->payload);
       std::fill(routing.round_robin.begin(), routing.round_robin.end(), 0);
-      continue;
-    }
-    if (message->tag != kTask) continue;  // unknown control message
-
-    std::uint64_t item;
-    std::uint32_t stage;
-    Bytes payload;
-    decode_task(message->payload, item, stage, payload);
-
-    const auto t0 = std::chrono::steady_clock::now();
-    const double v0 = virtual_now();
-    Bytes out = stages_[stage].fn(payload);
-    if (config_.emulate_compute) {
-      const double service =
-          stages_[stage].work / grid_.effective_speed(node, v0);
-      std::this_thread::sleep_until(
-          t0 + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
-                   std::chrono::duration<double>(service *
-                                                 config_.time_scale)));
-    }
-    const double duration =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-            .count() /
-        config_.time_scale;
-
-    // Report the observed speed to the controller's monitor.
-    if (duration > 0.0) {
-      comm_.send_value(rank, controller_rank(), kSpeedObs,
-                       stages_[stage].work / duration);
     }
 
-    if (stage + 1 == stages_.size()) {
-      comm_.send(rank, controller_rank(), kResult,
-                 encode_task(item, stage + 1, out));
-    } else {
-      const grid::NodeId dst = routing.pick(stage + 1);
-      comm_.send(rank, static_cast<int>(dst), kTask,
-                 encode_task(item, stage + 1, out));
+    for (comm::Message& message : batch) {
+      if (message.tag != kTask) continue;  // handled or unknown above
+
+      std::uint64_t item;
+      std::uint32_t stage;
+      Bytes payload;
+      decode_task(message.payload, item, stage, payload);
+
+      const auto t0 = std::chrono::steady_clock::now();
+      const double v0 = virtual_now();
+      Bytes out = stages_[stage].fn(payload);
+      if (config_.emulate_compute) {
+        const double service =
+            stages_[stage].work / grid_.effective_speed(node, v0);
+        std::this_thread::sleep_until(
+            t0 +
+            std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                std::chrono::duration<double>(service * config_.time_scale)));
+      }
+      const double duration =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count() /
+          config_.time_scale;
+
+      // Report the observed speed to the controller's monitor.
+      if (duration > 0.0) {
+        comm_.send_value(rank, controller_rank(), kSpeedObs,
+                         stages_[stage].work / duration);
+      }
+
+      if (stage + 1 == stages_.size()) {
+        comm_.send(rank, controller_rank(), kResult,
+                   encode_task(item, stage + 1, out));
+      } else {
+        const grid::NodeId dst = routing.pick(stage + 1);
+        comm_.send(rank, static_cast<int>(dst), kTask,
+                   encode_task(item, stage + 1, out));
+      }
     }
   }
 }
@@ -226,17 +246,29 @@ void DistributedExecutor::controller_loop(
     std::vector<Bytes>& inputs,
     std::vector<std::pair<std::uint64_t, Bytes>>& done) {
   const int me = controller_rank();
+  auto pick_first_stage = [&] {
+    return controller_mapping_
+        .replicas(0)[controller_rr_[0]++ %
+                     controller_mapping_.replica_count(0)];
+  };
   auto admit = [&](std::uint64_t index) {
-    const grid::NodeId dst =
-        controller_mapping_
-            .replicas(0)[controller_rr_[0]++ %
-                         controller_mapping_.replica_count(0)];
-    comm_.send(me, static_cast<int>(dst), kTask,
+    comm_.send(me, static_cast<int>(pick_first_stage()), kTask,
                encode_task(index, 0, inputs[index]));
   };
-  for (std::uint64_t i = 0;
-       i < std::min<std::uint64_t>(config_.window, total_items_); ++i) {
-    admit(next_input_++);
+  // Initial wave: group by destination and push each group with one lock
+  // acquisition on the destination queue.
+  {
+    const auto wave = std::min<std::uint64_t>(config_.window, total_items_);
+    std::vector<std::vector<Bytes>> per_dst(grid_.num_nodes());
+    for (std::uint64_t i = 0; i < wave; ++i) {
+      const std::uint64_t index = next_input_++;
+      per_dst[pick_first_stage()].push_back(encode_task(index, 0,
+                                                        inputs[index]));
+    }
+    for (std::size_t dst = 0; dst < per_dst.size(); ++dst) {
+      if (per_dst[dst].empty()) continue;
+      comm_.send_n(me, static_cast<int>(dst), kTask, std::move(per_dst[dst]));
+    }
   }
 
   const sched::PerfModel model(config_.model);
@@ -250,22 +282,30 @@ void DistributedExecutor::controller_loop(
       wait_real = std::max(1e-3, (next_epoch - virtual_now()) *
                                      config_.time_scale);
     }
-    auto message =
-        comm_.recv_for(me, std::chrono::duration<double>(wait_real));
-    if (message) {
-      if (message->tag == kResult) {
+    auto handle = [&](comm::Message& message) {
+      if (message.tag == kResult) {
         std::uint64_t item;
         std::uint32_t stage;
         Bytes payload;
-        decode_task(message->payload, item, stage, payload);
+        decode_task(message.payload, item, stage, payload);
         metrics_.on_item_completed(item, virtual_now(), 0.0);
         done.emplace_back(item, std::move(payload));
         if (next_input_ < total_items_) admit(next_input_++);
-      } else if (message->tag == kSpeedObs) {
-        registry_.record(
-            {monitor::SensorKind::kNodeSpeed,
-             static_cast<std::uint32_t>(message->source), 0},
-            virtual_now(), comm::Communicator::decode<double>(*message));
+      } else if (message.tag == kSpeedObs) {
+        registry_.record({monitor::SensorKind::kNodeSpeed,
+                          static_cast<std::uint32_t>(message.source), 0},
+                         virtual_now(),
+                         comm::Communicator::decode<double>(message));
+      }
+    };
+    auto message =
+        comm_.recv_for(me, std::chrono::duration<double>(wait_real));
+    if (message) {
+      handle(*message);
+      // Results tend to arrive in bursts; drain whatever else is already
+      // delivered under a single lock acquisition.
+      for (comm::Message& m : comm_.try_recv_n(me, config_.drain_batch)) {
+        handle(m);
       }
     }
     if (config_.epoch > 0.0 && virtual_now() >= next_epoch) {

@@ -53,6 +53,8 @@ struct DistExecutorConfig {
   monitor::RegistryOptions registry{};
   sim::MapperKind mapper = sim::MapperKind::kAuto;
   bool emulate_compute = true;
+  /// Max messages a rank drains per queue-lock acquisition.
+  std::size_t drain_batch = 16;
 };
 
 class DistributedExecutor {

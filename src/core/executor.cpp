@@ -33,6 +33,7 @@ Executor::Executor(const grid::Grid& grid, PipelineSpec spec,
   if (config_.window == 0) {
     config_.window = std::max<std::size_t>(4, 2 * spec_.num_stages());
   }
+  if (config_.drain_batch == 0) config_.drain_batch = 1;
   round_robin_.assign(spec_.num_stages(), 0);
   for (std::size_t n = 0; n < grid_.num_nodes(); ++n) {
     workers_.push_back(std::make_unique<NodeWorker>());
@@ -70,23 +71,36 @@ void Executor::admit_locked(std::uint64_t index) {
   workers_[node]->cv.notify_one();
 }
 
-std::optional<Executor::RtTask> Executor::next_task(grid::NodeId node) {
+std::vector<Executor::RtTask> Executor::next_tasks(grid::NodeId node,
+                                                   std::size_t max_n,
+                                                   std::uint64_t& gen_out) {
   NodeWorker& w = *workers_[node];
+  std::vector<RtTask> out;
   std::unique_lock lock(w.mutex);
   for (;;) {
-    if (done_.load()) return std::nullopt;
+    // Snapshot the remap generation at extraction time, under w.mutex:
+    // a remap that fully completed while this worker was blocked has
+    // already redistributed the queue, so the batch taken below reflects
+    // it and must not trigger a spurious mid-batch requeue.
+    gen_out = remap_gen_.load(std::memory_order_acquire);
+    if (done_.load()) return out;
     const auto now = Clock::now();
     const auto freeze = Clock::time_point(
         Clock::duration(freeze_until_.load(std::memory_order_acquire)));
     if (now >= freeze) {
-      // First deliverable task in FIFO order.
+      // Take every deliverable task in FIFO order, up to max_n, with one
+      // stable compaction pass over the queue.
+      auto keep = w.queue.begin();
       for (auto it = w.queue.begin(); it != w.queue.end(); ++it) {
-        if (it->deliver_at <= now) {
-          RtTask task = std::move(*it);
-          w.queue.erase(it);
-          return task;
+        if (out.size() < max_n && it->deliver_at <= now) {
+          out.push_back(std::move(*it));
+        } else {
+          if (keep != it) *keep = std::move(*it);
+          ++keep;
         }
       }
+      w.queue.erase(keep, w.queue.end());
+      if (!out.empty()) return out;
     }
     // Sleep until something could change: a wakeup, the freeze end, or
     // the earliest pending delivery.
@@ -105,35 +119,76 @@ std::optional<Executor::RtTask> Executor::next_task(grid::NodeId node) {
 
 void Executor::worker_loop(grid::NodeId node) {
   for (;;) {
-    auto task = next_task(node);
-    if (!task) return;
+    std::uint64_t gen = 0;
+    auto tasks = next_tasks(node, config_.drain_batch, gen);
+    if (tasks.empty()) return;
 
-    const auto t0 = Clock::now();
-    const double v0 = virtual_now();
-    std::any result = spec_.at(task->stage).fn(std::move(task->payload));
-
-    if (config_.emulate_compute) {
-      const double service_virtual =
-          profile_.stage_work[task->stage] / grid_.effective_speed(node, v0);
-      std::this_thread::sleep_until(t0 +
-                                    to_real(service_virtual, config_.time_scale));
-    }
-    const double duration_virtual =
-        std::chrono::duration<double>(Clock::now() - t0).count() /
-        config_.time_scale;
-
-    {
-      std::lock_guard lock(metrics_mutex_);
-      metrics_.on_service(task->stage, duration_virtual);
-      if (duration_virtual > 0.0) {
-        registry_.record({monitor::SensorKind::kNodeSpeed, node, 0},
-                         virtual_now(),
-                         profile_.stage_work[task->stage] / duration_virtual);
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      // A remap that lands mid-batch reclaims the unprocessed remainder.
+      // do_remap cannot see tasks held in this local vector, so hand them
+      // to requeue_per_mapping, which routes them under routing_mutex_:
+      // either before do_remap's drain (it redistributes them) or after
+      // (they go straight to the new mapping). The generation check
+      // catches remaps whose freeze window already expired.
+      if (i > 0) {
+        const auto freeze = Clock::time_point(
+            Clock::duration(freeze_until_.load(std::memory_order_acquire)));
+        if (remap_gen_.load(std::memory_order_acquire) != gen ||
+            Clock::now() < freeze) {
+          std::vector<RtTask> rest;
+          rest.reserve(tasks.size() - i);
+          std::move(tasks.begin() + static_cast<std::ptrdiff_t>(i),
+                    tasks.end(), std::back_inserter(rest));
+          requeue_per_mapping(std::move(rest));
+          break;
+        }
       }
-    }
+      RtTask& task = tasks[i];
+      const auto t0 = Clock::now();
+      const double v0 = virtual_now();
+      std::any result = spec_.at(task.stage).fn(std::move(task.payload));
 
-    task->payload = std::move(result);
-    route_onward(node, std::move(*task));
+      if (config_.emulate_compute) {
+        const double service_virtual =
+            profile_.stage_work[task.stage] / grid_.effective_speed(node, v0);
+        std::this_thread::sleep_until(
+            t0 + to_real(service_virtual, config_.time_scale));
+      }
+      const double duration_virtual =
+          std::chrono::duration<double>(Clock::now() - t0).count() /
+          config_.time_scale;
+
+      {
+        std::lock_guard lock(metrics_mutex_);
+        metrics_.on_service(task.stage, duration_virtual);
+        if (duration_virtual > 0.0) {
+          registry_.record({monitor::SensorKind::kNodeSpeed, node, 0},
+                           virtual_now(),
+                           profile_.stage_work[task.stage] / duration_virtual);
+        }
+      }
+
+      task.payload = std::move(result);
+      route_onward(node, std::move(task));
+    }
+  }
+}
+
+void Executor::requeue_per_mapping(std::vector<RtTask> tasks) {
+  // Lock order: routing, then node — same nesting as do_remap.
+  // Reverse iteration + push_front keeps the remainder's order and puts
+  // it at queue fronts (the old handback's placement): these are the
+  // oldest in-flight items, already delayed by the remap, and must not
+  // queue behind admissions that arrived while they were held.
+  std::lock_guard routing_lock(routing_mutex_);
+  for (auto it = tasks.rbegin(); it != tasks.rend(); ++it) {
+    const grid::NodeId node = pick_replica_locked(it->stage);
+    NodeWorker& w = *workers_[node];
+    {
+      std::lock_guard node_lock(w.mutex);
+      w.queue.push_front(std::move(*it));
+    }
+    w.cv.notify_one();
   }
 }
 
@@ -219,6 +274,15 @@ void Executor::do_remap(const sched::Mapping& to, double pause_virtual) {
     metrics_.on_remap(std::move(event));
   }
 
+  // Seqlock-style generation: bump before draining and again after
+  // redistributing. A worker batch extracted at any point that this
+  // remap's drain could miss — before the first bump, or between the
+  // bumps while its queue had not been drained yet — snapshots a
+  // generation that differs from the final value, so its mid-batch check
+  // reclaims the remainder. Only a batch extracted after the second bump
+  // snapshots the final generation, and by then redistribution is done.
+  remap_gen_.fetch_add(1, std::memory_order_release);
+
   // Drain all queues, switch the mapping, redistribute.
   std::vector<RtTask> pending;
   for (auto& worker : workers_) {
@@ -236,6 +300,7 @@ void Executor::do_remap(const sched::Mapping& to, double pause_virtual) {
     std::lock_guard node_lock(workers_[node]->mutex);
     workers_[node]->queue.push_back(std::move(task));
   }
+  remap_gen_.fetch_add(1, std::memory_order_release);  // second seqlock bump
   for (auto& worker : workers_) worker->cv.notify_all();
 }
 

@@ -42,6 +42,8 @@ struct ExecutorConfig {
   bool emulate_compute = true;
   /// Record NWS-style probe observations for every node/link each epoch.
   bool monitor_all = true;
+  /// Max deliverable tasks a worker takes per queue-lock acquisition.
+  std::size_t drain_batch = 8;
   std::uint64_t seed = 1;
 };
 
@@ -72,9 +74,17 @@ class Executor {
   };
 
   void worker_loop(grid::NodeId node);
-  /// Pops the next deliverable task, honoring delivery deadlines and the
-  /// remap freeze; std::nullopt when the run is over.
-  std::optional<RtTask> next_task(grid::NodeId node);
+  /// Pops up to `max_n` deliverable tasks in FIFO order with a single
+  /// lock acquisition, honoring delivery deadlines and the remap freeze;
+  /// empty when the run is over. `gen_out` receives the remap generation
+  /// observed at extraction time (see worker_loop's mid-batch check).
+  std::vector<RtTask> next_tasks(grid::NodeId node, std::size_t max_n,
+                                 std::uint64_t& gen_out);
+  /// Routes a reclaimed batch remainder through the *current* mapping.
+  /// Serializes against do_remap on routing_mutex_, so the tasks either
+  /// land in queues before its drain (and get redistributed) or are
+  /// routed per the new mapping.
+  void requeue_per_mapping(std::vector<RtTask> tasks);
   void route_onward(grid::NodeId from, RtTask task);
   void complete_item(std::uint64_t item, std::any output);
   void admit_locked(std::uint64_t index);  // caller holds routing_mutex_
@@ -99,6 +109,11 @@ class Executor {
   std::vector<std::unique_ptr<NodeWorker>> workers_;
   std::atomic<bool> done_{false};
   std::atomic<Clock::rep> freeze_until_{0};
+  /// Bumped twice per do_remap (seqlock-style: before the queue drain and
+  /// after redistribution); lets a worker holding a drained batch detect
+  /// any concurrent or completed remap even after the freeze window has
+  /// already expired.
+  std::atomic<std::uint64_t> remap_gen_{0};
   Clock::time_point start_{};
 
   // Results.

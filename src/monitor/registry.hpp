@@ -18,6 +18,7 @@
 
 #include "monitor/ensemble.hpp"
 #include "monitor/window.hpp"
+#include "util/require_cpp20.hpp"  // SensorId's defaulted friend operator==
 
 namespace gridpipe::monitor {
 

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "grid/grid.hpp"
+#include "util/require_cpp20.hpp"  // Mapping's defaulted friend operator==
 
 namespace gridpipe::sched {
 

@@ -1,0 +1,14 @@
+#pragma once
+// gridpipe uses defaulted friend operator== (C++20, P1185R2) in
+// monitor/registry.hpp and sched/mapping.hpp; under -std=c++17 those fail
+// to compile deep in overload resolution. CMake pins CMAKE_CXX_STANDARD
+// 20, and this assert makes the requirement load-bearing rather than an
+// accident of the default toolchain mode. MSVC reports __cplusplus as
+// 199711L unless /Zc:__cplusplus is passed, so check _MSVC_LANG there.
+#if defined(_MSVC_LANG)
+static_assert(_MSVC_LANG >= 202002L,
+              "gridpipe requires C++20 (defaulted friend operator==)");
+#else
+static_assert(__cplusplus >= 202002L,
+              "gridpipe requires C++20 (defaulted friend operator==)");
+#endif

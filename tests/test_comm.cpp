@@ -85,6 +85,156 @@ TEST(MessageQueue, CloseDrainsThenFails) {
   EXPECT_FALSE(q.push(std::move(late)));
 }
 
+TEST(MessageQueue, PushAfterCloseFails) {
+  MessageQueue q;
+  q.close();
+  EXPECT_TRUE(q.closed());
+  Message m;
+  m.payload = bytes_of(1);
+  EXPECT_FALSE(q.push(std::move(m)));
+  std::vector<Message> batch(2);
+  EXPECT_FALSE(q.push_n(std::move(batch)));
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(MessageQueue, CloseDrainsAllDeliveredMessagesInOrder) {
+  MessageQueue q;
+  for (int i = 0; i < 3; ++i) {
+    Message m;
+    m.source = i;  // three distinct pairs
+    m.payload = bytes_of(i);
+    q.push(std::move(m));
+  }
+  q.close();
+  for (int i = 0; i < 3; ++i) {
+    const auto m = q.pop();
+    ASSERT_TRUE(m);
+    EXPECT_EQ(int_of(*m), i);  // global arrival order survives close
+  }
+  EXPECT_FALSE(q.pop());
+}
+
+TEST(MessageQueue, PopUntilRespectsLateDelivery) {
+  MessageQueue q;
+  Message m;
+  m.payload = bytes_of(1);
+  m.deliver_at = Clock::now() + std::chrono::seconds(2);
+  q.push(std::move(m));
+  // The only message is delivered well after the deadline: timed pop must
+  // give up at the deadline rather than return it early or block until
+  // delivery. Margins are wide (30 ms deadline vs 2 s delivery, 1.5 s
+  // upper bound) so scheduler jitter on a loaded CI machine cannot flip
+  // the give-up path into the block-until-delivery path.
+  const auto t0 = Clock::now();
+  const auto got = q.pop_until(t0 + std::chrono::milliseconds(30));
+  EXPECT_FALSE(got);
+  const double elapsed =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+  EXPECT_GE(elapsed, 0.025);
+  EXPECT_LT(elapsed, 1.5);
+  EXPECT_EQ(q.size(), 1u);  // still queued for a later pop
+}
+
+TEST(MessageQueue, UndeliveredHeadBlocksSamePairButNotOthers) {
+  MessageQueue q;
+  Message first;
+  first.source = 0;
+  first.tag = 0;
+  first.payload = bytes_of(1);
+  first.deliver_at = Clock::now() + std::chrono::milliseconds(60);
+  q.push(std::move(first));
+  Message second;
+  second.source = 0;
+  second.tag = 0;
+  second.payload = bytes_of(2);
+  q.push(std::move(second));
+  Message other;
+  other.source = 1;
+  other.tag = 0;
+  other.payload = bytes_of(3);
+  q.push(std::move(other));
+
+  // Non-overtaking: the delivered second message of pair (0,0) must not
+  // overtake its undelivered head; an unrelated pair is unaffected.
+  EXPECT_FALSE(q.try_pop(0, 0));
+  const auto unrelated = q.try_pop(1, 0);
+  ASSERT_TRUE(unrelated);
+  EXPECT_EQ(int_of(*unrelated), 3);
+  const auto head = q.pop(0, 0);  // waits out the delivery deadline
+  ASSERT_TRUE(head);
+  EXPECT_EQ(int_of(*head), 1);
+  const auto tail = q.try_pop(0, 0);
+  ASSERT_TRUE(tail);
+  EXPECT_EQ(int_of(*tail), 2);
+}
+
+TEST(MessageQueue, PushNPopNRoundTripPreservesArrivalOrder) {
+  MessageQueue q;
+  std::vector<Message> batch;
+  for (int i = 0; i < 10; ++i) {
+    Message m;
+    m.source = i % 3;  // interleaved pairs
+    m.tag = 7;
+    m.payload = bytes_of(i);
+    batch.push_back(std::move(m));
+  }
+  EXPECT_TRUE(q.push_n(std::move(batch)));
+  EXPECT_EQ(q.size(), 10u);
+
+  const auto first = q.pop_n(4, kAnySource, 7);
+  ASSERT_EQ(first.size(), 4u);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(int_of(first[i]), i);
+  const auto rest = q.try_pop_n(100, kAnySource, 7);
+  ASSERT_EQ(rest.size(), 6u);
+  for (int i = 0; i < 6; ++i) EXPECT_EQ(int_of(rest[i]), i + 4);
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(MessageQueue, PopNFiltersAndHonorsMax) {
+  MessageQueue q;
+  for (int i = 0; i < 6; ++i) {
+    Message m;
+    m.source = i % 2;
+    m.tag = i % 2;
+    m.payload = bytes_of(i);
+    q.push(std::move(m));
+  }
+  const auto odd = q.try_pop_n(2, 1, 1);  // exact pair, capped at 2
+  ASSERT_EQ(odd.size(), 2u);
+  EXPECT_EQ(int_of(odd[0]), 1);
+  EXPECT_EQ(int_of(odd[1]), 3);
+  EXPECT_EQ(q.size(), 4u);
+  EXPECT_TRUE(q.try_pop_n(0, kAnySource, kAnyTag).empty());
+}
+
+TEST(MessageQueue, PopNReturnsEmptyOnCloseAndDrained) {
+  MessageQueue q;
+  std::thread closer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    q.close();
+  });
+  EXPECT_TRUE(q.pop_n(8).empty());  // blocked, woken by close
+  closer.join();
+}
+
+TEST(MessageQueue, PushNBlocksForCapacityUntilConsumerDrains) {
+  MessageQueue q(4);
+  std::vector<Message> batch(8);
+  for (int i = 0; i < 8; ++i) batch[static_cast<std::size_t>(i)].payload =
+      bytes_of(i);
+  std::thread consumer([&] {
+    int expected = 0;
+    while (expected < 8) {
+      const auto m = q.pop();
+      ASSERT_TRUE(m);
+      EXPECT_EQ(int_of(*m), expected++);
+    }
+  });
+  EXPECT_TRUE(q.push_n(std::move(batch)));  // must not deadlock at 4
+  consumer.join();
+  EXPECT_EQ(q.size(), 0u);
+}
+
 TEST(MessageQueue, BlockedReceiverWokenBySend) {
   MessageQueue q;
   std::thread receiver([&] {
@@ -210,6 +360,33 @@ TEST(Communicator, GatherCollectsByRank) {
     std::memcpy(&v, all[static_cast<std::size_t>(r)].data(), sizeof(int));
     EXPECT_EQ(v, r * 10);
   }
+}
+
+TEST(Communicator, SendNRecvNBatchRoundTrip) {
+  Communicator comm(2);
+  std::vector<std::vector<std::byte>> payloads;
+  for (int i = 0; i < 32; ++i) payloads.push_back(bytes_of(i));
+  ASSERT_TRUE(comm.send_n(0, 1, 9, std::move(payloads)));
+
+  int expected = 0;
+  while (expected < 32) {
+    const auto batch = comm.recv_n(1, 10, 0, 9);
+    ASSERT_FALSE(batch.empty());
+    ASSERT_LE(batch.size(), 10u);
+    for (const Message& m : batch) {
+      EXPECT_EQ(m.source, 0);
+      EXPECT_EQ(m.tag, 9);
+      EXPECT_EQ(int_of(m), expected++);
+    }
+  }
+  EXPECT_TRUE(comm.try_recv_n(1, 10).empty());
+}
+
+TEST(Communicator, RecvNReturnsEmptyAfterShutdown) {
+  Communicator comm(2);
+  comm.shutdown();
+  EXPECT_TRUE(comm.recv_n(1, 4).empty());
+  EXPECT_FALSE(comm.send_n(0, 1, 0, {bytes_of(1)}));
 }
 
 TEST(Communicator, ShutdownWakesBlockedReceivers) {

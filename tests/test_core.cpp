@@ -116,7 +116,10 @@ TEST(Executor, HeterogeneityEmulationSlowsThroughput) {
   };
   const double fast = run_with_speed(4.0);
   const double slow = run_with_speed(1.0);
-  EXPECT_GT(fast, 2.0 * slow);
+  // Ideal ratio is 4x; fixed per-item overheads (thread wakeups,
+  // sleep_until granularity) compress the fast run under machine load,
+  // so assert a loose band — broken emulation would give ~1x.
+  EXPECT_GT(fast, 1.5 * slow);
 }
 
 TEST(Executor, ThroughputTracksModelPrediction) {

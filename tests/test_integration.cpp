@@ -171,9 +171,10 @@ TEST(DesVsThreads, ThroughputAgreesWithinBand) {
   const auto report = executor.run(std::move(inputs));
 
   EXPECT_EQ(report.items, 200u);
-  // One shared core and sleep quantization: generous ±50% band.
-  EXPECT_GT(report.throughput, 0.5 * des_throughput);
-  EXPECT_LT(report.throughput, 1.5 * des_throughput);
+  // One shared core and sleep quantization: generous band (runs
+  // RUN_SERIAL, but CI runners may have only 2 cores).
+  EXPECT_GT(report.throughput, 0.4 * des_throughput);
+  EXPECT_LT(report.throughput, 1.6 * des_throughput);
 }
 
 // ------------------------------------- conservation on random dynamics
