@@ -33,27 +33,27 @@ int main() {
     Variant v;
     v.name = "full";
     v.options.driver = sim::DriverKind::kAdaptive;
-    v.options.epoch = 10.0;
+    v.options.adapt.epoch = 10.0;
     variants.push_back(v);
   }
   {
     Variant v = variants[0];
     v.name = "no-hysteresis";
-    v.options.policy.enable_hysteresis = false;
+    v.options.adapt.policy.enable_hysteresis = false;
     variants.push_back(v);
   }
   {
     Variant v = variants[0];
     v.name = "no-cost-gate";
-    v.options.policy.enable_cost_gate = false;
+    v.options.adapt.policy.enable_cost_gate = false;
     variants.push_back(v);
   }
   {
     Variant v = variants[0];
     v.name = "eager";
-    v.options.policy.enable_hysteresis = false;
-    v.options.policy.enable_cost_gate = false;
-    v.options.policy.min_gain_ratio = 0.0;
+    v.options.adapt.policy.enable_hysteresis = false;
+    v.options.adapt.policy.enable_cost_gate = false;
+    v.options.adapt.policy.min_gain_ratio = 0.0;
     variants.push_back(v);
   }
   {
@@ -65,7 +65,7 @@ int main() {
   {
     Variant v = variants[0];
     v.name = "long-window";
-    v.options.registry.window_capacity = 512;
+    v.options.adapt.registry.window_capacity = 512;
     variants.push_back(v);
   }
 

@@ -32,8 +32,8 @@ int main() {
 
       sim::DriverOptions options;
       options.driver = sim::DriverKind::kAdaptive;
-      options.epoch = 10.0;
-      options.trigger = trigger;
+      options.adapt.epoch = 10.0;
+      options.adapt.trigger = trigger;
       const auto result =
           sim::run_pipeline(s.grid, s.profile, config, options);
 
@@ -41,8 +41,7 @@ int main() {
       for (const auto& e : result.epochs) decisions += e.decided;
       table.row()
           .add(name)
-          .add(trigger == sim::AdaptationTrigger::kEveryEpoch ? "periodic"
-                                                              : "on-change")
+          .add(to_string(trigger))
           .add(result.mean_throughput, 3)
           .add(result.remap_count)
           .add(decisions)

@@ -36,12 +36,12 @@ int main() {
 
       sim::DriverOptions adaptive;
       adaptive.driver = sim::DriverKind::kAdaptive;
-      adaptive.epoch = epoch;
+      adaptive.adapt.epoch = epoch;
       const auto a = sim::run_pipeline(s.grid, s.profile, config, adaptive);
 
       sim::DriverOptions oracle;
       oracle.driver = sim::DriverKind::kOracle;
-      oracle.epoch = epoch;
+      oracle.adapt.epoch = epoch;
       const auto o = sim::run_pipeline(s.grid, s.profile, config, oracle);
 
       const double overhead =

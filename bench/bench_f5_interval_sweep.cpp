@@ -43,15 +43,15 @@ int main() {
 
     sim::DriverOptions naive;
     naive.driver = sim::DriverKind::kAdaptive;
-    naive.epoch = epoch;
-    naive.policy.enable_hysteresis = false;
-    naive.policy.enable_cost_gate = false;
-    naive.policy.min_gain_ratio = 0.0;
+    naive.adapt.epoch = epoch;
+    naive.adapt.policy.enable_hysteresis = false;
+    naive.adapt.policy.enable_cost_gate = false;
+    naive.adapt.policy.min_gain_ratio = 0.0;
     const auto n = sim::run_pipeline(g, profile, config, naive);
 
     sim::DriverOptions gated;
     gated.driver = sim::DriverKind::kAdaptive;
-    gated.epoch = epoch;
+    gated.adapt.epoch = epoch;
     const auto gr = sim::run_pipeline(g, profile, config, gated);
 
     table.row()
@@ -68,7 +68,7 @@ int main() {
   config.probe_interval = 5.0;
   sim::DriverOptions oracle;
   oracle.driver = sim::DriverKind::kOracle;
-  oracle.epoch = 10.0;
+  oracle.adapt.epoch = 10.0;
   const auto o = sim::run_pipeline(g, profile, config, oracle);
   std::cout << "oracle: makespan " << util::format_double(o.makespan, 1)
             << "s, remaps " << o.remap_count << "\n";

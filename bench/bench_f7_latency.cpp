@@ -70,7 +70,7 @@ int main() {
       config.seed = 9;
       sim::DriverOptions options;
       options.driver = kind;
-      options.epoch = 10.0;
+      options.adapt.epoch = 10.0;
       options.horizon = 600.0;
       const auto result =
           sim::run_pipeline(s.grid, s.profile, config, options);

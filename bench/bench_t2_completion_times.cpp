@@ -29,7 +29,7 @@ int main() {
       config.probe_noise = 0.0;
       sim::DriverOptions options;
       options.driver = kind;
-      options.epoch = 10.0;
+      options.adapt.epoch = 10.0;
       const auto result =
           sim::run_pipeline(s.grid, s.profile, config, options);
       if (kind == sim::DriverKind::kStaticOptimal) {

@@ -11,6 +11,7 @@
 #include "bench_common.hpp"
 #include "core/executor.hpp"
 #include "grid/builders.hpp"
+#include "sim/pipeline_sim.hpp"
 
 int main() {
   using namespace gridpipe;

@@ -31,7 +31,7 @@ int main() {
     auto run = [&](sim::DriverKind kind) {
       sim::DriverOptions options;
       options.driver = kind;
-      options.epoch = 10.0;
+      options.adapt.epoch = 10.0;
       return sim::run_pipeline(s.grid, s.profile, config, options);
     };
     const auto st = run(sim::DriverKind::kStaticOptimal);

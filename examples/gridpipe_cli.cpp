@@ -93,9 +93,9 @@ int main(int argc, char** argv) {
   } else {
     return usage(argv[0]);
   }
-  options.epoch = epoch;
+  options.adapt.epoch = epoch;
   if (trigger == "on-change") {
-    options.trigger = sim::AdaptationTrigger::kOnChange;
+    options.adapt.trigger = sim::AdaptationTrigger::kOnChange;
   } else if (trigger != "periodic") {
     return usage(argv[0]);
   }
@@ -116,7 +116,8 @@ int main(int argc, char** argv) {
 
   std::cout << "scenario   " << s.name << " (" << s.description << ")\n"
             << "driver     " << to_string(options.driver) << ", epoch "
-            << epoch << "s, trigger " << trigger << "\n"
+            << epoch << "s, trigger " << to_string(options.adapt.trigger)
+            << ", mapper " << to_string(options.adapt.mapper) << "\n"
             << "completed  " << result.metrics.items_completed() << "/"
             << items << " items in "
             << util::format_double(result.makespan, 1) << " virtual s\n"

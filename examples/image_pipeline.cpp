@@ -30,8 +30,8 @@ int main() {
   constexpr std::size_t kWidth = 96, kHeight = 96;
   core::AdaptivePipelineOptions options;
   options.executor.time_scale = 0.05;
-  options.executor.epoch = 3.0;  // adaptation check every 3 virtual s
-  options.executor.policy.restart_latency = 0.2;
+  options.executor.adapt.epoch = 3.0;  // adaptation check every 3 virtual s
+  options.executor.adapt.policy.restart_latency = 0.2;
 
   core::AdaptivePipeline pipeline(
       g, workload::image_pipeline(kWidth, kHeight), options);

@@ -1,0 +1,52 @@
+#pragma once
+// The shared adaptation configuration: every runtime that runs the paper's
+// monitor → forecast → map → gate → remap loop (the DES driver, the
+// threaded Executor, the message-passing DistributedExecutor) embeds one
+// AdaptationConfig instead of carrying its own copy of the knobs.
+
+#include <cstddef>
+
+#include "monitor/registry.hpp"
+#include "sched/adaptation_policy.hpp"
+#include "sched/perf_model.hpp"
+
+namespace gridpipe::control {
+
+/// Which mapping-search algorithm the controller runs each decision.
+enum class MapperKind { kAuto, kExhaustive, kDpContiguous, kGreedy, kLocalSearch };
+
+/// When does the controller run a full mapping decision?
+///  kEveryEpoch — at every epoch tick (the baseline pattern).
+///  kOnChange   — only when the ResourceChangeGate reports a significant
+///                move since the last decision, or max_staleness elapsed;
+///                quiet epochs cost one estimate build and no search.
+enum class AdaptationTrigger { kEveryEpoch, kOnChange };
+
+const char* to_string(MapperKind kind);
+const char* to_string(AdaptationTrigger trigger);
+
+/// One set of knobs for the whole adaptation pattern. Embedded by
+/// sim::DriverOptions, core::ExecutorConfig and core::DistExecutorConfig.
+struct AdaptationConfig {
+  MapperKind mapper = MapperKind::kAuto;
+  /// Virtual seconds between adaptation decisions. The simulator driver
+  /// keeps this default; the live runtimes override it to 0 in their
+  /// config initializers (0 = adaptation off, their historical opt-in).
+  double epoch = 10.0;
+  sched::AdaptationOptions policy{};
+  sched::PerfModelOptions model{};
+  monitor::RegistryOptions registry{};
+  /// Pin stage 0 to the profile's source node during mapping search.
+  bool pin_first_stage = false;
+  /// If > num_stages, the mapper may replicate stages up to this total
+  /// replica budget (0 = replication disabled).
+  std::size_t max_total_replicas = 0;
+
+  AdaptationTrigger trigger = AdaptationTrigger::kEveryEpoch;
+  /// kOnChange: relative resource move that counts as significant.
+  double change_threshold = 0.25;
+  /// kOnChange: force a full decision after this many seconds without one.
+  double max_staleness = 120.0;
+};
+
+}  // namespace gridpipe::control

@@ -1,0 +1,215 @@
+#include "control/adaptation_controller.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+#include "sched/dp_contiguous.hpp"
+#include "sched/greedy.hpp"
+#include "sched/local_search.hpp"
+#include "util/logging.hpp"
+
+namespace gridpipe::control {
+
+const char* to_string(MapperKind kind) {
+  switch (kind) {
+    case MapperKind::kAuto:         return "auto";
+    case MapperKind::kExhaustive:   return "exhaustive";
+    case MapperKind::kDpContiguous: return "dp-contiguous";
+    case MapperKind::kGreedy:       return "greedy";
+    case MapperKind::kLocalSearch:  return "local-search";
+  }
+  return "?";
+}
+
+const char* to_string(AdaptationTrigger trigger) {
+  switch (trigger) {
+    case AdaptationTrigger::kEveryEpoch: return "periodic";
+    case AdaptationTrigger::kOnChange:   return "on-change";
+  }
+  return "?";
+}
+
+sched::MapperResult choose_mapping(const sched::PerfModel& model,
+                                   const sched::PipelineProfile& profile,
+                                   const sched::ResourceEstimate& est,
+                                   MapperKind mapper, bool pin_first_stage,
+                                   std::size_t max_total_replicas) {
+  sched::MapperResult base;
+  bool have_base = false;
+
+  const std::size_t ns = profile.num_stages();
+  const std::size_t np = est.num_nodes;
+  const double space =
+      std::pow(static_cast<double>(np),
+               static_cast<double>(pin_first_stage ? ns - 1 : ns));
+
+  auto run_exhaustive = [&]() -> bool {
+    sched::ExhaustiveOptions opts;
+    opts.pin_first_stage = pin_first_stage;
+    const sched::ExhaustiveMapper ex(model, opts);
+    if (auto result = ex.best(profile, est)) {
+      base = std::move(*result);
+      return true;
+    }
+    return false;
+  };
+  auto run_dp = [&]() -> bool {
+    const sched::DpContiguousMapper dp(model);
+    if (auto result = dp.best(profile, est)) {
+      base = std::move(*result);
+      return true;
+    }
+    return false;
+  };
+
+  switch (mapper) {
+    case MapperKind::kExhaustive:
+      have_base = run_exhaustive();
+      break;
+    case MapperKind::kDpContiguous:
+      have_base = run_dp();
+      break;
+    case MapperKind::kGreedy:
+      base = sched::GreedyMapper(model).best(profile, est);
+      have_base = true;
+      break;
+    case MapperKind::kLocalSearch:
+      base = sched::LocalSearchMapper(model).best(profile, est);
+      have_base = true;
+      break;
+    case MapperKind::kAuto:
+      // Exhaustive only for small spaces: the adaptation loop re-runs the
+      // mapper every epoch, so per-decision cost matters.
+      if (space <= 2'000.0) have_base = run_exhaustive();
+      if (!have_base && np <= 12 && !model.options().network_serialization) {
+        have_base = run_dp();
+      }
+      if (!have_base) {
+        base = sched::LocalSearchMapper(model).best(profile, est);
+        have_base = true;
+      }
+      break;
+  }
+  if (!have_base) {
+    throw std::runtime_error(
+        "choose_mapping: selected mapper refused the instance");
+  }
+
+  if (max_total_replicas > ns) {
+    // The single-mapping optimum often folds stages onto few nodes (the
+    // fewer-nodes tie-break), which strands the greedy replica search at
+    // a colocation bottleneck. Improve from a spread seed as well and
+    // keep the better result.
+    sched::MapperResult folded = sched::improve_with_replication(
+        model, profile, est, base.mapping, max_total_replicas);
+    const sched::Mapping spread_seed =
+        sched::Mapping::round_robin(ns, np);
+    sched::MapperResult spread = sched::improve_with_replication(
+        model, profile, est, spread_seed, max_total_replicas);
+    return spread.breakdown.throughput >
+                   folded.breakdown.throughput * (1.0 + 1e-9)
+               ? spread
+               : folded;
+  }
+  return base;
+}
+
+namespace {
+
+/// Evaluates the candidate through the policy and executes the remap on
+/// the host when the decision says so. Returns true if it remapped.
+bool decide_and_apply(sched::AdaptationPolicy& policy, AdaptationHost& host,
+                      const sched::PipelineProfile& profile,
+                      const sched::ResourceEstimate& est,
+                      const sched::Mapping& deployed,
+                      const sched::Mapping& candidate) {
+  const sched::AdaptationDecision decision =
+      policy.decide(profile, est, deployed, candidate);
+  if (!decision.remap) return false;
+  util::log_info("control: remap ", deployed.to_string(), " -> ",
+                 candidate.to_string(), " pause ", decision.migration_pause,
+                 "s: ", decision.reason);
+  host.apply_remap(candidate, decision.migration_pause);
+  policy.notify_remapped();
+  return true;
+}
+
+}  // namespace
+
+AdaptationController::AdaptationController(const grid::Grid& grid,
+                                           const sched::PipelineProfile& profile,
+                                           const AdaptationConfig& config,
+                                           AdaptationHost& host, Mode mode)
+    : grid_(grid),
+      profile_(profile),
+      config_(config),
+      host_(host),
+      mode_(mode),
+      model_(config.model),
+      policy_(model_, config.policy),
+      gate_(config.change_threshold),
+      registry_(config.registry) {}
+
+void AdaptationController::record_observation(monitor::SensorId id,
+                                              double value) {
+  std::lock_guard lock(registry_mutex_);
+  registry_.record(id, host_.virtual_now(), value);
+}
+
+sched::MapperResult AdaptationController::plan(
+    const sched::ResourceEstimate& est) const {
+  return choose_mapping(model_, profile_, est, config_.mapper,
+                        config_.pin_first_stage, config_.max_total_replicas);
+}
+
+EpochRecord AdaptationController::run_epoch() {
+  const double now = host_.virtual_now();
+  host_.record_probes(now);
+
+  sched::ResourceEstimate est;
+  if (mode_ == Mode::kOracle) {
+    est = sched::ResourceEstimate::from_grid(grid_, now);
+  } else {
+    std::lock_guard lock(registry_mutex_);
+    est = sched::ResourceEstimate::from_monitor(registry_, grid_);
+  }
+
+  EpochRecord record;
+  record.time = now;
+
+  // kOnChange: skip the (expensive) mapping search on quiet epochs.
+  if (config_.trigger == AdaptationTrigger::kOnChange &&
+      gate_.has_snapshot() && !gate_.changed(est) &&
+      now - last_decision_time_ < config_.max_staleness) {
+    epochs_.push_back(record);
+    return record;
+  }
+  gate_.accept(est);
+  last_decision_time_ = now;
+
+  const sched::MapperResult candidate =
+      choose_mapping(model_, profile_, est, config_.mapper,
+                     config_.pin_first_stage, config_.max_total_replicas);
+  const sched::Mapping deployed = host_.deployed_mapping();
+
+  record.decided = true;
+  record.deployed_estimate = model_.throughput(profile_, est, deployed);
+  record.candidate_estimate = candidate.breakdown.throughput;
+
+  if (mode_ == Mode::kOracle) {
+    // Upper bound: free remap whenever the model sees any improvement.
+    if (!(candidate.mapping == deployed) &&
+        record.candidate_estimate > record.deployed_estimate * (1.0 + 1e-9)) {
+      host_.apply_remap(candidate.mapping, 0.0);
+      record.remapped = true;
+    }
+  } else {
+    record.remapped = decide_and_apply(policy_, host_, profile_, est,
+                                       deployed, candidate.mapping);
+  }
+  epochs_.push_back(record);
+  return record;
+}
+
+}  // namespace gridpipe::control

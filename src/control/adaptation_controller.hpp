@@ -1,0 +1,117 @@
+#pragma once
+// AdaptationController — the one implementation of the paper's epoch loop.
+//
+// Each epoch the controller: asks the host for fresh probes, builds a
+// ResourceEstimate from its MonitoringRegistry (or ground truth in oracle
+// mode), gates the expensive mapping search behind the kOnChange trigger,
+// runs choose_mapping, passes the candidate through the AdaptationPolicy
+// (min-gain, cost–benefit, hysteresis), and tells the host to remap when
+// the decision says so. Every epoch is recorded as an EpochRecord so all
+// runtimes expose the same diagnostics timeline.
+//
+// The host — simulator driver, threaded Executor, or DistributedExecutor —
+// keeps what is genuinely substrate-specific: the notion of time, the
+// deployed mapping, and the mechanics of a live remap. The controller owns
+// everything else, including the registry the host feeds observations
+// into (record_observation is thread-safe; the threaded runtime calls it
+// from worker threads).
+
+#include <mutex>
+#include <vector>
+
+#include "control/adaptation_config.hpp"
+#include "control/epoch_record.hpp"
+#include "grid/grid.hpp"
+#include "sched/exhaustive.hpp"  // sched::MapperResult
+#include "sched/mapping.hpp"
+
+namespace gridpipe::control {
+
+/// The substrate interface the controller drives. Implementations must
+/// tolerate apply_remap being called from the thread that calls
+/// run_epoch (the controller holds no locks across host calls).
+class AdaptationHost {
+ public:
+  virtual ~AdaptationHost() = default;
+
+  /// Current virtual time in seconds.
+  virtual double virtual_now() const = 0;
+  /// The mapping currently executing.
+  virtual sched::Mapping deployed_mapping() const = 0;
+  /// Live remap to `to`, freezing the pipeline for `pause` virtual
+  /// seconds of migration.
+  virtual void apply_remap(const sched::Mapping& to, double pause) = 0;
+  /// Push fresh NWS-style probe observations into the controller's
+  /// registry (via record_observation). Called at the top of each epoch;
+  /// hosts whose observations arrive passively may do nothing.
+  virtual void record_probes(double virtual_now) = 0;
+};
+
+/// Single mapping decision with the configured mapper (kAuto picks
+/// exhaustive for small spaces, then DP, then local search) and optional
+/// replication improvement.
+sched::MapperResult choose_mapping(const sched::PerfModel& model,
+                                   const sched::PipelineProfile& profile,
+                                   const sched::ResourceEstimate& est,
+                                   MapperKind mapper, bool pin_first_stage,
+                                   std::size_t max_total_replicas);
+
+class AdaptationController {
+ public:
+  /// kPolicy: monitor-driven estimates gated through AdaptationPolicy.
+  /// kOracle: ground-truth estimates every epoch, free instantaneous
+  /// remaps on any modeled improvement (the upper-bound driver).
+  enum class Mode { kPolicy, kOracle };
+
+  /// `grid` doubles as the catalog for monitor-based estimates and the
+  /// ground truth for oracle mode. All references must outlive the
+  /// controller.
+  AdaptationController(const grid::Grid& grid,
+                       const sched::PipelineProfile& profile,
+                       const AdaptationConfig& config, AdaptationHost& host,
+                       Mode mode = Mode::kPolicy);
+
+  /// Runs one monitor → forecast → map → gate → remap epoch at the
+  /// host's current virtual time and returns its record. Call from one
+  /// controlling thread at a time.
+  EpochRecord run_epoch();
+
+  /// Initial mapping for a deployment-time resource state.
+  sched::MapperResult plan(const sched::ResourceEstimate& est) const;
+
+  /// Thread-safe observation feed into the controller's registry. The
+  /// timestamp is sampled from the host's clock while holding the
+  /// registry lock, so concurrent recorders (worker threads vs the epoch
+  /// loop's probes) can never insert out of order into a sensor window.
+  void record_observation(monitor::SensorId id, double value);
+
+  /// Unsynchronized registry access for single-threaded hosts (the DES
+  /// wires PipelineSim's passive observations straight into it).
+  monitor::MonitoringRegistry& registry() noexcept { return registry_; }
+
+  /// Epoch timeline so far. Not synchronized against run_epoch — read it
+  /// after the run (or from the controlling thread).
+  const std::vector<EpochRecord>& epochs() const noexcept { return epochs_; }
+  std::vector<EpochRecord> take_epochs() { return std::move(epochs_); }
+
+  const sched::PerfModel& model() const noexcept { return model_; }
+  const AdaptationConfig& config() const noexcept { return config_; }
+
+ private:
+  const grid::Grid& grid_;
+  const sched::PipelineProfile& profile_;
+  AdaptationConfig config_;
+  AdaptationHost& host_;
+  Mode mode_;
+
+  sched::PerfModel model_;
+  sched::AdaptationPolicy policy_;
+  sched::ResourceChangeGate gate_;
+  double last_decision_time_ = 0.0;
+  std::vector<EpochRecord> epochs_;
+
+  mutable std::mutex registry_mutex_;
+  monitor::MonitoringRegistry registry_;
+};
+
+}  // namespace gridpipe::control

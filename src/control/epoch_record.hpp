@@ -1,0 +1,18 @@
+#pragma once
+// EpochRecord — one adaptation decision point, the diagnostics unit every
+// runtime's report exposes. Kept dependency-free so lightweight report
+// structs can include it without pulling in the controller stack.
+
+namespace gridpipe::control {
+
+struct EpochRecord {
+  double time = 0.0;
+  double deployed_estimate = 0.0;   ///< modeled thr of deployed mapping
+  double candidate_estimate = 0.0;  ///< modeled thr of best candidate
+  bool decided = false;             ///< a full mapping search ran
+  bool remapped = false;
+
+  friend bool operator==(const EpochRecord&, const EpochRecord&) = default;
+};
+
+}  // namespace gridpipe::control

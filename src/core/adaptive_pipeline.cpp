@@ -10,12 +10,13 @@ AdaptivePipeline::AdaptivePipeline(const grid::Grid& grid, PipelineSpec spec,
       options_(std::move(options)) {}
 
 sched::MapperResult AdaptivePipeline::plan() const {
-  const sched::PerfModel model(options_.executor.model);
+  const control::AdaptationConfig& adapt = options_.executor.adapt;
+  const sched::PerfModel model(adapt.model);
   const sched::ResourceEstimate est =
       sched::ResourceEstimate::from_grid(grid_, 0.0);
-  return sim::choose_mapping(model, profile_, est, options_.executor.mapper,
-                             options_.pin_first_stage,
-                             options_.max_total_replicas);
+  return control::choose_mapping(model, profile_, est, adapt.mapper,
+                                 adapt.pin_first_stage,
+                                 adapt.max_total_replicas);
 }
 
 RunReport AdaptivePipeline::run(std::vector<std::any> inputs) {

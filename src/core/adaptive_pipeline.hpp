@@ -13,15 +13,15 @@
 //   auto simulated = pipeline.simulate(...);    // virtual-time rehearsal
 
 #include "core/executor.hpp"
+#include "sim/drivers.hpp"
 
 namespace gridpipe::core {
 
 struct AdaptivePipelineOptions {
+  /// executor.adapt carries the shared control-loop knobs (mapper,
+  /// policy, pin_first_stage, max_total_replicas, trigger, ...); plan()
+  /// and run() both honor them.
   ExecutorConfig executor{};
-  /// Pin stage 0 to the node hosting the input source.
-  bool pin_first_stage = false;
-  /// Replica budget for the mapper (0 = replication off).
-  std::size_t max_total_replicas = 0;
 };
 
 class AdaptivePipeline {

@@ -4,8 +4,6 @@
 #include <cstring>
 #include <stdexcept>
 
-#include "util/logging.hpp"
-
 namespace gridpipe::core {
 
 namespace {
@@ -45,13 +43,6 @@ std::uint64_t read_u64(const Bytes& in, std::size_t& off) {
 
 }  // namespace
 
-grid::NodeId DistributedExecutor::RoutingTable::pick(std::size_t stage) {
-  const auto& reps = mapping.replicas(stage);
-  const grid::NodeId node = reps[round_robin[stage] % reps.size()];
-  ++round_robin[stage];
-  return node;
-}
-
 DistributedExecutor::DistributedExecutor(const grid::Grid& grid,
                                          std::vector<DistStage> stages,
                                          sched::Mapping initial_mapping,
@@ -62,8 +53,7 @@ DistributedExecutor::DistributedExecutor(const grid::Grid& grid,
       config_(config),
       delays_(grid, rank_map(grid), config.time_scale),
       comm_(static_cast<int>(grid.num_nodes()) + 1, &delays_,
-            [this] { return virtual_now(); }),
-      registry_(config.registry) {
+            [this] { return virtual_now(); }) {
   if (stages_.empty()) {
     throw std::invalid_argument("DistributedExecutor: no stages");
   }
@@ -79,6 +69,15 @@ DistributedExecutor::DistributedExecutor(const grid::Grid& grid,
   }
   if (config_.drain_batch == 0) config_.drain_batch = 1;
   start_ = std::chrono::steady_clock::now();
+  profile_ = profile();
+  controller_ = make_controller();
+}
+
+std::unique_ptr<control::AdaptationController>
+DistributedExecutor::make_controller() {
+  return std::make_unique<control::AdaptationController>(
+      grid_, profile_, config_.adapt,
+      static_cast<control::AdaptationHost&>(*this));
 }
 
 sched::PipelineProfile DistributedExecutor::profile() const {
@@ -145,7 +144,7 @@ sched::Mapping DistributedExecutor::decode_mapping(const Bytes& wire) {
 
 void DistributedExecutor::worker_loop(int rank) {
   RoutingTable routing{initial_mapping_,
-                       std::vector<std::size_t>(stages_.size(), 0)};
+                       sched::ReplicaRouter(stages_.size())};
   const auto node = static_cast<grid::NodeId>(rank);
 
   for (;;) {
@@ -168,7 +167,7 @@ void DistributedExecutor::worker_loop(int rank) {
     // the batch needs decoding.
     if (last_remap) {
       routing.mapping = decode_mapping(last_remap->payload);
-      std::fill(routing.round_robin.begin(), routing.round_robin.end(), 0);
+      routing.router.reset(stages_.size());
     }
 
     for (comm::Message& message : batch) {
@@ -213,33 +212,29 @@ void DistributedExecutor::worker_loop(int rank) {
   }
 }
 
-void DistributedExecutor::controller_epoch(sched::AdaptationPolicy& policy,
-                                           const sched::PerfModel& model) {
-  const sched::ResourceEstimate est =
-      sched::ResourceEstimate::from_monitor(registry_, grid_);
-  const auto p = profile();
-  const sched::MapperResult candidate =
-      sim::choose_mapping(model, p, est, config_.mapper,
-                          /*pin_first_stage=*/false, /*max_replicas=*/0);
-  const sched::AdaptationDecision decision =
-      policy.decide(p, est, controller_mapping_, candidate.mapping);
-  if (!decision.remap) return;
+sched::Mapping DistributedExecutor::deployed_mapping() const {
+  return controller_mapping_;
+}
 
+void DistributedExecutor::record_probes(double) {
+  // Observations arrive as kSpeedObs messages; nothing to probe here.
+}
+
+void DistributedExecutor::apply_remap(const sched::Mapping& to,
+                                      double pause_virtual) {
   sim::RemapEvent event;
   event.time = virtual_now();
-  event.pause = decision.migration_pause;
+  event.pause = pause_virtual;
   event.from = controller_mapping_.to_string();
-  event.to = candidate.mapping.to_string();
-  util::log_info("dist: remap ", event.from, " -> ", event.to);
+  event.to = to.to_string();
   metrics_.on_remap(std::move(event));
 
-  controller_mapping_ = candidate.mapping;
-  std::fill(controller_rr_.begin(), controller_rr_.end(), 0);
+  controller_mapping_ = to;
+  controller_router_.reset(stages_.size());
   const Bytes wire = encode_mapping(controller_mapping_);
   for (int rank = 0; rank < controller_rank(); ++rank) {
     comm_.send(controller_rank(), rank, kRemap, wire);
   }
-  policy.notify_remapped();
 }
 
 void DistributedExecutor::controller_loop(
@@ -247,9 +242,7 @@ void DistributedExecutor::controller_loop(
     std::vector<std::pair<std::uint64_t, Bytes>>& done) {
   const int me = controller_rank();
   auto pick_first_stage = [&] {
-    return controller_mapping_
-        .replicas(0)[controller_rr_[0]++ %
-                     controller_mapping_.replica_count(0)];
+    return controller_router_.pick(controller_mapping_, 0);
   };
   auto admit = [&](std::uint64_t index) {
     comm_.send(me, static_cast<int>(pick_first_stage()), kTask,
@@ -271,14 +264,13 @@ void DistributedExecutor::controller_loop(
     }
   }
 
-  const sched::PerfModel model(config_.model);
-  sched::AdaptationPolicy policy(model, config_.policy);
-  double next_epoch = config_.epoch;
+  const double epoch = config_.adapt.epoch;
+  double next_epoch = epoch;
 
   while (done.size() < total_items_) {
     // Wait at most until the next adaptation point (50 ms real otherwise).
     double wait_real = 0.05;
-    if (config_.epoch > 0.0) {
+    if (epoch > 0.0) {
       wait_real = std::max(1e-3, (next_epoch - virtual_now()) *
                                      config_.time_scale);
     }
@@ -292,10 +284,10 @@ void DistributedExecutor::controller_loop(
         done.emplace_back(item, std::move(payload));
         if (next_input_ < total_items_) admit(next_input_++);
       } else if (message.tag == kSpeedObs) {
-        registry_.record({monitor::SensorKind::kNodeSpeed,
-                          static_cast<std::uint32_t>(message.source), 0},
-                         virtual_now(),
-                         comm::Communicator::decode<double>(message));
+        controller_->record_observation(
+            {monitor::SensorKind::kNodeSpeed,
+             static_cast<std::uint32_t>(message.source), 0},
+            comm::Communicator::decode<double>(message));
       }
     };
     auto message =
@@ -308,9 +300,9 @@ void DistributedExecutor::controller_loop(
         handle(m);
       }
     }
-    if (config_.epoch > 0.0 && virtual_now() >= next_epoch) {
-      controller_epoch(policy, model);
-      next_epoch += config_.epoch;
+    if (epoch > 0.0 && virtual_now() >= next_epoch) {
+      controller_->run_epoch();
+      next_epoch += epoch;
     }
   }
 
@@ -323,10 +315,16 @@ RunReport DistributedExecutor::run(std::vector<Bytes> inputs) {
   RunReport report;
   if (inputs.empty()) return report;
 
+  // Fresh controller per run: the virtual clock restarts at 0, so gate
+  // snapshots, hysteresis streaks and registry timestamps from a
+  // previous run would all be stale.
+  controller_ = make_controller();
+
   total_items_ = inputs.size();
   next_input_ = 0;
   controller_mapping_ = initial_mapping_;
-  controller_rr_.assign(stages_.size(), 0);
+  controller_router_.reset(stages_.size());
+  metrics_ = sim::SimMetrics{};  // time series restart with the clock
   start_ = std::chrono::steady_clock::now();
   report.initial_mapping = initial_mapping_.to_string();
 
@@ -358,6 +356,7 @@ RunReport DistributedExecutor::run(std::vector<Bytes> inputs) {
           : 0.0;
   report.remap_count = metrics_.remaps().size();
   report.remaps = metrics_.remaps();
+  report.epochs = controller_->take_epochs();
   report.final_mapping = controller_mapping_.to_string();
   return report;
 }

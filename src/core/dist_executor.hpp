@@ -19,17 +19,22 @@
 // item merely lands on a suboptimal node for that hop (eventual
 // consistency, no barrier needed).
 //
+// The adaptation epochs run on the controller rank and delegate to the
+// shared control::AdaptationController; this class implements its
+// AdaptationHost interface, where apply_remap broadcasts kRemap.
+//
 // Items are byte vectors (a distributed skeleton must serialize), so the
 // stage interface here is Bytes → Bytes.
 
 #include <atomic>
 #include <functional>
+#include <memory>
 #include <thread>
 
 #include "comm/communicator.hpp"
+#include "control/adaptation_controller.hpp"
 #include "core/report.hpp"
-#include "sched/adaptation_policy.hpp"
-#include "sim/drivers.hpp"
+#include "sched/replica_router.hpp"
 
 namespace gridpipe::core {
 
@@ -45,19 +50,17 @@ struct DistStage {
 };
 
 struct DistExecutorConfig {
-  double time_scale = 0.01;   ///< real seconds per virtual second
-  std::size_t window = 0;     ///< in-flight credit (0 = auto)
-  double epoch = 0.0;         ///< adaptation period in virtual s (0 = off)
-  sched::AdaptationOptions policy{};
-  sched::PerfModelOptions model{};
-  monitor::RegistryOptions registry{};
-  sim::MapperKind mapper = sim::MapperKind::kAuto;
+  double time_scale = 0.01;  ///< real seconds per virtual second
+  std::size_t window = 0;    ///< in-flight credit (0 = auto)
+  /// Shared control-loop knobs. adapt.epoch = 0 (the live-runtime
+  /// default) disables adaptation.
+  control::AdaptationConfig adapt{.epoch = 0.0};
   bool emulate_compute = true;
   /// Max messages a rank drains per queue-lock acquisition.
   std::size_t drain_batch = 16;
 };
 
-class DistributedExecutor {
+class DistributedExecutor : private control::AdaptationHost {
  public:
   DistributedExecutor(const grid::Grid& grid, std::vector<DistStage> stages,
                       sched::Mapping initial_mapping,
@@ -89,16 +92,23 @@ class DistributedExecutor {
     // Guarded copy per worker; only the owning worker touches it outside
     // of construction.
     sched::Mapping mapping;
-    std::vector<std::size_t> round_robin;
-    grid::NodeId pick(std::size_t stage);
+    sched::ReplicaRouter router;
+    grid::NodeId pick(std::size_t stage) { return router.pick(mapping, stage); }
   };
+
+  // control::AdaptationHost (called from the controller rank's epochs).
+  double virtual_now() const override;
+  sched::Mapping deployed_mapping() const override;
+  void apply_remap(const sched::Mapping& to, double pause_virtual) override;
+  void record_probes(double vnow) override;  // no-op: kSpeedObs feeds it
+
+  /// Builds the per-run controller (fresh gate/policy/registry state;
+  /// the virtual clock restarts with every run()).
+  std::unique_ptr<control::AdaptationController> make_controller();
 
   void worker_loop(int rank);
   void controller_loop(std::vector<Bytes>& inputs,
                        std::vector<std::pair<std::uint64_t, Bytes>>& done);
-  void controller_epoch(sched::AdaptationPolicy& policy,
-                        const sched::PerfModel& model);
-  double virtual_now() const;
 
   int controller_rank() const noexcept {
     return static_cast<int>(grid_.num_nodes());
@@ -114,13 +124,13 @@ class DistributedExecutor {
   std::chrono::steady_clock::time_point start_{};
 
   // Controller-side state.
-  monitor::MonitoringRegistry registry_;
+  sched::PipelineProfile profile_;
+  std::unique_ptr<control::AdaptationController> controller_;
   sched::Mapping controller_mapping_;
-  std::vector<std::size_t> controller_rr_;
+  sched::ReplicaRouter controller_router_;
   std::uint64_t next_input_ = 0;
   std::uint64_t total_items_ = 0;
   sim::SimMetrics metrics_;
-  std::vector<Bytes> const* inputs_ = nullptr;
 };
 
 }  // namespace gridpipe::core

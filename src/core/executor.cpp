@@ -2,8 +2,6 @@
 
 #include <algorithm>
 
-#include "util/logging.hpp"
-
 namespace gridpipe::core {
 
 namespace {
@@ -21,7 +19,6 @@ Executor::Executor(const grid::Grid& grid, PipelineSpec spec,
       profile_(spec_.to_profile()),
       config_(config),
       mapping_(std::move(initial_mapping)),
-      registry_(config.registry),
       rng_(config.seed) {
   mapping_.validate(grid_.num_nodes());
   if (mapping_.num_stages() != spec_.num_stages()) {
@@ -34,15 +31,17 @@ Executor::Executor(const grid::Grid& grid, PipelineSpec spec,
     config_.window = std::max<std::size_t>(4, 2 * spec_.num_stages());
   }
   if (config_.drain_batch == 0) config_.drain_batch = 1;
-  round_robin_.assign(spec_.num_stages(), 0);
+  router_.reset(spec_.num_stages());
   for (std::size_t n = 0; n < grid_.num_nodes(); ++n) {
     workers_.push_back(std::make_unique<NodeWorker>());
   }
+  controller_ = make_controller();
 }
 
-const sched::Mapping& Executor::mapping() const {
-  std::lock_guard lock(routing_mutex_);
-  return mapping_;
+std::unique_ptr<control::AdaptationController> Executor::make_controller() {
+  return std::make_unique<control::AdaptationController>(
+      grid_, profile_, config_.adapt,
+      static_cast<control::AdaptationHost&>(*this));
 }
 
 double Executor::virtual_now() const {
@@ -50,11 +49,13 @@ double Executor::virtual_now() const {
          config_.time_scale;
 }
 
+sched::Mapping Executor::deployed_mapping() const {
+  std::lock_guard lock(routing_mutex_);
+  return mapping_;
+}
+
 grid::NodeId Executor::pick_replica_locked(std::size_t stage) {
-  const auto& reps = mapping_.replicas(stage);
-  const grid::NodeId node = reps[round_robin_[stage] % reps.size()];
-  ++round_robin_[stage];
-  return node;
+  return router_.pick(mapping_, stage);
 }
 
 void Executor::admit_locked(std::uint64_t index) {
@@ -125,11 +126,12 @@ void Executor::worker_loop(grid::NodeId node) {
 
     for (std::size_t i = 0; i < tasks.size(); ++i) {
       // A remap that lands mid-batch reclaims the unprocessed remainder.
-      // do_remap cannot see tasks held in this local vector, so hand them
-      // to requeue_per_mapping, which routes them under routing_mutex_:
-      // either before do_remap's drain (it redistributes them) or after
-      // (they go straight to the new mapping). The generation check
-      // catches remaps whose freeze window already expired.
+      // apply_remap cannot see tasks held in this local vector, so hand
+      // them to requeue_per_mapping, which routes them under
+      // routing_mutex_: either before apply_remap's drain (it
+      // redistributes them) or after (they go straight to the new
+      // mapping). The generation check catches remaps whose freeze
+      // window already expired.
       if (i > 0) {
         const auto freeze = Clock::time_point(
             Clock::duration(freeze_until_.load(std::memory_order_acquire)));
@@ -161,11 +163,11 @@ void Executor::worker_loop(grid::NodeId node) {
       {
         std::lock_guard lock(metrics_mutex_);
         metrics_.on_service(task.stage, duration_virtual);
-        if (duration_virtual > 0.0) {
-          registry_.record({monitor::SensorKind::kNodeSpeed, node, 0},
-                           virtual_now(),
-                           profile_.stage_work[task.stage] / duration_virtual);
-        }
+      }
+      if (duration_virtual > 0.0) {
+        controller_->record_observation(
+            {monitor::SensorKind::kNodeSpeed, node, 0},
+            profile_.stage_work[task.stage] / duration_virtual);
       }
 
       task.payload = std::move(result);
@@ -175,7 +177,7 @@ void Executor::worker_loop(grid::NodeId node) {
 }
 
 void Executor::requeue_per_mapping(std::vector<RtTask> tasks) {
-  // Lock order: routing, then node — same nesting as do_remap.
+  // Lock order: routing, then node — same nesting as apply_remap.
   // Reverse iteration + push_front keeps the remainder's order and puts
   // it at queue fronts (the old handback's placement): these are the
   // oldest in-flight items, already delayed by the remap, and must not
@@ -237,25 +239,26 @@ void Executor::complete_item(std::uint64_t item, std::any output) {
 }
 
 void Executor::record_probes(double vnow) {
-  std::lock_guard lock(metrics_mutex_);
+  if (!config_.monitor_all) return;
   for (grid::NodeId n = 0; n < grid_.num_nodes(); ++n) {
     const double noise = std::max(0.1, 1.0 + 0.02 * util::normal(rng_, 0, 1));
-    registry_.record({monitor::SensorKind::kNodeSpeed, n, 0}, vnow,
-                     std::max(1e-9, grid_.effective_speed(n, vnow) * noise));
+    controller_->record_observation(
+        {monitor::SensorKind::kNodeSpeed, n, 0},
+        std::max(1e-9, grid_.effective_speed(n, vnow) * noise));
   }
   for (grid::NodeId a = 0; a < grid_.num_nodes(); ++a) {
     for (grid::NodeId b = 0; b < grid_.num_nodes(); ++b) {
       if (a == b) continue;
       const double noise = std::max(0.1, 1.0 + 0.02 * util::normal(rng_, 0, 1));
-      registry_.record({monitor::SensorKind::kLinkInflation, a, b}, vnow,
-                       std::max(0.01, (1.0 + grid_.link(a, b).congestion_at(
-                                                 vnow)) *
-                                          noise));
+      controller_->record_observation(
+          {monitor::SensorKind::kLinkInflation, a, b},
+          std::max(0.01,
+                   (1.0 + grid_.link(a, b).congestion_at(vnow)) * noise));
     }
   }
 }
 
-void Executor::do_remap(const sched::Mapping& to, double pause_virtual) {
+void Executor::apply_remap(const sched::Mapping& to, double pause_virtual) {
   // Lock order: routing, then nodes in id order (route_onward uses the
   // same routing -> node order, never the reverse while holding a node).
   std::lock_guard routing_lock(routing_mutex_);
@@ -294,7 +297,7 @@ void Executor::do_remap(const sched::Mapping& to, double pause_virtual) {
   std::sort(pending.begin(), pending.end(),
             [](const RtTask& a, const RtTask& b) { return a.item < b.item; });
   mapping_ = to;
-  std::fill(round_robin_.begin(), round_robin_.end(), 0);
+  router_.reset(spec_.num_stages());
   for (RtTask& task : pending) {
     const grid::NodeId node = pick_replica_locked(task.stage);
     std::lock_guard node_lock(workers_[node]->mutex);
@@ -305,15 +308,13 @@ void Executor::do_remap(const sched::Mapping& to, double pause_virtual) {
 }
 
 void Executor::controller_loop() {
-  if (config_.epoch <= 0.0) {
+  if (config_.adapt.epoch <= 0.0) {
     // No adaptation: just wait for completion.
     std::unique_lock lock(result_mutex_);
     result_cv_.wait(lock, [this] { return completed_.size() == total_items_; });
     return;
   }
-  const sched::PerfModel model(config_.model);
-  sched::AdaptationPolicy policy(model, config_.policy);
-  const auto epoch_real = to_real(config_.epoch, config_.time_scale);
+  const auto epoch_real = to_real(config_.adapt.epoch, config_.time_scale);
 
   for (;;) {
     {
@@ -324,32 +325,7 @@ void Executor::controller_loop() {
         return;
       }
     }
-    const double vnow = virtual_now();
-    if (config_.monitor_all) record_probes(vnow);
-
-    sched::ResourceEstimate est;
-    {
-      std::lock_guard lock(metrics_mutex_);
-      est = sched::ResourceEstimate::from_monitor(registry_, grid_);
-    }
-    const sched::MapperResult candidate = sim::choose_mapping(
-        model, profile_, est, config_.mapper, /*pin_first_stage=*/false,
-        /*max_total_replicas=*/0);
-
-    sched::Mapping deployed;
-    {
-      std::lock_guard lock(routing_mutex_);
-      deployed = mapping_;
-    }
-    sched::AdaptationDecision decision =
-        policy.decide(profile_, est, deployed, candidate.mapping);
-    if (decision.remap) {
-      util::log_info("executor: remap ", deployed.to_string(), " -> ",
-                     candidate.mapping.to_string(), " pause ",
-                     decision.migration_pause, "s: ", decision.reason);
-      do_remap(candidate.mapping, decision.migration_pause);
-      policy.notify_remapped();
-    }
+    controller_->run_epoch();
   }
 }
 
@@ -357,11 +333,22 @@ RunReport Executor::run(std::vector<std::any> inputs) {
   RunReport report;
   if (inputs.empty()) return report;
 
+  // Fresh controller per run: the virtual clock restarts at 0, so gate
+  // snapshots, hysteresis streaks and registry timestamps from a
+  // previous run would all be stale.
+  controller_ = make_controller();
+
   total_items_ = inputs.size();
   completed_.clear();
   completed_.reserve(inputs.size());
   done_.store(false);
   freeze_until_.store(0);
+  {
+    // Metrics restart with the virtual clock (their time series require
+    // monotonic timestamps).
+    std::lock_guard lock(metrics_mutex_);
+    metrics_ = sim::SimMetrics{};
+  }
   start_ = Clock::now();
 
   std::string initial_mapping_str;
@@ -408,6 +395,7 @@ RunReport Executor::run(std::vector<std::any> inputs) {
               : 0.0);
     }
   }
+  report.epochs = controller_->take_epochs();
   report.items = report.outputs.size();
   report.wall_seconds = wall;
   report.virtual_seconds = wall / config_.time_scale;

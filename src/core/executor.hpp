@@ -7,8 +7,10 @@
 // the timing behaviour of a heterogeneous, dynamically loaded grid — the
 // manual heterogeneity emulation the reproduction bands call for.
 // Transfers are emulated with delivery deadlines derived from the grid's
-// link model. An adaptation controller (the caller's thread) runs the
-// same monitor → forecast → map → gate → remap loop as the simulator.
+// link model. The adaptation epochs (run on the caller's thread) delegate
+// to the shared control::AdaptationController; the Executor implements
+// its AdaptationHost interface (virtual_now / deployed_mapping /
+// apply_remap / record_probes).
 //
 // Output order: the skeleton restores input order before returning
 // (Pipeline1for1 semantics).
@@ -17,12 +19,16 @@
 #include <chrono>
 #include <condition_variable>
 #include <deque>
+#include <memory>
 #include <mutex>
 #include <thread>
 
+#include "control/adaptation_controller.hpp"
 #include "core/pipeline_spec.hpp"
 #include "core/report.hpp"
-#include "sim/drivers.hpp"
+#include "sched/replica_router.hpp"
+#include "sim/metrics.hpp"
+#include "util/rng.hpp"
 
 namespace gridpipe::core {
 
@@ -31,12 +37,9 @@ struct ExecutorConfig {
   double time_scale = 0.05;
   /// Max items in flight (0 = auto: 2·Ns, min 4).
   std::size_t window = 0;
-  /// Virtual seconds between adaptation checks; 0 disables adaptation.
-  double epoch = 0.0;
-  sim::MapperKind mapper = sim::MapperKind::kAuto;
-  sched::AdaptationOptions policy{};
-  sched::PerfModelOptions model{};
-  monitor::RegistryOptions registry{};
+  /// Shared control-loop knobs. adapt.epoch = 0 (the live-runtime
+  /// default) disables adaptation.
+  control::AdaptationConfig adapt{.epoch = 0.0};
   /// Stretch stage execution to the modeled duration. When false the user
   /// function's real cost is the service time (dedicated-cluster mode).
   bool emulate_compute = true;
@@ -47,7 +50,7 @@ struct ExecutorConfig {
   std::uint64_t seed = 1;
 };
 
-class Executor {
+class Executor : private control::AdaptationHost {
  public:
   Executor(const grid::Grid& grid, PipelineSpec spec,
            sched::Mapping initial_mapping, ExecutorConfig config);
@@ -55,8 +58,6 @@ class Executor {
   /// Blocking: pushes every input through the pipeline and returns the
   /// ordered outputs plus runtime statistics. Not reentrant.
   RunReport run(std::vector<std::any> inputs);
-
-  const sched::Mapping& mapping() const;
 
  private:
   using Clock = std::chrono::steady_clock;
@@ -73,6 +74,16 @@ class Executor {
     std::deque<RtTask> queue;
   };
 
+  // control::AdaptationHost (called from the controller epoch loop).
+  double virtual_now() const override;
+  sched::Mapping deployed_mapping() const override;
+  void apply_remap(const sched::Mapping& to, double pause_virtual) override;
+  void record_probes(double vnow) override;
+
+  /// Builds the per-run controller (fresh gate/policy/registry state;
+  /// the virtual clock restarts with every run()).
+  std::unique_ptr<control::AdaptationController> make_controller();
+
   void worker_loop(grid::NodeId node);
   /// Pops up to `max_n` deliverable tasks in FIFO order with a single
   /// lock acquisition, honoring delivery deadlines and the remap freeze;
@@ -81,17 +92,14 @@ class Executor {
   std::vector<RtTask> next_tasks(grid::NodeId node, std::size_t max_n,
                                  std::uint64_t& gen_out);
   /// Routes a reclaimed batch remainder through the *current* mapping.
-  /// Serializes against do_remap on routing_mutex_, so the tasks either
-  /// land in queues before its drain (and get redistributed) or are
-  /// routed per the new mapping.
+  /// Serializes against apply_remap on routing_mutex_, so the tasks
+  /// either land in queues before its drain (and get redistributed) or
+  /// are routed per the new mapping.
   void requeue_per_mapping(std::vector<RtTask> tasks);
   void route_onward(grid::NodeId from, RtTask task);
   void complete_item(std::uint64_t item, std::any output);
   void admit_locked(std::uint64_t index);  // caller holds routing_mutex_
   void controller_loop();
-  void do_remap(const sched::Mapping& to, double pause_virtual);
-  void record_probes(double vnow);
-  double virtual_now() const;
   grid::NodeId pick_replica_locked(std::size_t stage);
 
   const grid::Grid& grid_;
@@ -102,17 +110,17 @@ class Executor {
   // Routing state (mapping, round-robin, admission) — one mutex.
   mutable std::mutex routing_mutex_;
   sched::Mapping mapping_;
-  std::vector<std::size_t> round_robin_;
+  sched::ReplicaRouter router_;
   std::vector<std::any>* inputs_ = nullptr;
   std::uint64_t next_input_ = 0;
 
   std::vector<std::unique_ptr<NodeWorker>> workers_;
   std::atomic<bool> done_{false};
   std::atomic<Clock::rep> freeze_until_{0};
-  /// Bumped twice per do_remap (seqlock-style: before the queue drain and
-  /// after redistribution); lets a worker holding a drained batch detect
-  /// any concurrent or completed remap even after the freeze window has
-  /// already expired.
+  /// Bumped twice per apply_remap (seqlock-style: before the queue drain
+  /// and after redistribution); lets a worker holding a drained batch
+  /// detect any concurrent or completed remap even after the freeze
+  /// window has already expired.
   std::atomic<std::uint64_t> remap_gen_{0};
   Clock::time_point start_{};
 
@@ -122,8 +130,9 @@ class Executor {
   std::vector<std::pair<std::uint64_t, std::any>> completed_;
   std::uint64_t total_items_ = 0;
 
-  // Monitoring / adaptation.
-  monitor::MonitoringRegistry registry_;
+  // Monitoring / adaptation: the shared controller owns the registry and
+  // the decision loop; workers feed observations through it.
+  std::unique_ptr<control::AdaptationController> controller_;
   std::mutex metrics_mutex_;
   sim::SimMetrics metrics_;
   util::Xoshiro256 rng_;

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "control/epoch_record.hpp"
 #include "sim/metrics.hpp"
 
 namespace gridpipe::core {
@@ -18,6 +19,9 @@ struct RunReport {
   double throughput = 0.0;       ///< items per *virtual* second
   std::size_t remap_count = 0;
   std::vector<sim::RemapEvent> remaps;
+  /// One record per adaptation epoch (empty when adaptation is off) —
+  /// the same timeline the simulator's RunResult exposes.
+  std::vector<control::EpochRecord> epochs;
   std::string initial_mapping;
   std::string final_mapping;
   /// Mean observed service time per stage (virtual seconds).

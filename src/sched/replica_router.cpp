@@ -1,0 +1,16 @@
+#include "sched/replica_router.hpp"
+
+namespace gridpipe::sched {
+
+void ReplicaRouter::reset(std::size_t num_stages) {
+  next_.assign(num_stages, 0);
+}
+
+grid::NodeId ReplicaRouter::pick(const Mapping& mapping, std::size_t stage) {
+  const auto& reps = mapping.replicas(stage);
+  const grid::NodeId node = reps[next_[stage] % reps.size()];
+  ++next_[stage];
+  return node;
+}
+
+}  // namespace gridpipe::sched

@@ -1,0 +1,31 @@
+#pragma once
+// Round-robin routing over a mapping's replica sets — the one dispatch
+// algorithm every runtime uses when a stage is replicated (farmed). Keeps
+// a per-stage counter so successive items for the same stage rotate
+// through its replicas in order.
+
+#include <cstddef>
+#include <vector>
+
+#include "sched/mapping.hpp"
+
+namespace gridpipe::sched {
+
+class ReplicaRouter {
+ public:
+  ReplicaRouter() = default;
+  explicit ReplicaRouter(std::size_t num_stages) { reset(num_stages); }
+
+  /// Zeroes the counters (call after a remap: replica sets changed, so
+  /// the rotation restarts).
+  void reset(std::size_t num_stages);
+
+  /// Next replica of `stage` under `mapping`, round-robin. The mapping
+  /// must have at least num_stages stages and >= 1 replica per stage.
+  grid::NodeId pick(const Mapping& mapping, std::size_t stage);
+
+ private:
+  std::vector<std::size_t> next_;
+};
+
+}  // namespace gridpipe::sched

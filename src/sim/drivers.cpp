@@ -2,7 +2,6 @@
 
 #include <cmath>
 #include <memory>
-#include <stdexcept>
 
 namespace gridpipe::sim {
 
@@ -16,171 +15,25 @@ const char* to_string(DriverKind kind) {
   return "?";
 }
 
-sched::MapperResult choose_mapping(const sched::PerfModel& model,
-                                   const sched::PipelineProfile& profile,
-                                   const sched::ResourceEstimate& est,
-                                   MapperKind mapper, bool pin_first_stage,
-                                   std::size_t max_total_replicas) {
-  sched::MapperResult base;
-  bool have_base = false;
-
-  const std::size_t ns = profile.num_stages();
-  const std::size_t np = est.num_nodes;
-  const double space =
-      std::pow(static_cast<double>(np),
-               static_cast<double>(pin_first_stage ? ns - 1 : ns));
-
-  auto run_exhaustive = [&]() -> bool {
-    sched::ExhaustiveOptions opts;
-    opts.pin_first_stage = pin_first_stage;
-    const sched::ExhaustiveMapper ex(model, opts);
-    if (auto result = ex.best(profile, est)) {
-      base = std::move(*result);
-      return true;
-    }
-    return false;
-  };
-  auto run_dp = [&]() -> bool {
-    const sched::DpContiguousMapper dp(model);
-    if (auto result = dp.best(profile, est)) {
-      base = std::move(*result);
-      return true;
-    }
-    return false;
-  };
-
-  switch (mapper) {
-    case MapperKind::kExhaustive:
-      have_base = run_exhaustive();
-      break;
-    case MapperKind::kDpContiguous:
-      have_base = run_dp();
-      break;
-    case MapperKind::kGreedy:
-      base = sched::GreedyMapper(model).best(profile, est);
-      have_base = true;
-      break;
-    case MapperKind::kLocalSearch:
-      base = sched::LocalSearchMapper(model).best(profile, est);
-      have_base = true;
-      break;
-    case MapperKind::kAuto:
-      // Exhaustive only for small spaces: the adaptation loop re-runs the
-      // mapper every epoch, so per-decision cost matters.
-      if (space <= 2'000.0) have_base = run_exhaustive();
-      if (!have_base && np <= 12 && !model.options().network_serialization) {
-        have_base = run_dp();
-      }
-      if (!have_base) {
-        base = sched::LocalSearchMapper(model).best(profile, est);
-        have_base = true;
-      }
-      break;
-  }
-  if (!have_base) {
-    throw std::runtime_error(
-        "choose_mapping: selected mapper refused the instance");
-  }
-
-  if (max_total_replicas > ns) {
-    // The single-mapping optimum often folds stages onto few nodes (the
-    // fewer-nodes tie-break), which strands the greedy replica search at
-    // a colocation bottleneck. Improve from a spread seed as well and
-    // keep the better result.
-    sched::MapperResult folded = sched::improve_with_replication(
-        model, profile, est, base.mapping, max_total_replicas);
-    const sched::Mapping spread_seed =
-        sched::Mapping::round_robin(ns, np);
-    sched::MapperResult spread = sched::improve_with_replication(
-        model, profile, est, spread_seed, max_total_replicas);
-    return spread.breakdown.throughput >
-                   folded.breakdown.throughput * (1.0 + 1e-9)
-               ? spread
-               : folded;
-  }
-  return base;
-}
-
 namespace {
 
-/// Shared epoch loop state for the adaptive and oracle drivers.
-struct AdaptationLoop {
-  const grid::Grid& grid;
-  const sched::PipelineProfile& profile;
-  const DriverOptions& options;
-  sched::PerfModel model;
-  sched::AdaptationPolicy policy;
-  monitor::MonitoringRegistry* registry;
-  PipelineSim* sim = nullptr;
-  std::vector<EpochRecord>* epochs = nullptr;
-  sched::ResourceChangeGate gate{0.25};
-  double last_decision_time = 0.0;
+/// AdaptationHost over the DES: virtual time is the event queue's clock,
+/// remaps go straight into PipelineSim, and probes arrive passively (the
+/// sim feeds the controller's registry itself), so record_probes is a
+/// no-op.
+class SimHost final : public control::AdaptationHost {
+ public:
+  explicit SimHost(PipelineSim& sim) : sim_(sim) {}
 
-  AdaptationLoop(const grid::Grid& g, const sched::PipelineProfile& p,
-                 const DriverOptions& o, monitor::MonitoringRegistry* reg)
-      : grid(g),
-        profile(p),
-        options(o),
-        model(o.model),
-        policy(model, o.policy),
-        registry(reg),
-        gate(o.change_threshold) {}
-
-  void schedule_next() {
-    sim->simulator().after(options.epoch, [this] { on_epoch(); });
+  double virtual_now() const override { return sim_.simulator().now(); }
+  sched::Mapping deployed_mapping() const override { return sim_.mapping(); }
+  void apply_remap(const sched::Mapping& to, double pause) override {
+    sim_.apply_mapping(to, pause);
   }
+  void record_probes(double) override {}
 
-  void on_epoch() {
-    if (sim->finished()) return;
-    const double now = sim->simulator().now();
-
-    sched::ResourceEstimate est =
-        options.driver == DriverKind::kOracle
-            ? sched::ResourceEstimate::from_grid(grid, now)
-            : sched::ResourceEstimate::from_monitor(*registry, grid);
-
-    // kOnChange: skip the (expensive) mapping search on quiet epochs.
-    if (options.trigger == AdaptationTrigger::kOnChange &&
-        gate.has_snapshot() && !gate.changed(est) &&
-        now - last_decision_time < options.max_staleness) {
-      EpochRecord record;
-      record.time = now;
-      epochs->push_back(record);
-      schedule_next();
-      return;
-    }
-    gate.accept(est);
-    last_decision_time = now;
-
-    const sched::MapperResult candidate =
-        choose_mapping(model, profile, est, options.mapper,
-                       options.pin_first_stage, options.max_total_replicas);
-
-    EpochRecord record;
-    record.time = now;
-    record.decided = true;
-    record.deployed_estimate = model.throughput(profile, est, sim->mapping());
-    record.candidate_estimate = candidate.breakdown.throughput;
-
-    if (options.driver == DriverKind::kOracle) {
-      // Upper bound: free remap whenever the model sees any improvement.
-      if (!(candidate.mapping == sim->mapping()) &&
-          record.candidate_estimate > record.deployed_estimate * (1.0 + 1e-9)) {
-        sim->apply_mapping(candidate.mapping, 0.0);
-        record.remapped = true;
-      }
-    } else {
-      sched::AdaptationDecision decision =
-          policy.decide(profile, est, sim->mapping(), candidate.mapping);
-      if (decision.remap) {
-        sim->apply_mapping(candidate.mapping, decision.migration_pause);
-        policy.notify_remapped();
-        record.remapped = true;
-      }
-    }
-    epochs->push_back(record);
-    schedule_next();
-  }
+ private:
+  PipelineSim& sim_;
 };
 
 }  // namespace
@@ -190,7 +43,8 @@ RunResult run_pipeline(const grid::Grid& grid,
                        const SimConfig& sim_config,
                        const DriverOptions& options) {
   profile.validate();
-  const sched::PerfModel model(options.model);
+  const control::AdaptationConfig& adapt = options.adapt;
+  const sched::PerfModel model(adapt.model);
   const sched::ResourceEstimate at_deploy =
       sched::ResourceEstimate::from_grid(grid, 0.0);
 
@@ -198,31 +52,54 @@ RunResult run_pipeline(const grid::Grid& grid,
   if (options.driver == DriverKind::kStaticNaive) {
     initial = sched::Mapping::block(profile.num_stages(), grid.num_nodes());
   } else {
-    initial = choose_mapping(model, profile, at_deploy, options.mapper,
-                             options.pin_first_stage,
-                             options.max_total_replicas)
+    initial = choose_mapping(model, profile, at_deploy, adapt.mapper,
+                             adapt.pin_first_stage, adapt.max_total_replicas)
                   .mapping;
   }
 
-  monitor::MonitoringRegistry registry(options.registry);
   const bool adaptive = options.driver == DriverKind::kAdaptive ||
                         options.driver == DriverKind::kOracle;
 
-  PipelineSim sim(grid, profile, initial, sim_config,
-                  adaptive ? &registry : nullptr);
+  // One controller per run; the sim feeds its registry passively, so the
+  // oracle run (which never reads the monitor) skips the wiring.
+  struct Loop {
+    PipelineSim& sim;
+    SimHost host;
+    control::AdaptationController controller;
+    double epoch;
+
+    Loop(const grid::Grid& g, const sched::PipelineProfile& p,
+         const control::AdaptationConfig& config, PipelineSim& s,
+         control::AdaptationController::Mode mode)
+        : sim(s), host(s), controller(g, p, config, host, mode),
+          epoch(config.epoch) {}
+
+    void schedule_next() {
+      sim.simulator().after(epoch, [this] { on_epoch(); });
+    }
+    void on_epoch() {
+      if (sim.finished()) return;
+      controller.run_epoch();
+      schedule_next();
+    }
+  };
+
+  PipelineSim sim(grid, profile, initial, sim_config, nullptr);
+  std::unique_ptr<Loop> loop;
+  if (adaptive) {
+    const auto mode = options.driver == DriverKind::kOracle
+                          ? control::AdaptationController::Mode::kOracle
+                          : control::AdaptationController::Mode::kPolicy;
+    loop = std::make_unique<Loop>(grid, profile, adapt, sim, mode);
+    // Both adaptive and oracle runs attach the registry: the oracle never
+    // reads it, but keeping the sim's probe schedule (and thus its RNG
+    // stream) identical across modes preserves the historical behaviour.
+    sim.attach_registry(&loop->controller.registry());
+    loop->schedule_next();
+  }
 
   RunResult result;
   result.initial_mapping = initial;
-
-  std::unique_ptr<AdaptationLoop> loop;
-  if (adaptive) {
-    loop = std::make_unique<AdaptationLoop>(
-        grid, profile, options,
-        options.driver == DriverKind::kAdaptive ? &registry : nullptr);
-    loop->sim = &sim;
-    loop->epochs = &result.epochs;
-    loop->schedule_next();
-  }
 
   sim.start();
   if (std::isfinite(options.horizon)) {
@@ -233,6 +110,7 @@ RunResult run_pipeline(const grid::Grid& grid,
 
   result.metrics = sim.metrics();
   result.final_mapping = sim.mapping();
+  if (loop) result.epochs = loop->controller.take_epochs();
   result.remap_count = sim.metrics().remaps().size();
   result.makespan = sim.metrics().makespan();
   result.mean_throughput = sim.metrics().mean_throughput();

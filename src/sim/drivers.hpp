@@ -11,58 +11,37 @@
 //                   → gate → live remap with migration cost.
 //  kOracle        — upper bound: ground-truth estimates every epoch,
 //                   free instantaneous remaps, no gates.
+//
+// The epoch decision loop itself lives in control::AdaptationController;
+// this driver implements its AdaptationHost over PipelineSim and owns the
+// event-queue scheduling of the epochs.
 
 #include <limits>
 
-#include "sched/adaptation_policy.hpp"
-#include "sched/dp_contiguous.hpp"
-#include "sched/exhaustive.hpp"
-#include "sched/greedy.hpp"
-#include "sched/local_search.hpp"
+#include "control/adaptation_controller.hpp"
 #include "sim/pipeline_sim.hpp"
 
 namespace gridpipe::sim {
 
 enum class DriverKind { kStaticNaive, kStaticOptimal, kAdaptive, kOracle };
-enum class MapperKind { kAuto, kExhaustive, kDpContiguous, kGreedy, kLocalSearch };
 
-/// When does the adaptive driver run a full mapping decision?
-///  kEveryEpoch — at every epoch tick (the baseline pattern).
-///  kOnChange   — only when the ResourceChangeGate reports a significant
-///                move since the last decision, or max_staleness elapsed;
-///                quiet epochs cost one estimate build and no search.
-enum class AdaptationTrigger { kEveryEpoch, kOnChange };
+// The mapper/trigger vocabulary and the mapping-selection entry point are
+// shared with the live runtimes; re-export them under the historical
+// sim:: names.
+using control::AdaptationTrigger;
+using control::EpochRecord;
+using control::MapperKind;
+using control::choose_mapping;
+using control::to_string;
 
 const char* to_string(DriverKind kind);
 
 struct DriverOptions {
   DriverKind driver = DriverKind::kAdaptive;
-  MapperKind mapper = MapperKind::kAuto;
-  double epoch = 10.0;     ///< seconds between adaptation decisions
+  /// The shared control-loop knobs (mapper, epoch, policy, model,
+  /// registry, replication budget, trigger).
+  control::AdaptationConfig adapt{};
   double horizon = std::numeric_limits<double>::infinity();
-  sched::AdaptationOptions policy{};
-  sched::PerfModelOptions model{};
-  monitor::RegistryOptions registry{};
-  /// Pin stage 0 to profile.source_node during mapping search.
-  bool pin_first_stage = false;
-  /// If > num_stages, the mapper may replicate stages up to this total
-  /// replica budget (0 = replication disabled).
-  std::size_t max_total_replicas = 0;
-
-  AdaptationTrigger trigger = AdaptationTrigger::kEveryEpoch;
-  /// kOnChange: relative resource move that counts as significant.
-  double change_threshold = 0.25;
-  /// kOnChange: force a full decision after this many seconds without one.
-  double max_staleness = 120.0;
-};
-
-/// One adaptation decision point (diagnostics for benches).
-struct EpochRecord {
-  double time = 0.0;
-  double deployed_estimate = 0.0;   ///< modeled thr of deployed mapping
-  double candidate_estimate = 0.0;  ///< modeled thr of best candidate
-  bool decided = false;             ///< a full mapping search ran
-  bool remapped = false;
 };
 
 struct RunResult {
@@ -74,15 +53,6 @@ struct RunResult {
   double makespan = 0.0;
   double mean_throughput = 0.0;
 };
-
-/// Single mapping decision with the configured mapper (kAuto picks
-/// exhaustive for small spaces, then DP, then local search) and optional
-/// replication improvement.
-sched::MapperResult choose_mapping(const sched::PerfModel& model,
-                                   const sched::PipelineProfile& profile,
-                                   const sched::ResourceEstimate& est,
-                                   MapperKind mapper, bool pin_first_stage,
-                                   std::size_t max_total_replicas);
 
 /// Runs one full stream and returns the result. Deterministic in
 /// (grid, profile, sim_config.seed, options).

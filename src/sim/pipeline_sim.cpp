@@ -24,7 +24,14 @@ PipelineSim::PipelineSim(const grid::Grid& grid,
     config_.window = std::max<std::size_t>(4, 2 * profile_.num_stages());
   }
   nodes_.resize(grid_.num_nodes());
-  round_robin_.assign(profile_.num_stages(), 0);
+  router_.reset(profile_.num_stages());
+}
+
+void PipelineSim::attach_registry(monitor::MonitoringRegistry* registry) {
+  if (started_) {
+    throw std::logic_error("PipelineSim::attach_registry: already started");
+  }
+  registry_ = registry;
 }
 
 void PipelineSim::start() {
@@ -64,10 +71,7 @@ std::size_t PipelineSim::queue_length(grid::NodeId node) const {
 }
 
 grid::NodeId PipelineSim::pick_replica(std::size_t stage) {
-  const auto& reps = mapping_.replicas(stage);
-  const grid::NodeId node = reps[round_robin_[stage] % reps.size()];
-  ++round_robin_[stage];
-  return node;
+  return router_.pick(mapping_, stage);
 }
 
 void PipelineSim::admit_next_item() {
@@ -247,7 +251,7 @@ void PipelineSim::apply_mapping(const sched::Mapping& new_mapping,
             [](const Task& a, const Task& b) { return a.item < b.item; });
 
   mapping_ = new_mapping;
-  std::fill(round_robin_.begin(), round_robin_.end(), 0);
+  router_.reset(profile_.num_stages());
   freeze_until_ = sim_.now() + pause;
 
   for (const Task& task : pending) {

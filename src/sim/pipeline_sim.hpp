@@ -26,6 +26,7 @@
 #include "grid/grid.hpp"
 #include "monitor/registry.hpp"
 #include "sched/perf_model.hpp"
+#include "sched/replica_router.hpp"
 #include "sim/metrics.hpp"
 #include "sim/simulator.hpp"
 #include "util/rng.hpp"
@@ -86,6 +87,10 @@ class PipelineSim {
   /// Admits the initial window and starts probing. Call once before run.
   void start();
 
+  /// Wires (or replaces) the registry that receives passive observations
+  /// and probes. Must be called before start().
+  void attach_registry(monitor::MonitoringRegistry* registry);
+
   Simulator& simulator() noexcept { return sim_; }
   const SimMetrics& metrics() const noexcept { return metrics_; }
   const sched::Mapping& mapping() const noexcept { return mapping_; }
@@ -138,7 +143,7 @@ class PipelineSim {
   util::Xoshiro256 rng_;
 
   std::vector<NodeState> nodes_;
-  std::vector<std::size_t> round_robin_;  // per stage
+  sched::ReplicaRouter router_;
   double freeze_until_ = 0.0;
   std::uint64_t next_item_ = 0;
   std::uint64_t in_flight_ = 0;

@@ -147,10 +147,10 @@ TEST(Executor, AdaptsAwayFromLoadedNode) {
 
   ExecutorConfig config;
   config.time_scale = 0.002;
-  config.epoch = 4.0;  // virtual seconds
-  config.policy.hysteresis_epochs = 1;
-  config.policy.min_gain_ratio = 0.2;
-  config.policy.restart_latency = 0.1;
+  config.adapt.epoch = 4.0;  // virtual seconds
+  config.adapt.policy.hysteresis_epochs = 1;
+  config.adapt.policy.min_gain_ratio = 0.2;
+  config.adapt.policy.restart_latency = 0.1;
 
   PipelineSpec spec = arithmetic_spec();
   Executor executor(g, spec, sched::Mapping(std::vector<NodeId>{0, 1, 2}),
@@ -167,6 +167,85 @@ TEST(Executor, AdaptsAwayFromLoadedNode) {
     EXPECT_EQ(std::any_cast<int>(report.outputs[static_cast<std::size_t>(i)]),
               std::any_cast<int>(reference.run_inline(std::any(i))));
   }
+}
+
+TEST(Executor, OnChangeTriggerSkipsQuietEpochs) {
+  // Stable uniform grid: after the first decision takes its snapshot, the
+  // change gate must swallow the mapping search on quiet epochs. The
+  // generous threshold keeps sleep-quantization noise in the observed
+  // speeds from tripping the gate.
+  const auto g = grid::uniform_cluster(3, 1.0, 1e-3, 1e8);
+  ExecutorConfig config;
+  config.time_scale = 0.01;
+  config.adapt.epoch = 2.0;  // virtual seconds
+  config.adapt.trigger = control::AdaptationTrigger::kOnChange;
+  config.adapt.change_threshold = 0.75;
+  config.adapt.max_staleness = 1e9;  // isolate the gate's effect
+  Executor executor(g, arithmetic_spec(),
+                    sched::Mapping(std::vector<NodeId>{0, 1, 2}), config);
+  const auto report = executor.run(int_items(400));
+
+  EXPECT_EQ(report.items, 400u);
+  ASSERT_GE(report.epochs.size(), 2u);
+  EXPECT_TRUE(report.epochs.front().decided);  // no snapshot yet
+  std::size_t decisions = 0;
+  for (const auto& e : report.epochs) decisions += e.decided;
+  EXPECT_LT(decisions, report.epochs.size());  // some epoch was quiet
+  EXPECT_LE(2 * decisions, report.epochs.size() + 2);
+  EXPECT_EQ(report.remap_count, 0u);  // nothing moved, nothing to gain
+}
+
+TEST(Executor, OnChangeTriggerReactsToLoadStep) {
+  // Node 1 gains 9x load at t = 4 virtual s: the resource move must fire
+  // the gate, force a full decision, and migrate off the loaded node.
+  auto g = grid::uniform_cluster(3, 1.0, 1e-3, 1e8);
+  grid::set_node_load(g, 1, std::make_shared<grid::StepLoad>(
+                                std::vector<grid::StepLoad::Step>{
+                                    {4.0, 9.0}}));
+
+  ExecutorConfig config;
+  config.time_scale = 0.01;
+  config.adapt.epoch = 2.0;
+  config.adapt.trigger = control::AdaptationTrigger::kOnChange;
+  config.adapt.change_threshold = 0.4;
+  config.adapt.max_staleness = 1e9;
+  config.adapt.policy.hysteresis_epochs = 1;
+  config.adapt.policy.min_gain_ratio = 0.2;
+  config.adapt.policy.restart_latency = 0.1;
+  Executor executor(g, arithmetic_spec(),
+                    sched::Mapping(std::vector<NodeId>{0, 1, 2}), config);
+  const auto report = executor.run(int_items(400));
+
+  EXPECT_EQ(report.items, 400u);
+  EXPECT_GE(report.remap_count, 1u);
+  EXPECT_EQ(report.final_mapping.find('2'), std::string::npos)
+      << "final mapping still uses loaded node: " << report.final_mapping;
+  // The remap shows up in the shared epoch timeline too.
+  std::size_t remapped_epochs = 0;
+  for (const auto& e : report.epochs) remapped_epochs += e.remapped;
+  EXPECT_EQ(remapped_epochs, report.remap_count);
+}
+
+TEST(Executor, FreshAdaptationStateOnEachRun) {
+  // run() restarts the virtual clock at 0, so the second run must not
+  // inherit the first run's gate snapshot / staleness clock (which would
+  // silently disable kOnChange adaptation for the whole second run).
+  const auto g = grid::uniform_cluster(2, 1.0, 1e-3, 1e8);
+  ExecutorConfig config;
+  config.time_scale = 0.005;
+  config.adapt.epoch = 2.0;
+  config.adapt.trigger = control::AdaptationTrigger::kOnChange;
+  config.adapt.max_staleness = 1e9;
+  Executor executor(g, arithmetic_spec(),
+                    sched::Mapping(std::vector<NodeId>{0, 1, 0}), config);
+  const auto first = executor.run(int_items(150));
+  const auto second = executor.run(int_items(150));
+  EXPECT_EQ(second.items, 150u);
+  ASSERT_FALSE(first.epochs.empty());
+  ASSERT_FALSE(second.epochs.empty());
+  EXPECT_TRUE(second.epochs.front().decided);
+  EXPECT_EQ(std::any_cast<int>(second.outputs[3]),
+            std::any_cast<int>(first.outputs[3]));
 }
 
 TEST(Executor, RejectsBadConfig) {

@@ -144,10 +144,10 @@ TEST(DistributedExecutor, AdaptsAwayFromLoadedNode) {
 
   DistExecutorConfig config;
   config.time_scale = 0.002;
-  config.epoch = 4.0;
-  config.policy.hysteresis_epochs = 1;
-  config.policy.min_gain_ratio = 0.2;
-  config.policy.restart_latency = 0.1;
+  config.adapt.epoch = 4.0;
+  config.adapt.policy.hysteresis_epochs = 1;
+  config.adapt.policy.min_gain_ratio = 0.2;
+  config.adapt.policy.restart_latency = 0.1;
 
   DistributedExecutor executor(g, arithmetic_stages(),
                                sched::Mapping(std::vector<NodeId>{0, 1, 2}),
@@ -161,6 +161,69 @@ TEST(DistributedExecutor, AdaptsAwayFromLoadedNode) {
   EXPECT_EQ(report.final_mapping.find('2'), std::string::npos)
       << "still on loaded node: " << report.final_mapping;
   // Spot-check results survived the live remap.
+  for (int i : {0, 123, 399}) {
+    const auto& out =
+        std::any_cast<const Bytes&>(report.outputs[static_cast<std::size_t>(i)]);
+    EXPECT_EQ(int_of_bytes(out), (i + 1) * 3 - 1);
+  }
+}
+
+TEST(DistributedExecutor, OnChangeTriggerSkipsQuietEpochs) {
+  // Same contract as the threaded runtime: on a stable grid the change
+  // gate swallows the mapping search after the first decision.
+  const auto g = grid::uniform_cluster(3, 1.0, 1e-3, 1e8);
+  DistExecutorConfig config;
+  config.time_scale = 0.01;
+  config.adapt.epoch = 2.0;
+  config.adapt.trigger = control::AdaptationTrigger::kOnChange;
+  config.adapt.change_threshold = 0.75;
+  config.adapt.max_staleness = 1e9;
+  DistributedExecutor executor(g, arithmetic_stages(),
+                               sched::Mapping(std::vector<NodeId>{0, 1, 2}),
+                               config);
+  std::vector<Bytes> inputs;
+  for (int i = 0; i < 400; ++i) inputs.push_back(bytes_of_int(i));
+  const auto report = executor.run(std::move(inputs));
+
+  EXPECT_EQ(report.items, 400u);
+  ASSERT_GE(report.epochs.size(), 2u);
+  EXPECT_TRUE(report.epochs.front().decided);
+  std::size_t decisions = 0;
+  for (const auto& e : report.epochs) decisions += e.decided;
+  EXPECT_LT(decisions, report.epochs.size());
+  EXPECT_EQ(report.remap_count, 0u);
+}
+
+TEST(DistributedExecutor, OnChangeTriggerReactsToLoadStep) {
+  auto g = grid::uniform_cluster(3, 1.0, 1e-3, 1e8);
+  grid::set_node_load(g, 1, std::make_shared<grid::StepLoad>(
+                                std::vector<grid::StepLoad::Step>{
+                                    {4.0, 9.0}}));
+
+  DistExecutorConfig config;
+  config.time_scale = 0.01;
+  config.adapt.epoch = 2.0;
+  config.adapt.trigger = control::AdaptationTrigger::kOnChange;
+  config.adapt.change_threshold = 0.4;
+  config.adapt.max_staleness = 1e9;
+  config.adapt.policy.hysteresis_epochs = 1;
+  config.adapt.policy.min_gain_ratio = 0.2;
+  config.adapt.policy.restart_latency = 0.1;
+  DistributedExecutor executor(g, arithmetic_stages(),
+                               sched::Mapping(std::vector<NodeId>{0, 1, 2}),
+                               config);
+  std::vector<Bytes> inputs;
+  for (int i = 0; i < 400; ++i) inputs.push_back(bytes_of_int(i));
+  const auto report = executor.run(std::move(inputs));
+
+  EXPECT_EQ(report.items, 400u);
+  EXPECT_GE(report.remap_count, 1u);
+  EXPECT_EQ(report.final_mapping.find('2'), std::string::npos)
+      << "still on loaded node: " << report.final_mapping;
+  std::size_t remapped_epochs = 0;
+  for (const auto& e : report.epochs) remapped_epochs += e.remapped;
+  EXPECT_EQ(remapped_epochs, report.remap_count);
+  // Results survived the mid-stream remap.
   for (int i : {0, 123, 399}) {
     const auto& out =
         std::any_cast<const Bytes&>(report.outputs[static_cast<std::size_t>(i)]);

@@ -124,9 +124,9 @@ TEST(OnChangeTrigger, SkipsQuietEpochsOnStableGrid) {
 
   sim::DriverOptions options;
   options.driver = sim::DriverKind::kAdaptive;
-  options.epoch = 10.0;
-  options.trigger = sim::AdaptationTrigger::kOnChange;
-  options.max_staleness = 1e9;  // isolate the gate's effect
+  options.adapt.epoch = 10.0;
+  options.adapt.trigger = sim::AdaptationTrigger::kOnChange;
+  options.adapt.max_staleness = 1e9;  // isolate the gate's effect
   const auto result = sim::run_pipeline(s.grid, s.profile, config, options);
 
   std::size_t decisions = 0;
@@ -147,8 +147,8 @@ TEST(OnChangeTrigger, StillReactsToLoadStep) {
   auto run_with = [&](sim::AdaptationTrigger trigger) {
     sim::DriverOptions options;
     options.driver = sim::DriverKind::kAdaptive;
-    options.epoch = 10.0;
-    options.trigger = trigger;
+    options.adapt.epoch = 10.0;
+    options.adapt.trigger = trigger;
     return sim::run_pipeline(s.grid, s.profile, config, options);
   };
   const auto every = run_with(sim::AdaptationTrigger::kEveryEpoch);
@@ -173,9 +173,9 @@ TEST(OnChangeTrigger, MaxStalenessForcesPeriodicDecision) {
 
   sim::DriverOptions options;
   options.driver = sim::DriverKind::kAdaptive;
-  options.epoch = 10.0;
-  options.trigger = sim::AdaptationTrigger::kOnChange;
-  options.max_staleness = 50.0;
+  options.adapt.epoch = 10.0;
+  options.adapt.trigger = sim::AdaptationTrigger::kOnChange;
+  options.adapt.max_staleness = 50.0;
   const auto result = sim::run_pipeline(s.grid, s.profile, config, options);
 
   std::size_t decisions = 0;

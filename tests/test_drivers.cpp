@@ -25,7 +25,7 @@ SimConfig stream_config(std::uint64_t items, std::uint64_t seed = 1) {
 DriverOptions driver(DriverKind kind, double epoch = 10.0) {
   DriverOptions options;
   options.driver = kind;
-  options.epoch = epoch;
+  options.adapt.epoch = epoch;
   return options;
 }
 
@@ -131,6 +131,28 @@ TEST(Drivers, DeterministicForFixedSeed) {
   EXPECT_EQ(a.final_mapping, b.final_mapping);
 }
 
+TEST(Drivers, RunResultBitIdenticalAcrossRepeatedRuns) {
+  // Refactor guard for the shared AdaptationController: a fixed seed must
+  // reproduce the whole RunResult — per-epoch timeline included — exactly.
+  const Scenario s = workload::find_scenario("load-step", 3);
+  auto run_once = [&] {
+    return run_pipeline(s.grid, s.profile, stream_config(1500, 7),
+                        driver(DriverKind::kAdaptive));
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+  EXPECT_DOUBLE_EQ(a.mean_throughput, b.mean_throughput);
+  EXPECT_EQ(a.initial_mapping, b.initial_mapping);
+  EXPECT_EQ(a.final_mapping, b.final_mapping);
+  EXPECT_EQ(a.remap_count, b.remap_count);
+  ASSERT_EQ(a.epochs.size(), b.epochs.size());
+  EXPECT_GT(a.epochs.size(), 0u);
+  for (std::size_t i = 0; i < a.epochs.size(); ++i) {
+    EXPECT_EQ(a.epochs[i], b.epochs[i]) << "epoch " << i;
+  }
+}
+
 TEST(Drivers, HorizonTruncatesRun) {
   const Scenario s = workload::find_scenario("stable", 1);
   auto options = driver(DriverKind::kStaticOptimal);
@@ -152,7 +174,7 @@ TEST(Drivers, ReplicationBudgetUsedForHotStage) {
 
   auto options = driver(DriverKind::kStaticOptimal);
   const auto plain = run_pipeline(grid, profile, stream_config(1500), options);
-  options.max_total_replicas = 6;
+  options.adapt.max_total_replicas = 6;
   const auto farmed = run_pipeline(grid, profile, stream_config(1500), options);
   EXPECT_GT(farmed.mean_throughput, plain.mean_throughput * 1.8);
   EXPECT_TRUE(farmed.initial_mapping.has_replication());
@@ -189,6 +211,13 @@ TEST(DriverNames, Stringify) {
   EXPECT_STREQ(to_string(DriverKind::kOracle), "oracle");
   EXPECT_STREQ(to_string(DriverKind::kStaticNaive), "static-naive");
   EXPECT_STREQ(to_string(DriverKind::kStaticOptimal), "static-optimal");
+  EXPECT_STREQ(to_string(MapperKind::kAuto), "auto");
+  EXPECT_STREQ(to_string(MapperKind::kExhaustive), "exhaustive");
+  EXPECT_STREQ(to_string(MapperKind::kDpContiguous), "dp-contiguous");
+  EXPECT_STREQ(to_string(MapperKind::kGreedy), "greedy");
+  EXPECT_STREQ(to_string(MapperKind::kLocalSearch), "local-search");
+  EXPECT_STREQ(to_string(AdaptationTrigger::kEveryEpoch), "periodic");
+  EXPECT_STREQ(to_string(AdaptationTrigger::kOnChange), "on-change");
 }
 
 // Scenario sweep: conservation + sane ordering on every catalogue entry.

@@ -9,6 +9,7 @@
 
 #include "core/adaptive_pipeline.hpp"
 #include "grid/builders.hpp"
+#include "sched/local_search.hpp"
 #include "sim/drivers.hpp"
 #include "workload/scenarios.hpp"
 
@@ -79,7 +80,7 @@ TEST(FailureInjection, AdaptiveEvacuatesDyingNode) {
   config.seed = 3;
   sim::DriverOptions options;
   options.driver = sim::DriverKind::kAdaptive;
-  options.epoch = 10.0;
+  options.adapt.epoch = 10.0;
   const auto result = sim::run_pipeline(g, p, config, options);
 
   EXPECT_EQ(result.metrics.items_completed(), 1200u);
@@ -123,7 +124,7 @@ TEST(FailureInjection, LinkRotHandledByRemap) {
   config.num_items = 800;
   sim::DriverOptions adaptive;
   adaptive.driver = sim::DriverKind::kAdaptive;
-  adaptive.epoch = 10.0;
+  adaptive.adapt.epoch = 10.0;
   const auto a = sim::run_pipeline(g, p, config, adaptive);
 
   sim::DriverOptions fixed;
@@ -208,7 +209,7 @@ TEST_P(RandomDynamics, NoDriverEverLosesItems) {
         sim::DriverKind::kAdaptive, sim::DriverKind::kOracle}) {
     sim::DriverOptions options;
     options.driver = kind;
-    options.epoch = 20.0;
+    options.adapt.epoch = 20.0;
     const auto result = sim::run_pipeline(g, p, config, options);
     EXPECT_EQ(result.metrics.items_completed(), 600u)
         << to_string(kind) << " seed " << seed;

@@ -11,6 +11,7 @@
 #include "sched/exhaustive.hpp"
 #include "sched/greedy.hpp"
 #include "sched/local_search.hpp"
+#include "sched/replica_router.hpp"
 
 namespace gridpipe::sched {
 namespace {
@@ -368,6 +369,20 @@ TEST(AdaptationPolicy, StreakResetsOnFailedGate) {
   EXPECT_FALSE(policy.decide(f.p, f.est, f.slow, f.slow).remap);  // reset
   EXPECT_FALSE(policy.decide(f.p, f.est, f.slow, f.fast).remap);  // streak 1
   EXPECT_TRUE(policy.decide(f.p, f.est, f.slow, f.fast).remap);   // streak 2
+}
+
+// ------------------------------------------------------- replica router
+
+TEST(ReplicaRouter, RoundRobinsAcrossReplicas) {
+  Mapping m(std::vector<NodeId>{0, 1});
+  m.add_replica(1, 2);
+  ReplicaRouter router(2);
+  EXPECT_EQ(router.pick(m, 0), 0u);
+  EXPECT_EQ(router.pick(m, 1), 1u);
+  EXPECT_EQ(router.pick(m, 1), 2u);
+  EXPECT_EQ(router.pick(m, 1), 1u);  // wraps
+  router.reset(2);
+  EXPECT_EQ(router.pick(m, 1), 1u);  // rotation restarts after a remap
 }
 
 }  // namespace
