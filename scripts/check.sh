@@ -1,20 +1,24 @@
 #!/usr/bin/env bash
 # Tier-1 gate: configure → build (warnings are errors) → ctest, then a
 # ThreadSanitizer pass over the concurrency-heavy suites (test_core,
-# test_dist_executor, test_integration).
+# test_dist_executor, test_integration) and an ASan+UBSan pass over the
+# fork/socket-heavy ones (test_proc_executor, test_comm,
+# test_dist_executor) — lifetime bugs live where processes and fds do.
 # Mirrors the one-command verify line in README.md, with -Werror added so
 # the tree stays warning-clean.
 #
-#   SKIP_TSAN=1 ./scripts/check.sh   # only the regular gate
-#   TSAN_ONLY=1 ./scripts/check.sh   # only the TSan stage (CI splits jobs)
+#   SKIP_TSAN=1 SKIP_ASAN=1 ./scripts/check.sh   # only the regular gate
+#   TSAN_ONLY=1 ./scripts/check.sh               # only the TSan stage
+#   ASAN_ONLY=1 ./scripts/check.sh               # only the ASan stage
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD_DIR="${BUILD_DIR:-build}"
 TSAN_BUILD_DIR="${TSAN_BUILD_DIR:-build-tsan}"
+ASAN_BUILD_DIR="${ASAN_BUILD_DIR:-build-asan}"
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
-if [[ -z "${TSAN_ONLY:-}" ]]; then
+if [[ -z "${TSAN_ONLY:-}" && -z "${ASAN_ONLY:-}" ]]; then
   # Pin the options the gate depends on (the smoke test needs examples),
   # so a build dir whose cache was configured differently still verifies
   # the full suites + smoke contract.
@@ -26,7 +30,7 @@ if [[ -z "${TSAN_ONLY:-}" ]]; then
   (cd "$BUILD_DIR" && ctest --output-on-failure -j"$JOBS")
 fi
 
-if [[ -z "${SKIP_TSAN:-}" ]]; then
+if [[ -z "${SKIP_TSAN:-}" && -z "${ASAN_ONLY:-}" ]]; then
   cmake -B "$TSAN_BUILD_DIR" -S . -DGRIDPIPE_TSAN=ON \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DGRIDPIPE_BUILD_BENCH=OFF -DGRIDPIPE_BUILD_EXAMPLES=OFF
@@ -40,4 +44,19 @@ if [[ -z "${SKIP_TSAN:-}" ]]; then
   (cd "$TSAN_BUILD_DIR" &&
     GTEST_FILTER='-Executor.HeterogeneityEmulationSlowsThroughput:Executor.ThroughputTracksModelPrediction:DistributedExecutor.HeterogeneityChangesThroughput:DesVsThreads.ThroughputAgreesWithinBand' \
     ctest --output-on-failure -R '^(core|dist_executor|integration)$')
+fi
+
+if [[ -z "${SKIP_ASAN:-}" && -z "${TSAN_ONLY:-}" ]]; then
+  cmake -B "$ASAN_BUILD_DIR" -S . -DGRIDPIPE_ASAN=ON \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DGRIDPIPE_BUILD_BENCH=OFF -DGRIDPIPE_BUILD_EXAMPLES=OFF
+  cmake --build "$ASAN_BUILD_DIR" -j"$JOBS" \
+    --target test_proc_executor test_comm test_dist_executor
+  # The proc suite forks real worker processes under ASan (fork is fine
+  # with ASan, unlike TSan; children _exit so LeakSanitizer only audits
+  # the parent). The wall-clock throughput-band test is excluded for the
+  # same reason as under TSan: sanitizer slowdown voids its band.
+  (cd "$ASAN_BUILD_DIR" &&
+    GTEST_FILTER='-DistributedExecutor.HeterogeneityChangesThroughput' \
+    ctest --output-on-failure -R '^(proc_executor|comm|dist_executor)$')
 fi

@@ -1,0 +1,175 @@
+#include "comm/wire.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace gridpipe::comm::wire {
+
+namespace {
+
+// resize+memcpy instead of insert(end, p, p+sizeof): the iterator-range
+// form trips GCC 12's -Wstringop-overflow false positive (PR105329) at
+// -O3.
+template <class T>
+void append_pod(Bytes& out, T v) {
+  const std::size_t off = out.size();
+  out.resize(off + sizeof(v));
+  std::memcpy(out.data() + off, &v, sizeof(v));
+}
+
+template <class T>
+T read_pod(const Bytes& in, std::size_t& off) {
+  if (in.size() - off < sizeof(T)) {
+    throw std::invalid_argument("wire: truncated input");
+  }
+  T v;
+  std::memcpy(&v, in.data() + off, sizeof(v));
+  off += sizeof(v);
+  return v;
+}
+
+}  // namespace
+
+Bytes encode_task(std::uint64_t item, std::uint32_t stage,
+                  const Bytes& payload) {
+  Bytes out;
+  out.reserve(12 + payload.size());
+  append_pod(out, item);
+  append_pod(out, stage);
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+void decode_task(const Bytes& wire, std::uint64_t& item, std::uint32_t& stage,
+                 Bytes& payload) {
+  if (wire.size() < 12) throw std::invalid_argument("decode_task: short");
+  std::size_t off = 0;
+  item = read_pod<std::uint64_t>(wire, off);
+  stage = read_pod<std::uint32_t>(wire, off);
+  payload.assign(wire.begin() + static_cast<std::ptrdiff_t>(off), wire.end());
+}
+
+Bytes encode_mapping(const sched::Mapping& mapping) {
+  Bytes out;
+  append_pod(out, static_cast<std::uint32_t>(mapping.num_stages()));
+  for (std::size_t i = 0; i < mapping.num_stages(); ++i) {
+    const auto& reps = mapping.replicas(i);
+    append_pod(out, static_cast<std::uint32_t>(reps.size()));
+    for (const grid::NodeId n : reps) {
+      append_pod(out, static_cast<std::uint32_t>(n));
+    }
+  }
+  return out;
+}
+
+sched::Mapping decode_mapping(const Bytes& wire) {
+  std::size_t off = 0;
+  const auto ns = read_pod<std::uint32_t>(wire, off);
+  // Each stage needs at least its replica count on the wire; anything
+  // claiming more stages than remaining bytes could hold is garbage.
+  if (ns > (wire.size() - off) / sizeof(std::uint32_t)) {
+    throw std::invalid_argument("decode_mapping: stage count exceeds input");
+  }
+  std::vector<std::vector<grid::NodeId>> assignment(ns);
+  for (std::uint32_t i = 0; i < ns; ++i) {
+    const auto reps = read_pod<std::uint32_t>(wire, off);
+    if (reps > (wire.size() - off) / sizeof(std::uint32_t)) {
+      throw std::invalid_argument("decode_mapping: replica count exceeds input");
+    }
+    assignment[i].reserve(reps);
+    for (std::uint32_t r = 0; r < reps; ++r) {
+      assignment[i].push_back(read_pod<std::uint32_t>(wire, off));
+    }
+  }
+  return sched::Mapping(std::move(assignment));
+}
+
+Bytes encode_f64(double value) {
+  Bytes out;
+  append_pod(out, value);
+  return out;
+}
+
+double decode_f64(const Bytes& wire) {
+  if (wire.size() != sizeof(double)) {
+    throw std::invalid_argument("decode_f64: size mismatch");
+  }
+  std::size_t off = 0;
+  return read_pod<double>(wire, off);
+}
+
+const char* to_string(FrameKind kind) {
+  switch (kind) {
+    case FrameKind::kTask:     return "task";
+    case FrameKind::kResult:   return "result";
+    case FrameKind::kRemap:    return "remap";
+    case FrameKind::kShutdown: return "shutdown";
+    case FrameKind::kSpeedObs: return "speed-obs";
+  }
+  return "?";
+}
+
+namespace {
+
+bool valid_kind(std::uint32_t raw) {
+  return raw >= static_cast<std::uint32_t>(FrameKind::kTask) &&
+         raw <= static_cast<std::uint32_t>(FrameKind::kSpeedObs);
+}
+
+constexpr std::size_t kHeaderBytes = 12;
+
+}  // namespace
+
+Bytes encode_frame(const Frame& frame) {
+  // Reject at the sender what the receiver would reject anyway: an
+  // oversized payload becomes an attributable error here instead of a
+  // child _exit after the fact, and a > 4 GB payload cannot silently
+  // wrap the u32 length prefix and desynchronize the stream.
+  if (frame.payload.size() > kMaxFramePayload) {
+    throw std::invalid_argument("encode_frame: payload exceeds frame limit");
+  }
+  Bytes out;
+  out.reserve(kHeaderBytes + frame.payload.size());
+  append_pod(out, static_cast<std::uint32_t>(frame.payload.size()));
+  append_pod(out, static_cast<std::uint32_t>(frame.kind));
+  append_pod(out, frame.node);
+  out.insert(out.end(), frame.payload.begin(), frame.payload.end());
+  return out;
+}
+
+void FrameReader::feed(const std::byte* data, std::size_t n) {
+  // Compact once the consumed prefix dominates, so the buffer does not
+  // grow without bound on a long-lived connection.
+  if (read_ > 4096 && read_ > buffer_.size() / 2) {
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<std::ptrdiff_t>(read_));
+    read_ = 0;
+  }
+  buffer_.insert(buffer_.end(), data, data + n);
+}
+
+std::optional<Frame> FrameReader::next() {
+  if (buffered() < kHeaderBytes) return std::nullopt;
+  std::size_t off = read_;
+  const auto length = read_pod<std::uint32_t>(buffer_, off);
+  const auto raw_kind = read_pod<std::uint32_t>(buffer_, off);
+  const auto node = read_pod<std::uint32_t>(buffer_, off);
+  if (length > kMaxFramePayload) {
+    throw std::invalid_argument("FrameReader: frame length exceeds limit");
+  }
+  if (!valid_kind(raw_kind)) {
+    throw std::invalid_argument("FrameReader: unknown frame kind");
+  }
+  if (buffered() < kHeaderBytes + length) return std::nullopt;
+
+  Frame frame;
+  frame.kind = static_cast<FrameKind>(raw_kind);
+  frame.node = node;
+  frame.payload.assign(
+      buffer_.begin() + static_cast<std::ptrdiff_t>(off),
+      buffer_.begin() + static_cast<std::ptrdiff_t>(off + length));
+  read_ = off + length;
+  return frame;
+}
+
+}  // namespace gridpipe::comm::wire

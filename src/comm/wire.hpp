@@ -1,0 +1,100 @@
+#pragma once
+// comm::wire — the one wire format shared by the message-passing
+// runtimes. Two layers:
+//
+//  * Payload codecs: the task / mapping / scalar encodings that
+//    DistributedExecutor historically carried privately. Both the
+//    in-process DistributedExecutor and the process-per-node
+//    proc::ProcessExecutor speak exactly these bytes, so a payload
+//    captured from one substrate decodes on the other.
+//  * Stream framing: a length-prefixed Frame envelope for byte-stream
+//    transports (Unix-domain sockets). The in-process communicator does
+//    not need it (its queues preserve message boundaries); the socket
+//    transport does.
+//
+// All integers are fixed-width little-endian-as-memcpy'd (the runtimes
+// never cross an endianness boundary: every peer is a fork of the same
+// process or a thread in it). Every decoder bounds-checks and throws
+// std::invalid_argument on truncated or malformed input — a byte stream
+// from another process is untrusted enough to validate.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sched/mapping.hpp"
+
+namespace gridpipe::comm::wire {
+
+using Bytes = std::vector<std::byte>;
+
+// ----------------------------------------------------------- payloads
+
+/// Task payload: [u64 item][u32 stage][stage payload...].
+Bytes encode_task(std::uint64_t item, std::uint32_t stage,
+                  const Bytes& payload);
+/// Throws std::invalid_argument if shorter than the 12-byte header.
+void decode_task(const Bytes& wire, std::uint64_t& item, std::uint32_t& stage,
+                 Bytes& payload);
+
+/// Routing table: [u32 num_stages]([u32 num_replicas][u32 node]*)*.
+Bytes encode_mapping(const sched::Mapping& mapping);
+/// Throws std::invalid_argument on truncation or absurd counts.
+sched::Mapping decode_mapping(const Bytes& wire);
+
+/// One IEEE double (speed observations).
+Bytes encode_f64(double value);
+/// Throws std::invalid_argument unless exactly 8 bytes.
+double decode_f64(const Bytes& wire);
+
+// ------------------------------------------------------------ framing
+
+/// Frame kinds mirror the DistributedExecutor message tags 1:1 (same
+/// values), so the two substrates stay one vocabulary.
+enum class FrameKind : std::uint32_t {
+  kTask = 1,      ///< task payload; `node` = destination worker on relays
+  kResult = 2,    ///< finished item (task payload with stage = num_stages)
+  kRemap = 3,     ///< mapping payload, broadcast controller → workers
+  kShutdown = 4,  ///< empty payload
+  kSpeedObs = 5,  ///< f64 payload; `node` = observing worker
+};
+
+const char* to_string(FrameKind kind);
+
+/// Refuse to allocate for garbage length prefixes: no legitimate frame
+/// carries more than this much payload.
+inline constexpr std::size_t kMaxFramePayload = std::size_t{1} << 26;  // 64 MB
+
+struct Frame {
+  FrameKind kind = FrameKind::kShutdown;
+  /// Worker-node argument; meaning depends on kind (destination for
+  /// relayed kTask, source for kSpeedObs, unused otherwise).
+  std::uint32_t node = 0;
+  Bytes payload;
+
+  friend bool operator==(const Frame&, const Frame&) = default;
+};
+
+/// Envelope: [u32 payload length][u32 kind][u32 node][payload...].
+Bytes encode_frame(const Frame& frame);
+
+/// Incremental decoder for a byte stream: feed() arbitrary chunks, then
+/// pop complete frames with next(). A frame split across reads simply
+/// stays pending until the rest arrives; a malformed header (oversized
+/// length, unknown kind) throws std::invalid_argument from next().
+class FrameReader {
+ public:
+  void feed(const std::byte* data, std::size_t n);
+
+  /// Next complete frame, or nullopt if more bytes are needed.
+  std::optional<Frame> next();
+
+  /// Bytes buffered but not yet returned as frames.
+  std::size_t buffered() const noexcept { return buffer_.size() - read_; }
+
+ private:
+  Bytes buffer_;
+  std::size_t read_ = 0;  ///< consumed prefix of buffer_
+};
+
+}  // namespace gridpipe::comm::wire

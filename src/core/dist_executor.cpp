@@ -1,8 +1,9 @@
 #include "core/dist_executor.hpp"
 
 #include <algorithm>
-#include <cstring>
 #include <stdexcept>
+
+#include "comm/wire.hpp"
 
 namespace gridpipe::core {
 
@@ -15,30 +16,6 @@ std::vector<grid::NodeId> rank_map(const grid::Grid& grid) {
   for (grid::NodeId n = 0; n < grid.num_nodes(); ++n) map.push_back(n);
   map.push_back(0);
   return map;
-}
-
-// resize+memcpy instead of insert(end, p, p+sizeof): the iterator-range
-// form trips GCC 12's -Wstringop-overflow false positive (PR105329) at
-// -O3.
-template <class T>
-void append_pod(Bytes& out, T v) {
-  const std::size_t off = out.size();
-  out.resize(off + sizeof(v));
-  std::memcpy(out.data() + off, &v, sizeof(v));
-}
-void append_u32(Bytes& out, std::uint32_t v) { append_pod(out, v); }
-void append_u64(Bytes& out, std::uint64_t v) { append_pod(out, v); }
-std::uint32_t read_u32(const Bytes& in, std::size_t& off) {
-  std::uint32_t v;
-  std::memcpy(&v, in.data() + off, sizeof(v));
-  off += sizeof(v);
-  return v;
-}
-std::uint64_t read_u64(const Bytes& in, std::size_t& off) {
-  std::uint64_t v;
-  std::memcpy(&v, in.data() + off, sizeof(v));
-  off += sizeof(v);
-  return v;
 }
 
 }  // namespace
@@ -80,15 +57,20 @@ DistributedExecutor::make_controller() {
       static_cast<control::AdaptationHost&>(*this));
 }
 
-sched::PipelineProfile DistributedExecutor::profile() const {
+sched::PipelineProfile profile_from_stages(
+    const std::vector<DistStage>& stages) {
   sched::PipelineProfile p;
-  p.msg_bytes.push_back(stages_.front().out_bytes);  // input ≈ first msg
-  for (const DistStage& s : stages_) {
+  p.msg_bytes.push_back(stages.front().out_bytes);  // input ≈ first msg
+  for (const DistStage& s : stages) {
     p.stage_work.push_back(s.work);
     p.msg_bytes.push_back(s.out_bytes);
     p.state_bytes.push_back(s.state_bytes);
   }
   return p;
+}
+
+sched::PipelineProfile DistributedExecutor::profile() const {
+  return profile_from_stages(stages_);
 }
 
 double DistributedExecutor::virtual_now() const {
@@ -101,45 +83,20 @@ double DistributedExecutor::virtual_now() const {
 Bytes DistributedExecutor::encode_task(std::uint64_t item,
                                        std::uint32_t stage,
                                        const Bytes& payload) {
-  Bytes wire;
-  wire.reserve(12 + payload.size());
-  append_u64(wire, item);
-  append_u32(wire, stage);
-  wire.insert(wire.end(), payload.begin(), payload.end());
-  return wire;
+  return comm::wire::encode_task(item, stage, payload);
 }
 
 void DistributedExecutor::decode_task(const Bytes& wire, std::uint64_t& item,
                                       std::uint32_t& stage, Bytes& payload) {
-  if (wire.size() < 12) throw std::invalid_argument("decode_task: short");
-  std::size_t off = 0;
-  item = read_u64(wire, off);
-  stage = read_u32(wire, off);
-  payload.assign(wire.begin() + static_cast<std::ptrdiff_t>(off), wire.end());
+  comm::wire::decode_task(wire, item, stage, payload);
 }
 
 Bytes DistributedExecutor::encode_mapping(const sched::Mapping& mapping) {
-  Bytes wire;
-  append_u32(wire, static_cast<std::uint32_t>(mapping.num_stages()));
-  for (std::size_t i = 0; i < mapping.num_stages(); ++i) {
-    const auto& reps = mapping.replicas(i);
-    append_u32(wire, static_cast<std::uint32_t>(reps.size()));
-    for (const grid::NodeId n : reps) append_u32(wire, n);
-  }
-  return wire;
+  return comm::wire::encode_mapping(mapping);
 }
 
 sched::Mapping DistributedExecutor::decode_mapping(const Bytes& wire) {
-  std::size_t off = 0;
-  const std::uint32_t ns = read_u32(wire, off);
-  std::vector<std::vector<grid::NodeId>> assignment(ns);
-  for (std::uint32_t i = 0; i < ns; ++i) {
-    const std::uint32_t reps = read_u32(wire, off);
-    for (std::uint32_t r = 0; r < reps; ++r) {
-      assignment[i].push_back(read_u32(wire, off));
-    }
-  }
-  return sched::Mapping(std::move(assignment));
+  return comm::wire::decode_mapping(wire);
 }
 
 void DistributedExecutor::worker_loop(int rank) {
@@ -222,13 +179,8 @@ void DistributedExecutor::record_probes(double) {
 
 void DistributedExecutor::apply_remap(const sched::Mapping& to,
                                       double pause_virtual) {
-  sim::RemapEvent event;
-  event.time = virtual_now();
-  event.pause = pause_virtual;
-  event.from = controller_mapping_.to_string();
-  event.to = to.to_string();
-  metrics_.on_remap(std::move(event));
-
+  metrics_.on_remap(virtual_now(), pause_virtual,
+                    controller_mapping_.to_string(), to.to_string());
   controller_mapping_ = to;
   controller_router_.reset(stages_.size());
   const Bytes wire = encode_mapping(controller_mapping_);
@@ -341,23 +293,9 @@ RunReport DistributedExecutor::run(std::vector<Bytes> inputs) {
   const double wall =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
           .count();
-  std::sort(done.begin(), done.end(),
-            [](const auto& a, const auto& b) { return a.first < b.first; });
-  report.outputs.reserve(done.size());
-  for (auto& [id, payload] : done) {
-    report.outputs.emplace_back(std::move(payload));
-  }
-  report.items = report.outputs.size();
-  report.wall_seconds = wall;
-  report.virtual_seconds = wall / config_.time_scale;
-  report.throughput =
-      report.virtual_seconds > 0.0
-          ? static_cast<double>(report.items) / report.virtual_seconds
-          : 0.0;
-  report.remap_count = metrics_.remaps().size();
-  report.remaps = metrics_.remaps();
-  report.epochs = controller_->take_epochs();
-  report.final_mapping = controller_mapping_.to_string();
+  finalize_bytes_report(report, std::move(done), wall, config_.time_scale,
+                        metrics_, controller_->take_epochs(),
+                        controller_mapping_.to_string());
   return report;
 }
 

@@ -49,6 +49,12 @@ struct DistStage {
   double state_bytes = 0.0;
 };
 
+/// Scheduler profile derived from a Bytes → Bytes stage vector — the one
+/// approximation (input bytes ≈ first stage's message size) every
+/// substrate consuming DistStage must share, so their mapping decisions
+/// stay comparable. Used by DistributedExecutor and proc::ProcessExecutor.
+sched::PipelineProfile profile_from_stages(const std::vector<DistStage>& stages);
+
 struct DistExecutorConfig {
   double time_scale = 0.01;  ///< real seconds per virtual second
   std::size_t window = 0;    ///< in-flight credit (0 = auto)
@@ -79,7 +85,8 @@ class DistributedExecutor : private control::AdaptationHost {
   static constexpr int kShutdown = 4;
   static constexpr int kSpeedObs = 5;
 
-  /// Wire format helpers (public for tests).
+  /// Wire format helpers (public for tests); thin delegates to the
+  /// shared comm::wire codec, so the proc runtime speaks the same bytes.
   static Bytes encode_task(std::uint64_t item, std::uint32_t stage,
                            const Bytes& payload);
   static void decode_task(const Bytes& wire, std::uint64_t& item,

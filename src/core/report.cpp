@@ -1,10 +1,35 @@
 #include "core/report.hpp"
 
+#include <algorithm>
 #include <sstream>
 
 #include "util/table.hpp"
 
 namespace gridpipe::core {
+
+void finalize_bytes_report(
+    RunReport& report,
+    std::vector<std::pair<std::uint64_t, std::vector<std::byte>>> done,
+    double wall_seconds, double time_scale, const sim::SimMetrics& metrics,
+    std::vector<control::EpochRecord> epochs, std::string final_mapping) {
+  std::sort(done.begin(), done.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  report.outputs.reserve(done.size());
+  for (auto& [id, payload] : done) {
+    report.outputs.emplace_back(std::move(payload));
+  }
+  report.items = report.outputs.size();
+  report.wall_seconds = wall_seconds;
+  report.virtual_seconds = wall_seconds / time_scale;
+  report.throughput =
+      report.virtual_seconds > 0.0
+          ? static_cast<double>(report.items) / report.virtual_seconds
+          : 0.0;
+  report.remap_count = metrics.remaps().size();
+  report.remaps = metrics.remaps();
+  report.epochs = std::move(epochs);
+  report.final_mapping = std::move(final_mapping);
+}
 
 std::string RunReport::summary() const {
   std::ostringstream os;

@@ -31,4 +31,15 @@ struct RunReport {
   std::string summary() const;
 };
 
+/// Shared epilogue of the message-passing runtimes (DistributedExecutor
+/// and proc::ProcessExecutor): sorts `done` back into input order,
+/// moves the payloads into outputs, and derives every timing / remap /
+/// epoch field — one implementation, so the two substrates' reports
+/// cannot drift apart.
+void finalize_bytes_report(
+    RunReport& report,
+    std::vector<std::pair<std::uint64_t, std::vector<std::byte>>> done,
+    double wall_seconds, double time_scale, const sim::SimMetrics& metrics,
+    std::vector<control::EpochRecord> epochs, std::string final_mapping);
+
 }  // namespace gridpipe::core

@@ -1,0 +1,127 @@
+#include "proc/child.hpp"
+
+#include <stdexcept>
+#include <thread>
+
+#include <unistd.h>
+
+#include "sched/replica_router.hpp"
+
+namespace gridpipe::proc {
+
+namespace {
+
+using comm::wire::Frame;
+using comm::wire::FrameKind;
+
+double virtual_now(const ChildContext& ctx) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       ctx.start)
+             .count() /
+         ctx.time_scale;
+}
+
+[[noreturn]] void child_main(FrameSocket& socket, const ChildContext& ctx) {
+  const std::vector<core::DistStage>& stages = *ctx.stages;
+  const grid::Grid& grid = *ctx.grid;
+
+  // Local routing table, eventually consistent: kRemap overwrites it.
+  // Frames arrive in order on the stream, so a remap naturally applies
+  // before every task queued behind it.
+  sched::Mapping mapping = ctx.initial_mapping;
+  sched::ReplicaRouter router(stages.size());
+
+  for (;;) {
+    auto frame = socket.recv_frame();
+    if (!frame) _exit(0);  // parent closed the pair: run is over
+
+    switch (frame->kind) {
+      case FrameKind::kShutdown:
+        _exit(0);
+      case FrameKind::kRemap: {
+        // decode_mapping only checks the bytes; validate the structure
+        // too (stage count, non-empty replica sets, known nodes) before
+        // routing through it — a corrupt table must be a clean _exit(2)
+        // via the catch-all, not out-of-bounds UB on the next pick.
+        sched::Mapping next_mapping =
+            comm::wire::decode_mapping(frame->payload);
+        next_mapping.validate(grid.num_nodes());
+        if (next_mapping.num_stages() != stages.size()) {
+          throw std::invalid_argument("child: remap stage-count mismatch");
+        }
+        mapping = std::move(next_mapping);
+        router.reset(stages.size());
+        break;
+      }
+      case FrameKind::kTask: {
+        std::uint64_t item;
+        std::uint32_t stage;
+        core::Bytes payload;
+        comm::wire::decode_task(frame->payload, item, stage, payload);
+        if (stage >= stages.size()) _exit(2);
+
+        const auto t0 = std::chrono::steady_clock::now();
+        const double v0 = virtual_now(ctx);
+        core::Bytes out = stages[stage].fn(payload);
+        if (ctx.emulate_compute) {
+          const double service =
+              stages[stage].work / grid.effective_speed(ctx.node, v0);
+          std::this_thread::sleep_until(
+              t0 + std::chrono::duration_cast<
+                       std::chrono::steady_clock::duration>(
+                       std::chrono::duration<double>(service *
+                                                     ctx.time_scale)));
+        }
+        const double duration =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          t0)
+                .count() /
+            ctx.time_scale;
+
+        // Observed speed feeds the parent-side monitor, exactly like the
+        // DistributedExecutor's kSpeedObs messages.
+        if (duration > 0.0) {
+          if (!socket.send_frame(
+                  {FrameKind::kSpeedObs,
+                   static_cast<std::uint32_t>(ctx.node),
+                   comm::wire::encode_f64(stages[stage].work / duration)})) {
+            _exit(0);
+          }
+        }
+
+        Frame next;
+        if (stage + 1 == stages.size()) {
+          next.kind = FrameKind::kResult;
+          next.node = static_cast<std::uint32_t>(ctx.node);
+        } else {
+          // The child picks the next hop from its own table (the parent
+          // only relays), so routing stays a worker-side decision as in
+          // the message-passing runtime.
+          next.kind = FrameKind::kTask;
+          next.node =
+              static_cast<std::uint32_t>(router.pick(mapping, stage + 1));
+        }
+        next.payload = comm::wire::encode_task(item, stage + 1, out);
+        if (!socket.send_frame(next)) _exit(0);
+        break;
+      }
+      case FrameKind::kResult:
+      case FrameKind::kSpeedObs:
+        break;  // parent-bound kinds; ignore if misdelivered
+    }
+  }
+}
+
+}  // namespace
+
+void run_child_loop(FrameSocket socket, const ChildContext& ctx) {
+  try {
+    child_main(socket, ctx);
+  } catch (...) {
+    // Malformed frame, bad_alloc, a throwing stage fn... the parent sees
+    // EOF plus exit status 2 and reports the crash.
+    _exit(2);
+  }
+}
+
+}  // namespace gridpipe::proc

@@ -1,0 +1,40 @@
+#pragma once
+// The worker-process event loop of the proc runtime. Runs in a forked
+// child, never returns: every exit path goes through _exit so the child
+// skips atexit handlers and duplicated stdio buffers inherited from the
+// parent (flushing those twice is the classic fork+stdio bug).
+//
+// The child inherits everything it needs by fork: the stage functions,
+// the grid (for effective_speed emulation) and the initial routing
+// table are plain copies of the parent's address space — only *live*
+// coordination crosses the socket.
+
+#include <chrono>
+#include <vector>
+
+#include "core/dist_executor.hpp"  // core::DistStage: the Bytes → Bytes stage contract
+#include "grid/grid.hpp"
+#include "proc/transport.hpp"
+#include "sched/mapping.hpp"
+
+namespace gridpipe::proc {
+
+struct ChildContext {
+  grid::NodeId node = 0;  ///< the grid node this process embodies
+  const grid::Grid* grid = nullptr;
+  const std::vector<core::DistStage>* stages = nullptr;
+  sched::Mapping initial_mapping;
+  double time_scale = 0.01;
+  bool emulate_compute = true;
+  /// The parent's run() start instant; steady_clock is CLOCK_MONOTONIC,
+  /// so the copied time_point stays meaningful across fork and every
+  /// process derives the same virtual clock.
+  std::chrono::steady_clock::time_point start{};
+};
+
+/// Child event loop: recv frame → (remap | task | shutdown). Exits 0 on
+/// kShutdown or parent EOF, 2 on any internal error (the parent reports
+/// the status in its crash diagnostics).
+[[noreturn]] void run_child_loop(FrameSocket socket, const ChildContext& ctx);
+
+}  // namespace gridpipe::proc

@@ -1,0 +1,346 @@
+#include "proc/process_executor.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#include <poll.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "proc/child.hpp"
+
+namespace gridpipe::proc {
+
+namespace {
+
+using comm::wire::Frame;
+using comm::wire::FrameKind;
+
+std::string describe_wait_status(int status) {
+  if (WIFEXITED(status)) {
+    return "exit code " + std::to_string(WEXITSTATUS(status));
+  }
+  if (WIFSIGNALED(status)) {
+    return std::string("signal ") + std::to_string(WTERMSIG(status)) + " (" +
+           strsignal(WTERMSIG(status)) + ")";
+  }
+  return "status " + std::to_string(status);
+}
+
+}  // namespace
+
+ProcessExecutor::ProcessExecutor(const grid::Grid& grid,
+                                 std::vector<core::DistStage> stages,
+                                 sched::Mapping initial_mapping,
+                                 ProcExecutorConfig config)
+    : grid_(grid),
+      stages_(std::move(stages)),
+      initial_mapping_(std::move(initial_mapping)),
+      config_(config) {
+  if (stages_.empty()) {
+    throw std::invalid_argument("ProcessExecutor: no stages");
+  }
+  initial_mapping_.validate(grid_.num_nodes());
+  if (initial_mapping_.num_stages() != stages_.size()) {
+    throw std::invalid_argument("ProcessExecutor: mapping mismatch");
+  }
+  if (config_.time_scale <= 0.0) {
+    throw std::invalid_argument("ProcessExecutor: time_scale <= 0");
+  }
+  if (config_.window == 0) {
+    config_.window = std::max<std::size_t>(4, 2 * stages_.size());
+  }
+  start_ = std::chrono::steady_clock::now();
+  profile_ = profile();
+  controller_ = make_controller();
+}
+
+ProcessExecutor::~ProcessExecutor() { kill_fleet(); }
+
+std::unique_ptr<control::AdaptationController>
+ProcessExecutor::make_controller() {
+  return std::make_unique<control::AdaptationController>(
+      grid_, profile_, config_.adapt,
+      static_cast<control::AdaptationHost&>(*this));
+}
+
+sched::PipelineProfile ProcessExecutor::profile() const {
+  return core::profile_from_stages(stages_);
+}
+
+double ProcessExecutor::virtual_now() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start_)
+             .count() /
+         config_.time_scale;
+}
+
+sched::Mapping ProcessExecutor::deployed_mapping() const {
+  return controller_mapping_;
+}
+
+void ProcessExecutor::record_probes(double) {
+  // Observations arrive as kSpeedObs frames; nothing to probe here.
+}
+
+void ProcessExecutor::apply_remap(const sched::Mapping& to,
+                                  double pause_virtual) {
+  metrics_.on_remap(virtual_now(), pause_virtual,
+                    controller_mapping_.to_string(), to.to_string());
+  controller_mapping_ = to;
+  controller_router_.reset(stages_.size());
+  const Bytes wire = comm::wire::encode_mapping(controller_mapping_);
+  for (std::size_t node = 0; node < workers_.size(); ++node) {
+    workers_[node].sock.queue_frame(
+        {FrameKind::kRemap, static_cast<std::uint32_t>(node), wire});
+    if (!workers_[node].sock.flush_some()) fail_run(node);
+  }
+}
+
+void ProcessExecutor::spawn_fleet() {
+  workers_.reserve(grid_.num_nodes());
+  for (grid::NodeId node = 0; node < grid_.num_nodes(); ++node) {
+    auto [parent_end, child_end] = FrameSocket::make_pair();
+    const int pid = ::fork();
+    if (pid < 0) {
+      const int err = errno;
+      kill_fleet();
+      throw std::runtime_error(std::string("ProcessExecutor: fork: ") +
+                               std::strerror(err));
+    }
+    if (pid == 0) {
+      // Child: drop every parent-side fd inherited from earlier spawns
+      // plus our own pair's parent end, then run the worker loop. The
+      // stages and the grid are address-space copies — free via fork,
+      // never serialized.
+      for (Worker& w : workers_) w.sock.close();
+      parent_end.close();
+      ChildContext ctx;
+      ctx.node = node;
+      ctx.grid = &grid_;
+      ctx.stages = &stages_;
+      ctx.initial_mapping = initial_mapping_;
+      ctx.time_scale = config_.time_scale;
+      ctx.emulate_compute = config_.emulate_compute;
+      ctx.start = start_;
+      run_child_loop(std::move(child_end), ctx);  // never returns
+    }
+    child_end.close();
+    parent_end.set_nonblocking(true);
+    workers_.push_back({pid, std::move(parent_end)});
+  }
+}
+
+void ProcessExecutor::admit(std::uint64_t index,
+                            const std::vector<Bytes>& inputs) {
+  const grid::NodeId dst = controller_router_.pick(controller_mapping_, 0);
+  workers_[dst].sock.queue_frame(
+      {FrameKind::kTask, static_cast<std::uint32_t>(dst),
+       comm::wire::encode_task(index, 0, inputs[index])});
+  if (!workers_[dst].sock.flush_some()) fail_run(dst);
+}
+
+void ProcessExecutor::handle_frame(
+    std::size_t source, Frame frame, const std::vector<Bytes>& inputs,
+    std::vector<std::pair<std::uint64_t, Bytes>>& done) {
+  switch (frame.kind) {
+    case FrameKind::kTask: {
+      // Next-hop relay: the worker picked the destination, the parent
+      // only moves the bytes.
+      const std::size_t dst = frame.node;
+      if (dst >= workers_.size()) {
+        kill_fleet();
+        throw std::runtime_error(
+            "ProcessExecutor: relay to nonexistent node " +
+            std::to_string(dst));
+      }
+      workers_[dst].sock.queue_frame(frame);
+      if (!workers_[dst].sock.flush_some()) fail_run(dst);
+      break;
+    }
+    case FrameKind::kResult: {
+      std::uint64_t item;
+      std::uint32_t stage;
+      Bytes payload;
+      comm::wire::decode_task(frame.payload, item, stage, payload);
+      metrics_.on_item_completed(item, virtual_now(), 0.0);
+      done.emplace_back(item, std::move(payload));
+      if (next_input_ < total_items_) admit(next_input_++, inputs);
+      break;
+    }
+    case FrameKind::kSpeedObs:
+      controller_->record_observation(
+          {monitor::SensorKind::kNodeSpeed,
+           static_cast<std::uint32_t>(source), 0},
+          comm::wire::decode_f64(frame.payload));
+      break;
+    case FrameKind::kRemap:
+    case FrameKind::kShutdown:
+      break;  // worker-bound kinds; ignore if misdelivered
+  }
+}
+
+void ProcessExecutor::event_loop(
+    const std::vector<Bytes>& inputs,
+    std::vector<std::pair<std::uint64_t, Bytes>>& done) {
+  // Initial admission wave up to the in-flight credit.
+  const auto wave = std::min<std::uint64_t>(config_.window, total_items_);
+  while (next_input_ < wave) admit(next_input_++, inputs);
+
+  const double epoch = config_.adapt.epoch;
+  double next_epoch = epoch;
+
+  std::vector<pollfd> fds(workers_.size());
+  while (done.size() < total_items_) {
+    // Wait at most until the next adaptation point (50 ms real otherwise).
+    double wait_real = 0.05;
+    if (epoch > 0.0) {
+      wait_real =
+          std::max(1e-3, (next_epoch - virtual_now()) * config_.time_scale);
+    }
+    for (std::size_t i = 0; i < workers_.size(); ++i) {
+      fds[i].fd = workers_[i].sock.fd();
+      fds[i].events = POLLIN;
+      if (workers_[i].sock.pending_out() > 0) fds[i].events |= POLLOUT;
+      fds[i].revents = 0;
+    }
+    const int timeout_ms = std::max(1, static_cast<int>(wait_real * 1e3));
+    const int ready = ::poll(fds.data(), fds.size(), timeout_ms);
+    if (ready < 0 && errno != EINTR) {
+      kill_fleet();
+      throw std::runtime_error(std::string("ProcessExecutor: poll: ") +
+                               std::strerror(errno));
+    }
+
+    for (std::size_t i = 0; i < workers_.size() && ready > 0; ++i) {
+      if (fds[i].revents & POLLOUT) {
+        if (!workers_[i].sock.flush_some()) fail_run(i);
+      }
+      if (fds[i].revents & (POLLIN | POLLHUP | POLLERR)) {
+        const bool alive = workers_[i].sock.pump_reads();
+        // Drain complete frames first: the final bytes before an EOF may
+        // still carry results.
+        while (auto frame = workers_[i].sock.next_frame()) {
+          handle_frame(i, std::move(*frame), inputs, done);
+        }
+        if (!alive && done.size() < total_items_) fail_run(i);
+      }
+    }
+
+    if (epoch > 0.0 && virtual_now() >= next_epoch) {
+      controller_->run_epoch();
+      next_epoch += epoch;
+    }
+  }
+}
+
+void ProcessExecutor::shutdown_fleet() {
+  using namespace std::chrono;
+  // A healthy worker exits promptly on kShutdown; the deadline only
+  // guards against a wedged one (then: SIGKILL, still reaped).
+  const auto deadline = steady_clock::now() + seconds(10);
+  for (std::size_t node = 0; node < workers_.size(); ++node) {
+    Worker& w = workers_[node];
+    w.sock.queue_frame(
+        {FrameKind::kShutdown, static_cast<std::uint32_t>(node), {}});
+    // Flush the farewell, then drain to EOF so a worker mid-write can
+    // finish and exit; everything stays nonblocking + poll'd.
+    bool peer_up = true;
+    while (peer_up && w.sock.pending_out() > 0) {
+      const auto left =
+          duration_cast<milliseconds>(deadline - steady_clock::now()).count();
+      if (left <= 0) break;
+      pollfd pfd{w.sock.fd(), POLLOUT, 0};
+      if (::poll(&pfd, 1, static_cast<int>(left)) <= 0) break;
+      peer_up = w.sock.flush_some();
+    }
+    while (peer_up) {
+      const auto left =
+          duration_cast<milliseconds>(deadline - steady_clock::now()).count();
+      if (left <= 0) break;
+      pollfd pfd{w.sock.fd(), POLLIN, 0};
+      if (::poll(&pfd, 1, static_cast<int>(left)) <= 0) break;
+      peer_up = w.sock.pump_reads();
+      while (w.sock.next_frame()) {
+        // discard stragglers (stray speed observations)
+      }
+    }
+    if (peer_up) ::kill(w.pid, SIGKILL);  // deadline hit: wedge insurance
+    w.sock.close();
+    int status = 0;
+    ::waitpid(w.pid, &status, 0);
+    w.pid = -1;
+  }
+  workers_.clear();
+}
+
+void ProcessExecutor::kill_fleet() noexcept {
+  for (Worker& w : workers_) {
+    w.sock.close();
+    if (w.pid > 0) {
+      ::kill(w.pid, SIGKILL);
+      int status = 0;
+      ::waitpid(w.pid, &status, 0);
+      w.pid = -1;
+    }
+  }
+  workers_.clear();
+}
+
+void ProcessExecutor::fail_run(std::size_t node) {
+  int status = 0;
+  ::waitpid(workers_[node].pid, &status, 0);
+  workers_[node].pid = -1;
+  kill_fleet();
+  throw std::runtime_error("ProcessExecutor: worker for node " +
+                           std::to_string(node) + " exited mid-run (" +
+                           describe_wait_status(status) + ")");
+}
+
+core::RunReport ProcessExecutor::run(std::vector<Bytes> inputs) {
+  core::RunReport report;
+  if (inputs.empty()) return report;
+  if (!workers_.empty()) {
+    throw std::logic_error("ProcessExecutor::run is not reentrant");
+  }
+
+  // Fresh controller per run: the virtual clock restarts at 0, so gate
+  // snapshots, hysteresis streaks and registry timestamps from a
+  // previous run would all be stale.
+  controller_ = make_controller();
+
+  total_items_ = inputs.size();
+  next_input_ = 0;
+  controller_mapping_ = initial_mapping_;
+  controller_router_.reset(stages_.size());
+  metrics_ = sim::SimMetrics{};  // time series restart with the clock
+  start_ = std::chrono::steady_clock::now();
+  report.initial_mapping = initial_mapping_.to_string();
+
+  std::vector<std::pair<std::uint64_t, Bytes>> done;
+  done.reserve(inputs.size());
+
+  spawn_fleet();
+  try {
+    event_loop(inputs, done);
+    shutdown_fleet();
+  } catch (...) {
+    kill_fleet();
+    throw;
+  }
+
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+          .count();
+  core::finalize_bytes_report(report, std::move(done), wall,
+                              config_.time_scale, metrics_,
+                              controller_->take_epochs(),
+                              controller_mapping_.to_string());
+  return report;
+}
+
+}  // namespace gridpipe::proc

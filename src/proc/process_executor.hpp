@@ -1,0 +1,124 @@
+#pragma once
+// ProcessExecutor — the process-per-node runtime: the same pipeline
+// skeleton as DistributedExecutor, but each grid node is a real forked
+// OS process and all coordination crosses Unix-domain sockets. Where
+// the other runtimes emulate separation inside one address space, this
+// one buys it from the kernel: genuine per-process scheduling, real
+// serialization cost on every hop, and node failure as an actual crash.
+//
+// Topology: star. The parent is the controller; each worker owns one
+// socketpair to it. Workers still make the routing decisions — a worker
+// finishing stage s picks the next hop from its local copy of the
+// routing table (kRemap broadcasts keep copies eventually consistent,
+// exactly the DistributedExecutor contract) and the parent relays the
+// task frame to that worker's socket. Frames:
+//
+//   parent → worker   kTask      (admitted or relayed task)
+//   worker → parent   kTask      (next-hop relay request, node = dst)
+//   worker → parent   kResult    (finished item + output)
+//   worker → parent   kSpeedObs  (observed node speed sample)
+//   parent → worker   kRemap     (serialized routing table)
+//   parent → worker   kShutdown
+//
+// The adaptation epochs run on the parent and delegate to the shared
+// control::AdaptationController; this class implements AdaptationHost,
+// where apply_remap broadcasts kRemap. Nothing in src/control/ knows
+// this substrate exists.
+//
+// Lifecycle: run() forks the fleet, multiplexes it with poll(2), and
+// reaps every child with waitpid before returning — no SIGCHLD handler
+// (a library must not own process-wide signal dispositions; synchronous
+// reaping needs none). A worker that dies mid-run surfaces as EOF on
+// its socket; the parent reaps it for the exit status, kills the rest
+// of the fleet and throws. (Remapping around a crashed node mid-epoch
+// is a ROADMAP follow-up.)
+//
+// fork() constraints: call run() from a process where no other threads
+// are live (fork only carries the calling thread; a lock held by
+// another thread would stay locked forever in the child). The runtime
+// itself spawns no threads — the parent side is a single poll loop.
+
+#include <memory>
+#include <vector>
+
+#include "control/adaptation_controller.hpp"
+#include "core/dist_executor.hpp"  // core::DistStage, core::Bytes
+#include "core/report.hpp"
+#include "proc/transport.hpp"
+#include "sched/replica_router.hpp"
+
+namespace gridpipe::proc {
+
+using core::Bytes;
+
+struct ProcExecutorConfig {
+  double time_scale = 0.01;  ///< real seconds per virtual second
+  std::size_t window = 0;    ///< in-flight credit (0 = auto)
+  /// Shared control-loop knobs. adapt.epoch = 0 (the live-runtime
+  /// default) disables adaptation.
+  control::AdaptationConfig adapt{.epoch = 0.0};
+  bool emulate_compute = true;
+};
+
+class ProcessExecutor : private control::AdaptationHost {
+ public:
+  /// Stage vector is the same Bytes → Bytes contract the
+  /// DistributedExecutor takes, so one scenario drives both substrates.
+  ProcessExecutor(const grid::Grid& grid, std::vector<core::DistStage> stages,
+                  sched::Mapping initial_mapping, ProcExecutorConfig config);
+  ~ProcessExecutor() override;
+
+  /// Blocking: forks one worker process per grid node, pushes every
+  /// input through, reaps the fleet, returns ordered outputs. Not
+  /// reentrant. Throws std::runtime_error if a worker crashes mid-run.
+  core::RunReport run(std::vector<Bytes> inputs);
+
+  sched::PipelineProfile profile() const;
+
+ private:
+  struct Worker {
+    int pid = -1;
+    FrameSocket sock;
+  };
+
+  // control::AdaptationHost (called from the parent's epoch loop).
+  double virtual_now() const override;
+  sched::Mapping deployed_mapping() const override;
+  void apply_remap(const sched::Mapping& to, double pause_virtual) override;
+  void record_probes(double vnow) override;  // no-op: kSpeedObs feeds it
+
+  /// Builds the per-run controller (fresh gate/policy/registry state;
+  /// the virtual clock restarts with every run()).
+  std::unique_ptr<control::AdaptationController> make_controller();
+
+  void spawn_fleet();
+  void event_loop(const std::vector<Bytes>& inputs,
+                  std::vector<std::pair<std::uint64_t, Bytes>>& done);
+  void handle_frame(std::size_t source, comm::wire::Frame frame,
+                    const std::vector<Bytes>& inputs,
+                    std::vector<std::pair<std::uint64_t, Bytes>>& done);
+  void admit(std::uint64_t index, const std::vector<Bytes>& inputs);
+  /// Graceful: broadcast kShutdown, drain to EOF, close, reap.
+  void shutdown_fleet();
+  /// Crash path and destructor safety net: SIGKILL + reap, noexcept.
+  void kill_fleet() noexcept;
+  /// Reaps worker `node` and throws with its wait status.
+  [[noreturn]] void fail_run(std::size_t node);
+
+  const grid::Grid& grid_;
+  std::vector<core::DistStage> stages_;
+  sched::Mapping initial_mapping_;
+  ProcExecutorConfig config_;
+
+  std::chrono::steady_clock::time_point start_{};
+  sched::PipelineProfile profile_;
+  std::unique_ptr<control::AdaptationController> controller_;
+  sched::Mapping controller_mapping_;
+  sched::ReplicaRouter controller_router_;
+  std::vector<Worker> workers_;
+  std::uint64_t next_input_ = 0;
+  std::uint64_t total_items_ = 0;
+  sim::SimMetrics metrics_;
+};
+
+}  // namespace gridpipe::proc

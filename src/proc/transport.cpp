@@ -1,0 +1,139 @@
+#include "proc/transport.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#include <fcntl.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace gridpipe::proc {
+
+namespace {
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw std::runtime_error(std::string(what) + ": " +
+                           std::strerror(errno));
+}
+
+bool peer_gone(int err) {
+  return err == EPIPE || err == ECONNRESET || err == ENOTCONN;
+}
+
+}  // namespace
+
+FrameSocket& FrameSocket::operator=(FrameSocket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+    reader_ = std::move(other.reader_);
+    out_ = std::move(other.out_);
+    out_sent_ = other.out_sent_;
+    // Leave the source fully reset, not just moved-from: a stale
+    // out_sent_ against an emptied out_ would underflow pending_out().
+    other.reader_ = comm::wire::FrameReader{};
+    other.out_.clear();
+    other.out_sent_ = 0;
+  }
+  return *this;
+}
+
+std::pair<FrameSocket, FrameSocket> FrameSocket::make_pair() {
+  int fds[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
+    throw_errno("socketpair");
+  }
+  return {FrameSocket(fds[0]), FrameSocket(fds[1])};
+}
+
+void FrameSocket::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void FrameSocket::set_nonblocking(bool on) {
+  const int flags = ::fcntl(fd_, F_GETFL, 0);
+  if (flags < 0) throw_errno("fcntl(F_GETFL)");
+  const int next = on ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (::fcntl(fd_, F_SETFL, next) < 0) throw_errno("fcntl(F_SETFL)");
+}
+
+bool FrameSocket::send_frame(const comm::wire::Frame& frame) {
+  const comm::wire::Bytes bytes = comm::wire::encode_frame(frame);
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (peer_gone(errno)) return false;
+      throw_errno("send");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+std::optional<comm::wire::Frame> FrameSocket::recv_frame() {
+  for (;;) {
+    if (auto frame = reader_.next()) return frame;
+    std::byte chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n == 0) return std::nullopt;  // orderly EOF
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (peer_gone(errno)) return std::nullopt;
+      throw_errno("recv");
+    }
+    reader_.feed(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+void FrameSocket::queue_frame(const comm::wire::Frame& frame) {
+  // Compact the sent prefix before it dominates the buffer.
+  if (out_sent_ > 4096 && out_sent_ > out_.size() / 2) {
+    out_.erase(out_.begin(),
+               out_.begin() + static_cast<std::ptrdiff_t>(out_sent_));
+    out_sent_ = 0;
+  }
+  const comm::wire::Bytes bytes = comm::wire::encode_frame(frame);
+  out_.insert(out_.end(), bytes.begin(), bytes.end());
+}
+
+bool FrameSocket::flush_some() {
+  while (out_sent_ < out_.size()) {
+    const ssize_t n = ::send(fd_, out_.data() + out_sent_,
+                             out_.size() - out_sent_, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+      if (peer_gone(errno)) return false;
+      throw_errno("send");
+    }
+    out_sent_ += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool FrameSocket::pump_reads() {
+  for (;;) {
+    std::byte chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n == 0) return false;  // EOF
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+      if (peer_gone(errno)) return false;
+      throw_errno("recv");
+    }
+    reader_.feed(chunk, static_cast<std::size_t>(n));
+    if (n < static_cast<ssize_t>(sizeof(chunk))) return true;
+  }
+}
+
+}  // namespace gridpipe::proc

@@ -1,0 +1,92 @@
+#pragma once
+// FrameSocket — one end of a Unix-domain stream socket carrying
+// comm::wire frames. This is the proc runtime's transport primitive:
+// the parent holds one FrameSocket per forked worker, each child holds
+// the opposite end of its pair.
+//
+// Two usage modes on the same class:
+//  * Blocking (the child side): send_frame / recv_frame loop over
+//    partial reads and writes until a whole frame moved.
+//  * Non-blocking buffered (the parent side): queue_frame stages bytes
+//    in an outbound buffer, flush_some writes what the socket accepts,
+//    pump_reads + next_frame drain what has arrived. The parent
+//    multiplexes all children with poll(2), so it must never block on
+//    one child while another has data — and buffering outbound writes
+//    is what breaks the classic pipe deadlock (parent blocked writing
+//    to a full child socket while that child is blocked writing to the
+//    parent).
+//
+// All writes use MSG_NOSIGNAL: a worker that died mid-run must surface
+// as a recoverable "peer gone" return, not a process-killing SIGPIPE.
+
+#include <cstddef>
+#include <optional>
+#include <utility>
+
+#include "comm/wire.hpp"
+
+namespace gridpipe::proc {
+
+class FrameSocket {
+ public:
+  FrameSocket() = default;
+  /// Takes ownership of a connected stream-socket fd.
+  explicit FrameSocket(int fd) : fd_(fd) {}
+  ~FrameSocket() { close(); }
+
+  FrameSocket(FrameSocket&& other) noexcept { *this = std::move(other); }
+  FrameSocket& operator=(FrameSocket&& other) noexcept;
+  FrameSocket(const FrameSocket&) = delete;
+  FrameSocket& operator=(const FrameSocket&) = delete;
+
+  /// A connected pair (socketpair AF_UNIX SOCK_STREAM). Throws
+  /// std::runtime_error on resource exhaustion.
+  static std::pair<FrameSocket, FrameSocket> make_pair();
+
+  int fd() const noexcept { return fd_; }
+  bool valid() const noexcept { return fd_ >= 0; }
+  void close() noexcept;
+
+  void set_nonblocking(bool on);
+
+  // ------------------------------------------------- blocking (child)
+
+  /// Writes one whole frame; retries partial writes and EINTR. False if
+  /// the peer is gone (EPIPE/ECONNRESET); throws on other errors.
+  bool send_frame(const comm::wire::Frame& frame);
+
+  /// Next frame, blocking until one is complete. nullopt on orderly EOF
+  /// or peer reset; throws std::invalid_argument on malformed bytes.
+  std::optional<comm::wire::Frame> recv_frame();
+
+  // --------------------------------------- non-blocking (parent side)
+
+  /// Stages a frame in the outbound buffer (no syscall).
+  void queue_frame(const comm::wire::Frame& frame);
+
+  /// Writes as much buffered output as the socket accepts right now.
+  /// False if the peer is gone; true otherwise (even if bytes remain).
+  bool flush_some();
+
+  /// Buffered bytes not yet accepted by the kernel (poll for POLLOUT
+  /// while nonzero).
+  std::size_t pending_out() const noexcept {
+    return out_.size() - out_sent_;
+  }
+
+  /// Reads whatever is available without blocking. Returns false on
+  /// EOF/reset (peer gone), true otherwise.
+  bool pump_reads();
+
+  /// Complete frames accumulated by pump_reads / recv_frame. Throws
+  /// std::invalid_argument on malformed bytes.
+  std::optional<comm::wire::Frame> next_frame() { return reader_.next(); }
+
+ private:
+  int fd_ = -1;
+  comm::wire::FrameReader reader_;
+  comm::wire::Bytes out_;
+  std::size_t out_sent_ = 0;
+};
+
+}  // namespace gridpipe::proc

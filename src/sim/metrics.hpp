@@ -23,6 +23,10 @@ class SimMetrics {
   void on_item_created(std::uint64_t id, double t);
   void on_item_completed(std::uint64_t id, double t, double created_at);
   void on_remap(RemapEvent event);
+  /// Convenience for the live runtimes' apply_remap hooks.
+  void on_remap(double time, double pause, std::string from, std::string to) {
+    on_remap(RemapEvent{time, pause, std::move(from), std::move(to)});
+  }
   void on_service(std::size_t stage, double duration);
 
   std::uint64_t items_created() const noexcept { return created_; }

@@ -1,0 +1,51 @@
+#include "workload/substrate.hpp"
+
+#include <string>
+
+namespace gridpipe::workload {
+
+namespace {
+
+// Built with += rather than operator+: GCC 12 -O3 inlines the
+// char* + string&& overload into a -Wrestrict false positive (PR105651).
+std::string stage_name(std::size_t i) {
+  std::string name = "s";
+  name += std::to_string(i);
+  return name;
+}
+
+}  // namespace
+
+std::vector<core::DistStage> passthrough_dist_stages(
+    const sched::PipelineProfile& p) {
+  std::vector<core::DistStage> stages;
+  for (std::size_t i = 0; i < p.num_stages(); ++i) {
+    stages.push_back({stage_name(i),
+                      [](const core::Bytes& in) { return in; },
+                      p.stage_work[i], p.msg_bytes[i + 1], p.state_bytes[i]});
+  }
+  return stages;
+}
+
+core::PipelineSpec passthrough_spec(const sched::PipelineProfile& p) {
+  core::PipelineSpec spec;
+  for (std::size_t i = 0; i < p.num_stages(); ++i) {
+    spec.stage(stage_name(i), [](std::any a) { return a; }, p.stage_work[i],
+               p.msg_bytes[i + 1], p.state_bytes[i]);
+  }
+  spec.input_bytes(p.msg_bytes[0]);
+  return spec;
+}
+
+sched::Mapping planned_mapping(const grid::Grid& grid,
+                               const sched::PipelineProfile& p,
+                               const control::AdaptationConfig& adapt) {
+  const sched::PerfModel model(adapt.model);
+  const auto est = sched::ResourceEstimate::from_grid(grid, 0.0);
+  return control::choose_mapping(model, p, est, adapt.mapper,
+                                 adapt.pin_first_stage,
+                                 adapt.max_total_replicas)
+      .mapping;
+}
+
+}  // namespace gridpipe::workload

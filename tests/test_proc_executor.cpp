@@ -1,0 +1,436 @@
+// Tests for the process-per-node runtime: the shared comm::wire frame
+// format (round-trips for every kind, malformed/truncated rejection),
+// end-to-end correctness over real forked processes and Unix sockets,
+// crash detection, controller-driven adaptation (the same kOnChange
+// quiet-epoch/load-step scenarios the other runtimes pass), and decision
+// parity with the DistributedExecutor.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include <unistd.h>
+
+#include "comm/wire.hpp"
+#include "core/dist_executor.hpp"
+#include "grid/builders.hpp"
+#include "proc/process_executor.hpp"
+
+namespace gridpipe::proc {
+namespace {
+
+using grid::NodeId;
+namespace wire = comm::wire;
+
+Bytes bytes_of_int(int v) {
+  Bytes out(sizeof(int));
+  std::memcpy(out.data(), &v, sizeof(int));
+  return out;
+}
+int int_of_bytes(const Bytes& b) {
+  int v = 0;
+  std::memcpy(&v, b.data(), sizeof(int));
+  return v;
+}
+
+std::vector<core::DistStage> arithmetic_stages() {
+  std::vector<core::DistStage> stages;
+  stages.push_back({"inc",
+                    [](const Bytes& in) {
+                      return bytes_of_int(int_of_bytes(in) + 1);
+                    },
+                    0.02, 16});
+  stages.push_back({"triple",
+                    [](const Bytes& in) {
+                      return bytes_of_int(int_of_bytes(in) * 3);
+                    },
+                    0.02, 16});
+  stages.push_back({"dec",
+                    [](const Bytes& in) {
+                      return bytes_of_int(int_of_bytes(in) - 1);
+                    },
+                    0.02, 16});
+  return stages;
+}
+
+// --------------------------------------------------------- wire frames
+
+wire::Frame roundtrip_one(const wire::Frame& frame) {
+  const Bytes encoded = wire::encode_frame(frame);
+  wire::FrameReader reader;
+  reader.feed(encoded.data(), encoded.size());
+  auto decoded = reader.next();
+  EXPECT_TRUE(decoded.has_value());
+  EXPECT_FALSE(reader.next().has_value()) << "trailing frame";
+  return *decoded;
+}
+
+TEST(ProcWire, EveryFrameKindRoundTrips) {
+  const Bytes task = wire::encode_task(42, 1, bytes_of_int(7));
+  const wire::Frame frames[] = {
+      {wire::FrameKind::kTask, 2, task},
+      {wire::FrameKind::kResult, 0, task},
+      {wire::FrameKind::kRemap, 1,
+       wire::encode_mapping(sched::Mapping(std::vector<NodeId>{1, 0, 2}))},
+      {wire::FrameKind::kShutdown, 0, {}},
+      {wire::FrameKind::kSpeedObs, 3, wire::encode_f64(1.75)},
+  };
+  for (const wire::Frame& frame : frames) {
+    EXPECT_EQ(roundtrip_one(frame), frame) << wire::to_string(frame.kind);
+  }
+}
+
+TEST(ProcWire, ReaderReassemblesSplitFrames) {
+  // A frame arriving one byte at a time must stay pending until whole;
+  // two frames in one feed must both pop.
+  const wire::Frame a{wire::FrameKind::kTask, 1,
+                      wire::encode_task(9, 0, bytes_of_int(5))};
+  const wire::Frame b{wire::FrameKind::kSpeedObs, 2, wire::encode_f64(0.5)};
+  Bytes stream = wire::encode_frame(a);
+  const Bytes bb = wire::encode_frame(b);
+  stream.insert(stream.end(), bb.begin(), bb.end());
+
+  wire::FrameReader reader;
+  for (std::size_t i = 0; i + 1 < stream.size(); ++i) {
+    reader.feed(&stream[i], 1);
+    if (i + 1 < wire::encode_frame(a).size()) {
+      EXPECT_FALSE(reader.next().has_value()) << "byte " << i;
+    }
+  }
+  reader.feed(&stream[stream.size() - 1], 1);
+  EXPECT_EQ(reader.next(), a);
+  EXPECT_EQ(reader.next(), b);
+  EXPECT_FALSE(reader.next().has_value());
+  EXPECT_EQ(reader.buffered(), 0u);
+}
+
+TEST(ProcWire, ReaderRejectsOversizedLength) {
+  Bytes header(12);
+  const std::uint32_t huge = wire::kMaxFramePayload + 1;
+  const std::uint32_t kind = 1;
+  std::memcpy(header.data(), &huge, 4);
+  std::memcpy(header.data() + 4, &kind, 4);
+  wire::FrameReader reader;
+  reader.feed(header.data(), header.size());
+  EXPECT_THROW(reader.next(), std::invalid_argument);
+}
+
+TEST(ProcWire, ReaderRejectsUnknownKind) {
+  Bytes header(12);
+  const std::uint32_t len = 0;
+  const std::uint32_t kind = 99;
+  std::memcpy(header.data(), &len, 4);
+  std::memcpy(header.data() + 4, &kind, 4);
+  wire::FrameReader reader;
+  reader.feed(header.data(), header.size());
+  EXPECT_THROW(reader.next(), std::invalid_argument);
+}
+
+TEST(ProcWire, TruncatedPayloadsThrow) {
+  std::uint64_t item;
+  std::uint32_t stage;
+  Bytes payload;
+  EXPECT_THROW(wire::decode_task(Bytes(4), item, stage, payload),
+               std::invalid_argument);
+  EXPECT_THROW(wire::decode_f64(Bytes(4)), std::invalid_argument);
+
+  sched::Mapping mapping(std::vector<NodeId>{2, 0, 1});
+  mapping.add_replica(1, 2);
+  const Bytes good = wire::encode_mapping(mapping);
+  EXPECT_EQ(wire::decode_mapping(good), mapping);
+  for (std::size_t cut = 0; cut < good.size(); ++cut) {
+    EXPECT_THROW(wire::decode_mapping(Bytes(good.begin(),
+                                            good.begin() +
+                                                static_cast<std::ptrdiff_t>(
+                                                    cut))),
+                 std::invalid_argument)
+        << "cut at " << cut;
+  }
+}
+
+TEST(ProcWire, MappingWithAbsurdCountsRejected) {
+  // Claims 2^31 stages in 8 bytes: must throw, not allocate.
+  Bytes lie(8);
+  const std::uint32_t stages = 0x80000000u;
+  std::memcpy(lie.data(), &stages, 4);
+  EXPECT_THROW(wire::decode_mapping(lie), std::invalid_argument);
+}
+
+TEST(ProcWire, DistExecutorSpeaksTheSharedCodec) {
+  // The DistributedExecutor helpers are delegates of comm::wire — the
+  // bytes must be identical in both directions.
+  const Bytes payload = bytes_of_int(1234);
+  EXPECT_EQ(core::DistributedExecutor::encode_task(77, 2, payload),
+            wire::encode_task(77, 2, payload));
+  sched::Mapping mapping(std::vector<NodeId>{2, 0, 1});
+  mapping.add_replica(0, 1);
+  EXPECT_EQ(core::DistributedExecutor::encode_mapping(mapping),
+            wire::encode_mapping(mapping));
+  EXPECT_EQ(core::DistributedExecutor::decode_mapping(
+                wire::encode_mapping(mapping)),
+            mapping);
+}
+
+// ---------------------------------------------------------- end to end
+
+ProcExecutorConfig fast_proc_config() {
+  ProcExecutorConfig config;
+  config.time_scale = 0.002;
+  return config;
+}
+
+TEST(ProcessExecutor, OrderedCorrectOutputs) {
+  const auto g = grid::uniform_cluster(3, 1.0, 1e-3, 1e8);
+  ProcessExecutor executor(g, arithmetic_stages(),
+                           sched::Mapping(std::vector<NodeId>{0, 1, 2}),
+                           fast_proc_config());
+  std::vector<Bytes> inputs;
+  for (int i = 0; i < 60; ++i) inputs.push_back(bytes_of_int(i));
+  const auto report = executor.run(std::move(inputs));
+  ASSERT_EQ(report.items, 60u);
+  for (int i = 0; i < 60; ++i) {
+    const auto& out =
+        std::any_cast<const Bytes&>(report.outputs[static_cast<std::size_t>(i)]);
+    EXPECT_EQ(int_of_bytes(out), (i + 1) * 3 - 1) << "item " << i;
+  }
+  EXPECT_EQ(report.remap_count, 0u);
+  EXPECT_GT(report.throughput, 0.0);
+}
+
+TEST(ProcessExecutor, EmptyInput) {
+  const auto g = grid::uniform_cluster(2, 1.0, 1e-3, 1e8);
+  ProcessExecutor executor(g, arithmetic_stages(),
+                           sched::Mapping(std::vector<NodeId>{0, 1, 0}),
+                           fast_proc_config());
+  EXPECT_EQ(executor.run({}).items, 0u);
+}
+
+TEST(ProcessExecutor, ColocatedMappingWorks) {
+  const auto g = grid::uniform_cluster(2, 1.0, 1e-3, 1e8);
+  ProcessExecutor executor(g, arithmetic_stages(),
+                           sched::Mapping::all_on(3, 1),
+                           fast_proc_config());
+  std::vector<Bytes> inputs;
+  for (int i = 0; i < 20; ++i) inputs.push_back(bytes_of_int(i));
+  const auto report = executor.run(std::move(inputs));
+  EXPECT_EQ(report.items, 20u);
+  EXPECT_EQ(report.final_mapping, "(2,2,2)");
+}
+
+TEST(ProcessExecutor, ReplicatedStageFarmsAcrossProcesses) {
+  const auto g = grid::uniform_cluster(3, 1.0, 1e-3, 1e8);
+  sched::Mapping mapping(std::vector<NodeId>{0, 1, 0});
+  mapping.add_replica(1, 2);  // middle stage farmed over two processes
+  ProcessExecutor executor(g, arithmetic_stages(), mapping,
+                           fast_proc_config());
+  std::vector<Bytes> inputs;
+  for (int i = 0; i < 40; ++i) inputs.push_back(bytes_of_int(i));
+  const auto report = executor.run(std::move(inputs));
+  ASSERT_EQ(report.items, 40u);
+  for (int i = 0; i < 40; ++i) {
+    const auto& out =
+        std::any_cast<const Bytes&>(report.outputs[static_cast<std::size_t>(i)]);
+    EXPECT_EQ(int_of_bytes(out), (i + 1) * 3 - 1) << "item " << i;
+  }
+}
+
+TEST(ProcessExecutor, WorkerCrashSurfacesAsError) {
+  const auto g = grid::uniform_cluster(2, 1.0, 1e-3, 1e8);
+  auto stages = arithmetic_stages();
+  // Stage functions only ever run inside forked workers, so this kills
+  // one real OS process mid-stream — the failure mode the in-process
+  // runtimes cannot even express.
+  stages[1].fn = [](const Bytes& in) {
+    if (int_of_bytes(in) == 14) _exit(7);  // item 13 after the +1 stage
+    return bytes_of_int(int_of_bytes(in) * 3);
+  };
+  ProcessExecutor executor(g, std::move(stages),
+                           sched::Mapping(std::vector<NodeId>{0, 1, 0}),
+                           fast_proc_config());
+  std::vector<Bytes> inputs;
+  for (int i = 0; i < 30; ++i) inputs.push_back(bytes_of_int(i));
+  try {
+    executor.run(std::move(inputs));
+    FAIL() << "expected a crash report";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("exited mid-run"), std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("exit code 7"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(ProcessExecutor, RejectsBadConstruction) {
+  const auto g = grid::uniform_cluster(2, 1.0, 1e-3, 1e8);
+  EXPECT_THROW(ProcessExecutor(g, {}, sched::Mapping{}, {}),
+               std::invalid_argument);
+  EXPECT_THROW(ProcessExecutor(
+                   g, arithmetic_stages(),
+                   sched::Mapping(std::vector<NodeId>{0, 1}),  // 2 != 3
+                   fast_proc_config()),
+               std::invalid_argument);
+  ProcExecutorConfig bad;
+  bad.time_scale = 0.0;
+  EXPECT_THROW(ProcessExecutor(g, arithmetic_stages(),
+                               sched::Mapping::all_on(3, 0), bad),
+               std::invalid_argument);
+}
+
+TEST(ProcessExecutor, ProfileMatchesStages) {
+  const auto g = grid::uniform_cluster(2, 1.0, 1e-3, 1e8);
+  ProcessExecutor executor(g, arithmetic_stages(),
+                           sched::Mapping::all_on(3, 0), fast_proc_config());
+  const auto p = executor.profile();
+  EXPECT_EQ(p.num_stages(), 3u);
+  EXPECT_DOUBLE_EQ(p.stage_work[1], 0.02);
+  EXPECT_NO_THROW(p.validate());
+}
+
+// ---------------------------------------------------------- adaptation
+
+TEST(ProcessExecutor, AdaptsAwayFromLoadedNode) {
+  auto g = grid::uniform_cluster(3, 1.0, 1e-3, 1e8);
+  grid::set_node_load(g, 1, std::make_shared<grid::ConstantLoad>(9.0));
+
+  ProcExecutorConfig config;
+  config.time_scale = 0.002;
+  config.adapt.epoch = 4.0;
+  config.adapt.policy.hysteresis_epochs = 1;
+  config.adapt.policy.min_gain_ratio = 0.2;
+  config.adapt.policy.restart_latency = 0.1;
+
+  ProcessExecutor executor(g, arithmetic_stages(),
+                           sched::Mapping(std::vector<NodeId>{0, 1, 2}),
+                           config);
+  std::vector<Bytes> inputs;
+  for (int i = 0; i < 400; ++i) inputs.push_back(bytes_of_int(i));
+  const auto report = executor.run(std::move(inputs));
+
+  EXPECT_EQ(report.items, 400u);
+  EXPECT_GE(report.remap_count, 1u);
+  EXPECT_EQ(report.final_mapping.find('2'), std::string::npos)
+      << "still on loaded node: " << report.final_mapping;
+  // Spot-check results survived the live remap.
+  for (int i : {0, 123, 399}) {
+    const auto& out =
+        std::any_cast<const Bytes&>(report.outputs[static_cast<std::size_t>(i)]);
+    EXPECT_EQ(int_of_bytes(out), (i + 1) * 3 - 1);
+  }
+}
+
+TEST(ProcessExecutor, OnChangeTriggerSkipsQuietEpochs) {
+  // Same contract as the threaded and message-passing runtimes: on a
+  // stable grid the change gate swallows the mapping search after the
+  // first decision.
+  const auto g = grid::uniform_cluster(3, 1.0, 1e-3, 1e8);
+  ProcExecutorConfig config;
+  config.time_scale = 0.01;
+  config.adapt.epoch = 2.0;
+  config.adapt.trigger = control::AdaptationTrigger::kOnChange;
+  config.adapt.change_threshold = 0.75;
+  config.adapt.max_staleness = 1e9;
+  ProcessExecutor executor(g, arithmetic_stages(),
+                           sched::Mapping(std::vector<NodeId>{0, 1, 2}),
+                           config);
+  std::vector<Bytes> inputs;
+  for (int i = 0; i < 400; ++i) inputs.push_back(bytes_of_int(i));
+  const auto report = executor.run(std::move(inputs));
+
+  EXPECT_EQ(report.items, 400u);
+  ASSERT_GE(report.epochs.size(), 2u);
+  EXPECT_TRUE(report.epochs.front().decided);
+  std::size_t decisions = 0;
+  for (const auto& e : report.epochs) decisions += e.decided;
+  EXPECT_LT(decisions, report.epochs.size());
+  EXPECT_EQ(report.remap_count, 0u);
+}
+
+TEST(ProcessExecutor, OnChangeTriggerReactsToLoadStep) {
+  auto g = grid::uniform_cluster(3, 1.0, 1e-3, 1e8);
+  grid::set_node_load(g, 1, std::make_shared<grid::StepLoad>(
+                                std::vector<grid::StepLoad::Step>{
+                                    {4.0, 9.0}}));
+
+  ProcExecutorConfig config;
+  config.time_scale = 0.01;
+  config.adapt.epoch = 2.0;
+  config.adapt.trigger = control::AdaptationTrigger::kOnChange;
+  config.adapt.change_threshold = 0.4;
+  config.adapt.max_staleness = 1e9;
+  config.adapt.policy.hysteresis_epochs = 1;
+  config.adapt.policy.min_gain_ratio = 0.2;
+  config.adapt.policy.restart_latency = 0.1;
+  ProcessExecutor executor(g, arithmetic_stages(),
+                           sched::Mapping(std::vector<NodeId>{0, 1, 2}),
+                           config);
+  std::vector<Bytes> inputs;
+  for (int i = 0; i < 400; ++i) inputs.push_back(bytes_of_int(i));
+  const auto report = executor.run(std::move(inputs));
+
+  EXPECT_EQ(report.items, 400u);
+  EXPECT_GE(report.remap_count, 1u);
+  EXPECT_EQ(report.final_mapping.find('2'), std::string::npos)
+      << "still on loaded node: " << report.final_mapping;
+  std::size_t remapped_epochs = 0;
+  for (const auto& e : report.epochs) remapped_epochs += e.remapped;
+  EXPECT_EQ(remapped_epochs, report.remap_count);
+  // Results survived the mid-stream remap.
+  for (int i : {0, 123, 399}) {
+    const auto& out =
+        std::any_cast<const Bytes&>(report.outputs[static_cast<std::size_t>(i)]);
+    EXPECT_EQ(int_of_bytes(out), (i + 1) * 3 - 1);
+  }
+}
+
+// -------------------------------------------------------------- parity
+
+// The acceptance bar for "fourth runtime behind the same control layer":
+// on the same deterministic scenario with the same AdaptationConfig, the
+// process runtime's epoch timeline must make the same decisions the
+// DistributedExecutor makes — substrate changed, control behavior did
+// not.
+TEST(ProcessExecutor, QuietScenarioDecisionParityWithDist) {
+  control::AdaptationConfig adapt;
+  adapt.epoch = 2.0;
+  adapt.trigger = control::AdaptationTrigger::kOnChange;
+  adapt.change_threshold = 0.75;
+  adapt.max_staleness = 1e9;
+
+  const auto g = grid::uniform_cluster(3, 1.0, 1e-3, 1e8);
+  const sched::Mapping mapping(std::vector<NodeId>{0, 1, 2});
+  std::vector<Bytes> inputs;
+  for (int i = 0; i < 300; ++i) inputs.push_back(bytes_of_int(i));
+
+  core::DistExecutorConfig dist_config;
+  dist_config.time_scale = 0.01;
+  dist_config.adapt = adapt;
+  core::DistributedExecutor dist(g, arithmetic_stages(), mapping,
+                                 dist_config);
+  const auto dist_report = dist.run(inputs);
+
+  ProcExecutorConfig proc_config;
+  proc_config.time_scale = 0.01;
+  proc_config.adapt = adapt;
+  ProcessExecutor proc(g, arithmetic_stages(), mapping, proc_config);
+  const auto proc_report = proc.run(inputs);
+
+  ASSERT_EQ(proc_report.items, dist_report.items);
+  EXPECT_EQ(proc_report.final_mapping, dist_report.final_mapping);
+  EXPECT_EQ(proc_report.remap_count, dist_report.remap_count);
+
+  // Same decision sequence epoch by epoch. Wall-clock jitter can give
+  // one run a trailing epoch more than the other; the overlap must
+  // agree exactly and both timelines must be non-trivial.
+  const auto common =
+      std::min(proc_report.epochs.size(), dist_report.epochs.size());
+  ASSERT_GE(common, 2u);
+  for (std::size_t i = 0; i < common; ++i) {
+    EXPECT_EQ(proc_report.epochs[i].decided, dist_report.epochs[i].decided)
+        << "epoch " << i;
+    EXPECT_EQ(proc_report.epochs[i].remapped, dist_report.epochs[i].remapped)
+        << "epoch " << i;
+  }
+}
+
+}  // namespace
+}  // namespace gridpipe::proc
