@@ -9,8 +9,7 @@
 // cost-gate keeps the worst corner bounded.
 
 #include "bench_common.hpp"
-#include "core/executor.hpp"
-#include "proc/process_executor.hpp"
+#include "rt/runtime.hpp"
 #include "sim/drivers.hpp"
 #include "workload/scenarios.hpp"
 #include "workload/substrate.hpp"
@@ -25,49 +24,31 @@ using namespace gridpipe;
 // decisions) on every execution substrate, measured on the stable
 // scenario where no remap should ever fire:
 //   overhead % = (thr_off - thr_on) / thr_off
-// run on the same profile/grid per row (workload::substrate adapters —
-// the same setup gridpipe_cli --runtime drives), so the DES, threaded,
-// message-passing and process-per-node rows are directly comparable.
+// Every row runs the same passthrough pipeline on the same grid through
+// rt::make_runtime — the same setup gridpipe_cli --runtime drives — so
+// the DES, threaded, message-passing and process-per-node rows are
+// directly comparable.
 
 constexpr std::uint64_t kLiveItems = 200;
 constexpr double kLiveTimeScale = 0.002;
 constexpr double kLiveEpoch = 10.0;
 
-control::AdaptationConfig live_adapt(bool enabled) {
-  control::AdaptationConfig adapt;
-  adapt.epoch = enabled ? kLiveEpoch : 0.0;
-  return adapt;
-}
-
-core::RunReport run_threads(const workload::Scenario& s,
-                            const sched::Mapping& mapping, bool adapt) {
-  core::ExecutorConfig config;
-  config.time_scale = kLiveTimeScale;
-  config.adapt = live_adapt(adapt);
-  core::Executor executor(s.grid, workload::passthrough_spec(s.profile),
-                          mapping, config);
-  std::vector<std::any> inputs(kLiveItems, std::any(0));
-  return executor.run(std::move(inputs));
-}
-
-core::RunReport run_dist(const workload::Scenario& s,
-                         const sched::Mapping& mapping, bool adapt) {
-  core::DistExecutorConfig config;
-  config.time_scale = kLiveTimeScale;
-  config.adapt = live_adapt(adapt);
-  core::DistributedExecutor executor(
-      s.grid, workload::passthrough_dist_stages(s.profile), mapping, config);
-  return executor.run(std::vector<core::Bytes>(kLiveItems, core::Bytes(64)));
-}
-
-core::RunReport run_process(const workload::Scenario& s,
-                            const sched::Mapping& mapping, bool adapt) {
-  proc::ProcExecutorConfig config;
-  config.time_scale = kLiveTimeScale;
-  config.adapt = live_adapt(adapt);
-  proc::ProcessExecutor executor(
-      s.grid, workload::passthrough_dist_stages(s.profile), mapping, config);
-  return executor.run(std::vector<core::Bytes>(kLiveItems, core::Bytes(64)));
+core::RunReport run_substrate(rt::RuntimeKind kind,
+                              const workload::Scenario& s,
+                              const sched::Mapping& mapping, bool adapt) {
+  rt::RuntimeOptions options;
+  options.time_scale = kLiveTimeScale;
+  options.adapt.epoch = adapt ? kLiveEpoch : 0.0;
+  options.initial_mapping = mapping;
+  // The sim rows compare the adaptive driver against the static-optimal
+  // baseline (the factory maps adapt.epoch = 0 to exactly that).
+  options.sim_driver = sim::DriverKind::kAdaptive;
+  options.sim_config.num_items = kLiveItems;
+  options.sim_config.probe_interval = 5.0;
+  auto runtime = rt::make_runtime(
+      kind, s.grid, workload::passthrough_pipeline(s.profile), options);
+  std::vector<std::any> inputs(kLiveItems, std::any(std::uint64_t{0}));
+  return runtime->run(std::move(inputs));
 }
 
 }  // namespace
@@ -124,39 +105,15 @@ int main() {
       stable.grid, stable.profile, control::AdaptationConfig{});
   util::Table substrate({"runtime", "thr (off)", "thr (on)", "remaps",
                          "overhead %"});
-  auto add_row = [&](const char* name, double off, double on,
-                     std::size_t remaps) {
-    substrate.row().add(name).add(off, 3).add(on, 3).add(remaps).add(
-        100.0 * (off - on) / off, 1);
-  };
-  {
-    sim::SimConfig config;
-    config.num_items = kLiveItems;
-    config.probe_interval = 5.0;
-    sim::DriverOptions off;
-    off.driver = sim::DriverKind::kStaticOptimal;
-    sim::DriverOptions on;
-    on.driver = sim::DriverKind::kAdaptive;
-    on.adapt.epoch = kLiveEpoch;
-    const auto o =
-        sim::run_pipeline(stable.grid, stable.profile, config, off);
-    const auto a = sim::run_pipeline(stable.grid, stable.profile, config, on);
-    add_row("sim", o.mean_throughput, a.mean_throughput, a.remap_count);
-  }
-  {
-    const auto off = run_threads(stable, deployed, false);
-    const auto on = run_threads(stable, deployed, true);
-    add_row("threads", off.throughput, on.throughput, on.remap_count);
-  }
-  {
-    const auto off = run_dist(stable, deployed, false);
-    const auto on = run_dist(stable, deployed, true);
-    add_row("dist", off.throughput, on.throughput, on.remap_count);
-  }
-  {
-    const auto off = run_process(stable, deployed, false);
-    const auto on = run_process(stable, deployed, true);
-    add_row("process", off.throughput, on.throughput, on.remap_count);
+  for (rt::RuntimeKind kind : rt::kAllRuntimeKinds) {
+    const auto off = run_substrate(kind, stable, deployed, false);
+    const auto on = run_substrate(kind, stable, deployed, true);
+    substrate.row()
+        .add(rt::to_string(kind))
+        .add(off.throughput, 3)
+        .add(on.throughput, 3)
+        .add(on.remap_count)
+        .add(100.0 * (off.throughput - on.throughput) / off.throughput, 1);
   }
   bench::print_table(substrate);
   return 0;

@@ -1,6 +1,8 @@
 // gridpipe_cli — run any catalogue scenario on any execution substrate
 // from the command line. The "explore the design space without writing
-// code" entry point.
+// code" entry point. Every substrate is driven through the one
+// rt::make_runtime factory, so `--runtime` is the only thing that
+// changes between a virtual-time rehearsal and a process-per-node run.
 //
 //   gridpipe_cli [--scenario NAME] [--runtime KIND] [--driver KIND]
 //                [--items N] [--epoch S] [--trigger periodic|on-change]
@@ -11,21 +13,19 @@
 //   --runtime              sim | threads | dist | process
 //   --driver               naive | static | adaptive | oracle (sim only)
 //   --time-scale S         live runtimes: real seconds per virtual second
-//   --timeline W           also print throughput per W-second window (sim)
+//   --timeline W           also print throughput per W-second window
 //
-// The live runtimes (threads, dist, process) run the scenario's profile
-// as passthrough stages with emulated compute, starting from the mapping
-// a deployment-time planner would pick; adaptation uses the same epoch /
-// trigger knobs as the simulator. Large --items take real wall time
-// there (items × bottleneck-service × time-scale seconds).
+// The scenario's profile runs as typed passthrough stages with emulated
+// compute, starting from the mapping a deployment-time planner would
+// pick; adaptation uses the same epoch / trigger knobs everywhere.
+// Large --items take real wall time on the live runtimes
+// (items × bottleneck-service × time-scale seconds).
 
 #include <cstring>
 #include <iostream>
 #include <string>
 
-#include "core/executor.hpp"
-#include "proc/process_executor.hpp"
-#include "sim/drivers.hpp"
+#include "rt/runtime.hpp"
 #include "util/table.hpp"
 #include "workload/scenarios.hpp"
 #include "workload/substrate.hpp"
@@ -44,71 +44,50 @@ int usage(const char* argv0) {
   return 2;
 }
 
-void print_live_report(const workload::Scenario& s, const char* runtime,
-                       const control::AdaptationConfig& adapt,
-                       const core::RunReport& report) {
+void print_report(const workload::Scenario& s, rt::RuntimeKind kind,
+                  const rt::RuntimeOptions& options,
+                  const core::RunReport& report, double timeline_window) {
   std::size_t decisions = 0;
   for (const auto& e : report.epochs) decisions += e.decided;
   std::cout << "scenario   " << s.name << " (" << s.description << ")\n"
-            << "runtime    " << runtime << ", epoch " << adapt.epoch
-            << "s, trigger " << to_string(adapt.trigger) << ", mapper "
-            << to_string(adapt.mapper) << "\n"
+            << "runtime    " << rt::to_string(kind);
+  if (kind == rt::RuntimeKind::kSim) {
+    std::cout << ", driver " << to_string(options.sim_driver);
+  }
+  std::cout << ", epoch " << options.adapt.epoch << "s, trigger "
+            << to_string(options.adapt.trigger) << ", mapper "
+            << to_string(options.adapt.mapper) << "\n"
             << "result     " << report.summary() << "\n"
-            << "epochs     " << report.epochs.size() << " ("
-            << decisions << " full decisions)\n";
+            << "latency    mean "
+            << util::format_double(report.metrics.latency().mean(), 3)
+            << "s  p95 "
+            << util::format_double(report.metrics.latency_percentile(95), 3)
+            << "s\n"
+            << "epochs     " << report.epochs.size() << " (" << decisions
+            << " full decisions)\n";
   for (const auto& remap : report.remaps) {
     std::cout << "  t=" << util::format_double(remap.time, 1) << "s  "
               << remap.from << " -> " << remap.to << " (pause "
               << util::format_double(remap.pause, 2) << "s)\n";
   }
-}
-
-int run_live(const workload::Scenario& s, const std::string& runtime,
-             std::uint64_t items, const control::AdaptationConfig& adapt,
-             double time_scale) {
-  const sched::Mapping initial =
-      workload::planned_mapping(s.grid, s.profile, adapt);
-
-  if (runtime == "threads") {
-    core::ExecutorConfig config;
-    config.time_scale = time_scale;
-    config.adapt = adapt;
-    core::Executor executor(s.grid, workload::passthrough_spec(s.profile),
-                            initial, config);
-    std::vector<std::any> inputs;
-    for (std::uint64_t i = 0; i < items; ++i) {
-      inputs.emplace_back(static_cast<int>(i));
+  if (timeline_window > 0.0) {
+    util::Table table({"t", "items/s"});
+    const auto series = report.metrics.throughput_timeline(
+        timeline_window, report.metrics.makespan());
+    for (std::size_t w = 0; w < series.size(); ++w) {
+      table.row()
+          .add(static_cast<double>(w) * timeline_window, 0)
+          .add(series[w], 3);
     }
-    print_live_report(s, "threads", adapt, executor.run(std::move(inputs)));
-    return 0;
+    std::cout << table.to_string();
   }
-
-  std::vector<core::Bytes> inputs(items, core::Bytes(64));
-  if (runtime == "dist") {
-    core::DistExecutorConfig config;
-    config.time_scale = time_scale;
-    config.adapt = adapt;
-    core::DistributedExecutor executor(
-        s.grid, workload::passthrough_dist_stages(s.profile), initial,
-        config);
-    print_live_report(s, "dist", adapt, executor.run(std::move(inputs)));
-    return 0;
-  }
-  // process
-  proc::ProcExecutorConfig config;
-  config.time_scale = time_scale;
-  config.adapt = adapt;
-  proc::ProcessExecutor executor(
-      s.grid, workload::passthrough_dist_stages(s.profile), initial, config);
-  print_live_report(s, "process", adapt, executor.run(std::move(inputs)));
-  return 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string scenario_name = "load-step";
-  std::string runtime = "sim";
+  std::string runtime_name = "sim";
   std::string driver_name = "adaptive";
   std::uint64_t items = 3000;
   double epoch = 10.0;
@@ -136,7 +115,7 @@ int main(int argc, char** argv) {
     } else if (!std::strcmp(argv[i], "--scenario")) {
       scenario_name = next("--scenario");
     } else if (!std::strcmp(argv[i], "--runtime")) {
-      runtime = next("--runtime");
+      runtime_name = next("--runtime");
     } else if (!std::strcmp(argv[i], "--time-scale")) {
       time_scale = std::stod(next("--time-scale"));
     } else if (!std::strcmp(argv[i], "--driver")) {
@@ -158,94 +137,69 @@ int main(int argc, char** argv) {
       seed = std::stoull(next("--seed"));
     } else if (!std::strcmp(argv[i], "--timeline")) {
       timeline_window = std::stod(next("--timeline"));
-      sim_only_flags.push_back("--timeline");
     } else {
       return usage(argv[0]);
     }
   }
 
-  sim::DriverOptions options;
-  if (driver_name == "naive") {
-    options.driver = sim::DriverKind::kStaticNaive;
-  } else if (driver_name == "static") {
-    options.driver = sim::DriverKind::kStaticOptimal;
-  } else if (driver_name == "adaptive") {
-    options.driver = sim::DriverKind::kAdaptive;
-  } else if (driver_name == "oracle") {
-    options.driver = sim::DriverKind::kOracle;
-  } else {
+  rt::RuntimeKind kind;
+  try {
+    kind = rt::parse_runtime_kind(runtime_name);
+  } catch (const std::invalid_argument& e) {
+    std::cerr << e.what() << "\n";
     return usage(argv[0]);
   }
+
+  rt::RuntimeOptions options;
+  options.time_scale = time_scale;
+  options.seed = seed;
   options.adapt.epoch = epoch;
   if (trigger == "on-change") {
-    options.adapt.trigger = sim::AdaptationTrigger::kOnChange;
+    options.adapt.trigger = control::AdaptationTrigger::kOnChange;
   } else if (trigger != "periodic") {
     return usage(argv[0]);
   }
 
-  workload::Scenario s = workload::find_scenario(scenario_name, seed);
+  if (driver_name == "naive") {
+    options.sim_driver = sim::DriverKind::kStaticNaive;
+  } else if (driver_name == "static") {
+    options.sim_driver = sim::DriverKind::kStaticOptimal;
+  } else if (driver_name == "adaptive") {
+    options.sim_driver = sim::DriverKind::kAdaptive;
+  } else if (driver_name == "oracle") {
+    options.sim_driver = sim::DriverKind::kOracle;
+  } else {
+    return usage(argv[0]);
+  }
 
-  if (runtime != "sim") {
-    if (runtime != "threads" && runtime != "dist" && runtime != "process") {
-      return usage(argv[0]);
-    }
+  options.sim_config.seed = seed;
+  options.sim_config.probe_interval = 5.0;
+  if (arrivals == "poisson") {
+    options.sim_config.arrivals = sim::SimConfig::Arrivals::kPoisson;
+    options.sim_config.arrival_rate = rate;
+  } else if (arrivals != "saturated") {
+    return usage(argv[0]);
+  }
+
+  if (kind != rt::RuntimeKind::kSim) {
     // The live runtimes always run their adaptive controller (tune it
     // with --epoch/--trigger); driver selection and arrival shaping are
     // simulator concepts. Say so instead of silently ignoring them.
     for (const char* flag : sim_only_flags) {
       std::cerr << "note: " << flag << " applies to --runtime sim only; "
-                << "ignored for --runtime " << runtime << "\n";
+                << "ignored for --runtime " << rt::to_string(kind) << "\n";
     }
-    return run_live(s, runtime, items, options.adapt, time_scale);
-  }
-  sim::SimConfig config;
-  config.num_items = items;
-  config.seed = seed;
-  config.probe_interval = 5.0;
-  if (arrivals == "poisson") {
-    config.arrivals = sim::SimConfig::Arrivals::kPoisson;
-    config.arrival_rate = rate;
-  } else if (arrivals != "saturated") {
-    return usage(argv[0]);
   }
 
-  const auto result = sim::run_pipeline(s.grid, s.profile, config, options);
+  const workload::Scenario s = workload::find_scenario(scenario_name, seed);
+  auto runtime = rt::make_runtime(
+      kind, s.grid, workload::passthrough_pipeline(s.profile), options);
 
-  std::cout << "scenario   " << s.name << " (" << s.description << ")\n"
-            << "driver     " << to_string(options.driver) << ", epoch "
-            << epoch << "s, trigger " << to_string(options.adapt.trigger)
-            << ", mapper " << to_string(options.adapt.mapper) << "\n"
-            << "completed  " << result.metrics.items_completed() << "/"
-            << items << " items in "
-            << util::format_double(result.makespan, 1) << " virtual s\n"
-            << "throughput " << util::format_double(result.mean_throughput, 4)
-            << " items/s\n"
-            << "latency    mean "
-            << util::format_double(result.metrics.latency().mean(), 3)
-            << "s  p95 "
-            << util::format_double(result.metrics.latency_percentile(95), 3)
-            << "s\n"
-            << "mapping    " << result.initial_mapping.to_string();
-  if (!(result.final_mapping == result.initial_mapping)) {
-    std::cout << " -> " << result.final_mapping.to_string();
-  }
-  std::cout << "  (" << result.remap_count << " remaps)\n";
-  for (const auto& remap : result.metrics.remaps()) {
-    std::cout << "  t=" << util::format_double(remap.time, 1) << "s  "
-              << remap.from << " -> " << remap.to << " (pause "
-              << util::format_double(remap.pause, 2) << "s)\n";
-  }
+  std::vector<std::any> inputs;
+  inputs.reserve(items);
+  for (std::uint64_t i = 0; i < items; ++i) inputs.emplace_back(i);
+  const core::RunReport report = runtime->run(std::move(inputs));
 
-  if (timeline_window > 0.0) {
-    util::Table table({"t", "items/s"});
-    const auto series = result.metrics.throughput_timeline(
-        timeline_window, result.makespan);
-    for (std::size_t w = 0; w < series.size(); ++w) {
-      table.row()
-          .add(static_cast<double>(w) * timeline_window, 0)
-          .add(series[w], 3);
-    }
-    std::cout << table.to_string();
-  }
+  print_report(s, kind, options, report, timeline_window);
   return 0;
 }

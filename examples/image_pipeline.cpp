@@ -29,9 +29,9 @@ int main() {
 
   constexpr std::size_t kWidth = 96, kHeight = 96;
   core::AdaptivePipelineOptions options;
-  options.executor.time_scale = 0.05;
-  options.executor.adapt.epoch = 3.0;  // adaptation check every 3 virtual s
-  options.executor.adapt.policy.restart_latency = 0.2;
+  options.runtime.time_scale = 0.05;
+  options.runtime.adapt.epoch = 3.0;  // adaptation check every 3 virtual s
+  options.runtime.adapt.policy.restart_latency = 0.2;
 
   core::AdaptivePipeline pipeline(
       g, workload::image_pipeline(kWidth, kHeight), options);

@@ -39,7 +39,7 @@ int main() {
 
   // 3. Plan: where should the stages run right now?
   core::AdaptivePipelineOptions options;
-  options.executor.time_scale = 0.01;  // run 100x faster than modeled time
+  options.runtime.time_scale = 0.01;  // run 100x faster than modeled time
   core::AdaptivePipeline pipeline(grid, std::move(spec), options);
   const auto plan = pipeline.plan();
   std::cout << "planned mapping " << plan.mapping.to_string()

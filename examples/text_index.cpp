@@ -25,7 +25,7 @@ int main() {
       /*wan_latency=*/0.03, /*wan_bandwidth=*/1e7);
 
   core::AdaptivePipelineOptions options;
-  options.executor.time_scale = 0.01;
+  options.runtime.time_scale = 0.01;
   core::AdaptivePipeline pipeline(
       g, workload::text_pipeline(/*k=*/5, /*avg_bytes=*/4096.0), options);
 

@@ -1,15 +1,16 @@
 #!/usr/bin/env bash
-# Tier-1 gate: configure → build (warnings are errors) → ctest, then a
-# ThreadSanitizer pass over the concurrency-heavy suites (test_core,
-# test_dist_executor, test_integration) and an ASan+UBSan pass over the
-# fork/socket-heavy ones (test_proc_executor, test_comm,
-# test_dist_executor) — lifetime bugs live where processes and fds do.
-# Mirrors the one-command verify line in README.md, with -Werror added so
-# the tree stays warning-clean.
+# Tier-1 gate: header self-containment check → configure → build
+# (warnings are errors) → ctest, then a ThreadSanitizer pass over the
+# concurrency-heavy suites (test_core, test_dist_executor,
+# test_integration) and an ASan+UBSan pass over the fork/socket-heavy
+# ones (test_proc_executor, test_comm, test_dist_executor) — lifetime
+# bugs live where processes and fds do. Mirrors the one-command verify
+# line in README.md, with -Werror added so the tree stays warning-clean.
 #
 #   SKIP_TSAN=1 SKIP_ASAN=1 ./scripts/check.sh   # only the regular gate
 #   TSAN_ONLY=1 ./scripts/check.sh               # only the TSan stage
 #   ASAN_ONLY=1 ./scripts/check.sh               # only the ASan stage
+#   HEADERS_ONLY=1 ./scripts/check.sh            # only the header check
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -17,6 +18,23 @@ BUILD_DIR="${BUILD_DIR:-build}"
 TSAN_BUILD_DIR="${TSAN_BUILD_DIR:-build-tsan}"
 ASAN_BUILD_DIR="${ASAN_BUILD_DIR:-build-asan}"
 JOBS="$(nproc 2>/dev/null || echo 4)"
+CXX_BIN="${CXX:-g++}"
+
+if [[ -z "${TSAN_ONLY:-}" && -z "${ASAN_ONLY:-}" && -z "${SKIP_HEADERS:-}" ]]; then
+  # Header self-containment: every public header must compile standalone
+  # (a user includes rt/runtime.hpp alone and expects it to work; a
+  # header that leans on its includer's includes rots silently).
+  echo "== header self-containment (src/**/*.hpp) =="
+  # Compile a one-line TU per header (not the header itself: GCC warns
+  # on #pragma once in a main file).
+  find src -name '*.hpp' | sort | while read -r header; do
+    echo "#include \"${header#src/}\"" |
+      "$CXX_BIN" -std=c++20 -fsyntax-only -Wall -Wextra -Werror -Isrc \
+        -x c++ - ||
+      { echo "not self-contained: $header"; exit 1; }
+  done
+fi
+if [[ -n "${HEADERS_ONLY:-}" ]]; then exit 0; fi
 
 if [[ -z "${TSAN_ONLY:-}" && -z "${ASAN_ONLY:-}" ]]; then
   # Pin the options the gate depends on (the smoke test needs examples),

@@ -10,7 +10,7 @@ AdaptivePipeline::AdaptivePipeline(const grid::Grid& grid, PipelineSpec spec,
       options_(std::move(options)) {}
 
 sched::MapperResult AdaptivePipeline::plan() const {
-  const control::AdaptationConfig& adapt = options_.executor.adapt;
+  const control::AdaptationConfig& adapt = options_.runtime.adapt;
   const sched::PerfModel model(adapt.model);
   const sched::ResourceEstimate est =
       sched::ResourceEstimate::from_grid(grid_, 0.0);
@@ -20,8 +20,18 @@ sched::MapperResult AdaptivePipeline::plan() const {
 }
 
 RunReport AdaptivePipeline::run(std::vector<std::any> inputs) {
-  Executor executor(grid_, spec_, plan().mapping, options_.executor);
-  return executor.run(std::move(inputs));
+  return run(rt::RuntimeKind::kThreads, std::move(inputs));
+}
+
+RunReport AdaptivePipeline::run(rt::RuntimeKind kind,
+                                std::vector<std::any> inputs) {
+  return rt::make_runtime(kind, grid_, spec_, options_.runtime)
+      ->run(std::move(inputs));
+}
+
+std::unique_ptr<rt::Session> AdaptivePipeline::open(
+    rt::RuntimeKind kind) const {
+  return rt::make_runtime(kind, grid_, spec_, options_.runtime)->open();
 }
 
 sim::RunResult AdaptivePipeline::simulate(

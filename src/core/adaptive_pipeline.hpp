@@ -1,27 +1,30 @@
 #pragma once
-// AdaptivePipeline — the library façade and the paper's pattern.
+// AdaptivePipeline — the library façade and the paper's pattern: one
+// pipeline description, any substrate, adaptation transparent to the
+// caller. A thin veneer over rt::make_runtime.
 //
 // Usage:
 //   auto grid = gridpipe::grid::heterogeneous_cluster({1.0, 2.0, 1.0}, ...);
 //   gridpipe::core::PipelineSpec spec;
-//   spec.stage("parse", parse_fn, /*work=*/0.1)
-//       .stage("compute", compute_fn, /*work=*/0.4)
-//       .stage("encode", encode_fn, /*work=*/0.1);
+//   spec.stage<int, int>("parse", parse_fn, /*work=*/0.1)
+//       .stage<int, int>("compute", compute_fn, /*work=*/0.4)
+//       .stage<int, int>("encode", encode_fn, /*work=*/0.1);
 //   gridpipe::core::AdaptivePipeline pipeline(grid, std::move(spec), {});
-//   auto report = pipeline.run(items);          // threaded, adaptive
-//   auto planned = pipeline.plan();             // initial mapping only
-//   auto simulated = pipeline.simulate(...);    // virtual-time rehearsal
+//   auto report  = pipeline.run(items);                   // threads
+//   auto distrep = pipeline.run(rt::RuntimeKind::kDist, items);
+//   auto session = pipeline.open(rt::RuntimeKind::kProcess);  // streaming
+//   auto planned = pipeline.plan();                       // mapping only
+//   auto simmed  = pipeline.simulate(...);                // DES rehearsal
 
-#include "core/executor.hpp"
-#include "sim/drivers.hpp"
+#include "rt/runtime.hpp"
 
 namespace gridpipe::core {
 
 struct AdaptivePipelineOptions {
-  /// executor.adapt carries the shared control-loop knobs (mapper,
-  /// policy, pin_first_stage, max_total_replicas, trigger, ...); plan()
-  /// and run() both honor them.
-  ExecutorConfig executor{};
+  /// runtime.adapt carries the shared control-loop knobs (mapper,
+  /// policy, pin_first_stage, max_total_replicas, trigger, ...); plan(),
+  /// run() and open() all honor them on every substrate.
+  rt::RuntimeOptions runtime{};
 };
 
 class AdaptivePipeline {
@@ -34,10 +37,21 @@ class AdaptivePipeline {
   sched::MapperResult plan() const;
 
   /// Runs the stream on the threaded runtime with adaptation enabled
-  /// (per options.executor.epoch). Blocking; returns ordered outputs.
+  /// (per options.runtime.adapt). Blocking; returns ordered outputs.
   RunReport run(std::vector<std::any> inputs);
 
-  /// Rehearses the same pipeline in the discrete-event simulator.
+  /// Runs the same stream on any substrate via rt::make_runtime.
+  RunReport run(rt::RuntimeKind kind, std::vector<std::any> inputs);
+
+  /// Opens a streaming session on any substrate. The session is
+  /// self-contained (it may outlive this pipeline); the grid must
+  /// outlive the session.
+  std::unique_ptr<rt::Session> open(
+      rt::RuntimeKind kind = rt::RuntimeKind::kThreads) const;
+
+  /// Rehearses the same pipeline in the discrete-event simulator with
+  /// explicit driver/arrival knobs (the classic experiment entry point;
+  /// run(kSim, ...) covers the common case).
   sim::RunResult simulate(const sim::SimConfig& sim_config,
                           const sim::DriverOptions& driver_options) const;
 

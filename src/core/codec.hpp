@@ -1,0 +1,132 @@
+#pragma once
+// Per-stage wire codecs: how a typed item crosses a serialization
+// boundary. In-process runtimes (sim, threads) move std::any values and
+// never need one; the serialized runtimes (dist, process) must turn every
+// item into bytes on each hop, so a typed stage carries an encoder for
+// its output type and a decoder for its input type.
+//
+// Codec<T> is the customization point: specialize it (or satisfy the
+// built-ins below) with
+//     static Bytes encode(const T&);
+//     static T decode(const Bytes&);
+// Built-ins cover Bytes (identity), all arithmetic types (fixed-width
+// memcpy — the runtimes never cross an endianness boundary, see
+// comm/wire.hpp) and std::string. ItemCodec type-erases a Codec<T> so
+// core::PipelineSpec can store codecs without being a template.
+
+#include <any>
+#include <cstring>
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <typeinfo>
+#include <vector>
+
+namespace gridpipe::core {
+
+using Bytes = std::vector<std::byte>;
+
+template <class T>
+struct Codec;  // primary: specialize for your type
+
+template <>
+struct Codec<Bytes> {
+  static Bytes encode(const Bytes& v) { return v; }
+  static Bytes decode(const Bytes& wire) { return wire; }
+};
+
+template <class T>
+  requires std::is_arithmetic_v<T>
+struct Codec<T> {
+  static Bytes encode(const T& v) {
+    Bytes wire(sizeof(T));
+    std::memcpy(wire.data(), &v, sizeof(T));
+    return wire;
+  }
+  static T decode(const Bytes& wire) {
+    if (wire.size() != sizeof(T)) {
+      throw std::invalid_argument(
+          "Codec: arithmetic payload of " + std::to_string(wire.size()) +
+          " bytes, expected " + std::to_string(sizeof(T)));
+    }
+    T v;
+    std::memcpy(&v, wire.data(), sizeof(T));
+    return v;
+  }
+};
+
+template <>
+struct Codec<std::string> {
+  static Bytes encode(const std::string& v) {
+    Bytes wire(v.size());
+    std::memcpy(wire.data(), v.data(), v.size());
+    return wire;
+  }
+  static std::string decode(const Bytes& wire) {
+    return std::string(reinterpret_cast<const char*>(wire.data()),
+                       wire.size());
+  }
+};
+
+/// Satisfied by any T with a usable Codec<T> specialization.
+template <class T>
+concept WireCodable = requires(const T& v, const Bytes& wire) {
+  { Codec<T>::encode(v) } -> std::same_as<Bytes>;
+  { Codec<T>::decode(wire) } -> std::same_as<T>;
+};
+
+namespace detail {
+/// Human-readable name for error messages (typeid names are mangled on
+/// GCC/Clang; spell out the common cases).
+template <class T>
+std::string codec_type_name() {
+  if constexpr (std::is_same_v<T, Bytes>) return "Bytes";
+  else if constexpr (std::is_same_v<T, std::string>) return "std::string";
+  else if constexpr (std::is_same_v<T, int>) return "int";
+  else if constexpr (std::is_same_v<T, unsigned>) return "unsigned";
+  else if constexpr (std::is_same_v<T, long>) return "long";
+  else if constexpr (std::is_same_v<T, long long>) return "long long";
+  else if constexpr (std::is_same_v<T, unsigned long>) return "unsigned long";
+  else if constexpr (std::is_same_v<T, unsigned long long>) return "unsigned long long";
+  else if constexpr (std::is_same_v<T, float>) return "float";
+  else if constexpr (std::is_same_v<T, double>) return "double";
+  else return typeid(T).name();
+}
+}  // namespace detail
+
+/// A type-erased Codec<T>: what PipelineSpec stores per stage. Invalid
+/// (default-constructed) on untyped std::any stages.
+class ItemCodec {
+ public:
+  ItemCodec() = default;
+
+  template <class T>
+    requires WireCodable<T>
+  static ItemCodec of() {
+    ItemCodec codec;
+    codec.type_ = &typeid(T);
+    codec.type_name_ = detail::codec_type_name<T>();
+    codec.encode_ = [](const std::any& v) {
+      return Codec<T>::encode(std::any_cast<const T&>(v));
+    };
+    codec.decode_ = [](const Bytes& wire) {
+      return std::any(Codec<T>::decode(wire));
+    };
+    return codec;
+  }
+
+  explicit operator bool() const noexcept { return type_ != nullptr; }
+  const std::type_info* type() const noexcept { return type_; }
+  const std::string& type_name() const noexcept { return type_name_; }
+
+  Bytes encode(const std::any& v) const { return encode_(v); }
+  std::any decode(const Bytes& wire) const { return decode_(wire); }
+
+ private:
+  const std::type_info* type_ = nullptr;
+  std::string type_name_;
+  std::function<Bytes(const std::any&)> encode_;
+  std::function<std::any(const Bytes&)> decode_;
+};
+
+}  // namespace gridpipe::core

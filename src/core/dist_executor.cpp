@@ -50,6 +50,17 @@ DistributedExecutor::DistributedExecutor(const grid::Grid& grid,
   controller_ = make_controller();
 }
 
+DistributedExecutor::~DistributedExecutor() {
+  if (stream_active_) {
+    try {
+      stream_close();
+      stream_finish();
+    } catch (...) {
+      // Destructor best-effort teardown.
+    }
+  }
+}
+
 std::unique_ptr<control::AdaptationController>
 DistributedExecutor::make_controller() {
   return std::make_unique<control::AdaptationController>(
@@ -100,6 +111,19 @@ sched::Mapping DistributedExecutor::decode_mapping(const Bytes& wire) {
 }
 
 void DistributedExecutor::worker_loop(int rank) {
+  try {
+    worker_loop_impl(rank);
+  } catch (...) {
+    // A throwing stage function (or a malformed payload) ends the
+    // stream: capture the first error; the controller loop notices it
+    // within one poll tick and shuts the fleet down, and
+    // stream_finish() rethrows it to the caller.
+    std::lock_guard lock(stream_mutex_);
+    if (!stream_error_) stream_error_ = std::current_exception();
+  }
+}
+
+void DistributedExecutor::worker_loop_impl(int rank) {
   RoutingTable routing{initial_mapping_,
                        sched::ReplicaRouter(stages_.size())};
   const auto node = static_cast<grid::NodeId>(rank);
@@ -189,59 +213,78 @@ void DistributedExecutor::apply_remap(const sched::Mapping& to,
   }
 }
 
-void DistributedExecutor::controller_loop(
-    std::vector<Bytes>& inputs,
-    std::vector<std::pair<std::uint64_t, Bytes>>& done) {
+void DistributedExecutor::controller_loop() {
   const int me = controller_rank();
-  auto pick_first_stage = [&] {
-    return controller_router_.pick(controller_mapping_, 0);
+  // Pushed-but-not-admitted items, in input order (local to the
+  // controller thread; stream_push only touches incoming_).
+  std::deque<std::pair<std::uint64_t, Bytes>> pending;
+  std::uint64_t admitted = 0;
+  std::uint64_t completed = 0;
+
+  auto admit = [&](std::uint64_t index, Bytes payload) {
+    const grid::NodeId dst = controller_router_.pick(controller_mapping_, 0);
+    comm_.send(me, static_cast<int>(dst), kTask,
+               encode_task(index, 0, payload));
+    admit_time_[index] = virtual_now();
+    ++admitted;
   };
-  auto admit = [&](std::uint64_t index) {
-    comm_.send(me, static_cast<int>(pick_first_stage()), kTask,
-               encode_task(index, 0, inputs[index]));
-  };
-  // Initial wave: group by destination and push each group with one lock
-  // acquisition on the destination queue.
-  {
-    const auto wave = std::min<std::uint64_t>(config_.window, total_items_);
-    std::vector<std::vector<Bytes>> per_dst(grid_.num_nodes());
-    for (std::uint64_t i = 0; i < wave; ++i) {
-      const std::uint64_t index = next_input_++;
-      per_dst[pick_first_stage()].push_back(encode_task(index, 0,
-                                                        inputs[index]));
-    }
-    for (std::size_t dst = 0; dst < per_dst.size(); ++dst) {
-      if (per_dst[dst].empty()) continue;
-      comm_.send_n(me, static_cast<int>(dst), kTask, std::move(per_dst[dst]));
-    }
-  }
 
   const double epoch = config_.adapt.epoch;
   double next_epoch = epoch;
 
-  while (done.size() < total_items_) {
-    // Wait at most until the next adaptation point (50 ms real otherwise).
+  auto handle = [&](comm::Message& message) {
+    if (message.tag == kResult) {
+      std::uint64_t item;
+      std::uint32_t stage;
+      Bytes payload;
+      decode_task(message.payload, item, stage, payload);
+      double created_at = 0.0;
+      if (auto it = admit_time_.find(item); it != admit_time_.end()) {
+        created_at = it->second;
+        admit_time_.erase(it);
+      }
+      metrics_.on_item_completed(item, virtual_now(), created_at);
+      ++completed;
+      {
+        std::lock_guard lock(stream_mutex_);
+        out_buffer_.emplace(item, std::move(payload));
+        ++completed_count_;
+      }
+    } else if (message.tag == kSpeedObs) {
+      controller_->record_observation(
+          {monitor::SensorKind::kNodeSpeed,
+           static_cast<std::uint32_t>(message.source), 0},
+          comm::Communicator::decode<double>(message));
+    }
+  };
+
+  for (;;) {
+    // Take ownership of freshly pushed items, then admit under the
+    // credit window.
+    bool done = false;
+    {
+      std::lock_guard lock(stream_mutex_);
+      while (!incoming_.empty()) {
+        pending.push_back(std::move(incoming_.front()));
+        incoming_.pop_front();
+      }
+      done = (closed_ && completed == pushed_) || stream_error_ != nullptr;
+    }
+    while (!pending.empty() && admitted - completed < config_.window) {
+      auto entry = std::move(pending.front());
+      pending.pop_front();
+      admit(entry.first, std::move(entry.second));
+    }
+    if (done) break;
+
+    // Wait at most until the next adaptation point, capped at 50 ms real
+    // either way: nothing wakes recv_for on a stream_push/stream_close,
+    // so the cap is what bounds the latency of noticing one.
     double wait_real = 0.05;
     if (epoch > 0.0) {
-      wait_real = std::max(1e-3, (next_epoch - virtual_now()) *
-                                     config_.time_scale);
+      wait_real = std::clamp((next_epoch - virtual_now()) * config_.time_scale,
+                             1e-3, 0.05);
     }
-    auto handle = [&](comm::Message& message) {
-      if (message.tag == kResult) {
-        std::uint64_t item;
-        std::uint32_t stage;
-        Bytes payload;
-        decode_task(message.payload, item, stage, payload);
-        metrics_.on_item_completed(item, virtual_now(), 0.0);
-        done.emplace_back(item, std::move(payload));
-        if (next_input_ < total_items_) admit(next_input_++);
-      } else if (message.tag == kSpeedObs) {
-        controller_->record_observation(
-            {monitor::SensorKind::kNodeSpeed,
-             static_cast<std::uint32_t>(message.source), 0},
-            comm::Communicator::decode<double>(message));
-      }
-    };
     auto message =
         comm_.recv_for(me, std::chrono::duration<double>(wait_real));
     if (message) {
@@ -263,40 +306,101 @@ void DistributedExecutor::controller_loop(
   }
 }
 
-RunReport DistributedExecutor::run(std::vector<Bytes> inputs) {
-  RunReport report;
-  if (inputs.empty()) return report;
-
-  // Fresh controller per run: the virtual clock restarts at 0, so gate
+void DistributedExecutor::stream_begin() {
+  if (stream_active_) {
+    throw std::logic_error("DistributedExecutor: a stream is already active");
+  }
+  // Fresh controller per stream: the virtual clock restarts at 0, so gate
   // snapshots, hysteresis streaks and registry timestamps from a
-  // previous run would all be stale.
+  // previous stream would all be stale.
   controller_ = make_controller();
 
-  total_items_ = inputs.size();
-  next_input_ = 0;
+  {
+    std::lock_guard lock(stream_mutex_);
+    incoming_.clear();
+    out_buffer_.clear();
+    next_out_ = 0;
+    pushed_ = 0;
+    completed_count_ = 0;
+    closed_ = false;
+    stream_error_ = nullptr;
+  }
+  admit_time_.clear();
   controller_mapping_ = initial_mapping_;
   controller_router_.reset(stages_.size());
   metrics_ = sim::SimMetrics{};  // time series restart with the clock
   start_ = std::chrono::steady_clock::now();
-  report.initial_mapping = initial_mapping_.to_string();
+  initial_mapping_str_ = initial_mapping_.to_string();
+  stream_active_ = true;
 
-  std::vector<std::pair<std::uint64_t, Bytes>> done;
-  done.reserve(inputs.size());
-
-  std::vector<std::thread> workers;
   for (int rank = 0; rank < controller_rank(); ++rank) {
-    workers.emplace_back([this, rank] { worker_loop(rank); });
+    worker_threads_.emplace_back([this, rank] { worker_loop(rank); });
   }
-  controller_loop(inputs, done);
-  for (auto& t : workers) t.join();
+  controller_thread_ = std::thread([this] { controller_loop(); });
+}
+
+void DistributedExecutor::stream_push(Bytes item) {
+  std::lock_guard lock(stream_mutex_);
+  if (!stream_active_ || closed_) {
+    throw std::logic_error("DistributedExecutor: push on a closed stream");
+  }
+  incoming_.emplace_back(pushed_++, std::move(item));
+}
+
+std::optional<Bytes> DistributedExecutor::stream_try_pop() {
+  std::lock_guard lock(stream_mutex_);
+  auto it = out_buffer_.find(next_out_);
+  if (it == out_buffer_.end()) return std::nullopt;
+  Bytes out = std::move(it->second);
+  out_buffer_.erase(it);
+  ++next_out_;
+  return out;
+}
+
+void DistributedExecutor::stream_close() {
+  std::lock_guard lock(stream_mutex_);
+  closed_ = true;
+}
+
+RunReport DistributedExecutor::stream_finish() {
+  if (!stream_active_) {
+    throw std::logic_error("DistributedExecutor: no active stream to finish");
+  }
+  {
+    std::lock_guard lock(stream_mutex_);
+    if (!closed_) {
+      throw std::logic_error(
+          "DistributedExecutor: stream_close() before stream_finish()");
+    }
+  }
+  controller_thread_.join();
+  for (auto& t : worker_threads_) t.join();
+  worker_threads_.clear();
+  stream_active_ = false;
+  {
+    std::lock_guard lock(stream_mutex_);
+    if (stream_error_) std::rethrow_exception(stream_error_);
+  }
 
   const double wall =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
           .count();
-  finalize_bytes_report(report, std::move(done), wall, config_.time_scale,
-                        metrics_, controller_->take_epochs(),
-                        controller_mapping_.to_string());
+  std::uint64_t items = 0;
+  {
+    std::lock_guard lock(stream_mutex_);
+    items = completed_count_;
+  }
+  RunReport report;
+  // The controller thread is joined; move the O(items) metric series.
+  finalize_stream_report(report, items, wall, config_.time_scale,
+                         std::move(metrics_), controller_->take_epochs(),
+                         std::move(initial_mapping_str_),
+                         controller_mapping_.to_string());
   return report;
+}
+
+RunReport DistributedExecutor::run(std::vector<Bytes> inputs) {
+  return run_stream_batch(*this, std::move(inputs));
 }
 
 }  // namespace gridpipe::core

@@ -24,21 +24,32 @@
 // AdaptationHost interface, where apply_remap broadcasts kRemap.
 //
 // Items are byte vectors (a distributed skeleton must serialize), so the
-// stage interface here is Bytes → Bytes.
+// stage interface here is Bytes → Bytes; rt::make_runtime bridges typed
+// items through the spec's per-stage Codec<T> wire codecs.
+//
+// The runtime is natively streaming: the controller rank runs on a
+// dedicated thread, stream_push() enqueues items it admits under the
+// credit window, stream_try_pop() returns outputs in input order, and
+// run() is a batch wrapper over one stream.
 
 #include <atomic>
+#include <deque>
+#include <exception>
 #include <functional>
+#include <map>
 #include <memory>
+#include <mutex>
+#include <optional>
 #include <thread>
 
 #include "comm/communicator.hpp"
 #include "control/adaptation_controller.hpp"
+#include "core/codec.hpp"
 #include "core/report.hpp"
 #include "sched/replica_router.hpp"
 
 namespace gridpipe::core {
 
-using Bytes = std::vector<std::byte>;
 using BytesStageFn = std::function<Bytes(const Bytes&)>;
 
 struct DistStage {
@@ -71,10 +82,19 @@ class DistributedExecutor : private control::AdaptationHost {
   DistributedExecutor(const grid::Grid& grid, std::vector<DistStage> stages,
                       sched::Mapping initial_mapping,
                       DistExecutorConfig config);
+  ~DistributedExecutor() override;
 
-  /// Blocking: spawns one thread per worker rank, pushes every input
-  /// through, returns ordered outputs. Not reentrant.
+  /// Blocking convenience wrapper over one stream: pushes every input,
+  /// closes, returns ordered outputs. Not reentrant.
   RunReport run(std::vector<Bytes> inputs);
+
+  // Streaming session primitives (one stream at a time; rt::Session
+  // wraps them). Lifecycle: begin -> push*/try_pop* -> close -> finish.
+  void stream_begin();
+  void stream_push(Bytes item);
+  std::optional<Bytes> stream_try_pop();
+  void stream_close();
+  RunReport stream_finish();
 
   sched::PipelineProfile profile() const;
 
@@ -109,13 +129,19 @@ class DistributedExecutor : private control::AdaptationHost {
   void apply_remap(const sched::Mapping& to, double pause_virtual) override;
   void record_probes(double vnow) override;  // no-op: kSpeedObs feeds it
 
-  /// Builds the per-run controller (fresh gate/policy/registry state;
-  /// the virtual clock restarts with every run()).
+  /// Builds the per-stream controller (fresh gate/policy/registry state;
+  /// the virtual clock restarts with every stream).
   std::unique_ptr<control::AdaptationController> make_controller();
 
   void worker_loop(int rank);
-  void controller_loop(std::vector<Bytes>& inputs,
-                       std::vector<std::pair<std::uint64_t, Bytes>>& done);
+  /// Body of worker_loop; a stage exception escaping it is captured into
+  /// stream_error_ and ends the stream.
+  void worker_loop_impl(int rank);
+  /// The controller rank's event loop: admits pushed items under the
+  /// credit window, collects results into the output buffer, feeds speed
+  /// observations, runs the adaptation epochs, and broadcasts kShutdown
+  /// once the stream is closed and drained (or a worker failed).
+  void controller_loop();
 
   int controller_rank() const noexcept {
     return static_cast<int>(grid_.num_nodes());
@@ -130,14 +156,34 @@ class DistributedExecutor : private control::AdaptationHost {
   comm::Communicator comm_;
   std::chrono::steady_clock::time_point start_{};
 
-  // Controller-side state.
+  // Controller-side state (touched only by the controller thread while a
+  // stream is live).
   sched::PipelineProfile profile_;
   std::unique_ptr<control::AdaptationController> controller_;
   sched::Mapping controller_mapping_;
   sched::ReplicaRouter controller_router_;
-  std::uint64_t next_input_ = 0;
-  std::uint64_t total_items_ = 0;
   sim::SimMetrics metrics_;
+
+  // Stream state shared between the pushing/popping caller and the
+  // controller thread.
+  std::mutex stream_mutex_;
+  std::deque<std::pair<std::uint64_t, Bytes>> incoming_;
+  std::map<std::uint64_t, Bytes> out_buffer_;
+  std::uint64_t next_out_ = 0;
+  std::uint64_t pushed_ = 0;
+  std::uint64_t completed_count_ = 0;
+  bool closed_ = false;
+  /// First stage exception (guarded by stream_mutex_); ends the stream
+  /// and is rethrown by stream_finish().
+  std::exception_ptr stream_error_;
+  /// Virtual admission time per in-flight item (controller thread only;
+  /// for latency metrics).
+  std::map<std::uint64_t, double> admit_time_;
+
+  std::vector<std::thread> worker_threads_;
+  std::thread controller_thread_;
+  bool stream_active_ = false;
+  std::string initial_mapping_str_;
 };
 
 }  // namespace gridpipe::core

@@ -38,6 +38,18 @@ Executor::Executor(const grid::Grid& grid, PipelineSpec spec,
   controller_ = make_controller();
 }
 
+Executor::~Executor() {
+  if (stream_active_) {
+    try {
+      stream_close();
+      stream_finish();
+    } catch (...) {
+      // Destructor best-effort teardown; the stream's items had already
+      // been accepted, so draining them is the only safe exit.
+    }
+  }
+}
+
 std::unique_ptr<control::AdaptationController> Executor::make_controller() {
   return std::make_unique<control::AdaptationController>(
       grid_, profile_, config_.adapt,
@@ -58,12 +70,14 @@ grid::NodeId Executor::pick_replica_locked(std::size_t stage) {
   return router_.pick(mapping_, stage);
 }
 
-void Executor::admit_locked(std::uint64_t index) {
+void Executor::admit_locked(std::uint64_t index, std::any payload) {
   RtTask task;
   task.stage = 0;
   task.item = index;
-  task.payload = (*inputs_)[index];
+  task.payload = std::move(payload);
   task.deliver_at = Clock::now();
+  ++admitted_;
+  admit_time_[index] = virtual_now();
   const grid::NodeId node = pick_replica_locked(0);
   {
     std::lock_guard node_lock(workers_[node]->mutex);
@@ -119,6 +133,23 @@ std::vector<Executor::RtTask> Executor::next_tasks(grid::NodeId node,
 }
 
 void Executor::worker_loop(grid::NodeId node) {
+  try {
+    worker_loop_impl(node);
+  } catch (...) {
+    // A throwing stage function ends the stream: capture the first
+    // error (Session::report rethrows it), stop every worker, and wake
+    // the controller out of its completion wait.
+    {
+      std::lock_guard lock(result_mutex_);
+      if (!stream_error_) stream_error_ = std::current_exception();
+    }
+    done_.store(true);
+    result_cv_.notify_all();
+    for (auto& worker : workers_) worker->cv.notify_all();
+  }
+}
+
+void Executor::worker_loop_impl(grid::NodeId node) {
   for (;;) {
     std::uint64_t gen = 0;
     auto tasks = next_tasks(node, config_.drain_batch, gen);
@@ -217,24 +248,33 @@ void Executor::route_onward(grid::NodeId from, RtTask task) {
 }
 
 void Executor::complete_item(std::uint64_t item, std::any output) {
+  double created_at = 0.0;
+  {
+    std::lock_guard lock(routing_mutex_);
+    if (auto it = admit_time_.find(item); it != admit_time_.end()) {
+      created_at = it->second;
+      admit_time_.erase(it);
+    }
+  }
   {
     std::lock_guard lock(metrics_mutex_);
-    metrics_.on_item_completed(item, virtual_now(), 0.0);
+    metrics_.on_item_completed(item, virtual_now(), created_at);
   }
-  bool all_done = false;
   {
     std::lock_guard lock(result_mutex_);
-    completed_.emplace_back(item, std::move(output));
-    all_done = completed_.size() == total_items_;
+    out_buffer_.emplace(item, std::move(output));
+    completed_count_.fetch_add(1);
   }
-  if (all_done) {
-    result_cv_.notify_all();
-    return;
-  }
-  // Admit the next input under the credit window.
+  // Wake the controller (completion predicate) and any output poller.
+  result_cv_.notify_all();
+  // A completion frees one unit of in-flight credit: admit the oldest
+  // pending push, if any.
   std::lock_guard lock(routing_mutex_);
-  if (inputs_ && next_input_ < inputs_->size()) {
-    admit_locked(next_input_++);
+  while (!pending_.empty() &&
+         admitted_ - completed_count_.load() < config_.window) {
+    auto entry = std::move(pending_.front());
+    pending_.pop_front();
+    admit_locked(entry.first, std::move(entry.second));
   }
 }
 
@@ -309,9 +349,9 @@ void Executor::apply_remap(const sched::Mapping& to, double pause_virtual) {
 
 void Executor::controller_loop() {
   if (config_.adapt.epoch <= 0.0) {
-    // No adaptation: just wait for completion.
+    // No adaptation: just wait for end-of-stream.
     std::unique_lock lock(result_mutex_);
-    result_cv_.wait(lock, [this] { return completed_.size() == total_items_; });
+    result_cv_.wait(lock, [this] { return stream_done_locked(); });
     return;
   }
   const auto epoch_real = to_real(config_.adapt.epoch, config_.time_scale);
@@ -319,9 +359,8 @@ void Executor::controller_loop() {
   for (;;) {
     {
       std::unique_lock lock(result_mutex_);
-      if (result_cv_.wait_for(lock, epoch_real, [this] {
-            return completed_.size() == total_items_;
-          })) {
+      if (result_cv_.wait_for(lock, epoch_real,
+                              [this] { return stream_done_locked(); })) {
         return;
       }
     }
@@ -329,18 +368,22 @@ void Executor::controller_loop() {
   }
 }
 
-RunReport Executor::run(std::vector<std::any> inputs) {
-  RunReport report;
-  if (inputs.empty()) return report;
-
-  // Fresh controller per run: the virtual clock restarts at 0, so gate
+void Executor::stream_begin() {
+  if (stream_active_) {
+    throw std::logic_error("Executor: a stream is already active");
+  }
+  // Fresh controller per stream: the virtual clock restarts at 0, so gate
   // snapshots, hysteresis streaks and registry timestamps from a
-  // previous run would all be stale.
+  // previous stream would all be stale.
   controller_ = make_controller();
 
-  total_items_ = inputs.size();
-  completed_.clear();
-  completed_.reserve(inputs.size());
+  {
+    std::lock_guard lock(result_mutex_);
+    out_buffer_.clear();
+    next_out_ = 0;
+    completed_count_.store(0);
+    stream_error_ = nullptr;
+  }
   done_.store(false);
   freeze_until_.store(0);
   {
@@ -349,67 +392,104 @@ RunReport Executor::run(std::vector<std::any> inputs) {
     std::lock_guard lock(metrics_mutex_);
     metrics_ = sim::SimMetrics{};
   }
-  start_ = Clock::now();
-
-  std::string initial_mapping_str;
   {
     std::lock_guard lock(routing_mutex_);
-    inputs_ = &inputs;
-    next_input_ = 0;
-    initial_mapping_str = mapping_.to_string();
-    const std::uint64_t first_wave =
-        std::min<std::uint64_t>(config_.window, inputs.size());
-    for (std::uint64_t i = 0; i < first_wave; ++i) admit_locked(next_input_++);
+    pending_.clear();
+    admit_time_.clear();
+    admitted_ = 0;
+    pushed_.store(0);
+    closed_.store(false);
+    initial_mapping_str_ = mapping_.to_string();
   }
+  start_ = Clock::now();
+  stream_active_ = true;
 
-  std::vector<std::thread> threads;
-  threads.reserve(workers_.size());
+  threads_.reserve(workers_.size());
   for (grid::NodeId n = 0; n < workers_.size(); ++n) {
-    threads.emplace_back([this, n] { worker_loop(n); });
+    threads_.emplace_back([this, n] { worker_loop(n); });
   }
+  controller_thread_ = std::thread([this] { controller_loop(); });
+}
 
-  controller_loop();
+void Executor::stream_push(std::any item) {
+  std::lock_guard lock(routing_mutex_);
+  if (!stream_active_ || closed_.load()) {
+    throw std::logic_error("Executor: push on a closed stream");
+  }
+  const std::uint64_t index = pushed_.fetch_add(1);
+  if (admitted_ - completed_count_.load() < config_.window) {
+    admit_locked(index, std::move(item));
+  } else {
+    pending_.emplace_back(index, std::move(item));
+  }
+}
+
+std::optional<std::any> Executor::stream_try_pop() {
+  std::lock_guard lock(result_mutex_);
+  auto it = out_buffer_.find(next_out_);
+  if (it == out_buffer_.end()) return std::nullopt;
+  std::any out = std::move(it->second);
+  out_buffer_.erase(it);
+  ++next_out_;
+  return out;
+}
+
+void Executor::stream_close() {
+  // closed_ participates in the controller's completion predicate, so
+  // the store must happen under result_mutex_: otherwise the controller
+  // can read closed_ == false in the predicate, miss this notify while
+  // still between predicate and re-block, and sleep forever (no further
+  // completion will ever notify again).
+  std::lock_guard lock(result_mutex_);
+  closed_.store(true);
+  result_cv_.notify_all();
+}
+
+RunReport Executor::stream_finish() {
+  if (!stream_active_) {
+    throw std::logic_error("Executor: no active stream to finish");
+  }
+  if (!closed_.load()) {
+    throw std::logic_error("Executor: stream_close() before stream_finish()");
+  }
+  controller_thread_.join();
 
   done_.store(true);
   for (auto& worker : workers_) worker->cv.notify_all();
-  for (auto& thread : threads) thread.join();
-
-  const double wall = std::chrono::duration<double>(Clock::now() - start_).count();
+  for (auto& thread : threads_) thread.join();
+  threads_.clear();
+  stream_active_ = false;
   {
     std::lock_guard lock(result_mutex_);
-    std::sort(completed_.begin(), completed_.end(),
-              [](const auto& a, const auto& b) { return a.first < b.first; });
-    report.outputs.reserve(completed_.size());
-    for (auto& [id, payload] : completed_) {
-      report.outputs.push_back(std::move(payload));
-    }
+    if (stream_error_) std::rethrow_exception(stream_error_);
   }
+
+  const double wall =
+      std::chrono::duration<double>(Clock::now() - start_).count();
+  sim::SimMetrics metrics_taken;
   {
+    // Every thread is joined by now; the lock is only for form. Move,
+    // don't copy — the metric series are O(items). stream_begin resets
+    // the moved-from member.
     std::lock_guard lock(metrics_mutex_);
-    report.remap_count = metrics_.remaps().size();
-    report.remaps = metrics_.remaps();
-    for (std::size_t s = 0; s < spec_.num_stages(); ++s) {
-      report.mean_service.push_back(
-          s < metrics_.service_stages() && metrics_.service_time(s).count()
-              ? metrics_.service_time(s).mean()
-              : 0.0);
-    }
+    metrics_taken = std::move(metrics_);
   }
-  report.epochs = controller_->take_epochs();
-  report.items = report.outputs.size();
-  report.wall_seconds = wall;
-  report.virtual_seconds = wall / config_.time_scale;
-  report.throughput = report.virtual_seconds > 0.0
-                          ? static_cast<double>(report.items) /
-                                report.virtual_seconds
-                          : 0.0;
-  report.initial_mapping = std::move(initial_mapping_str);
+  std::string final_mapping;
   {
     std::lock_guard lock(routing_mutex_);
-    report.final_mapping = mapping_.to_string();
-    inputs_ = nullptr;
+    final_mapping = mapping_.to_string();
   }
+  RunReport report;
+  finalize_stream_report(report, completed_count_.load(), wall,
+                         config_.time_scale, std::move(metrics_taken),
+                         controller_->take_epochs(),
+                         std::move(initial_mapping_str_),
+                         std::move(final_mapping));
   return report;
+}
+
+RunReport Executor::run(std::vector<std::any> inputs) {
+  return run_stream_batch(*this, std::move(inputs));
 }
 
 }  // namespace gridpipe::core

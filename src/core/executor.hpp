@@ -7,20 +7,29 @@
 // the timing behaviour of a heterogeneous, dynamically loaded grid — the
 // manual heterogeneity emulation the reproduction bands call for.
 // Transfers are emulated with delivery deadlines derived from the grid's
-// link model. The adaptation epochs (run on the caller's thread) delegate
-// to the shared control::AdaptationController; the Executor implements
-// its AdaptationHost interface (virtual_now / deployed_mapping /
-// apply_remap / record_probes).
+// link model. The adaptation epochs (run on a dedicated controller
+// thread) delegate to the shared control::AdaptationController; the
+// Executor implements its AdaptationHost interface (virtual_now /
+// deployed_mapping / apply_remap / record_probes).
 //
-// Output order: the skeleton restores input order before returning
-// (Pipeline1for1 semantics).
+// The runtime is natively streaming: stream_begin() starts the workers
+// and controller, stream_push() admits items under the credit window
+// (excess queues until completions free credit), stream_try_pop() hands
+// outputs back in input order (Pipeline1for1 semantics), stream_close()
+// marks end-of-stream and stream_finish() joins everything and returns
+// the RunReport. The batch run() entry point is a thin wrapper over one
+// stream. One stream at a time; rt::make_runtime wraps all of this
+// behind the uniform Session interface.
 
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <deque>
+#include <exception>
+#include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <thread>
 
 #include "control/adaptation_controller.hpp"
@@ -54,10 +63,25 @@ class Executor : private control::AdaptationHost {
  public:
   Executor(const grid::Grid& grid, PipelineSpec spec,
            sched::Mapping initial_mapping, ExecutorConfig config);
+  ~Executor() override;
 
-  /// Blocking: pushes every input through the pipeline and returns the
-  /// ordered outputs plus runtime statistics. Not reentrant.
+  /// Blocking convenience wrapper over one stream: pushes every input,
+  /// closes, and returns the ordered outputs plus runtime statistics.
+  /// Not reentrant.
   RunReport run(std::vector<std::any> inputs);
+
+  // Streaming session primitives (one stream at a time; rt::Session
+  // wraps them). Lifecycle: begin -> push*/try_pop* -> close -> finish.
+  void stream_begin();
+  /// Throws std::logic_error after stream_close().
+  void stream_push(std::any item);
+  /// Next output in input order, or nullopt if it has not completed yet.
+  /// Remains callable after stream_finish() to drain leftovers.
+  std::optional<std::any> stream_try_pop();
+  void stream_close();
+  /// Blocks until every pushed item completed, joins the workers and
+  /// controller, and returns the report (outputs stay poppable).
+  RunReport stream_finish();
 
  private:
   using Clock = std::chrono::steady_clock;
@@ -80,15 +104,16 @@ class Executor : private control::AdaptationHost {
   void apply_remap(const sched::Mapping& to, double pause_virtual) override;
   void record_probes(double vnow) override;
 
-  /// Builds the per-run controller (fresh gate/policy/registry state;
-  /// the virtual clock restarts with every run()).
+  /// Builds the per-stream controller (fresh gate/policy/registry state;
+  /// the virtual clock restarts with every stream).
   std::unique_ptr<control::AdaptationController> make_controller();
 
   void worker_loop(grid::NodeId node);
   /// Pops up to `max_n` deliverable tasks in FIFO order with a single
   /// lock acquisition, honoring delivery deadlines and the remap freeze;
-  /// empty when the run is over. `gen_out` receives the remap generation
-  /// observed at extraction time (see worker_loop's mid-batch check).
+  /// empty when the stream is over. `gen_out` receives the remap
+  /// generation observed at extraction time (see worker_loop's mid-batch
+  /// check).
   std::vector<RtTask> next_tasks(grid::NodeId node, std::size_t max_n,
                                  std::uint64_t& gen_out);
   /// Routes a reclaimed batch remainder through the *current* mapping.
@@ -98,8 +123,17 @@ class Executor : private control::AdaptationHost {
   void requeue_per_mapping(std::vector<RtTask> tasks);
   void route_onward(grid::NodeId from, RtTask task);
   void complete_item(std::uint64_t item, std::any output);
-  void admit_locked(std::uint64_t index);  // caller holds routing_mutex_
+  /// Caller holds routing_mutex_.
+  void admit_locked(std::uint64_t index, std::any payload);
   void controller_loop();
+  /// Body of worker_loop; a stage exception escaping it is captured into
+  /// stream_error_ and ends the stream.
+  void worker_loop_impl(grid::NodeId node);
+  /// Caller holds result_mutex_.
+  bool stream_done_locked() const {
+    return stream_error_ != nullptr ||
+           (closed_.load() && completed_count_.load() == pushed_.load());
+  }
   grid::NodeId pick_replica_locked(std::size_t stage);
 
   const grid::Grid& grid_;
@@ -111,10 +145,21 @@ class Executor : private control::AdaptationHost {
   mutable std::mutex routing_mutex_;
   sched::Mapping mapping_;
   sched::ReplicaRouter router_;
-  std::vector<std::any>* inputs_ = nullptr;
-  std::uint64_t next_input_ = 0;
+  /// Pushed items waiting for in-flight credit, in input order.
+  std::deque<std::pair<std::uint64_t, std::any>> pending_;
+  /// Virtual admission time per in-flight item (for latency metrics).
+  std::map<std::uint64_t, double> admit_time_;
+  std::uint64_t admitted_ = 0;
+  /// Written under routing_mutex_; atomic so the controller's completion
+  /// predicate (held under result_mutex_) can read them.
+  std::atomic<std::uint64_t> pushed_{0};
+  std::atomic<bool> closed_{false};
 
   std::vector<std::unique_ptr<NodeWorker>> workers_;
+  std::vector<std::thread> threads_;
+  std::thread controller_thread_;
+  bool stream_active_ = false;
+  std::string initial_mapping_str_;
   std::atomic<bool> done_{false};
   std::atomic<Clock::rep> freeze_until_{0};
   /// Bumped twice per apply_remap (seqlock-style: before the queue drain
@@ -124,11 +169,17 @@ class Executor : private control::AdaptationHost {
   std::atomic<std::uint64_t> remap_gen_{0};
   Clock::time_point start_{};
 
-  // Results.
+  // Results: outputs buffered by input index until popped.
   std::mutex result_mutex_;
   std::condition_variable result_cv_;
-  std::vector<std::pair<std::uint64_t, std::any>> completed_;
-  std::uint64_t total_items_ = 0;
+  std::map<std::uint64_t, std::any> out_buffer_;
+  std::uint64_t next_out_ = 0;
+  /// Written under result_mutex_; atomic so the admission path (under
+  /// routing_mutex_) can read the in-flight count without result_mutex_.
+  std::atomic<std::uint64_t> completed_count_{0};
+  /// First stage exception (guarded by result_mutex_); ends the stream
+  /// and is rethrown by stream_finish().
+  std::exception_ptr stream_error_;
 
   // Monitoring / adaptation: the shared controller owns the registry and
   // the decision loop; workers feed observations through it.

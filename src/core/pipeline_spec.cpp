@@ -4,16 +4,30 @@
 
 namespace gridpipe::core {
 
-PipelineSpec& PipelineSpec::stage(std::string name, StageFn fn, double work,
-                                  double out_bytes, double state_bytes) {
-  if (!fn) throw std::invalid_argument("PipelineSpec::stage: null function");
-  if (work <= 0.0) throw std::invalid_argument("PipelineSpec::stage: work <= 0");
-  if (out_bytes < 0.0 || state_bytes < 0.0) {
+namespace {
+std::string stage_label(const StageSpec& s, std::size_t i) {
+  return "stage '" + s.name + "' (#" + std::to_string(i) + ")";
+}
+}  // namespace
+
+PipelineSpec& PipelineSpec::add_stage(StageSpec stage) {
+  if (!stage.fn) {
+    throw std::invalid_argument("PipelineSpec::stage: null function");
+  }
+  if (!(stage.work > 0.0)) {
+    throw std::invalid_argument("PipelineSpec::stage: work must be > 0");
+  }
+  if (stage.out_bytes < 0.0 || stage.state_bytes < 0.0) {
     throw std::invalid_argument("PipelineSpec::stage: negative bytes");
   }
-  stages_.push_back({std::move(name), std::move(fn), work, out_bytes,
-                     state_bytes});
+  stages_.push_back(std::move(stage));
   return *this;
+}
+
+PipelineSpec& PipelineSpec::stage(std::string name, StageFn fn, double work,
+                                  double out_bytes, double state_bytes) {
+  return add_stage(
+      {std::move(name), std::move(fn), work, out_bytes, state_bytes, {}, {}});
 }
 
 const StageSpec& PipelineSpec::at(std::size_t i) const {
@@ -50,7 +64,50 @@ std::any PipelineSpec::run_inline(std::any item) const {
 
 void PipelineSpec::validate() const {
   if (stages_.empty()) {
-    throw std::invalid_argument("PipelineSpec: no stages");
+    throw std::invalid_argument(
+        "PipelineSpec: pipeline has no stages; add at least one with "
+        "stage(...) before running it");
+  }
+  for (std::size_t i = 0; i < stages_.size(); ++i) {
+    const StageSpec& s = stages_[i];
+    if (!s.fn) {
+      throw std::invalid_argument("PipelineSpec: " + stage_label(s, i) +
+                                  " has a null function");
+    }
+    if (!(s.work > 0.0)) {
+      throw std::invalid_argument(
+          "PipelineSpec: " + stage_label(s, i) +
+          " has non-positive work (" + std::to_string(s.work) +
+          "); every stage needs work > 0 for the scheduler's cost model");
+    }
+    if (s.out_bytes < 0.0 || s.state_bytes < 0.0) {
+      throw std::invalid_argument("PipelineSpec: " + stage_label(s, i) +
+                                  " has negative byte annotations");
+    }
+    // Typed chains must agree where both sides declare a type; a typed
+    // stage next to an untyped one is legal (std::any flows in-process).
+    if (i > 0 && stages_[i - 1].out_codec && s.in_codec &&
+        *stages_[i - 1].out_codec.type() != *s.in_codec.type()) {
+      throw std::invalid_argument(
+          "PipelineSpec: " + stage_label(stages_[i - 1], i - 1) +
+          " outputs " + stages_[i - 1].out_codec.type_name() + " but " +
+          stage_label(s, i) + " expects " + s.in_codec.type_name());
+    }
+  }
+}
+
+void PipelineSpec::validate_for_wire(const std::string& runtime_name) const {
+  validate();
+  for (std::size_t i = 0; i < stages_.size(); ++i) {
+    const StageSpec& s = stages_[i];
+    if (!s.in_codec || !s.out_codec) {
+      throw std::invalid_argument(
+          "PipelineSpec: " + stage_label(s, i) +
+          " has no wire codec, but the '" + runtime_name +
+          "' runtime serializes every item; declare the stage with the "
+          "typed builder stage<In, Out>(...) using Codec<T>-encodable "
+          "types, or run on an in-process runtime (sim, threads)");
+    }
   }
 }
 

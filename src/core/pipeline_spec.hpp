@@ -3,12 +3,22 @@
 // each a user function plus cost annotations the scheduler needs. This is
 // the eSkel-style "Pipeline1for1" contract: every stage consumes one item
 // and produces exactly one item.
+//
+// Stages come in two flavours:
+//  * untyped — stage(name, StageFn, ...): items are std::any end to end.
+//    Runs on the in-process runtimes (sim, threads) only.
+//  * typed   — stage<In, Out>(name, fn, ...): the builder wraps the
+//    function and records Codec<In>/Codec<Out> wire codecs, so the same
+//    spec also runs on the serialized runtimes (dist, process).
+// One spec, built once, runs unmodified on every substrate behind
+// rt::make_runtime.
 
 #include <any>
 #include <functional>
 #include <string>
 #include <vector>
 
+#include "core/codec.hpp"
 #include "sched/perf_model.hpp"
 
 namespace gridpipe::core {
@@ -24,13 +34,39 @@ struct StageSpec {
   double work = 1.0;         ///< work units per item
   double out_bytes = 1024;   ///< bytes of the item this stage emits
   double state_bytes = 0.0;  ///< migratable stage state (remap cost)
+  /// Wire codecs for the stage's input/output types. Invalid on untyped
+  /// stages, which only the in-process runtimes can execute.
+  ItemCodec in_codec;
+  ItemCodec out_codec;
 };
 
 class PipelineSpec {
  public:
-  /// Fluent builder: returns *this for chaining.
+  /// Fluent builder, untyped (std::any passthrough): returns *this.
   PipelineSpec& stage(std::string name, StageFn fn, double work = 1.0,
                       double out_bytes = 1024, double state_bytes = 0.0);
+
+  /// Fluent builder, typed: `fn` is In -> Out and both types carry a
+  /// Codec<T>, so the stage also runs on the serialized runtimes.
+  template <class In, class Out, class Fn>
+    requires WireCodable<In> && WireCodable<Out> &&
+             std::is_invocable_r_v<Out, Fn, In>
+  PipelineSpec& stage(std::string name, Fn fn, double work = 1.0,
+                      double out_bytes = 1024, double state_bytes = 0.0) {
+    StageFn erased = [f = std::move(fn),
+                      stage_name = name](std::any item) -> std::any {
+      In* in = std::any_cast<In>(&item);
+      if (!in) {
+        throw std::invalid_argument(
+            "stage '" + stage_name + "' expects " +
+            detail::codec_type_name<In>() + " items but received " +
+            std::string(item.type().name()));
+      }
+      return std::any(f(std::move(*in)));
+    };
+    return add_stage({std::move(name), std::move(erased), work, out_bytes,
+                      state_bytes, ItemCodec::of<In>(), ItemCodec::of<Out>()});
+  }
 
   std::size_t num_stages() const noexcept { return stages_.size(); }
   const StageSpec& at(std::size_t i) const;
@@ -46,10 +82,20 @@ class PipelineSpec {
   /// tests and for computing expected outputs).
   std::any run_inline(std::any item) const;
 
-  /// Throws std::invalid_argument if the spec is unusable.
+  /// Throws std::invalid_argument (naming the offending stage) if the
+  /// spec is unusable anywhere: empty pipeline, null stage function,
+  /// zero/negative/NaN work, negative byte annotations, or a typed-stage
+  /// chain whose adjacent item types disagree.
   void validate() const;
 
+  /// validate() plus the serialized-runtime requirements: every stage
+  /// must be typed (carry wire codecs). `runtime_name` labels the error
+  /// ("dist", "process").
+  void validate_for_wire(const std::string& runtime_name) const;
+
  private:
+  PipelineSpec& add_stage(StageSpec stage);
+
   std::vector<StageSpec> stages_;
   double input_bytes_ = 1024;
 };

@@ -1,24 +1,18 @@
 #include "core/report.hpp"
 
-#include <algorithm>
 #include <sstream>
 
 #include "util/table.hpp"
 
 namespace gridpipe::core {
 
-void finalize_bytes_report(
-    RunReport& report,
-    std::vector<std::pair<std::uint64_t, std::vector<std::byte>>> done,
-    double wall_seconds, double time_scale, const sim::SimMetrics& metrics,
-    std::vector<control::EpochRecord> epochs, std::string final_mapping) {
-  std::sort(done.begin(), done.end(),
-            [](const auto& a, const auto& b) { return a.first < b.first; });
-  report.outputs.reserve(done.size());
-  for (auto& [id, payload] : done) {
-    report.outputs.emplace_back(std::move(payload));
-  }
-  report.items = report.outputs.size();
+void finalize_stream_report(RunReport& report, std::uint64_t items,
+                            double wall_seconds, double time_scale,
+                            sim::SimMetrics metrics,
+                            std::vector<control::EpochRecord> epochs,
+                            std::string initial_mapping,
+                            std::string final_mapping) {
+  report.items = items;
   report.wall_seconds = wall_seconds;
   report.virtual_seconds = wall_seconds / time_scale;
   report.throughput =
@@ -27,7 +21,14 @@ void finalize_bytes_report(
           : 0.0;
   report.remap_count = metrics.remaps().size();
   report.remaps = metrics.remaps();
+  report.mean_service.clear();
+  for (std::size_t s = 0; s < metrics.service_stages(); ++s) {
+    report.mean_service.push_back(
+        metrics.service_time(s).count() ? metrics.service_time(s).mean() : 0.0);
+  }
+  report.metrics = std::move(metrics);
   report.epochs = std::move(epochs);
+  report.initial_mapping = std::move(initial_mapping);
   report.final_mapping = std::move(final_mapping);
 }
 

@@ -1,5 +1,6 @@
 #pragma once
-// Result of a threaded-runtime pipeline run.
+// Result of a pipeline run on any substrate (threads, dist, process, or
+// the simulator session's virtual-time rehearsal).
 
 #include <any>
 #include <string>
@@ -12,10 +13,13 @@ namespace gridpipe::core {
 
 struct RunReport {
   /// Outputs ordered by input index (the skeleton restores stream order).
+  /// Filled by the blocking run() entry points; streaming sessions hand
+  /// outputs out incrementally through Session::try_pop instead, and
+  /// their report() leaves this empty.
   std::vector<std::any> outputs;
   std::uint64_t items = 0;
   double wall_seconds = 0.0;     ///< real elapsed time
-  double virtual_seconds = 0.0;  ///< wall / time_scale
+  double virtual_seconds = 0.0;  ///< wall / time_scale (sim: makespan)
   double throughput = 0.0;       ///< items per *virtual* second
   std::size_t remap_count = 0;
   std::vector<sim::RemapEvent> remaps;
@@ -24,22 +28,45 @@ struct RunReport {
   std::vector<control::EpochRecord> epochs;
   std::string initial_mapping;
   std::string final_mapping;
-  /// Mean observed service time per stage (virtual seconds).
+  /// Mean observed service time per stage (virtual seconds); empty on
+  /// substrates that do not observe per-stage service centrally.
   std::vector<double> mean_service;
+  /// The run's full metric series (latency percentiles, throughput
+  /// timeline, completion times) — populated on every substrate.
+  sim::SimMetrics metrics;
 
   /// One-paragraph human-readable summary.
   std::string summary() const;
 };
 
-/// Shared epilogue of the message-passing runtimes (DistributedExecutor
-/// and proc::ProcessExecutor): sorts `done` back into input order,
-/// moves the payloads into outputs, and derives every timing / remap /
-/// epoch field — one implementation, so the two substrates' reports
-/// cannot drift apart.
-void finalize_bytes_report(
-    RunReport& report,
-    std::vector<std::pair<std::uint64_t, std::vector<std::byte>>> done,
-    double wall_seconds, double time_scale, const sim::SimMetrics& metrics,
-    std::vector<control::EpochRecord> epochs, std::string final_mapping);
+/// Shared epilogue of every streaming runtime: derives all timing /
+/// remap / epoch fields from the run's metrics. Outputs are not touched
+/// here — sessions hand them out through try_pop, and the run() wrappers
+/// collect them afterwards. One implementation, so the substrates'
+/// reports cannot drift apart.
+void finalize_stream_report(RunReport& report, std::uint64_t items,
+                            double wall_seconds, double time_scale,
+                            sim::SimMetrics metrics,
+                            std::vector<control::EpochRecord> epochs,
+                            std::string initial_mapping,
+                            std::string final_mapping);
+
+/// The one batch wrapper over the executors' shared streaming
+/// primitives: begin → push all → close → finish → drain the ordered
+/// outputs into the report. Every executor's run() delegates here so
+/// the batch semantics cannot drift between substrates.
+template <class Executor, class Item>
+RunReport run_stream_batch(Executor& executor, std::vector<Item> inputs) {
+  if (inputs.empty()) return {};
+  executor.stream_begin();
+  for (Item& item : inputs) executor.stream_push(std::move(item));
+  executor.stream_close();
+  RunReport report = executor.stream_finish();
+  report.outputs.reserve(report.items);
+  while (auto out = executor.stream_try_pop()) {
+    report.outputs.emplace_back(std::move(*out));
+  }
+  return report;
+}
 
 }  // namespace gridpipe::core

@@ -59,7 +59,18 @@ ProcessExecutor::ProcessExecutor(const grid::Grid& grid,
   controller_ = make_controller();
 }
 
-ProcessExecutor::~ProcessExecutor() { kill_fleet(); }
+ProcessExecutor::~ProcessExecutor() {
+  if (stream_active_) {
+    try {
+      stream_close();
+      stream_finish();
+    } catch (...) {
+      // Destructor best-effort teardown; kill_fleet below reaps anything
+      // the failed finish left behind.
+    }
+  }
+  kill_fleet();
+}
 
 std::unique_ptr<control::AdaptationController>
 ProcessExecutor::make_controller() {
@@ -135,18 +146,17 @@ void ProcessExecutor::spawn_fleet() {
   }
 }
 
-void ProcessExecutor::admit(std::uint64_t index,
-                            const std::vector<Bytes>& inputs) {
+void ProcessExecutor::admit(std::uint64_t index, Bytes payload) {
   const grid::NodeId dst = controller_router_.pick(controller_mapping_, 0);
   workers_[dst].sock.queue_frame(
       {FrameKind::kTask, static_cast<std::uint32_t>(dst),
-       comm::wire::encode_task(index, 0, inputs[index])});
+       comm::wire::encode_task(index, 0, payload)});
+  admit_time_[index] = virtual_now();
+  ++admitted_;
   if (!workers_[dst].sock.flush_some()) fail_run(dst);
 }
 
-void ProcessExecutor::handle_frame(
-    std::size_t source, Frame frame, const std::vector<Bytes>& inputs,
-    std::vector<std::pair<std::uint64_t, Bytes>>& done) {
+void ProcessExecutor::handle_frame(std::size_t source, Frame frame) {
   switch (frame.kind) {
     case FrameKind::kTask: {
       // Next-hop relay: the worker picked the destination, the parent
@@ -167,9 +177,17 @@ void ProcessExecutor::handle_frame(
       std::uint32_t stage;
       Bytes payload;
       comm::wire::decode_task(frame.payload, item, stage, payload);
-      metrics_.on_item_completed(item, virtual_now(), 0.0);
-      done.emplace_back(item, std::move(payload));
-      if (next_input_ < total_items_) admit(next_input_++, inputs);
+      double created_at = 0.0;
+      if (auto it = admit_time_.find(item); it != admit_time_.end()) {
+        created_at = it->second;
+        admit_time_.erase(it);
+      }
+      metrics_.on_item_completed(item, virtual_now(), created_at);
+      ++completed_;
+      {
+        std::lock_guard lock(stream_mutex_);
+        out_buffer_.emplace(item, std::move(payload));
+      }
       break;
     }
     case FrameKind::kSpeedObs:
@@ -184,23 +202,37 @@ void ProcessExecutor::handle_frame(
   }
 }
 
-void ProcessExecutor::event_loop(
-    const std::vector<Bytes>& inputs,
-    std::vector<std::pair<std::uint64_t, Bytes>>& done) {
-  // Initial admission wave up to the in-flight credit.
-  const auto wave = std::min<std::uint64_t>(config_.window, total_items_);
-  while (next_input_ < wave) admit(next_input_++, inputs);
-
+void ProcessExecutor::event_loop() {
   const double epoch = config_.adapt.epoch;
   double next_epoch = epoch;
 
   std::vector<pollfd> fds(workers_.size());
-  while (done.size() < total_items_) {
-    // Wait at most until the next adaptation point (50 ms real otherwise).
+  for (;;) {
+    // Take ownership of freshly pushed items, then admit under the
+    // credit window; check end-of-stream under the same lock.
+    bool done = false;
+    {
+      std::lock_guard lock(stream_mutex_);
+      while (!incoming_.empty()) {
+        pending_.push_back(std::move(incoming_.front()));
+        incoming_.pop_front();
+      }
+      done = closed_ && completed_ == pushed_;
+    }
+    while (!pending_.empty() && admitted_ - completed_ < config_.window) {
+      auto entry = std::move(pending_.front());
+      pending_.pop_front();
+      admit(entry.first, std::move(entry.second));
+    }
+    if (done) return;
+
+    // Wait at most until the next adaptation point, capped at 50 ms real
+    // either way: nothing wakes poll() on a stream_push/stream_close, so
+    // the cap is what bounds the latency of noticing one.
     double wait_real = 0.05;
     if (epoch > 0.0) {
-      wait_real =
-          std::max(1e-3, (next_epoch - virtual_now()) * config_.time_scale);
+      wait_real = std::clamp((next_epoch - virtual_now()) * config_.time_scale,
+                             1e-3, 0.05);
     }
     for (std::size_t i = 0; i < workers_.size(); ++i) {
       fds[i].fd = workers_[i].sock.fd();
@@ -225,9 +257,16 @@ void ProcessExecutor::event_loop(
         // Drain complete frames first: the final bytes before an EOF may
         // still carry results.
         while (auto frame = workers_[i].sock.next_frame()) {
-          handle_frame(i, std::move(*frame), inputs, done);
+          handle_frame(i, std::move(*frame));
         }
-        if (!alive && done.size() < total_items_) fail_run(i);
+        if (!alive) {
+          bool still_running = false;
+          {
+            std::lock_guard lock(stream_mutex_);
+            still_running = !(closed_ && completed_ == pushed_);
+          }
+          if (still_running) fail_run(i);
+        }
       }
     }
 
@@ -235,6 +274,19 @@ void ProcessExecutor::event_loop(
       controller_->run_epoch();
       next_epoch += epoch;
     }
+  }
+}
+
+void ProcessExecutor::controller_main() {
+  try {
+    event_loop();
+    shutdown_fleet();
+  } catch (...) {
+    {
+      std::lock_guard lock(stream_mutex_);
+      stream_error_ = std::current_exception();
+    }
+    kill_fleet();
   }
 }
 
@@ -301,46 +353,100 @@ void ProcessExecutor::fail_run(std::size_t node) {
                            describe_wait_status(status) + ")");
 }
 
-core::RunReport ProcessExecutor::run(std::vector<Bytes> inputs) {
-  core::RunReport report;
-  if (inputs.empty()) return report;
+void ProcessExecutor::stream_begin() {
+  if (stream_active_) {
+    throw std::logic_error("ProcessExecutor: a stream is already active");
+  }
   if (!workers_.empty()) {
-    throw std::logic_error("ProcessExecutor::run is not reentrant");
+    throw std::logic_error("ProcessExecutor: previous fleet still live");
   }
 
-  // Fresh controller per run: the virtual clock restarts at 0, so gate
+  // Fresh controller per stream: the virtual clock restarts at 0, so gate
   // snapshots, hysteresis streaks and registry timestamps from a
-  // previous run would all be stale.
+  // previous stream would all be stale.
   controller_ = make_controller();
 
-  total_items_ = inputs.size();
-  next_input_ = 0;
+  {
+    std::lock_guard lock(stream_mutex_);
+    incoming_.clear();
+    out_buffer_.clear();
+    next_out_ = 0;
+    pushed_ = 0;
+    closed_ = false;
+    stream_error_ = nullptr;
+  }
+  pending_.clear();
+  admit_time_.clear();
+  admitted_ = 0;
+  completed_ = 0;
   controller_mapping_ = initial_mapping_;
   controller_router_.reset(stages_.size());
   metrics_ = sim::SimMetrics{};  // time series restart with the clock
   start_ = std::chrono::steady_clock::now();
-  report.initial_mapping = initial_mapping_.to_string();
+  initial_mapping_str_ = initial_mapping_.to_string();
+  stream_active_ = true;
 
-  std::vector<std::pair<std::uint64_t, Bytes>> done;
-  done.reserve(inputs.size());
-
+  // Fork the fleet first, start our own controller thread second: the
+  // runtime never forks while one of its own threads is live.
   spawn_fleet();
-  try {
-    event_loop(inputs, done);
-    shutdown_fleet();
-  } catch (...) {
-    kill_fleet();
-    throw;
+  controller_thread_ = std::thread([this] { controller_main(); });
+}
+
+void ProcessExecutor::stream_push(Bytes item) {
+  std::lock_guard lock(stream_mutex_);
+  if (!stream_active_ || closed_) {
+    throw std::logic_error("ProcessExecutor: push on a closed stream");
+  }
+  incoming_.emplace_back(pushed_++, std::move(item));
+}
+
+std::optional<Bytes> ProcessExecutor::stream_try_pop() {
+  std::lock_guard lock(stream_mutex_);
+  auto it = out_buffer_.find(next_out_);
+  if (it == out_buffer_.end()) return std::nullopt;
+  Bytes out = std::move(it->second);
+  out_buffer_.erase(it);
+  ++next_out_;
+  return out;
+}
+
+void ProcessExecutor::stream_close() {
+  std::lock_guard lock(stream_mutex_);
+  closed_ = true;
+}
+
+core::RunReport ProcessExecutor::stream_finish() {
+  if (!stream_active_) {
+    throw std::logic_error("ProcessExecutor: no active stream to finish");
+  }
+  {
+    std::lock_guard lock(stream_mutex_);
+    if (!closed_) {
+      throw std::logic_error(
+          "ProcessExecutor: stream_close() before stream_finish()");
+    }
+  }
+  controller_thread_.join();
+  stream_active_ = false;
+  {
+    std::lock_guard lock(stream_mutex_);
+    if (stream_error_) std::rethrow_exception(stream_error_);
   }
 
   const double wall =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
           .count();
-  core::finalize_bytes_report(report, std::move(done), wall,
-                              config_.time_scale, metrics_,
-                              controller_->take_epochs(),
-                              controller_mapping_.to_string());
+  core::RunReport report;
+  // The controller thread is joined; move the O(items) metric series.
+  core::finalize_stream_report(report, completed_, wall, config_.time_scale,
+                               std::move(metrics_), controller_->take_epochs(),
+                               std::move(initial_mapping_str_),
+                               controller_mapping_.to_string());
   return report;
+}
+
+core::RunReport ProcessExecutor::run(std::vector<Bytes> inputs) {
+  return core::run_stream_batch(*this, std::move(inputs));
 }
 
 }  // namespace gridpipe::proc

@@ -25,20 +25,31 @@
 // where apply_remap broadcasts kRemap. Nothing in src/control/ knows
 // this substrate exists.
 //
-// Lifecycle: run() forks the fleet, multiplexes it with poll(2), and
-// reaps every child with waitpid before returning — no SIGCHLD handler
-// (a library must not own process-wide signal dispositions; synchronous
-// reaping needs none). A worker that dies mid-run surfaces as EOF on
-// its socket; the parent reaps it for the exit status, kills the rest
-// of the fleet and throws. (Remapping around a crashed node mid-epoch
-// is a ROADMAP follow-up.)
+// Lifecycle: stream_begin() forks the fleet, then multiplexes it with
+// poll(2) on a dedicated controller thread; stream_push() enqueues items
+// the poll loop admits under the credit window, stream_try_pop() returns
+// outputs in input order, and stream_finish() reaps every child with
+// waitpid before returning — no SIGCHLD handler (a library must not own
+// process-wide signal dispositions; synchronous reaping needs none). A
+// worker that dies mid-stream surfaces as EOF on its socket; the parent
+// reaps it for the exit status, kills the rest of the fleet and
+// stream_finish() rethrows the failure. run() is a batch wrapper over
+// one stream. (Remapping around a crashed node mid-epoch is a ROADMAP
+// follow-up.)
 //
-// fork() constraints: call run() from a process where no other threads
-// are live (fork only carries the calling thread; a lock held by
-// another thread would stay locked forever in the child). The runtime
-// itself spawns no threads — the parent side is a single poll loop.
+// fork() constraints: call stream_begin()/run() from a process where no
+// other threads are live (fork only carries the calling thread; a lock
+// held by another thread would stay locked forever in the child). The
+// fleet is forked *before* the controller thread starts, so the runtime
+// itself never forks with its own threads live.
 
+#include <deque>
+#include <exception>
+#include <map>
 #include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
 #include <vector>
 
 #include "control/adaptation_controller.hpp"
@@ -68,10 +79,21 @@ class ProcessExecutor : private control::AdaptationHost {
                   sched::Mapping initial_mapping, ProcExecutorConfig config);
   ~ProcessExecutor() override;
 
-  /// Blocking: forks one worker process per grid node, pushes every
-  /// input through, reaps the fleet, returns ordered outputs. Not
-  /// reentrant. Throws std::runtime_error if a worker crashes mid-run.
+  /// Blocking convenience wrapper over one stream: forks one worker
+  /// process per grid node, pushes every input through, reaps the fleet,
+  /// returns ordered outputs. Not reentrant. Throws std::runtime_error
+  /// if a worker crashes mid-run.
   core::RunReport run(std::vector<Bytes> inputs);
+
+  // Streaming session primitives (one stream at a time; rt::Session
+  // wraps them). Lifecycle: begin -> push*/try_pop* -> close -> finish.
+  void stream_begin();
+  void stream_push(Bytes item);
+  std::optional<Bytes> stream_try_pop();
+  void stream_close();
+  /// Joins the controller thread, reaps the fleet, and returns the
+  /// report; rethrows a worker-crash failure captured by the poll loop.
+  core::RunReport stream_finish();
 
   sched::PipelineProfile profile() const;
 
@@ -87,17 +109,17 @@ class ProcessExecutor : private control::AdaptationHost {
   void apply_remap(const sched::Mapping& to, double pause_virtual) override;
   void record_probes(double vnow) override;  // no-op: kSpeedObs feeds it
 
-  /// Builds the per-run controller (fresh gate/policy/registry state;
-  /// the virtual clock restarts with every run()).
+  /// Builds the per-stream controller (fresh gate/policy/registry state;
+  /// the virtual clock restarts with every stream).
   std::unique_ptr<control::AdaptationController> make_controller();
 
   void spawn_fleet();
-  void event_loop(const std::vector<Bytes>& inputs,
-                  std::vector<std::pair<std::uint64_t, Bytes>>& done);
-  void handle_frame(std::size_t source, comm::wire::Frame frame,
-                    const std::vector<Bytes>& inputs,
-                    std::vector<std::pair<std::uint64_t, Bytes>>& done);
-  void admit(std::uint64_t index, const std::vector<Bytes>& inputs);
+  /// Controller-thread entry: event_loop + graceful shutdown, with any
+  /// failure captured into stream_error_.
+  void controller_main();
+  void event_loop();
+  void handle_frame(std::size_t source, comm::wire::Frame frame);
+  void admit(std::uint64_t index, Bytes payload);
   /// Graceful: broadcast kShutdown, drain to EOF, close, reap.
   void shutdown_fleet();
   /// Crash path and destructor safety net: SIGKILL + reap, noexcept.
@@ -116,9 +138,28 @@ class ProcessExecutor : private control::AdaptationHost {
   sched::Mapping controller_mapping_;
   sched::ReplicaRouter controller_router_;
   std::vector<Worker> workers_;
-  std::uint64_t next_input_ = 0;
-  std::uint64_t total_items_ = 0;
   sim::SimMetrics metrics_;
+
+  // Controller-thread-only admission state.
+  std::deque<std::pair<std::uint64_t, Bytes>> pending_;
+  /// Virtual admission time per in-flight item (for latency metrics).
+  std::map<std::uint64_t, double> admit_time_;
+  std::uint64_t admitted_ = 0;
+  std::uint64_t completed_ = 0;
+
+  // Stream state shared between the pushing/popping caller and the
+  // controller thread.
+  std::mutex stream_mutex_;
+  std::deque<std::pair<std::uint64_t, Bytes>> incoming_;
+  std::map<std::uint64_t, Bytes> out_buffer_;
+  std::uint64_t next_out_ = 0;
+  std::uint64_t pushed_ = 0;
+  bool closed_ = false;
+  std::exception_ptr stream_error_;
+
+  std::thread controller_thread_;
+  bool stream_active_ = false;
+  std::string initial_mapping_str_;
 };
 
 }  // namespace gridpipe::proc

@@ -1,0 +1,151 @@
+#pragma once
+// rt::Runtime — the one user-facing API over all four execution
+// substrates. The paper's contribution is a *single* skeleton call whose
+// adaptation is transparent to the caller; this layer is that call:
+//
+//   auto runtime = rt::make_runtime(rt::RuntimeKind::kThreads, grid, spec);
+//   auto report  = runtime->run(items);              // batch convenience
+//
+//   auto session = runtime->open();                  // streaming
+//   session->push(item);                             // any time
+//   while (auto out = session->try_pop()) consume(*out);
+//   session->close();
+//   auto report = session->report();                 // blocks till drained
+//
+// One core::PipelineSpec runs unmodified on every substrate. The
+// in-process runtimes (sim, threads) move std::any items directly; the
+// serialized runtimes (dist, process) bridge through the spec's
+// per-stage Codec<T> wire codecs, so they require typed stages
+// (stage<In, Out>(...)) and reject untyped ones with an actionable
+// error at make_runtime time.
+//
+// Sessions are self-contained: they own their executor and may outlive
+// the Runtime that opened them. The grid must outlive both. The process
+// runtime forks at open(); obey its "no other live threads" constraint
+// (see proc/process_executor.hpp) — in particular, do not open a
+// process session while any other live-runtime session is still
+// streaming (its worker/controller threads could hold locks that fork
+// copies into the child). open() on the process runtime detects that
+// case best-effort and throws; report() or destroy other sessions
+// first. Sequential sessions, one at a time, are always safe.
+//
+// The simulator runtime cannot interleave virtual time with real-time
+// pushes, so its session is a virtual-time feeder: push() buffers,
+// close() replays the whole stream through the DES (timing, adaptation
+// epochs, remaps) and computes outputs by reference execution
+// (PipelineSpec::run_inline); try_pop() yields everything after close().
+
+#include <any>
+#include <array>
+#include <memory>
+#include <optional>
+#include <string_view>
+
+#include "control/adaptation_config.hpp"
+#include "core/pipeline_spec.hpp"
+#include "core/report.hpp"
+#include "grid/grid.hpp"
+#include "sim/drivers.hpp"
+
+namespace gridpipe::rt {
+
+enum class RuntimeKind {
+  kSim,      ///< discrete-event simulator (virtual time, reference exec)
+  kThreads,  ///< one worker thread per grid node, emulated heterogeneity
+  kDist,     ///< message-passing ranks over the in-process communicator
+  kProcess,  ///< one forked OS process per grid node over Unix sockets
+};
+
+/// All four, in the canonical display order.
+inline constexpr std::array<RuntimeKind, 4> kAllRuntimeKinds{
+    RuntimeKind::kSim, RuntimeKind::kThreads, RuntimeKind::kDist,
+    RuntimeKind::kProcess};
+
+/// "sim" | "threads" | "dist" | "process".
+const char* to_string(RuntimeKind kind);
+
+/// Inverse of to_string; nullopt on unknown names.
+std::optional<RuntimeKind> try_parse_runtime_kind(std::string_view name);
+
+/// Inverse of to_string; throws std::invalid_argument listing the valid
+/// names on unknown input.
+RuntimeKind parse_runtime_kind(std::string_view name);
+
+struct RuntimeOptions {
+  /// Real seconds per virtual second on the live runtimes (the simulator
+  /// runs in pure virtual time and ignores it).
+  double time_scale = 0.01;
+  /// Max items in flight (0 = auto: 2·Ns, min 4).
+  std::size_t window = 0;
+  /// Shared control-loop knobs; adapt.epoch = 0 disables adaptation on
+  /// every substrate.
+  control::AdaptationConfig adapt{.epoch = 0.0};
+  /// Stretch stage execution to the modeled duration (live runtimes).
+  bool emulate_compute = true;
+  /// Threads runtime: record NWS-style probes each epoch.
+  bool monitor_all = true;
+  /// Max tasks drained per queue-lock acquisition (0 = substrate default).
+  std::size_t drain_batch = 0;
+  /// Probe-noise RNG seed on the threads runtime.
+  std::uint64_t seed = 1;
+  /// Deployment-time mapping override. Unset: the planner's t = 0 pick
+  /// (control::choose_mapping with `adapt`'s mapper knobs). The sim
+  /// runtime plans per its driver and ignores an override.
+  std::optional<sched::Mapping> initial_mapping;
+
+  // --- simulator-only knobs -------------------------------------------
+  /// Which experiment driver the sim session replays the stream under.
+  /// kAdaptive/kOracle fall back to kStaticOptimal when adapt.epoch = 0.
+  sim::DriverKind sim_driver = sim::DriverKind::kAdaptive;
+  /// Arrival process, probe schedule, service model, sim seed.
+  /// num_items and window are overridden per session.
+  sim::SimConfig sim_config{};
+};
+
+/// A live stream through one substrate. push() accepts items any time
+/// before close(); try_pop() hands outputs back in input order
+/// (Pipeline1for1 semantics) as they complete; report() closes if
+/// needed, blocks until every pushed item drained, and rethrows any
+/// worker failure. Outputs not yet popped stay poppable after report().
+class Session {
+ public:
+  virtual ~Session() = default;
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  virtual void push(std::any item) = 0;
+  virtual std::optional<std::any> try_pop() = 0;
+  virtual void close() = 0;
+  virtual core::RunReport report() = 0;
+
+ protected:
+  Session() = default;
+};
+
+/// One substrate, configured for one (grid, spec, options) triple.
+/// open() starts an independent streaming session; run() is the batch
+/// convenience wrapper over a single session.
+class Runtime {
+ public:
+  virtual ~Runtime() = default;
+
+  virtual RuntimeKind kind() const noexcept = 0;
+  virtual const sched::PipelineProfile& profile() const noexcept = 0;
+  /// The deployment-time (t = 0) mapping sessions start from.
+  virtual const sched::Mapping& planned_mapping() const noexcept = 0;
+  virtual std::unique_ptr<Session> open() = 0;
+
+  /// Pushes every item through one session and returns the report with
+  /// ordered outputs filled in. Blocking.
+  core::RunReport run(std::vector<std::any> items);
+};
+
+/// The factory: one spec, any substrate. Validates the spec up front
+/// (and its wire codecs for the serialized runtimes) so misuse fails
+/// here with an actionable message instead of deep inside a run.
+std::unique_ptr<Runtime> make_runtime(RuntimeKind kind,
+                                      const grid::Grid& grid,
+                                      core::PipelineSpec spec,
+                                      RuntimeOptions options = {});
+
+}  // namespace gridpipe::rt

@@ -16,22 +16,12 @@ std::string stage_name(std::size_t i) {
 
 }  // namespace
 
-std::vector<core::DistStage> passthrough_dist_stages(
-    const sched::PipelineProfile& p) {
-  std::vector<core::DistStage> stages;
-  for (std::size_t i = 0; i < p.num_stages(); ++i) {
-    stages.push_back({stage_name(i),
-                      [](const core::Bytes& in) { return in; },
-                      p.stage_work[i], p.msg_bytes[i + 1], p.state_bytes[i]});
-  }
-  return stages;
-}
-
-core::PipelineSpec passthrough_spec(const sched::PipelineProfile& p) {
+core::PipelineSpec passthrough_pipeline(const sched::PipelineProfile& p) {
   core::PipelineSpec spec;
   for (std::size_t i = 0; i < p.num_stages(); ++i) {
-    spec.stage(stage_name(i), [](std::any a) { return a; }, p.stage_work[i],
-               p.msg_bytes[i + 1], p.state_bytes[i]);
+    spec.stage<std::uint64_t, std::uint64_t>(
+        stage_name(i), [](std::uint64_t v) { return v; }, p.stage_work[i],
+        p.msg_bytes[i + 1], p.state_bytes[i]);
   }
   spec.input_bytes(p.msg_bytes[0]);
   return spec;

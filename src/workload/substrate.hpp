@@ -1,28 +1,22 @@
 #pragma once
-// Adapters for running a catalogue Scenario's profile on the live
-// runtimes (threads / dist / process): passthrough stages carrying the
-// profile's cost annotations — compute is emulated, so identity
-// functions suffice — plus the deployment-time mapping a planner would
-// pick from the catalog. Shared by gridpipe_cli's --runtime path and
-// bench_f2's substrate-overhead table, so both drive exactly the same
-// setup and stay comparable.
-
-#include <vector>
+// Adapter for running a catalogue Scenario's profile on any execution
+// substrate through rt::make_runtime: one typed passthrough pipeline
+// carrying the profile's cost annotations — compute is emulated, so
+// identity stages suffice — plus the deployment-time mapping a planner
+// would pick from the catalog. Shared by gridpipe_cli's --runtime path
+// and bench_f2's substrate-overhead table, so both drive exactly the
+// same setup and stay comparable.
 
 #include "control/adaptation_controller.hpp"
-#include "core/dist_executor.hpp"
 #include "core/pipeline_spec.hpp"
+#include "grid/grid.hpp"
 
 namespace gridpipe::workload {
 
-/// Identity Bytes → Bytes stages with `p`'s cost annotations (for
-/// DistributedExecutor and ProcessExecutor).
-std::vector<core::DistStage> passthrough_dist_stages(
-    const sched::PipelineProfile& p);
-
-/// Identity std::any stages with `p`'s cost annotations (for the
-/// threaded Executor).
-core::PipelineSpec passthrough_spec(const sched::PipelineProfile& p);
+/// Typed identity stages (std::uint64_t items, so the serialized
+/// runtimes work too) with `p`'s cost annotations. One spec, every
+/// substrate.
+core::PipelineSpec passthrough_pipeline(const sched::PipelineProfile& p);
 
 /// Deployment-time mapping: what the planner would pick from the
 /// catalog (ground truth at t = 0) — the live-runtime analogue of the

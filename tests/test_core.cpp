@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "core/adaptive_pipeline.hpp"
+#include "core/executor.hpp"
 #include "grid/builders.hpp"
 
 namespace gridpipe::core {
@@ -274,7 +275,7 @@ TEST(AdaptivePipeline, PlanPicksFastNode) {
 TEST(AdaptivePipeline, RunProducesOrderedResults) {
   const auto g = grid::uniform_cluster(2, 1.0, 1e-3, 1e8);
   AdaptivePipelineOptions options;
-  options.executor.time_scale = 0.002;
+  options.runtime.time_scale = 0.002;
   AdaptivePipeline pipeline(g, arithmetic_spec(), options);
   const auto report = pipeline.run(int_items(30));
   ASSERT_EQ(report.items, 30u);

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include "core/adaptive_pipeline.hpp"
+#include "core/executor.hpp"
 #include "grid/builders.hpp"
 #include "sched/local_search.hpp"
 #include "sim/drivers.hpp"

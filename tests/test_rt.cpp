@@ -1,0 +1,339 @@
+// Tests for the unified rt::Runtime API: codec round-trips, spec
+// validation errors, RuntimeKind parsing, streaming session semantics,
+// and the cross-substrate golden parity suite — the same typed stream
+// through all four runtimes via rt::make_runtime must produce identical
+// ordered outputs and consistent epoch decisions.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "grid/builders.hpp"
+#include "rt/runtime.hpp"
+
+namespace gridpipe::rt {
+namespace {
+
+// A typed (non-Bytes) pipeline: int64 -> int64 -> double -> string.
+core::PipelineSpec typed_spec() {
+  core::PipelineSpec spec;
+  spec.stage<std::int64_t, std::int64_t>(
+          "add", [](std::int64_t v) { return v + 3; }, /*work=*/0.02,
+          /*out_bytes=*/16)
+      .stage<std::int64_t, double>(
+          "scale", [](std::int64_t v) { return static_cast<double>(v) * 1.5; },
+          /*work=*/0.05, /*out_bytes=*/16)
+      .stage<double, std::string>(
+          "fmt",
+          [](double v) { return std::to_string(static_cast<long>(v * 10.0)); },
+          /*work=*/0.02, /*out_bytes=*/24);
+  return spec;
+}
+
+std::vector<std::any> int64_items(std::int64_t n) {
+  std::vector<std::any> items;
+  for (std::int64_t i = 0; i < n; ++i) items.emplace_back(i);
+  return items;
+}
+
+std::vector<std::string> expected_outputs(std::int64_t n) {
+  const core::PipelineSpec spec = typed_spec();
+  std::vector<std::string> expected;
+  for (std::int64_t i = 0; i < n; ++i) {
+    expected.push_back(
+        std::any_cast<std::string>(spec.run_inline(std::any(i))));
+  }
+  return expected;
+}
+
+// ------------------------------------------------------------- codecs
+
+TEST(Codec, ArithmeticRoundTrip) {
+  EXPECT_EQ(core::Codec<int>::decode(core::Codec<int>::encode(-42)), -42);
+  EXPECT_EQ(core::Codec<std::uint64_t>::decode(
+                core::Codec<std::uint64_t>::encode(1u << 30)),
+            1u << 30);
+  EXPECT_DOUBLE_EQ(core::Codec<double>::decode(core::Codec<double>::encode(
+                       3.25)),
+                   3.25);
+}
+
+TEST(Codec, StringAndBytesRoundTrip) {
+  const std::string s = "hello grid";
+  EXPECT_EQ(core::Codec<std::string>::decode(
+                core::Codec<std::string>::encode(s)),
+            s);
+  const core::Bytes b{std::byte{1}, std::byte{2}, std::byte{255}};
+  EXPECT_EQ(core::Codec<core::Bytes>::decode(core::Codec<core::Bytes>::encode(b)),
+            b);
+}
+
+TEST(Codec, ArithmeticRejectsWrongSize) {
+  EXPECT_THROW(core::Codec<std::uint32_t>::decode(core::Bytes(3)),
+               std::invalid_argument);
+}
+
+TEST(Codec, ItemCodecBridgesAny) {
+  const auto codec = core::ItemCodec::of<std::int64_t>();
+  ASSERT_TRUE(static_cast<bool>(codec));
+  const core::Bytes wire = codec.encode(std::any(std::int64_t{77}));
+  EXPECT_EQ(std::any_cast<std::int64_t>(codec.decode(wire)), 77);
+}
+
+// --------------------------------------------------------- validation
+
+TEST(Validation, EmptySpecRejectedAtFactory) {
+  const auto g = grid::uniform_cluster(2, 1.0, 1e-3, 1e8);
+  EXPECT_THROW(make_runtime(RuntimeKind::kThreads, g, core::PipelineSpec{}),
+               std::invalid_argument);
+}
+
+TEST(Validation, UntypedStageRejectedOnSerializedRuntimes) {
+  const auto g = grid::uniform_cluster(2, 1.0, 1e-3, 1e8);
+  core::PipelineSpec spec;
+  spec.stage("anon", [](std::any a) { return a; }, 0.1);
+  // In-process runtimes accept std::any passthrough stages...
+  EXPECT_NO_THROW(make_runtime(RuntimeKind::kThreads, g, spec));
+  EXPECT_NO_THROW(make_runtime(RuntimeKind::kSim, g, spec));
+  // ...the serialized ones need codecs, and say so actionably.
+  for (RuntimeKind kind : {RuntimeKind::kDist, RuntimeKind::kProcess}) {
+    try {
+      make_runtime(kind, g, spec);
+      FAIL() << "expected invalid_argument for " << to_string(kind);
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find("wire codec"), std::string::npos);
+      EXPECT_NE(std::string(e.what()).find("anon"), std::string::npos);
+    }
+  }
+}
+
+TEST(Validation, TypedChainMismatchNamesBothStages) {
+  core::PipelineSpec spec;
+  spec.stage<std::int64_t, double>(
+          "widen", [](std::int64_t v) { return static_cast<double>(v); }, 0.1)
+      .stage<std::string, std::string>(
+          "shout", [](std::string s) { return s; }, 0.1);
+  try {
+    spec.validate();
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("widen"), std::string::npos);
+    EXPECT_NE(what.find("shout"), std::string::npos);
+    EXPECT_NE(what.find("double"), std::string::npos);
+    EXPECT_NE(what.find("std::string"), std::string::npos);
+  }
+}
+
+TEST(Validation, StageBuilderRejectsBadWork) {
+  core::PipelineSpec spec;
+  EXPECT_THROW(spec.stage("zero", [](std::any a) { return a; }, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(spec.stage("negative", [](std::any a) { return a; }, -1.0),
+               std::invalid_argument);
+}
+
+// ------------------------------------------------------- kind parsing
+
+TEST(RuntimeKindNames, ParseRoundTripsAllKinds) {
+  for (RuntimeKind kind : kAllRuntimeKinds) {
+    EXPECT_EQ(parse_runtime_kind(to_string(kind)), kind);
+  }
+  EXPECT_FALSE(try_parse_runtime_kind("bogus").has_value());
+  EXPECT_THROW(parse_runtime_kind("bogus"), std::invalid_argument);
+}
+
+// ----------------------------------------------------------- sessions
+
+TEST(Session, ThreadsStreamsIncrementally) {
+  const auto g = grid::uniform_cluster(2, 1.0, 1e-3, 1e8);
+  RuntimeOptions options;
+  options.time_scale = 0.002;
+  auto runtime = make_runtime(RuntimeKind::kThreads, g, typed_spec(), options);
+  auto session = runtime->open();
+
+  const auto expected = expected_outputs(12);
+  std::vector<std::string> got;
+  // Push the first half, wait for at least one output to surface while
+  // the stream is still open, then push the rest.
+  for (std::int64_t i = 0; i < 6; ++i) session->push(std::any(i));
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (got.empty() && std::chrono::steady_clock::now() < deadline) {
+    if (auto out = session->try_pop()) {
+      got.push_back(std::any_cast<std::string>(std::move(*out)));
+    } else {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  ASSERT_FALSE(got.empty()) << "no output while the stream was open";
+  for (std::int64_t i = 6; i < 12; ++i) session->push(std::any(i));
+  session->close();
+  const auto report = session->report();
+  EXPECT_EQ(report.items, 12u);
+  while (auto out = session->try_pop()) {
+    got.push_back(std::any_cast<std::string>(std::move(*out)));
+  }
+  ASSERT_EQ(got.size(), expected.size());
+  EXPECT_EQ(got, expected);  // input order restored
+}
+
+TEST(Session, PushAfterCloseThrows) {
+  const auto g = grid::uniform_cluster(2, 1.0, 1e-3, 1e8);
+  RuntimeOptions options;
+  options.time_scale = 0.002;
+  auto runtime = make_runtime(RuntimeKind::kThreads, g, typed_spec(), options);
+  auto session = runtime->open();
+  session->push(std::any(std::int64_t{1}));
+  session->close();
+  EXPECT_THROW(session->push(std::any(std::int64_t{2})), std::logic_error);
+  session->report();
+}
+
+TEST(Session, SimFeedsOnClose) {
+  const auto g = grid::uniform_cluster(3, 1.0, 1e-3, 1e8);
+  auto runtime = make_runtime(RuntimeKind::kSim, g, typed_spec(), {});
+  auto session = runtime->open();
+  for (std::int64_t i = 0; i < 8; ++i) session->push(std::any(i));
+  // The virtual-time feeder defers everything to close().
+  EXPECT_FALSE(session->try_pop().has_value());
+  session->close();
+  const auto expected = expected_outputs(8);
+  std::vector<std::string> got;
+  while (auto out = session->try_pop()) {
+    got.push_back(std::any_cast<std::string>(std::move(*out)));
+  }
+  EXPECT_EQ(got, expected);
+  const auto report = session->report();
+  EXPECT_EQ(report.items, 8u);
+  EXPECT_GT(report.virtual_seconds, 0.0);
+}
+
+TEST(Session, StageExceptionSurfacesAtReport) {
+  // A wrong-typed item passes the in-process push (no codecs run), hits
+  // the typed wrapper's std::invalid_argument inside a worker thread,
+  // and the session must surface it from report() instead of
+  // terminating the process.
+  const auto g = grid::uniform_cluster(2, 1.0, 1e-3, 1e8);
+  RuntimeOptions options;
+  options.time_scale = 0.002;
+  auto runtime = make_runtime(RuntimeKind::kThreads, g, typed_spec(), options);
+  auto session = runtime->open();
+  session->push(std::any(std::string("wrong type")));
+  session->close();
+  EXPECT_THROW(session->report(), std::invalid_argument);
+}
+
+TEST(Session, SerializedPushRejectsWrongType) {
+  // On the serialized runtimes the input codec runs at push time, so a
+  // wrong-typed item fails immediately on the caller's thread.
+  const auto g = grid::uniform_cluster(2, 1.0, 1e-3, 1e8);
+  RuntimeOptions options;
+  options.time_scale = 0.002;
+  auto runtime = make_runtime(RuntimeKind::kDist, g, typed_spec(), options);
+  auto session = runtime->open();
+  EXPECT_THROW(session->push(std::any(std::string("wrong type"))),
+               std::bad_any_cast);
+  session->close();
+  EXPECT_EQ(session->report().items, 0u);
+}
+
+TEST(Session, ProcessOpenRefusedWhileAnotherSessionIsLive) {
+  // Forking while another live session's threads run would copy their
+  // locks into the child; the process runtime must refuse.
+  const auto g = grid::uniform_cluster(2, 1.0, 1e-3, 1e8);
+  RuntimeOptions options;
+  options.time_scale = 0.002;
+  auto threads_rt = make_runtime(RuntimeKind::kThreads, g, typed_spec(),
+                                 options);
+  auto proc_rt = make_runtime(RuntimeKind::kProcess, g, typed_spec(),
+                              options);
+  auto live = threads_rt->open();
+  EXPECT_THROW(proc_rt->open(), std::logic_error);
+  live->close();
+  live->report();  // joins the threads session...
+  live.reset();
+  auto proc_session = proc_rt->open();  // ...after which forking is fine
+  proc_session->close();
+  EXPECT_EQ(proc_session->report().items, 0u);
+}
+
+TEST(Session, EmptyStreamReportsZeroItems) {
+  const auto g = grid::uniform_cluster(2, 1.0, 1e-3, 1e8);
+  for (RuntimeKind kind : kAllRuntimeKinds) {
+    RuntimeOptions options;
+    options.time_scale = 0.002;
+    auto runtime = make_runtime(kind, g, typed_spec(), options);
+    auto session = runtime->open();
+    session->close();
+    EXPECT_EQ(session->report().items, 0u) << to_string(kind);
+    EXPECT_FALSE(session->try_pop().has_value()) << to_string(kind);
+  }
+}
+
+// ------------------------------------------------- cross-substrate parity
+
+TEST(RtParity, GoldenOutputsIdenticalAcrossAllFourRuntimes) {
+  const auto g = grid::heterogeneous_cluster({2.0, 1.0, 1.0}, 1e-3, 1e8);
+  constexpr std::int64_t kItems = 24;
+  const auto expected = expected_outputs(kItems);
+
+  for (RuntimeKind kind : kAllRuntimeKinds) {
+    RuntimeOptions options;
+    options.time_scale = 0.002;
+    auto runtime = make_runtime(kind, g, typed_spec(), options);
+    const auto report = runtime->run(int64_items(kItems));
+    ASSERT_EQ(report.items, static_cast<std::uint64_t>(kItems))
+        << to_string(kind);
+    ASSERT_EQ(report.outputs.size(), expected.size()) << to_string(kind);
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(std::any_cast<const std::string&>(report.outputs[i]),
+                expected[i])
+          << to_string(kind) << " item " << i;
+    }
+  }
+}
+
+TEST(RtParity, EpochDecisionsConsistentOnStableGrid) {
+  // On a uniform, unloaded grid with adaptation enabled, every substrate
+  // should plan the same deployment mapping, run at least one epoch, and
+  // decide against remapping in all of them. The generous gate margins
+  // (change threshold, gain ratio, time scale) keep sleep-quantization
+  // noise in the live runtimes' observed speeds from manufacturing a
+  // phantom gain — the same jitter allowance the per-runtime quiet-epoch
+  // tests use; a remap on a symmetric idle grid is still always wrong.
+  const auto g = grid::uniform_cluster(3, 1.0, 1e-3, 1e8);
+  constexpr std::int64_t kItems = 100;
+
+  std::string planned;
+  for (RuntimeKind kind : kAllRuntimeKinds) {
+    RuntimeOptions options;
+    options.time_scale = 0.01;
+    options.adapt.epoch = 2.0;
+    options.adapt.trigger = control::AdaptationTrigger::kOnChange;
+    options.adapt.change_threshold = 0.75;
+    options.adapt.max_staleness = 1e9;
+    options.adapt.policy.min_gain_ratio = 0.60;
+    options.sim_config.probe_interval = 1.0;
+    auto runtime = make_runtime(kind, g, typed_spec(), options);
+    const auto report = runtime->run(int64_items(kItems));
+
+    EXPECT_EQ(report.items, static_cast<std::uint64_t>(kItems))
+        << to_string(kind);
+    EXPECT_FALSE(report.epochs.empty())
+        << to_string(kind) << ": adaptation never ran an epoch";
+    EXPECT_EQ(report.remap_count, 0u)
+        << to_string(kind) << ": remapped on a stable grid";
+    EXPECT_EQ(report.initial_mapping, report.final_mapping) << to_string(kind);
+    if (planned.empty()) {
+      planned = report.initial_mapping;
+    } else {
+      EXPECT_EQ(report.initial_mapping, planned)
+          << to_string(kind) << ": substrates disagree on the t=0 plan";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gridpipe::rt
