@@ -2,10 +2,18 @@
 // Shared helpers for the experiment binaries. Each bench prints a header,
 // the paper-style table(s), and a short expectation note so the output is
 // self-describing when captured into bench_output.txt / EXPERIMENTS.md.
+//
+// Benches that persist a baseline also accept `--json FILE` and write
+// their tables as a machine-readable document (scripts/record_bench.sh
+// collects these into bench_results/BENCH_*.json so the perf trajectory
+// is diffable across commits).
 
+#include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
 
+#include "util/json.hpp"
 #include "util/table.hpp"
 
 namespace gridpipe::bench {
@@ -20,6 +28,27 @@ inline void print_note(const std::string& note) {
 
 inline void print_table(const util::Table& table) {
   std::cout << table.to_string() << std::flush;
+}
+
+/// The one flag the table benches take: `--json FILE`. Empty when absent.
+inline std::string json_out_path(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (!std::strcmp(argv[i], "--json")) return argv[i + 1];
+  }
+  return {};
+}
+
+/// Writes `doc` pretty-printed to `path`; returns false (with a stderr
+/// note) when the file cannot be opened so benches can exit nonzero.
+inline bool write_json(const std::string& path, const util::Json& doc) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "cannot open " << path << " for writing\n";
+    return false;
+  }
+  out << doc.dump(2) << "\n";
+  std::cout << "json       " << path << "\n";
+  return true;
 }
 
 }  // namespace gridpipe::bench

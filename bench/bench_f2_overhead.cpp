@@ -53,8 +53,14 @@ core::RunReport run_substrate(rt::RuntimeKind kind,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gridpipe;
+  const std::string json_path = bench::json_out_path(argc, argv);
+  util::Json doc = util::Json::object();
+  doc["bench"] = "EXP-F2";
+  util::Json& sweep = doc["state_epoch_sweep"];
+  sweep = util::Json::array();
+
   bench::print_header("EXP-F2",
                       "adaptation overhead vs state size and epoch");
 
@@ -95,6 +101,15 @@ int main() {
           .add(o.mean_throughput, 3)
           .add(a.remap_count)
           .add(overhead, 1);
+
+      util::Json row = util::Json::object();
+      row["state_mb"] = state / 1e6;
+      row["epoch_s"] = epoch;
+      row["adaptive_throughput"] = a.mean_throughput;
+      row["oracle_throughput"] = o.mean_throughput;
+      row["remaps"] = a.remap_count;
+      row["overhead_pct"] = overhead;
+      sweep.push_back(std::move(row));
     }
   }
   bench::print_table(table);
@@ -105,16 +120,30 @@ int main() {
       stable.grid, stable.profile, control::AdaptationConfig{});
   util::Table substrate({"runtime", "thr (off)", "thr (on)", "remaps",
                          "overhead %"});
+  util::Json& per_substrate = doc["substrate_overhead"];
+  per_substrate = util::Json::array();
   for (rt::RuntimeKind kind : rt::kAllRuntimeKinds) {
     const auto off = run_substrate(kind, stable, deployed, false);
     const auto on = run_substrate(kind, stable, deployed, true);
+    const double overhead =
+        100.0 * (off.throughput - on.throughput) / off.throughput;
     substrate.row()
         .add(rt::to_string(kind))
         .add(off.throughput, 3)
         .add(on.throughput, 3)
         .add(on.remap_count)
-        .add(100.0 * (off.throughput - on.throughput) / off.throughput, 1);
+        .add(overhead, 1);
+
+    util::Json row = util::Json::object();
+    row["runtime"] = rt::to_string(kind);
+    row["throughput_off"] = off.throughput;
+    row["throughput_on"] = on.throughput;
+    row["remaps"] = on.remap_count;
+    row["overhead_pct"] = overhead;
+    per_substrate.push_back(std::move(row));
   }
   bench::print_table(substrate);
+
+  if (!json_path.empty() && !bench::write_json(json_path, doc)) return 1;
   return 0;
 }

@@ -10,6 +10,8 @@
 #include "comm/channel.hpp"
 #include "grid/builders.hpp"
 #include "monitor/ensemble.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sched/dp_contiguous.hpp"
 #include "sched/exhaustive.hpp"
 #include "sched/local_search.hpp"
@@ -169,6 +171,75 @@ void BM_MessageQueueBatchDrainWildcard(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * kTrain);
 }
 BENCHMARK(BM_MessageQueueBatchDrainWildcard)->Arg(1)->Arg(8)->Arg(32);
+
+// ------------------------------------------------ observability hot path
+// The obs layer rides inside every per-item code path, so its disabled
+// cost must be a predictable branch and its enabled cost a few relaxed
+// atomics — these cases guard both sides of that bargain.
+
+// Disabled tracer: one null check, no allocation, no lock.
+void BM_ObsRecordSpanDisabled(benchmark::State& state) {
+  obs::Tracer* tracer = nullptr;
+  double t = 0.0;
+  for (auto _ : state) {
+    obs::record_span(tracer, obs::SpanKind::kStage, "stage", t, 1e-3, 1);
+    benchmark::DoNotOptimize(t += 1e-3);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsRecordSpanDisabled);
+
+// Enabled tracer: string copy + mutex + vector push per span.
+void BM_ObsRecordSpanEnabled(benchmark::State& state) {
+  obs::Tracer tracer;
+  double t = 0.0;
+  for (auto _ : state) {
+    obs::record_span(&tracer, obs::SpanKind::kStage, "stage", t, 1e-3, 1);
+    benchmark::DoNotOptimize(t += 1e-3);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsRecordSpanEnabled);
+
+// Disabled metrics: the executors' per-item pattern is a null handle
+// check on a pre-resolved StandardMetrics slot.
+void BM_ObsCounterDisabled(benchmark::State& state) {
+  obs::StandardMetrics metrics;  // all handles null
+  std::uint64_t ticks = 0;
+  for (auto _ : state) {
+    if (metrics.items_completed) metrics.items_completed->add(1);
+    benchmark::DoNotOptimize(++ticks);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsCounterDisabled);
+
+void BM_ObsCounterEnabled(benchmark::State& state) {
+  obs::MetricsRegistry registry;
+  obs::StandardMetrics metrics;
+  metrics.bind(&registry);
+  std::uint64_t ticks = 0;
+  for (auto _ : state) {
+    if (metrics.items_completed) metrics.items_completed->add(1);
+    benchmark::DoNotOptimize(++ticks);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsCounterEnabled);
+
+// Histogram record: frexp bucketing + three relaxed atomics + two CAS
+// loops (min/max) per sample.
+void BM_ObsHistogramRecord(benchmark::State& state) {
+  obs::MetricsRegistry registry;
+  obs::Histogram& h = registry.histogram(obs::names::kItemLatency);
+  util::Xoshiro256 rng(7);
+  for (auto _ : state) {
+    h.record(1e-4 + util::uniform01(rng));
+  }
+  benchmark::DoNotOptimize(h.count());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsHistogramRecord);
 
 }  // namespace
 

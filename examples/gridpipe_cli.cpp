@@ -7,13 +7,20 @@
 //   gridpipe_cli [--scenario NAME] [--runtime KIND] [--driver KIND]
 //                [--items N] [--epoch S] [--trigger periodic|on-change]
 //                [--arrivals saturated|poisson] [--rate R]
-//                [--seed S] [--time-scale S] [--timeline WINDOW] [--list]
+//                [--seed S] [--time-scale S] [--timeline WINDOW]
+//                [--trace-out FILE] [--metrics-out FILE]
+//                [--log-level LEVEL] [--list]
 //
 //   --list                 print the scenario catalogue and exit
 //   --runtime              sim | threads | dist | process
 //   --driver               naive | static | adaptive | oracle (sim only)
 //   --time-scale S         live runtimes: real seconds per virtual second
 //   --timeline W           also print throughput per W-second window
+//   --trace-out FILE       write a Chrome trace-event JSON of the run
+//                          (open in Perfetto / chrome://tracing)
+//   --metrics-out FILE     write the uniform metrics snapshot as JSON
+//   --log-level LEVEL      debug|info|warn|error|off (GRIDPIPE_LOG also
+//                          works; the flag wins)
 //
 // The scenario's profile runs as typed passthrough stages with emulated
 // compute, starting from the mapping a deployment-time planner would
@@ -22,10 +29,13 @@
 // (items × bottleneck-service × time-scale seconds).
 
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
 
+#include "obs/trace.hpp"
 #include "rt/runtime.hpp"
+#include "util/logging.hpp"
 #include "util/table.hpp"
 #include "workload/scenarios.hpp"
 #include "workload/substrate.hpp"
@@ -40,7 +50,9 @@ int usage(const char* argv0) {
                "       [--driver naive|static|adaptive|oracle]\n"
                "       [--items N] [--epoch S] [--trigger periodic|on-change]\n"
                "       [--arrivals saturated|poisson] [--rate R] [--seed S]\n"
-               "       [--time-scale S] [--timeline WINDOW] [--list]\n";
+               "       [--time-scale S] [--timeline WINDOW]\n"
+               "       [--trace-out FILE] [--metrics-out FILE]\n"
+               "       [--log-level debug|info|warn|error|off] [--list]\n";
   return 2;
 }
 
@@ -97,6 +109,8 @@ int main(int argc, char** argv) {
   std::uint64_t seed = 1;
   double time_scale = 0.002;
   double timeline_window = 0.0;
+  std::string trace_out;
+  std::string metrics_out;
   std::vector<const char*> sim_only_flags;  // explicit but ignored off-sim
 
   for (int i = 1; i < argc; ++i) {
@@ -137,6 +151,18 @@ int main(int argc, char** argv) {
       seed = std::stoull(next("--seed"));
     } else if (!std::strcmp(argv[i], "--timeline")) {
       timeline_window = std::stod(next("--timeline"));
+    } else if (!std::strcmp(argv[i], "--trace-out")) {
+      trace_out = next("--trace-out");
+    } else if (!std::strcmp(argv[i], "--metrics-out")) {
+      metrics_out = next("--metrics-out");
+    } else if (!std::strcmp(argv[i], "--log-level")) {
+      const char* name = next("--log-level");
+      if (auto level = util::parse_log_level(name)) {
+        util::set_log_level(*level);
+      } else {
+        std::cerr << "--log-level: unknown level '" << name << "'\n";
+        return usage(argv[0]);
+      }
     } else {
       return usage(argv[0]);
     }
@@ -191,6 +217,10 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (!trace_out.empty() || !metrics_out.empty()) {
+    options.obs = obs::Config::full();
+  }
+
   const workload::Scenario s = workload::find_scenario(scenario_name, seed);
   auto runtime = rt::make_runtime(
       kind, s.grid, workload::passthrough_pipeline(s.profile), options);
@@ -201,5 +231,26 @@ int main(int argc, char** argv) {
   const core::RunReport report = runtime->run(std::move(inputs));
 
   print_report(s, kind, options, report, timeline_window);
+
+  if (!trace_out.empty()) {
+    std::ofstream out(trace_out);
+    if (!out) {
+      std::cerr << "--trace-out: cannot open " << trace_out << "\n";
+      return 1;
+    }
+    options.obs.tracer->write_chrome_trace(out);
+    std::cout << "trace      " << trace_out << " ("
+              << options.obs.tracer->size()
+              << " events; open in Perfetto / chrome://tracing)\n";
+  }
+  if (!metrics_out.empty()) {
+    std::ofstream out(metrics_out);
+    if (!out) {
+      std::cerr << "--metrics-out: cannot open " << metrics_out << "\n";
+      return 1;
+    }
+    out << report.obs_metrics.to_json() << "\n";
+    std::cout << "metrics    " << metrics_out << "\n";
+  }
   return 0;
 }

@@ -18,7 +18,8 @@
 
 int main() {
   using namespace gridpipe;
-  util::set_log_level(util::LogLevel::kInfo);  // narrate remaps
+  // Narrate remaps by default; GRIDPIPE_LOG still overrides.
+  util::set_default_log_level(util::LogLevel::kInfo);
 
   // A fast node that will get busy at t = 5 virtual seconds, plus two
   // steady workers.

@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Persist the bench baselines the ROADMAP asks for: run the benches that
+# emit machine-readable output and collect their JSON under
+# bench_results/. Re-run on a perf-relevant change and commit the diff —
+# that is the whole perf trajectory story.
+#
+#   ./scripts/record_bench.sh            # build (if needed) + record all
+#   OUT_DIR=/tmp/b ./scripts/record_bench.sh
+#
+# Outputs:
+#   bench_results/BENCH_F2.json  adaptation + per-substrate overhead
+#   bench_results/BENCH_M1.json  microbenchmarks (google-benchmark JSON)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${BUILD_DIR:-build}"
+OUT_DIR="${OUT_DIR:-bench_results}"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+cmake -B "$BUILD_DIR" -S . -DGRIDPIPE_BUILD_BENCH=ON > /dev/null
+cmake --build "$BUILD_DIR" -j"$JOBS" --target bench_f2_overhead bench_m1_micro
+
+mkdir -p "$OUT_DIR"
+
+echo "== EXP-F2 (adaptation + substrate overhead) =="
+"$BUILD_DIR"/bench/bench_f2_overhead --json "$OUT_DIR/BENCH_F2.json"
+
+echo "== EXP-M1 (microbenchmarks) =="
+# benchmark_repetitions kept low: the baseline tracks orders of
+# magnitude across commits, not single-digit percents.
+"$BUILD_DIR"/bench/bench_m1_micro \
+  --benchmark_out="$OUT_DIR/BENCH_M1.json" \
+  --benchmark_out_format=json \
+  --benchmark_min_time=0.05
+
+python3 -m json.tool "$OUT_DIR/BENCH_F2.json" > /dev/null
+python3 -m json.tool "$OUT_DIR/BENCH_M1.json" > /dev/null
+echo "baselines written to $OUT_DIR/"

@@ -105,6 +105,7 @@ const char* to_string(FrameKind kind) {
     case FrameKind::kRemap:    return "remap";
     case FrameKind::kShutdown: return "shutdown";
     case FrameKind::kSpeedObs: return "speed-obs";
+    case FrameKind::kTelemetry: return "telemetry";
   }
   return "?";
 }
@@ -113,7 +114,7 @@ namespace {
 
 bool valid_kind(std::uint32_t raw) {
   return raw >= static_cast<std::uint32_t>(FrameKind::kTask) &&
-         raw <= static_cast<std::uint32_t>(FrameKind::kSpeedObs);
+         raw <= static_cast<std::uint32_t>(FrameKind::kTelemetry);
 }
 
 constexpr std::size_t kHeaderBytes = 12;
@@ -149,27 +150,37 @@ void FrameReader::feed(const std::byte* data, std::size_t n) {
 }
 
 std::optional<Frame> FrameReader::next() {
-  if (buffered() < kHeaderBytes) return std::nullopt;
-  std::size_t off = read_;
-  const auto length = read_pod<std::uint32_t>(buffer_, off);
-  const auto raw_kind = read_pod<std::uint32_t>(buffer_, off);
-  const auto node = read_pod<std::uint32_t>(buffer_, off);
-  if (length > kMaxFramePayload) {
-    throw std::invalid_argument("FrameReader: frame length exceeds limit");
-  }
-  if (!valid_kind(raw_kind)) {
-    throw std::invalid_argument("FrameReader: unknown frame kind");
-  }
-  if (buffered() < kHeaderBytes + length) return std::nullopt;
+  while (buffered() >= kHeaderBytes) {
+    std::size_t off = read_;
+    const auto length = read_pod<std::uint32_t>(buffer_, off);
+    const auto raw_kind = read_pod<std::uint32_t>(buffer_, off);
+    const auto node = read_pod<std::uint32_t>(buffer_, off);
+    if (length > kMaxFramePayload) {
+      throw std::invalid_argument("FrameReader: frame length exceeds limit");
+    }
+    if (!valid_kind(raw_kind)) {
+      // A kind inside the reserved band is a well-delimited frame from a
+      // newer protocol: consume and skip it. Anything else is corruption.
+      if (raw_kind == 0 || raw_kind > kMaxReservedKind) {
+        throw std::invalid_argument("FrameReader: unknown frame kind");
+      }
+      if (buffered() < kHeaderBytes + length) return std::nullopt;
+      read_ = off + length;
+      ++skipped_;
+      continue;
+    }
+    if (buffered() < kHeaderBytes + length) return std::nullopt;
 
-  Frame frame;
-  frame.kind = static_cast<FrameKind>(raw_kind);
-  frame.node = node;
-  frame.payload.assign(
-      buffer_.begin() + static_cast<std::ptrdiff_t>(off),
-      buffer_.begin() + static_cast<std::ptrdiff_t>(off + length));
-  read_ = off + length;
-  return frame;
+    Frame frame;
+    frame.kind = static_cast<FrameKind>(raw_kind);
+    frame.node = node;
+    frame.payload.assign(
+        buffer_.begin() + static_cast<std::ptrdiff_t>(off),
+        buffer_.begin() + static_cast<std::ptrdiff_t>(off + length));
+    read_ = off + length;
+    return frame;
+  }
+  return std::nullopt;
 }
 
 }  // namespace gridpipe::comm::wire

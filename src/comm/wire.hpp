@@ -52,14 +52,22 @@ double decode_f64(const Bytes& wire);
 /// Frame kinds mirror the DistributedExecutor message tags 1:1 (same
 /// values), so the two substrates stay one vocabulary.
 enum class FrameKind : std::uint32_t {
-  kTask = 1,      ///< task payload; `node` = destination worker on relays
-  kResult = 2,    ///< finished item (task payload with stage = num_stages)
-  kRemap = 3,     ///< mapping payload, broadcast controller → workers
-  kShutdown = 4,  ///< empty payload
-  kSpeedObs = 5,  ///< f64 payload; `node` = observing worker
+  kTask = 1,       ///< task payload; `node` = destination worker on relays
+  kResult = 2,     ///< finished item (task payload with stage = num_stages)
+  kRemap = 3,      ///< mapping payload, broadcast controller → workers
+  kShutdown = 4,   ///< empty payload
+  kSpeedObs = 5,   ///< f64 payload; `node` = observing worker
+  kTelemetry = 6,  ///< obs telemetry batch; `node` = reporting worker
 };
 
 const char* to_string(FrameKind kind);
+
+/// Forward compatibility: kinds above kTelemetry up to this bound are
+/// reserved for future protocol revisions. FrameReader silently skips
+/// such frames (their length prefix still delimits them) instead of
+/// failing, so an old reader survives a newer writer; anything above
+/// the band is treated as stream corruption and throws.
+inline constexpr std::uint32_t kMaxReservedKind = 15;
 
 /// Refuse to allocate for garbage length prefixes: no legitimate frame
 /// carries more than this much payload.
@@ -81,7 +89,9 @@ Bytes encode_frame(const Frame& frame);
 /// Incremental decoder for a byte stream: feed() arbitrary chunks, then
 /// pop complete frames with next(). A frame split across reads simply
 /// stays pending until the rest arrives; a malformed header (oversized
-/// length, unknown kind) throws std::invalid_argument from next().
+/// length, kind outside the reserved band) throws std::invalid_argument
+/// from next(); a complete frame with a reserved-but-unknown kind is
+/// skipped and counted.
 class FrameReader {
  public:
   void feed(const std::byte* data, std::size_t n);
@@ -92,9 +102,13 @@ class FrameReader {
   /// Bytes buffered but not yet returned as frames.
   std::size_t buffered() const noexcept { return buffer_.size() - read_; }
 
+  /// Complete frames dropped because their kind is reserved/unknown.
+  std::uint64_t skipped_unknown() const noexcept { return skipped_; }
+
  private:
   Bytes buffer_;
   std::size_t read_ = 0;  ///< consumed prefix of buffer_
+  std::uint64_t skipped_ = 0;
 };
 
 }  // namespace gridpipe::comm::wire

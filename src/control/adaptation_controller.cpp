@@ -1,9 +1,12 @@
 #include "control/adaptation_controller.hpp"
 
+#include <chrono>
 #include <cmath>
 #include <stdexcept>
 #include <utility>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sched/dp_contiguous.hpp"
 #include "sched/greedy.hpp"
 #include "sched/local_search.hpp"
@@ -115,37 +118,17 @@ sched::MapperResult choose_mapping(const sched::PerfModel& model,
   return base;
 }
 
-namespace {
-
-/// Evaluates the candidate through the policy and executes the remap on
-/// the host when the decision says so. Returns true if it remapped.
-bool decide_and_apply(sched::AdaptationPolicy& policy, AdaptationHost& host,
-                      const sched::PipelineProfile& profile,
-                      const sched::ResourceEstimate& est,
-                      const sched::Mapping& deployed,
-                      const sched::Mapping& candidate) {
-  const sched::AdaptationDecision decision =
-      policy.decide(profile, est, deployed, candidate);
-  if (!decision.remap) return false;
-  util::log_info("control: remap ", deployed.to_string(), " -> ",
-                 candidate.to_string(), " pause ", decision.migration_pause,
-                 "s: ", decision.reason);
-  host.apply_remap(candidate, decision.migration_pause);
-  policy.notify_remapped();
-  return true;
-}
-
-}  // namespace
-
 AdaptationController::AdaptationController(const grid::Grid& grid,
                                            const sched::PipelineProfile& profile,
                                            const AdaptationConfig& config,
-                                           AdaptationHost& host, Mode mode)
+                                           AdaptationHost& host, Mode mode,
+                                           obs::Sinks obs)
     : grid_(grid),
       profile_(profile),
       config_(config),
       host_(host),
       mode_(mode),
+      obs_(obs),
       model_(config.model),
       policy_(model_, config.policy),
       gate_(config.change_threshold),
@@ -164,8 +147,44 @@ sched::MapperResult AdaptationController::plan(
 }
 
 EpochRecord AdaptationController::run_epoch() {
+  using Clock = std::chrono::steady_clock;
   const double now = host_.virtual_now();
+  EpochRecord record;
+  record.time = now;
+
+  // Phase bookkeeping: wall seconds always land in record.phases; when a
+  // tracer is attached each phase also becomes a span on the virtual
+  // timeline (live hosts' virtual clocks advance through an epoch, so
+  // the spans have real width; on the DES host they collapse to
+  // instants at the epoch time).
+  auto t_prev = Clock::now();
+  double v_prev = now;
+  const auto end_phase = [&](const char* name, double& wall) {
+    const auto t = Clock::now();
+    wall += std::chrono::duration<double>(t - t_prev).count();
+    t_prev = t;
+    if (obs_.tracer) {
+      const double v = host_.virtual_now();
+      obs::record_span(obs_.tracer, obs::SpanKind::kPhase, name, v_prev,
+                       v - v_prev, 0);
+      v_prev = v;
+    }
+  };
+  const auto finish = [&](const EpochRecord& r) {
+    obs::record_span(obs_.tracer, obs::SpanKind::kEpoch, "epoch", now,
+                     v_prev - now, 0);
+    if (obs_.metrics) {
+      obs_.metrics->counter(obs::names::kEpochs).add(1);
+      obs_.metrics->histogram(obs::names::kEpochWall)
+          .record(r.phases.total());
+      if (r.remapped) obs_.metrics->counter(obs::names::kRemaps).add(1);
+    }
+    epochs_.push_back(r);
+    return r;
+  };
+
   host_.record_probes(now);
+  end_phase("monitor", record.phases.monitor);
 
   sched::ResourceEstimate est;
   if (mode_ == Mode::kOracle) {
@@ -174,19 +193,18 @@ EpochRecord AdaptationController::run_epoch() {
     std::lock_guard lock(registry_mutex_);
     est = sched::ResourceEstimate::from_monitor(registry_, grid_);
   }
-
-  EpochRecord record;
-  record.time = now;
+  end_phase("forecast", record.phases.forecast);
 
   // kOnChange: skip the (expensive) mapping search on quiet epochs.
   if (config_.trigger == AdaptationTrigger::kOnChange &&
       gate_.has_snapshot() && !gate_.changed(est) &&
       now - last_decision_time_ < config_.max_staleness) {
-    epochs_.push_back(record);
-    return record;
+    end_phase("gate", record.phases.gate);
+    return finish(record);
   }
   gate_.accept(est);
   last_decision_time_ = now;
+  end_phase("gate", record.phases.gate);
 
   const sched::MapperResult candidate =
       choose_mapping(model_, profile_, est, config_.mapper,
@@ -196,20 +214,34 @@ EpochRecord AdaptationController::run_epoch() {
   record.decided = true;
   record.deployed_estimate = model_.throughput(profile_, est, deployed);
   record.candidate_estimate = candidate.breakdown.throughput;
+  end_phase("map", record.phases.map);
 
   if (mode_ == Mode::kOracle) {
     // Upper bound: free remap whenever the model sees any improvement.
-    if (!(candidate.mapping == deployed) &&
-        record.candidate_estimate > record.deployed_estimate * (1.0 + 1e-9)) {
+    const bool improve =
+        !(candidate.mapping == deployed) &&
+        record.candidate_estimate > record.deployed_estimate * (1.0 + 1e-9);
+    end_phase("gate", record.phases.gate);
+    if (improve) {
       host_.apply_remap(candidate.mapping, 0.0);
       record.remapped = true;
+      end_phase("remap", record.phases.remap);
     }
   } else {
-    record.remapped = decide_and_apply(policy_, host_, profile_, est,
-                                       deployed, candidate.mapping);
+    const sched::AdaptationDecision decision =
+        policy_.decide(profile_, est, deployed, candidate.mapping);
+    end_phase("gate", record.phases.gate);
+    if (decision.remap) {
+      util::log_info("control: remap ", deployed.to_string(), " -> ",
+                     candidate.mapping.to_string(), " pause ",
+                     decision.migration_pause, "s: ", decision.reason);
+      host_.apply_remap(candidate.mapping, decision.migration_pause);
+      policy_.notify_remapped();
+      record.remapped = true;
+      end_phase("remap", record.phases.remap);
+    }
   }
-  epochs_.push_back(record);
-  return record;
+  return finish(record);
 }
 
 }  // namespace gridpipe::control

@@ -22,6 +22,7 @@
 #include "control/adaptation_config.hpp"
 #include "control/epoch_record.hpp"
 #include "grid/grid.hpp"
+#include "obs/sinks.hpp"
 #include "sched/exhaustive.hpp"  // sched::MapperResult
 #include "sched/mapping.hpp"
 
@@ -65,11 +66,13 @@ class AdaptationController {
 
   /// `grid` doubles as the catalog for monitor-based estimates and the
   /// ground truth for oracle mode. All references must outlive the
-  /// controller.
+  /// controller. `obs` sinks (both nullable) receive epoch/phase spans
+  /// and the remap/epoch counters; phase wall timings additionally land
+  /// in each EpochRecord whether or not sinks are attached.
   AdaptationController(const grid::Grid& grid,
                        const sched::PipelineProfile& profile,
                        const AdaptationConfig& config, AdaptationHost& host,
-                       Mode mode = Mode::kPolicy);
+                       Mode mode = Mode::kPolicy, obs::Sinks obs = {});
 
   /// Runs one monitor → forecast → map → gate → remap epoch at the
   /// host's current virtual time and returns its record. Call from one
@@ -103,6 +106,7 @@ class AdaptationController {
   AdaptationConfig config_;
   AdaptationHost& host_;
   Mode mode_;
+  obs::Sinks obs_;
 
   sched::PerfModel model_;
   sched::AdaptationPolicy policy_;

@@ -5,14 +5,35 @@
 
 namespace gridpipe::control {
 
+/// Wall-clock cost breakdown of one run_epoch call, in seconds. Pure
+/// diagnostics: two runs with identical decisions will differ here.
+struct EpochPhases {
+  double monitor = 0.0;   ///< host probe collection (record_probes)
+  double forecast = 0.0;  ///< resource estimate build (registry or oracle)
+  double map = 0.0;       ///< choose_mapping search
+  double gate = 0.0;      ///< change gate + adaptation policy decision
+  double remap = 0.0;     ///< apply_remap execution on the host
+  double total() const noexcept {
+    return monitor + forecast + map + gate + remap;
+  }
+};
+
 struct EpochRecord {
   double time = 0.0;
   double deployed_estimate = 0.0;   ///< modeled thr of deployed mapping
   double candidate_estimate = 0.0;  ///< modeled thr of best candidate
   bool decided = false;             ///< a full mapping search ran
   bool remapped = false;
+  EpochPhases phases;  ///< wall-clock diagnostics, not part of identity
 
-  friend bool operator==(const EpochRecord&, const EpochRecord&) = default;
+  /// Equality covers the *decision* fields only: phase wall timings vary
+  /// run to run, and fixed-seed runs must stay bit-comparable
+  /// (Drivers.RunResultBitIdenticalAcrossRepeatedRuns).
+  friend bool operator==(const EpochRecord& a, const EpochRecord& b) {
+    return a.time == b.time && a.deployed_estimate == b.deployed_estimate &&
+           a.candidate_estimate == b.candidate_estimate &&
+           a.decided == b.decided && a.remapped == b.remapped;
+  }
 };
 
 }  // namespace gridpipe::control

@@ -4,6 +4,8 @@
 #include <stdexcept>
 
 #include "comm/wire.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
 
 namespace gridpipe::core {
 
@@ -47,6 +49,7 @@ DistributedExecutor::DistributedExecutor(const grid::Grid& grid,
   if (config_.drain_batch == 0) config_.drain_batch = 1;
   start_ = std::chrono::steady_clock::now();
   profile_ = profile();
+  obs_metrics_.bind(config_.obs.metrics);
   controller_ = make_controller();
 }
 
@@ -65,7 +68,8 @@ std::unique_ptr<control::AdaptationController>
 DistributedExecutor::make_controller() {
   return std::make_unique<control::AdaptationController>(
       grid_, profile_, config_.adapt,
-      static_cast<control::AdaptationHost&>(*this));
+      static_cast<control::AdaptationHost&>(*this),
+      control::AdaptationController::Mode::kPolicy, config_.obs);
 }
 
 sched::PipelineProfile profile_from_stages(
@@ -128,11 +132,31 @@ void DistributedExecutor::worker_loop_impl(int rank) {
                        sched::ReplicaRouter(stages_.size())};
   const auto node = static_cast<grid::NodeId>(rank);
 
+  // Worker-side telemetry is buffered locally and shipped to the
+  // controller rank as kTelemetry messages after each drained batch —
+  // the sinks themselves live on the controller side, so one trace file
+  // covers every rank on the shared virtual clock.
+  const bool telemetry = config_.obs.any();
+  obs::TelemetryBatch spans;
+  std::uint64_t executed = 0;
+  const auto flush_telemetry = [&] {
+    if (!telemetry) return;
+    if (executed) spans.counters.push_back({"stage_executions", executed});
+    executed = 0;
+    if (spans.empty()) return;
+    comm_.send(rank, controller_rank(), kTelemetry,
+               obs::encode_telemetry(spans));
+    spans = obs::TelemetryBatch{};
+  };
+
   for (;;) {
     // Drain the rank's queue in batches: one lock acquisition per train of
     // delivered messages instead of one per message.
     auto batch = comm_.recv_n(rank, config_.drain_batch);
-    if (batch.empty()) return;  // queue closed and drained
+    if (batch.empty()) {
+      flush_telemetry();
+      return;  // queue closed and drained
+    }
 
     // Control messages jump the task queue: apply the newest kRemap in
     // the batch before executing anything (routing is eventually
@@ -140,9 +164,14 @@ void DistributedExecutor::worker_loop_impl(int rank) {
     // and honor a kShutdown immediately — the controller only sends it
     // once every result is in, so no task in this batch still matters.
     const comm::Message* last_remap = nullptr;
+    bool shutdown = false;
     for (const comm::Message& message : batch) {
-      if (message.tag == kShutdown) return;
+      if (message.tag == kShutdown) shutdown = true;
       if (message.tag == kRemap) last_remap = &message;
+    }
+    if (shutdown) {
+      flush_telemetry();
+      return;
     }
     // Each remap fully overwrites the previous one, so only the newest in
     // the batch needs decoding.
@@ -181,15 +210,42 @@ void DistributedExecutor::worker_loop_impl(int rank) {
                          stages_[stage].work / duration);
       }
 
+      if (telemetry) {
+        ++executed;
+        obs::TraceEvent span;
+        span.name = stages_[stage].name;
+        span.kind = obs::SpanKind::kStage;
+        span.start = v0;
+        span.duration = duration;
+        span.tid = static_cast<std::uint32_t>(1 + node);
+        span.item = item;
+        span.stage = stage;
+        spans.events.push_back(std::move(span));
+      }
+
       if (stage + 1 == stages_.size()) {
         comm_.send(rank, controller_rank(), kResult,
                    encode_task(item, stage + 1, out));
       } else {
         const grid::NodeId dst = routing.pick(stage + 1);
+        if (telemetry) {
+          const double v_send = virtual_now();
+          obs::TraceEvent hop;
+          hop.name = "hop";
+          hop.kind = obs::SpanKind::kWire;
+          hop.start = v_send;
+          hop.duration = grid_.transfer_time(node, dst,
+                                             stages_[stage].out_bytes, v_send);
+          hop.tid = static_cast<std::uint32_t>(1 + dst);
+          hop.item = item;
+          hop.stage = stage + 1;
+          spans.events.push_back(std::move(hop));
+        }
         comm_.send(rank, static_cast<int>(dst), kTask,
                    encode_task(item, stage + 1, out));
       }
     }
+    flush_telemetry();
   }
 }
 
@@ -225,7 +281,10 @@ void DistributedExecutor::controller_loop() {
     const grid::NodeId dst = controller_router_.pick(controller_mapping_, 0);
     comm_.send(me, static_cast<int>(dst), kTask,
                encode_task(index, 0, payload));
-    admit_time_[index] = virtual_now();
+    const double vnow = virtual_now();
+    admit_time_[index] = vnow;
+    obs::record_span(config_.obs.tracer, obs::SpanKind::kAdmit, "admit", vnow,
+                     0.0, 0, index);
     ++admitted;
   };
 
@@ -243,11 +302,19 @@ void DistributedExecutor::controller_loop() {
         created_at = it->second;
         admit_time_.erase(it);
       }
-      metrics_.on_item_completed(item, virtual_now(), created_at);
+      const double vnow = virtual_now();
+      metrics_.on_item_completed(item, vnow, created_at);
+      obs::record_span(config_.obs.tracer, obs::SpanKind::kItem, "item",
+                       created_at, vnow - created_at, 0, item);
+      if (obs_metrics_.items_completed) {
+        obs_metrics_.items_completed->add(1);
+        obs_metrics_.item_latency->record(vnow - created_at);
+      }
       ++completed;
       {
         std::lock_guard lock(stream_mutex_);
         out_buffer_.emplace(item, std::move(payload));
+        if (config_.obs.tracer) completed_at_.emplace(item, vnow);
         ++completed_count_;
       }
     } else if (message.tag == kSpeedObs) {
@@ -255,6 +322,9 @@ void DistributedExecutor::controller_loop() {
           {monitor::SensorKind::kNodeSpeed,
            static_cast<std::uint32_t>(message.source), 0},
           comm::Communicator::decode<double>(message));
+    } else if (message.tag == kTelemetry) {
+      obs::apply_telemetry(obs::decode_telemetry(message.payload),
+                           config_.obs);
     }
   };
 
@@ -319,6 +389,7 @@ void DistributedExecutor::stream_begin() {
     std::lock_guard lock(stream_mutex_);
     incoming_.clear();
     out_buffer_.clear();
+    completed_at_.clear();
     next_out_ = 0;
     pushed_ = 0;
     completed_count_ = 0;
@@ -345,6 +416,7 @@ void DistributedExecutor::stream_push(Bytes item) {
     throw std::logic_error("DistributedExecutor: push on a closed stream");
   }
   incoming_.emplace_back(pushed_++, std::move(item));
+  if (obs_metrics_.items_pushed) obs_metrics_.items_pushed->add(1);
 }
 
 std::optional<Bytes> DistributedExecutor::stream_try_pop() {
@@ -353,6 +425,15 @@ std::optional<Bytes> DistributedExecutor::stream_try_pop() {
   if (it == out_buffer_.end()) return std::nullopt;
   Bytes out = std::move(it->second);
   out_buffer_.erase(it);
+  if (config_.obs.tracer) {
+    if (auto done = completed_at_.find(next_out_);
+        done != completed_at_.end()) {
+      obs::record_span(config_.obs.tracer, obs::SpanKind::kWait, "wait",
+                       done->second, virtual_now() - done->second, 0,
+                       next_out_);
+      completed_at_.erase(done);
+    }
+  }
   ++next_out_;
   return out;
 }
@@ -376,6 +457,17 @@ RunReport DistributedExecutor::stream_finish() {
   controller_thread_.join();
   for (auto& t : worker_threads_) t.join();
   worker_threads_.clear();
+  if (config_.obs.any()) {
+    // Workers flush their final telemetry on kShutdown, after the
+    // controller loop has stopped receiving; collect the stragglers now
+    // that every rank is joined so the trace covers the whole stream.
+    for (comm::Message& m :
+         comm_.try_recv_n(controller_rank(), std::size_t(-1))) {
+      if (m.tag == kTelemetry) {
+        obs::apply_telemetry(obs::decode_telemetry(m.payload), config_.obs);
+      }
+    }
+  }
   stream_active_ = false;
   {
     std::lock_guard lock(stream_mutex_);

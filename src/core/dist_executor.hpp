@@ -46,6 +46,8 @@
 #include "control/adaptation_controller.hpp"
 #include "core/codec.hpp"
 #include "core/report.hpp"
+#include "obs/metrics.hpp"
+#include "obs/sinks.hpp"
 #include "sched/replica_router.hpp"
 
 namespace gridpipe::core {
@@ -75,6 +77,10 @@ struct DistExecutorConfig {
   bool emulate_compute = true;
   /// Max messages a rank drains per queue-lock acquisition.
   std::size_t drain_batch = 16;
+  /// Telemetry sinks (both nullable = observability off). Workers ship
+  /// their spans to the controller rank as kTelemetry messages; the
+  /// sinks themselves are only ever touched from the controller side.
+  obs::Sinks obs{};
 };
 
 class DistributedExecutor : private control::AdaptationHost {
@@ -98,12 +104,13 @@ class DistributedExecutor : private control::AdaptationHost {
 
   sched::PipelineProfile profile() const;
 
-  // Message tags (public for tests).
+  // Message tags (public for tests). Mirror comm::wire::FrameKind 1:1.
   static constexpr int kTask = 1;
   static constexpr int kResult = 2;
   static constexpr int kRemap = 3;
   static constexpr int kShutdown = 4;
   static constexpr int kSpeedObs = 5;
+  static constexpr int kTelemetry = 6;
 
   /// Wire format helpers (public for tests); thin delegates to the
   /// shared comm::wire codec, so the proc runtime speaks the same bytes.
@@ -169,6 +176,9 @@ class DistributedExecutor : private control::AdaptationHost {
   std::mutex stream_mutex_;
   std::deque<std::pair<std::uint64_t, Bytes>> incoming_;
   std::map<std::uint64_t, Bytes> out_buffer_;
+  /// Virtual completion time per buffered output; populated only when
+  /// tracing (feeds the ordered-buffer wait span on pop).
+  std::map<std::uint64_t, double> completed_at_;
   std::uint64_t next_out_ = 0;
   std::uint64_t pushed_ = 0;
   std::uint64_t completed_count_ = 0;
@@ -184,6 +194,8 @@ class DistributedExecutor : private control::AdaptationHost {
   std::thread controller_thread_;
   bool stream_active_ = false;
   std::string initial_mapping_str_;
+  /// Pre-resolved obs handles (all null when config_.obs.metrics is).
+  obs::StandardMetrics obs_metrics_;
 };
 
 }  // namespace gridpipe::core

@@ -35,6 +35,7 @@ Executor::Executor(const grid::Grid& grid, PipelineSpec spec,
   for (std::size_t n = 0; n < grid_.num_nodes(); ++n) {
     workers_.push_back(std::make_unique<NodeWorker>());
   }
+  obs_metrics_.bind(config_.obs.metrics);
   controller_ = make_controller();
 }
 
@@ -53,7 +54,8 @@ Executor::~Executor() {
 std::unique_ptr<control::AdaptationController> Executor::make_controller() {
   return std::make_unique<control::AdaptationController>(
       grid_, profile_, config_.adapt,
-      static_cast<control::AdaptationHost&>(*this));
+      static_cast<control::AdaptationHost&>(*this),
+      control::AdaptationController::Mode::kPolicy, config_.obs);
 }
 
 double Executor::virtual_now() const {
@@ -77,7 +79,10 @@ void Executor::admit_locked(std::uint64_t index, std::any payload) {
   task.payload = std::move(payload);
   task.deliver_at = Clock::now();
   ++admitted_;
-  admit_time_[index] = virtual_now();
+  const double vnow = virtual_now();
+  admit_time_[index] = vnow;
+  obs::record_span(config_.obs.tracer, obs::SpanKind::kAdmit, "admit", vnow,
+                   0.0, 0, index);
   const grid::NodeId node = pick_replica_locked(0);
   {
     std::lock_guard node_lock(workers_[node]->mutex);
@@ -195,6 +200,13 @@ void Executor::worker_loop_impl(grid::NodeId node) {
         std::lock_guard lock(metrics_mutex_);
         metrics_.on_service(task.stage, duration_virtual);
       }
+      obs::record_span(config_.obs.tracer, obs::SpanKind::kStage,
+                       spec_.at(task.stage).name.c_str(), v0, duration_virtual,
+                       static_cast<std::uint32_t>(1 + node), task.item,
+                       static_cast<std::uint32_t>(task.stage));
+      if (obs_metrics_.stage_service) {
+        obs_metrics_.stage_service->record(duration_virtual);
+      }
       if (duration_virtual > 0.0) {
         controller_->record_observation(
             {monitor::SensorKind::kNodeSpeed, node, 0},
@@ -236,8 +248,12 @@ void Executor::route_onward(grid::NodeId from, RtTask task) {
     std::lock_guard lock(routing_mutex_);
     dst = pick_replica_locked(next_stage);
   }
-  const double delay_virtual = grid_.transfer_time(
-      from, dst, profile_.msg_bytes[next_stage], virtual_now());
+  const double vnow = virtual_now();
+  const double delay_virtual =
+      grid_.transfer_time(from, dst, profile_.msg_bytes[next_stage], vnow);
+  obs::record_span(config_.obs.tracer, obs::SpanKind::kWire, "hop", vnow,
+                   delay_virtual, static_cast<std::uint32_t>(1 + dst),
+                   task.item, static_cast<std::uint32_t>(next_stage));
   task.stage = next_stage;
   task.deliver_at = Clock::now() + to_real(delay_virtual, config_.time_scale);
   {
@@ -256,13 +272,21 @@ void Executor::complete_item(std::uint64_t item, std::any output) {
       admit_time_.erase(it);
     }
   }
+  const double vnow = virtual_now();
   {
     std::lock_guard lock(metrics_mutex_);
-    metrics_.on_item_completed(item, virtual_now(), created_at);
+    metrics_.on_item_completed(item, vnow, created_at);
+  }
+  obs::record_span(config_.obs.tracer, obs::SpanKind::kItem, "item",
+                   created_at, vnow - created_at, 0, item);
+  if (obs_metrics_.items_completed) {
+    obs_metrics_.items_completed->add(1);
+    obs_metrics_.item_latency->record(vnow - created_at);
   }
   {
     std::lock_guard lock(result_mutex_);
     out_buffer_.emplace(item, std::move(output));
+    if (config_.obs.tracer) completed_at_.emplace(item, vnow);
     completed_count_.fetch_add(1);
   }
   // Wake the controller (completion predicate) and any output poller.
@@ -380,6 +404,7 @@ void Executor::stream_begin() {
   {
     std::lock_guard lock(result_mutex_);
     out_buffer_.clear();
+    completed_at_.clear();
     next_out_ = 0;
     completed_count_.store(0);
     stream_error_ = nullptr;
@@ -417,6 +442,7 @@ void Executor::stream_push(std::any item) {
     throw std::logic_error("Executor: push on a closed stream");
   }
   const std::uint64_t index = pushed_.fetch_add(1);
+  if (obs_metrics_.items_pushed) obs_metrics_.items_pushed->add(1);
   if (admitted_ - completed_count_.load() < config_.window) {
     admit_locked(index, std::move(item));
   } else {
@@ -430,6 +456,15 @@ std::optional<std::any> Executor::stream_try_pop() {
   if (it == out_buffer_.end()) return std::nullopt;
   std::any out = std::move(it->second);
   out_buffer_.erase(it);
+  if (config_.obs.tracer) {
+    if (auto done = completed_at_.find(next_out_);
+        done != completed_at_.end()) {
+      const double vnow = virtual_now();
+      obs::record_span(config_.obs.tracer, obs::SpanKind::kWait, "wait",
+                       done->second, vnow - done->second, 0, next_out_);
+      completed_at_.erase(done);
+    }
+  }
   ++next_out_;
   return out;
 }

@@ -35,6 +35,9 @@
 #include "control/adaptation_controller.hpp"
 #include "core/pipeline_spec.hpp"
 #include "core/report.hpp"
+#include "obs/metrics.hpp"
+#include "obs/sinks.hpp"
+#include "obs/trace.hpp"
 #include "sched/replica_router.hpp"
 #include "sim/metrics.hpp"
 #include "util/rng.hpp"
@@ -57,6 +60,9 @@ struct ExecutorConfig {
   /// Max deliverable tasks a worker takes per queue-lock acquisition.
   std::size_t drain_batch = 8;
   std::uint64_t seed = 1;
+  /// Telemetry sinks (both nullable = observability off). The pointed-to
+  /// tracer/registry must outlive the executor.
+  obs::Sinks obs{};
 };
 
 class Executor : private control::AdaptationHost {
@@ -173,6 +179,9 @@ class Executor : private control::AdaptationHost {
   std::mutex result_mutex_;
   std::condition_variable result_cv_;
   std::map<std::uint64_t, std::any> out_buffer_;
+  /// Virtual completion time per buffered output; populated only when
+  /// tracing (feeds the ordered-buffer wait span on pop).
+  std::map<std::uint64_t, double> completed_at_;
   std::uint64_t next_out_ = 0;
   /// Written under result_mutex_; atomic so the admission path (under
   /// routing_mutex_) can read the in-flight count without result_mutex_.
@@ -186,6 +195,8 @@ class Executor : private control::AdaptationHost {
   std::unique_ptr<control::AdaptationController> controller_;
   std::mutex metrics_mutex_;
   sim::SimMetrics metrics_;
+  /// Pre-resolved obs handles (all null when config_.obs.metrics is).
+  obs::StandardMetrics obs_metrics_;
   util::Xoshiro256 rng_;
 };
 

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "control/epoch_record.hpp"
+#include "obs/metrics.hpp"
 #include "sim/metrics.hpp"
 
 namespace gridpipe::core {
@@ -34,6 +35,10 @@ struct RunReport {
   /// The run's full metric series (latency percentiles, throughput
   /// timeline, completion times) — populated on every substrate.
   sim::SimMetrics metrics;
+  /// Uniform counters/gauges/histograms snapshot from the session's
+  /// obs::MetricsRegistry; empty when observability is off. The same
+  /// names appear on every substrate (see obs::names).
+  obs::MetricsSnapshot obs_metrics;
 
   /// One-paragraph human-readable summary.
   std::string summary() const;

@@ -1,0 +1,35 @@
+#pragma once
+// obs::Config — the user-facing observability switch carried inside
+// rt::RuntimeOptions. Owning (shared_ptr) so sessions can outlive the
+// options struct that configured them; sinks() flattens to the nullable
+// raw pointers the substrates branch on. Default-constructed Config =
+// everything off = zero overhead.
+
+#include <memory>
+
+#include "obs/metrics.hpp"
+#include "obs/sinks.hpp"
+#include "obs/trace.hpp"
+
+namespace gridpipe::obs {
+
+struct Config {
+  std::shared_ptr<Tracer> tracer;
+  std::shared_ptr<MetricsRegistry> metrics;
+
+  bool enabled() const noexcept {
+    return tracer != nullptr || metrics != nullptr;
+  }
+  Sinks sinks() const noexcept { return Sinks{tracer.get(), metrics.get()}; }
+
+  /// Both channels on — what `gridpipe_cli --trace-out --metrics-out`
+  /// builds.
+  static Config full() {
+    Config c;
+    c.tracer = std::make_shared<Tracer>();
+    c.metrics = std::make_shared<MetricsRegistry>();
+    return c;
+  }
+};
+
+}  // namespace gridpipe::obs

@@ -1,0 +1,20 @@
+#pragma once
+// obs::Sinks — the two nullable telemetry destinations threaded through
+// every substrate. A null pointer means that channel is disabled, and
+// every hot-path hook guards on exactly one pointer: the disabled cost
+// is a single predictable branch, no allocation, no lock
+// (test_obs.cpp's DisabledPathDoesNotAllocate pins this down).
+
+namespace gridpipe::obs {
+
+class Tracer;
+class MetricsRegistry;
+
+struct Sinks {
+  Tracer* tracer = nullptr;
+  MetricsRegistry* metrics = nullptr;
+
+  bool any() const noexcept { return tracer != nullptr || metrics != nullptr; }
+};
+
+}  // namespace gridpipe::obs

@@ -1,0 +1,138 @@
+#include "obs/telemetry.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "obs/metrics.hpp"
+
+namespace gridpipe::obs {
+
+namespace {
+
+template <class T>
+void append_pod(Bytes& out, T v) {
+  const std::size_t off = out.size();
+  out.resize(off + sizeof(v));
+  std::memcpy(out.data() + off, &v, sizeof(v));
+}
+
+template <class T>
+T read_pod(const Bytes& in, std::size_t& off) {
+  if (in.size() - off < sizeof(T)) {
+    throw std::invalid_argument("telemetry: truncated input");
+  }
+  T v;
+  std::memcpy(&v, in.data() + off, sizeof(v));
+  off += sizeof(v);
+  return v;
+}
+
+void append_name(Bytes& out, const std::string& name) {
+  if (name.size() > kMaxTelemetryName) {
+    throw std::invalid_argument("telemetry: name too long");
+  }
+  append_pod(out, static_cast<std::uint32_t>(name.size()));
+  const std::size_t off = out.size();
+  out.resize(off + name.size());
+  std::memcpy(out.data() + off, name.data(), name.size());
+}
+
+std::string read_name(const Bytes& in, std::size_t& off) {
+  const auto len = read_pod<std::uint32_t>(in, off);
+  if (len > kMaxTelemetryName) {
+    throw std::invalid_argument("telemetry: name length exceeds limit");
+  }
+  if (in.size() - off < len) {
+    throw std::invalid_argument("telemetry: truncated name");
+  }
+  std::string name(reinterpret_cast<const char*>(in.data() + off), len);
+  off += len;
+  return name;
+}
+
+// Smallest possible encodings, for count-vs-remaining sanity checks.
+constexpr std::size_t kMinEventBytes = 1 + 4 + 4 + 8 + 8 + 8 + 4;
+constexpr std::size_t kMinCounterBytes = 4 + 8;
+
+}  // namespace
+
+Bytes encode_telemetry(const TelemetryBatch& batch) {
+  Bytes out;
+  append_pod(out, static_cast<std::uint32_t>(batch.events.size()));
+  for (const TraceEvent& e : batch.events) {
+    append_pod(out, static_cast<std::uint8_t>(e.kind));
+    append_pod(out, e.tid);
+    append_pod(out, e.stage);
+    append_pod(out, e.item);
+    append_pod(out, e.start);
+    append_pod(out, e.duration);
+    append_name(out, e.name);
+  }
+  append_pod(out, static_cast<std::uint32_t>(batch.counters.size()));
+  for (const CounterDelta& c : batch.counters) {
+    append_name(out, c.name);
+    append_pod(out, c.delta);
+  }
+  return out;
+}
+
+TelemetryBatch decode_telemetry(const Bytes& wire) {
+  TelemetryBatch batch;
+  std::size_t off = 0;
+
+  const auto n_events = read_pod<std::uint32_t>(wire, off);
+  if (n_events > (wire.size() - off) / kMinEventBytes) {
+    throw std::invalid_argument("telemetry: event count exceeds input");
+  }
+  batch.events.reserve(n_events);
+  for (std::uint32_t i = 0; i < n_events; ++i) {
+    TraceEvent e;
+    const auto raw_kind = read_pod<std::uint8_t>(wire, off);
+    if (raw_kind > static_cast<std::uint8_t>(SpanKind::kOther)) {
+      throw std::invalid_argument("telemetry: unknown span kind");
+    }
+    e.kind = static_cast<SpanKind>(raw_kind);
+    e.tid = read_pod<std::uint32_t>(wire, off);
+    e.stage = read_pod<std::uint32_t>(wire, off);
+    e.item = read_pod<std::uint64_t>(wire, off);
+    e.start = read_pod<double>(wire, off);
+    e.duration = read_pod<double>(wire, off);
+    e.name = read_name(wire, off);
+    batch.events.push_back(std::move(e));
+  }
+
+  const auto n_counters = read_pod<std::uint32_t>(wire, off);
+  if (n_counters > (wire.size() - off) / kMinCounterBytes) {
+    throw std::invalid_argument("telemetry: counter count exceeds input");
+  }
+  batch.counters.reserve(n_counters);
+  for (std::uint32_t i = 0; i < n_counters; ++i) {
+    CounterDelta c;
+    c.name = read_name(wire, off);
+    c.delta = read_pod<std::uint64_t>(wire, off);
+    batch.counters.push_back(std::move(c));
+  }
+
+  if (off != wire.size()) {
+    throw std::invalid_argument("telemetry: trailing bytes");
+  }
+  return batch;
+}
+
+void apply_telemetry(const TelemetryBatch& batch, const Sinks& sinks) {
+  if (sinks.metrics) {
+    for (const CounterDelta& c : batch.counters) {
+      if (c.delta) sinks.metrics->counter(c.name).add(c.delta);
+    }
+    Histogram& service = sinks.metrics->histogram(names::kStageService);
+    for (const TraceEvent& e : batch.events) {
+      if (e.kind == SpanKind::kStage) service.record(e.duration);
+    }
+    sinks.metrics->counter(names::kTelemetryBatches).add(1);
+  }
+  if (sinks.tracer && !batch.events.empty()) {
+    sinks.tracer->record_batch(batch.events);
+  }
+}
+
+}  // namespace gridpipe::obs

@@ -1,0 +1,61 @@
+#pragma once
+// Telemetry batch codec — how dist workers and process-runtime children
+// ship their spans and counter deltas to the controlling process, so
+// one trace file covers parent + workers on one time base.
+//
+// The payload rides inside the existing transport envelopes (a
+// comm::wire Frame of kind kTelemetry on sockets, a tag-6 message on
+// the in-process communicator) and follows the same rules as the other
+// five payload kinds: fixed-width little-endian fields, and a decoder
+// that bounds-checks every length against the remaining input and
+// throws std::invalid_argument on malformed bytes.
+//
+// Layout:
+//   [u32 n_events]
+//     n_events × [u8 kind][u32 tid][u32 stage][u64 item]
+//                [f64 start][f64 duration][u32 name_len][name…]
+//   [u32 n_counters]
+//     n_counters × [u32 name_len][name…][u64 delta]
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/sinks.hpp"
+#include "obs/trace.hpp"
+
+namespace gridpipe::obs {
+
+using Bytes = std::vector<std::byte>;
+
+struct CounterDelta {
+  std::string name;
+  std::uint64_t delta = 0;
+  friend bool operator==(const CounterDelta&, const CounterDelta&) = default;
+};
+
+struct TelemetryBatch {
+  std::vector<TraceEvent> events;
+  std::vector<CounterDelta> counters;
+
+  bool empty() const noexcept { return events.empty() && counters.empty(); }
+  friend bool operator==(const TelemetryBatch&,
+                         const TelemetryBatch&) = default;
+};
+
+/// No span or counter name may exceed this on the wire; a decoded
+/// length above it is treated as garbage.
+inline constexpr std::size_t kMaxTelemetryName = 4096;
+
+Bytes encode_telemetry(const TelemetryBatch& batch);
+/// Throws std::invalid_argument on truncation, oversized names, bad
+/// span kinds, or trailing bytes.
+TelemetryBatch decode_telemetry(const Bytes& wire);
+
+/// Merge a decoded batch into local sinks: events append to the tracer,
+/// stage-span durations additionally feed the stage-service histogram
+/// (workers cannot ship a histogram, so the parent rebuilds it from
+/// spans), counter deltas add into the registry.
+void apply_telemetry(const TelemetryBatch& batch, const Sinks& sinks);
+
+}  // namespace gridpipe::obs

@@ -1,0 +1,100 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "util/json.hpp"
+
+namespace gridpipe::obs {
+
+const char* to_string(SpanKind kind) noexcept {
+  switch (kind) {
+    case SpanKind::kItem:  return "item";
+    case SpanKind::kStage: return "stage";
+    case SpanKind::kWire:  return "wire";
+    case SpanKind::kWait:  return "wait";
+    case SpanKind::kEpoch: return "epoch";
+    case SpanKind::kPhase: return "phase";
+    case SpanKind::kAdmit: return "admit";
+    case SpanKind::kOther: return "other";
+  }
+  return "?";
+}
+
+void Tracer::record(TraceEvent event) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  events_.push_back(std::move(event));
+}
+
+void Tracer::record_batch(std::vector<TraceEvent> events) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (events_.empty()) {
+    events_ = std::move(events);
+  } else {
+    events_.insert(events_.end(), std::make_move_iterator(events.begin()),
+                   std::make_move_iterator(events.end()));
+  }
+}
+
+std::size_t Tracer::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return events_;
+}
+
+void Tracer::write_chrome_trace(std::ostream& os) const {
+  const std::vector<TraceEvent> events = this->events();
+
+  // Streamed by hand rather than built as one util::Json tree: traces
+  // can run to hundreds of thousands of events.
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+
+  // Thread-name metadata first, so Perfetto labels the lanes.
+  std::vector<std::uint32_t> tids;
+  for (const TraceEvent& e : events) tids.push_back(e.tid);
+  std::sort(tids.begin(), tids.end());
+  tids.erase(std::unique(tids.begin(), tids.end()), tids.end());
+  os << "{\"ph\":\"M\",\"pid\":0,\"tid\":0,\"name\":\"process_name\","
+        "\"args\":{\"name\":\"gridpipe\"}}";
+  first = false;
+  for (const std::uint32_t tid : tids) {
+    os << ",{\"ph\":\"M\",\"pid\":0,\"tid\":" << tid
+       << ",\"name\":\"thread_name\",\"args\":{\"name\":\"";
+    if (tid == 0) {
+      os << "controller";
+    } else {
+      os << "node " << (tid - 1);
+    }
+    os << "\"}}";
+  }
+
+  for (const TraceEvent& e : events) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"name\":\"" << util::json_escape(e.name) << "\",\"cat\":\""
+       << to_string(e.kind) << "\",\"ph\":\"X\",\"pid\":0,\"tid\":" << e.tid
+       << ",\"ts\":";
+    util::Json(e.start * 1e6).dump(os);
+    os << ",\"dur\":";
+    util::Json(std::max(e.duration, 0.0) * 1e6).dump(os);
+    bool args = false;
+    if (e.item != kNoItem) {
+      os << ",\"args\":{\"item\":" << e.item;
+      args = true;
+    }
+    if (e.stage != kNoStage) {
+      os << (args ? "," : ",\"args\":{") << "\"stage\":" << e.stage;
+      args = true;
+    }
+    if (args) os << '}';
+    os << '}';
+  }
+  os << "]}\n";
+}
+
+}  // namespace gridpipe::obs

@@ -1,0 +1,92 @@
+#pragma once
+// obs::Tracer — span collection exported as Chrome trace-event JSON
+// (load the file in Perfetto or chrome://tracing).
+//
+// Timestamps are *virtual* seconds on the substrate's own clock: the
+// DES event clock in the simulator, scaled wall time on the live
+// runtimes. The process runtime's children inherit the parent's clock
+// epoch across fork(), and the dist runtime's ranks share one process —
+// so spans shipped over the wire land on the same time base as the
+// parent's and one trace file tells a coherent story.
+//
+// Lane convention (tid): 0 is the controller/session lane (admit, wait,
+// epoch and phase spans); worker node n records on lane 1 + n.
+
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace gridpipe::obs {
+
+enum class SpanKind : std::uint8_t {
+  kItem = 0,   ///< whole item lifetime, admit → completion
+  kStage = 1,  ///< one stage execution on a worker
+  kWire = 2,   ///< serialize + wire hop to the next node
+  kWait = 3,   ///< completed item parked in the ordered buffer
+  kEpoch = 4,  ///< one controller run_epoch call
+  kPhase = 5,  ///< controller phase within an epoch
+  kAdmit = 6,  ///< item admitted into the window (instant)
+  kOther = 7,
+};
+
+const char* to_string(SpanKind kind) noexcept;
+
+inline constexpr std::uint64_t kNoItem = ~std::uint64_t{0};
+inline constexpr std::uint32_t kNoStage = ~std::uint32_t{0};
+
+struct TraceEvent {
+  std::string name;
+  SpanKind kind = SpanKind::kOther;
+  double start = 0.0;     ///< virtual seconds
+  double duration = 0.0;  ///< virtual seconds (0 → instant event)
+  std::uint32_t tid = 0;  ///< lane: 0 controller, 1 + node for workers
+  std::uint64_t item = kNoItem;
+  std::uint32_t stage = kNoStage;
+
+  friend bool operator==(const TraceEvent&, const TraceEvent&) = default;
+};
+
+/// Thread-safe span sink. `record` is virtual so tests can substitute an
+/// instrumented sink that observes exactly what the hot paths emit.
+class Tracer {
+ public:
+  Tracer() = default;
+  virtual ~Tracer() = default;
+
+  virtual void record(TraceEvent event);
+  virtual void record_batch(std::vector<TraceEvent> events);
+
+  std::size_t size() const;
+  std::vector<TraceEvent> events() const;  ///< snapshot copy
+
+  /// Chrome trace-event JSON ("X" complete events plus thread-name
+  /// metadata). Valid standalone JSON — python -m json.tool parses it.
+  void write_chrome_trace(std::ostream& os) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> events_;
+};
+
+/// The one hot-path entry point: a single branch when `tracer` is null,
+/// and `name` stays a const char* so the disabled path allocates nothing.
+inline void record_span(Tracer* tracer, SpanKind kind, const char* name,
+                        double start, double duration, std::uint32_t tid,
+                        std::uint64_t item = kNoItem,
+                        std::uint32_t stage = kNoStage) {
+  if (!tracer) return;
+  TraceEvent event;
+  event.name = name;
+  event.kind = kind;
+  event.start = start;
+  event.duration = duration;
+  event.tid = tid;
+  event.item = item;
+  event.stage = stage;
+  tracer->record(std::move(event));
+}
+
+}  // namespace gridpipe::obs

@@ -5,6 +5,7 @@
 
 #include <unistd.h>
 
+#include "obs/telemetry.hpp"
 #include "sched/replica_router.hpp"
 
 namespace gridpipe::proc {
@@ -31,12 +32,34 @@ double virtual_now(const ChildContext& ctx) {
   sched::Mapping mapping = ctx.initial_mapping;
   sched::ReplicaRouter router(stages.size());
 
+  // Telemetry rides the same socket as results: spans buffer locally and
+  // flush as one kTelemetry frame every few tasks (and at exit), so the
+  // hot path stays one vector push per task.
+  obs::TelemetryBatch spans;
+  std::uint64_t executed = 0;
+  constexpr std::size_t kFlushEvents = 16;
+  const auto flush_telemetry = [&] {
+    if (!ctx.telemetry) return;
+    if (executed) spans.counters.push_back({"stage_executions", executed});
+    executed = 0;
+    if (spans.empty()) return;
+    const bool sent = socket.send_frame(
+        {FrameKind::kTelemetry, static_cast<std::uint32_t>(ctx.node),
+         obs::encode_telemetry(spans)});
+    spans = obs::TelemetryBatch{};
+    if (!sent) _exit(0);
+  };
+
   for (;;) {
     auto frame = socket.recv_frame();
-    if (!frame) _exit(0);  // parent closed the pair: run is over
+    if (!frame) {
+      flush_telemetry();
+      _exit(0);  // parent closed the pair: run is over
+    }
 
     switch (frame->kind) {
       case FrameKind::kShutdown:
+        flush_telemetry();
         _exit(0);
       case FrameKind::kRemap: {
         // decode_mapping only checks the bytes; validate the structure
@@ -78,6 +101,20 @@ double virtual_now(const ChildContext& ctx) {
                 .count() /
             ctx.time_scale;
 
+        if (ctx.telemetry) {
+          ++executed;
+          obs::TraceEvent span;
+          span.name = stages[stage].name;
+          span.kind = obs::SpanKind::kStage;
+          span.start = v0;
+          span.duration = duration;
+          span.tid = static_cast<std::uint32_t>(1 + ctx.node);
+          span.item = item;
+          span.stage = stage;
+          spans.events.push_back(std::move(span));
+          if (spans.events.size() >= kFlushEvents) flush_telemetry();
+        }
+
         // Observed speed feeds the parent-side monitor, exactly like the
         // DistributedExecutor's kSpeedObs messages.
         if (duration > 0.0) {
@@ -107,6 +144,7 @@ double virtual_now(const ChildContext& ctx) {
       }
       case FrameKind::kResult:
       case FrameKind::kSpeedObs:
+      case FrameKind::kTelemetry:
         break;  // parent-bound kinds; ignore if misdelivered
     }
   }

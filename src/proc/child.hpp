@@ -26,6 +26,11 @@ struct ChildContext {
   sched::Mapping initial_mapping;
   double time_scale = 0.01;
   bool emulate_compute = true;
+  /// Buffer per-task spans locally and ship them to the parent as
+  /// kTelemetry frames (the parent holds the actual sinks). Because
+  /// `start` below is shared across fork, child spans land on the
+  /// parent's virtual time base unchanged.
+  bool telemetry = false;
   /// The parent's run() start instant; steady_clock is CLOCK_MONOTONIC,
   /// so the copied time_point stays meaningful across fork and every
   /// process derives the same virtual clock.

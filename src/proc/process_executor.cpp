@@ -11,6 +11,8 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
 #include "proc/child.hpp"
 
 namespace gridpipe::proc {
@@ -56,6 +58,7 @@ ProcessExecutor::ProcessExecutor(const grid::Grid& grid,
   }
   start_ = std::chrono::steady_clock::now();
   profile_ = profile();
+  obs_metrics_.bind(config_.obs.metrics);
   controller_ = make_controller();
 }
 
@@ -76,7 +79,8 @@ std::unique_ptr<control::AdaptationController>
 ProcessExecutor::make_controller() {
   return std::make_unique<control::AdaptationController>(
       grid_, profile_, config_.adapt,
-      static_cast<control::AdaptationHost&>(*this));
+      static_cast<control::AdaptationHost&>(*this),
+      control::AdaptationController::Mode::kPolicy, config_.obs);
 }
 
 sched::PipelineProfile ProcessExecutor::profile() const {
@@ -137,6 +141,7 @@ void ProcessExecutor::spawn_fleet() {
       ctx.initial_mapping = initial_mapping_;
       ctx.time_scale = config_.time_scale;
       ctx.emulate_compute = config_.emulate_compute;
+      ctx.telemetry = config_.obs.any();
       ctx.start = start_;
       run_child_loop(std::move(child_end), ctx);  // never returns
     }
@@ -151,7 +156,10 @@ void ProcessExecutor::admit(std::uint64_t index, Bytes payload) {
   workers_[dst].sock.queue_frame(
       {FrameKind::kTask, static_cast<std::uint32_t>(dst),
        comm::wire::encode_task(index, 0, payload)});
-  admit_time_[index] = virtual_now();
+  const double vnow = virtual_now();
+  admit_time_[index] = vnow;
+  obs::record_span(config_.obs.tracer, obs::SpanKind::kAdmit, "admit", vnow,
+                   0.0, 0, index);
   ++admitted_;
   if (!workers_[dst].sock.flush_some()) fail_run(dst);
 }
@@ -182,11 +190,19 @@ void ProcessExecutor::handle_frame(std::size_t source, Frame frame) {
         created_at = it->second;
         admit_time_.erase(it);
       }
-      metrics_.on_item_completed(item, virtual_now(), created_at);
+      const double vnow = virtual_now();
+      metrics_.on_item_completed(item, vnow, created_at);
+      obs::record_span(config_.obs.tracer, obs::SpanKind::kItem, "item",
+                       created_at, vnow - created_at, 0, item);
+      if (obs_metrics_.items_completed) {
+        obs_metrics_.items_completed->add(1);
+        obs_metrics_.item_latency->record(vnow - created_at);
+      }
       ++completed_;
       {
         std::lock_guard lock(stream_mutex_);
         out_buffer_.emplace(item, std::move(payload));
+        if (config_.obs.tracer) completed_at_.emplace(item, vnow);
       }
       break;
     }
@@ -195,6 +211,11 @@ void ProcessExecutor::handle_frame(std::size_t source, Frame frame) {
           {monitor::SensorKind::kNodeSpeed,
            static_cast<std::uint32_t>(source), 0},
           comm::wire::decode_f64(frame.payload));
+      break;
+    case FrameKind::kTelemetry:
+      // Worker-batched spans land on the parent's sinks; the shared
+      // steady_clock start means no time-base translation is needed.
+      obs::apply_telemetry(obs::decode_telemetry(frame.payload), config_.obs);
       break;
     case FrameKind::kRemap:
     case FrameKind::kShutdown:
@@ -317,8 +338,14 @@ void ProcessExecutor::shutdown_fleet() {
       pollfd pfd{w.sock.fd(), POLLIN, 0};
       if (::poll(&pfd, 1, static_cast<int>(left)) <= 0) break;
       peer_up = w.sock.pump_reads();
-      while (w.sock.next_frame()) {
-        // discard stragglers (stray speed observations)
+      while (auto frame = w.sock.next_frame()) {
+        // Workers flush their final telemetry batch on kShutdown, after
+        // the event loop stopped handling frames — apply it here; other
+        // stragglers (stray speed observations) are discarded.
+        if (frame->kind == FrameKind::kTelemetry && config_.obs.any()) {
+          obs::apply_telemetry(obs::decode_telemetry(frame->payload),
+                               config_.obs);
+        }
       }
     }
     if (peer_up) ::kill(w.pid, SIGKILL);  // deadline hit: wedge insurance
@@ -370,6 +397,7 @@ void ProcessExecutor::stream_begin() {
     std::lock_guard lock(stream_mutex_);
     incoming_.clear();
     out_buffer_.clear();
+    completed_at_.clear();
     next_out_ = 0;
     pushed_ = 0;
     closed_ = false;
@@ -397,6 +425,7 @@ void ProcessExecutor::stream_push(Bytes item) {
   if (!stream_active_ || closed_) {
     throw std::logic_error("ProcessExecutor: push on a closed stream");
   }
+  if (obs_metrics_.items_pushed) obs_metrics_.items_pushed->add(1);
   incoming_.emplace_back(pushed_++, std::move(item));
 }
 
@@ -406,6 +435,15 @@ std::optional<Bytes> ProcessExecutor::stream_try_pop() {
   if (it == out_buffer_.end()) return std::nullopt;
   Bytes out = std::move(it->second);
   out_buffer_.erase(it);
+  if (config_.obs.tracer) {
+    if (auto done = completed_at_.find(next_out_);
+        done != completed_at_.end()) {
+      const double vnow = virtual_now();
+      obs::record_span(config_.obs.tracer, obs::SpanKind::kWait, "wait",
+                       done->second, vnow - done->second, 0, next_out_);
+      completed_at_.erase(done);
+    }
+  }
   ++next_out_;
   return out;
 }

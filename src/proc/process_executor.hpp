@@ -55,6 +55,8 @@
 #include "control/adaptation_controller.hpp"
 #include "core/dist_executor.hpp"  // core::DistStage, core::Bytes
 #include "core/report.hpp"
+#include "obs/metrics.hpp"
+#include "obs/sinks.hpp"
 #include "proc/transport.hpp"
 #include "sched/replica_router.hpp"
 
@@ -69,6 +71,10 @@ struct ProcExecutorConfig {
   /// default) disables adaptation.
   control::AdaptationConfig adapt{.epoch = 0.0};
   bool emulate_compute = true;
+  /// Telemetry sinks (both nullable = observability off). Workers buffer
+  /// spans locally and ship them over the socket as kTelemetry frames;
+  /// the sinks themselves are only ever touched in the parent.
+  obs::Sinks obs{};
 };
 
 class ProcessExecutor : private control::AdaptationHost {
@@ -152,6 +158,9 @@ class ProcessExecutor : private control::AdaptationHost {
   std::mutex stream_mutex_;
   std::deque<std::pair<std::uint64_t, Bytes>> incoming_;
   std::map<std::uint64_t, Bytes> out_buffer_;
+  /// Virtual completion time per buffered output; populated only when
+  /// tracing (feeds the ordered-buffer wait span on pop).
+  std::map<std::uint64_t, double> completed_at_;
   std::uint64_t next_out_ = 0;
   std::uint64_t pushed_ = 0;
   bool closed_ = false;
@@ -160,6 +169,8 @@ class ProcessExecutor : private control::AdaptationHost {
   std::thread controller_thread_;
   bool stream_active_ = false;
   std::string initial_mapping_str_;
+  /// Pre-resolved obs handles (all null when config_.obs.metrics is).
+  obs::StandardMetrics obs_metrics_;
 };
 
 }  // namespace gridpipe::proc

@@ -129,9 +129,12 @@ class SimSession final : public Session {
     config.num_items = items_.size();
     if (options_.window != 0) config.window = options_.window;
 
+    config.obs = options_.obs.sinks();
+
     sim::DriverOptions driver;
     driver.driver = options_.sim_driver;
     driver.adapt = options_.adapt;
+    driver.obs = options_.obs.sinks();
     // epoch = 0 means "adaptation off" on every substrate; an adaptive
     // sim driver with a zero epoch would spin the event queue forever.
     if (driver.adapt.epoch <= 0.0 &&
@@ -162,6 +165,9 @@ class SimSession final : public Session {
     // Virtual time on the sim is the event clock, not wall / time_scale.
     report_.virtual_seconds = result.makespan;
     report_.throughput = result.mean_throughput;
+    if (options_.obs.metrics) {
+      report_.obs_metrics = options_.obs.metrics->snapshot();
+    }
   }
 
   core::RunReport report() override {
@@ -225,8 +231,11 @@ struct CodecBridge {
 template <class Executor, class Bridge>
 class ExecSession final : public Session {
  public:
-  ExecSession(std::unique_ptr<Executor> executor, Bridge bridge)
-      : executor_(std::move(executor)), bridge_(std::move(bridge)) {
+  ExecSession(std::unique_ptr<Executor> executor, Bridge bridge,
+              obs::Config obs = {})
+      : executor_(std::move(executor)),
+        bridge_(std::move(bridge)),
+        obs_(std::move(obs)) {
     executor_->stream_begin();
   }
 
@@ -251,6 +260,7 @@ class ExecSession final : public Session {
       finished_ = true;
       try {
         report_ = executor_->stream_finish();
+        if (obs_.metrics) report_.obs_metrics = obs_.metrics->snapshot();
       } catch (...) {
         // Cache the failure so every report() call rethrows it, rather
         // than a misleading "no active stream" on the second call.
@@ -268,6 +278,7 @@ class ExecSession final : public Session {
   std::optional<LiveSessionToken> token_{std::in_place};
   std::unique_ptr<Executor> executor_;
   Bridge bridge_;
+  obs::Config obs_;
   bool closed_ = false;
   bool finished_ = false;
   std::exception_ptr error_;
@@ -286,9 +297,10 @@ class ThreadsRuntime final : public RuntimeBase {
     config.monitor_all = options_.monitor_all;
     if (options_.drain_batch != 0) config.drain_batch = options_.drain_batch;
     config.seed = options_.seed;
+    config.obs = options_.obs.sinks();
     return std::make_unique<ExecSession<core::Executor, AnyBridge>>(
         std::make_unique<core::Executor>(grid_, spec_, mapping_, config),
-        AnyBridge{});
+        AnyBridge{}, options_.obs);
   }
 };
 
@@ -302,12 +314,14 @@ class DistRuntime final : public RuntimeBase {
     config.adapt = options_.adapt;
     config.emulate_compute = options_.emulate_compute;
     if (options_.drain_batch != 0) config.drain_batch = options_.drain_batch;
+    config.obs = options_.obs.sinks();
     return std::make_unique<
         ExecSession<core::DistributedExecutor, CodecBridge>>(
         std::make_unique<core::DistributedExecutor>(grid_, wire_stages(spec_),
                                                     mapping_, config),
         CodecBridge{spec_.stages().front().in_codec,
-                    spec_.stages().back().out_codec});
+                    spec_.stages().back().out_codec},
+        options_.obs);
   }
 };
 
@@ -326,11 +340,13 @@ class ProcRuntime final : public RuntimeBase {
     config.window = options_.window;
     config.adapt = options_.adapt;
     config.emulate_compute = options_.emulate_compute;
+    config.obs = options_.obs.sinks();
     return std::make_unique<ExecSession<proc::ProcessExecutor, CodecBridge>>(
         std::make_unique<proc::ProcessExecutor>(grid_, wire_stages(spec_),
                                                 mapping_, config),
         CodecBridge{spec_.stages().front().in_codec,
-                    spec_.stages().back().out_codec});
+                    spec_.stages().back().out_codec},
+        options_.obs);
   }
 };
 

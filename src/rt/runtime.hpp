@@ -45,6 +45,7 @@
 #include "core/pipeline_spec.hpp"
 #include "core/report.hpp"
 #include "grid/grid.hpp"
+#include "obs/config.hpp"
 #include "sim/drivers.hpp"
 
 namespace gridpipe::rt {
@@ -92,6 +93,11 @@ struct RuntimeOptions {
   /// (control::choose_mapping with `adapt`'s mapper knobs). The sim
   /// runtime plans per its driver and ignores an override.
   std::optional<sched::Mapping> initial_mapping;
+  /// Telemetry sinks (default: disabled, near-zero overhead). Set via
+  /// obs::Config::full() to collect per-item spans and uniform metrics;
+  /// the sinks are shared across every session this runtime opens, and
+  /// Session::report() snapshots the registry into RunReport::obs_metrics.
+  obs::Config obs{};
 
   // --- simulator-only knobs -------------------------------------------
   /// Which experiment driver the sim session replays the stream under.

@@ -70,8 +70,8 @@ RunResult run_pipeline(const grid::Grid& grid,
 
     Loop(const grid::Grid& g, const sched::PipelineProfile& p,
          const control::AdaptationConfig& config, PipelineSim& s,
-         control::AdaptationController::Mode mode)
-        : sim(s), host(s), controller(g, p, config, host, mode),
+         control::AdaptationController::Mode mode, obs::Sinks obs)
+        : sim(s), host(s), controller(g, p, config, host, mode, obs),
           epoch(config.epoch) {}
 
     void schedule_next() {
@@ -90,7 +90,8 @@ RunResult run_pipeline(const grid::Grid& grid,
     const auto mode = options.driver == DriverKind::kOracle
                           ? control::AdaptationController::Mode::kOracle
                           : control::AdaptationController::Mode::kPolicy;
-    loop = std::make_unique<Loop>(grid, profile, adapt, sim, mode);
+    loop = std::make_unique<Loop>(grid, profile, adapt, sim, mode,
+                                  options.obs);
     // Both adaptive and oracle runs attach the registry: the oracle never
     // reads it, but keeping the sim's probe schedule (and thus its RNG
     // stream) identical across modes preserves the historical behaviour.

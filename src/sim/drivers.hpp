@@ -42,6 +42,9 @@ struct DriverOptions {
   /// registry, replication budget, trigger).
   control::AdaptationConfig adapt{};
   double horizon = std::numeric_limits<double>::infinity();
+  /// Telemetry sinks for the controller's epoch/phase spans (the sim's
+  /// own item/stage spans ride on SimConfig::obs).
+  obs::Sinks obs{};
 };
 
 struct RunResult {

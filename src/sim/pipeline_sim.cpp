@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/trace.hpp"
+
 namespace gridpipe::sim {
 
 PipelineSim::PipelineSim(const grid::Grid& grid,
@@ -25,6 +27,13 @@ PipelineSim::PipelineSim(const grid::Grid& grid,
   }
   nodes_.resize(grid_.num_nodes());
   router_.reset(profile_.num_stages());
+  obs_metrics_.bind(config_.obs.metrics);
+  if (config_.obs.tracer) {
+    stage_names_.reserve(profile_.num_stages());
+    for (std::size_t s = 0; s < profile_.num_stages(); ++s) {
+      stage_names_.push_back("stage" + std::to_string(s));
+    }
+  }
 }
 
 void PipelineSim::attach_registry(monitor::MonitoringRegistry* registry) {
@@ -78,6 +87,9 @@ void PipelineSim::admit_next_item() {
   if (next_item_ >= config_.num_items) return;
   const Task task{0, next_item_++, sim_.now()};
   metrics_.on_item_created(task.item, task.created_at);
+  if (obs_metrics_.items_pushed) obs_metrics_.items_pushed->add(1);
+  obs::record_span(config_.obs.tracer, obs::SpanKind::kAdmit, "admit",
+                   task.created_at, 0.0, 0, task.item);
   ++in_flight_;
   const grid::NodeId dst = pick_replica(0);
   if (config_.apply_io_edges) {
@@ -122,6 +134,13 @@ void PipelineSim::on_service_complete(grid::NodeId node, Task task,
                                       double duration) {
   nodes_[node].busy = false;
   metrics_.on_service(task.stage, duration);
+  obs::record_span(config_.obs.tracer, obs::SpanKind::kStage,
+                   config_.obs.tracer ? stage_names_[task.stage].c_str()
+                                      : "stage",
+                   sim_.now() - duration, duration,
+                   static_cast<std::uint32_t>(1 + node), task.item,
+                   static_cast<std::uint32_t>(task.stage));
+  if (obs_metrics_.stage_service) obs_metrics_.stage_service->record(duration);
   if (registry_ && duration > 0.0) {
     // Passive observation: the speed this node just delivered.
     registry_->record({monitor::SensorKind::kNodeSpeed, node, 0}, sim_.now(),
@@ -161,6 +180,9 @@ void PipelineSim::transfer(grid::NodeId from, grid::NodeId to, double bytes,
     busy_until = depart + grid_.transfer_time(from, to, bytes, depart);
   }
   const double arrive = depart + grid_.transfer_time(from, to, bytes, depart);
+  obs::record_span(config_.obs.tracer, obs::SpanKind::kWire, "hop", depart,
+                   arrive - depart, static_cast<std::uint32_t>(1 + to),
+                   task.item, static_cast<std::uint32_t>(task.stage));
   sim_.at(arrive, [this, from, to, bytes, task, requested, arrive] {
     if (registry_ && from != to) {
       const grid::Link& link = grid_.link(from, to);
@@ -183,6 +205,13 @@ void PipelineSim::transfer(grid::NodeId from, grid::NodeId to, double bytes,
 
 void PipelineSim::complete_item(const Task& task) {
   metrics_.on_item_completed(task.item, sim_.now(), task.created_at);
+  obs::record_span(config_.obs.tracer, obs::SpanKind::kItem, "item",
+                   task.created_at, sim_.now() - task.created_at, 0,
+                   task.item);
+  if (obs_metrics_.items_completed) {
+    obs_metrics_.items_completed->add(1);
+    obs_metrics_.item_latency->record(sim_.now() - task.created_at);
+  }
   --in_flight_;
   if (config_.arrivals == SimConfig::Arrivals::kSaturated &&
       next_item_ < config_.num_items) {

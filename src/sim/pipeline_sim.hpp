@@ -25,6 +25,8 @@
 
 #include "grid/grid.hpp"
 #include "monitor/registry.hpp"
+#include "obs/metrics.hpp"
+#include "obs/sinks.hpp"
 #include "sched/perf_model.hpp"
 #include "sched/replica_router.hpp"
 #include "sim/metrics.hpp"
@@ -75,6 +77,11 @@ struct SimConfig {
   bool monitor_all = true;
   /// Relative Gaussian noise applied to probe observations.
   double probe_noise = 0.02;
+
+  /// Telemetry sinks (both nullable = observability off). Spans carry
+  /// the DES clock directly; a "stage" span's width is the sampled
+  /// service time, a "hop" span's the transfer time.
+  obs::Sinks obs{};
 };
 
 class PipelineSim {
@@ -144,6 +151,11 @@ class PipelineSim {
 
   std::vector<NodeState> nodes_;
   sched::ReplicaRouter router_;
+  /// Pre-resolved obs handles (all null when config_.obs.metrics is).
+  obs::StandardMetrics obs_metrics_;
+  /// "stage<i>" span names, built once when tracing (the profile carries
+  /// no stage names; the span's `stage` arg holds the index regardless).
+  std::vector<std::string> stage_names_;
   double freeze_until_ = 0.0;
   std::uint64_t next_item_ = 0;
   std::uint64_t in_flight_ = 0;

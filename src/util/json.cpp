@@ -1,0 +1,139 @@
+#include "util/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace gridpipe::util {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+Json& Json::operator[](std::string_view key) {
+  if (is_null()) value_ = Object{};
+  auto* obj = std::get_if<Object>(&value_);
+  if (!obj) throw std::logic_error("Json::operator[]: not an object");
+  for (auto& [k, v] : *obj) {
+    if (k == key) return v;
+  }
+  obj->emplace_back(std::string(key), Json());
+  return obj->back().second;
+}
+
+void Json::push_back(Json v) {
+  if (is_null()) value_ = Array{};
+  auto* arr = std::get_if<Array>(&value_);
+  if (!arr) throw std::logic_error("Json::push_back: not an array");
+  arr->push_back(std::move(v));
+}
+
+namespace {
+
+void write_double(std::ostream& os, double v) {
+  // Strict JSON has no Infinity/NaN literals; emit null for those.
+  if (!std::isfinite(v)) {
+    os << "null";
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  // Trim to the shortest representation that round-trips.
+  for (int prec = 1; prec < 17; ++prec) {
+    char probe[32];
+    std::snprintf(probe, sizeof(probe), "%.*g", prec, v);
+    double back = 0.0;
+    std::sscanf(probe, "%lf", &back);
+    if (back == v) {
+      os << probe;
+      return;
+    }
+  }
+  os << buf;
+}
+
+void write_indent(std::ostream& os, int indent, int depth) {
+  if (indent < 0) return;
+  os << '\n';
+  for (int i = 0; i < indent * depth; ++i) os << ' ';
+}
+
+}  // namespace
+
+void Json::write(std::ostream& os, int indent, int depth) const {
+  if (std::holds_alternative<std::nullptr_t>(value_)) {
+    os << "null";
+  } else if (const auto* b = std::get_if<bool>(&value_)) {
+    os << (*b ? "true" : "false");
+  } else if (const auto* i = std::get_if<std::int64_t>(&value_)) {
+    os << *i;
+  } else if (const auto* u = std::get_if<std::uint64_t>(&value_)) {
+    os << *u;
+  } else if (const auto* d = std::get_if<double>(&value_)) {
+    write_double(os, *d);
+  } else if (const auto* s = std::get_if<std::string>(&value_)) {
+    os << '"' << json_escape(*s) << '"';
+  } else if (const auto* arr = std::get_if<Array>(&value_)) {
+    if (arr->empty()) {
+      os << "[]";
+      return;
+    }
+    os << '[';
+    for (std::size_t i = 0; i < arr->size(); ++i) {
+      if (i) os << ',';
+      write_indent(os, indent, depth + 1);
+      (*arr)[i].write(os, indent, depth + 1);
+    }
+    write_indent(os, indent, depth);
+    os << ']';
+  } else if (const auto* obj = std::get_if<Object>(&value_)) {
+    if (obj->empty()) {
+      os << "{}";
+      return;
+    }
+    os << '{';
+    for (std::size_t i = 0; i < obj->size(); ++i) {
+      if (i) os << ',';
+      write_indent(os, indent, depth + 1);
+      os << '"' << json_escape((*obj)[i].first) << "\":";
+      if (indent >= 0) os << ' ';
+      (*obj)[i].second.write(os, indent, depth + 1);
+    }
+    write_indent(os, indent, depth);
+    os << '}';
+  }
+}
+
+void Json::dump(std::ostream& os, int indent) const { write(os, indent, 0); }
+
+std::string Json::dump(int indent) const {
+  std::ostringstream os;
+  write(os, indent, 0);
+  return os.str();
+}
+
+}  // namespace gridpipe::util

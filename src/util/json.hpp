@@ -1,0 +1,67 @@
+#pragma once
+// Minimal JSON *emission*: a small value tree plus a string escaper.
+// Gridpipe only ever writes JSON (metrics snapshots, bench baselines,
+// Chrome traces); parsing stays out of scope. Object keys preserve
+// insertion order so emitted files diff cleanly run to run.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace gridpipe::util {
+
+/// Escapes `s` for inclusion inside a JSON string literal (quotes not
+/// added). Control characters become \u00XX.
+std::string json_escape(std::string_view s);
+
+class Json {
+ public:
+  using Array = std::vector<Json>;
+  using Object = std::vector<std::pair<std::string, Json>>;
+
+  Json() noexcept : value_(nullptr) {}
+  Json(std::nullptr_t) noexcept : value_(nullptr) {}
+  Json(bool b) noexcept : value_(b) {}
+  Json(int v) noexcept : value_(static_cast<std::int64_t>(v)) {}
+  Json(long v) noexcept : value_(static_cast<std::int64_t>(v)) {}
+  Json(long long v) noexcept : value_(static_cast<std::int64_t>(v)) {}
+  Json(unsigned v) noexcept : value_(static_cast<std::uint64_t>(v)) {}
+  Json(unsigned long v) noexcept : value_(static_cast<std::uint64_t>(v)) {}
+  Json(unsigned long long v) noexcept
+      : value_(static_cast<std::uint64_t>(v)) {}
+  Json(double v) noexcept : value_(v) {}
+  Json(const char* s) : value_(std::string(s)) {}
+  Json(std::string s) : value_(std::move(s)) {}
+  Json(std::string_view s) : value_(std::string(s)) {}
+
+  static Json object() { Json j; j.value_ = Object{}; return j; }
+  static Json array() { Json j; j.value_ = Array{}; return j; }
+
+  /// Object access; inserts a null member on first use. The Json must
+  /// already be (or still be null, in which case it becomes) an object.
+  Json& operator[](std::string_view key);
+
+  /// Array append. The Json must be (or still be null → becomes) an array.
+  void push_back(Json v);
+
+  bool is_null() const noexcept {
+    return std::holds_alternative<std::nullptr_t>(value_);
+  }
+
+  /// Compact serialization (indent < 0) or pretty with `indent` spaces.
+  std::string dump(int indent = -1) const;
+  void dump(std::ostream& os, int indent = -1) const;
+
+ private:
+  void write(std::ostream& os, int indent, int depth) const;
+
+  std::variant<std::nullptr_t, bool, std::int64_t, std::uint64_t, double,
+               std::string, Array, Object>
+      value_;
+};
+
+}  // namespace gridpipe::util

@@ -1,15 +1,23 @@
 #include "util/logging.hpp"
 
 #include <atomic>
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
 #include <mutex>
 
 namespace gridpipe::util {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kOff};
+/// Whether GRIDPIPE_LOG pinned the level (written once under g_env_once,
+/// read only after a call_once on the same flag, which synchronizes).
+bool g_env_pinned = false;
+std::once_flag g_env_once;
 std::mutex g_mutex;
 
+/// Padded names for the line prefix (the parseable lowercase names live
+/// in to_string below — this is the one other place levels are spelled).
 const char* level_name(LogLevel level) {
   switch (level) {
     case LogLevel::kDebug: return "DEBUG";
@@ -20,13 +28,66 @@ const char* level_name(LogLevel level) {
   }
   return "?";
 }
+
+void init_from_env() noexcept {
+  std::call_once(g_env_once, [] {
+    const char* env = std::getenv("GRIDPIPE_LOG");
+    if (!env || !*env) return;
+    if (auto level = parse_log_level(env)) {
+      g_level.store(*level);
+      g_env_pinned = true;
+    } else {
+      std::fprintf(stderr,
+                   "[gridpipe WARN ] GRIDPIPE_LOG='%s' is not one of "
+                   "debug|info|warn|error|off; ignored\n",
+                   env);
+    }
+  });
+}
 }  // namespace
 
-void set_log_level(LogLevel level) noexcept { g_level.store(level); }
-LogLevel log_level() noexcept { return g_level.load(); }
+const char* to_string(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo:  return "info";
+    case LogLevel::kWarn:  return "warn";
+    case LogLevel::kError: return "error";
+    case LogLevel::kOff:   return "off";
+  }
+  return "?";
+}
+
+std::optional<LogLevel> parse_log_level(std::string_view name) noexcept {
+  if (name.size() > 8) return std::nullopt;  // longest valid is "warning"
+  std::string lower(name);  // fits in SSO, cannot throw
+  for (char& c : lower) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  if (lower == "debug") return LogLevel::kDebug;
+  if (lower == "info") return LogLevel::kInfo;
+  if (lower == "warn" || lower == "warning") return LogLevel::kWarn;
+  if (lower == "error") return LogLevel::kError;
+  if (lower == "off") return LogLevel::kOff;
+  return std::nullopt;
+}
+
+void set_log_level(LogLevel level) noexcept {
+  init_from_env();  // resolve pinning first so it cannot clobber us later
+  g_level.store(level);
+}
+
+void set_default_log_level(LogLevel level) noexcept {
+  init_from_env();
+  if (!g_env_pinned) g_level.store(level);
+}
+
+LogLevel log_level() noexcept {
+  init_from_env();
+  return g_level.load();
+}
 
 void log_line(LogLevel level, const std::string& message) {
-  if (level < g_level.load()) return;
+  if (level < log_level()) return;
   const std::lock_guard<std::mutex> lock(g_mutex);
   std::fprintf(stderr, "[gridpipe %s] %s\n", level_name(level), message.c_str());
 }

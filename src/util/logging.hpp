@@ -1,16 +1,35 @@
 #pragma once
 // Minimal leveled logger. Off by default so tests and benches stay quiet;
-// examples turn it on to narrate adaptation decisions.
+// examples turn it on to narrate adaptation decisions. The GRIDPIPE_LOG
+// environment variable (debug|info|warn|error|off) pins the threshold
+// from outside: it is read once, lazily, and beats the examples'
+// set_default_log_level — but an explicit set_log_level (e.g. the CLI's
+// --log-level flag) always wins.
 
+#include <optional>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace gridpipe::util {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
+/// Lowercase level name: "debug" | "info" | "warn" | "error" | "off".
+const char* to_string(LogLevel level) noexcept;
+
+/// Inverse of to_string (case-insensitive; "warning" is accepted as an
+/// alias for "warn"); nullopt on unknown names.
+std::optional<LogLevel> parse_log_level(std::string_view name) noexcept;
+
 /// Global log threshold. Messages below the threshold are dropped.
+/// Explicit: overrides GRIDPIPE_LOG.
 void set_log_level(LogLevel level) noexcept;
+
+/// Sets the threshold only when GRIDPIPE_LOG did not pin one — examples
+/// use this for their chatty defaults so the environment stays in charge.
+void set_default_log_level(LogLevel level) noexcept;
+
 LogLevel log_level() noexcept;
 
 /// Emits one line to stderr with a level prefix. Thread-safe (single

@@ -1,13 +1,18 @@
 // Tests for the MPI-like in-process communicator: matched receives, the
 // non-overtaking rule, delay emulation, collectives, and shutdown under
-// concurrency.
+// concurrency. Also the telemetry leg of the shared wire vocabulary:
+// kTelemetry frames round-trip through the FrameReader, malformed
+// payloads are rejected, and reserved-but-unknown frame kinds are
+// skipped so an old reader survives a newer writer.
 
 #include <gtest/gtest.h>
 
 #include <thread>
 
 #include "comm/communicator.hpp"
+#include "comm/wire.hpp"
 #include "grid/builders.hpp"
+#include "obs/telemetry.hpp"
 
 namespace gridpipe::comm {
 namespace {
@@ -431,6 +436,95 @@ TEST(Communicator, ManyToOneStress) {
   EXPECT_TRUE(std::adjacent_find(seen.begin(), seen.end()) == seen.end());
   EXPECT_EQ(seen.size(),
             static_cast<std::size_t>(kSenders * kPerSender));
+}
+
+// ------------------------------------------------- telemetry wire leg
+
+obs::TelemetryBatch sample_telemetry() {
+  obs::TelemetryBatch batch;
+  obs::TraceEvent e;
+  e.name = "filter";
+  e.kind = obs::SpanKind::kStage;
+  e.start = 2.0;
+  e.duration = 0.125;
+  e.tid = 3;
+  e.item = 11;
+  e.stage = 1;
+  batch.events.push_back(std::move(e));
+  batch.counters.push_back({"stage_executions", 4});
+  return batch;
+}
+
+TEST(TelemetryWire, FrameRoundTripsThroughReader) {
+  const obs::TelemetryBatch batch = sample_telemetry();
+  const wire::Frame frame{wire::FrameKind::kTelemetry, 2,
+                          obs::encode_telemetry(batch)};
+  const auto encoded = wire::encode_frame(frame);
+
+  wire::FrameReader reader;
+  reader.feed(encoded.data(), encoded.size());
+  const auto decoded = reader.next();
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->kind, wire::FrameKind::kTelemetry);
+  EXPECT_EQ(decoded->node, 2u);
+  EXPECT_EQ(obs::decode_telemetry(decoded->payload), batch);
+  EXPECT_FALSE(reader.next().has_value());
+}
+
+TEST(TelemetryWire, MalformedPayloadInsideValidFrameRejected) {
+  // The frame envelope can be perfectly well-formed around garbage
+  // telemetry bytes — the payload decoder must still throw.
+  auto payload = obs::encode_telemetry(sample_telemetry());
+  payload.pop_back();  // truncated
+  const wire::Frame frame{wire::FrameKind::kTelemetry, 0, payload};
+  wire::FrameReader reader;
+  const auto encoded = wire::encode_frame(frame);
+  reader.feed(encoded.data(), encoded.size());
+  const auto decoded = reader.next();
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_THROW(obs::decode_telemetry(decoded->payload), std::invalid_argument);
+}
+
+TEST(TelemetryWire, ReservedKindsSkippedForForwardCompat) {
+  // A newer writer may emit kinds in the reserved band (kTelemetry+1 ..
+  // kMaxReservedKind); this reader must skip them, count them, and keep
+  // decoding what it does understand. Anything past the band is stream
+  // corruption and still throws.
+  wire::FrameReader reader;
+  for (const std::uint32_t kind : {7u, wire::kMaxReservedKind}) {
+    std::vector<std::byte> future(12 + 3);
+    const std::uint32_t len = 3;
+    std::memcpy(future.data(), &len, 4);
+    std::memcpy(future.data() + 4, &kind, 4);
+    reader.feed(future.data(), future.size());
+  }
+  const wire::Frame understood{wire::FrameKind::kTelemetry, 1,
+                               obs::encode_telemetry(sample_telemetry())};
+  const auto encoded = wire::encode_frame(understood);
+  reader.feed(encoded.data(), encoded.size());
+
+  const auto decoded = reader.next();
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, understood);
+  EXPECT_EQ(reader.skipped_unknown(), 2u);
+  EXPECT_EQ(reader.buffered(), 0u);
+
+  std::vector<std::byte> corrupt(12);
+  const std::uint32_t bad_kind = wire::kMaxReservedKind + 1;
+  std::memcpy(corrupt.data() + 4, &bad_kind, 4);
+  reader.feed(corrupt.data(), corrupt.size());
+  EXPECT_THROW(reader.next(), std::invalid_argument);
+}
+
+TEST(TelemetryWire, BatchRidesTheCommunicatorAsTag6) {
+  // In-process ranks don't need framing: the telemetry payload travels
+  // as an ordinary tagged message, same as the dist executor ships it.
+  const obs::TelemetryBatch batch = sample_telemetry();
+  Communicator comm(2);
+  ASSERT_TRUE(comm.send(1, 0, 6, obs::encode_telemetry(batch)));
+  const auto m = comm.recv(0, 1, 6);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(obs::decode_telemetry(m->payload), batch);
 }
 
 }  // namespace

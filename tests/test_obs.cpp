@@ -1,0 +1,521 @@
+// Tests for the observability layer: histogram bucketing accuracy and
+// quantile error bounds, registry snapshots and their JSON form, Chrome
+// trace-event emission, the telemetry batch codec (round-trip plus
+// rejection of every malformed shape), apply_telemetry merging, and the
+// guarantee that disabled sinks cost one branch and zero allocations.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/config.hpp"
+#include "obs/metrics.hpp"
+#include "obs/sinks.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
+
+// ------------------------------------------------- allocation counting
+// Replacing the global allocator lets DisabledPathDoesNotAllocate pin
+// down the "disabled telemetry is a branch" contract instead of
+// trusting a code read. The counter only ever increments; tests compare
+// before/after around the region of interest.
+
+namespace {
+std::atomic<std::uint64_t> g_allocations{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (size == 0) size = 1;
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace gridpipe::obs {
+namespace {
+
+// ------------------------------------------------------ JSON validator
+// The repo emits JSON but deliberately has no parser, so the tests
+// carry a minimal syntax checker — enough to assert that what the
+// tracer and snapshot write is a well-formed document, the same promise
+// CI checks with `python -m json.tool`.
+
+class JsonChecker {
+ public:
+  explicit JsonChecker(std::string_view text) : text_(text) {}
+
+  bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == text_.size();
+  }
+
+ private:
+  bool eof() const { return pos_ >= text_.size(); }
+  char peek() const { return text_[pos_]; }
+  bool consume(char c) {
+    if (eof() || peek() != c) return false;
+    ++pos_;
+    return true;
+  }
+  void skip_ws() {
+    while (!eof() && (peek() == ' ' || peek() == '\t' || peek() == '\n' ||
+                      peek() == '\r')) {
+      ++pos_;
+    }
+  }
+  bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+  bool string() {
+    if (!consume('"')) return false;
+    while (!eof()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (eof()) return false;
+        const char esc = text_[pos_++];
+        if (esc == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            if (eof() || !std::isxdigit(static_cast<unsigned char>(peek()))) {
+              return false;
+            }
+            ++pos_;
+          }
+        } else if (!std::strchr("\"\\/bfnrt", esc)) {
+          return false;
+        }
+      }
+    }
+    return false;
+  }
+  bool digits() {
+    std::size_t start = pos_;
+    while (!eof() && std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    return pos_ > start;
+  }
+  bool number() {
+    consume('-');
+    if (!digits()) return false;
+    if (consume('.') && !digits()) return false;
+    if (!eof() && (peek() == 'e' || peek() == 'E')) {
+      ++pos_;
+      if (!eof() && (peek() == '+' || peek() == '-')) ++pos_;
+      if (!digits()) return false;
+    }
+    return true;
+  }
+  bool members(char close, bool keyed) {
+    skip_ws();
+    if (consume(close)) return true;
+    while (true) {
+      skip_ws();
+      if (keyed) {
+        if (!string()) return false;
+        skip_ws();
+        if (!consume(':')) return false;
+        skip_ws();
+      }
+      if (!value()) return false;
+      skip_ws();
+      if (consume(close)) return true;
+      if (!consume(',')) return false;
+    }
+  }
+  bool value() {
+    if (eof()) return false;
+    switch (peek()) {
+      case '{': ++pos_; return members('}', true);
+      case '[': ++pos_; return members(']', false);
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default:  return number();
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+std::size_t count_occurrences(std::string_view haystack,
+                              std::string_view needle) {
+  std::size_t count = 0;
+  for (std::size_t pos = haystack.find(needle); pos != std::string_view::npos;
+       pos = haystack.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+// ----------------------------------------------------------- histogram
+
+TEST(ObsHistogram, BucketSchemeRelativeErrorBound) {
+  // The midpoint representative must stay within 1/(2·kSubBuckets) of
+  // the true value across the full dynamic range — that is the whole
+  // "percentiles without samples" bargain.
+  const double bound = 0.5 / Histogram::kSubBuckets + 1e-9;
+  for (double v = 2e-9; v < 1e3; v *= 1.037) {
+    const std::size_t idx = Histogram::bucket_index(v);
+    ASSERT_LT(idx, Histogram::kNumBuckets);
+    const double rep = Histogram::bucket_value(idx);
+    EXPECT_LE(std::abs(rep - v) / v, bound) << "value " << v;
+  }
+}
+
+TEST(ObsHistogram, DegenerateValuesLandInEdgeBuckets) {
+  EXPECT_EQ(Histogram::bucket_index(0.0), 0u);
+  EXPECT_EQ(Histogram::bucket_index(-3.5), 0u);
+  EXPECT_EQ(Histogram::bucket_index(Histogram::kMinValue), 0u);
+  EXPECT_EQ(Histogram::bucket_index(std::nan("")), 0u);
+  EXPECT_EQ(Histogram::bucket_index(1e300), Histogram::kNumBuckets - 1);
+}
+
+TEST(ObsHistogram, PercentilesTrackExactQuantiles) {
+  Histogram h;
+  // A deterministic linear ramp: sorted by construction, so the exact
+  // nearest-rank quantiles are just reads.
+  constexpr int kN = 10000;
+  std::vector<double> values;
+  values.reserve(kN);
+  for (int i = 0; i < kN; ++i) {
+    const double v = 1e-4 * (1.0 + i);
+    values.push_back(v);
+    h.record(v);
+  }
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kN));
+  EXPECT_DOUBLE_EQ(h.min(), values.front());
+  EXPECT_DOUBLE_EQ(h.max(), values.back());
+  const double exact_mean = (values.front() + values.back()) / 2.0;
+  EXPECT_NEAR(h.mean(), exact_mean, exact_mean * 1e-9);
+
+  for (const double p : {50.0, 90.0, 99.0, 99.9}) {
+    const auto rank = static_cast<std::size_t>(
+        std::ceil(p / 100.0 * kN));
+    const double exact = values[rank - 1];
+    EXPECT_NEAR(h.percentile(p), exact, exact * 0.04)
+        << "p" << p << " estimate " << h.percentile(p);
+    EXPECT_GE(h.percentile(p), h.min());
+    EXPECT_LE(h.percentile(p), h.max());
+  }
+}
+
+TEST(ObsHistogram, SingleSamplePercentileIsExact) {
+  // The clamp into [min, max] makes a one-sample histogram exact even
+  // though the bucket midpoint is ~3% off.
+  Histogram h;
+  h.record(0.123);
+  EXPECT_DOUBLE_EQ(h.percentile(50.0), 0.123);
+  EXPECT_DOUBLE_EQ(h.percentile(99.9), 0.123);
+}
+
+TEST(ObsHistogram, EmptyHistogramReadsZero) {
+  const Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.min(), 0.0);
+  EXPECT_EQ(h.max(), 0.0);
+  EXPECT_EQ(h.percentile(50.0), 0.0);
+}
+
+// ------------------------------------------------------------ registry
+
+TEST(ObsRegistry, HandlesAreStableAcrossLookups) {
+  MetricsRegistry registry;
+  Counter& c1 = registry.counter("a");
+  Counter& c2 = registry.counter("a");
+  EXPECT_EQ(&c1, &c2);
+  EXPECT_NE(&registry.counter("b"), &c1);
+  EXPECT_EQ(&registry.gauge("g"), &registry.gauge("g"));
+  EXPECT_EQ(&registry.histogram("h"), &registry.histogram("h"));
+}
+
+TEST(ObsRegistry, SnapshotAndFindHelpers) {
+  MetricsRegistry registry;
+  registry.counter(names::kItemsCompleted).add(7);
+  registry.gauge("queue_depth").set(3.5);
+  registry.histogram(names::kItemLatency).record(0.25);
+
+  const MetricsSnapshot snap = registry.snapshot();
+  EXPECT_FALSE(snap.empty());
+  ASSERT_NE(snap.find_counter(names::kItemsCompleted), nullptr);
+  EXPECT_EQ(snap.find_counter(names::kItemsCompleted)->value, 7u);
+  EXPECT_EQ(snap.find_counter("no_such_counter"), nullptr);
+  ASSERT_NE(snap.find_histogram(names::kItemLatency), nullptr);
+  EXPECT_EQ(snap.find_histogram(names::kItemLatency)->count, 1u);
+  EXPECT_DOUBLE_EQ(snap.find_histogram(names::kItemLatency)->min, 0.25);
+  EXPECT_EQ(snap.find_histogram("no_such_histogram"), nullptr);
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  EXPECT_DOUBLE_EQ(snap.gauges[0].value, 3.5);
+}
+
+TEST(ObsRegistry, SnapshotToJsonIsValidDocument) {
+  MetricsRegistry registry;
+  registry.counter(names::kItemsPushed).add(100);
+  registry.histogram(names::kItemLatency).record(0.5);
+  registry.gauge("g\"needs escaping\\").set(-1.0);
+
+  const std::string json = registry.snapshot().to_json();
+  EXPECT_TRUE(JsonChecker(json).valid()) << json;
+  EXPECT_NE(json.find("items_pushed"), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+}
+
+TEST(ObsRegistry, StandardMetricsBind) {
+  StandardMetrics metrics;
+  EXPECT_EQ(metrics.items_completed, nullptr);
+
+  MetricsRegistry registry;
+  metrics.bind(&registry);
+  ASSERT_NE(metrics.items_pushed, nullptr);
+  ASSERT_NE(metrics.item_latency, nullptr);
+  metrics.items_pushed->add(2);
+  metrics.item_latency->record(1.0);
+  const MetricsSnapshot snap = registry.snapshot();
+  EXPECT_EQ(snap.find_counter(names::kItemsPushed)->value, 2u);
+  EXPECT_EQ(snap.find_histogram(names::kItemLatency)->count, 1u);
+
+  metrics.bind(nullptr);  // back to disabled: every handle null again
+  EXPECT_EQ(metrics.items_pushed, nullptr);
+  EXPECT_EQ(metrics.stage_service, nullptr);
+}
+
+// -------------------------------------------------------------- tracer
+
+TEST(ObsTracer, RecordSpanForwardsEveryField) {
+  Tracer tracer;
+  record_span(&tracer, SpanKind::kWire, "hop", 1.5, 0.25, 3, 7, 2);
+  ASSERT_EQ(tracer.size(), 1u);
+  TraceEvent expected;
+  expected.name = "hop";
+  expected.kind = SpanKind::kWire;
+  expected.start = 1.5;
+  expected.duration = 0.25;
+  expected.tid = 3;
+  expected.item = 7;
+  expected.stage = 2;
+  EXPECT_EQ(tracer.events()[0], expected);
+}
+
+TEST(ObsTracer, RecordIsVirtualSoTestsCanInstrument) {
+  struct CountingTracer : Tracer {
+    std::atomic<int> singles{0};
+    std::atomic<int> batches{0};
+    void record(TraceEvent event) override {
+      ++singles;
+      Tracer::record(std::move(event));
+    }
+    void record_batch(std::vector<TraceEvent> events) override {
+      ++batches;
+      Tracer::record_batch(std::move(events));
+    }
+  };
+  CountingTracer tracer;
+  record_span(&tracer, SpanKind::kItem, "item", 0.0, 1.0, 0, 1);
+  tracer.record_batch({TraceEvent{}, TraceEvent{}});
+  EXPECT_EQ(tracer.singles.load(), 1);
+  EXPECT_EQ(tracer.batches.load(), 1);
+  EXPECT_EQ(tracer.size(), 3u);
+}
+
+TEST(ObsTracer, ChromeTraceIsValidJsonWithMetadataAndSpans) {
+  Tracer tracer;
+  record_span(&tracer, SpanKind::kEpoch, "epoch", 0.0, 2.0, 0);
+  record_span(&tracer, SpanKind::kStage, "filter", 0.5, 0.1, 2, 42, 1);
+  record_span(&tracer, SpanKind::kWait, "wait", 1.0, 0.2, 0, 42);
+
+  std::ostringstream os;
+  tracer.write_chrome_trace(os);
+  const std::string trace = os.str();
+
+  EXPECT_TRUE(JsonChecker(trace).valid()) << trace;
+  EXPECT_EQ(count_occurrences(trace, "\"ph\":\"X\""), 3u);
+  // Metadata: one process_name plus one thread_name per distinct lane.
+  EXPECT_EQ(count_occurrences(trace, "\"ph\":\"M\""), 3u);
+  EXPECT_NE(trace.find("\"controller\""), std::string::npos);
+  EXPECT_NE(trace.find("\"node 1\""), std::string::npos);
+  EXPECT_NE(trace.find("\"cat\":\"stage\""), std::string::npos);
+  EXPECT_NE(trace.find("\"item\":42"), std::string::npos);
+  EXPECT_NE(trace.find("\"stage\":1"), std::string::npos);
+}
+
+TEST(ObsTracer, EmptyTraceIsStillValidJson) {
+  const Tracer tracer;
+  std::ostringstream os;
+  tracer.write_chrome_trace(os);
+  EXPECT_TRUE(JsonChecker(os.str()).valid()) << os.str();
+}
+
+// -------------------------------------------------------- disabled path
+
+TEST(ObsDisabled, DisabledPathDoesNotAllocate) {
+  // The per-item contract across all four substrates: with null sinks,
+  // every telemetry hook is one pointer test — no allocation at all.
+  StandardMetrics metrics;  // unbound: all handles null
+  const Sinks sinks;
+  EXPECT_FALSE(sinks.any());
+
+  const std::uint64_t before = g_allocations.load(std::memory_order_relaxed);
+  for (int i = 0; i < 10000; ++i) {
+    record_span(sinks.tracer, SpanKind::kStage, "stage",
+                static_cast<double>(i), 1e-3, 1, static_cast<std::uint64_t>(i),
+                0);
+    record_span(sinks.tracer, SpanKind::kAdmit, "admit",
+                static_cast<double>(i), 0.0, 0);
+    if (metrics.items_completed) metrics.items_completed->add(1);
+    if (metrics.item_latency) metrics.item_latency->record(1e-3);
+  }
+  EXPECT_EQ(g_allocations.load(std::memory_order_relaxed), before);
+}
+
+TEST(ObsDisabled, DefaultConfigIsOff) {
+  const Config config;
+  EXPECT_FALSE(config.enabled());
+  EXPECT_FALSE(config.sinks().any());
+  const Config full = Config::full();
+  EXPECT_TRUE(full.enabled());
+  EXPECT_TRUE(full.sinks().any());
+  EXPECT_EQ(full.sinks().tracer, full.tracer.get());
+  EXPECT_EQ(full.sinks().metrics, full.metrics.get());
+}
+
+// ------------------------------------------------------ telemetry codec
+
+TelemetryBatch sample_batch() {
+  TelemetryBatch batch;
+  TraceEvent stage;
+  stage.name = "filter";
+  stage.kind = SpanKind::kStage;
+  stage.start = 1.25;
+  stage.duration = 0.5;
+  stage.tid = 2;
+  stage.item = 42;
+  stage.stage = 1;
+  batch.events.push_back(stage);
+  TraceEvent bare;  // defaults: kNoItem / kNoStage, empty name
+  batch.events.push_back(bare);
+  batch.counters.push_back({"stage_executions", 17});
+  batch.counters.push_back({"empty", 0});
+  return batch;
+}
+
+TEST(ObsTelemetry, RoundTripsEventsAndCounters) {
+  const TelemetryBatch batch = sample_batch();
+  EXPECT_EQ(decode_telemetry(encode_telemetry(batch)), batch);
+}
+
+TEST(ObsTelemetry, RoundTripsEmptyBatchAndMaxName) {
+  const TelemetryBatch empty;
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(decode_telemetry(encode_telemetry(empty)), empty);
+
+  TelemetryBatch max_name;
+  max_name.counters.push_back({std::string(kMaxTelemetryName, 'x'), 1});
+  EXPECT_EQ(decode_telemetry(encode_telemetry(max_name)), max_name);
+
+  TelemetryBatch too_long;
+  too_long.counters.push_back({std::string(kMaxTelemetryName + 1, 'x'), 1});
+  EXPECT_THROW(encode_telemetry(too_long), std::invalid_argument);
+}
+
+TEST(ObsTelemetry, EveryTruncationThrows) {
+  const Bytes good = encode_telemetry(sample_batch());
+  for (std::size_t cut = 0; cut < good.size(); ++cut) {
+    EXPECT_THROW(
+        decode_telemetry(Bytes(good.begin(),
+                               good.begin() +
+                                   static_cast<std::ptrdiff_t>(cut))),
+        std::invalid_argument)
+        << "cut at " << cut;
+  }
+}
+
+TEST(ObsTelemetry, TrailingBytesRejected) {
+  Bytes wire = encode_telemetry(sample_batch());
+  wire.push_back(std::byte{0});
+  EXPECT_THROW(decode_telemetry(wire), std::invalid_argument);
+}
+
+TEST(ObsTelemetry, UnknownSpanKindRejected) {
+  Bytes wire = encode_telemetry(sample_batch());
+  wire[4] = std::byte{99};  // first event's kind byte, after [u32 n_events]
+  EXPECT_THROW(decode_telemetry(wire), std::invalid_argument);
+}
+
+TEST(ObsTelemetry, AbsurdCountsRejectedWithoutAllocating) {
+  // Claims 2^30 events in 8 bytes — the count-vs-remaining check must
+  // refuse before reserving anything.
+  Bytes lie(8);
+  const std::uint32_t events = 1u << 30;
+  std::memcpy(lie.data(), &events, 4);
+  EXPECT_THROW(decode_telemetry(lie), std::invalid_argument);
+
+  Bytes counters_lie(8);
+  const std::uint32_t counters = 1u << 30;
+  std::memcpy(counters_lie.data() + 4, &counters, 4);
+  EXPECT_THROW(decode_telemetry(counters_lie), std::invalid_argument);
+}
+
+TEST(ObsTelemetry, OversizedNameLengthRejected) {
+  // n_events = 0, n_counters = 1, name_len just over the cap: garbage,
+  // even though the u32 itself decoded fine.
+  Bytes wire(12);
+  const std::uint32_t n_counters = 1;
+  const auto name_len = static_cast<std::uint32_t>(kMaxTelemetryName + 1);
+  std::memcpy(wire.data() + 4, &n_counters, 4);
+  std::memcpy(wire.data() + 8, &name_len, 4);
+  EXPECT_THROW(decode_telemetry(wire), std::invalid_argument);
+}
+
+TEST(ObsTelemetry, ApplyMergesIntoBothSinks) {
+  Tracer tracer;
+  MetricsRegistry registry;
+  const Sinks sinks{&tracer, &registry};
+
+  apply_telemetry(sample_batch(), sinks);
+  EXPECT_EQ(tracer.size(), 2u);
+  MetricsSnapshot snap = registry.snapshot();
+  // The one kStage event's duration rebuilt the service histogram.
+  ASSERT_NE(snap.find_histogram(names::kStageService), nullptr);
+  EXPECT_EQ(snap.find_histogram(names::kStageService)->count, 1u);
+  EXPECT_DOUBLE_EQ(snap.find_histogram(names::kStageService)->max, 0.5);
+  EXPECT_EQ(snap.find_counter("stage_executions")->value, 17u);
+  EXPECT_EQ(snap.find_counter(names::kTelemetryBatches)->value, 1u);
+  // Zero deltas are skipped entirely, not materialized as counters.
+  EXPECT_EQ(snap.find_counter("empty"), nullptr);
+
+  apply_telemetry(sample_batch(), sinks);
+  snap = registry.snapshot();
+  EXPECT_EQ(tracer.size(), 4u);
+  EXPECT_EQ(snap.find_counter("stage_executions")->value, 34u);
+  EXPECT_EQ(snap.find_counter(names::kTelemetryBatches)->value, 2u);
+}
+
+TEST(ObsTelemetry, ApplyWithNullSinksIsNoop) {
+  apply_telemetry(sample_batch(), Sinks{});
+
+  Tracer tracer;
+  apply_telemetry(sample_batch(), Sinks{&tracer, nullptr});
+  EXPECT_EQ(tracer.size(), 2u);
+}
+
+}  // namespace
+}  // namespace gridpipe::obs

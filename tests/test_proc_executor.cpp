@@ -74,6 +74,7 @@ TEST(ProcWire, EveryFrameKindRoundTrips) {
        wire::encode_mapping(sched::Mapping(std::vector<NodeId>{1, 0, 2}))},
       {wire::FrameKind::kShutdown, 0, {}},
       {wire::FrameKind::kSpeedObs, 3, wire::encode_f64(1.75)},
+      {wire::FrameKind::kTelemetry, 1, task},  // payload opaque to framing
   };
   for (const wire::Frame& frame : frames) {
     EXPECT_EQ(roundtrip_one(frame), frame) << wire::to_string(frame.kind);

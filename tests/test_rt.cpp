@@ -1,8 +1,10 @@
 // Tests for the unified rt::Runtime API: codec round-trips, spec
 // validation errors, RuntimeKind parsing, streaming session semantics,
-// and the cross-substrate golden parity suite — the same typed stream
+// the cross-substrate golden parity suite — the same typed stream
 // through all four runtimes via rt::make_runtime must produce identical
-// ordered outputs and consistent epoch decisions.
+// ordered outputs and consistent epoch decisions — and the end-to-end
+// observability contract (spans and metrics uniform across substrates,
+// worker spans shipped over the wire on dist/process).
 
 #include <gtest/gtest.h>
 
@@ -11,6 +13,7 @@
 
 #include "grid/builders.hpp"
 #include "rt/runtime.hpp"
+#include "sim/drivers.hpp"
 
 namespace gridpipe::rt {
 namespace {
@@ -333,6 +336,99 @@ TEST(RtParity, EpochDecisionsConsistentOnStableGrid) {
           << to_string(kind) << ": substrates disagree on the t=0 plan";
     }
   }
+}
+
+// --------------------------------------------------------- observability
+
+TEST(RtObservability, TraceAndMetricsCoverEverySubstrate) {
+  // One instrumented run per substrate. The trace must tell the whole
+  // story: every item's lifetime span, stage spans on worker lanes
+  // (tid >= 1 — for dist and process these arrive over the wire as
+  // telemetry batches), and the controller's epoch spans. The metrics
+  // snapshot must carry the uniform names and agree with the report's
+  // exact latency series within the histogram's bucket error.
+  const auto g = grid::uniform_cluster(3, 1.0, 1e-3, 1e8);
+  constexpr std::int64_t kItems = 60;
+
+  for (RuntimeKind kind : kAllRuntimeKinds) {
+    RuntimeOptions options;
+    options.time_scale = 0.01;
+    options.adapt.epoch = 2.0;
+    options.sim_driver = sim::DriverKind::kAdaptive;
+    options.sim_config.probe_interval = 1.0;
+    options.obs = obs::Config::full();
+    auto runtime = make_runtime(kind, g, typed_spec(), options);
+    const auto report = runtime->run(int64_items(kItems));
+    ASSERT_EQ(report.items, static_cast<std::uint64_t>(kItems))
+        << to_string(kind);
+
+    // Metrics snapshot rides inside the report under the uniform names.
+    ASSERT_FALSE(report.obs_metrics.empty()) << to_string(kind);
+    const auto* pushed =
+        report.obs_metrics.find_counter(obs::names::kItemsPushed);
+    const auto* completed =
+        report.obs_metrics.find_counter(obs::names::kItemsCompleted);
+    ASSERT_NE(pushed, nullptr) << to_string(kind);
+    ASSERT_NE(completed, nullptr) << to_string(kind);
+    EXPECT_EQ(pushed->value, static_cast<std::uint64_t>(kItems))
+        << to_string(kind);
+    EXPECT_EQ(completed->value, static_cast<std::uint64_t>(kItems))
+        << to_string(kind);
+
+    const auto* latency =
+        report.obs_metrics.find_histogram(obs::names::kItemLatency);
+    ASSERT_NE(latency, nullptr) << to_string(kind);
+    EXPECT_EQ(latency->count, static_cast<std::uint64_t>(kItems))
+        << to_string(kind);
+    const double exact_p50 = report.metrics.latency_percentile(50.0);
+    ASSERT_GT(exact_p50, 0.0) << to_string(kind);
+    // Both series see the same completion values; the histogram may be
+    // off by its ~3% bucket error.
+    EXPECT_NEAR(latency->p50, exact_p50, exact_p50 * 0.10) << to_string(kind);
+    const auto* service =
+        report.obs_metrics.find_histogram(obs::names::kStageService);
+    ASSERT_NE(service, nullptr) << to_string(kind);
+    EXPECT_GE(service->count, static_cast<std::uint64_t>(kItems))
+        << to_string(kind) << ": fewer stage executions than items";
+
+    // Span census over the trace.
+    std::size_t item_spans = 0;
+    std::size_t worker_stage_spans = 0;
+    std::size_t epoch_spans = 0;
+    for (const obs::TraceEvent& e : options.obs.tracer->events()) {
+      switch (e.kind) {
+        case obs::SpanKind::kItem:
+          ++item_spans;
+          EXPECT_EQ(e.tid, 0u) << to_string(kind);
+          break;
+        case obs::SpanKind::kStage:
+          if (e.tid >= 1) ++worker_stage_spans;
+          break;
+        case obs::SpanKind::kEpoch:
+          ++epoch_spans;
+          break;
+        default:
+          break;
+      }
+    }
+    EXPECT_EQ(item_spans, static_cast<std::size_t>(kItems)) << to_string(kind);
+    EXPECT_GE(worker_stage_spans, static_cast<std::size_t>(kItems))
+        << to_string(kind) << ": worker-lane stage spans missing";
+    ASSERT_FALSE(report.epochs.empty())
+        << to_string(kind) << ": adaptation never ran an epoch";
+    EXPECT_EQ(epoch_spans, report.epochs.size()) << to_string(kind);
+  }
+}
+
+TEST(RtObservability, DisabledByDefaultLeavesReportSnapshotEmpty) {
+  const auto g = grid::uniform_cluster(2, 1.0, 1e-3, 1e8);
+  RuntimeOptions options;
+  options.time_scale = 0.002;
+  EXPECT_FALSE(options.obs.enabled());
+  auto runtime = make_runtime(RuntimeKind::kThreads, g, typed_spec(), options);
+  const auto report = runtime->run(int64_items(8));
+  EXPECT_EQ(report.items, 8u);
+  EXPECT_TRUE(report.obs_metrics.empty());
 }
 
 }  // namespace
