@@ -131,8 +131,8 @@ void MessageQueue::drain_ready_locked(std::vector<Message>& out,
 }
 
 bool MessageQueue::push(Message message) {
-  std::unique_lock lock(mutex_);
-  not_full_.wait(lock, [this] { return closed_ || size_ < capacity_; });
+  util::MutexLock lock(mutex_);
+  while (!closed_ && size_ >= capacity_) not_full_.wait(mutex_);
   if (closed_) return false;
   insert_locked(std::move(message));
   not_empty_.notify_all();
@@ -140,7 +140,7 @@ bool MessageQueue::push(Message message) {
 }
 
 bool MessageQueue::push_n(std::vector<Message> batch) {
-  std::unique_lock lock(mutex_);
+  util::MutexLock lock(mutex_);
   bool inserted = false;
   for (Message& message : batch) {
     if (size_ >= capacity_) {
@@ -148,7 +148,7 @@ bool MessageQueue::push_n(std::vector<Message> batch) {
       // for capacity they can only free after being woken.
       if (inserted) not_empty_.notify_all();
       inserted = false;
-      not_full_.wait(lock, [this] { return closed_ || size_ < capacity_; });
+      while (!closed_ && size_ >= capacity_) not_full_.wait(mutex_);
     }
     if (closed_) return false;
     insert_locked(std::move(message));
@@ -159,7 +159,7 @@ bool MessageQueue::push_n(std::vector<Message> batch) {
 }
 
 std::optional<Message> MessageQueue::pop(int source, int tag) {
-  std::unique_lock lock(mutex_);
+  util::MutexLock lock(mutex_);
   for (;;) {
     if (Bucket* bucket = find_ready_locked(source, tag, Clock::now())) {
       Message out = take_head_locked(*bucket);
@@ -169,16 +169,16 @@ std::optional<Message> MessageQueue::pop(int source, int tag) {
     if (closed_) return std::nullopt;
     // Wait for a new message or for the next matching delivery deadline.
     if (const auto deadline = next_delivery_locked(source, tag)) {
-      not_empty_.wait_until(lock, *deadline);
+      not_empty_.wait_until(mutex_, *deadline);
     } else {
-      not_empty_.wait(lock);
+      not_empty_.wait(mutex_);
     }
   }
 }
 
 std::optional<Message> MessageQueue::pop_until(Clock::time_point deadline,
                                                int source, int tag) {
-  std::unique_lock lock(mutex_);
+  util::MutexLock lock(mutex_);
   for (;;) {
     const auto now = Clock::now();
     if (Bucket* bucket = find_ready_locked(source, tag, now)) {
@@ -191,12 +191,12 @@ std::optional<Message> MessageQueue::pop_until(Clock::time_point deadline,
     if (const auto next = next_delivery_locked(source, tag)) {
       wake = std::min(wake, *next);
     }
-    not_empty_.wait_until(lock, wake);
+    not_empty_.wait_until(mutex_, wake);
   }
 }
 
 std::optional<Message> MessageQueue::try_pop(int source, int tag) {
-  std::unique_lock lock(mutex_);
+  util::MutexLock lock(mutex_);
   Bucket* bucket = find_ready_locked(source, tag, Clock::now());
   if (!bucket) return std::nullopt;
   Message out = take_head_locked(*bucket);
@@ -208,7 +208,7 @@ std::vector<Message> MessageQueue::pop_n(std::size_t max_n, int source,
                                          int tag) {
   std::vector<Message> out;
   if (max_n == 0) return out;
-  std::unique_lock lock(mutex_);
+  util::MutexLock lock(mutex_);
   for (;;) {
     drain_ready_locked(out, max_n, source, tag, Clock::now());
     if (!out.empty() || closed_) {
@@ -216,9 +216,9 @@ std::vector<Message> MessageQueue::pop_n(std::size_t max_n, int source,
       return out;
     }
     if (const auto deadline = next_delivery_locked(source, tag)) {
-      not_empty_.wait_until(lock, *deadline);
+      not_empty_.wait_until(mutex_, *deadline);
     } else {
-      not_empty_.wait(lock);
+      not_empty_.wait(mutex_);
     }
   }
 }
@@ -227,26 +227,26 @@ std::vector<Message> MessageQueue::try_pop_n(std::size_t max_n, int source,
                                              int tag) {
   std::vector<Message> out;
   if (max_n == 0) return out;
-  std::unique_lock lock(mutex_);
+  util::MutexLock lock(mutex_);
   drain_ready_locked(out, max_n, source, tag, Clock::now());
   if (!out.empty()) not_full_.notify_all();
   return out;
 }
 
 void MessageQueue::close() {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   closed_ = true;
   not_empty_.notify_all();
   not_full_.notify_all();
 }
 
 bool MessageQueue::closed() const {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   return closed_;
 }
 
 std::size_t MessageQueue::size() const {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   return size_;
 }
 

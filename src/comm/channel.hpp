@@ -19,14 +19,15 @@
 // paying one mutex round-trip per item.
 
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <vector>
+
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace gridpipe::comm {
 
@@ -107,34 +108,37 @@ class MessageQueue {
            static_cast<std::uint32_t>(tag);
   }
 
-  // All helpers below assume the caller holds mutex_.
   /// Bucket for (source, tag), via a one-entry cache: ping-pong traffic
   /// hits the same pair every time, and unordered_map never invalidates
   /// mapped references (buckets are never erased), so the cached pointer
   /// stays valid across rehashes.
-  Bucket& bucket_for_locked(int source, int tag);
-  void insert_locked(Message message);
+  Bucket& bucket_for_locked(int source, int tag) GRIDPIPE_REQUIRES(mutex_);
+  void insert_locked(Message message) GRIDPIPE_REQUIRES(mutex_);
   /// Bucket whose head matches the filters and is delivered; among several
   /// the one with the lowest sequence number (global FIFO). nullptr if none.
-  Bucket* find_ready_locked(int source, int tag, Clock::time_point now);
+  Bucket* find_ready_locked(int source, int tag, Clock::time_point now)
+      GRIDPIPE_REQUIRES(mutex_);
   /// Earliest deliver_at among matching bucket heads (for timed waits).
   /// Only heads count: an undelivered head blocks its bucket.
   std::optional<Clock::time_point> next_delivery_locked(int source,
-                                                        int tag) const;
-  Message take_head_locked(Bucket& bucket);
+                                                        int tag) const
+      GRIDPIPE_REQUIRES(mutex_);
+  Message take_head_locked(Bucket& bucket) GRIDPIPE_REQUIRES(mutex_);
   void drain_ready_locked(std::vector<Message>& out, std::size_t max_n,
-                          int source, int tag, Clock::time_point now);
+                          int source, int tag, Clock::time_point now)
+      GRIDPIPE_REQUIRES(mutex_);
 
-  mutable std::mutex mutex_;
-  std::condition_variable not_full_;
-  std::condition_variable not_empty_;
-  std::unordered_map<std::uint64_t, Bucket> buckets_;
-  std::uint64_t cached_key_ = 0;
-  Bucket* cached_bucket_ = nullptr;
-  std::size_t size_ = 0;
-  std::uint64_t next_seq_ = 0;
-  std::size_t capacity_;
-  bool closed_ = false;
+  mutable util::Mutex mutex_;
+  util::CondVar not_full_;
+  util::CondVar not_empty_;
+  std::unordered_map<std::uint64_t, Bucket> buckets_
+      GRIDPIPE_GUARDED_BY(mutex_);
+  std::uint64_t cached_key_ GRIDPIPE_GUARDED_BY(mutex_) = 0;
+  Bucket* cached_bucket_ GRIDPIPE_GUARDED_BY(mutex_) = nullptr;
+  std::size_t size_ GRIDPIPE_GUARDED_BY(mutex_) = 0;
+  std::uint64_t next_seq_ GRIDPIPE_GUARDED_BY(mutex_) = 0;
+  const std::size_t capacity_;
+  bool closed_ GRIDPIPE_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace gridpipe::comm

@@ -104,7 +104,7 @@ std::optional<Message> Communicator::recv_for(
 }
 
 void Communicator::barrier() {
-  std::unique_lock lock(barrier_mutex_);
+  util::MutexLock lock(barrier_mutex_);
   const std::uint64_t my_generation = barrier_generation_;
   if (++barrier_waiting_ == size()) {
     barrier_waiting_ = 0;
@@ -112,9 +112,9 @@ void Communicator::barrier() {
     barrier_cv_.notify_all();
     return;
   }
-  barrier_cv_.wait(lock, [this, my_generation] {
-    return barrier_generation_ != my_generation || shutdown_.load();
-  });
+  while (barrier_generation_ == my_generation && !shutdown_.load()) {
+    barrier_cv_.wait(barrier_mutex_);
+  }
 }
 
 std::vector<std::byte> Communicator::broadcast(int me, int root,
@@ -149,7 +149,15 @@ std::vector<std::vector<std::byte>> Communicator::gather(
 void Communicator::shutdown() {
   if (shutdown_.exchange(true)) return;
   for (auto& q : queues_) q->close();
-  barrier_cv_.notify_all();
+  {
+    // The notify must happen under barrier_mutex_: shutdown_ is part of
+    // the barrier wait predicate but is not written under the waiter's
+    // lock, so a bare notify could land between a waiter's predicate
+    // check and its re-block and be lost — leaving barrier() stuck
+    // forever on a communicator that is already shut down.
+    util::MutexLock lock(barrier_mutex_);
+    barrier_cv_.notify_all();
+  }
 }
 
 }  // namespace gridpipe::comm

@@ -12,6 +12,8 @@
 
 #include "comm/channel.hpp"
 #include "comm/delay_model.hpp"
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace gridpipe::comm {
 
@@ -106,10 +108,10 @@ class Communicator {
   std::atomic<bool> shutdown_{false};
 
   // Central barrier state.
-  std::mutex barrier_mutex_;
-  std::condition_variable barrier_cv_;
-  int barrier_waiting_ = 0;
-  std::uint64_t barrier_generation_ = 0;
+  util::Mutex barrier_mutex_;
+  util::CondVar barrier_cv_;
+  int barrier_waiting_ GRIDPIPE_GUARDED_BY(barrier_mutex_) = 0;
+  std::uint64_t barrier_generation_ GRIDPIPE_GUARDED_BY(barrier_mutex_) = 0;
 };
 
 }  // namespace gridpipe::comm

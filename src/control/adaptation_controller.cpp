@@ -136,7 +136,7 @@ AdaptationController::AdaptationController(const grid::Grid& grid,
 
 void AdaptationController::record_observation(monitor::SensorId id,
                                               double value) {
-  std::lock_guard lock(registry_mutex_);
+  util::MutexLock lock(registry_mutex_);
   registry_.record(id, host_.virtual_now(), value);
 }
 
@@ -190,7 +190,7 @@ EpochRecord AdaptationController::run_epoch() {
   if (mode_ == Mode::kOracle) {
     est = sched::ResourceEstimate::from_grid(grid_, now);
   } else {
-    std::lock_guard lock(registry_mutex_);
+    util::MutexLock lock(registry_mutex_);
     est = sched::ResourceEstimate::from_monitor(registry_, grid_);
   }
   end_phase("forecast", record.phases.forecast);

@@ -16,7 +16,6 @@
 // into (record_observation is thread-safe; the threaded runtime calls it
 // from worker threads).
 
-#include <mutex>
 #include <vector>
 
 #include "control/adaptation_config.hpp"
@@ -25,6 +24,8 @@
 #include "obs/sinks.hpp"
 #include "sched/exhaustive.hpp"  // sched::MapperResult
 #include "sched/mapping.hpp"
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace gridpipe::control {
 
@@ -89,8 +90,14 @@ class AdaptationController {
   void record_observation(monitor::SensorId id, double value);
 
   /// Unsynchronized registry access for single-threaded hosts (the DES
-  /// wires PipelineSim's passive observations straight into it).
-  monitor::MonitoringRegistry& registry() noexcept { return registry_; }
+  /// wires PipelineSim's passive observations straight into it). Escapes
+  /// the thread-safety analysis on purpose: handing out a reference to
+  /// the guarded member is only sound because those hosts never run a
+  /// second thread.
+  monitor::MonitoringRegistry& registry() noexcept
+      GRIDPIPE_NO_THREAD_SAFETY_ANALYSIS {
+    return registry_;
+  }
 
   /// Epoch timeline so far. Not synchronized against run_epoch — read it
   /// after the run (or from the controlling thread).
@@ -114,8 +121,8 @@ class AdaptationController {
   double last_decision_time_ = 0.0;
   std::vector<EpochRecord> epochs_;
 
-  mutable std::mutex registry_mutex_;
-  monitor::MonitoringRegistry registry_;
+  mutable util::Mutex registry_mutex_;
+  monitor::MonitoringRegistry registry_ GRIDPIPE_GUARDED_BY(registry_mutex_);
 };
 
 }  // namespace gridpipe::control

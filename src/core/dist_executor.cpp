@@ -122,7 +122,7 @@ void DistributedExecutor::worker_loop(int rank) {
     // stream: capture the first error; the controller loop notices it
     // within one poll tick and shuts the fleet down, and
     // stream_finish() rethrows it to the caller.
-    std::lock_guard lock(stream_mutex_);
+    util::MutexLock lock(stream_mutex_);
     if (!stream_error_) stream_error_ = std::current_exception();
   }
 }
@@ -312,7 +312,7 @@ void DistributedExecutor::controller_loop() {
       }
       ++completed;
       {
-        std::lock_guard lock(stream_mutex_);
+        util::MutexLock lock(stream_mutex_);
         out_buffer_.emplace(item, std::move(payload));
         if (config_.obs.tracer) completed_at_.emplace(item, vnow);
         ++completed_count_;
@@ -333,7 +333,7 @@ void DistributedExecutor::controller_loop() {
     // credit window.
     bool done = false;
     {
-      std::lock_guard lock(stream_mutex_);
+      util::MutexLock lock(stream_mutex_);
       while (!incoming_.empty()) {
         pending.push_back(std::move(incoming_.front()));
         incoming_.pop_front();
@@ -386,7 +386,7 @@ void DistributedExecutor::stream_begin() {
   controller_ = make_controller();
 
   {
-    std::lock_guard lock(stream_mutex_);
+    util::MutexLock lock(stream_mutex_);
     incoming_.clear();
     out_buffer_.clear();
     completed_at_.clear();
@@ -411,7 +411,7 @@ void DistributedExecutor::stream_begin() {
 }
 
 void DistributedExecutor::stream_push(Bytes item) {
-  std::lock_guard lock(stream_mutex_);
+  util::MutexLock lock(stream_mutex_);
   if (!stream_active_ || closed_) {
     throw std::logic_error("DistributedExecutor: push on a closed stream");
   }
@@ -420,7 +420,7 @@ void DistributedExecutor::stream_push(Bytes item) {
 }
 
 std::optional<Bytes> DistributedExecutor::stream_try_pop() {
-  std::lock_guard lock(stream_mutex_);
+  util::MutexLock lock(stream_mutex_);
   auto it = out_buffer_.find(next_out_);
   if (it == out_buffer_.end()) return std::nullopt;
   Bytes out = std::move(it->second);
@@ -439,7 +439,7 @@ std::optional<Bytes> DistributedExecutor::stream_try_pop() {
 }
 
 void DistributedExecutor::stream_close() {
-  std::lock_guard lock(stream_mutex_);
+  util::MutexLock lock(stream_mutex_);
   closed_ = true;
 }
 
@@ -448,7 +448,7 @@ RunReport DistributedExecutor::stream_finish() {
     throw std::logic_error("DistributedExecutor: no active stream to finish");
   }
   {
-    std::lock_guard lock(stream_mutex_);
+    util::MutexLock lock(stream_mutex_);
     if (!closed_) {
       throw std::logic_error(
           "DistributedExecutor: stream_close() before stream_finish()");
@@ -470,7 +470,7 @@ RunReport DistributedExecutor::stream_finish() {
   }
   stream_active_ = false;
   {
-    std::lock_guard lock(stream_mutex_);
+    util::MutexLock lock(stream_mutex_);
     if (stream_error_) std::rethrow_exception(stream_error_);
   }
 
@@ -479,7 +479,7 @@ RunReport DistributedExecutor::stream_finish() {
           .count();
   std::uint64_t items = 0;
   {
-    std::lock_guard lock(stream_mutex_);
+    util::MutexLock lock(stream_mutex_);
     items = completed_count_;
   }
   RunReport report;

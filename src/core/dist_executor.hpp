@@ -38,7 +38,6 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <thread>
 
@@ -49,6 +48,8 @@
 #include "obs/metrics.hpp"
 #include "obs/sinks.hpp"
 #include "sched/replica_router.hpp"
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace gridpipe::core {
 
@@ -173,19 +174,22 @@ class DistributedExecutor : private control::AdaptationHost {
 
   // Stream state shared between the pushing/popping caller and the
   // controller thread.
-  std::mutex stream_mutex_;
-  std::deque<std::pair<std::uint64_t, Bytes>> incoming_;
-  std::map<std::uint64_t, Bytes> out_buffer_;
+  util::Mutex stream_mutex_;
+  std::deque<std::pair<std::uint64_t, Bytes>> incoming_
+      GRIDPIPE_GUARDED_BY(stream_mutex_);
+  std::map<std::uint64_t, Bytes> out_buffer_
+      GRIDPIPE_GUARDED_BY(stream_mutex_);
   /// Virtual completion time per buffered output; populated only when
   /// tracing (feeds the ordered-buffer wait span on pop).
-  std::map<std::uint64_t, double> completed_at_;
-  std::uint64_t next_out_ = 0;
-  std::uint64_t pushed_ = 0;
-  std::uint64_t completed_count_ = 0;
-  bool closed_ = false;
-  /// First stage exception (guarded by stream_mutex_); ends the stream
-  /// and is rethrown by stream_finish().
-  std::exception_ptr stream_error_;
+  std::map<std::uint64_t, double> completed_at_
+      GRIDPIPE_GUARDED_BY(stream_mutex_);
+  std::uint64_t next_out_ GRIDPIPE_GUARDED_BY(stream_mutex_) = 0;
+  std::uint64_t pushed_ GRIDPIPE_GUARDED_BY(stream_mutex_) = 0;
+  std::uint64_t completed_count_ GRIDPIPE_GUARDED_BY(stream_mutex_) = 0;
+  bool closed_ GRIDPIPE_GUARDED_BY(stream_mutex_) = false;
+  /// First stage exception; ends the stream and is rethrown by
+  /// stream_finish().
+  std::exception_ptr stream_error_ GRIDPIPE_GUARDED_BY(stream_mutex_);
   /// Virtual admission time per in-flight item (controller thread only;
   /// for latency metrics).
   std::map<std::uint64_t, double> admit_time_;

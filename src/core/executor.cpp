@@ -64,7 +64,7 @@ double Executor::virtual_now() const {
 }
 
 sched::Mapping Executor::deployed_mapping() const {
-  std::lock_guard lock(routing_mutex_);
+  util::MutexLock lock(routing_mutex_);
   return mapping_;
 }
 
@@ -84,11 +84,12 @@ void Executor::admit_locked(std::uint64_t index, std::any payload) {
   obs::record_span(config_.obs.tracer, obs::SpanKind::kAdmit, "admit", vnow,
                    0.0, 0, index);
   const grid::NodeId node = pick_replica_locked(0);
+  NodeWorker& w = *workers_[node];
   {
-    std::lock_guard node_lock(workers_[node]->mutex);
-    workers_[node]->queue.push_back(std::move(task));
+    util::MutexLock node_lock(w.mutex);
+    w.queue.push_back(std::move(task));
   }
-  workers_[node]->cv.notify_one();
+  w.cv.notify_one();
 }
 
 std::vector<Executor::RtTask> Executor::next_tasks(grid::NodeId node,
@@ -96,7 +97,7 @@ std::vector<Executor::RtTask> Executor::next_tasks(grid::NodeId node,
                                                    std::uint64_t& gen_out) {
   NodeWorker& w = *workers_[node];
   std::vector<RtTask> out;
-  std::unique_lock lock(w.mutex);
+  util::MutexLock lock(w.mutex);
   for (;;) {
     // Snapshot the remap generation at extraction time, under w.mutex:
     // a remap that fully completed while this worker was blocked has
@@ -130,9 +131,9 @@ std::vector<Executor::RtTask> Executor::next_tasks(grid::NodeId node,
       deadline = std::min(deadline, std::max(t.deliver_at, freeze));
     }
     if (deadline == Clock::time_point::max()) {
-      w.cv.wait(lock);
+      w.cv.wait(w.mutex);
     } else {
-      w.cv.wait_until(lock, deadline);
+      w.cv.wait_until(w.mutex, deadline);
     }
   }
 }
@@ -143,14 +144,15 @@ void Executor::worker_loop(grid::NodeId node) {
   } catch (...) {
     // A throwing stage function ends the stream: capture the first
     // error (Session::report rethrows it), stop every worker, and wake
-    // the controller out of its completion wait.
+    // the controller out of its completion wait. stream_error_ is
+    // stored under result_mutex_ before the notify, so the controller's
+    // predicate cannot miss it.
     {
-      std::lock_guard lock(result_mutex_);
+      util::MutexLock lock(result_mutex_);
       if (!stream_error_) stream_error_ = std::current_exception();
     }
-    done_.store(true);
     result_cv_.notify_all();
-    for (auto& worker : workers_) worker->cv.notify_all();
+    signal_done();
   }
 }
 
@@ -197,7 +199,7 @@ void Executor::worker_loop_impl(grid::NodeId node) {
           config_.time_scale;
 
       {
-        std::lock_guard lock(metrics_mutex_);
+        util::MutexLock lock(metrics_mutex_);
         metrics_.on_service(task.stage, duration_virtual);
       }
       obs::record_span(config_.obs.tracer, obs::SpanKind::kStage,
@@ -225,12 +227,12 @@ void Executor::requeue_per_mapping(std::vector<RtTask> tasks) {
   // it at queue fronts (the old handback's placement): these are the
   // oldest in-flight items, already delayed by the remap, and must not
   // queue behind admissions that arrived while they were held.
-  std::lock_guard routing_lock(routing_mutex_);
+  util::MutexLock routing_lock(routing_mutex_);
   for (auto it = tasks.rbegin(); it != tasks.rend(); ++it) {
     const grid::NodeId node = pick_replica_locked(it->stage);
     NodeWorker& w = *workers_[node];
     {
-      std::lock_guard node_lock(w.mutex);
+      util::MutexLock node_lock(w.mutex);
       w.queue.push_front(std::move(*it));
     }
     w.cv.notify_one();
@@ -245,7 +247,7 @@ void Executor::route_onward(grid::NodeId from, RtTask task) {
   }
   grid::NodeId dst;
   {
-    std::lock_guard lock(routing_mutex_);
+    util::MutexLock lock(routing_mutex_);
     dst = pick_replica_locked(next_stage);
   }
   const double vnow = virtual_now();
@@ -256,17 +258,18 @@ void Executor::route_onward(grid::NodeId from, RtTask task) {
                    task.item, static_cast<std::uint32_t>(next_stage));
   task.stage = next_stage;
   task.deliver_at = Clock::now() + to_real(delay_virtual, config_.time_scale);
+  NodeWorker& w = *workers_[dst];
   {
-    std::lock_guard node_lock(workers_[dst]->mutex);
-    workers_[dst]->queue.push_back(std::move(task));
+    util::MutexLock node_lock(w.mutex);
+    w.queue.push_back(std::move(task));
   }
-  workers_[dst]->cv.notify_one();
+  w.cv.notify_one();
 }
 
 void Executor::complete_item(std::uint64_t item, std::any output) {
   double created_at = 0.0;
   {
-    std::lock_guard lock(routing_mutex_);
+    util::MutexLock lock(routing_mutex_);
     if (auto it = admit_time_.find(item); it != admit_time_.end()) {
       created_at = it->second;
       admit_time_.erase(it);
@@ -274,7 +277,7 @@ void Executor::complete_item(std::uint64_t item, std::any output) {
   }
   const double vnow = virtual_now();
   {
-    std::lock_guard lock(metrics_mutex_);
+    util::MutexLock lock(metrics_mutex_);
     metrics_.on_item_completed(item, vnow, created_at);
   }
   obs::record_span(config_.obs.tracer, obs::SpanKind::kItem, "item",
@@ -284,7 +287,7 @@ void Executor::complete_item(std::uint64_t item, std::any output) {
     obs_metrics_.item_latency->record(vnow - created_at);
   }
   {
-    std::lock_guard lock(result_mutex_);
+    util::MutexLock lock(result_mutex_);
     out_buffer_.emplace(item, std::move(output));
     if (config_.obs.tracer) completed_at_.emplace(item, vnow);
     completed_count_.fetch_add(1);
@@ -293,7 +296,7 @@ void Executor::complete_item(std::uint64_t item, std::any output) {
   result_cv_.notify_all();
   // A completion frees one unit of in-flight credit: admit the oldest
   // pending push, if any.
-  std::lock_guard lock(routing_mutex_);
+  util::MutexLock lock(routing_mutex_);
   while (!pending_.empty() &&
          admitted_ - completed_count_.load() < config_.window) {
     auto entry = std::move(pending_.front());
@@ -325,7 +328,7 @@ void Executor::record_probes(double vnow) {
 void Executor::apply_remap(const sched::Mapping& to, double pause_virtual) {
   // Lock order: routing, then nodes in id order (route_onward uses the
   // same routing -> node order, never the reverse while holding a node).
-  std::lock_guard routing_lock(routing_mutex_);
+  util::MutexLock routing_lock(routing_mutex_);
   const auto now = Clock::now();
   const auto freeze_end = now + to_real(pause_virtual, config_.time_scale);
   freeze_until_.store(freeze_end.time_since_epoch().count(),
@@ -337,7 +340,7 @@ void Executor::apply_remap(const sched::Mapping& to, double pause_virtual) {
   event.from = mapping_.to_string();
   event.to = to.to_string();
   {
-    std::lock_guard lock(metrics_mutex_);
+    util::MutexLock lock(metrics_mutex_);
     metrics_.on_remap(std::move(event));
   }
 
@@ -353,7 +356,7 @@ void Executor::apply_remap(const sched::Mapping& to, double pause_virtual) {
   // Drain all queues, switch the mapping, redistribute.
   std::vector<RtTask> pending;
   for (auto& worker : workers_) {
-    std::lock_guard node_lock(worker->mutex);
+    util::MutexLock node_lock(worker->mutex);
     std::move(worker->queue.begin(), worker->queue.end(),
               std::back_inserter(pending));
     worker->queue.clear();
@@ -364,29 +367,44 @@ void Executor::apply_remap(const sched::Mapping& to, double pause_virtual) {
   router_.reset(spec_.num_stages());
   for (RtTask& task : pending) {
     const grid::NodeId node = pick_replica_locked(task.stage);
-    std::lock_guard node_lock(workers_[node]->mutex);
-    workers_[node]->queue.push_back(std::move(task));
+    NodeWorker& w = *workers_[node];
+    util::MutexLock node_lock(w.mutex);
+    w.queue.push_back(std::move(task));
   }
   remap_gen_.fetch_add(1, std::memory_order_release);  // second seqlock bump
   for (auto& worker : workers_) worker->cv.notify_all();
 }
 
+void Executor::signal_done() {
+  done_.store(true);
+  for (auto& worker : workers_) {
+    util::MutexLock node_lock(worker->mutex);
+    worker->cv.notify_all();
+  }
+}
+
 void Executor::controller_loop() {
   if (config_.adapt.epoch <= 0.0) {
     // No adaptation: just wait for end-of-stream.
-    std::unique_lock lock(result_mutex_);
-    result_cv_.wait(lock, [this] { return stream_done_locked(); });
+    util::MutexLock lock(result_mutex_);
+    while (!stream_done_locked()) result_cv_.wait(result_mutex_);
     return;
   }
   const auto epoch_real = to_real(config_.adapt.epoch, config_.time_scale);
 
   for (;;) {
     {
-      std::unique_lock lock(result_mutex_);
-      if (result_cv_.wait_for(lock, epoch_real,
-                              [this] { return stream_done_locked(); })) {
-        return;
+      const auto deadline = Clock::now() + epoch_real;
+      util::MutexLock lock(result_mutex_);
+      bool stream_done = false;
+      while (!(stream_done = stream_done_locked())) {
+        if (result_cv_.wait_until(result_mutex_, deadline) ==
+            std::cv_status::timeout) {
+          stream_done = stream_done_locked();
+          break;
+        }
       }
+      if (stream_done) return;
     }
     controller_->run_epoch();
   }
@@ -402,7 +420,7 @@ void Executor::stream_begin() {
   controller_ = make_controller();
 
   {
-    std::lock_guard lock(result_mutex_);
+    util::MutexLock lock(result_mutex_);
     out_buffer_.clear();
     completed_at_.clear();
     next_out_ = 0;
@@ -414,11 +432,11 @@ void Executor::stream_begin() {
   {
     // Metrics restart with the virtual clock (their time series require
     // monotonic timestamps).
-    std::lock_guard lock(metrics_mutex_);
+    util::MutexLock lock(metrics_mutex_);
     metrics_ = sim::SimMetrics{};
   }
   {
-    std::lock_guard lock(routing_mutex_);
+    util::MutexLock lock(routing_mutex_);
     pending_.clear();
     admit_time_.clear();
     admitted_ = 0;
@@ -437,7 +455,7 @@ void Executor::stream_begin() {
 }
 
 void Executor::stream_push(std::any item) {
-  std::lock_guard lock(routing_mutex_);
+  util::MutexLock lock(routing_mutex_);
   if (!stream_active_ || closed_.load()) {
     throw std::logic_error("Executor: push on a closed stream");
   }
@@ -451,7 +469,7 @@ void Executor::stream_push(std::any item) {
 }
 
 std::optional<std::any> Executor::stream_try_pop() {
-  std::lock_guard lock(result_mutex_);
+  util::MutexLock lock(result_mutex_);
   auto it = out_buffer_.find(next_out_);
   if (it == out_buffer_.end()) return std::nullopt;
   std::any out = std::move(it->second);
@@ -475,7 +493,7 @@ void Executor::stream_close() {
   // can read closed_ == false in the predicate, miss this notify while
   // still between predicate and re-block, and sleep forever (no further
   // completion will ever notify again).
-  std::lock_guard lock(result_mutex_);
+  util::MutexLock lock(result_mutex_);
   closed_.store(true);
   result_cv_.notify_all();
 }
@@ -489,13 +507,12 @@ RunReport Executor::stream_finish() {
   }
   controller_thread_.join();
 
-  done_.store(true);
-  for (auto& worker : workers_) worker->cv.notify_all();
+  signal_done();
   for (auto& thread : threads_) thread.join();
   threads_.clear();
   stream_active_ = false;
   {
-    std::lock_guard lock(result_mutex_);
+    util::MutexLock lock(result_mutex_);
     if (stream_error_) std::rethrow_exception(stream_error_);
   }
 
@@ -506,12 +523,12 @@ RunReport Executor::stream_finish() {
     // Every thread is joined by now; the lock is only for form. Move,
     // don't copy — the metric series are O(items). stream_begin resets
     // the moved-from member.
-    std::lock_guard lock(metrics_mutex_);
+    util::MutexLock lock(metrics_mutex_);
     metrics_taken = std::move(metrics_);
   }
   std::string final_mapping;
   {
-    std::lock_guard lock(routing_mutex_);
+    util::MutexLock lock(routing_mutex_);
     final_mapping = mapping_.to_string();
   }
   RunReport report;

@@ -23,12 +23,10 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <deque>
 #include <exception>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <thread>
 
@@ -41,6 +39,8 @@
 #include "sched/replica_router.hpp"
 #include "sim/metrics.hpp"
 #include "util/rng.hpp"
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace gridpipe::core {
 
@@ -99,9 +99,9 @@ class Executor : private control::AdaptationHost {
     Clock::time_point deliver_at{};
   };
   struct NodeWorker {
-    std::mutex mutex;
-    std::condition_variable cv;
-    std::deque<RtTask> queue;
+    util::Mutex mutex;
+    util::CondVar cv;
+    std::deque<RtTask> queue GRIDPIPE_GUARDED_BY(mutex);
   };
 
   // control::AdaptationHost (called from the controller epoch loop).
@@ -129,18 +129,25 @@ class Executor : private control::AdaptationHost {
   void requeue_per_mapping(std::vector<RtTask> tasks);
   void route_onward(grid::NodeId from, RtTask task);
   void complete_item(std::uint64_t item, std::any output);
-  /// Caller holds routing_mutex_.
-  void admit_locked(std::uint64_t index, std::any payload);
+  void admit_locked(std::uint64_t index, std::any payload)
+      GRIDPIPE_REQUIRES(routing_mutex_);
   void controller_loop();
   /// Body of worker_loop; a stage exception escaping it is captured into
   /// stream_error_ and ends the stream.
   void worker_loop_impl(grid::NodeId node);
-  /// Caller holds result_mutex_.
-  bool stream_done_locked() const {
+  bool stream_done_locked() const GRIDPIPE_REQUIRES(result_mutex_) {
     return stream_error_ != nullptr ||
            (closed_.load() && completed_count_.load() == pushed_.load());
   }
-  grid::NodeId pick_replica_locked(std::size_t stage);
+  grid::NodeId pick_replica_locked(std::size_t stage)
+      GRIDPIPE_REQUIRES(routing_mutex_);
+  /// Stores done_ and wakes every worker out of its queue wait. The
+  /// notify happens under each worker's mutex: done_ is the one wait
+  /// predicate not written under the waiter's lock (it is a single flag
+  /// shared by N per-worker mutexes), so a bare notify could land in a
+  /// worker's window between its done_ check and its cv wait and be
+  /// lost forever.
+  void signal_done();
 
   const grid::Grid& grid_;
   PipelineSpec spec_;
@@ -148,14 +155,16 @@ class Executor : private control::AdaptationHost {
   ExecutorConfig config_;
 
   // Routing state (mapping, round-robin, admission) — one mutex.
-  mutable std::mutex routing_mutex_;
-  sched::Mapping mapping_;
-  sched::ReplicaRouter router_;
+  mutable util::Mutex routing_mutex_;
+  sched::Mapping mapping_ GRIDPIPE_GUARDED_BY(routing_mutex_);
+  sched::ReplicaRouter router_ GRIDPIPE_GUARDED_BY(routing_mutex_);
   /// Pushed items waiting for in-flight credit, in input order.
-  std::deque<std::pair<std::uint64_t, std::any>> pending_;
+  std::deque<std::pair<std::uint64_t, std::any>> pending_
+      GRIDPIPE_GUARDED_BY(routing_mutex_);
   /// Virtual admission time per in-flight item (for latency metrics).
-  std::map<std::uint64_t, double> admit_time_;
-  std::uint64_t admitted_ = 0;
+  std::map<std::uint64_t, double> admit_time_
+      GRIDPIPE_GUARDED_BY(routing_mutex_);
+  std::uint64_t admitted_ GRIDPIPE_GUARDED_BY(routing_mutex_) = 0;
   /// Written under routing_mutex_; atomic so the controller's completion
   /// predicate (held under result_mutex_) can read them.
   std::atomic<std::uint64_t> pushed_{0};
@@ -176,25 +185,27 @@ class Executor : private control::AdaptationHost {
   Clock::time_point start_{};
 
   // Results: outputs buffered by input index until popped.
-  std::mutex result_mutex_;
-  std::condition_variable result_cv_;
-  std::map<std::uint64_t, std::any> out_buffer_;
+  mutable util::Mutex result_mutex_;
+  util::CondVar result_cv_;
+  std::map<std::uint64_t, std::any> out_buffer_
+      GRIDPIPE_GUARDED_BY(result_mutex_);
   /// Virtual completion time per buffered output; populated only when
   /// tracing (feeds the ordered-buffer wait span on pop).
-  std::map<std::uint64_t, double> completed_at_;
-  std::uint64_t next_out_ = 0;
+  std::map<std::uint64_t, double> completed_at_
+      GRIDPIPE_GUARDED_BY(result_mutex_);
+  std::uint64_t next_out_ GRIDPIPE_GUARDED_BY(result_mutex_) = 0;
   /// Written under result_mutex_; atomic so the admission path (under
   /// routing_mutex_) can read the in-flight count without result_mutex_.
   std::atomic<std::uint64_t> completed_count_{0};
-  /// First stage exception (guarded by result_mutex_); ends the stream
-  /// and is rethrown by stream_finish().
-  std::exception_ptr stream_error_;
+  /// First stage exception; ends the stream and is rethrown by
+  /// stream_finish().
+  std::exception_ptr stream_error_ GRIDPIPE_GUARDED_BY(result_mutex_);
 
   // Monitoring / adaptation: the shared controller owns the registry and
   // the decision loop; workers feed observations through it.
   std::unique_ptr<control::AdaptationController> controller_;
-  std::mutex metrics_mutex_;
-  sim::SimMetrics metrics_;
+  util::Mutex metrics_mutex_;
+  sim::SimMetrics metrics_ GRIDPIPE_GUARDED_BY(metrics_mutex_);
   /// Pre-resolved obs handles (all null when config_.obs.metrics is).
   obs::StandardMetrics obs_metrics_;
   util::Xoshiro256 rng_;

@@ -96,11 +96,9 @@ double Histogram::percentile(double p) const noexcept {
 
 // ------------------------------------------------------------ registry
 
-namespace {
-
-template <class Map, class T>
-T& find_or_create(std::mutex& mutex, Map& map, std::string_view name) {
-  const std::lock_guard<std::mutex> lock(mutex);
+template <class Map>
+auto& MetricsRegistry::find_or_create(Map& map, std::string_view name) {
+  using T = typename Map::mapped_type::element_type;
   auto it = map.find(name);
   if (it == map.end()) {
     it = map.emplace(std::string(name), std::make_unique<T>()).first;
@@ -108,23 +106,23 @@ T& find_or_create(std::mutex& mutex, Map& map, std::string_view name) {
   return *it->second;
 }
 
-}  // namespace
-
 Counter& MetricsRegistry::counter(std::string_view name) {
-  return find_or_create<decltype(counters_), Counter>(mutex_, counters_, name);
+  const util::MutexLock lock(mutex_);
+  return find_or_create(counters_, name);
 }
 
 Gauge& MetricsRegistry::gauge(std::string_view name) {
-  return find_or_create<decltype(gauges_), Gauge>(mutex_, gauges_, name);
+  const util::MutexLock lock(mutex_);
+  return find_or_create(gauges_, name);
 }
 
 Histogram& MetricsRegistry::histogram(std::string_view name) {
-  return find_or_create<decltype(histograms_), Histogram>(mutex_, histograms_,
-                                                          name);
+  const util::MutexLock lock(mutex_);
+  return find_or_create(histograms_, name);
 }
 
 MetricsSnapshot MetricsRegistry::snapshot() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   MetricsSnapshot snap;
   snap.counters.reserve(counters_.size());
   for (const auto& [name, c] : counters_) {

@@ -18,10 +18,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace gridpipe::obs {
 
@@ -160,10 +162,17 @@ class MetricsRegistry {
   MetricsSnapshot snapshot() const;
 
  private:
-  mutable std::mutex mutex_;
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  template <class Map>
+  auto& find_or_create(Map& map, std::string_view name)
+      GRIDPIPE_REQUIRES(mutex_);
+
+  mutable util::Mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      GRIDPIPE_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+      GRIDPIPE_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_
+      GRIDPIPE_GUARDED_BY(mutex_);
 };
 
 /// Pre-resolved handles for the standard per-run metrics. Substrates

@@ -22,12 +22,12 @@ const char* to_string(SpanKind kind) noexcept {
 }
 
 void Tracer::record(TraceEvent event) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   events_.push_back(std::move(event));
 }
 
 void Tracer::record_batch(std::vector<TraceEvent> events) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   if (events_.empty()) {
     events_ = std::move(events);
   } else {
@@ -37,12 +37,12 @@ void Tracer::record_batch(std::vector<TraceEvent> events) {
 }
 
 std::size_t Tracer::size() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return events_.size();
 }
 
 std::vector<TraceEvent> Tracer::events() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return events_;
 }
 

@@ -14,10 +14,12 @@
 
 #include <cstdint>
 #include <iosfwd>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace gridpipe::obs {
 
@@ -67,8 +69,8 @@ class Tracer {
   void write_chrome_trace(std::ostream& os) const;
 
  private:
-  mutable std::mutex mutex_;
-  std::vector<TraceEvent> events_;
+  mutable util::Mutex mutex_;
+  std::vector<TraceEvent> events_ GRIDPIPE_GUARDED_BY(mutex_);
 };
 
 /// The one hot-path entry point: a single branch when `tracer` is null,

@@ -2,9 +2,9 @@
 
 #include <algorithm>
 #include <cerrno>
-#include <cstring>
 #include <stdexcept>
 #include <string>
+#include <system_error>
 
 #include <poll.h>
 #include <signal.h>
@@ -27,10 +27,22 @@ std::string describe_wait_status(int status) {
     return "exit code " + std::to_string(WEXITSTATUS(status));
   }
   if (WIFSIGNALED(status)) {
-    return std::string("signal ") + std::to_string(WTERMSIG(status)) + " (" +
-           strsignal(WTERMSIG(status)) + ")";
+    const int sig = WTERMSIG(status);
+    std::string out = "signal " + std::to_string(sig);
+#if defined(__GLIBC__) && (__GLIBC__ > 2 || __GLIBC_MINOR__ >= 32)
+    // sigdescr_np is the thread-safe strsignal (no shared static buffer).
+    if (const char* name = ::sigdescr_np(sig)) {
+      out += std::string(" (") + name + ")";
+    }
+#endif
+    return out;
   }
   return "status " + std::to_string(status);
+}
+
+/// strerror without the shared-static-buffer thread hazard.
+std::string describe_errno(int err) {
+  return std::generic_category().message(err);
 }
 
 }  // namespace
@@ -125,7 +137,7 @@ void ProcessExecutor::spawn_fleet() {
       const int err = errno;
       kill_fleet();
       throw std::runtime_error(std::string("ProcessExecutor: fork: ") +
-                               std::strerror(err));
+                               describe_errno(err));
     }
     if (pid == 0) {
       // Child: drop every parent-side fd inherited from earlier spawns
@@ -200,7 +212,7 @@ void ProcessExecutor::handle_frame(std::size_t source, Frame frame) {
       }
       ++completed_;
       {
-        std::lock_guard lock(stream_mutex_);
+        util::MutexLock lock(stream_mutex_);
         out_buffer_.emplace(item, std::move(payload));
         if (config_.obs.tracer) completed_at_.emplace(item, vnow);
       }
@@ -233,7 +245,7 @@ void ProcessExecutor::event_loop() {
     // credit window; check end-of-stream under the same lock.
     bool done = false;
     {
-      std::lock_guard lock(stream_mutex_);
+      util::MutexLock lock(stream_mutex_);
       while (!incoming_.empty()) {
         pending_.push_back(std::move(incoming_.front()));
         incoming_.pop_front();
@@ -266,7 +278,7 @@ void ProcessExecutor::event_loop() {
     if (ready < 0 && errno != EINTR) {
       kill_fleet();
       throw std::runtime_error(std::string("ProcessExecutor: poll: ") +
-                               std::strerror(errno));
+                               describe_errno(errno));
     }
 
     for (std::size_t i = 0; i < workers_.size() && ready > 0; ++i) {
@@ -283,7 +295,7 @@ void ProcessExecutor::event_loop() {
         if (!alive) {
           bool still_running = false;
           {
-            std::lock_guard lock(stream_mutex_);
+            util::MutexLock lock(stream_mutex_);
             still_running = !(closed_ && completed_ == pushed_);
           }
           if (still_running) fail_run(i);
@@ -304,7 +316,7 @@ void ProcessExecutor::controller_main() {
     shutdown_fleet();
   } catch (...) {
     {
-      std::lock_guard lock(stream_mutex_);
+      util::MutexLock lock(stream_mutex_);
       stream_error_ = std::current_exception();
     }
     kill_fleet();
@@ -394,7 +406,7 @@ void ProcessExecutor::stream_begin() {
   controller_ = make_controller();
 
   {
-    std::lock_guard lock(stream_mutex_);
+    util::MutexLock lock(stream_mutex_);
     incoming_.clear();
     out_buffer_.clear();
     completed_at_.clear();
@@ -421,7 +433,7 @@ void ProcessExecutor::stream_begin() {
 }
 
 void ProcessExecutor::stream_push(Bytes item) {
-  std::lock_guard lock(stream_mutex_);
+  util::MutexLock lock(stream_mutex_);
   if (!stream_active_ || closed_) {
     throw std::logic_error("ProcessExecutor: push on a closed stream");
   }
@@ -430,7 +442,7 @@ void ProcessExecutor::stream_push(Bytes item) {
 }
 
 std::optional<Bytes> ProcessExecutor::stream_try_pop() {
-  std::lock_guard lock(stream_mutex_);
+  util::MutexLock lock(stream_mutex_);
   auto it = out_buffer_.find(next_out_);
   if (it == out_buffer_.end()) return std::nullopt;
   Bytes out = std::move(it->second);
@@ -449,7 +461,7 @@ std::optional<Bytes> ProcessExecutor::stream_try_pop() {
 }
 
 void ProcessExecutor::stream_close() {
-  std::lock_guard lock(stream_mutex_);
+  util::MutexLock lock(stream_mutex_);
   closed_ = true;
 }
 
@@ -458,7 +470,7 @@ core::RunReport ProcessExecutor::stream_finish() {
     throw std::logic_error("ProcessExecutor: no active stream to finish");
   }
   {
-    std::lock_guard lock(stream_mutex_);
+    util::MutexLock lock(stream_mutex_);
     if (!closed_) {
       throw std::logic_error(
           "ProcessExecutor: stream_close() before stream_finish()");
@@ -467,7 +479,7 @@ core::RunReport ProcessExecutor::stream_finish() {
   controller_thread_.join();
   stream_active_ = false;
   {
-    std::lock_guard lock(stream_mutex_);
+    util::MutexLock lock(stream_mutex_);
     if (stream_error_) std::rethrow_exception(stream_error_);
   }
 

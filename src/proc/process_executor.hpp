@@ -47,7 +47,6 @@
 #include <exception>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <thread>
 #include <vector>
@@ -59,6 +58,8 @@
 #include "obs/sinks.hpp"
 #include "proc/transport.hpp"
 #include "sched/replica_router.hpp"
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace gridpipe::proc {
 
@@ -155,16 +156,19 @@ class ProcessExecutor : private control::AdaptationHost {
 
   // Stream state shared between the pushing/popping caller and the
   // controller thread.
-  std::mutex stream_mutex_;
-  std::deque<std::pair<std::uint64_t, Bytes>> incoming_;
-  std::map<std::uint64_t, Bytes> out_buffer_;
+  util::Mutex stream_mutex_;
+  std::deque<std::pair<std::uint64_t, Bytes>> incoming_
+      GRIDPIPE_GUARDED_BY(stream_mutex_);
+  std::map<std::uint64_t, Bytes> out_buffer_
+      GRIDPIPE_GUARDED_BY(stream_mutex_);
   /// Virtual completion time per buffered output; populated only when
   /// tracing (feeds the ordered-buffer wait span on pop).
-  std::map<std::uint64_t, double> completed_at_;
-  std::uint64_t next_out_ = 0;
-  std::uint64_t pushed_ = 0;
-  bool closed_ = false;
-  std::exception_ptr stream_error_;
+  std::map<std::uint64_t, double> completed_at_
+      GRIDPIPE_GUARDED_BY(stream_mutex_);
+  std::uint64_t next_out_ GRIDPIPE_GUARDED_BY(stream_mutex_) = 0;
+  std::uint64_t pushed_ GRIDPIPE_GUARDED_BY(stream_mutex_) = 0;
+  bool closed_ GRIDPIPE_GUARDED_BY(stream_mutex_) = false;
+  std::exception_ptr stream_error_ GRIDPIPE_GUARDED_BY(stream_mutex_);
 
   std::thread controller_thread_;
   bool stream_active_ = false;

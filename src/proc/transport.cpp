@@ -1,9 +1,9 @@
 #include "proc/transport.hpp"
 
 #include <cerrno>
-#include <cstring>
 #include <stdexcept>
 #include <string>
+#include <system_error>
 
 #include <fcntl.h>
 #include <sys/socket.h>
@@ -14,8 +14,10 @@ namespace gridpipe::proc {
 namespace {
 
 [[noreturn]] void throw_errno(const char* what) {
+  // std::generic_category().message() instead of strerror(): same text,
+  // but thread-safe (strerror may return a shared static buffer).
   throw std::runtime_error(std::string(what) + ": " +
-                           std::strerror(errno));
+                           std::generic_category().message(errno));
 }
 
 bool peer_gone(int err) {

@@ -11,6 +11,11 @@
 
 namespace gridpipe::sched {
 
+/// Not internally synchronized: pick() mutates the rotation counters, and
+/// the live runtimes call it from worker and controller threads. Owners
+/// hold an instance as a member declared GRIDPIPE_GUARDED_BY their
+/// routing mutex (see core::Executor::router_), which makes every
+/// unlocked access a compile error under clang -Wthread-safety.
 class ReplicaRouter {
  public:
   ReplicaRouter() = default;

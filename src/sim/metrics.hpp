@@ -18,6 +18,11 @@ struct RemapEvent {
   std::string to;
 };
 
+/// Not internally synchronized: the DES host is single-threaded, and the
+/// live runtimes feed it from worker and controller threads. Owners hold
+/// an instance as a member declared GRIDPIPE_GUARDED_BY a metrics mutex
+/// (see core::Executor::metrics_), which makes every unlocked access a
+/// compile error under clang -Wthread-safety.
 class SimMetrics {
  public:
   void on_item_created(std::uint64_t id, double t);

@@ -6,6 +6,8 @@
 #include <cstdlib>
 #include <mutex>
 
+#include "util/sync.hpp"
+
 namespace gridpipe::util {
 
 namespace {
@@ -14,7 +16,8 @@ std::atomic<LogLevel> g_level{LogLevel::kOff};
 /// read only after a call_once on the same flag, which synchronizes).
 bool g_env_pinned = false;
 std::once_flag g_env_once;
-std::mutex g_mutex;
+/// Serializes the fprintf below so concurrent log lines never interleave.
+Mutex g_mutex;
 
 /// Padded names for the line prefix (the parseable lowercase names live
 /// in to_string below — this is the one other place levels are spelled).
@@ -88,7 +91,7 @@ LogLevel log_level() noexcept {
 
 void log_line(LogLevel level, const std::string& message) {
   if (level < log_level()) return;
-  const std::lock_guard<std::mutex> lock(g_mutex);
+  const MutexLock lock(g_mutex);
   std::fprintf(stderr, "[gridpipe %s] %s\n", level_name(level), message.c_str());
 }
 

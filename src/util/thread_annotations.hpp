@@ -1,0 +1,76 @@
+#pragma once
+// Clang Thread Safety Analysis macro shim (Abseil-style).
+//
+// These macros move the locking contract into the type system: a member
+// declared GRIDPIPE_GUARDED_BY(mu) can only be touched while `mu` is
+// held, a function declared GRIDPIPE_REQUIRES(mu) can only be called
+// with `mu` held, and every violation is a hard compile error under
+// `clang -Wthread-safety -Werror` — on every code path, whether or not
+// a test happens to exercise it. Under non-Clang compilers (and Clang
+// builds without the warning enabled) every macro expands to nothing,
+// so the annotations cost nothing at runtime anywhere.
+//
+// Enable the analysis with -DGRIDPIPE_THREAD_SAFETY=ON (CMake adds
+// -Wthread-safety -Wthread-safety-beta when the compiler is Clang);
+// scripts/check.sh runs that build when a clang++ is available, and the
+// negative-compile CTest probe (tests/negative_compile/) asserts the
+// gate actually rejects a seeded violation so it cannot rot into no-ops.
+//
+// Reference: https://clang.llvm.org/docs/ThreadSafetyAnalysis.html
+
+#if defined(__clang__) && defined(__has_attribute)
+#define GRIDPIPE_THREAD_ANNOTATION__(x) __attribute__((x))
+#else
+#define GRIDPIPE_THREAD_ANNOTATION__(x)  // no-op outside Clang
+#endif
+
+/// Declares a type to be a capability (e.g. a mutex wrapper).
+#define GRIDPIPE_CAPABILITY(x) GRIDPIPE_THREAD_ANNOTATION__(capability(x))
+
+/// Declares an RAII type that acquires a capability at construction and
+/// releases it at destruction.
+#define GRIDPIPE_SCOPED_CAPABILITY GRIDPIPE_THREAD_ANNOTATION__(scoped_lockable)
+
+/// Data member readable/writable only while the given capability is held.
+#define GRIDPIPE_GUARDED_BY(x) GRIDPIPE_THREAD_ANNOTATION__(guarded_by(x))
+
+/// Pointer member whose *pointee* is guarded by the given capability.
+#define GRIDPIPE_PT_GUARDED_BY(x) GRIDPIPE_THREAD_ANNOTATION__(pt_guarded_by(x))
+
+/// Function callable only while holding the listed capabilities.
+#define GRIDPIPE_REQUIRES(...) \
+  GRIDPIPE_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+
+/// Function callable only while holding the capabilities shared.
+#define GRIDPIPE_REQUIRES_SHARED(...) \
+  GRIDPIPE_THREAD_ANNOTATION__(requires_shared_capability(__VA_ARGS__))
+
+/// Function that acquires the listed capabilities (and does not release
+/// them before returning).
+#define GRIDPIPE_ACQUIRE(...) \
+  GRIDPIPE_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+
+/// Function that releases the listed capabilities.
+#define GRIDPIPE_RELEASE(...) \
+  GRIDPIPE_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
+
+/// Function that acquires the capability only when returning `ret`.
+#define GRIDPIPE_TRY_ACQUIRE(ret, ...) \
+  GRIDPIPE_THREAD_ANNOTATION__(try_acquire_capability(ret, __VA_ARGS__))
+
+/// Function that must NOT be called while holding the listed
+/// capabilities (it acquires them itself; calling with them held would
+/// self-deadlock).
+#define GRIDPIPE_EXCLUDES(...) \
+  GRIDPIPE_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+
+/// Function returning a reference to the given capability (lets lock
+/// accessors participate in the analysis).
+#define GRIDPIPE_RETURN_CAPABILITY(x) \
+  GRIDPIPE_THREAD_ANNOTATION__(lock_returned(x))
+
+/// Escape hatch: turns the analysis off for one function. Use only with
+/// a comment explaining why the contract cannot be expressed (e.g. an
+/// accessor documented single-threaded-only).
+#define GRIDPIPE_NO_THREAD_SAFETY_ANALYSIS \
+  GRIDPIPE_THREAD_ANNOTATION__(no_thread_safety_analysis)

@@ -1,0 +1,29 @@
+// Control probe for run_probe.sh: identical shape to
+// guarded_by_violation.cpp but locks correctly, so it MUST compile
+// under clang -Wthread-safety -Werror. If this one fails, the failure
+// of the violation probe proves nothing (the toolchain or flags are
+// broken, not the annotation).
+
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace {
+
+class Guarded {
+ public:
+  int read_with_lock() {
+    const gridpipe::util::MutexLock lock(mutex_);
+    return value_;
+  }
+
+ private:
+  gridpipe::util::Mutex mutex_;
+  int value_ GRIDPIPE_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Guarded g;
+  return g.read_with_lock();
+}

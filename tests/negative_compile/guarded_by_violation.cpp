@@ -1,0 +1,26 @@
+// Negative-compile probe: touches a GRIDPIPE_GUARDED_BY member without
+// holding its mutex. Under clang -Wthread-safety -Werror this TU MUST
+// fail to compile; if it ever compiles, the annotation macros have
+// rotted into no-ops (or the gate lost -Werror) and the CTest wrapper
+// run_probe.sh fails the build.
+
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace {
+
+class Guarded {
+ public:
+  int read_without_lock() { return value_; }  // the seeded violation
+
+ private:
+  gridpipe::util::Mutex mutex_;
+  int value_ GRIDPIPE_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Guarded g;
+  return g.read_without_lock();
+}

@@ -1,0 +1,48 @@
+#!/usr/bin/env sh
+# Asserts the thread-safety gate is alive: a seeded GUARDED_BY violation
+# must FAIL to compile under clang -Wthread-safety -Werror, and a clean
+# twin must PASS (proving the failure comes from the annotation, not a
+# broken toolchain). Exits 77 (CTest SKIP_RETURN_CODE) when no clang++
+# is available — the analysis is Clang-only.
+#
+# Usage: run_probe.sh <repo-src-dir>   (the directory added with -I)
+# Env:   CLANGXX=/path/to/clang++ overrides discovery.
+
+set -u
+
+src_root=${1:?usage: run_probe.sh <repo-src-dir>}
+probe_dir=$(dirname "$0")
+
+clangxx=${CLANGXX:-}
+if [ -z "$clangxx" ]; then
+  for candidate in clang++ clang++-20 clang++-19 clang++-18 clang++-17 \
+                   clang++-16 clang++-15 clang++-14; do
+    if command -v "$candidate" >/dev/null 2>&1; then
+      clangxx=$candidate
+      break
+    fi
+  done
+fi
+if [ -z "$clangxx" ]; then
+  echo "run_probe.sh: no clang++ found; skipping (thread-safety analysis is Clang-only)"
+  exit 77
+fi
+
+flags="-std=c++20 -fsyntax-only -Wthread-safety -Wthread-safety-beta -Werror -I$src_root"
+
+echo "run_probe.sh: using $clangxx"
+
+# 1. The clean twin must compile.
+if ! $clangxx $flags "$probe_dir/guarded_by_clean.cpp"; then
+  echo "FAIL: clean probe did not compile — toolchain/flags broken, gate unverifiable"
+  exit 1
+fi
+
+# 2. The seeded violation must NOT compile.
+if $clangxx $flags "$probe_dir/guarded_by_violation.cpp" 2>/dev/null; then
+  echo "FAIL: seeded GUARDED_BY violation compiled — the thread-safety gate is a no-op"
+  exit 1
+fi
+
+echo "PASS: clean probe compiles, seeded violation rejected"
+exit 0

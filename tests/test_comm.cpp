@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <future>
 #include <thread>
 
 #include "comm/communicator.hpp"
@@ -329,6 +331,33 @@ TEST(Communicator, BarrierSynchronizesRanks) {
     });
   }
   for (auto& t : threads) t.join();
+}
+
+// Regression: shutdown() used to set the shutdown_ flag and notify the
+// barrier condition variable WITHOUT holding barrier_mutex_. A rank
+// between its predicate check (generation unchanged, not shut down) and
+// its cv re-block then lost the notify forever and barrier() hung on a
+// communicator that was already shut down. The fix notifies under
+// barrier_mutex_; this test races one blocked barrier waiter against
+// shutdown many times, with a watchdog so the old bug reports as a
+// failure instead of a ctest timeout. Found by the thread-safety
+// annotation sweep; TSan doesn't flag lost wakeups, only the hang does.
+TEST(Communicator, ShutdownAlwaysWakesBarrierWaiter) {
+  auto run_cycles = std::async(std::launch::async, [] {
+    for (int cycle = 0; cycle < 500; ++cycle) {
+      Communicator comm(2);  // 2 ranks: one waiter never completes alone
+      std::thread waiter([&comm] { comm.barrier(); });
+      // No sleep: the point is to land shutdown() inside the waiter's
+      // predicate-check-to-block window as often as possible.
+      comm.shutdown();
+      waiter.join();
+    }
+    return true;
+  });
+  ASSERT_EQ(run_cycles.wait_for(std::chrono::seconds(60)),
+            std::future_status::ready)
+      << "barrier() hung: a waiter lost the shutdown wakeup";
+  EXPECT_TRUE(run_cycles.get());
 }
 
 TEST(Communicator, BroadcastDistributesPayload) {

@@ -4,6 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <future>
+
 #include "core/adaptive_pipeline.hpp"
 #include "core/executor.hpp"
 #include "grid/builders.hpp"
@@ -293,6 +296,38 @@ TEST(AdaptivePipeline, SimulateDelegatesToDes) {
   const auto result = pipeline.simulate(sim_config, driver_options);
   EXPECT_EQ(result.metrics.items_completed(), 500u);
   EXPECT_GT(result.mean_throughput, 0.0);
+}
+
+// Regression: stream_finish used to store done_ and notify each worker's
+// condition variable WITHOUT holding that worker's mutex. A worker
+// between its done_ check (under its own mutex) and its cv wait then
+// lost the notify forever and stream_finish hung in join. The fix
+// (Executor::signal_done) notifies under each worker's mutex; this test
+// hammers the begin/close/finish edge where workers are going idle
+// exactly as the stream ends, with a watchdog so the old bug reports as
+// a failure instead of a ctest timeout. Found by the thread-safety
+// annotation sweep; TSan doesn't flag lost wakeups, only the hang does.
+TEST(Executor, StreamFinishNeverLosesShutdownWakeup) {
+  const auto g = grid::uniform_cluster(2, 1.0, 1e-3, 1e8);
+  auto run_cycles = std::async(std::launch::async, [&g] {
+    for (int cycle = 0; cycle < 300; ++cycle) {
+      Executor executor(g, arithmetic_spec(),
+                        sched::Mapping(std::vector<NodeId>{0, 1, 0}),
+                        fast_config());
+      executor.stream_begin();
+      // One item keeps a worker active right up to the shutdown edge;
+      // the empty-stream cycles exercise workers that never woke at all.
+      if (cycle % 2 == 0) executor.stream_push(std::any(cycle));
+      executor.stream_close();
+      const auto report = executor.stream_finish();
+      if (cycle % 2 == 0 && report.items != 1u) return false;
+    }
+    return true;
+  });
+  ASSERT_EQ(run_cycles.wait_for(std::chrono::seconds(60)),
+            std::future_status::ready)
+      << "stream_finish hung: a worker lost the done_ wakeup";
+  EXPECT_TRUE(run_cycles.get());
 }
 
 TEST(RunReport, SummaryMentionsKeyNumbers) {
