@@ -7,6 +7,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <thread>
+
+#include <unistd.h>
+
 #include "comm/channel.hpp"
 #include "grid/builders.hpp"
 #include "monitor/ensemble.hpp"
@@ -16,6 +21,9 @@
 #include "sched/exhaustive.hpp"
 #include "sched/local_search.hpp"
 #include "sim/event_queue.hpp"
+#include "comm/wire.hpp"
+#include "proc/shm_ring.hpp"
+#include "proc/transport.hpp"
 
 namespace {
 
@@ -240,6 +248,137 @@ void BM_ObsHistogramRecord(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_ObsHistogramRecord);
+
+// ------------------------------------------------------ wire hot path
+// The zero-copy transport work lives or dies on three numbers: what a
+// task encode costs with and without the pool, what a frame send costs
+// per-frame versus coalesced into one writev train, and what a shm-ring
+// hop costs versus any of the socket paths.
+
+// Fresh-allocation encode: one heap vector per frame, the pre-pool shape.
+void BM_WireEncodeTaskFresh(benchmark::State& state) {
+  const comm::wire::Bytes payload(static_cast<std::size_t>(state.range(0)),
+                            std::byte{0x5A});
+  for (auto _ : state) {
+    comm::wire::Bytes wire;
+    const std::size_t off =
+        comm::wire::begin_frame(wire, comm::wire::FrameKind::kTask, 1);
+    comm::wire::encode_task_header_into(wire, 42, 3);
+    wire.insert(wire.end(), payload.begin(), payload.end());
+    comm::wire::end_frame(wire, off);
+    benchmark::DoNotOptimize(wire.data());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(payload.size()));
+}
+BENCHMARK(BM_WireEncodeTaskFresh)->Arg(64)->Arg(4096);
+
+// Pooled encode: same frame, buffer recycled through a BufferPool — the
+// steady state is memcpy into retained capacity, zero allocations.
+void BM_WireEncodeTaskPooled(benchmark::State& state) {
+  const comm::wire::Bytes payload(static_cast<std::size_t>(state.range(0)),
+                            std::byte{0x5A});
+  comm::wire::BufferPool pool;
+  for (auto _ : state) {
+    comm::wire::Bytes wire = pool.acquire();
+    const std::size_t off =
+        comm::wire::begin_frame(wire, comm::wire::FrameKind::kTask, 1);
+    comm::wire::encode_task_header_into(wire, 42, 3);
+    wire.insert(wire.end(), payload.begin(), payload.end());
+    comm::wire::end_frame(wire, off);
+    benchmark::DoNotOptimize(wire.data());
+    pool.release(std::move(wire));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(payload.size()));
+}
+BENCHMARK(BM_WireEncodeTaskPooled)->Arg(64)->Arg(4096);
+
+// Socketpair with a drainer thread that discards everything the bench
+// side writes, so the sender measures syscall cost, not a full buffer.
+struct DrainedSocket {
+  DrainedSocket() {
+    auto [a, b] = proc::FrameSocket::make_pair();
+    sender = std::move(a);
+    drainer = std::thread([sock = std::move(b)]() mutable {
+      char sink[1 << 16];
+      for (;;) {
+        const ssize_t n = ::read(sock.fd(), sink, sizeof(sink));
+        if (n <= 0) break;
+      }
+    });
+  }
+  ~DrainedSocket() {
+    sender.close();  // EOF stops the drainer
+    drainer.join();
+  }
+  proc::FrameSocket sender;
+  std::thread drainer;
+};
+
+// One blocking send_frame per frame: a write(2) each.
+void BM_FrameSocketSendPerFrame(benchmark::State& state) {
+  DrainedSocket ds;
+  comm::wire::Frame frame;
+  frame.kind = comm::wire::FrameKind::kTask;
+  frame.node = 1;
+  frame.payload = comm::wire::Bytes(256, std::byte{0x42});
+  constexpr int kTrain = 16;
+  for (auto _ : state) {
+    for (int i = 0; i < kTrain; ++i) {
+      if (!ds.sender.send_frame(frame)) state.SkipWithError("peer gone");
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * kTrain);
+}
+BENCHMARK(BM_FrameSocketSendPerFrame);
+
+// The coalesced path: 16 frames staged with queue_buffer, one writev
+// train flushes them all.
+void BM_FrameSocketWritevTrain(benchmark::State& state) {
+  DrainedSocket ds;
+  comm::wire::BufferPool pool;
+  ds.sender.set_pool(&pool);
+  constexpr int kTrain = 16;
+  for (auto _ : state) {
+    for (int i = 0; i < kTrain; ++i) {
+      comm::wire::Bytes buf = pool.acquire();
+      const std::size_t off =
+          comm::wire::begin_frame(buf, comm::wire::FrameKind::kTask, 1);
+      comm::wire::encode_task_header_into(buf, 7, 0);
+      buf.resize(buf.size() + 256 - comm::wire::kTaskHeaderBytes,
+                 std::byte{0x42});
+      comm::wire::end_frame(buf, off);
+      ds.sender.queue_buffer(std::move(buf));
+    }
+    while (ds.sender.pending_out() > 0) {
+      if (!ds.sender.flush_some()) state.SkipWithError("peer gone");
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * kTrain);
+}
+BENCHMARK(BM_FrameSocketWritevTrain);
+
+// Shared-memory ring hop: push a frame-sized blob, pop it back. No
+// syscalls at all — two memcpys and a few atomics per round trip.
+void BM_ShmRingPushPop(benchmark::State& state) {
+  proc::ShmRingMesh mesh(1, std::size_t{1} << 16);
+  proc::ShmRing ring = mesh.ring(0, 0);
+  const comm::wire::Bytes blob(static_cast<std::size_t>(state.range(0)),
+                         std::byte{0x7E});
+  std::byte sink[1 << 13];
+  for (auto _ : state) {
+    if (!ring.push(blob)) state.SkipWithError("ring full");
+    std::size_t got = 0;
+    while (got < blob.size()) {
+      got += ring.pop(sink, sizeof(sink));
+    }
+    benchmark::DoNotOptimize(sink[0]);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(blob.size()));
+}
+BENCHMARK(BM_ShmRingPushPop)->Arg(64)->Arg(4096);
 
 }  // namespace
 

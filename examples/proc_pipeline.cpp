@@ -22,12 +22,12 @@ using core::Bytes;
 
 namespace {
 
-Bytes append_pid(Bytes in) {
+void append_pid(core::ByteSpan in, Bytes& out) {
   const std::int32_t pid = static_cast<std::int32_t>(getpid());
-  const std::size_t off = in.size();
-  in.resize(off + sizeof(pid));
-  std::memcpy(in.data() + off, &pid, sizeof(pid));
-  return in;
+  const std::size_t off = out.size();
+  out.resize(off + in.size() + sizeof(pid));
+  if (!in.empty()) std::memcpy(out.data() + off, in.data(), in.size());
+  std::memcpy(out.data() + off + in.size(), &pid, sizeof(pid));
 }
 
 }  // namespace

@@ -2,9 +2,10 @@
 # Tier-1 gate: header self-containment check → configure → build
 # (warnings are errors) → ctest, then a ThreadSanitizer pass over the
 # concurrency-heavy suites (test_core, test_dist_executor,
-# test_integration) and an ASan+UBSan pass over the fork/socket-heavy
-# ones (test_proc_executor, test_comm, test_dist_executor) — lifetime
-# bugs live where processes and fds do. When a clang++ is available two
+# test_integration, test_comm, test_shm_ring) and an ASan+UBSan pass
+# over the fork/socket-heavy ones (test_proc_executor, test_comm,
+# test_dist_executor, test_shm_ring) — lifetime bugs live where
+# processes, shared mappings and fds do. When a clang++ is available two
 # static-analysis stages follow: a clang build with
 # -Wthread-safety -Werror (the annotation gate) and clang-tidy over
 # src/ (curated checks from .clang-tidy, warnings are errors). Mirrors
@@ -74,15 +75,19 @@ if [[ -z "${SKIP_TSAN:-}" && ( -z "${ONLY_SET}" || -n "${TSAN_ONLY:-}" ) ]]; the
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DGRIDPIPE_BUILD_BENCH=OFF -DGRIDPIPE_BUILD_EXAMPLES=OFF
   cmake --build "$TSAN_BUILD_DIR" -j"$JOBS" \
-    --target test_core test_dist_executor test_integration test_comm
+    --target test_core test_dist_executor test_integration test_comm \
+    test_shm_ring
   # RUN_SERIAL already orders these; -R narrows to the threaded suites so
   # the TSan stage stays fast. The wall-clock throughput-band tests are
   # excluded: TSan's 5-15x slowdown makes their bands meaningless, and a
   # retry loop that would absorb their flakiness could equally swallow a
   # nondeterministic race report. Every failure here is terminal.
+  # shm_ring rides along for its two-thread SPSC stress (the ring's
+  # acquire/release pairing is exactly what TSan checks); its fork-based
+  # cases are excluded — TSan does not support multi-threaded fork.
   (cd "$TSAN_BUILD_DIR" &&
-    GTEST_FILTER='-Executor.HeterogeneityEmulationSlowsThroughput:Executor.ThroughputTracksModelPrediction:DistributedExecutor.HeterogeneityChangesThroughput:DesVsThreads.ThroughputAgreesWithinBand' \
-    ctest --output-on-failure -R '^(core|dist_executor|integration|comm)$')
+    GTEST_FILTER='-Executor.HeterogeneityEmulationSlowsThroughput:Executor.ThroughputTracksModelPrediction:DistributedExecutor.HeterogeneityChangesThroughput:DesVsThreads.ThroughputAgreesWithinBand:ShmRingMesh.CrossProcessPushPopThroughFork' \
+    ctest --output-on-failure -R '^(core|dist_executor|integration|comm|shm_ring)$')
 fi
 
 if [[ -z "${SKIP_ASAN:-}" && ( -z "${ONLY_SET}" || -n "${ASAN_ONLY:-}" ) ]]; then
@@ -90,14 +95,14 @@ if [[ -z "${SKIP_ASAN:-}" && ( -z "${ONLY_SET}" || -n "${ASAN_ONLY:-}" ) ]]; the
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DGRIDPIPE_BUILD_BENCH=OFF -DGRIDPIPE_BUILD_EXAMPLES=OFF
   cmake --build "$ASAN_BUILD_DIR" -j"$JOBS" \
-    --target test_proc_executor test_comm test_dist_executor
+    --target test_proc_executor test_comm test_dist_executor test_shm_ring
   # The proc suite forks real worker processes under ASan (fork is fine
   # with ASan, unlike TSan; children _exit so LeakSanitizer only audits
   # the parent). The wall-clock throughput-band test is excluded for the
   # same reason as under TSan: sanitizer slowdown voids its band.
   (cd "$ASAN_BUILD_DIR" &&
     GTEST_FILTER='-DistributedExecutor.HeterogeneityChangesThroughput' \
-    ctest --output-on-failure -R '^(proc_executor|comm|dist_executor)$')
+    ctest --output-on-failure -R '^(proc_executor|comm|dist_executor|shm_ring)$')
 fi
 
 if [[ -z "${SKIP_CLANG:-}" && ( -z "${ONLY_SET}" || -n "${CLANG_ONLY:-}" ) ]]; then

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Perf-smoke gate: fail CI when per-item substrate overhead regresses.
+
+Compares a fresh ``bench_f2_overhead --json`` run against the committed
+baseline (``bench_results/BENCH_F2.json``). The guarded quantity is the
+per-item overhead each real substrate pays over the threads runtime,
+
+    overhead(rt) = 1/throughput_off(rt) - 1/throughput_off(threads)
+
+in virtual seconds per item. That is exactly what the zero-copy wire
+work (pooled buffers, writev trains, shm rings) bought down, so it is
+the number a transport regression moves first. The gate fails when a
+substrate's overhead exceeds the baseline by more than --max-regress
+(fractional, default 0.25) plus a small absolute epsilon that absorbs
+scheduler noise in the wall-clock-derived throughputs.
+
+Usage:
+    perf_smoke.py CANDIDATE.json [--baseline bench_results/BENCH_F2.json]
+                  [--max-regress 0.25] [--noise-frac 0.02]
+"""
+
+import argparse
+import json
+import sys
+
+
+def per_item_overheads(doc):
+    """runtime -> per-item overhead vs threads (virtual s/item, >= 0)."""
+    rows = {row["runtime"]: row for row in doc["substrate_overhead"]}
+    if "threads" not in rows:
+        raise SystemExit("perf_smoke: no 'threads' row in substrate_overhead")
+    threads_item = 1.0 / rows["threads"]["throughput_off"]
+    out = {}
+    for runtime, row in rows.items():
+        if runtime in ("sim", "threads"):
+            continue  # sim has no transport; threads is the reference
+        out[runtime] = max(0.0, 1.0 / row["throughput_off"] - threads_item)
+    return out, threads_item
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("candidate", help="fresh bench_f2_overhead --json output")
+    parser.add_argument("--baseline", default="bench_results/BENCH_F2.json")
+    parser.add_argument(
+        "--max-regress",
+        type=float,
+        default=0.25,
+        help="allowed fractional overhead growth vs baseline (default 0.25)",
+    )
+    parser.add_argument(
+        "--noise-frac",
+        type=float,
+        default=0.02,
+        help="absolute slack as a fraction of the threads per-item time, "
+        "so near-zero baselines do not fail on scheduler noise",
+    )
+    args = parser.parse_args()
+
+    with open(args.baseline) as f:
+        base_doc = json.load(f)
+    with open(args.candidate) as f:
+        cand_doc = json.load(f)
+
+    base, base_threads_item = per_item_overheads(base_doc)
+    cand, _ = per_item_overheads(cand_doc)
+    epsilon = args.noise_frac * base_threads_item
+
+    failures = []
+    print(f"{'runtime':<10} {'baseline':>12} {'candidate':>12} {'allowed':>12}")
+    for runtime in sorted(base):
+        if runtime not in cand:
+            failures.append(f"{runtime}: missing from candidate run")
+            continue
+        allowed = base[runtime] * (1.0 + args.max_regress) + epsilon
+        verdict = "ok" if cand[runtime] <= allowed else "REGRESSED"
+        print(
+            f"{runtime:<10} {base[runtime]:>12.4f} {cand[runtime]:>12.4f} "
+            f"{allowed:>12.4f}  {verdict}"
+        )
+        if cand[runtime] > allowed:
+            failures.append(
+                f"{runtime}: per-item overhead {cand[runtime]:.4f} > "
+                f"allowed {allowed:.4f} (baseline {base[runtime]:.4f})"
+            )
+
+    if failures:
+        print("perf_smoke: FAIL", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print("perf_smoke: ok (units: virtual seconds per item vs threads)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -17,8 +17,15 @@ void append_pod(Bytes& out, T v) {
   std::memcpy(out.data() + off, &v, sizeof(v));
 }
 
+void append_bytes(Bytes& out, ByteSpan bytes) {
+  if (bytes.empty()) return;
+  const std::size_t off = out.size();
+  out.resize(off + bytes.size());
+  std::memcpy(out.data() + off, bytes.data(), bytes.size());
+}
+
 template <class T>
-T read_pod(const Bytes& in, std::size_t& off) {
+T read_pod(ByteSpan in, std::size_t& off) {
   if (in.size() - off < sizeof(T)) {
     throw std::invalid_argument("wire: truncated input");
   }
@@ -30,27 +37,82 @@ T read_pod(const Bytes& in, std::size_t& off) {
 
 }  // namespace
 
+// -------------------------------------------------------- buffer pool
+
+Bytes BufferPool::acquire() {
+  {
+    util::MutexLock lock(mutex_);
+    if (!free_.empty()) {
+      Bytes buffer = std::move(free_.back());
+      free_.pop_back();
+      buffer.clear();
+      return buffer;
+    }
+  }
+  return Bytes{};
+}
+
+void BufferPool::release(Bytes&& buffer) {
+  if (buffer.capacity() == 0 || buffer.capacity() > max_retained_) return;
+  util::MutexLock lock(mutex_);
+  if (free_.size() >= max_buffers_) return;  // drop: the dtor frees it
+  free_.push_back(std::move(buffer));
+}
+
+std::size_t BufferPool::pooled() const {
+  util::MutexLock lock(mutex_);
+  return free_.size();
+}
+
+// ----------------------------------------------------------- payloads
+
 Bytes encode_task(std::uint64_t item, std::uint32_t stage,
                   const Bytes& payload) {
   Bytes out;
-  out.reserve(12 + payload.size());
+  out.reserve(kTaskHeaderBytes + payload.size());
+  encode_task_into(out, item, stage, payload);
+  return out;
+}
+
+void encode_task_into(Bytes& out, std::uint64_t item, std::uint32_t stage,
+                      ByteSpan payload) {
+  encode_task_header_into(out, item, stage);
+  append_bytes(out, payload);
+}
+
+void encode_task_header_into(Bytes& out, std::uint64_t item,
+                             std::uint32_t stage) {
   append_pod(out, item);
   append_pod(out, stage);
-  out.insert(out.end(), payload.begin(), payload.end());
-  return out;
+}
+
+TaskView decode_task(ByteSpan wire) {
+  if (wire.size() < kTaskHeaderBytes) {
+    throw std::invalid_argument("decode_task: short");
+  }
+  TaskView view;
+  std::size_t off = 0;
+  view.item = read_pod<std::uint64_t>(wire, off);
+  view.stage = read_pod<std::uint32_t>(wire, off);
+  view.payload = wire.subspan(off);
+  return view;
 }
 
 void decode_task(const Bytes& wire, std::uint64_t& item, std::uint32_t& stage,
                  Bytes& payload) {
-  if (wire.size() < 12) throw std::invalid_argument("decode_task: short");
-  std::size_t off = 0;
-  item = read_pod<std::uint64_t>(wire, off);
-  stage = read_pod<std::uint32_t>(wire, off);
-  payload.assign(wire.begin() + static_cast<std::ptrdiff_t>(off), wire.end());
+  const TaskView view = decode_task(ByteSpan(wire));
+  item = view.item;
+  stage = view.stage;
+  payload.assign(view.payload.begin(), view.payload.end());
 }
 
 Bytes encode_mapping(const sched::Mapping& mapping) {
   Bytes out;
+  encode_mapping_into(out, mapping);
+  return out;
+}
+
+void encode_mapping_into(Bytes& out, const sched::Mapping& mapping) {
   append_pod(out, static_cast<std::uint32_t>(mapping.num_stages()));
   for (std::size_t i = 0; i < mapping.num_stages(); ++i) {
     const auto& reps = mapping.replicas(i);
@@ -59,10 +121,9 @@ Bytes encode_mapping(const sched::Mapping& mapping) {
       append_pod(out, static_cast<std::uint32_t>(n));
     }
   }
-  return out;
 }
 
-sched::Mapping decode_mapping(const Bytes& wire) {
+sched::Mapping decode_mapping(ByteSpan wire) {
   std::size_t off = 0;
   const auto ns = read_pod<std::uint32_t>(wire, off);
   // Each stage needs at least its replica count on the wire; anything
@@ -90,7 +151,9 @@ Bytes encode_f64(double value) {
   return out;
 }
 
-double decode_f64(const Bytes& wire) {
+void encode_f64_into(Bytes& out, double value) { append_pod(out, value); }
+
+double decode_f64(ByteSpan wire) {
   if (wire.size() != sizeof(double)) {
     throw std::invalid_argument("decode_f64: size mismatch");
   }
@@ -117,25 +180,40 @@ bool valid_kind(std::uint32_t raw) {
          raw <= static_cast<std::uint32_t>(FrameKind::kTelemetry);
 }
 
-constexpr std::size_t kHeaderBytes = 12;
-
 }  // namespace
 
 Bytes encode_frame(const Frame& frame) {
+  Bytes out;
+  out.reserve(kFrameHeaderBytes + frame.payload.size());
+  encode_frame_into(out, frame);
+  return out;
+}
+
+void encode_frame_into(Bytes& out, const Frame& frame) {
   // Reject at the sender what the receiver would reject anyway: an
   // oversized payload becomes an attributable error here instead of a
   // child _exit after the fact, and a > 4 GB payload cannot silently
   // wrap the u32 length prefix and desynchronize the stream.
-  if (frame.payload.size() > kMaxFramePayload) {
-    throw std::invalid_argument("encode_frame: payload exceeds frame limit");
+  const std::size_t off = begin_frame(out, frame.kind, frame.node);
+  append_bytes(out, frame.payload);
+  end_frame(out, off);
+}
+
+std::size_t begin_frame(Bytes& out, FrameKind kind, std::uint32_t node) {
+  const std::size_t off = out.size();
+  append_pod(out, std::uint32_t{0});  // length, patched by end_frame
+  append_pod(out, static_cast<std::uint32_t>(kind));
+  append_pod(out, node);
+  return off;
+}
+
+void end_frame(Bytes& out, std::size_t frame_offset) {
+  const std::size_t payload = out.size() - frame_offset - kFrameHeaderBytes;
+  if (payload > kMaxFramePayload) {
+    throw std::invalid_argument("end_frame: payload exceeds frame limit");
   }
-  Bytes out;
-  out.reserve(kHeaderBytes + frame.payload.size());
-  append_pod(out, static_cast<std::uint32_t>(frame.payload.size()));
-  append_pod(out, static_cast<std::uint32_t>(frame.kind));
-  append_pod(out, frame.node);
-  out.insert(out.end(), frame.payload.begin(), frame.payload.end());
-  return out;
+  const auto length = static_cast<std::uint32_t>(payload);
+  std::memcpy(out.data() + frame_offset, &length, sizeof(length));
 }
 
 void FrameReader::feed(const std::byte* data, std::size_t n) {
@@ -150,11 +228,22 @@ void FrameReader::feed(const std::byte* data, std::size_t n) {
 }
 
 std::optional<Frame> FrameReader::next() {
-  while (buffered() >= kHeaderBytes) {
+  const auto view = next_view();
+  if (!view) return std::nullopt;
+  Frame frame;
+  frame.kind = view->kind;
+  frame.node = view->node;
+  frame.payload.assign(view->payload.begin(), view->payload.end());
+  return frame;
+}
+
+std::optional<FrameView> FrameReader::next_view() {
+  while (buffered() >= kFrameHeaderBytes) {
     std::size_t off = read_;
-    const auto length = read_pod<std::uint32_t>(buffer_, off);
-    const auto raw_kind = read_pod<std::uint32_t>(buffer_, off);
-    const auto node = read_pod<std::uint32_t>(buffer_, off);
+    const ByteSpan whole(buffer_);
+    const auto length = read_pod<std::uint32_t>(whole, off);
+    const auto raw_kind = read_pod<std::uint32_t>(whole, off);
+    const auto node = read_pod<std::uint32_t>(whole, off);
     if (length > kMaxFramePayload) {
       throw std::invalid_argument("FrameReader: frame length exceeds limit");
     }
@@ -164,21 +253,19 @@ std::optional<Frame> FrameReader::next() {
       if (raw_kind == 0 || raw_kind > kMaxReservedKind) {
         throw std::invalid_argument("FrameReader: unknown frame kind");
       }
-      if (buffered() < kHeaderBytes + length) return std::nullopt;
+      if (buffered() < kFrameHeaderBytes + length) return std::nullopt;
       read_ = off + length;
       ++skipped_;
       continue;
     }
-    if (buffered() < kHeaderBytes + length) return std::nullopt;
+    if (buffered() < kFrameHeaderBytes + length) return std::nullopt;
 
-    Frame frame;
-    frame.kind = static_cast<FrameKind>(raw_kind);
-    frame.node = node;
-    frame.payload.assign(
-        buffer_.begin() + static_cast<std::ptrdiff_t>(off),
-        buffer_.begin() + static_cast<std::ptrdiff_t>(off + length));
+    FrameView view;
+    view.kind = static_cast<FrameKind>(raw_kind);
+    view.node = node;
+    view.payload = whole.subspan(off, length);
     read_ = off + length;
-    return frame;
+    return view;
   }
   return std::nullopt;
 }

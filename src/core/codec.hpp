@@ -8,15 +8,23 @@
 // Codec<T> is the customization point: specialize it (or satisfy the
 // built-ins below) with
 //     static Bytes encode(const T&);
-//     static T decode(const Bytes&);
+//     static T decode(ByteSpan);           // or decode(const Bytes&)
+//     static void encode_into(const T&, Bytes&);   // optional
 // Built-ins cover Bytes (identity), all arithmetic types (fixed-width
 // memcpy — the runtimes never cross an endianness boundary, see
-// comm/wire.hpp) and std::string. ItemCodec type-erases a Codec<T> so
-// core::PipelineSpec can store codecs without being a template.
+// comm/wire.hpp) and std::string. A span-based decode lets the
+// serialized runtimes hand the codec a view into a transport buffer
+// without copying; encode_into appends into a pooled buffer so the hot
+// path composes header + payload with zero fresh allocations. Codecs
+// that only provide the legacy Bytes-based decode (or no encode_into)
+// still work — the dispatch helpers below fall back to a copy.
+// ItemCodec type-erases a Codec<T> so core::PipelineSpec can store
+// codecs without being a template.
 
 #include <any>
 #include <cstring>
 #include <functional>
+#include <span>
 #include <stdexcept>
 #include <string>
 #include <typeinfo>
@@ -25,6 +33,7 @@
 namespace gridpipe::core {
 
 using Bytes = std::vector<std::byte>;
+using ByteSpan = std::span<const std::byte>;
 
 template <class T>
 struct Codec;  // primary: specialize for your type
@@ -32,7 +41,14 @@ struct Codec;  // primary: specialize for your type
 template <>
 struct Codec<Bytes> {
   static Bytes encode(const Bytes& v) { return v; }
-  static Bytes decode(const Bytes& wire) { return wire; }
+  static void encode_into(const Bytes& v, Bytes& out) {
+    const std::size_t off = out.size();
+    out.resize(off + v.size());
+    if (!v.empty()) std::memcpy(out.data() + off, v.data(), v.size());
+  }
+  static Bytes decode(ByteSpan wire) {
+    return Bytes(wire.begin(), wire.end());
+  }
 };
 
 template <class T>
@@ -43,7 +59,12 @@ struct Codec<T> {
     std::memcpy(wire.data(), &v, sizeof(T));
     return wire;
   }
-  static T decode(const Bytes& wire) {
+  static void encode_into(const T& v, Bytes& out) {
+    const std::size_t off = out.size();
+    out.resize(off + sizeof(T));
+    std::memcpy(out.data() + off, &v, sizeof(T));
+  }
+  static T decode(ByteSpan wire) {
     if (wire.size() != sizeof(T)) {
       throw std::invalid_argument(
           "Codec: arithmetic payload of " + std::to_string(wire.size()) +
@@ -62,18 +83,62 @@ struct Codec<std::string> {
     std::memcpy(wire.data(), v.data(), v.size());
     return wire;
   }
-  static std::string decode(const Bytes& wire) {
+  static void encode_into(const std::string& v, Bytes& out) {
+    const std::size_t off = out.size();
+    out.resize(off + v.size());
+    if (!v.empty()) std::memcpy(out.data() + off, v.data(), v.size());
+  }
+  static std::string decode(ByteSpan wire) {
     return std::string(reinterpret_cast<const char*>(wire.data()),
                        wire.size());
   }
 };
 
-/// Satisfied by any T with a usable Codec<T> specialization.
+namespace detail {
+
+/// Decode dispatch: prefer the zero-copy span overload, fall back to
+/// the legacy Bytes-based one (with a copy) for older specializations.
 template <class T>
-concept WireCodable = requires(const T& v, const Bytes& wire) {
-  { Codec<T>::encode(v) } -> std::same_as<Bytes>;
+concept SpanDecodable = requires(ByteSpan wire) {
   { Codec<T>::decode(wire) } -> std::same_as<T>;
 };
+template <class T>
+concept BytesDecodable = requires(const Bytes& wire) {
+  { Codec<T>::decode(wire) } -> std::same_as<T>;
+};
+template <class T>
+concept AppendEncodable = requires(const T& v, Bytes& out) {
+  Codec<T>::encode_into(v, out);
+};
+
+template <class T>
+T codec_decode(ByteSpan wire) {
+  if constexpr (SpanDecodable<T>) {
+    return Codec<T>::decode(wire);
+  } else {
+    return Codec<T>::decode(Bytes(wire.begin(), wire.end()));
+  }
+}
+
+template <class T>
+void codec_encode_into(const T& v, Bytes& out) {
+  if constexpr (AppendEncodable<T>) {
+    Codec<T>::encode_into(v, out);
+  } else {
+    const Bytes wire = Codec<T>::encode(v);
+    const std::size_t off = out.size();
+    out.resize(off + wire.size());
+    if (!wire.empty()) std::memcpy(out.data() + off, wire.data(), wire.size());
+  }
+}
+
+}  // namespace detail
+
+/// Satisfied by any T with a usable Codec<T> specialization.
+template <class T>
+concept WireCodable = requires(const T& v) {
+  { Codec<T>::encode(v) } -> std::same_as<Bytes>;
+} && (detail::SpanDecodable<T> || detail::BytesDecodable<T>);
 
 namespace detail {
 /// Human-readable name for error messages (typeid names are mangled on
@@ -109,8 +174,11 @@ class ItemCodec {
     codec.encode_ = [](const std::any& v) {
       return Codec<T>::encode(std::any_cast<const T&>(v));
     };
-    codec.decode_ = [](const Bytes& wire) {
-      return std::any(Codec<T>::decode(wire));
+    codec.encode_into_ = [](const std::any& v, Bytes& out) {
+      detail::codec_encode_into<T>(std::any_cast<const T&>(v), out);
+    };
+    codec.decode_ = [](ByteSpan wire) {
+      return std::any(detail::codec_decode<T>(wire));
     };
     return codec;
   }
@@ -120,13 +188,18 @@ class ItemCodec {
   const std::string& type_name() const noexcept { return type_name_; }
 
   Bytes encode(const std::any& v) const { return encode_(v); }
-  std::any decode(const Bytes& wire) const { return decode_(wire); }
+  /// Appends the encoding to `out` without a temporary buffer.
+  void encode_into(const std::any& v, Bytes& out) const {
+    encode_into_(v, out);
+  }
+  std::any decode(ByteSpan wire) const { return decode_(wire); }
 
  private:
   const std::type_info* type_ = nullptr;
   std::string type_name_;
   std::function<Bytes(const std::any&)> encode_;
-  std::function<std::any(const Bytes&)> decode_;
+  std::function<void(const std::any&, Bytes&)> encode_into_;
+  std::function<std::any(ByteSpan)> decode_;
 };
 
 }  // namespace gridpipe::core

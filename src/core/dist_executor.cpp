@@ -1,6 +1,7 @@
 #include "core/dist_executor.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <stdexcept>
 
 #include "comm/wire.hpp"
@@ -70,6 +71,17 @@ DistributedExecutor::make_controller() {
       grid_, profile_, config_.adapt,
       static_cast<control::AdaptationHost&>(*this),
       control::AdaptationController::Mode::kPolicy, config_.obs);
+}
+
+BytesStageFn bytes_stage_fn(std::function<Bytes(Bytes)> fn) {
+  return [fn = std::move(fn)](ByteSpan in, Bytes& out) {
+    const Bytes result = fn(Bytes(in.begin(), in.end()));
+    const std::size_t off = out.size();
+    out.resize(off + result.size());
+    if (!result.empty()) {
+      std::memcpy(out.data() + off, result.data(), result.size());
+    }
+  };
 }
 
 sched::PipelineProfile profile_from_stages(
@@ -183,14 +195,19 @@ void DistributedExecutor::worker_loop_impl(int rank) {
     for (comm::Message& message : batch) {
       if (message.tag != kTask) continue;  // handled or unknown above
 
-      std::uint64_t item;
-      std::uint32_t stage;
-      Bytes payload;
-      decode_task(message.payload, item, stage, payload);
+      const comm::wire::TaskView task =
+          comm::wire::decode_task(comm::wire::ByteSpan(message.payload));
+      const std::uint64_t item = task.item;
+      const std::uint32_t stage = task.stage;
 
       const auto t0 = std::chrono::steady_clock::now();
       const double v0 = virtual_now();
-      Bytes out = stages_[stage].fn(payload);
+      // Compose the next hop in one pooled buffer: the task header goes
+      // first, then the stage function appends its output right after —
+      // no fresh vector anywhere on the path.
+      Bytes out = pool_.acquire();
+      comm::wire::encode_task_header_into(out, item, stage + 1);
+      stages_[stage].fn(task.payload, out);
       if (config_.emulate_compute) {
         const double service =
             stages_[stage].work / grid_.effective_speed(node, v0);
@@ -206,8 +223,9 @@ void DistributedExecutor::worker_loop_impl(int rank) {
 
       // Report the observed speed to the controller's monitor.
       if (duration > 0.0) {
-        comm_.send_value(rank, controller_rank(), kSpeedObs,
-                         stages_[stage].work / duration);
+        Bytes obs = pool_.acquire();
+        comm::wire::encode_f64_into(obs, stages_[stage].work / duration);
+        comm_.send(rank, controller_rank(), kSpeedObs, std::move(obs));
       }
 
       if (telemetry) {
@@ -224,8 +242,7 @@ void DistributedExecutor::worker_loop_impl(int rank) {
       }
 
       if (stage + 1 == stages_.size()) {
-        comm_.send(rank, controller_rank(), kResult,
-                   encode_task(item, stage + 1, out));
+        comm_.send(rank, controller_rank(), kResult, std::move(out));
       } else {
         const grid::NodeId dst = routing.pick(stage + 1);
         if (telemetry) {
@@ -241,9 +258,11 @@ void DistributedExecutor::worker_loop_impl(int rank) {
           hop.stage = stage + 1;
           spans.events.push_back(std::move(hop));
         }
-        comm_.send(rank, static_cast<int>(dst), kTask,
-                   encode_task(item, stage + 1, out));
+        comm_.send(rank, static_cast<int>(dst), kTask, std::move(out));
       }
+      // The input payload is fully consumed (the view died with the fn
+      // call); recycle its buffer.
+      pool_.release(std::move(message.payload));
     }
     flush_telemetry();
   }
@@ -279,8 +298,10 @@ void DistributedExecutor::controller_loop() {
 
   auto admit = [&](std::uint64_t index, Bytes payload) {
     const grid::NodeId dst = controller_router_.pick(controller_mapping_, 0);
-    comm_.send(me, static_cast<int>(dst), kTask,
-               encode_task(index, 0, payload));
+    Bytes wire = pool_.acquire();
+    comm::wire::encode_task_into(wire, index, 0, payload);
+    comm_.send(me, static_cast<int>(dst), kTask, std::move(wire));
+    pool_.release(std::move(payload));
     const double vnow = virtual_now();
     admit_time_[index] = vnow;
     obs::record_span(config_.obs.tracer, obs::SpanKind::kAdmit, "admit", vnow,
@@ -293,10 +314,9 @@ void DistributedExecutor::controller_loop() {
 
   auto handle = [&](comm::Message& message) {
     if (message.tag == kResult) {
-      std::uint64_t item;
-      std::uint32_t stage;
-      Bytes payload;
-      decode_task(message.payload, item, stage, payload);
+      const comm::wire::TaskView task =
+          comm::wire::decode_task(comm::wire::ByteSpan(message.payload));
+      const std::uint64_t item = task.item;
       double created_at = 0.0;
       if (auto it = admit_time_.find(item); it != admit_time_.end()) {
         created_at = it->second;
@@ -311,20 +331,26 @@ void DistributedExecutor::controller_loop() {
         obs_metrics_.item_latency->record(vnow - created_at);
       }
       ++completed;
+      // The output crosses the API boundary, so it must own its bytes:
+      // one copy out of the wire buffer, then the buffer recycles.
+      Bytes payload(task.payload.begin(), task.payload.end());
       {
         util::MutexLock lock(stream_mutex_);
         out_buffer_.emplace(item, std::move(payload));
         if (config_.obs.tracer) completed_at_.emplace(item, vnow);
         ++completed_count_;
       }
+      pool_.release(std::move(message.payload));
     } else if (message.tag == kSpeedObs) {
       controller_->record_observation(
           {monitor::SensorKind::kNodeSpeed,
            static_cast<std::uint32_t>(message.source), 0},
-          comm::Communicator::decode<double>(message));
+          comm::wire::decode_f64(comm::wire::ByteSpan(message.payload)));
+      pool_.release(std::move(message.payload));
     } else if (message.tag == kTelemetry) {
       obs::apply_telemetry(obs::decode_telemetry(message.payload),
                            config_.obs);
+      pool_.release(std::move(message.payload));
     }
   };
 

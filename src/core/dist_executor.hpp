@@ -42,6 +42,7 @@
 #include <thread>
 
 #include "comm/communicator.hpp"
+#include "comm/wire.hpp"
 #include "control/adaptation_controller.hpp"
 #include "core/codec.hpp"
 #include "core/report.hpp"
@@ -53,7 +54,12 @@
 
 namespace gridpipe::core {
 
-using BytesStageFn = std::function<Bytes(const Bytes&)>;
+/// The serialized stage contract: read the input payload from a view
+/// into the transport buffer, append the output to `out` (a pooled
+/// buffer that already holds the next hop's wire header). Appending —
+/// rather than returning a fresh Bytes — is what keeps the steady-state
+/// hop allocation-free.
+using BytesStageFn = std::function<void(ByteSpan in, Bytes& out)>;
 
 struct DistStage {
   std::string name;
@@ -62,6 +68,10 @@ struct DistStage {
   double out_bytes = 1024;
   double state_bytes = 0.0;
 };
+
+/// Adapts a legacy Bytes → Bytes function to the append contract (one
+/// copy per call; fine for tests and examples, not the hot path).
+BytesStageFn bytes_stage_fn(std::function<Bytes(Bytes)> fn);
 
 /// Scheduler profile derived from a Bytes → Bytes stage vector — the one
 /// approximation (input bytes ≈ first stage's message size) every
@@ -162,6 +172,11 @@ class DistributedExecutor : private control::AdaptationHost {
 
   comm::GridDelayModel delays_;
   comm::Communicator comm_;
+  /// Shared free-list for hop/obs/admission buffers: workers and the
+  /// controller compose messages into pooled buffers and release
+  /// consumed payloads back, so a steady-state hop allocates nothing.
+  /// (Internally synchronized; no GUARDED_BY needed.)
+  comm::wire::BufferPool pool_;
   std::chrono::steady_clock::time_point start_{};
 
   // Controller-side state (touched only by the controller thread while a

@@ -17,7 +17,7 @@ void append_pod(Bytes& out, T v) {
 }
 
 template <class T>
-T read_pod(const Bytes& in, std::size_t& off) {
+T read_pod(ByteSpan in, std::size_t& off) {
   if (in.size() - off < sizeof(T)) {
     throw std::invalid_argument("telemetry: truncated input");
   }
@@ -37,7 +37,7 @@ void append_name(Bytes& out, const std::string& name) {
   std::memcpy(out.data() + off, name.data(), name.size());
 }
 
-std::string read_name(const Bytes& in, std::size_t& off) {
+std::string read_name(ByteSpan in, std::size_t& off) {
   const auto len = read_pod<std::uint32_t>(in, off);
   if (len > kMaxTelemetryName) {
     throw std::invalid_argument("telemetry: name length exceeds limit");
@@ -58,6 +58,11 @@ constexpr std::size_t kMinCounterBytes = 4 + 8;
 
 Bytes encode_telemetry(const TelemetryBatch& batch) {
   Bytes out;
+  encode_telemetry_into(out, batch);
+  return out;
+}
+
+void encode_telemetry_into(Bytes& out, const TelemetryBatch& batch) {
   append_pod(out, static_cast<std::uint32_t>(batch.events.size()));
   for (const TraceEvent& e : batch.events) {
     append_pod(out, static_cast<std::uint8_t>(e.kind));
@@ -73,10 +78,9 @@ Bytes encode_telemetry(const TelemetryBatch& batch) {
     append_name(out, c.name);
     append_pod(out, c.delta);
   }
-  return out;
 }
 
-TelemetryBatch decode_telemetry(const Bytes& wire) {
+TelemetryBatch decode_telemetry(ByteSpan wire) {
   TelemetryBatch batch;
   std::size_t off = 0;
 

@@ -18,6 +18,7 @@
 //     n_counters × [u32 name_len][name…][u64 delta]
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -27,6 +28,7 @@
 namespace gridpipe::obs {
 
 using Bytes = std::vector<std::byte>;
+using ByteSpan = std::span<const std::byte>;
 
 struct CounterDelta {
   std::string name;
@@ -48,9 +50,13 @@ struct TelemetryBatch {
 inline constexpr std::size_t kMaxTelemetryName = 4096;
 
 Bytes encode_telemetry(const TelemetryBatch& batch);
+/// Appends the encoding to `out` (typically a pooled buffer already
+/// holding a frame header), avoiding a temporary per flush.
+void encode_telemetry_into(Bytes& out, const TelemetryBatch& batch);
 /// Throws std::invalid_argument on truncation, oversized names, bad
-/// span kinds, or trailing bytes.
-TelemetryBatch decode_telemetry(const Bytes& wire);
+/// span kinds, or trailing bytes. Takes a view, so a frame payload can
+/// be decoded in place.
+TelemetryBatch decode_telemetry(ByteSpan wire);
 
 /// Merge a decoded batch into local sinks: events append to the tracer,
 /// stage-span durations additionally feed the stage-service histogram

@@ -1,8 +1,12 @@
 #include "proc/child.hpp"
 
+#include <cerrno>
+#include <cstring>
 #include <stdexcept>
 #include <thread>
 
+#include <poll.h>
+#include <signal.h>
 #include <unistd.h>
 
 #include "obs/telemetry.hpp"
@@ -12,8 +16,8 @@ namespace gridpipe::proc {
 
 namespace {
 
-using comm::wire::Frame;
 using comm::wire::FrameKind;
+using comm::wire::FrameView;
 
 double virtual_now(const ChildContext& ctx) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -25,16 +29,72 @@ double virtual_now(const ChildContext& ctx) {
 [[noreturn]] void child_main(FrameSocket& socket, const ChildContext& ctx) {
   const std::vector<core::DistStage>& stages = *ctx.stages;
   const grid::Grid& grid = *ctx.grid;
+  const auto self = static_cast<std::uint32_t>(ctx.node);
+
+  // Socket writes pass MSG_NOSIGNAL, but a doorbell write to a crashed
+  // sibling's pipe has no such flag — it must come back as EPIPE, not a
+  // process-killing SIGPIPE. The disposition is ours to set: this is a
+  // forked worker, not a host application thread.
+  ::signal(SIGPIPE, SIG_IGN);
+
+  // The child's own buffer pool: frames compose into recycled buffers,
+  // the socket returns fully-sent ones. (Each process has its own pool —
+  // the buffers themselves never cross an address space.)
+  comm::wire::BufferPool pool;
+  socket.set_pool(&pool);
+  // Nonblocking so one poll loop multiplexes socket + doorbell; the
+  // FrameSocket send paths poll-wait internally when the kernel buffer
+  // is momentarily full.
+  socket.set_nonblocking(true);
+
+  // Ring handles, cached per peer: in_rings[src] carries src → self,
+  // out_rings[dst] carries self → dst. The diagonal (self → self) is a
+  // real ring too, so a self-hop skips the parent without special
+  // casing. Each incoming ring is a byte stream, so it gets its own
+  // FrameReader to reassemble frames split across the wrap point.
+  std::vector<ShmRing> in_rings;
+  std::vector<ShmRing> out_rings;
+  std::vector<comm::wire::FrameReader> ring_readers;
+  if (ctx.rings != nullptr && ctx.rings->valid()) {
+    const std::size_t nodes = ctx.rings->nodes();
+    in_rings.reserve(nodes);
+    out_rings.reserve(nodes);
+    ring_readers.resize(nodes);
+    for (std::size_t peer = 0; peer < nodes; ++peer) {
+      in_rings.push_back(ctx.rings->ring(peer, ctx.node));
+      out_rings.push_back(ctx.rings->ring(ctx.node, peer));
+    }
+  }
+
+  const auto ding = [&](std::size_t dst) {
+    if (ctx.doorbell_wr == nullptr || dst >= ctx.doorbell_wr->size()) return;
+    const int fd = (*ctx.doorbell_wr)[dst];
+    if (fd < 0) return;
+    const char byte = 1;
+    // EAGAIN means the pipe already holds a pending wakeup — good
+    // enough; EPIPE means the peer died and the ring push that
+    // preceded this will start failing on its own.
+    [[maybe_unused]] const ssize_t n = ::write(fd, &byte, 1);
+  };
+
+  const auto orderly_exit = [&] {
+    // Mark our side of every incoming ring closed so a straggling
+    // producer fails fast to the socket path instead of filling pages
+    // nobody will drain.
+    for (ShmRing& ring : in_rings) ring.close_consumer();
+    _exit(0);
+  };
 
   // Local routing table, eventually consistent: kRemap overwrites it.
-  // Frames arrive in order on the stream, so a remap naturally applies
-  // before every task queued behind it.
+  // Ring-borne tasks may overtake socket-queued ones (two transports,
+  // no common order), which is fine for the same reason stale tables
+  // are: items are independent and the parent re-orders outputs.
   sched::Mapping mapping = ctx.initial_mapping;
   sched::ReplicaRouter router(stages.size());
 
-  // Telemetry rides the same socket as results: spans buffer locally and
-  // flush as one kTelemetry frame every few tasks (and at exit), so the
-  // hot path stays one vector push per task.
+  // Telemetry rides the socket: spans buffer locally and flush as one
+  // kTelemetry frame every few tasks (and at exit), so the hot path
+  // stays one vector push per task.
   obs::TelemetryBatch spans;
   std::uint64_t executed = 0;
   constexpr std::size_t kFlushEvents = 16;
@@ -43,31 +103,111 @@ double virtual_now(const ChildContext& ctx) {
     if (executed) spans.counters.push_back({"stage_executions", executed});
     executed = 0;
     if (spans.empty()) return;
-    const bool sent = socket.send_frame(
-        {FrameKind::kTelemetry, static_cast<std::uint32_t>(ctx.node),
-         obs::encode_telemetry(spans)});
+    core::Bytes frame = pool.acquire();
+    const std::size_t off =
+        comm::wire::begin_frame(frame, FrameKind::kTelemetry, self);
+    obs::encode_telemetry_into(frame, spans);
+    comm::wire::end_frame(frame, off);
     spans = obs::TelemetryBatch{};
-    if (!sent) _exit(0);
+    if (!socket.send_buffer(std::move(frame))) orderly_exit();
   };
 
-  for (;;) {
-    auto frame = socket.recv_frame();
-    if (!frame) {
-      flush_telemetry();
-      _exit(0);  // parent closed the pair: run is over
+  const auto handle_task = [&](comm::wire::ByteSpan wire) {
+    const comm::wire::TaskView task = comm::wire::decode_task(wire);
+    const std::uint64_t item = task.item;
+    const std::uint32_t stage = task.stage;
+    if (stage >= stages.size()) _exit(2);
+
+    // Route before running: the frame header (kind + destination) goes
+    // at the front of the buffer the stage appends into.
+    const bool last = stage + 1 == stages.size();
+    const std::uint32_t dst =
+        last ? self
+             : static_cast<std::uint32_t>(router.pick(mapping, stage + 1));
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const double v0 = virtual_now(ctx);
+    // One pooled buffer holds the complete next-hop frame: wire frame
+    // header, task header, then the stage's output appended in place.
+    core::Bytes next = pool.acquire();
+    const std::size_t frame_off = comm::wire::begin_frame(
+        next, last ? FrameKind::kResult : FrameKind::kTask, last ? self : dst);
+    comm::wire::encode_task_header_into(next, item, stage + 1);
+    stages[stage].fn(task.payload, next);
+    comm::wire::end_frame(next, frame_off);
+    if (ctx.emulate_compute) {
+      const double service =
+          stages[stage].work / grid.effective_speed(ctx.node, v0);
+      std::this_thread::sleep_until(
+          t0 +
+          std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+              std::chrono::duration<double>(service * ctx.time_scale)));
+    }
+    const double duration =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count() /
+        ctx.time_scale;
+
+    if (ctx.telemetry) {
+      ++executed;
+      obs::TraceEvent span;
+      span.name = stages[stage].name;
+      span.kind = obs::SpanKind::kStage;
+      span.start = v0;
+      span.duration = duration;
+      span.tid = static_cast<std::uint32_t>(1 + ctx.node);
+      span.item = item;
+      span.stage = stage;
+      spans.events.push_back(std::move(span));
+      if (spans.events.size() >= kFlushEvents) flush_telemetry();
     }
 
-    switch (frame->kind) {
+    // Fast path: a non-final hop goes straight into the destination
+    // sibling's ring (the parent never sees the payload). All-or-nothing
+    // push — a full ring or dead peer falls back to the socket relay.
+    bool ring_sent = false;
+    if (!last && dst < out_rings.size() && out_rings[dst].valid()) {
+      if (out_rings[dst].push(next)) {
+        ring_sent = true;
+        if (dst != self) ding(dst);
+      }
+    }
+
+    // Everything socket-bound from this task leaves as one train (one
+    // syscall): the speed observation, plus the next-hop frame when the
+    // ring did not take it.
+    core::Bytes train = pool.acquire();
+    if (duration > 0.0) {
+      const std::size_t obs_off =
+          comm::wire::begin_frame(train, FrameKind::kSpeedObs, self);
+      comm::wire::encode_f64_into(train, stages[stage].work / duration);
+      comm::wire::end_frame(train, obs_off);
+    }
+    if (!ring_sent) {
+      const std::size_t off = train.size();
+      train.resize(off + next.size());
+      std::memcpy(train.data() + off, next.data(), next.size());
+    }
+    pool.release(std::move(next));
+    if (train.empty()) {
+      pool.release(std::move(train));
+    } else if (!socket.send_buffer(std::move(train))) {
+      orderly_exit();
+    }
+  };
+
+  const auto handle_frame = [&](const FrameView& frame) {
+    switch (frame.kind) {
       case FrameKind::kShutdown:
         flush_telemetry();
-        _exit(0);
+        orderly_exit();
+        break;
       case FrameKind::kRemap: {
         // decode_mapping only checks the bytes; validate the structure
         // too (stage count, non-empty replica sets, known nodes) before
         // routing through it — a corrupt table must be a clean _exit(2)
         // via the catch-all, not out-of-bounds UB on the next pick.
-        sched::Mapping next_mapping =
-            comm::wire::decode_mapping(frame->payload);
+        sched::Mapping next_mapping = comm::wire::decode_mapping(frame.payload);
         next_mapping.validate(grid.num_nodes());
         if (next_mapping.num_stages() != stages.size()) {
           throw std::invalid_argument("child: remap stage-count mismatch");
@@ -76,76 +216,58 @@ double virtual_now(const ChildContext& ctx) {
         router.reset(stages.size());
         break;
       }
-      case FrameKind::kTask: {
-        std::uint64_t item;
-        std::uint32_t stage;
-        core::Bytes payload;
-        comm::wire::decode_task(frame->payload, item, stage, payload);
-        if (stage >= stages.size()) _exit(2);
-
-        const auto t0 = std::chrono::steady_clock::now();
-        const double v0 = virtual_now(ctx);
-        core::Bytes out = stages[stage].fn(payload);
-        if (ctx.emulate_compute) {
-          const double service =
-              stages[stage].work / grid.effective_speed(ctx.node, v0);
-          std::this_thread::sleep_until(
-              t0 + std::chrono::duration_cast<
-                       std::chrono::steady_clock::duration>(
-                       std::chrono::duration<double>(service *
-                                                     ctx.time_scale)));
-        }
-        const double duration =
-            std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                          t0)
-                .count() /
-            ctx.time_scale;
-
-        if (ctx.telemetry) {
-          ++executed;
-          obs::TraceEvent span;
-          span.name = stages[stage].name;
-          span.kind = obs::SpanKind::kStage;
-          span.start = v0;
-          span.duration = duration;
-          span.tid = static_cast<std::uint32_t>(1 + ctx.node);
-          span.item = item;
-          span.stage = stage;
-          spans.events.push_back(std::move(span));
-          if (spans.events.size() >= kFlushEvents) flush_telemetry();
-        }
-
-        // Observed speed feeds the parent-side monitor, exactly like the
-        // DistributedExecutor's kSpeedObs messages.
-        if (duration > 0.0) {
-          if (!socket.send_frame(
-                  {FrameKind::kSpeedObs,
-                   static_cast<std::uint32_t>(ctx.node),
-                   comm::wire::encode_f64(stages[stage].work / duration)})) {
-            _exit(0);
-          }
-        }
-
-        Frame next;
-        if (stage + 1 == stages.size()) {
-          next.kind = FrameKind::kResult;
-          next.node = static_cast<std::uint32_t>(ctx.node);
-        } else {
-          // The child picks the next hop from its own table (the parent
-          // only relays), so routing stays a worker-side decision as in
-          // the message-passing runtime.
-          next.kind = FrameKind::kTask;
-          next.node =
-              static_cast<std::uint32_t>(router.pick(mapping, stage + 1));
-        }
-        next.payload = comm::wire::encode_task(item, stage + 1, out);
-        if (!socket.send_frame(next)) _exit(0);
+      case FrameKind::kTask:
+        handle_task(frame.payload);
         break;
-      }
       case FrameKind::kResult:
       case FrameKind::kSpeedObs:
       case FrameKind::kTelemetry:
         break;  // parent-bound kinds; ignore if misdelivered
+    }
+  };
+
+  const auto drain_rings = [&]() -> bool {
+    bool any = false;
+    for (std::size_t src = 0; src < in_rings.size(); ++src) {
+      ShmRing& ring = in_rings[src];
+      if (!ring.valid()) continue;
+      std::byte chunk[4096];
+      while (const std::size_t n = ring.pop(chunk, sizeof(chunk))) {
+        ring_readers[src].feed(chunk, n);
+        any = true;
+      }
+      while (auto view = ring_readers[src].next_view()) handle_frame(*view);
+    }
+    return any;
+  };
+
+  for (;;) {
+    bool worked = drain_rings();
+    if (!socket.pump_reads()) {
+      flush_telemetry();
+      orderly_exit();  // parent closed the pair: run is over
+    }
+    while (auto view = socket.next_frame_view()) {
+      handle_frame(*view);
+      worked = true;
+    }
+    if (worked) continue;
+
+    pollfd pfds[2];
+    pfds[0] = {socket.fd(), POLLIN, 0};
+    nfds_t nfds = 1;
+    if (ctx.doorbell_rd >= 0) {
+      pfds[1] = {ctx.doorbell_rd, POLLIN, 0};
+      nfds = 2;
+    }
+    if (::poll(pfds, nfds, -1) < 0 && errno != EINTR) _exit(2);
+    if (nfds == 2 && (pfds[1].revents & POLLIN) != 0) {
+      // Swallow every pending doorbell byte; the ring drain at the top
+      // of the loop happens after this read, so a push published before
+      // the ding is never missed.
+      char bytes[64];
+      while (::read(ctx.doorbell_rd, bytes, sizeof(bytes)) > 0) {
+      }
     }
   }
 }

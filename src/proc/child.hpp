@@ -5,15 +5,17 @@
 // parent (flushing those twice is the classic fork+stdio bug).
 //
 // The child inherits everything it needs by fork: the stage functions,
-// the grid (for effective_speed emulation) and the initial routing
-// table are plain copies of the parent's address space — only *live*
-// coordination crosses the socket.
+// the grid (for effective_speed emulation), the initial routing table
+// and the shared-memory ring mesh are plain copies of the parent's
+// address space (the mesh pages are MAP_SHARED, so they are the *same*
+// pages) — only live coordination crosses the socket.
 
 #include <chrono>
 #include <vector>
 
-#include "core/dist_executor.hpp"  // core::DistStage: the Bytes → Bytes stage contract
+#include "core/dist_executor.hpp"  // core::DistStage: the serialized stage contract
 #include "grid/grid.hpp"
+#include "proc/shm_ring.hpp"
 #include "proc/transport.hpp"
 #include "sched/mapping.hpp"
 
@@ -35,9 +37,19 @@ struct ChildContext {
   /// so the copied time_point stays meaningful across fork and every
   /// process derives the same virtual clock.
   std::chrono::steady_clock::time_point start{};
+  /// Shared-memory fast path for worker→worker hops (nullptr or an
+  /// invalid mesh: every hop relays through the parent socket instead).
+  const ShmRingMesh* rings = nullptr;
+  /// Read end of this worker's doorbell pipe: a sibling writes one byte
+  /// after pushing into a ring bound for us, so the poll loop wakes
+  /// without spinning. -1 when rings are off.
+  int doorbell_rd = -1;
+  /// Write ends of every worker's doorbell, indexed by node.
+  const std::vector<int>* doorbell_wr = nullptr;
 };
 
-/// Child event loop: recv frame → (remap | task | shutdown). Exits 0 on
+/// Child event loop: poll(socket, doorbell) → (remap | task | shutdown),
+/// with ring-borne tasks drained ahead of socket frames. Exits 0 on
 /// kShutdown or parent EOF, 2 on any internal error (the parent reports
 /// the status in its crash diagnostics).
 [[noreturn]] void run_child_loop(FrameSocket socket, const ChildContext& ctx);

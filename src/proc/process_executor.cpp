@@ -1,11 +1,14 @@
 #include "proc/process_executor.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cerrno>
+#include <cstring>
 #include <stdexcept>
 #include <string>
 #include <system_error>
 
+#include <fcntl.h>
 #include <poll.h>
 #include <signal.h>
 #include <sys/wait.h>
@@ -19,8 +22,8 @@ namespace gridpipe::proc {
 
 namespace {
 
-using comm::wire::Frame;
 using comm::wire::FrameKind;
+using comm::wire::FrameView;
 
 std::string describe_wait_status(int status) {
   if (WIFEXITED(status)) {
@@ -129,12 +132,51 @@ void ProcessExecutor::apply_remap(const sched::Mapping& to,
 }
 
 void ProcessExecutor::spawn_fleet() {
-  workers_.reserve(grid_.num_nodes());
-  for (grid::NodeId node = 0; node < grid_.num_nodes(); ++node) {
+  const std::size_t num_nodes = grid_.num_nodes();
+
+  // Shared-memory fast path: map the ring mesh and create the doorbell
+  // pipes *before* any fork, so every child inherits the same pages and
+  // fds. Setup failure (mmap or pipe exhaustion) just disables the fast
+  // path — the socket relay carries everything.
+  std::vector<std::array<int, 2>> bells;
+  std::vector<int> bell_wr;
+  const auto close_bells = [&] {
+    for (auto& bell : bells) {
+      if (bell[0] >= 0) ::close(bell[0]);
+      if (bell[1] >= 0) ::close(bell[1]);
+    }
+    bells.clear();
+    bell_wr.clear();
+  };
+  if (config_.shm_ring) {
+    try {
+      rings_ = ShmRingMesh(num_nodes, config_.shm_ring_bytes);
+    } catch (const std::runtime_error&) {
+      rings_ = ShmRingMesh{};
+    }
+  }
+  if (rings_.valid()) {
+    bells.assign(num_nodes, {-1, -1});
+    bool ok = true;
+    for (std::size_t i = 0; i < num_nodes && ok; ++i) {
+      ok = ::pipe2(bells[i].data(), O_NONBLOCK) == 0;
+    }
+    if (ok) {
+      bell_wr.reserve(num_nodes);
+      for (auto& bell : bells) bell_wr.push_back(bell[1]);
+    } else {
+      close_bells();
+      rings_ = ShmRingMesh{};
+    }
+  }
+
+  workers_.reserve(num_nodes);
+  for (grid::NodeId node = 0; node < num_nodes; ++node) {
     auto [parent_end, child_end] = FrameSocket::make_pair();
     const int pid = ::fork();
     if (pid < 0) {
       const int err = errno;
+      close_bells();
       kill_fleet();
       throw std::runtime_error(std::string("ProcessExecutor: fork: ") +
                                describe_errno(err));
@@ -143,9 +185,15 @@ void ProcessExecutor::spawn_fleet() {
       // Child: drop every parent-side fd inherited from earlier spawns
       // plus our own pair's parent end, then run the worker loop. The
       // stages and the grid are address-space copies — free via fork,
-      // never serialized.
+      // never serialized; the ring mesh is MAP_SHARED, so it is the
+      // same physical memory in every process.
       for (Worker& w : workers_) w.sock.close();
       parent_end.close();
+      // Keep our own doorbell read end plus every write end; siblings'
+      // read ends are theirs alone.
+      for (std::size_t i = 0; i < bells.size(); ++i) {
+        if (i != node) ::close(bells[i][0]);
+      }
       ChildContext ctx;
       ctx.node = node;
       ctx.grid = &grid_;
@@ -155,19 +203,37 @@ void ProcessExecutor::spawn_fleet() {
       ctx.emulate_compute = config_.emulate_compute;
       ctx.telemetry = config_.obs.any();
       ctx.start = start_;
+      if (rings_.valid()) {
+        ctx.rings = &rings_;
+        ctx.doorbell_rd = bells[node][0];
+        ctx.doorbell_wr = &bell_wr;
+      }
       run_child_loop(std::move(child_end), ctx);  // never returns
     }
     child_end.close();
     parent_end.set_nonblocking(true);
+    parent_end.set_pool(&pool_);
     workers_.push_back({pid, std::move(parent_end)});
   }
+  // Parent: the doorbells belong entirely to the children now.
+  close_bells();
 }
 
 void ProcessExecutor::admit(std::uint64_t index, Bytes payload) {
   const grid::NodeId dst = controller_router_.pick(controller_mapping_, 0);
-  workers_[dst].sock.queue_frame(
-      {FrameKind::kTask, static_cast<std::uint32_t>(dst),
-       comm::wire::encode_task(index, 0, payload)});
+  // Compose [frame header][task header][payload] into one pooled buffer.
+  Bytes wire = pool_.acquire();
+  const std::size_t off = comm::wire::begin_frame(
+      wire, FrameKind::kTask, static_cast<std::uint32_t>(dst));
+  comm::wire::encode_task_header_into(wire, index, 0);
+  const std::size_t at = wire.size();
+  wire.resize(at + payload.size());
+  if (!payload.empty()) {
+    std::memcpy(wire.data() + at, payload.data(), payload.size());
+  }
+  comm::wire::end_frame(wire, off);
+  workers_[dst].sock.queue_buffer(std::move(wire));
+  pool_.release(std::move(payload));
   const double vnow = virtual_now();
   admit_time_[index] = vnow;
   obs::record_span(config_.obs.tracer, obs::SpanKind::kAdmit, "admit", vnow,
@@ -176,11 +242,13 @@ void ProcessExecutor::admit(std::uint64_t index, Bytes payload) {
   if (!workers_[dst].sock.flush_some()) fail_run(dst);
 }
 
-void ProcessExecutor::handle_frame(std::size_t source, Frame frame) {
+void ProcessExecutor::handle_frame(std::size_t source,
+                                   const FrameView& frame) {
   switch (frame.kind) {
     case FrameKind::kTask: {
       // Next-hop relay: the worker picked the destination, the parent
-      // only moves the bytes.
+      // only moves the bytes (re-framed into a pooled buffer; the view
+      // dies with the next socket read).
       const std::size_t dst = frame.node;
       if (dst >= workers_.size()) {
         kill_fleet();
@@ -188,15 +256,25 @@ void ProcessExecutor::handle_frame(std::size_t source, Frame frame) {
             "ProcessExecutor: relay to nonexistent node " +
             std::to_string(dst));
       }
-      workers_[dst].sock.queue_frame(frame);
+      Bytes relay = pool_.acquire();
+      const std::size_t off =
+          comm::wire::begin_frame(relay, frame.kind, frame.node);
+      const std::size_t at = relay.size();
+      relay.resize(at + frame.payload.size());
+      if (!frame.payload.empty()) {
+        std::memcpy(relay.data() + at, frame.payload.data(),
+                    frame.payload.size());
+      }
+      comm::wire::end_frame(relay, off);
+      workers_[dst].sock.queue_buffer(std::move(relay));
       if (!workers_[dst].sock.flush_some()) fail_run(dst);
       break;
     }
     case FrameKind::kResult: {
-      std::uint64_t item;
-      std::uint32_t stage;
-      Bytes payload;
-      comm::wire::decode_task(frame.payload, item, stage, payload);
+      const comm::wire::TaskView task = comm::wire::decode_task(frame.payload);
+      const std::uint64_t item = task.item;
+      // The output crosses the API boundary, so it owns its bytes.
+      Bytes payload(task.payload.begin(), task.payload.end());
       double created_at = 0.0;
       if (auto it = admit_time_.find(item); it != admit_time_.end()) {
         created_at = it->second;
@@ -289,8 +367,8 @@ void ProcessExecutor::event_loop() {
         const bool alive = workers_[i].sock.pump_reads();
         // Drain complete frames first: the final bytes before an EOF may
         // still carry results.
-        while (auto frame = workers_[i].sock.next_frame()) {
-          handle_frame(i, std::move(*frame));
+        while (auto frame = workers_[i].sock.next_frame_view()) {
+          handle_frame(i, *frame);
         }
         if (!alive) {
           bool still_running = false;
@@ -367,6 +445,7 @@ void ProcessExecutor::shutdown_fleet() {
     w.pid = -1;
   }
   workers_.clear();
+  rings_ = ShmRingMesh{};  // every child unmapped its own view on exit
 }
 
 void ProcessExecutor::kill_fleet() noexcept {
@@ -380,6 +459,7 @@ void ProcessExecutor::kill_fleet() noexcept {
     }
   }
   workers_.clear();
+  rings_ = ShmRingMesh{};
 }
 
 void ProcessExecutor::fail_run(std::size_t node) {

@@ -56,6 +56,7 @@
 #include "core/report.hpp"
 #include "obs/metrics.hpp"
 #include "obs/sinks.hpp"
+#include "proc/shm_ring.hpp"
 #include "proc/transport.hpp"
 #include "sched/replica_router.hpp"
 #include "util/sync.hpp"
@@ -76,6 +77,14 @@ struct ProcExecutorConfig {
   /// spans locally and ship them over the socket as kTelemetry frames;
   /// the sinks themselves are only ever touched in the parent.
   obs::Sinks obs{};
+  /// Carry worker→worker hops over a shared-memory ring per ordered
+  /// worker pair (mapped before fork) instead of relaying every frame
+  /// through the parent. Any ring that is full — or a mesh that failed
+  /// to map — falls back to the socket relay per frame, so correctness
+  /// never depends on the fast path.
+  bool shm_ring = true;
+  /// Payload capacity of each ring, in bytes.
+  std::size_t shm_ring_bytes = std::size_t{1} << 18;
 };
 
 class ProcessExecutor : private control::AdaptationHost {
@@ -125,7 +134,7 @@ class ProcessExecutor : private control::AdaptationHost {
   /// failure captured into stream_error_.
   void controller_main();
   void event_loop();
-  void handle_frame(std::size_t source, comm::wire::Frame frame);
+  void handle_frame(std::size_t source, const comm::wire::FrameView& frame);
   void admit(std::uint64_t index, Bytes payload);
   /// Graceful: broadcast kShutdown, drain to EOF, close, reap.
   void shutdown_fleet();
@@ -140,6 +149,12 @@ class ProcessExecutor : private control::AdaptationHost {
   ProcExecutorConfig config_;
 
   std::chrono::steady_clock::time_point start_{};
+  /// Parent-side free-list for admission/relay frame buffers.
+  /// (Internally synchronized; no GUARDED_BY needed.)
+  comm::wire::BufferPool pool_;
+  /// Worker↔worker shared-memory rings, mapped before the fleet forks;
+  /// invalid when the knob is off or setup failed (pure socket mode).
+  ShmRingMesh rings_;
   sched::PipelineProfile profile_;
   std::unique_ptr<control::AdaptationController> controller_;
   sched::Mapping controller_mapping_;

@@ -1,0 +1,133 @@
+#pragma once
+// ShmRing — a fixed-capacity SPSC byte ring over a shared memory
+// region, carrying comm::wire frames directly between sibling worker
+// processes of the proc runtime. The region is mapped with
+// mmap(MAP_SHARED | MAP_ANONYMOUS) in the parent *before* fork, so
+// every child inherits the same physical pages; a push in one process
+// is a pop in another with no syscall and no parent round-trip.
+//
+// Contract:
+//  * Single producer, single consumer per ring (the mesh below gives
+//    every ordered worker pair its own ring, so the pairing is
+//    structural, not a locking discipline).
+//  * push() is all-or-nothing: either the whole frame fits and is
+//    published, or nothing is written and the caller falls back to the
+//    socket path. Frames therefore never interleave halves across the
+//    two transports.
+//  * pop() is byte-stream oriented: it hands out whatever contiguous
+//    progress exists (feed it to a comm::wire::FrameReader, which
+//    reassembles frames split across the wrap point).
+//  * close_producer()/close_consumer() publish an EOF-equivalent word:
+//    a producer whose consumer closed (worker exited) gets push() ==
+//    false and falls back to the socket, where the parent's poll loop
+//    owns crash detection. A crashed peer that never closed simply
+//    stops consuming; the ring fills and push() falls back the same
+//    way — liveness never depends on the ring.
+//
+// Synchronization: monotonically increasing 64-bit head/tail counters
+// on separate cache lines, release-published by their owning side and
+// acquire-loaded by the other; the data copy is therefore ordered
+// before the counter that makes it visible. No futexes — wakeup is the
+// caller's problem (the proc runtime uses a pipe-based doorbell).
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace gridpipe::proc {
+
+class ShmRing {
+ public:
+  /// An invalid ring: every operation is a safe no-op (push fails,
+  /// pop returns 0).
+  ShmRing() = default;
+
+  /// Bytes of raw memory one ring of `capacity` payload bytes needs
+  /// (header + data), suitably aligned for the header's atomics.
+  static std::size_t region_bytes(std::size_t capacity);
+
+  /// Initializes a ring header in `region` (which must hold at least
+  /// region_bytes(capacity) zeroed bytes) and returns a handle to it.
+  static ShmRing create(void* region, std::size_t capacity);
+
+  /// Handle to a ring previously create()d in `region` (e.g. the same
+  /// mapping seen from a forked child). Returns an invalid ring if the
+  /// magic does not match.
+  static ShmRing attach(void* region);
+
+  bool valid() const noexcept { return header_ != nullptr; }
+  std::size_t capacity() const noexcept;
+
+  /// All-or-nothing append of `bytes` to the stream. False when the
+  /// ring is invalid, the consumer closed, the frame exceeds the
+  /// capacity outright, or there is not enough free space right now.
+  bool push(std::span<const std::byte> bytes) noexcept;
+
+  /// Copies up to `max` pending bytes into `out`; returns the count
+  /// (0 when empty or invalid).
+  std::size_t pop(std::byte* out, std::size_t max) noexcept;
+
+  /// Bytes currently readable (exact for the consumer, a lower bound
+  /// for anyone else).
+  std::size_t readable() const noexcept;
+
+  /// EOF-equivalent: a closed producer sends no more bytes; a closed
+  /// consumer makes every subsequent push fail fast.
+  void close_producer() noexcept;
+  void close_consumer() noexcept;
+  bool producer_closed() const noexcept;
+  bool consumer_closed() const noexcept;
+
+ private:
+  struct Header {
+    std::uint64_t magic = 0;
+    std::uint64_t capacity = 0;
+    /// Consumer position: total bytes ever popped. Own cache line so
+    /// producer stores never false-share with consumer loads.
+    alignas(64) std::atomic<std::uint64_t> head;
+    /// Producer position: total bytes ever pushed.
+    alignas(64) std::atomic<std::uint64_t> tail;
+    /// Closed bits (the "generation" word): bit 0 = producer closed,
+    /// bit 1 = consumer closed.
+    alignas(64) std::atomic<std::uint32_t> closed;
+  };
+  static constexpr std::uint64_t kMagic = 0x67706970'72696e67ULL;  // "gpiprin g"
+  static constexpr std::uint32_t kProducerClosed = 1u << 0;
+  static constexpr std::uint32_t kConsumerClosed = 1u << 1;
+
+  Header* header_ = nullptr;
+  std::byte* data_ = nullptr;
+};
+
+/// One anonymous shared mapping holding a ring for every ordered
+/// (from, to) worker pair — including the diagonal, so a self-hop can
+/// bypass the parent too. Construct in the parent before forking; the
+/// mapping is inherited by every child and each process munmaps its own
+/// view on destruction/exit. Throws std::runtime_error if mmap fails
+/// (callers treat that as "run without rings").
+class ShmRingMesh {
+ public:
+  ShmRingMesh() = default;
+  ShmRingMesh(std::size_t nodes, std::size_t ring_capacity);
+  ~ShmRingMesh();
+
+  ShmRingMesh(ShmRingMesh&& other) noexcept { *this = std::move(other); }
+  ShmRingMesh& operator=(ShmRingMesh&& other) noexcept;
+  ShmRingMesh(const ShmRingMesh&) = delete;
+  ShmRingMesh& operator=(const ShmRingMesh&) = delete;
+
+  bool valid() const noexcept { return base_ != nullptr; }
+  std::size_t nodes() const noexcept { return nodes_; }
+
+  /// The ring carrying bytes from worker `from` to worker `to`.
+  ShmRing ring(std::size_t from, std::size_t to) const;
+
+ private:
+  void* base_ = nullptr;
+  std::size_t mapped_bytes_ = 0;
+  std::size_t nodes_ = 0;
+  std::size_t slot_bytes_ = 0;
+};
+
+}  // namespace gridpipe::proc

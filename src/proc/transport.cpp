@@ -6,7 +6,9 @@
 #include <system_error>
 
 #include <fcntl.h>
+#include <poll.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 namespace gridpipe::proc {
@@ -24,6 +26,10 @@ bool peer_gone(int err) {
   return err == EPIPE || err == ECONNRESET || err == ENOTCONN;
 }
 
+/// iovec batch per writev: enough to coalesce a realistic frame train,
+/// small enough to live on the stack (IOV_MAX is >= 1024 everywhere).
+constexpr std::size_t kMaxIov = 64;
+
 }  // namespace
 
 FrameSocket& FrameSocket::operator=(FrameSocket&& other) noexcept {
@@ -33,12 +39,16 @@ FrameSocket& FrameSocket::operator=(FrameSocket&& other) noexcept {
     other.fd_ = -1;
     reader_ = std::move(other.reader_);
     out_ = std::move(other.out_);
-    out_sent_ = other.out_sent_;
-    // Leave the source fully reset, not just moved-from: a stale
-    // out_sent_ against an emptied out_ would underflow pending_out().
+    front_sent_ = other.front_sent_;
+    pending_bytes_ = other.pending_bytes_;
+    pool_ = other.pool_;
+    // Leave the source fully reset, not just moved-from: stale offsets
+    // against an emptied queue would corrupt pending_out().
     other.reader_ = comm::wire::FrameReader{};
     other.out_.clear();
-    other.out_sent_ = 0;
+    other.front_sent_ = 0;
+    other.pending_bytes_ = 0;
+    other.pool_ = nullptr;
   }
   return *this;
 }
@@ -65,19 +75,41 @@ void FrameSocket::set_nonblocking(bool on) {
   if (::fcntl(fd_, F_SETFL, next) < 0) throw_errno("fcntl(F_SETFL)");
 }
 
+void FrameSocket::recycle(comm::wire::Bytes&& buffer) {
+  if (pool_) pool_->release(std::move(buffer));
+}
+
 bool FrameSocket::send_frame(const comm::wire::Frame& frame) {
-  const comm::wire::Bytes bytes = comm::wire::encode_frame(frame);
+  comm::wire::Bytes bytes =
+      pool_ ? pool_->acquire() : comm::wire::Bytes{};
+  comm::wire::encode_frame_into(bytes, frame);
+  return send_buffer(std::move(bytes));
+}
+
+bool FrameSocket::send_buffer(comm::wire::Bytes buffer) {
   std::size_t sent = 0;
-  while (sent < bytes.size()) {
-    const ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
+  while (sent < buffer.size()) {
+    const ssize_t n = ::send(fd_, buffer.data() + sent, buffer.size() - sent,
                              MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
-      if (peer_gone(errno)) return false;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // Nonblocking fd in a blocking-style send: wait for space. The
+        // peer (the parent's poll loop) always drains, so this is a
+        // bounded wait, not a deadlock.
+        pollfd pfd{fd_, POLLOUT, 0};
+        ::poll(&pfd, 1, -1);
+        continue;
+      }
+      if (peer_gone(errno)) {
+        recycle(std::move(buffer));
+        return false;
+      }
       throw_errno("send");
     }
     sent += static_cast<std::size_t>(n);
   }
+  recycle(std::move(buffer));
   return true;
 }
 
@@ -89,6 +121,11 @@ std::optional<comm::wire::Frame> FrameSocket::recv_frame() {
     if (n == 0) return std::nullopt;  // orderly EOF
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        pollfd pfd{fd_, POLLIN, 0};
+        ::poll(&pfd, 1, -1);
+        continue;
+      }
       if (peer_gone(errno)) return std::nullopt;
       throw_errno("recv");
     }
@@ -97,27 +134,64 @@ std::optional<comm::wire::Frame> FrameSocket::recv_frame() {
 }
 
 void FrameSocket::queue_frame(const comm::wire::Frame& frame) {
-  // Compact the sent prefix before it dominates the buffer.
-  if (out_sent_ > 4096 && out_sent_ > out_.size() / 2) {
-    out_.erase(out_.begin(),
-               out_.begin() + static_cast<std::ptrdiff_t>(out_sent_));
-    out_sent_ = 0;
+  comm::wire::Bytes bytes =
+      pool_ ? pool_->acquire() : comm::wire::Bytes{};
+  comm::wire::encode_frame_into(bytes, frame);
+  queue_buffer(std::move(bytes));
+}
+
+void FrameSocket::queue_buffer(comm::wire::Bytes buffer) {
+  if (buffer.empty()) {
+    recycle(std::move(buffer));
+    return;
   }
-  const comm::wire::Bytes bytes = comm::wire::encode_frame(frame);
-  out_.insert(out_.end(), bytes.begin(), bytes.end());
+  pending_bytes_ += buffer.size();
+  out_.push_back(std::move(buffer));
+}
+
+void FrameSocket::advance_out(std::size_t n) {
+  pending_bytes_ -= n;
+  while (n > 0) {
+    comm::wire::Bytes& front = out_.front();
+    const std::size_t left = front.size() - front_sent_;
+    if (n < left) {
+      front_sent_ += n;
+      return;
+    }
+    n -= left;
+    recycle(std::move(front));
+    out_.pop_front();
+    front_sent_ = 0;
+  }
 }
 
 bool FrameSocket::flush_some() {
-  while (out_sent_ < out_.size()) {
-    const ssize_t n = ::send(fd_, out_.data() + out_sent_,
-                             out_.size() - out_sent_, MSG_NOSIGNAL);
+  while (pending_bytes_ > 0) {
+    // One writev per train: every queued frame buffer becomes an iovec
+    // entry, so a burst of frames costs one syscall instead of one per
+    // frame.
+    iovec iov[kMaxIov];
+    std::size_t n_iov = 0;
+    std::size_t skip = front_sent_;
+    for (const comm::wire::Bytes& buffer : out_) {
+      if (n_iov == kMaxIov) break;
+      iov[n_iov].iov_base =
+          const_cast<std::byte*>(buffer.data()) + skip;
+      iov[n_iov].iov_len = buffer.size() - skip;
+      ++n_iov;
+      skip = 0;
+    }
+    msghdr msg{};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = n_iov;
+    const ssize_t n = ::sendmsg(fd_, &msg, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
       if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
       if (peer_gone(errno)) return false;
-      throw_errno("send");
+      throw_errno("sendmsg");
     }
-    out_sent_ += static_cast<std::size_t>(n);
+    advance_out(static_cast<std::size_t>(n));
   }
   return true;
 }

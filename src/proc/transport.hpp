@@ -5,21 +5,31 @@
 // the opposite end of its pair.
 //
 // Two usage modes on the same class:
-//  * Blocking (the child side): send_frame / recv_frame loop over
-//    partial reads and writes until a whole frame moved.
-//  * Non-blocking buffered (the parent side): queue_frame stages bytes
-//    in an outbound buffer, flush_some writes what the socket accepts,
-//    pump_reads + next_frame drain what has arrived. The parent
-//    multiplexes all children with poll(2), so it must never block on
-//    one child while another has data — and buffering outbound writes
-//    is what breaks the classic pipe deadlock (parent blocked writing
-//    to a full child socket while that child is blocked writing to the
-//    parent).
+//  * Blocking (the child side): send_frame / send_buffer / recv_frame
+//    loop over partial reads and writes until a whole frame moved
+//    (send_buffer also tolerates a nonblocking fd by poll-waiting on
+//    EAGAIN, so a child that multiplexes socket + ring can share it).
+//  * Non-blocking buffered (the parent side): queue_frame/queue_buffer
+//    stage per-frame buffers in an outbound deque, flush_some writes a
+//    whole train of them with one writev(2) (partial writes resume
+//    mid-buffer), pump_reads + next_frame/next_frame_view drain what
+//    has arrived. The parent multiplexes all children with poll(2), so
+//    it must never block on one child while another has data — and
+//    buffering outbound writes is what breaks the classic pipe
+//    deadlock (parent blocked writing to a full child socket while
+//    that child is blocked writing to the parent).
+//
+// Zero-copy hot path: attach a comm::wire::BufferPool with set_pool()
+// and the socket recycles fully-sent outbound buffers into it; callers
+// compose frames into pooled buffers (begin_frame/end_frame) and hand
+// them over with queue_buffer/send_buffer, so the steady state moves
+// frames without allocating.
 //
 // All writes use MSG_NOSIGNAL: a worker that died mid-run must surface
 // as a recoverable "peer gone" return, not a process-killing SIGPIPE.
 
 #include <cstddef>
+#include <deque>
 #include <optional>
 #include <utility>
 
@@ -49,11 +59,21 @@ class FrameSocket {
 
   void set_nonblocking(bool on);
 
+  /// Recycle fully-sent outbound buffers into `pool` (nullptr: just
+  /// free them). The pool must outlive the socket's sends.
+  void set_pool(comm::wire::BufferPool* pool) noexcept { pool_ = pool; }
+
   // ------------------------------------------------- blocking (child)
 
-  /// Writes one whole frame; retries partial writes and EINTR. False if
-  /// the peer is gone (EPIPE/ECONNRESET); throws on other errors.
+  /// Writes one whole frame; retries partial writes and EINTR, and
+  /// poll-waits on EAGAIN if the fd is nonblocking. False if the peer
+  /// is gone (EPIPE/ECONNRESET); throws on other errors.
   bool send_frame(const comm::wire::Frame& frame);
+
+  /// Writes a pre-composed buffer of one or more whole frames the same
+  /// way, then recycles it into the pool. This is the child's batched
+  /// send: one syscall per train (e.g. speed-obs + result).
+  bool send_buffer(comm::wire::Bytes buffer);
 
   /// Next frame, blocking until one is complete. nullopt on orderly EOF
   /// or peer reset; throws std::invalid_argument on malformed bytes.
@@ -61,18 +81,21 @@ class FrameSocket {
 
   // --------------------------------------- non-blocking (parent side)
 
-  /// Stages a frame in the outbound buffer (no syscall).
+  /// Stages a frame in the outbound queue (no syscall). Composes into a
+  /// pooled buffer when a pool is attached.
   void queue_frame(const comm::wire::Frame& frame);
 
-  /// Writes as much buffered output as the socket accepts right now.
+  /// Stages a pre-composed buffer of whole frames (no copy, no syscall).
+  void queue_buffer(comm::wire::Bytes buffer);
+
+  /// Writes as much buffered output as the socket accepts right now —
+  /// a train of queued buffers per writev(2), resuming partial writes.
   /// False if the peer is gone; true otherwise (even if bytes remain).
   bool flush_some();
 
   /// Buffered bytes not yet accepted by the kernel (poll for POLLOUT
   /// while nonzero).
-  std::size_t pending_out() const noexcept {
-    return out_.size() - out_sent_;
-  }
+  std::size_t pending_out() const noexcept { return pending_bytes_; }
 
   /// Reads whatever is available without blocking. Returns false on
   /// EOF/reset (peer gone), true otherwise.
@@ -81,12 +104,23 @@ class FrameSocket {
   /// Complete frames accumulated by pump_reads / recv_frame. Throws
   /// std::invalid_argument on malformed bytes.
   std::optional<comm::wire::Frame> next_frame() { return reader_.next(); }
+  /// Zero-copy variant; the view is invalidated by the next pump_reads
+  /// or recv_frame (they feed the reader).
+  std::optional<comm::wire::FrameView> next_frame_view() {
+    return reader_.next_view();
+  }
 
  private:
+  void recycle(comm::wire::Bytes&& buffer);
+  /// Marks `n` outbound bytes as sent, recycling completed buffers.
+  void advance_out(std::size_t n);
+
   int fd_ = -1;
   comm::wire::FrameReader reader_;
-  comm::wire::Bytes out_;
-  std::size_t out_sent_ = 0;
+  std::deque<comm::wire::Bytes> out_;
+  std::size_t front_sent_ = 0;     ///< sent prefix of out_.front()
+  std::size_t pending_bytes_ = 0;  ///< total unsent bytes across out_
+  comm::wire::BufferPool* pool_ = nullptr;
 };
 
 }  // namespace gridpipe::proc

@@ -49,10 +49,12 @@ sched::Mapping plan_initial(const grid::Grid& grid,
       .mapping;
 }
 
-/// Wraps every typed stage as Bytes → Bytes for the serialized
-/// substrates: decode input, run the user function, encode output. The
-/// lambdas copy the stage's function and codecs, so the resulting stage
-/// vector is independent of the spec's lifetime.
+/// Wraps every typed stage into the serialized substrates' append
+/// contract: decode the input straight from the transport buffer view,
+/// run the user function, encode the output in place after the wire
+/// header already sitting in `outb`. The lambdas copy the stage's
+/// function and codecs, so the resulting stage vector is independent of
+/// the spec's lifetime.
 std::vector<core::DistStage> wire_stages(const core::PipelineSpec& spec) {
   std::vector<core::DistStage> stages;
   stages.reserve(spec.num_stages());
@@ -60,7 +62,9 @@ std::vector<core::DistStage> wire_stages(const core::PipelineSpec& spec) {
     stages.push_back(
         {s.name,
          [fn = s.fn, in = s.in_codec, out = s.out_codec](
-             const core::Bytes& wire) { return out.encode(fn(in.decode(wire))); },
+             core::ByteSpan wire, core::Bytes& outb) {
+           out.encode_into(fn(in.decode(wire)), outb);
+         },
          s.work, s.out_bytes, s.state_bytes});
   }
   return stages;
@@ -341,6 +345,8 @@ class ProcRuntime final : public RuntimeBase {
     config.adapt = options_.adapt;
     config.emulate_compute = options_.emulate_compute;
     config.obs = options_.obs.sinks();
+    config.shm_ring = options_.shm_ring;
+    config.shm_ring_bytes = options_.shm_ring_bytes;
     return std::make_unique<ExecSession<proc::ProcessExecutor, CodecBridge>>(
         std::make_unique<proc::ProcessExecutor>(grid_, wire_stages(spec_),
                                                 mapping_, config),

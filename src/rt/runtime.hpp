@@ -89,6 +89,14 @@ struct RuntimeOptions {
   std::size_t drain_batch = 0;
   /// Probe-noise RNG seed on the threads runtime.
   std::uint64_t seed = 1;
+  /// Process runtime: carry worker→worker hops over a shared-memory
+  /// ring per ordered worker pair instead of relaying through the
+  /// parent's sockets. Falls back to the socket path per frame whenever
+  /// a ring is full (or could not be mapped), so correctness never
+  /// depends on it.
+  bool shm_ring = true;
+  /// Process runtime: payload capacity of each ring, in bytes.
+  std::size_t shm_ring_bytes = std::size_t{1} << 18;
   /// Deployment-time mapping override. Unset: the planner's t = 0 pick
   /// (control::choose_mapping with `adapt`'s mapper knobs). The sim
   /// runtime plans per its driver and ignores an override.

@@ -60,6 +60,15 @@ void write_double(std::ostream& os, double v) {
     os << "null";
     return;
   }
+  // Integral values print as integers (60, not "6e+01" — the shortest
+  // %g form technically round-trips but is hostile to humans and diffs).
+  // 2^53 bounds the range where every integer is exactly representable;
+  // -0.0 is excluded so it keeps round-tripping as "-0".
+  if (std::nearbyint(v) == v && std::fabs(v) <= 9007199254740992.0 &&
+      !(v == 0.0 && std::signbit(v))) {
+    os << static_cast<long long>(v);
+    return;
+  }
   char buf[32];
   std::snprintf(buf, sizeof(buf), "%.17g", v);
   // Trim to the shortest representation that round-trips.

@@ -7,14 +7,55 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <cstdlib>
+#include <cstring>
 #include <future>
+#include <new>
 #include <thread>
 
 #include "comm/communicator.hpp"
 #include "comm/wire.hpp"
 #include "grid/builders.hpp"
 #include "obs/telemetry.hpp"
+
+// ------------------------------------------------- allocation counting
+// A counting global allocator lets the pooled-encode test assert "the
+// steady-state hot path allocates nothing" instead of trusting a code
+// read. The counter only increments; tests compare before/after.
+
+namespace {
+std::atomic<std::uint64_t> g_allocations{0};
+}  // namespace
+
+// noinline: if the optimizer inlines these down to malloc/free at a
+// call site, GCC's -Wmismatched-new-delete pairs the raw free against
+// the (still symbolic) operator new and reports a false mismatch.
+__attribute__((noinline)) void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (size == 0) size = 1;
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+__attribute__((noinline)) void* operator new[](std::size_t size) {
+  return ::operator new(size);
+}
+__attribute__((noinline)) void operator delete(void* p) noexcept {
+  std::free(p);
+}
+__attribute__((noinline)) void operator delete[](void* p) noexcept {
+  std::free(p);
+}
+__attribute__((noinline)) void operator delete(void* p,
+                                               std::size_t) noexcept {
+  std::free(p);
+}
+__attribute__((noinline)) void operator delete[](void* p,
+                                                 std::size_t) noexcept {
+  std::free(p);
+}
 
 namespace gridpipe::comm {
 namespace {
@@ -554,6 +595,144 @@ TEST(TelemetryWire, BatchRidesTheCommunicatorAsTag6) {
   const auto m = comm.recv(0, 1, 6);
   ASSERT_TRUE(m.has_value());
   EXPECT_EQ(obs::decode_telemetry(m->payload), batch);
+}
+
+// --------------------------------------------------- pooled zero-copy
+
+TEST(BufferPool, RecyclesCapacityAndRespectsCaps) {
+  wire::BufferPool pool(/*max_buffers=*/2, /*max_retained_bytes=*/1024);
+  EXPECT_EQ(pool.pooled(), 0u);
+  EXPECT_TRUE(pool.acquire().empty());  // empty pool: fresh buffer
+
+  wire::Bytes a(100);
+  const std::byte* data = a.data();
+  pool.release(std::move(a));
+  EXPECT_EQ(pool.pooled(), 1u);
+  wire::Bytes back = pool.acquire();
+  EXPECT_EQ(pool.pooled(), 0u);
+  EXPECT_TRUE(back.empty()) << "recycled buffers come back cleared";
+  EXPECT_GE(back.capacity(), 100u);
+  EXPECT_EQ(back.data() == nullptr ? data : back.data(), data)
+      << "same storage, no fresh allocation";
+
+  // Oversized buffers are freed, not pooled.
+  wire::Bytes big(2048);
+  pool.release(std::move(big));
+  EXPECT_EQ(pool.pooled(), 0u);
+  // Zero-capacity buffers are not worth pooling either.
+  pool.release(wire::Bytes{});
+  EXPECT_EQ(pool.pooled(), 0u);
+  // The pool holds at most max_buffers.
+  pool.release(wire::Bytes(10));
+  pool.release(wire::Bytes(10));
+  pool.release(wire::Bytes(10));
+  EXPECT_EQ(pool.pooled(), 2u);
+}
+
+TEST(BufferPool, SteadyStateTaskHopDoesNotAllocate) {
+  // The tentpole contract: composing [frame header][task header][payload]
+  // into a pooled buffer allocates nothing once the buffer grew to size.
+  wire::BufferPool pool;
+  const wire::Bytes payload(256, std::byte{7});
+  const auto hop = [&] {
+    wire::Bytes buf = pool.acquire();
+    const std::size_t off =
+        wire::begin_frame(buf, wire::FrameKind::kTask, 1);
+    wire::encode_task_header_into(buf, 42, 3);
+    const std::size_t at = buf.size();
+    buf.resize(at + payload.size());
+    std::memcpy(buf.data() + at, payload.data(), payload.size());
+    wire::end_frame(buf, off);
+    pool.release(std::move(buf));
+  };
+  for (int i = 0; i < 4; ++i) hop();  // warm the pooled buffer
+
+  const std::uint64_t before = g_allocations.load();
+  for (int i = 0; i < 1000; ++i) hop();
+  EXPECT_EQ(g_allocations.load(), before)
+      << "steady-state pooled encode must be allocation-free";
+}
+
+TEST(WireSpan, TaskViewRoundTripsInPlace) {
+  wire::Bytes buf;
+  const wire::Bytes payload{std::byte{1}, std::byte{2}, std::byte{3}};
+  wire::encode_task_into(buf, 77, 2, payload);
+  EXPECT_EQ(buf, wire::encode_task(77, 2, payload));
+  const wire::TaskView view = wire::decode_task(wire::ByteSpan(buf));
+  EXPECT_EQ(view.item, 77u);
+  EXPECT_EQ(view.stage, 2u);
+  ASSERT_EQ(view.payload.size(), payload.size());
+  // Zero copy: the view aliases the wire buffer itself.
+  EXPECT_EQ(view.payload.data(), buf.data() + wire::kTaskHeaderBytes);
+}
+
+TEST(WireSpan, EveryTruncationOfEveryCodecThrows) {
+  // Task: any prefix shorter than the fixed header must throw (beyond
+  // the header every length is a valid payload).
+  const wire::Bytes task = wire::encode_task(9, 1, wire::Bytes(5));
+  for (std::size_t cut = 0; cut < wire::kTaskHeaderBytes; ++cut) {
+    EXPECT_THROW(wire::decode_task(wire::ByteSpan(task.data(), cut)),
+                 std::invalid_argument)
+        << "cut at " << cut;
+  }
+
+  // f64: exactly 8 bytes, nothing else.
+  const wire::Bytes f64 = wire::encode_f64(1.5);
+  EXPECT_DOUBLE_EQ(wire::decode_f64(wire::ByteSpan(f64)), 1.5);
+  for (std::size_t cut = 0; cut < f64.size(); ++cut) {
+    EXPECT_THROW(wire::decode_f64(wire::ByteSpan(f64.data(), cut)),
+                 std::invalid_argument)
+        << "cut at " << cut;
+  }
+
+  // Mapping: every strict prefix of a replicated mapping must throw.
+  sched::Mapping mapping(std::vector<grid::NodeId>{2, 0, 1});
+  mapping.add_replica(1, 2);
+  const wire::Bytes good = wire::encode_mapping(mapping);
+  EXPECT_EQ(wire::decode_mapping(wire::ByteSpan(good)), mapping);
+  for (std::size_t cut = 0; cut < good.size(); ++cut) {
+    EXPECT_THROW(wire::decode_mapping(wire::ByteSpan(good.data(), cut)),
+                 std::invalid_argument)
+        << "cut at " << cut;
+  }
+}
+
+TEST(WireSpan, FrameViewAliasesReaderBufferUntilNextFeed) {
+  const wire::Frame frame{wire::FrameKind::kTask, 4,
+                          wire::encode_task(1, 0, wire::Bytes(16))};
+  const wire::Bytes encoded = wire::encode_frame(frame);
+  wire::FrameReader reader;
+  reader.feed(encoded.data(), encoded.size());
+  const auto view = reader.next_view();
+  ASSERT_TRUE(view.has_value());
+  EXPECT_EQ(view->kind, frame.kind);
+  EXPECT_EQ(view->node, frame.node);
+  EXPECT_TRUE(std::equal(view->payload.begin(), view->payload.end(),
+                         frame.payload.begin(), frame.payload.end()));
+  EXPECT_FALSE(reader.next_view().has_value());
+}
+
+TEST(WireSpan, BeginEndFrameMatchesEncodeFrame) {
+  const wire::Frame frame{wire::FrameKind::kSpeedObs, 3,
+                          wire::encode_f64(0.25)};
+  wire::Bytes composed;
+  const std::size_t off =
+      wire::begin_frame(composed, frame.kind, frame.node);
+  wire::encode_f64_into(composed, 0.25);
+  wire::end_frame(composed, off);
+  EXPECT_EQ(composed, wire::encode_frame(frame));
+
+  // Two frames back to back in one buffer parse as two frames.
+  const std::size_t off2 =
+      wire::begin_frame(composed, wire::FrameKind::kShutdown, 1);
+  wire::end_frame(composed, off2);
+  wire::FrameReader reader;
+  reader.feed(composed.data(), composed.size());
+  EXPECT_EQ(reader.next(), frame);
+  const auto second = reader.next();
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->kind, wire::FrameKind::kShutdown);
+  EXPECT_FALSE(reader.next().has_value());
 }
 
 }  // namespace

@@ -19,27 +19,32 @@ Bytes bytes_of_int(int v) {
   std::memcpy(out.data(), &v, sizeof(int));
   return out;
 }
-int int_of_bytes(const Bytes& b) {
+int int_of_bytes(ByteSpan b) {
   int v = 0;
   std::memcpy(&v, b.data(), sizeof(int));
   return v;
+}
+void append_int(Bytes& out, int v) {
+  const std::size_t off = out.size();
+  out.resize(off + sizeof(int));
+  std::memcpy(out.data() + off, &v, sizeof(int));
 }
 
 std::vector<DistStage> arithmetic_stages() {
   std::vector<DistStage> stages;
   stages.push_back({"inc",
-                    [](const Bytes& in) {
-                      return bytes_of_int(int_of_bytes(in) + 1);
+                    [](ByteSpan in, Bytes& out) {
+                      append_int(out, int_of_bytes(in) + 1);
                     },
                     0.02, 16});
   stages.push_back({"triple",
-                    [](const Bytes& in) {
-                      return bytes_of_int(int_of_bytes(in) * 3);
+                    [](ByteSpan in, Bytes& out) {
+                      append_int(out, int_of_bytes(in) * 3);
                     },
                     0.02, 16});
   stages.push_back({"dec",
-                    [](const Bytes& in) {
-                      return bytes_of_int(int_of_bytes(in) - 1);
+                    [](ByteSpan in, Bytes& out) {
+                      append_int(out, int_of_bytes(in) - 1);
                     },
                     0.02, 16});
   return stages;

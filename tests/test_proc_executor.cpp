@@ -27,27 +27,32 @@ Bytes bytes_of_int(int v) {
   std::memcpy(out.data(), &v, sizeof(int));
   return out;
 }
-int int_of_bytes(const Bytes& b) {
+int int_of_bytes(core::ByteSpan b) {
   int v = 0;
   std::memcpy(&v, b.data(), sizeof(int));
   return v;
+}
+void append_int(Bytes& out, int v) {
+  const std::size_t off = out.size();
+  out.resize(off + sizeof(int));
+  std::memcpy(out.data() + off, &v, sizeof(int));
 }
 
 std::vector<core::DistStage> arithmetic_stages() {
   std::vector<core::DistStage> stages;
   stages.push_back({"inc",
-                    [](const Bytes& in) {
-                      return bytes_of_int(int_of_bytes(in) + 1);
+                    [](core::ByteSpan in, Bytes& out) {
+                      append_int(out, int_of_bytes(in) + 1);
                     },
                     0.02, 16});
   stages.push_back({"triple",
-                    [](const Bytes& in) {
-                      return bytes_of_int(int_of_bytes(in) * 3);
+                    [](core::ByteSpan in, Bytes& out) {
+                      append_int(out, int_of_bytes(in) * 3);
                     },
                     0.02, 16});
   stages.push_back({"dec",
-                    [](const Bytes& in) {
-                      return bytes_of_int(int_of_bytes(in) - 1);
+                    [](core::ByteSpan in, Bytes& out) {
+                      append_int(out, int_of_bytes(in) - 1);
                     },
                     0.02, 16});
   return stages;
@@ -241,9 +246,9 @@ TEST(ProcessExecutor, WorkerCrashSurfacesAsError) {
   // Stage functions only ever run inside forked workers, so this kills
   // one real OS process mid-stream — the failure mode the in-process
   // runtimes cannot even express.
-  stages[1].fn = [](const Bytes& in) {
+  stages[1].fn = [](core::ByteSpan in, Bytes& out) {
     if (int_of_bytes(in) == 14) _exit(7);  // item 13 after the +1 stage
-    return bytes_of_int(int_of_bytes(in) * 3);
+    append_int(out, int_of_bytes(in) * 3);
   };
   ProcessExecutor executor(g, std::move(stages),
                            sched::Mapping(std::vector<NodeId>{0, 1, 0}),
@@ -380,6 +385,89 @@ TEST(ProcessExecutor, OnChangeTriggerReactsToLoadStep) {
     const auto& out =
         std::any_cast<const Bytes&>(report.outputs[static_cast<std::size_t>(i)]);
     EXPECT_EQ(int_of_bytes(out), (i + 1) * 3 - 1);
+  }
+}
+
+// ------------------------------------------------------ shm ring modes
+
+TEST(ProcessExecutor, RingDisabledStillCorrect) {
+  const auto g = grid::uniform_cluster(3, 1.0, 1e-3, 1e8);
+  ProcExecutorConfig config = fast_proc_config();
+  config.shm_ring = false;  // pure socket-relay mode
+  ProcessExecutor executor(g, arithmetic_stages(),
+                           sched::Mapping(std::vector<NodeId>{0, 1, 2}),
+                           config);
+  std::vector<Bytes> inputs;
+  for (int i = 0; i < 40; ++i) inputs.push_back(bytes_of_int(i));
+  const auto report = executor.run(std::move(inputs));
+  ASSERT_EQ(report.items, 40u);
+  for (int i = 0; i < 40; ++i) {
+    const auto& out =
+        std::any_cast<const Bytes&>(report.outputs[static_cast<std::size_t>(i)]);
+    EXPECT_EQ(int_of_bytes(out), (i + 1) * 3 - 1) << "item " << i;
+  }
+}
+
+TEST(ProcessExecutor, TinyRingFallsBackToSocketPerFrame) {
+  // A ring too small for even one frame forces the fallback branch on
+  // every single hop — the stream must still be complete and ordered.
+  const auto g = grid::uniform_cluster(3, 1.0, 1e-3, 1e8);
+  ProcExecutorConfig config = fast_proc_config();
+  config.shm_ring_bytes = 8;  // < one frame: every push fails
+  ProcessExecutor executor(g, arithmetic_stages(),
+                           sched::Mapping(std::vector<NodeId>{0, 1, 2}),
+                           config);
+  std::vector<Bytes> inputs;
+  for (int i = 0; i < 40; ++i) inputs.push_back(bytes_of_int(i));
+  const auto report = executor.run(std::move(inputs));
+  ASSERT_EQ(report.items, 40u);
+  for (int i = 0; i < 40; ++i) {
+    const auto& out =
+        std::any_cast<const Bytes&>(report.outputs[static_cast<std::size_t>(i)]);
+    EXPECT_EQ(int_of_bytes(out), (i + 1) * 3 - 1) << "item " << i;
+  }
+}
+
+TEST(ProcessExecutor, RingCarriesSelfHopsOnColocatedMapping) {
+  // all_on: every hop is a self-hop through the diagonal ring.
+  const auto g = grid::uniform_cluster(2, 1.0, 1e-3, 1e8);
+  ProcessExecutor executor(g, arithmetic_stages(),
+                           sched::Mapping::all_on(3, 1),
+                           fast_proc_config());
+  std::vector<Bytes> inputs;
+  for (int i = 0; i < 30; ++i) inputs.push_back(bytes_of_int(i));
+  const auto report = executor.run(std::move(inputs));
+  ASSERT_EQ(report.items, 30u);
+  for (int i = 0; i < 30; ++i) {
+    const auto& out =
+        std::any_cast<const Bytes&>(report.outputs[static_cast<std::size_t>(i)]);
+    EXPECT_EQ(int_of_bytes(out), (i + 1) * 3 - 1) << "item " << i;
+  }
+}
+
+TEST(ProcessExecutor, RingEnabledOutputsMatchDistGolden) {
+  // Golden parity: byte-identical ordered outputs from the dist runtime
+  // and the proc runtime with rings engaged, same scenario.
+  const auto g = grid::uniform_cluster(3, 1.0, 1e-3, 1e8);
+  const sched::Mapping mapping(std::vector<NodeId>{0, 1, 2});
+  std::vector<Bytes> inputs;
+  for (int i = 0; i < 50; ++i) inputs.push_back(bytes_of_int(i));
+
+  core::DistExecutorConfig dist_config;
+  dist_config.time_scale = 0.002;
+  core::DistributedExecutor dist(g, arithmetic_stages(), mapping,
+                                 dist_config);
+  const auto dist_report = dist.run(inputs);
+
+  ProcessExecutor proc(g, arithmetic_stages(), mapping, fast_proc_config());
+  const auto proc_report = proc.run(inputs);
+
+  ASSERT_EQ(proc_report.items, dist_report.items);
+  ASSERT_EQ(proc_report.outputs.size(), dist_report.outputs.size());
+  for (std::size_t i = 0; i < proc_report.outputs.size(); ++i) {
+    EXPECT_EQ(std::any_cast<const Bytes&>(proc_report.outputs[i]),
+              std::any_cast<const Bytes&>(dist_report.outputs[i]))
+        << "item " << i;
   }
 }
 
