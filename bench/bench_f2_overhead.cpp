@@ -35,11 +35,16 @@ constexpr double kLiveEpoch = 10.0;
 
 core::RunReport run_substrate(rt::RuntimeKind kind,
                               const workload::Scenario& s,
-                              const sched::Mapping& mapping, bool adapt) {
+                              const sched::Mapping& mapping, bool adapt,
+                              bool obs = false) {
   rt::RuntimeOptions options;
   options.time_scale = kLiveTimeScale;
   options.adapt.epoch = adapt ? kLiveEpoch : 0.0;
   options.initial_mapping = mapping;
+  // The obs rows measure the fully instrumented per-item cost: tracer +
+  // metrics sinks on top of the always-on flight recorder the off/on
+  // rows already carry. perf_smoke.py gates the derived per-item delta.
+  if (obs) options.obs = obs::Config::full();
   // The sim rows compare the adaptive driver against the static-optimal
   // baseline (the factory maps adapt.epoch = 0 to exactly that).
   options.sim_driver = sim::DriverKind::kAdaptive;
@@ -118,28 +123,37 @@ int main(int argc, char** argv) {
   const workload::Scenario stable = workload::find_scenario("stable", 2);
   const sched::Mapping deployed = workload::planned_mapping(
       stable.grid, stable.profile, control::AdaptationConfig{});
-  util::Table substrate({"runtime", "thr (off)", "thr (on)", "remaps",
-                         "overhead %"});
+  util::Table substrate({"runtime", "thr (off)", "thr (on)", "thr (obs)",
+                         "remaps", "overhead %", "obs %"});
   util::Json& per_substrate = doc["substrate_overhead"];
   per_substrate = util::Json::array();
   for (rt::RuntimeKind kind : rt::kAllRuntimeKinds) {
     const auto off = run_substrate(kind, stable, deployed, false);
     const auto on = run_substrate(kind, stable, deployed, true);
+    // Fully instrumented (tracer + metrics on top of the always-on
+    // flight recorder), adaptation off so the delta is pure obs cost.
+    const auto obs = run_substrate(kind, stable, deployed, false, true);
     const double overhead =
         100.0 * (off.throughput - on.throughput) / off.throughput;
+    const double obs_overhead =
+        100.0 * (off.throughput - obs.throughput) / off.throughput;
     substrate.row()
         .add(rt::to_string(kind))
         .add(off.throughput, 3)
         .add(on.throughput, 3)
+        .add(obs.throughput, 3)
         .add(on.remap_count)
-        .add(overhead, 1);
+        .add(overhead, 1)
+        .add(obs_overhead, 1);
 
     util::Json row = util::Json::object();
     row["runtime"] = rt::to_string(kind);
     row["throughput_off"] = off.throughput;
     row["throughput_on"] = on.throughput;
+    row["throughput_obs"] = obs.throughput;
     row["remaps"] = on.remap_count;
     row["overhead_pct"] = overhead;
+    row["obs_overhead_pct"] = obs_overhead;
     per_substrate.push_back(std::move(row));
   }
   bench::print_table(substrate);

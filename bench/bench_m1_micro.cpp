@@ -15,6 +15,7 @@
 #include "comm/channel.hpp"
 #include "grid/builders.hpp"
 #include "monitor/ensemble.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "sched/dp_contiguous.hpp"
@@ -248,6 +249,37 @@ void BM_ObsHistogramRecord(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_ObsHistogramRecord);
+
+// Flight-recorder record: the always-on forensic write — four relaxed
+// stores + one release store into a preallocated MAP_SHARED ring. This
+// sits in every task/frame/credit path unconditionally, so the budget is
+// tight: ~10 ns, and anything near 50 ns/event is a regression
+// (perf_smoke.py gates the derived per-item overhead).
+void BM_FlightRecord(benchmark::State& state) {
+  obs::FlightRecorder recorder(1, obs::kDefaultFlightEvents);
+  obs::FlightRing ring = recorder.ring(0);
+  double t = 0.0;
+  std::uint64_t item = 0;
+  for (auto _ : state) {
+    ring.record(obs::FlightKind::kTaskStart, t, 1, item++);
+    benchmark::DoNotOptimize(t += 1e-3);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FlightRecord);
+
+// Inert handle (recorder disabled): must degrade to one null check.
+void BM_FlightRecordDisabled(benchmark::State& state) {
+  obs::FlightRing ring;  // default-constructed: inert
+  double t = 0.0;
+  std::uint64_t item = 0;
+  for (auto _ : state) {
+    ring.record(obs::FlightKind::kTaskStart, t, 1, item++);
+    benchmark::DoNotOptimize(t += 1e-3);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FlightRecordDisabled);
 
 // ------------------------------------------------------ wire hot path
 // The zero-copy transport work lives or dies on three numbers: what a

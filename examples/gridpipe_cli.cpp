@@ -9,7 +9,8 @@
 //                [--arrivals saturated|poisson] [--rate R]
 //                [--seed S] [--time-scale S] [--timeline WINDOW]
 //                [--trace-out FILE] [--metrics-out FILE]
-//                [--log-level LEVEL] [--list]
+//                [--status-out FILE] [--status-interval S]
+//                [--explain-epochs] [--log-level LEVEL] [--list]
 //
 //   --list                 print the scenario catalogue and exit
 //   --runtime              sim | threads | dist | process
@@ -19,8 +20,22 @@
 //   --trace-out FILE       write a Chrome trace-event JSON of the run
 //                          (open in Perfetto / chrome://tracing)
 //   --metrics-out FILE     write the uniform metrics snapshot as JSON
+//   --status-out FILE      rewrite FILE (atomically) with a JSON status
+//                          snapshot every --status-interval real seconds
+//                          while the run is live
+//   --status-interval S    status file refresh period (default 1.0s)
+//   --explain-epochs       print one human-readable reason line per
+//                          adaptation epoch after the run
 //   --log-level LEVEL      debug|info|warn|error|off (GRIDPIPE_LOG also
 //                          works; the flag wins)
+//
+// SIGUSR1 dumps the same JSON status snapshot to stderr mid-run (and to
+// --status-out when set) without stopping anything: the handler only
+// sets a flag; a watcher thread does the actual snapshot.
+//
+// All output paths (--trace-out/--metrics-out/--status-out) are probed
+// for writability before the run starts, so a typo'd directory fails in
+// milliseconds rather than after the stream drains.
 //
 // The scenario's profile runs as typed passthrough stages with emulated
 // compute, starting from the mapping a deployment-time planner would
@@ -28,13 +43,20 @@
 // Large --items take real wall time on the live runtimes
 // (items × bottleneck-service × time-scale seconds).
 
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <thread>
+#include <utility>
 
+#include "obs/status.hpp"
 #include "obs/trace.hpp"
 #include "rt/runtime.hpp"
+#include "util/fsio.hpp"
 #include "util/logging.hpp"
 #include "util/table.hpp"
 #include "workload/scenarios.hpp"
@@ -52,9 +74,73 @@ int usage(const char* argv0) {
                "       [--arrivals saturated|poisson] [--rate R] [--seed S]\n"
                "       [--time-scale S] [--timeline WINDOW]\n"
                "       [--trace-out FILE] [--metrics-out FILE]\n"
+               "       [--status-out FILE] [--status-interval S]\n"
+               "       [--explain-epochs]\n"
                "       [--log-level debug|info|warn|error|off] [--list]\n";
   return 2;
 }
+
+/// Set by the SIGUSR1 handler, consumed by the status watcher thread —
+/// the handler itself is async-signal-safe (one volatile store).
+volatile std::sig_atomic_t g_status_requested = 0;
+
+void on_sigusr1(int) { g_status_requested = 1; }
+
+/// Background thread that services SIGUSR1 requests and, when
+/// `status_out` is set, rewrites the status file every `interval` real
+/// seconds. Start it only after the session is open: the process
+/// runtime forks its fleet at open(), and fork must not copy a live
+/// watcher thread (or its lock states) into the children.
+class StatusWatcher {
+ public:
+  StatusWatcher(std::string status_out, double interval)
+      : status_out_(std::move(status_out)),
+        interval_(interval),
+        thread_([this] { loop(); }) {}
+
+  ~StatusWatcher() {
+    stop_.store(true);
+    thread_.join();
+    if (!status_out_.empty()) write_snapshot();  // final state on disk
+  }
+
+ private:
+  void write_snapshot() const {
+    const std::string doc = obs::StatusHub::global().snapshot_json() + "\n";
+    if (!status_out_.empty()) {
+      if (std::string err = util::write_file_atomic(status_out_, doc);
+          !err.empty()) {
+        std::cerr << "--status-out: " << err << "\n";
+      }
+    }
+    if (g_status_requested) {
+      g_status_requested = 0;
+      std::cerr << doc;
+    }
+  }
+
+  void loop() {
+    using Clock = std::chrono::steady_clock;
+    auto next_periodic = Clock::now() + std::chrono::duration_cast<
+        Clock::duration>(std::chrono::duration<double>(interval_));
+    while (!stop_.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      const bool requested = g_status_requested != 0;
+      const bool periodic =
+          !status_out_.empty() && Clock::now() >= next_periodic;
+      if (periodic) {
+        next_periodic = Clock::now() + std::chrono::duration_cast<
+            Clock::duration>(std::chrono::duration<double>(interval_));
+      }
+      if (requested || periodic) write_snapshot();
+    }
+  }
+
+  std::string status_out_;
+  double interval_;
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
 
 void print_report(const workload::Scenario& s, rt::RuntimeKind kind,
                   const rt::RuntimeOptions& options,
@@ -111,6 +197,9 @@ int main(int argc, char** argv) {
   double timeline_window = 0.0;
   std::string trace_out;
   std::string metrics_out;
+  std::string status_out;
+  double status_interval = 1.0;
+  bool explain_epochs = false;
   std::vector<const char*> sim_only_flags;  // explicit but ignored off-sim
 
   for (int i = 1; i < argc; ++i) {
@@ -155,6 +244,12 @@ int main(int argc, char** argv) {
       trace_out = next("--trace-out");
     } else if (!std::strcmp(argv[i], "--metrics-out")) {
       metrics_out = next("--metrics-out");
+    } else if (!std::strcmp(argv[i], "--status-out")) {
+      status_out = next("--status-out");
+    } else if (!std::strcmp(argv[i], "--status-interval")) {
+      status_interval = std::stod(next("--status-interval"));
+    } else if (!std::strcmp(argv[i], "--explain-epochs")) {
+      explain_epochs = true;
     } else if (!std::strcmp(argv[i], "--log-level")) {
       const char* name = next("--log-level");
       if (auto level = util::parse_log_level(name)) {
@@ -221,16 +316,57 @@ int main(int argc, char** argv) {
     options.obs = obs::Config::full();
   }
 
+  // Fail fast on unwritable output paths: a typo'd directory should
+  // abort in milliseconds, not after the whole stream drained.
+  const std::pair<const char*, const std::string*> out_paths[] = {
+      {"--trace-out", &trace_out},
+      {"--metrics-out", &metrics_out},
+      {"--status-out", &status_out}};
+  for (const auto& [flag, path] : out_paths) {
+    if (path->empty()) continue;
+    if (std::string err = util::probe_writable(*path); !err.empty()) {
+      std::cerr << flag << ": " << err << "\n";
+      return 1;
+    }
+  }
+
   const workload::Scenario s = workload::find_scenario(scenario_name, seed);
   auto runtime = rt::make_runtime(
       kind, s.grid, workload::passthrough_pipeline(s.profile), options);
 
-  std::vector<std::any> inputs;
-  inputs.reserve(items);
-  for (std::uint64_t i = 0; i < items; ++i) inputs.emplace_back(i);
-  const core::RunReport report = runtime->run(std::move(inputs));
+  std::signal(SIGUSR1, on_sigusr1);
+
+  core::RunReport report;
+  try {
+    // Manual session streaming (rather than runtime->run()) so the
+    // status watcher observes a live, registered session. Order matters:
+    // open() first — the process runtime forks its fleet there and the
+    // watcher thread must not exist yet — then start the watcher.
+    auto session = runtime->open();
+    StatusWatcher watcher(status_out, status_interval);
+    for (std::uint64_t i = 0; i < items; ++i) session->push(std::any(i));
+    session->close();
+    report = session->report();
+    report.outputs.reserve(report.items);
+    while (auto out = session->try_pop()) {
+      report.outputs.push_back(std::move(*out));
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "gridpipe_cli: run failed: " << e.what() << "\n";
+    return 1;
+  }
 
   print_report(s, kind, options, report, timeline_window);
+
+  if (explain_epochs) {
+    std::cout << "decisions\n";
+    for (const auto& e : report.epochs) {
+      std::cout << "  " << e.explain() << "\n";
+    }
+    if (report.epochs.empty()) {
+      std::cout << "  (no adaptation epochs ran)\n";
+    }
+  }
 
   if (!trace_out.empty()) {
     std::ofstream out(trace_out);

@@ -76,7 +76,7 @@ if [[ -z "${SKIP_TSAN:-}" && ( -z "${ONLY_SET}" || -n "${TSAN_ONLY:-}" ) ]]; the
     -DGRIDPIPE_BUILD_BENCH=OFF -DGRIDPIPE_BUILD_EXAMPLES=OFF
   cmake --build "$TSAN_BUILD_DIR" -j"$JOBS" \
     --target test_core test_dist_executor test_integration test_comm \
-    test_shm_ring
+    test_shm_ring test_flight
   # RUN_SERIAL already orders these; -R narrows to the threaded suites so
   # the TSan stage stays fast. The wall-clock throughput-band tests are
   # excluded: TSan's 5-15x slowdown makes their bands meaningless, and a
@@ -84,10 +84,12 @@ if [[ -z "${SKIP_TSAN:-}" && ( -z "${ONLY_SET}" || -n "${TSAN_ONLY:-}" ) ]]; the
   # nondeterministic race report. Every failure here is terminal.
   # shm_ring rides along for its two-thread SPSC stress (the ring's
   # acquire/release pairing is exactly what TSan checks); its fork-based
-  # cases are excluded — TSan does not support multi-threaded fork.
+  # cases are excluded — TSan does not support multi-threaded fork. The
+  # flight suite's concurrent writer/reader snapshot stress is likewise
+  # exactly TSan's territory; its fork case is excluded the same way.
   (cd "$TSAN_BUILD_DIR" &&
-    GTEST_FILTER='-Executor.HeterogeneityEmulationSlowsThroughput:Executor.ThroughputTracksModelPrediction:DistributedExecutor.HeterogeneityChangesThroughput:DesVsThreads.ThroughputAgreesWithinBand:ShmRingMesh.CrossProcessPushPopThroughFork' \
-    ctest --output-on-failure -R '^(core|dist_executor|integration|comm|shm_ring)$')
+    GTEST_FILTER='-Executor.HeterogeneityEmulationSlowsThroughput:Executor.ThroughputTracksModelPrediction:DistributedExecutor.HeterogeneityChangesThroughput:DesVsThreads.ThroughputAgreesWithinBand:ShmRingMesh.CrossProcessPushPopThroughFork:FlightRecorder.ParentReadsKilledChildsLaneAfterFork' \
+    ctest --output-on-failure -R '^(core|dist_executor|integration|comm|shm_ring|flight)$')
 fi
 
 if [[ -z "${SKIP_ASAN:-}" && ( -z "${ONLY_SET}" || -n "${ASAN_ONLY:-}" ) ]]; then
@@ -95,14 +97,17 @@ if [[ -z "${SKIP_ASAN:-}" && ( -z "${ONLY_SET}" || -n "${ASAN_ONLY:-}" ) ]]; the
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DGRIDPIPE_BUILD_BENCH=OFF -DGRIDPIPE_BUILD_EXAMPLES=OFF
   cmake --build "$ASAN_BUILD_DIR" -j"$JOBS" \
-    --target test_proc_executor test_comm test_dist_executor test_shm_ring
+    --target test_proc_executor test_comm test_dist_executor test_shm_ring \
+    test_flight
   # The proc suite forks real worker processes under ASan (fork is fine
   # with ASan, unlike TSan; children _exit so LeakSanitizer only audits
-  # the parent). The wall-clock throughput-band test is excluded for the
-  # same reason as under TSan: sanitizer slowdown voids its band.
+  # the parent). flight rides along for its mmap lifetime and its own
+  # fork + SIGKILL forensics case. The wall-clock throughput-band test is
+  # excluded for the same reason as under TSan: sanitizer slowdown voids
+  # its band.
   (cd "$ASAN_BUILD_DIR" &&
     GTEST_FILTER='-DistributedExecutor.HeterogeneityChangesThroughput' \
-    ctest --output-on-failure -R '^(proc_executor|comm|dist_executor|shm_ring)$')
+    ctest --output-on-failure -R '^(proc_executor|comm|dist_executor|shm_ring|flight)$')
 fi
 
 if [[ -z "${SKIP_CLANG:-}" && ( -z "${ONLY_SET}" || -n "${CLANG_ONLY:-}" ) ]]; then

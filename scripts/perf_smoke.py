@@ -38,6 +38,21 @@ def per_item_overheads(doc):
     return out, threads_item
 
 
+def per_item_obs_costs(doc):
+    """runtime -> per-item cost of enabling full observability (tracer +
+    metrics sinks over the always-on flight recorder), in virtual
+    seconds per item: 1/throughput_obs - 1/throughput_off. Empty when
+    the document predates the obs-enabled rows."""
+    out = {}
+    for row in doc["substrate_overhead"]:
+        if row["runtime"] == "sim" or "throughput_obs" not in row:
+            continue  # sim pays no live instrumentation cost
+        out[row["runtime"]] = max(
+            0.0, 1.0 / row["throughput_obs"] - 1.0 / row["throughput_off"]
+        )
+    return out
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("candidate", help="fresh bench_f2_overhead --json output")
@@ -83,6 +98,32 @@ def main():
                 f"{runtime}: per-item overhead {cand[runtime]:.4f} > "
                 f"allowed {allowed:.4f} (baseline {base[runtime]:.4f})"
             )
+
+    # Observability-enabled gate: the cost of flipping the sinks on must
+    # not balloon either. Skipped when the committed baseline predates
+    # the obs-enabled rows (the next record_bench.sh run adds them).
+    base_obs = per_item_obs_costs(base_doc)
+    cand_obs = per_item_obs_costs(cand_doc)
+    if base_obs:
+        print(f"{'obs cost':<10} {'baseline':>12} {'candidate':>12} "
+              f"{'allowed':>12}")
+        for runtime in sorted(base_obs):
+            if runtime not in cand_obs:
+                failures.append(f"{runtime}: obs row missing from candidate")
+                continue
+            allowed = base_obs[runtime] * (1.0 + args.max_regress) + epsilon
+            verdict = "ok" if cand_obs[runtime] <= allowed else "REGRESSED"
+            print(
+                f"{runtime:<10} {base_obs[runtime]:>12.4f} "
+                f"{cand_obs[runtime]:>12.4f} {allowed:>12.4f}  {verdict}"
+            )
+            if cand_obs[runtime] > allowed:
+                failures.append(
+                    f"{runtime}: per-item obs cost {cand_obs[runtime]:.4f} > "
+                    f"allowed {allowed:.4f} (baseline {base_obs[runtime]:.4f})"
+                )
+    else:
+        print("perf_smoke: baseline has no obs-enabled rows; obs gate skipped")
 
     if failures:
         print("perf_smoke: FAIL", file=sys.stderr)

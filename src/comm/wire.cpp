@@ -169,6 +169,7 @@ const char* to_string(FrameKind kind) {
     case FrameKind::kShutdown: return "shutdown";
     case FrameKind::kSpeedObs: return "speed-obs";
     case FrameKind::kTelemetry: return "telemetry";
+    case FrameKind::kHealth:   return "health";
   }
   return "?";
 }
@@ -177,7 +178,7 @@ namespace {
 
 bool valid_kind(std::uint32_t raw) {
   return raw >= static_cast<std::uint32_t>(FrameKind::kTask) &&
-         raw <= static_cast<std::uint32_t>(FrameKind::kTelemetry);
+         raw <= static_cast<std::uint32_t>(FrameKind::kHealth);
 }
 
 }  // namespace

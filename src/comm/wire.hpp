@@ -134,11 +134,12 @@ enum class FrameKind : std::uint32_t {
   kShutdown = 4,   ///< empty payload
   kSpeedObs = 5,   ///< f64 payload; `node` = observing worker
   kTelemetry = 6,  ///< obs telemetry batch; `node` = reporting worker
+  kHealth = 7,     ///< obs health record; `node` = reporting worker
 };
 
 const char* to_string(FrameKind kind);
 
-/// Forward compatibility: kinds above kTelemetry up to this bound are
+/// Forward compatibility: kinds above kHealth up to this bound are
 /// reserved for future protocol revisions. FrameReader silently skips
 /// such frames (their length prefix still delimits them) instead of
 /// failing, so an old reader survives a newer writer; anything above

@@ -151,6 +151,7 @@ EpochRecord AdaptationController::run_epoch() {
   const double now = host_.virtual_now();
   EpochRecord record;
   record.time = now;
+  record.reason.trigger = to_string(config_.trigger);
 
   // Phase bookkeeping: wall seconds always land in record.phases; when a
   // tracer is attached each phase also becomes a span on the virtual
@@ -196,9 +197,11 @@ EpochRecord AdaptationController::run_epoch() {
   end_phase("forecast", record.phases.forecast);
 
   // kOnChange: skip the (expensive) mapping search on quiet epochs.
-  if (config_.trigger == AdaptationTrigger::kOnChange &&
-      gate_.has_snapshot() && !gate_.changed(est) &&
+  const bool gate_changed = !gate_.has_snapshot() || gate_.changed(est);
+  record.reason.gate_changed = gate_changed;
+  if (config_.trigger == AdaptationTrigger::kOnChange && !gate_changed &&
       now - last_decision_time_ < config_.max_staleness) {
+    record.reason.verdict = "quiet: resources unchanged, decision fresh";
     end_phase("gate", record.phases.gate);
     return finish(record);
   }
@@ -214,6 +217,12 @@ EpochRecord AdaptationController::run_epoch() {
   record.decided = true;
   record.deployed_estimate = model_.throughput(profile_, est, deployed);
   record.candidate_estimate = candidate.breakdown.throughput;
+  record.reason.searched = true;
+  record.reason.mapper = to_string(config_.mapper);
+  record.reason.gain_ratio =
+      record.deployed_estimate > 0.0
+          ? record.candidate_estimate / record.deployed_estimate
+          : 0.0;
   end_phase("map", record.phases.map);
 
   if (mode_ == Mode::kOracle) {
@@ -221,6 +230,9 @@ EpochRecord AdaptationController::run_epoch() {
     const bool improve =
         !(candidate.mapping == deployed) &&
         record.candidate_estimate > record.deployed_estimate * (1.0 + 1e-9);
+    record.reason.verdict = improve
+                                ? "oracle: modeled improvement, free remap"
+                                : "oracle: no modeled improvement";
     end_phase("gate", record.phases.gate);
     if (improve) {
       host_.apply_remap(candidate.mapping, 0.0);
@@ -230,6 +242,7 @@ EpochRecord AdaptationController::run_epoch() {
   } else {
     const sched::AdaptationDecision decision =
         policy_.decide(profile_, est, deployed, candidate.mapping);
+    record.reason.verdict = decision.reason;
     end_phase("gate", record.phases.gate);
     if (decision.remap) {
       util::log_info("control: remap ", deployed.to_string(), " -> ",

@@ -1,0 +1,33 @@
+#include "control/epoch_record.hpp"
+
+#include <cstdio>
+
+namespace gridpipe::control {
+
+std::string EpochRecord::explain() const {
+  char head[64];
+  std::snprintf(head, sizeof(head), "[t=%.2fs] ", time);
+  std::string out = head;
+  out += reason.trigger.empty() ? "epoch" : reason.trigger;
+  out += ": ";
+  if (!decided) {
+    out += reason.verdict.empty() ? "quiet epoch, search skipped"
+                                  : reason.verdict;
+    return out;
+  }
+  char body[192];
+  std::snprintf(body, sizeof(body),
+                "searched mapper=%s deployed=%.3f/s candidate=%.3f/s "
+                "gain=%.3fx -> ",
+                reason.mapper.empty() ? "?" : reason.mapper.c_str(),
+                deployed_estimate, candidate_estimate, reason.gain_ratio);
+  out += body;
+  out += remapped ? "remapped" : "kept";
+  if (!reason.verdict.empty()) {
+    out += ": ";
+    out += reason.verdict;
+  }
+  return out;
+}
+
+}  // namespace gridpipe::control

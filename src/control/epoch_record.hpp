@@ -3,6 +3,8 @@
 // runtime's report exposes. Kept dependency-free so lightweight report
 // structs can include it without pulling in the controller stack.
 
+#include <string>
+
 namespace gridpipe::control {
 
 /// Wall-clock cost breakdown of one run_epoch call, in seconds. Pure
@@ -18,13 +20,36 @@ struct EpochPhases {
   }
 };
 
+/// Structured explanation of one epoch's decision: which trigger fired,
+/// what the forecast fed the search, which mapper produced the
+/// candidate, and what the gate/policy ruled. Serialized through the
+/// telemetry wire batch and rendered by the CLI's --explain-epochs.
+/// Like EpochPhases, not part of EpochRecord identity: the strings may
+/// evolve without breaking bit-identical determinism checks.
+struct DecisionReason {
+  std::string trigger;        ///< "periodic" | "on-change"
+  std::string mapper;         ///< mapper that ran ("" when none did)
+  bool gate_changed = false;  ///< resource gate saw a change (or no snapshot)
+  bool searched = false;      ///< a mapping search ran this epoch
+  double gain_ratio = 0.0;    ///< candidate / deployed modeled throughput
+  std::string verdict;        ///< gate/policy outcome, human-readable
+
+  friend bool operator==(const DecisionReason&,
+                         const DecisionReason&) = default;
+};
+
 struct EpochRecord {
   double time = 0.0;
   double deployed_estimate = 0.0;   ///< modeled thr of deployed mapping
   double candidate_estimate = 0.0;  ///< modeled thr of best candidate
   bool decided = false;             ///< a full mapping search ran
   bool remapped = false;
-  EpochPhases phases;  ///< wall-clock diagnostics, not part of identity
+  EpochPhases phases;     ///< wall-clock diagnostics, not part of identity
+  DecisionReason reason;  ///< explainability, not part of identity
+
+  /// One human-readable line: "[t=12.00s] on-change: searched
+  /// mapper=auto ... -> remapped: ...". Defined in epoch_record.cpp.
+  std::string explain() const;
 
   /// Equality covers the *decision* fields only: phase wall timings vary
   /// run to run, and fixed-seed runs must stay bit-comparable

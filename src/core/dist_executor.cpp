@@ -1,6 +1,7 @@
 #include "core/dist_executor.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cstring>
 #include <stdexcept>
 
@@ -52,6 +53,13 @@ DistributedExecutor::DistributedExecutor(const grid::Grid& grid,
   profile_ = profile();
   obs_metrics_.bind(config_.obs.metrics);
   controller_ = make_controller();
+  try {
+    flight_ = obs::FlightRecorder(grid_.num_nodes() + 1,
+                                  config_.flight_events);
+  } catch (const std::runtime_error&) {
+    // mmap failure: run without the forensic ring (every handle inert).
+  }
+  ctl_flight_ = flight_.ring(0);
 }
 
 DistributedExecutor::~DistributedExecutor() {
@@ -143,6 +151,8 @@ void DistributedExecutor::worker_loop_impl(int rank) {
   RoutingTable routing{initial_mapping_,
                        sched::ReplicaRouter(stages_.size())};
   const auto node = static_cast<grid::NodeId>(rank);
+  // Single writer for this lane: this thread is rank `rank`'s only one.
+  obs::FlightRing flight = flight_.ring(1 + static_cast<std::size_t>(rank));
 
   // Worker-side telemetry is buffered locally and shipped to the
   // controller rank as kTelemetry messages after each drained batch —
@@ -202,6 +212,7 @@ void DistributedExecutor::worker_loop_impl(int rank) {
 
       const auto t0 = std::chrono::steady_clock::now();
       const double v0 = virtual_now();
+      flight.record(obs::FlightKind::kTaskStart, v0, stage, item);
       // Compose the next hop in one pooled buffer: the task header goes
       // first, then the stage function appends its output right after —
       // no fresh vector anywhere on the path.
@@ -220,6 +231,8 @@ void DistributedExecutor::worker_loop_impl(int rank) {
           std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
               .count() /
           config_.time_scale;
+      flight.record(obs::FlightKind::kTaskDone, v0 + duration, stage, item,
+                    std::bit_cast<std::uint64_t>(duration));
 
       // Report the observed speed to the controller's monitor.
       if (duration > 0.0) {
@@ -278,10 +291,15 @@ void DistributedExecutor::record_probes(double) {
 
 void DistributedExecutor::apply_remap(const sched::Mapping& to,
                                       double pause_virtual) {
+  ctl_flight_.record(obs::FlightKind::kRemap, virtual_now());
   metrics_.on_remap(virtual_now(), pause_virtual,
                     controller_mapping_.to_string(), to.to_string());
   controller_mapping_ = to;
   controller_router_.reset(stages_.size());
+  {
+    util::MutexLock lock(stream_mutex_);
+    status_mapping_ = controller_mapping_.to_string();
+  }
   const Bytes wire = encode_mapping(controller_mapping_);
   for (int rank = 0; rank < controller_rank(); ++rank) {
     comm_.send(controller_rank(), rank, kRemap, wire);
@@ -304,9 +322,15 @@ void DistributedExecutor::controller_loop() {
     pool_.release(std::move(payload));
     const double vnow = virtual_now();
     admit_time_[index] = vnow;
+    ctl_flight_.record(obs::FlightKind::kAdmit, vnow, 0, index);
     obs::record_span(config_.obs.tracer, obs::SpanKind::kAdmit, "admit", vnow,
                      0.0, 0, index);
     ++admitted;
+    if (admitted - completed >= config_.window) {
+      // The credit window just filled: the next push will queue.
+      ctl_flight_.record(obs::FlightKind::kCredit, vnow, 0,
+                         admitted - completed, config_.window);
+    }
   };
 
   const double epoch = config_.adapt.epoch;
@@ -331,6 +355,7 @@ void DistributedExecutor::controller_loop() {
         obs_metrics_.item_latency->record(vnow - created_at);
       }
       ++completed;
+      ctl_flight_.record(obs::FlightKind::kComplete, vnow, 0, item);
       // The output crosses the API boundary, so it must own its bytes:
       // one copy out of the wire buffer, then the buffer recycles.
       Bytes payload(task.payload.begin(), task.payload.end());
@@ -365,6 +390,7 @@ void DistributedExecutor::controller_loop() {
         incoming_.pop_front();
       }
       done = (closed_ && completed == pushed_) || stream_error_ != nullptr;
+      status_admitted_ = admitted;
     }
     while (!pending.empty() && admitted - completed < config_.window) {
       auto entry = std::move(pending.front());
@@ -392,11 +418,15 @@ void DistributedExecutor::controller_loop() {
       }
     }
     if (epoch > 0.0 && virtual_now() >= next_epoch) {
-      controller_->run_epoch();
+      const control::EpochRecord record = controller_->run_epoch();
+      ctl_flight_.record(
+          obs::FlightKind::kEpoch, record.time,
+          (record.decided ? 1u : 0u) | (record.remapped ? 2u : 0u));
       next_epoch += epoch;
     }
   }
 
+  ctl_flight_.record(obs::FlightKind::kClose, virtual_now());
   for (int rank = 0; rank < me; ++rank) {
     comm_.send(me, rank, kShutdown, {});
   }
@@ -421,6 +451,8 @@ void DistributedExecutor::stream_begin() {
     completed_count_ = 0;
     closed_ = false;
     stream_error_ = nullptr;
+    status_mapping_ = initial_mapping_.to_string();
+    status_admitted_ = 0;
   }
   admit_time_.clear();
   controller_mapping_ = initial_mapping_;
@@ -515,6 +547,24 @@ RunReport DistributedExecutor::stream_finish() {
                          std::move(initial_mapping_str_),
                          controller_mapping_.to_string());
   return report;
+}
+
+util::Json DistributedExecutor::status() const {
+  util::Json doc = util::Json::object();
+  doc["substrate"] = "dist";
+  doc["virtual_time"] = virtual_now();
+  doc["window"] = static_cast<std::uint64_t>(config_.window);
+  util::MutexLock lock(stream_mutex_);
+  doc["mapping"] = status_mapping_;
+  doc["pushed"] = pushed_;
+  doc["admitted"] = status_admitted_;
+  doc["completed"] = completed_count_;
+  doc["in_flight"] =
+      status_admitted_ - std::min(completed_count_, status_admitted_);
+  doc["buffered_out"] = static_cast<std::uint64_t>(out_buffer_.size());
+  doc["next_out"] = next_out_;
+  doc["closed"] = closed_;
+  return doc;
 }
 
 RunReport DistributedExecutor::run(std::vector<Bytes> inputs) {

@@ -46,9 +46,11 @@
 #include "control/adaptation_controller.hpp"
 #include "core/codec.hpp"
 #include "core/report.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "obs/sinks.hpp"
 #include "sched/replica_router.hpp"
+#include "util/json.hpp"
 #include "util/sync.hpp"
 #include "util/thread_annotations.hpp"
 
@@ -92,6 +94,8 @@ struct DistExecutorConfig {
   /// their spans to the controller rank as kTelemetry messages; the
   /// sinks themselves are only ever touched from the controller side.
   obs::Sinks obs{};
+  /// Flight-recorder ring size per lane (0 disables the forensic ring).
+  std::size_t flight_events = obs::kDefaultFlightEvents;
 };
 
 class DistributedExecutor : private control::AdaptationHost {
@@ -112,6 +116,10 @@ class DistributedExecutor : private control::AdaptationHost {
   std::optional<Bytes> stream_try_pop();
   void stream_close();
   RunReport stream_finish();
+
+  /// Point-in-time introspection snapshot (queue/credit/mapping state);
+  /// safe to call from any thread while a stream is live.
+  util::Json status() const;
 
   sched::PipelineProfile profile() const;
 
@@ -189,7 +197,7 @@ class DistributedExecutor : private control::AdaptationHost {
 
   // Stream state shared between the pushing/popping caller and the
   // controller thread.
-  util::Mutex stream_mutex_;
+  mutable util::Mutex stream_mutex_;
   std::deque<std::pair<std::uint64_t, Bytes>> incoming_
       GRIDPIPE_GUARDED_BY(stream_mutex_);
   std::map<std::uint64_t, Bytes> out_buffer_
@@ -208,6 +216,10 @@ class DistributedExecutor : private control::AdaptationHost {
   /// Virtual admission time per in-flight item (controller thread only;
   /// for latency metrics).
   std::map<std::uint64_t, double> admit_time_;
+  /// Deployed-mapping string for status(): controller_mapping_ itself is
+  /// controller-thread-only, so remaps mirror it here under the lock.
+  std::string status_mapping_ GRIDPIPE_GUARDED_BY(stream_mutex_);
+  std::uint64_t status_admitted_ GRIDPIPE_GUARDED_BY(stream_mutex_) = 0;
 
   std::vector<std::thread> worker_threads_;
   std::thread controller_thread_;
@@ -215,6 +227,12 @@ class DistributedExecutor : private control::AdaptationHost {
   std::string initial_mapping_str_;
   /// Pre-resolved obs handles (all null when config_.obs.metrics is).
   obs::StandardMetrics obs_metrics_;
+
+  /// Always-on forensic flight recorder: lane 0 is the controller rank
+  /// (its thread is the sole writer — admissions, completions, remaps,
+  /// epochs all run there), lane 1 + n is worker rank n.
+  obs::FlightRecorder flight_;
+  obs::FlightRing ctl_flight_;
 };
 
 }  // namespace gridpipe::core

@@ -1,6 +1,7 @@
 #include "core/executor.hpp"
 
 #include <algorithm>
+#include <bit>
 
 namespace gridpipe::core {
 
@@ -37,6 +38,16 @@ Executor::Executor(const grid::Grid& grid, PipelineSpec spec,
   }
   obs_metrics_.bind(config_.obs.metrics);
   controller_ = make_controller();
+  try {
+    flight_ = obs::FlightRecorder(grid_.num_nodes() + 1,
+                                  config_.flight_events);
+  } catch (const std::runtime_error&) {
+    // mmap failure: run without the forensic ring (every handle inert).
+  }
+  {
+    util::MutexLock lock(routing_mutex_);
+    ctl_flight_ = flight_.ring(0);
+  }
 }
 
 Executor::~Executor() {
@@ -81,6 +92,12 @@ void Executor::admit_locked(std::uint64_t index, std::any payload) {
   ++admitted_;
   const double vnow = virtual_now();
   admit_time_[index] = vnow;
+  ctl_flight_.record(obs::FlightKind::kAdmit, vnow, 0, index);
+  if (admitted_ - completed_count_.load() >= config_.window) {
+    // The credit window just filled: the next push will queue.
+    ctl_flight_.record(obs::FlightKind::kCredit, vnow, 0,
+                       admitted_ - completed_count_.load(), config_.window);
+  }
   obs::record_span(config_.obs.tracer, obs::SpanKind::kAdmit, "admit", vnow,
                    0.0, 0, index);
   const grid::NodeId node = pick_replica_locked(0);
@@ -157,6 +174,9 @@ void Executor::worker_loop(grid::NodeId node) {
 }
 
 void Executor::worker_loop_impl(grid::NodeId node) {
+  // Single writer for this lane: this thread is the only one ever
+  // executing tasks for `node` while the stream is live.
+  obs::FlightRing flight = flight_.ring(1 + node);
   for (;;) {
     std::uint64_t gen = 0;
     auto tasks = next_tasks(node, config_.drain_batch, gen);
@@ -186,6 +206,8 @@ void Executor::worker_loop_impl(grid::NodeId node) {
       RtTask& task = tasks[i];
       const auto t0 = Clock::now();
       const double v0 = virtual_now();
+      flight.record(obs::FlightKind::kTaskStart, v0,
+                    static_cast<std::uint32_t>(task.stage), task.item);
       std::any result = spec_.at(task.stage).fn(std::move(task.payload));
 
       if (config_.emulate_compute) {
@@ -197,6 +219,9 @@ void Executor::worker_loop_impl(grid::NodeId node) {
       const double duration_virtual =
           std::chrono::duration<double>(Clock::now() - t0).count() /
           config_.time_scale;
+      flight.record(obs::FlightKind::kTaskDone, v0 + duration_virtual,
+                    static_cast<std::uint32_t>(task.stage), task.item,
+                    std::bit_cast<std::uint64_t>(duration_virtual));
 
       {
         util::MutexLock lock(metrics_mutex_);
@@ -297,6 +322,7 @@ void Executor::complete_item(std::uint64_t item, std::any output) {
   // A completion frees one unit of in-flight credit: admit the oldest
   // pending push, if any.
   util::MutexLock lock(routing_mutex_);
+  ctl_flight_.record(obs::FlightKind::kComplete, vnow, 0, item);
   while (!pending_.empty() &&
          admitted_ - completed_count_.load() < config_.window) {
     auto entry = std::move(pending_.front());
@@ -339,6 +365,7 @@ void Executor::apply_remap(const sched::Mapping& to, double pause_virtual) {
   event.pause = pause_virtual;
   event.from = mapping_.to_string();
   event.to = to.to_string();
+  ctl_flight_.record(obs::FlightKind::kRemap, event.time);
   {
     util::MutexLock lock(metrics_mutex_);
     metrics_.on_remap(std::move(event));
@@ -406,7 +433,15 @@ void Executor::controller_loop() {
       }
       if (stream_done) return;
     }
-    controller_->run_epoch();
+    const control::EpochRecord record = controller_->run_epoch();
+    {
+      // Lane 0 has multiple potential writers (pushers, workers, this
+      // thread); routing_mutex_ serializes them all.
+      util::MutexLock lock(routing_mutex_);
+      ctl_flight_.record(
+          obs::FlightKind::kEpoch, record.time,
+          (record.decided ? 1u : 0u) | (record.remapped ? 2u : 0u));
+    }
   }
 }
 
@@ -488,6 +523,10 @@ std::optional<std::any> Executor::stream_try_pop() {
 }
 
 void Executor::stream_close() {
+  {
+    util::MutexLock lock(routing_mutex_);
+    ctl_flight_.record(obs::FlightKind::kClose, virtual_now());
+  }
   // closed_ participates in the controller's completion predicate, so
   // the store must happen under result_mutex_: otherwise the controller
   // can read closed_ == false in the predicate, miss this notify while
@@ -538,6 +577,46 @@ RunReport Executor::stream_finish() {
                          std::move(initial_mapping_str_),
                          std::move(final_mapping));
   return report;
+}
+
+util::Json Executor::status() const {
+  util::Json doc = util::Json::object();
+  doc["substrate"] = "threads";
+  doc["virtual_time"] = virtual_now();
+  doc["window"] = static_cast<std::uint64_t>(config_.window);
+  std::uint64_t admitted = 0;
+  {
+    util::MutexLock lock(routing_mutex_);
+    admitted = admitted_;
+    doc["mapping"] = mapping_.to_string();
+    doc["pushed"] = pushed_.load();
+    doc["admitted"] = admitted_;
+    doc["pending"] = static_cast<std::uint64_t>(pending_.size());
+    doc["closed"] = closed_.load();
+  }
+  // completed_count_ is read after admitted_, so clamp: completions that
+  // landed between the two reads must not underflow in_flight.
+  const std::uint64_t completed = completed_count_.load();
+  doc["completed"] = completed;
+  doc["in_flight"] = admitted - std::min(completed, admitted);
+  {
+    util::MutexLock lock(result_mutex_);
+    doc["buffered_out"] = static_cast<std::uint64_t>(out_buffer_.size());
+    doc["next_out"] = next_out_;
+  }
+  util::Json workers = util::Json::array();
+  for (std::size_t n = 0; n < workers_.size(); ++n) {
+    util::Json w = util::Json::object();
+    w["node"] = static_cast<std::uint64_t>(n);
+    {
+      util::MutexLock lock(workers_[n]->mutex);
+      w["queue_depth"] =
+          static_cast<std::uint64_t>(workers_[n]->queue.size());
+    }
+    workers.push_back(std::move(w));
+  }
+  doc["workers"] = std::move(workers);
+  return doc;
 }
 
 RunReport Executor::run(std::vector<std::any> inputs) {

@@ -33,11 +33,13 @@
 #include "control/adaptation_controller.hpp"
 #include "core/pipeline_spec.hpp"
 #include "core/report.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "obs/sinks.hpp"
 #include "obs/trace.hpp"
 #include "sched/replica_router.hpp"
 #include "sim/metrics.hpp"
+#include "util/json.hpp"
 #include "util/rng.hpp"
 #include "util/sync.hpp"
 #include "util/thread_annotations.hpp"
@@ -63,6 +65,8 @@ struct ExecutorConfig {
   /// Telemetry sinks (both nullable = observability off). The pointed-to
   /// tracer/registry must outlive the executor.
   obs::Sinks obs{};
+  /// Flight-recorder ring size per lane (0 disables the forensic ring).
+  std::size_t flight_events = obs::kDefaultFlightEvents;
 };
 
 class Executor : private control::AdaptationHost {
@@ -88,6 +92,10 @@ class Executor : private control::AdaptationHost {
   /// Blocks until every pushed item completed, joins the workers and
   /// controller, and returns the report (outputs stay poppable).
   RunReport stream_finish();
+
+  /// Point-in-time introspection snapshot (queue/credit/mapping state);
+  /// safe to call from any thread while a stream is live.
+  util::Json status() const;
 
  private:
   using Clock = std::chrono::steady_clock;
@@ -209,6 +217,15 @@ class Executor : private control::AdaptationHost {
   /// Pre-resolved obs handles (all null when config_.obs.metrics is).
   obs::StandardMetrics obs_metrics_;
   util::Xoshiro256 rng_;
+
+  /// Always-on forensic flight recorder. Lane 0 is the control lane
+  /// (admissions, completions, credit, remaps, epochs) — its writers run
+  /// on pusher, worker and controller threads, so every lane-0 record
+  /// happens under routing_mutex_ to honor the single-writer ring
+  /// contract. Lane 1 + n is worker thread n (single writer by
+  /// construction).
+  obs::FlightRecorder flight_;
+  obs::FlightRing ctl_flight_ GRIDPIPE_GUARDED_BY(routing_mutex_);
 };
 
 }  // namespace gridpipe::core

@@ -1,0 +1,248 @@
+#include "obs/flight.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+#include <stdexcept>
+#include <utility>
+
+#include <sys/mman.h>
+
+namespace gridpipe::obs {
+
+namespace {
+
+/// Lane regions are carved from one mapping at this alignment so two
+/// lanes' headers never share a cache line (each lane has a different
+/// writer thread/process).
+constexpr std::size_t kLaneAlign = 64;
+
+std::size_t align_up(std::size_t n, std::size_t align) {
+  return (n + align - 1) / align * align;
+}
+
+std::string format_f64_bits(std::uint64_t bits) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.4f", std::bit_cast<double>(bits));
+  return buf;
+}
+
+}  // namespace
+
+const char* to_string(FlightKind kind) noexcept {
+  switch (kind) {
+    case FlightKind::kNone:         return "none";
+    case FlightKind::kTaskStart:    return "task-start";
+    case FlightKind::kTaskDone:     return "task-done";
+    case FlightKind::kFrameSend:    return "frame-send";
+    case FlightKind::kFrameRecv:    return "frame-recv";
+    case FlightKind::kRingPush:     return "ring-push";
+    case FlightKind::kRingFallback: return "ring-fallback";
+    case FlightKind::kCredit:       return "credit";
+    case FlightKind::kAdmit:        return "admit";
+    case FlightKind::kComplete:     return "complete";
+    case FlightKind::kRemap:        return "remap";
+    case FlightKind::kEpoch:        return "epoch";
+    case FlightKind::kHeartbeat:    return "heartbeat";
+    case FlightKind::kStall:        return "stall";
+    case FlightKind::kClose:        return "close";
+    case FlightKind::kError:        return "error";
+  }
+  return "?";
+}
+
+std::string format_event(const FlightEvent& e) {
+  std::string out = to_string(e.kind);
+  const auto num = [](std::uint64_t v) { return std::to_string(v); };
+  switch (e.kind) {
+    case FlightKind::kTaskStart:
+      out += " stage=" + num(e.arg) + " item=" + num(e.a);
+      break;
+    case FlightKind::kTaskDone:
+      out += " stage=" + num(e.arg) + " item=" + num(e.a) +
+             " dur=" + format_f64_bits(e.b) + "s";
+      break;
+    case FlightKind::kFrameSend:
+    case FlightKind::kFrameRecv:
+      out += " kind=" + num(e.arg) + " bytes=" + num(e.a);
+      break;
+    case FlightKind::kRingPush:
+    case FlightKind::kRingFallback:
+      out += " dst=" + num(e.arg) + " bytes=" + num(e.a);
+      break;
+    case FlightKind::kCredit:
+      out += " in-flight=" + num(e.a) + " window=" + num(e.b);
+      break;
+    case FlightKind::kAdmit:
+    case FlightKind::kComplete:
+      out += " item=" + num(e.a);
+      break;
+    case FlightKind::kRemap:
+      out += " source=" + num(e.arg);
+      break;
+    case FlightKind::kEpoch:
+      out += (e.arg & 1u) ? " decided" : " quiet";
+      if (e.arg & 2u) out += " remapped";
+      break;
+    case FlightKind::kHeartbeat:
+      out += " tasks=" + num(e.a) + " queue=" + num(e.b);
+      break;
+    case FlightKind::kStall:
+      out += " node=" + num(e.arg) + " silent=" + format_f64_bits(e.b) + "s";
+      break;
+    case FlightKind::kError:
+      out += " code=" + num(e.arg);
+      break;
+    case FlightKind::kNone:
+    case FlightKind::kClose:
+      break;
+  }
+  return out;
+}
+
+std::string format_events(const std::vector<FlightEvent>& events) {
+  std::string out;
+  for (const FlightEvent& e : events) {
+    char stamp[32];
+    std::snprintf(stamp, sizeof(stamp), "  [t=%.4fs] ", e.time);
+    out += stamp;
+    out += format_event(e);
+    out += '\n';
+  }
+  return out;
+}
+
+// ----------------------------------------------------------- FlightRing
+
+std::size_t FlightRing::region_bytes(std::size_t capacity) noexcept {
+  return align_up(sizeof(Header) + capacity * sizeof(Slot), kLaneAlign);
+}
+
+FlightRing FlightRing::create(void* region, std::size_t capacity) noexcept {
+  if (region == nullptr || capacity == 0) return {};
+  auto* header = new (region) Header{};
+  header->capacity = capacity;
+  header->seq.store(0, std::memory_order_relaxed);
+  FlightRing ring;
+  ring.header_ = header;
+  ring.slots_ = reinterpret_cast<Slot*>(static_cast<std::byte*>(region) +
+                                        sizeof(Header));
+  // Publish the magic last: attach() in another lane/process only trusts
+  // a fully initialized header.
+  header->magic = kMagic;
+  return ring;
+}
+
+FlightRing FlightRing::attach(void* region) noexcept {
+  if (region == nullptr) return {};
+  auto* header = static_cast<Header*>(region);
+  if (header->magic != kMagic || header->capacity == 0) return {};
+  FlightRing ring;
+  ring.header_ = header;
+  ring.slots_ = reinterpret_cast<Slot*>(static_cast<std::byte*>(region) +
+                                        sizeof(Header));
+  return ring;
+}
+
+std::size_t FlightRing::capacity() const noexcept {
+  return header_ ? static_cast<std::size_t>(header_->capacity) : 0;
+}
+
+std::uint64_t FlightRing::count() const noexcept {
+  return header_ ? header_->seq.load(std::memory_order_acquire) : 0;
+}
+
+void FlightRing::record(FlightKind kind, double time, std::uint32_t arg,
+                        std::uint64_t a, std::uint64_t b) noexcept {
+  if (header_ == nullptr) return;
+  const std::uint64_t seq = header_->seq.load(std::memory_order_relaxed);
+  Slot& slot = slots_[seq % header_->capacity];
+  slot.w[0].store(std::bit_cast<std::uint64_t>(time),
+                  std::memory_order_relaxed);
+  slot.w[1].store(static_cast<std::uint64_t>(kind) |
+                      (static_cast<std::uint64_t>(arg) << 32),
+                  std::memory_order_relaxed);
+  slot.w[2].store(a, std::memory_order_relaxed);
+  slot.w[3].store(b, std::memory_order_relaxed);
+  header_->seq.store(seq + 1, std::memory_order_release);
+}
+
+std::vector<FlightEvent> FlightRing::tail(std::size_t max_events) const {
+  std::vector<FlightEvent> out;
+  if (header_ == nullptr) return out;
+  const std::uint64_t seq = header_->seq.load(std::memory_order_acquire);
+  const std::uint64_t cap = header_->capacity;
+  const std::uint64_t n =
+      std::min({seq, cap, static_cast<std::uint64_t>(max_events)});
+  out.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = seq - n; i < seq; ++i) {
+    const Slot& slot = slots_[i % cap];
+    FlightEvent e;
+    e.time = std::bit_cast<double>(slot.w[0].load(std::memory_order_relaxed));
+    const std::uint64_t kw = slot.w[1].load(std::memory_order_relaxed);
+    const auto raw_kind = static_cast<std::uint32_t>(kw & 0xffffffffu);
+    e.kind = raw_kind <= kMaxFlightKind ? static_cast<FlightKind>(raw_kind)
+                                        : FlightKind::kNone;
+    e.arg = static_cast<std::uint32_t>(kw >> 32);
+    e.a = slot.w[2].load(std::memory_order_relaxed);
+    e.b = slot.w[3].load(std::memory_order_relaxed);
+    out.push_back(e);
+  }
+  return out;
+}
+
+// ------------------------------------------------------- FlightRecorder
+
+FlightRecorder::FlightRecorder(std::size_t lanes,
+                               std::size_t events_per_lane) {
+  if (lanes == 0 || events_per_lane == 0) return;  // explicit off switch
+  const std::size_t lane_bytes = FlightRing::region_bytes(events_per_lane);
+  const std::size_t total = lane_bytes * lanes;
+  void* base = ::mmap(nullptr, total, PROT_READ | PROT_WRITE,
+                      MAP_SHARED | MAP_ANONYMOUS, -1, 0);
+  if (base == MAP_FAILED) {
+    throw std::runtime_error("FlightRecorder: mmap failed");
+  }
+  base_ = base;
+  mapped_bytes_ = total;
+  lanes_ = lanes;
+  capacity_ = events_per_lane;
+  lane_bytes_ = lane_bytes;
+  for (std::size_t lane = 0; lane < lanes; ++lane) {
+    FlightRing::create(static_cast<std::byte*>(base_) + lane * lane_bytes_,
+                       events_per_lane);
+  }
+}
+
+FlightRecorder::~FlightRecorder() {
+  if (base_ != nullptr) ::munmap(base_, mapped_bytes_);
+}
+
+FlightRecorder& FlightRecorder::operator=(FlightRecorder&& other) noexcept {
+  if (this == &other) return *this;
+  if (base_ != nullptr) ::munmap(base_, mapped_bytes_);
+  base_ = std::exchange(other.base_, nullptr);
+  mapped_bytes_ = std::exchange(other.mapped_bytes_, 0);
+  lanes_ = std::exchange(other.lanes_, 0);
+  capacity_ = std::exchange(other.capacity_, 0);
+  lane_bytes_ = std::exchange(other.lane_bytes_, 0);
+  return *this;
+}
+
+FlightRing FlightRecorder::ring(std::size_t lane) const noexcept {
+  if (base_ == nullptr || lane >= lanes_) return {};
+  return FlightRing::attach(static_cast<std::byte*>(base_) +
+                            lane * lane_bytes_);
+}
+
+std::vector<FlightEvent> FlightRecorder::tail(std::size_t lane,
+                                              std::size_t max_events) const {
+  return ring(lane).tail(max_events);
+}
+
+std::string FlightRecorder::format_tail(std::size_t lane,
+                                        std::size_t max_events) const {
+  return format_events(tail(lane, max_events));
+}
+
+}  // namespace gridpipe::obs

@@ -1,0 +1,172 @@
+#pragma once
+// obs::FlightRecorder — the always-on forensic layer: a fixed-size
+// lock-free event ring per execution lane (controller = lane 0, worker
+// node n = lane 1 + n, mirroring the tracer's tid convention), recording
+// the last few hundred things each lane did: task starts/finishes, frame
+// sends/receives, ring pushes and socket fallbacks, credit-window
+// changes, admissions, completions, remaps and epoch transitions.
+//
+// Unlike the Tracer (opt-in, unbounded, allocating), the flight recorder
+// is on by default and costs a handful of relaxed atomic stores per
+// event (~10 ns, measured in bench_m1_micro): events are 32-byte PODs
+// written into a preallocated ring, so the hot path never allocates,
+// never locks, and never branches on configuration beyond one null
+// check. When something dies, the ring holds the story.
+//
+// The backing region is one mmap(MAP_SHARED | MAP_ANONYMOUS) mapping,
+// exactly like proc::ShmRingMesh: the proc runtime constructs the
+// recorder *before* forking its fleet, so every child writes its lane in
+// pages the parent still sees — after a SIGKILL the parent reads the
+// dead child's last events out of shared memory and attaches the decoded
+// tail to the crash error. The in-process runtimes use the same mapping
+// shape for uniformity (a MAP_SHARED mapping in one process is just
+// memory).
+//
+// Concurrency contract: one writer per lane (structural, like the shm
+// ring's SPSC pairing); readers may snapshot any lane at any time. The
+// writer publishes each event with one release store of the sequence
+// counter; a reader acquires the counter and walks backwards. A reader
+// racing the live writer can observe a *torn event* in the oldest slot
+// it reads (each 8-byte word is individually atomic, so this is benign
+// data, never UB or a TSan report) — acceptable for forensics, where the
+// newest events matter and the oldest slot is the one being recycled.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gridpipe::obs {
+
+enum class FlightKind : std::uint32_t {
+  kNone = 0,          ///< empty / torn slot
+  kTaskStart = 1,     ///< arg = stage, a = item
+  kTaskDone = 2,      ///< arg = stage, a = item, b = duration bits (f64)
+  kFrameSend = 3,     ///< arg = wire frame kind, a = payload bytes
+  kFrameRecv = 4,     ///< arg = wire frame kind, a = payload bytes
+  kRingPush = 5,      ///< arg = destination node, a = frame bytes
+  kRingFallback = 6,  ///< arg = destination node, a = frame bytes
+  kCredit = 7,        ///< a = items in flight, b = window
+  kAdmit = 8,         ///< a = item
+  kComplete = 9,      ///< a = item
+  kRemap = 10,        ///< arg = source (0 = controller decision, else node)
+  kEpoch = 11,        ///< arg bit 0 = decided, bit 1 = remapped
+  kHeartbeat = 12,    ///< a = tasks executed, b = queue depth
+  kStall = 13,        ///< arg = node, b = silent-for bits (f64)
+  kClose = 14,        ///< stream closed / shutdown observed
+  kError = 15,        ///< arg = lane-specific error code
+};
+inline constexpr std::uint32_t kMaxFlightKind =
+    static_cast<std::uint32_t>(FlightKind::kError);
+
+const char* to_string(FlightKind kind) noexcept;
+
+/// One decoded ring entry. `arg`/`a`/`b` are kind-dependent (see the
+/// enum); times are virtual seconds on the owning substrate's clock.
+struct FlightEvent {
+  double time = 0.0;
+  FlightKind kind = FlightKind::kNone;
+  std::uint32_t arg = 0;
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+
+  friend bool operator==(const FlightEvent&, const FlightEvent&) = default;
+};
+
+/// "task-start stage=2 item=17" — one event, no timestamp prefix.
+std::string format_event(const FlightEvent& event);
+/// Multi-line human-readable dump, oldest first, each line prefixed with
+/// the virtual timestamp. Empty string for no events.
+std::string format_events(const std::vector<FlightEvent>& events);
+
+/// Non-owning handle to one ring in a flight region. Valid across
+/// fork(): the handle is plain pointers into a MAP_SHARED mapping.
+/// Default-constructed handles are inert (record() is a no-op, tail()
+/// is empty) so call sites never branch on "is the recorder on".
+class FlightRing {
+ public:
+  FlightRing() = default;
+
+  /// Raw bytes one ring of `capacity` events needs (header + slots).
+  static std::size_t region_bytes(std::size_t capacity) noexcept;
+  /// Initializes a ring over `region` (>= region_bytes(capacity) zeroed
+  /// bytes, 8-byte aligned) and returns a handle.
+  static FlightRing create(void* region, std::size_t capacity) noexcept;
+  /// Handle to a previously create()d ring; invalid if the magic does
+  /// not match (e.g. the region was never initialized).
+  static FlightRing attach(void* region) noexcept;
+
+  bool valid() const noexcept { return header_ != nullptr; }
+  std::size_t capacity() const noexcept;
+  /// Events ever recorded (not clamped to capacity).
+  std::uint64_t count() const noexcept;
+
+  /// The hot path: four relaxed stores + one release store. Single
+  /// writer per ring; wait-free; never allocates.
+  void record(FlightKind kind, double time, std::uint32_t arg = 0,
+              std::uint64_t a = 0, std::uint64_t b = 0) noexcept;
+
+  /// Last min(count, capacity, max_events) events, oldest first. Safe
+  /// from any thread/process; see the tearing caveat in the file header.
+  std::vector<FlightEvent> tail(std::size_t max_events) const;
+
+ private:
+  struct Header {
+    std::uint64_t magic = 0;
+    std::uint64_t capacity = 0;  ///< slots
+    std::atomic<std::uint64_t> seq;
+  };
+  struct Slot {
+    std::atomic<std::uint64_t> w[4];
+  };
+  static constexpr std::uint64_t kMagic = 0x67706670'6c697465ULL;  // "gpfplite"
+
+  Header* header_ = nullptr;
+  Slot* slots_ = nullptr;
+};
+
+/// Owns one anonymous shared mapping holding `lanes` flight rings.
+/// Construct before forking (proc runtime) so children write lanes the
+/// parent can still read post-mortem; each process unmaps its own view.
+/// A default-constructed recorder is valid-off: every ring() is inert.
+/// Throws std::runtime_error if mmap fails (callers treat that as
+/// "run without a flight recorder").
+class FlightRecorder {
+ public:
+  FlightRecorder() = default;
+  /// `events_per_lane` = 0 yields a disabled recorder (no mapping).
+  FlightRecorder(std::size_t lanes, std::size_t events_per_lane);
+  ~FlightRecorder();
+
+  FlightRecorder(FlightRecorder&& other) noexcept { *this = std::move(other); }
+  FlightRecorder& operator=(FlightRecorder&& other) noexcept;
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  bool valid() const noexcept { return base_ != nullptr; }
+  std::size_t lanes() const noexcept { return lanes_; }
+  std::size_t events_per_lane() const noexcept { return capacity_; }
+
+  /// Handle to lane `lane`; inert when out of range or disabled.
+  FlightRing ring(std::size_t lane) const noexcept;
+
+  /// Decoded tail of one lane, oldest first.
+  std::vector<FlightEvent> tail(std::size_t lane,
+                                std::size_t max_events) const;
+  /// format_events(tail(lane, max_events)).
+  std::string format_tail(std::size_t lane, std::size_t max_events) const;
+
+ private:
+  void* base_ = nullptr;
+  std::size_t mapped_bytes_ = 0;
+  std::size_t lanes_ = 0;
+  std::size_t capacity_ = 0;
+  std::size_t lane_bytes_ = 0;
+};
+
+/// Default ring size: 256 events × 32 B = 8 KB per lane. Enough to hold
+/// the last dozen-or-so items' full event sequence on a worker lane.
+inline constexpr std::size_t kDefaultFlightEvents = 256;
+
+}  // namespace gridpipe::obs

@@ -1,0 +1,134 @@
+#include "obs/health.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+#include <sys/resource.h>
+
+namespace gridpipe::obs {
+
+namespace {
+
+template <class T>
+void append_pod(Bytes& out, T v) {
+  const std::size_t off = out.size();
+  out.resize(off + sizeof(v));
+  std::memcpy(out.data() + off, &v, sizeof(v));
+}
+
+template <class T>
+T read_pod(ByteSpan in, std::size_t& off) {
+  T v;
+  std::memcpy(&v, in.data() + off, sizeof(v));
+  off += sizeof(v);
+  return v;
+}
+
+}  // namespace
+
+Bytes encode_health(const HealthRecord& record) {
+  Bytes out;
+  encode_health_into(out, record);
+  return out;
+}
+
+void encode_health_into(Bytes& out, const HealthRecord& record) {
+  append_pod(out, record.node);
+  append_pod(out, record.time);
+  append_pod(out, record.last_progress);
+  append_pod(out, record.tasks_executed);
+  append_pod(out, record.queue_depth);
+  append_pod(out, record.ring_bytes);
+  append_pod(out, record.rss_kb);
+}
+
+HealthRecord decode_health(ByteSpan wire) {
+  if (wire.size() != kHealthWireBytes) {
+    throw std::invalid_argument("health: wrong payload size");
+  }
+  std::size_t off = 0;
+  HealthRecord record;
+  record.node = read_pod<std::uint32_t>(wire, off);
+  record.time = read_pod<double>(wire, off);
+  record.last_progress = read_pod<double>(wire, off);
+  record.tasks_executed = read_pod<std::uint64_t>(wire, off);
+  record.queue_depth = read_pod<std::uint32_t>(wire, off);
+  record.ring_bytes = read_pod<std::uint64_t>(wire, off);
+  record.rss_kb = read_pod<std::uint64_t>(wire, off);
+  return record;
+}
+
+std::uint64_t self_rss_kb() noexcept {
+  rusage usage{};
+  if (::getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+  // ru_maxrss is kilobytes on Linux (bytes on some BSDs; close enough
+  // for a health signal).
+  return usage.ru_maxrss > 0 ? static_cast<std::uint64_t>(usage.ru_maxrss)
+                             : 0;
+}
+
+// -------------------------------------------------------- HealthTracker
+
+void HealthTracker::reset(std::size_t nodes, double now) {
+  nodes_.assign(nodes, Node{});
+  for (Node& node : nodes_) node.last_seen = now;
+}
+
+void HealthTracker::on_frame(std::size_t node, double now) {
+  if (node >= nodes_.size()) return;
+  nodes_[node].last_seen = now;
+}
+
+void HealthTracker::on_health(const HealthRecord& record, double now) {
+  if (record.node >= nodes_.size()) return;
+  Node& node = nodes_[record.node];
+  node.last = record;
+  node.last_seen = now;
+}
+
+std::vector<HealthTracker::Transition> HealthTracker::check(
+    double now, double stall_after) {
+  std::vector<Transition> out;
+  if (stall_after <= 0.0) return out;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    Node& node = nodes_[i];
+    const double silent = now - node.last_seen;
+    // No-progress: the worker still heartbeats but reports work queued
+    // and a last-progress timestamp that stopped advancing.
+    const bool wedged = node.last.time > 0.0 && node.last.queue_depth > 0 &&
+                        node.last.time - node.last.last_progress > stall_after;
+    const bool stalled = silent > stall_after || wedged;
+    if (stalled != node.stalled) {
+      node.stalled = stalled;
+      if (stalled) ++node.stall_count;
+      out.push_back({static_cast<std::uint32_t>(i), stalled, silent,
+                     wedged && silent <= stall_after});
+    }
+  }
+  return out;
+}
+
+util::Json HealthTracker::to_json(double now) const {
+  util::Json array = util::Json::array();
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const Node& node = nodes_[i];
+    util::Json entry = util::Json::object();
+    entry["node"] = static_cast<std::uint64_t>(i);
+    entry["last_seen"] = node.last_seen;
+    entry["silent_for"] = now - node.last_seen;
+    entry["stalled"] = node.stalled;
+    entry["stall_count"] = node.stall_count;
+    if (node.last.time > 0.0) {
+      entry["sampled_at"] = node.last.time;
+      entry["last_progress"] = node.last.last_progress;
+      entry["tasks_executed"] = node.last.tasks_executed;
+      entry["queue_depth"] = node.last.queue_depth;
+      entry["ring_bytes"] = node.last.ring_bytes;
+      entry["rss_kb"] = node.last.rss_kb;
+    }
+    array.push_back(std::move(entry));
+  }
+  return array;
+}
+
+}  // namespace gridpipe::obs

@@ -1,0 +1,109 @@
+#pragma once
+// Worker health — the liveness half of the forensic layer, and the
+// direct precursor to the multi-host substrate's heartbeat/timeout
+// (ROADMAP item 4).
+//
+// Children of the proc runtime periodically sample themselves into a
+// HealthRecord (queue depth, ring occupancy, last-progress timestamp,
+// rss, tasks executed) and ship it as a kHealth wire frame — piggybacked
+// onto a task's outgoing train when one is due anyway, or sent from the
+// idle poll loop on a timer, so an idle-but-alive worker still
+// heartbeats. The parent's HealthTracker folds those records (plus the
+// implicit liveness of *any* received frame) into per-node state and
+// detects two stall shapes:
+//
+//  * silence   — no frame of any kind for longer than `stall_after`
+//                virtual seconds (dead-but-undetected, wedged in a
+//                stage, or livelocked off the socket);
+//  * no-progress — heartbeats keep arriving but the worker reports a
+//                nonempty queue and a last_progress timestamp older
+//                than `stall_after` (alive but not working).
+//
+// Detection is edge-triggered: check() returns transitions (stalled ↔
+// recovered), which the owner turns into log warnings, metrics counters
+// and flight-recorder events — once per transition, not per poll tick.
+//
+// The codec follows the house payload rules: fixed-width little-endian
+// fields, exact-size bounds check, std::invalid_argument on malformed
+// bytes (a byte stream from another process is untrusted).
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace gridpipe::obs {
+
+using Bytes = std::vector<std::byte>;
+using ByteSpan = std::span<const std::byte>;
+
+struct HealthRecord {
+  std::uint32_t node = 0;
+  double time = 0.0;           ///< virtual time when sampled
+  double last_progress = 0.0;  ///< virtual time of the last finished task
+  std::uint64_t tasks_executed = 0;
+  std::uint32_t queue_depth = 0;  ///< frames buffered awaiting processing
+  std::uint64_t ring_bytes = 0;   ///< occupancy across incoming shm rings
+  std::uint64_t rss_kb = 0;       ///< resident set size, kilobytes
+
+  friend bool operator==(const HealthRecord&, const HealthRecord&) = default;
+};
+
+/// Exact wire size of one record (fixed-size payload, no varints).
+inline constexpr std::size_t kHealthWireBytes = 4 + 8 + 8 + 8 + 4 + 8 + 8;
+
+Bytes encode_health(const HealthRecord& record);
+/// Appends the encoding to `out` (typically a pooled buffer already
+/// holding a frame header).
+void encode_health_into(Bytes& out, const HealthRecord& record);
+/// Throws std::invalid_argument unless exactly kHealthWireBytes.
+HealthRecord decode_health(ByteSpan wire);
+
+/// This process's resident set size in kilobytes (getrusage; 0 on
+/// failure). Async-signal-safe enough for a worker's send path.
+std::uint64_t self_rss_kb() noexcept;
+
+/// Parent-side per-node liveness state. NOT internally synchronized:
+/// the owner (a single controller thread, or a caller holding the
+/// executor's status mutex) serializes access.
+class HealthTracker {
+ public:
+  struct Node {
+    HealthRecord last{};     ///< latest health record (last.time==0: none)
+    double last_seen = 0.0;  ///< virtual time of the last frame, any kind
+    bool stalled = false;
+    std::uint64_t stall_count = 0;  ///< transitions into stalled
+  };
+
+  /// One edge of the stall predicate flipping for one node.
+  struct Transition {
+    std::uint32_t node = 0;
+    bool stalled = false;     ///< new state
+    double silent_for = 0.0;  ///< virtual seconds since last frame
+    bool no_progress = false; ///< tripped on the no-progress shape
+  };
+
+  HealthTracker() = default;
+
+  /// (Re)starts tracking `nodes` workers, all last seen at `now`.
+  void reset(std::size_t nodes, double now);
+
+  /// Any frame from `node` proves liveness (health piggybacks for free).
+  void on_frame(std::size_t node, double now);
+  void on_health(const HealthRecord& record, double now);
+
+  /// Scans every node against `stall_after` (<= 0 disables detection)
+  /// and returns the edge transitions since the last check.
+  std::vector<Transition> check(double now, double stall_after);
+
+  const std::vector<Node>& nodes() const noexcept { return nodes_; }
+
+  /// Per-node health as a JSON array (for status snapshots).
+  util::Json to_json(double now) const;
+
+ private:
+  std::vector<Node> nodes_;
+};
+
+}  // namespace gridpipe::obs

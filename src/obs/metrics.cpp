@@ -197,6 +197,8 @@ void StandardMetrics::bind(MetricsRegistry* registry) {
   items_pushed = &registry->counter(names::kItemsPushed);
   items_completed = &registry->counter(names::kItemsCompleted);
   remaps = &registry->counter(names::kRemaps);
+  heartbeats = &registry->counter(names::kHeartbeats);
+  worker_stalls = &registry->counter(names::kWorkerStalls);
   item_latency = &registry->histogram(names::kItemLatency);
   stage_service = &registry->histogram(names::kStageService);
 }

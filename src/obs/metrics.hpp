@@ -35,6 +35,8 @@ inline constexpr const char* kItemsCompleted = "items_completed";
 inline constexpr const char* kRemaps = "remaps";
 inline constexpr const char* kEpochs = "epochs";
 inline constexpr const char* kTelemetryBatches = "telemetry_batches";
+inline constexpr const char* kHeartbeats = "heartbeats";
+inline constexpr const char* kWorkerStalls = "worker_stalls";
 inline constexpr const char* kItemLatency = "item_latency_seconds";
 inline constexpr const char* kStageService = "stage_service_seconds";
 inline constexpr const char* kEpochWall = "epoch_wall_seconds";
@@ -182,6 +184,8 @@ struct StandardMetrics {
   Counter* items_pushed = nullptr;
   Counter* items_completed = nullptr;
   Counter* remaps = nullptr;
+  Counter* heartbeats = nullptr;
+  Counter* worker_stalls = nullptr;
   Histogram* item_latency = nullptr;
   Histogram* stage_service = nullptr;
 

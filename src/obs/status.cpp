@@ -1,0 +1,58 @@
+#include "obs/status.hpp"
+
+#include <exception>
+
+namespace gridpipe::obs {
+
+StatusHub& StatusHub::global() {
+  static StatusHub hub;
+  return hub;
+}
+
+int StatusHub::add(std::string name, Provider provider) {
+  util::MutexLock lock(mutex_);
+  const int id = next_id_++;
+  entries_.push_back({id, std::move(name), std::move(provider)});
+  return id;
+}
+
+void StatusHub::remove(int id) {
+  util::MutexLock lock(mutex_);
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].id == id) {
+      entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(i));
+      return;
+    }
+  }
+}
+
+std::size_t StatusHub::size() const {
+  util::MutexLock lock(mutex_);
+  return entries_.size();
+}
+
+util::Json StatusHub::snapshot() const {
+  util::Json doc = util::Json::object();
+  util::Json sessions = util::Json::array();
+  {
+    util::MutexLock lock(mutex_);
+    for (const Entry& entry : entries_) {
+      util::Json item = util::Json::object();
+      item["name"] = entry.name;
+      try {
+        item["status"] = entry.provider();
+      } catch (const std::exception& e) {
+        item["error"] = e.what();
+      } catch (...) {
+        item["error"] = "unknown provider failure";
+      }
+      sessions.push_back(std::move(item));
+    }
+  }
+  doc["sessions"] = std::move(sessions);
+  return doc;
+}
+
+std::string StatusHub::snapshot_json() const { return snapshot().dump(2); }
+
+}  // namespace gridpipe::obs

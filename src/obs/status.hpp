@@ -1,0 +1,106 @@
+#pragma once
+// obs::StatusHub — live introspection without stopping the run. Any
+// component with something to say (an executor's streaming session, a
+// sim session, a future daemon) registers a provider that renders its
+// current state as util::Json; snapshot() asks every live provider and
+// assembles one document:
+//
+//   {
+//     "sessions": [
+//       { "name": "process", "status": { ...provider output... } },
+//       ...
+//     ]
+//   }
+//
+// gridpipe_cli wires this to SIGUSR1 and `--status-out` so a running
+// pipeline can be asked "what are you doing right now?" mid-stream; the
+// per-executor providers answer with queue/credit state, the deployed
+// mapping, controller progress and per-worker health.
+//
+// Synchronization: the hub's mutex is held across provider calls, so
+// remove() (and therefore ~StatusRegistration) cannot return while a
+// snapshot is still invoking the provider being removed — RAII members
+// registered after the state they read are destroyed first and are
+// lifetime-safe with no extra locking. Providers must therefore never
+// call back into the hub. A throwing provider degrades to an "error"
+// entry; a snapshot never throws.
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/json.hpp"
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace gridpipe::obs {
+
+class StatusHub {
+ public:
+  using Provider = std::function<util::Json()>;
+
+  StatusHub() = default;
+  StatusHub(const StatusHub&) = delete;
+  StatusHub& operator=(const StatusHub&) = delete;
+
+  /// The process-wide hub every session registers with by default.
+  static StatusHub& global();
+
+  /// Registers a provider; returns its id (always > 0).
+  int add(std::string name, Provider provider);
+  /// Unregisters; blocks until any in-flight snapshot left the provider.
+  void remove(int id);
+
+  std::size_t size() const;
+
+  /// One status document over every registered provider, in
+  /// registration order. Never throws: a provider failure becomes
+  /// {"name": ..., "error": what()}.
+  util::Json snapshot() const;
+  /// snapshot().dump(2) — pretty, `python -m json.tool`-parseable.
+  std::string snapshot_json() const;
+
+ private:
+  struct Entry {
+    int id = 0;
+    std::string name;
+    Provider provider;
+  };
+
+  mutable util::Mutex mutex_;
+  int next_id_ GRIDPIPE_GUARDED_BY(mutex_) = 1;
+  std::vector<Entry> entries_ GRIDPIPE_GUARDED_BY(mutex_);
+};
+
+/// RAII registration on the global hub. Movable so sessions can store it
+/// by value; the moved-from object is inert.
+class StatusRegistration {
+ public:
+  StatusRegistration() = default;
+  StatusRegistration(std::string name, StatusHub::Provider provider)
+      : id_(StatusHub::global().add(std::move(name), std::move(provider))) {}
+  ~StatusRegistration() { reset(); }
+
+  StatusRegistration(StatusRegistration&& other) noexcept
+      : id_(std::exchange(other.id_, 0)) {}
+  StatusRegistration& operator=(StatusRegistration&& other) noexcept {
+    if (this != &other) {
+      reset();
+      id_ = std::exchange(other.id_, 0);
+    }
+    return *this;
+  }
+  StatusRegistration(const StatusRegistration&) = delete;
+  StatusRegistration& operator=(const StatusRegistration&) = delete;
+
+  void reset() {
+    if (id_ != 0) StatusHub::global().remove(std::exchange(id_, 0));
+  }
+
+ private:
+  int id_ = 0;
+};
+
+}  // namespace gridpipe::obs

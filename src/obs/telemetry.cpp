@@ -53,6 +53,7 @@ std::string read_name(ByteSpan in, std::size_t& off) {
 // Smallest possible encodings, for count-vs-remaining sanity checks.
 constexpr std::size_t kMinEventBytes = 1 + 4 + 4 + 8 + 8 + 8 + 4;
 constexpr std::size_t kMinCounterBytes = 4 + 8;
+constexpr std::size_t kMinEpochBytes = 8 + 8 + 8 + 4 * 1 + 8 + 3 * 4;
 
 }  // namespace
 
@@ -77,6 +78,25 @@ void encode_telemetry_into(Bytes& out, const TelemetryBatch& batch) {
   for (const CounterDelta& c : batch.counters) {
     append_name(out, c.name);
     append_pod(out, c.delta);
+  }
+  // The epochs section is optional on the wire: written only when there
+  // is something to say, so epoch-free batches (every per-task worker
+  // flush) stay byte-identical to the pre-epochs encoding.
+  if (!batch.epochs.empty()) {
+    append_pod(out, static_cast<std::uint32_t>(batch.epochs.size()));
+    for (const control::EpochRecord& e : batch.epochs) {
+      append_pod(out, e.time);
+      append_pod(out, e.deployed_estimate);
+      append_pod(out, e.candidate_estimate);
+      append_pod(out, static_cast<std::uint8_t>(e.decided));
+      append_pod(out, static_cast<std::uint8_t>(e.remapped));
+      append_pod(out, static_cast<std::uint8_t>(e.reason.gate_changed));
+      append_pod(out, static_cast<std::uint8_t>(e.reason.searched));
+      append_pod(out, e.reason.gain_ratio);
+      append_name(out, e.reason.trigger);
+      append_name(out, e.reason.mapper);
+      append_name(out, e.reason.verdict);
+    }
   }
 }
 
@@ -117,6 +137,31 @@ TelemetryBatch decode_telemetry(ByteSpan wire) {
     batch.counters.push_back(std::move(c));
   }
 
+  // Optional epochs section: its absence (an older writer) means empty,
+  // but once the count is present the section must decode cleanly.
+  if (off != wire.size()) {
+    const auto n_epochs = read_pod<std::uint32_t>(wire, off);
+    if (n_epochs > (wire.size() - off) / kMinEpochBytes) {
+      throw std::invalid_argument("telemetry: epoch count exceeds input");
+    }
+    batch.epochs.reserve(n_epochs);
+    for (std::uint32_t i = 0; i < n_epochs; ++i) {
+      control::EpochRecord e;
+      e.time = read_pod<double>(wire, off);
+      e.deployed_estimate = read_pod<double>(wire, off);
+      e.candidate_estimate = read_pod<double>(wire, off);
+      e.decided = read_pod<std::uint8_t>(wire, off) != 0;
+      e.remapped = read_pod<std::uint8_t>(wire, off) != 0;
+      e.reason.gate_changed = read_pod<std::uint8_t>(wire, off) != 0;
+      e.reason.searched = read_pod<std::uint8_t>(wire, off) != 0;
+      e.reason.gain_ratio = read_pod<double>(wire, off);
+      e.reason.trigger = read_name(wire, off);
+      e.reason.mapper = read_name(wire, off);
+      e.reason.verdict = read_name(wire, off);
+      batch.epochs.push_back(std::move(e));
+    }
+  }
+
   if (off != wire.size()) {
     throw std::invalid_argument("telemetry: trailing bytes");
   }
@@ -136,6 +181,15 @@ void apply_telemetry(const TelemetryBatch& batch, const Sinks& sinks) {
   }
   if (sinks.tracer && !batch.events.empty()) {
     sinks.tracer->record_batch(batch.events);
+  }
+  // Shipped epoch decisions become epoch spans on the local timeline
+  // (the structured reason itself is for report/--explain-epochs
+  // consumers, which read the decoded batch directly).
+  if (sinks.tracer) {
+    for (const control::EpochRecord& e : batch.epochs) {
+      record_span(sinks.tracer, SpanKind::kEpoch, "epoch", e.time,
+                  e.phases.total(), 0);
+    }
   }
 }
 

@@ -16,12 +16,18 @@
 //                [f64 start][f64 duration][u32 name_len][name…]
 //   [u32 n_counters]
 //     n_counters × [u32 name_len][name…][u64 delta]
+//   optional epochs section (absent on older writers = empty):
+//   [u32 n_epochs]
+//     n_epochs × [f64 time][f64 deployed][f64 candidate]
+//                [u8 decided][u8 remapped][u8 gate_changed][u8 searched]
+//                [f64 gain_ratio][name trigger][name mapper][name verdict]
 
 #include <cstdint>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "control/epoch_record.hpp"
 #include "obs/sinks.hpp"
 #include "obs/trace.hpp"
 
@@ -39,8 +45,16 @@ struct CounterDelta {
 struct TelemetryBatch {
   std::vector<TraceEvent> events;
   std::vector<CounterDelta> counters;
+  /// Epoch decisions with their structured reasons. The section is
+  /// written only when non-empty, so batches without epochs (every
+  /// per-task worker flush) encode byte-identically to older writers.
+  /// Note EpochRecord equality covers decision fields only, so the
+  /// batch's operator== inherits that contract.
+  std::vector<control::EpochRecord> epochs;
 
-  bool empty() const noexcept { return events.empty() && counters.empty(); }
+  bool empty() const noexcept {
+    return events.empty() && counters.empty() && epochs.empty();
+  }
   friend bool operator==(const TelemetryBatch&,
                          const TelemetryBatch&) = default;
 };

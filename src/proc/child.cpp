@@ -1,5 +1,7 @@
 #include "proc/child.hpp"
 
+#include <algorithm>
+#include <bit>
 #include <cerrno>
 #include <cstring>
 #include <stdexcept>
@@ -9,6 +11,7 @@
 #include <signal.h>
 #include <unistd.h>
 
+#include "obs/health.hpp"
 #include "obs/telemetry.hpp"
 #include "sched/replica_router.hpp"
 
@@ -30,6 +33,9 @@ double virtual_now(const ChildContext& ctx) {
   const std::vector<core::DistStage>& stages = *ctx.stages;
   const grid::Grid& grid = *ctx.grid;
   const auto self = static_cast<std::uint32_t>(ctx.node);
+  // Our forensic lane in the parent's MAP_SHARED mapping: everything
+  // recorded here outlives this process, which is the whole point.
+  obs::FlightRing flight = ctx.flight;
 
   // Socket writes pass MSG_NOSIGNAL, but a doorbell write to a crashed
   // sibling's pipe has no such flag — it must come back as EPIPE, not a
@@ -78,6 +84,7 @@ double virtual_now(const ChildContext& ctx) {
   };
 
   const auto orderly_exit = [&] {
+    flight.record(obs::FlightKind::kClose, virtual_now(ctx));
     // Mark our side of every incoming ring closed so a straggling
     // producer fails fast to the socket path instead of filling pages
     // nobody will drain.
@@ -112,11 +119,46 @@ double virtual_now(const ChildContext& ctx) {
     if (!socket.send_buffer(std::move(frame))) orderly_exit();
   };
 
+  // Health: one 48-byte kHealth frame every health_interval virtual
+  // seconds, sent from the idle poll loop (bounded timeout below) or
+  // right after a batch of work — so both a busy and an idle worker keep
+  // proving liveness. queue_depth is 0 by construction here: tasks are
+  // handled synchronously as they arrive, so nothing queues locally.
+  double last_progress = 0.0;
+  std::uint64_t tasks_total = 0;
+  double last_health = virtual_now(ctx);
+  const auto send_health = [&](double vnow) {
+    last_health = vnow;
+    obs::HealthRecord record;
+    record.node = self;
+    record.time = vnow;
+    record.last_progress = last_progress;
+    record.tasks_executed = tasks_total;
+    record.queue_depth = 0;
+    std::uint64_t ring_bytes = 0;
+    for (ShmRing& ring : in_rings) {
+      if (ring.valid()) ring_bytes += ring.readable();
+    }
+    record.ring_bytes = ring_bytes;
+    record.rss_kb = obs::self_rss_kb();
+    flight.record(obs::FlightKind::kHeartbeat, vnow, 0, tasks_total,
+                  record.queue_depth);
+    core::Bytes frame = pool.acquire();
+    const std::size_t off =
+        comm::wire::begin_frame(frame, FrameKind::kHealth, self);
+    obs::encode_health_into(frame, record);
+    comm::wire::end_frame(frame, off);
+    if (!socket.send_buffer(std::move(frame))) orderly_exit();
+  };
+
   const auto handle_task = [&](comm::wire::ByteSpan wire) {
     const comm::wire::TaskView task = comm::wire::decode_task(wire);
     const std::uint64_t item = task.item;
     const std::uint32_t stage = task.stage;
     if (stage >= stages.size()) _exit(2);
+    // Recorded before the stage runs: if the stage kills us, the parent's
+    // post-mortem shows exactly which (stage, item) we died in.
+    flight.record(obs::FlightKind::kTaskStart, virtual_now(ctx), stage, item);
 
     // Route before running: the frame header (kind + destination) goes
     // at the front of the buffer the stage appends into.
@@ -147,6 +189,11 @@ double virtual_now(const ChildContext& ctx) {
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
             .count() /
         ctx.time_scale;
+    const double vdone = v0 + duration;
+    flight.record(obs::FlightKind::kTaskDone, vdone, stage, item,
+                  std::bit_cast<std::uint64_t>(duration));
+    last_progress = vdone;
+    ++tasks_total;
 
     if (ctx.telemetry) {
       ++executed;
@@ -169,7 +216,11 @@ double virtual_now(const ChildContext& ctx) {
     if (!last && dst < out_rings.size() && out_rings[dst].valid()) {
       if (out_rings[dst].push(next)) {
         ring_sent = true;
+        flight.record(obs::FlightKind::kRingPush, vdone, dst, next.size());
         if (dst != self) ding(dst);
+      } else {
+        flight.record(obs::FlightKind::kRingFallback, vdone, dst,
+                      next.size());
       }
     }
 
@@ -187,6 +238,11 @@ double virtual_now(const ChildContext& ctx) {
       const std::size_t off = train.size();
       train.resize(off + next.size());
       std::memcpy(train.data() + off, next.data(), next.size());
+      flight.record(
+          obs::FlightKind::kFrameSend, vdone,
+          static_cast<std::uint32_t>(last ? FrameKind::kResult
+                                          : FrameKind::kTask),
+          next.size());
     }
     pool.release(std::move(next));
     if (train.empty()) {
@@ -197,6 +253,9 @@ double virtual_now(const ChildContext& ctx) {
   };
 
   const auto handle_frame = [&](const FrameView& frame) {
+    flight.record(obs::FlightKind::kFrameRecv, virtual_now(ctx),
+                  static_cast<std::uint32_t>(frame.kind),
+                  frame.payload.size());
     switch (frame.kind) {
       case FrameKind::kShutdown:
         flush_telemetry();
@@ -222,6 +281,7 @@ double virtual_now(const ChildContext& ctx) {
       case FrameKind::kResult:
       case FrameKind::kSpeedObs:
       case FrameKind::kTelemetry:
+      case FrameKind::kHealth:
         break;  // parent-bound kinds; ignore if misdelivered
     }
   };
@@ -251,6 +311,10 @@ double virtual_now(const ChildContext& ctx) {
       handle_frame(*view);
       worked = true;
     }
+    if (ctx.health_interval > 0.0) {
+      const double vnow = virtual_now(ctx);
+      if (vnow - last_health >= ctx.health_interval) send_health(vnow);
+    }
     if (worked) continue;
 
     pollfd pfds[2];
@@ -260,7 +324,16 @@ double virtual_now(const ChildContext& ctx) {
       pfds[1] = {ctx.doorbell_rd, POLLIN, 0};
       nfds = 2;
     }
-    if (::poll(pfds, nfds, -1) < 0 && errno != EINTR) _exit(2);
+    // Heartbeats bound the idle wait; without them the loop is purely
+    // event-driven and poll can sleep forever.
+    int timeout_ms = -1;
+    if (ctx.health_interval > 0.0) {
+      const double left_real =
+          (last_health + ctx.health_interval - virtual_now(ctx)) *
+          ctx.time_scale;
+      timeout_ms = std::clamp(static_cast<int>(left_real * 1e3) + 1, 1, 60000);
+    }
+    if (::poll(pfds, nfds, timeout_ms) < 0 && errno != EINTR) _exit(2);
     if (nfds == 2 && (pfds[1].revents & POLLIN) != 0) {
       // Swallow every pending doorbell byte; the ring drain at the top
       // of the loop happens after this read, so a push published before

@@ -15,6 +15,7 @@
 
 #include "core/dist_executor.hpp"  // core::DistStage: the serialized stage contract
 #include "grid/grid.hpp"
+#include "obs/flight.hpp"
 #include "proc/shm_ring.hpp"
 #include "proc/transport.hpp"
 #include "sched/mapping.hpp"
@@ -46,6 +47,12 @@ struct ChildContext {
   int doorbell_rd = -1;
   /// Write ends of every worker's doorbell, indexed by node.
   const std::vector<int>* doorbell_wr = nullptr;
+  /// This worker's flight-recorder lane: a handle into the parent's
+  /// MAP_SHARED mapping, so everything recorded here survives the
+  /// child's death for the parent's post-mortem. Inert when disabled.
+  obs::FlightRing flight;
+  /// Virtual seconds between kHealth heartbeats (<= 0: none).
+  double health_interval = 5.0;
 };
 
 /// Child event loop: poll(socket, doorbell) → (remap | task | shutdown),

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <bit>
 #include <cerrno>
 #include <cstring>
 #include <stdexcept>
@@ -17,6 +18,7 @@
 #include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
 #include "proc/child.hpp"
+#include "util/logging.hpp"
 
 namespace gridpipe::proc {
 
@@ -74,6 +76,16 @@ ProcessExecutor::ProcessExecutor(const grid::Grid& grid,
   start_ = std::chrono::steady_clock::now();
   profile_ = profile();
   obs_metrics_.bind(config_.obs.metrics);
+  // The forensic rings must exist before any fork (stream_begin), so the
+  // children's lanes land in pages the parent keeps. mmap failure means
+  // running without a flight recorder, never failing the run.
+  try {
+    flight_ = obs::FlightRecorder(grid_.num_nodes() + 1,
+                                  config_.flight_events);
+  } catch (const std::runtime_error&) {
+    flight_ = obs::FlightRecorder{};
+  }
+  ctl_flight_ = flight_.ring(0);
   controller_ = make_controller();
 }
 
@@ -119,8 +131,14 @@ void ProcessExecutor::record_probes(double) {
 
 void ProcessExecutor::apply_remap(const sched::Mapping& to,
                                   double pause_virtual) {
-  metrics_.on_remap(virtual_now(), pause_virtual,
-                    controller_mapping_.to_string(), to.to_string());
+  const double vnow = virtual_now();
+  metrics_.on_remap(vnow, pause_virtual, controller_mapping_.to_string(),
+                    to.to_string());
+  ctl_flight_.record(obs::FlightKind::kRemap, vnow);
+  {
+    util::MutexLock lock(status_mutex_);
+    status_mapping_ = to.to_string();
+  }
   controller_mapping_ = to;
   controller_router_.reset(stages_.size());
   const Bytes wire = comm::wire::encode_mapping(controller_mapping_);
@@ -203,6 +221,8 @@ void ProcessExecutor::spawn_fleet() {
       ctx.emulate_compute = config_.emulate_compute;
       ctx.telemetry = config_.obs.any();
       ctx.start = start_;
+      ctx.flight = flight_.ring(1 + node);
+      ctx.health_interval = config_.health_interval;
       if (rings_.valid()) {
         ctx.rings = &rings_;
         ctx.doorbell_rd = bells[node][0];
@@ -217,6 +237,13 @@ void ProcessExecutor::spawn_fleet() {
   }
   // Parent: the doorbells belong entirely to the children now.
   close_bells();
+
+  {
+    util::MutexLock lock(status_mutex_);
+    worker_pids_.clear();
+    for (const Worker& w : workers_) worker_pids_.push_back(w.pid);
+    health_.reset(num_nodes, virtual_now());
+  }
 }
 
 void ProcessExecutor::admit(std::uint64_t index, Bytes payload) {
@@ -239,11 +266,26 @@ void ProcessExecutor::admit(std::uint64_t index, Bytes payload) {
   obs::record_span(config_.obs.tracer, obs::SpanKind::kAdmit, "admit", vnow,
                    0.0, 0, index);
   ++admitted_;
+  ctl_flight_.record(obs::FlightKind::kAdmit, vnow, 0, index);
+  const std::uint64_t in_flight = admitted_ - completed_;
+  if (in_flight >= config_.window) {
+    // The informative credit edge: the window just filled (back-pressure
+    // starts here), not every in-flight delta.
+    ctl_flight_.record(obs::FlightKind::kCredit, vnow, 0, in_flight,
+                       config_.window);
+  }
   if (!workers_[dst].sock.flush_some()) fail_run(dst);
 }
 
 void ProcessExecutor::handle_frame(std::size_t source,
                                    const FrameView& frame) {
+  ctl_flight_.record(obs::FlightKind::kFrameRecv, virtual_now(),
+                     static_cast<std::uint32_t>(frame.kind),
+                     frame.payload.size());
+  {
+    util::MutexLock lock(status_mutex_);
+    health_.on_frame(source, virtual_now());
+  }
   switch (frame.kind) {
     case FrameKind::kTask: {
       // Next-hop relay: the worker picked the destination, the parent
@@ -282,6 +324,7 @@ void ProcessExecutor::handle_frame(std::size_t source,
       }
       const double vnow = virtual_now();
       metrics_.on_item_completed(item, vnow, created_at);
+      ctl_flight_.record(obs::FlightKind::kComplete, vnow, 0, item);
       obs::record_span(config_.obs.tracer, obs::SpanKind::kItem, "item",
                        created_at, vnow - created_at, 0, item);
       if (obs_metrics_.items_completed) {
@@ -307,6 +350,13 @@ void ProcessExecutor::handle_frame(std::size_t source,
       // steady_clock start means no time-base translation is needed.
       obs::apply_telemetry(obs::decode_telemetry(frame.payload), config_.obs);
       break;
+    case FrameKind::kHealth: {
+      const obs::HealthRecord record = obs::decode_health(frame.payload);
+      if (obs_metrics_.heartbeats) obs_metrics_.heartbeats->add(1);
+      util::MutexLock lock(status_mutex_);
+      health_.on_health(record, virtual_now());
+      break;
+    }
     case FrameKind::kRemap:
     case FrameKind::kShutdown:
       break;  // worker-bound kinds; ignore if misdelivered
@@ -335,7 +385,10 @@ void ProcessExecutor::event_loop() {
       pending_.pop_front();
       admit(entry.first, std::move(entry.second));
     }
-    if (done) return;
+    if (done) {
+      ctl_flight_.record(obs::FlightKind::kClose, virtual_now());
+      return;
+    }
 
     // Wait at most until the next adaptation point, capped at 50 ms real
     // either way: nothing wakes poll() on a stream_push/stream_close, so
@@ -381,8 +434,37 @@ void ProcessExecutor::event_loop() {
       }
     }
 
+    // Stall detection: edge-triggered, so a wedged worker logs once when
+    // it trips and once when it recovers, not every poll tick.
+    if (config_.stall_after > 0.0) {
+      const double vnow = virtual_now();
+      std::vector<obs::HealthTracker::Transition> edges;
+      {
+        util::MutexLock lock(status_mutex_);
+        edges = health_.check(vnow, config_.stall_after);
+      }
+      for (const auto& edge : edges) {
+        if (edge.stalled) {
+          ctl_flight_.record(obs::FlightKind::kStall, vnow, edge.node, 0,
+                             std::bit_cast<std::uint64_t>(edge.silent_for));
+          if (obs_metrics_.worker_stalls) obs_metrics_.worker_stalls->add(1);
+          util::log_warn("gridpipe: worker ", edge.node,
+                         edge.no_progress
+                             ? " reports a backlog but no progress for "
+                             : " silent for ",
+                         edge.silent_for, " virtual s");
+        } else {
+          util::log_info("gridpipe: worker ", edge.node, " recovered");
+        }
+      }
+    }
+
     if (epoch > 0.0 && virtual_now() >= next_epoch) {
-      controller_->run_epoch();
+      const control::EpochRecord record = controller_->run_epoch();
+      std::uint32_t bits = 0;
+      if (record.decided) bits |= 1u;
+      if (record.remapped) bits |= 2u;
+      ctl_flight_.record(obs::FlightKind::kEpoch, virtual_now(), bits);
       next_epoch += epoch;
     }
   }
@@ -467,9 +549,17 @@ void ProcessExecutor::fail_run(std::size_t node) {
   ::waitpid(workers_[node].pid, &status, 0);
   workers_[node].pid = -1;
   kill_fleet();
-  throw std::runtime_error("ProcessExecutor: worker for node " +
-                           std::to_string(node) + " exited mid-run (" +
-                           describe_wait_status(status) + ")");
+  std::string message = "ProcessExecutor: worker for node " +
+                        std::to_string(node) + " exited mid-run (" +
+                        describe_wait_status(status) + ")";
+  // The victim's flight-recorder lane lives in the parent's MAP_SHARED
+  // mapping, so its last events survive the death: attach the decoded
+  // tail so the crash explains what the worker was doing.
+  const std::string tail = flight_.format_tail(1 + node, 32);
+  if (!tail.empty()) {
+    message += "; last flight events:\n" + tail;
+  }
+  throw std::runtime_error(message);
 }
 
 void ProcessExecutor::stream_begin() {
@@ -504,6 +594,10 @@ void ProcessExecutor::stream_begin() {
   metrics_ = sim::SimMetrics{};  // time series restart with the clock
   start_ = std::chrono::steady_clock::now();
   initial_mapping_str_ = initial_mapping_.to_string();
+  {
+    util::MutexLock lock(status_mutex_);
+    status_mapping_ = initial_mapping_str_;
+  }
   stream_active_ = true;
 
   // Fork the fleet first, start our own controller thread second: the
@@ -577,6 +671,40 @@ core::RunReport ProcessExecutor::stream_finish() {
 
 core::RunReport ProcessExecutor::run(std::vector<Bytes> inputs) {
   return core::run_stream_batch(*this, std::move(inputs));
+}
+
+util::Json ProcessExecutor::status() const {
+  util::Json doc = util::Json::object();
+  doc["substrate"] = "process";
+  const double vnow = virtual_now();
+  doc["virtual_time"] = vnow;
+  doc["window"] = static_cast<std::uint64_t>(config_.window);
+  const std::uint64_t admitted = admitted_.load(std::memory_order_relaxed);
+  const std::uint64_t completed = completed_.load(std::memory_order_relaxed);
+  doc["admitted"] = admitted;
+  doc["completed"] = completed;
+  doc["in_flight"] = admitted - completed;
+  {
+    util::MutexLock lock(stream_mutex_);
+    doc["pushed"] = pushed_;
+    doc["popped"] = next_out_;
+    doc["closed"] = closed_;
+    doc["buffered_out"] = static_cast<std::uint64_t>(out_buffer_.size());
+  }
+  {
+    util::MutexLock lock(status_mutex_);
+    doc["mapping"] = status_mapping_;
+    doc["workers"] = health_.to_json(vnow);
+    util::Json pids = util::Json::array();
+    for (const int pid : worker_pids_) pids.push_back(pid);
+    doc["worker_pids"] = std::move(pids);
+  }
+  return doc;
+}
+
+std::vector<int> ProcessExecutor::worker_pids() const {
+  util::MutexLock lock(status_mutex_);
+  return worker_pids_;
 }
 
 }  // namespace gridpipe::proc

@@ -43,6 +43,7 @@
 // fleet is forked *before* the controller thread starts, so the runtime
 // itself never forks with its own threads live.
 
+#include <atomic>
 #include <deque>
 #include <exception>
 #include <map>
@@ -54,11 +55,14 @@
 #include "control/adaptation_controller.hpp"
 #include "core/dist_executor.hpp"  // core::DistStage, core::Bytes
 #include "core/report.hpp"
+#include "obs/flight.hpp"
+#include "obs/health.hpp"
 #include "obs/metrics.hpp"
 #include "obs/sinks.hpp"
 #include "proc/shm_ring.hpp"
 #include "proc/transport.hpp"
 #include "sched/replica_router.hpp"
+#include "util/json.hpp"
 #include "util/sync.hpp"
 #include "util/thread_annotations.hpp"
 
@@ -85,6 +89,14 @@ struct ProcExecutorConfig {
   bool shm_ring = true;
   /// Payload capacity of each ring, in bytes.
   std::size_t shm_ring_bytes = std::size_t{1} << 18;
+  /// Flight-recorder ring capacity per lane (events). The recorder is
+  /// always on; 0 disables it (benchmark baseline only).
+  std::size_t flight_events = obs::kDefaultFlightEvents;
+  /// Virtual seconds between worker heartbeats (<= 0: no heartbeats).
+  double health_interval = 5.0;
+  /// Virtual seconds of silence / no-progress before a worker counts as
+  /// stalled (<= 0: stall detection off).
+  double stall_after = 15.0;
 };
 
 class ProcessExecutor : private control::AdaptationHost {
@@ -112,6 +124,14 @@ class ProcessExecutor : private control::AdaptationHost {
   core::RunReport stream_finish();
 
   sched::PipelineProfile profile() const;
+
+  /// Live status snapshot (queue/credit state, mapping, per-worker
+  /// health). Safe from any thread while a stream is active.
+  util::Json status() const;
+
+  /// PIDs of the current fleet, captured at spawn (tests kill one to
+  /// exercise crash forensics). Empty before stream_begin.
+  std::vector<int> worker_pids() const;
 
  private:
   struct Worker {
@@ -162,16 +182,33 @@ class ProcessExecutor : private control::AdaptationHost {
   std::vector<Worker> workers_;
   sim::SimMetrics metrics_;
 
-  // Controller-thread-only admission state.
+  // Controller-thread-only admission state. The counters are atomic only
+  // so status() can read them from another thread; the controller thread
+  // is the sole writer.
   std::deque<std::pair<std::uint64_t, Bytes>> pending_;
   /// Virtual admission time per in-flight item (for latency metrics).
   std::map<std::uint64_t, double> admit_time_;
-  std::uint64_t admitted_ = 0;
-  std::uint64_t completed_ = 0;
+  std::atomic<std::uint64_t> admitted_{0};
+  std::atomic<std::uint64_t> completed_{0};
+
+  /// Always-on forensic ring per lane (lane 0 = this controller, lane
+  /// 1+n = worker n), mmap'd MAP_SHARED before the fleet forks so the
+  /// parent can read a dead child's lane post-mortem. ctl_flight_ is the
+  /// cached lane-0 handle (controller thread is its single writer).
+  obs::FlightRecorder flight_;
+  obs::FlightRing ctl_flight_;
+
+  // Health / live-status state, shared between the controller thread
+  // (writer) and status() callers (readers). Uncontended in steady
+  // state: the controller takes the lock a few times per poll tick.
+  mutable util::Mutex status_mutex_;
+  obs::HealthTracker health_ GRIDPIPE_GUARDED_BY(status_mutex_);
+  std::string status_mapping_ GRIDPIPE_GUARDED_BY(status_mutex_);
+  std::vector<int> worker_pids_ GRIDPIPE_GUARDED_BY(status_mutex_);
 
   // Stream state shared between the pushing/popping caller and the
-  // controller thread.
-  util::Mutex stream_mutex_;
+  // controller thread (mutable: status() reads it const).
+  mutable util::Mutex stream_mutex_;
   std::deque<std::pair<std::uint64_t, Bytes>> incoming_
       GRIDPIPE_GUARDED_BY(stream_mutex_);
   std::map<std::uint64_t, Bytes> out_buffer_

@@ -9,9 +9,20 @@
 
 #include "core/dist_executor.hpp"
 #include "core/executor.hpp"
+#include "obs/status.hpp"
 #include "proc/process_executor.hpp"
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace gridpipe::rt {
+
+util::Json Session::status() const {
+  // Substrates override this; the default keeps third-party Session
+  // implementations source-compatible.
+  util::Json doc = util::Json::object();
+  doc["substrate"] = "unknown";
+  return doc;
+}
 
 const char* to_string(RuntimeKind kind) {
   switch (kind) {
@@ -111,19 +122,36 @@ class SimSession final : public Session {
  public:
   SimSession(const grid::Grid& grid, core::PipelineSpec spec,
              RuntimeOptions options)
-      : grid_(grid), spec_(std::move(spec)), options_(std::move(options)) {}
+      : grid_(grid), spec_(std::move(spec)), options_(std::move(options)) {
+    status_reg_ = obs::StatusRegistration("sim", [this] { return status(); });
+  }
 
   void push(std::any item) override {
+    util::MutexLock lock(mutex_);
     if (closed_) throw std::logic_error("SimSession: push on a closed stream");
     items_.push_back(std::move(item));
   }
 
   std::optional<std::any> try_pop() override {
+    util::MutexLock lock(mutex_);
     if (!closed_ || next_out_ >= outputs_.size()) return std::nullopt;
     return std::move(outputs_[next_out_++]);
   }
 
+  util::Json status() const override {
+    util::MutexLock lock(mutex_);
+    util::Json doc = util::Json::object();
+    doc["substrate"] = "sim";
+    doc["closed"] = closed_;
+    doc["buffered_in"] = static_cast<std::uint64_t>(items_.size());
+    doc["outputs_ready"] =
+        static_cast<std::uint64_t>(outputs_.size() - next_out_);
+    doc["next_out"] = static_cast<std::uint64_t>(next_out_);
+    return doc;
+  }
+
   void close() override {
+    util::MutexLock lock(mutex_);
     if (closed_) return;
     closed_ = true;
     if (items_.empty()) return;
@@ -176,6 +204,7 @@ class SimSession final : public Session {
 
   core::RunReport report() override {
     close();
+    util::MutexLock lock(mutex_);
     return report_;
   }
 
@@ -183,11 +212,17 @@ class SimSession final : public Session {
   const grid::Grid& grid_;
   core::PipelineSpec spec_;
   RuntimeOptions options_;
-  std::vector<std::any> items_;
-  std::vector<std::any> outputs_;
-  std::size_t next_out_ = 0;
-  bool closed_ = false;
-  core::RunReport report_;
+  /// Guards the session state against concurrent status() snapshots
+  /// (the CLI's watcher thread) — the caller itself is single-threaded.
+  mutable util::Mutex mutex_;
+  std::vector<std::any> items_ GRIDPIPE_GUARDED_BY(mutex_);
+  std::vector<std::any> outputs_ GRIDPIPE_GUARDED_BY(mutex_);
+  std::size_t next_out_ GRIDPIPE_GUARDED_BY(mutex_) = 0;
+  bool closed_ GRIDPIPE_GUARDED_BY(mutex_) = false;
+  core::RunReport report_ GRIDPIPE_GUARDED_BY(mutex_);
+  /// Last member: unregisters (and drains in-flight snapshots) before
+  /// any state the provider reads is destroyed.
+  obs::StatusRegistration status_reg_;
 };
 
 class SimRuntime final : public RuntimeBase {
@@ -235,12 +270,18 @@ struct CodecBridge {
 template <class Executor, class Bridge>
 class ExecSession final : public Session {
  public:
-  ExecSession(std::unique_ptr<Executor> executor, Bridge bridge,
-              obs::Config obs = {})
+  ExecSession(std::string name, std::unique_ptr<Executor> executor,
+              Bridge bridge, obs::Config obs = {})
       : executor_(std::move(executor)),
         bridge_(std::move(bridge)),
         obs_(std::move(obs)) {
     executor_->stream_begin();
+    // Registered only after stream_begin: the provider may fire from
+    // another thread the moment it is visible, and the executor's status
+    // must already describe a live stream (for the process runtime, the
+    // fleet has already forked by now — no new threads existed before).
+    status_reg_ = obs::StatusRegistration(
+        std::move(name), [this] { return executor_->status(); });
   }
 
   void push(std::any item) override {
@@ -276,6 +317,8 @@ class ExecSession final : public Session {
     return report_;
   }
 
+  util::Json status() const override { return executor_->status(); }
+
  private:
   // Declared before executor_ so it releases only after the executor's
   // destructor joined any threads a never-finished stream left running.
@@ -287,6 +330,9 @@ class ExecSession final : public Session {
   bool finished_ = false;
   std::exception_ptr error_;
   core::RunReport report_;
+  /// Last member: unregisters (draining in-flight snapshots) before
+  /// executor_ — whose status() the provider calls — is destroyed.
+  obs::StatusRegistration status_reg_;
 };
 
 class ThreadsRuntime final : public RuntimeBase {
@@ -302,7 +348,9 @@ class ThreadsRuntime final : public RuntimeBase {
     if (options_.drain_batch != 0) config.drain_batch = options_.drain_batch;
     config.seed = options_.seed;
     config.obs = options_.obs.sinks();
+    config.flight_events = options_.flight_events;
     return std::make_unique<ExecSession<core::Executor, AnyBridge>>(
+        "threads",
         std::make_unique<core::Executor>(grid_, spec_, mapping_, config),
         AnyBridge{}, options_.obs);
   }
@@ -319,8 +367,10 @@ class DistRuntime final : public RuntimeBase {
     config.emulate_compute = options_.emulate_compute;
     if (options_.drain_batch != 0) config.drain_batch = options_.drain_batch;
     config.obs = options_.obs.sinks();
+    config.flight_events = options_.flight_events;
     return std::make_unique<
         ExecSession<core::DistributedExecutor, CodecBridge>>(
+        "dist",
         std::make_unique<core::DistributedExecutor>(grid_, wire_stages(spec_),
                                                     mapping_, config),
         CodecBridge{spec_.stages().front().in_codec,
@@ -347,7 +397,11 @@ class ProcRuntime final : public RuntimeBase {
     config.obs = options_.obs.sinks();
     config.shm_ring = options_.shm_ring;
     config.shm_ring_bytes = options_.shm_ring_bytes;
+    config.flight_events = options_.flight_events;
+    config.health_interval = options_.health_interval;
+    config.stall_after = options_.stall_after;
     return std::make_unique<ExecSession<proc::ProcessExecutor, CodecBridge>>(
+        "process",
         std::make_unique<proc::ProcessExecutor>(grid_, wire_stages(spec_),
                                                 mapping_, config),
         CodecBridge{spec_.stages().front().in_codec,

@@ -46,7 +46,9 @@
 #include "core/report.hpp"
 #include "grid/grid.hpp"
 #include "obs/config.hpp"
+#include "obs/flight.hpp"
 #include "sim/drivers.hpp"
+#include "util/json.hpp"
 
 namespace gridpipe::rt {
 
@@ -106,6 +108,15 @@ struct RuntimeOptions {
   /// the sinks are shared across every session this runtime opens, and
   /// Session::report() snapshots the registry into RunReport::obs_metrics.
   obs::Config obs{};
+  /// Flight-recorder ring size per lane on the live runtimes: the
+  /// always-on forensic event ring every crash error quotes (0 = off).
+  std::size_t flight_events = obs::kDefaultFlightEvents;
+  /// Process runtime: virtual seconds between child heartbeat records
+  /// (0 disables heartbeats and stall detection).
+  double health_interval = 5.0;
+  /// Process runtime: a worker silent (or heartbeating without progress)
+  /// for this much virtual time is flagged stalled.
+  double stall_after = 15.0;
 
   // --- simulator-only knobs -------------------------------------------
   /// Which experiment driver the sim session replays the stream under.
@@ -131,6 +142,13 @@ class Session {
   virtual std::optional<std::any> try_pop() = 0;
   virtual void close() = 0;
   virtual core::RunReport report() = 0;
+
+  /// Point-in-time introspection snapshot (queue/credit/mapping state;
+  /// substrate-dependent fields). Safe to call from any thread while the
+  /// session is live. Every session also registers itself with
+  /// obs::StatusHub::global(), which is what gridpipe_cli's SIGUSR1 /
+  /// --status-out path snapshots.
+  virtual util::Json status() const;
 
  protected:
   Session() = default;

@@ -1,0 +1,60 @@
+#include "util/fsio.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <system_error>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+namespace gridpipe::util {
+
+namespace {
+
+std::string errno_text(int err) {
+  return std::generic_category().message(err);
+}
+
+}  // namespace
+
+std::string probe_writable(const std::string& path) {
+  if (path.empty()) return "empty path";
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT, 0644);
+  if (fd < 0) {
+    return "cannot open " + path + ": " + errno_text(errno);
+  }
+  ::close(fd);
+  return {};
+}
+
+std::string write_file_atomic(const std::string& path,
+                              const std::string& content) {
+  if (path.empty()) return "empty path";
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return "cannot open " + tmp + ": " + errno_text(errno);
+  }
+  std::size_t written = 0;
+  while (written < content.size()) {
+    const ssize_t n = ::write(fd, content.data() + written,
+                              content.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const std::string err = "write " + tmp + ": " + errno_text(errno);
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return err;
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  ::close(fd);
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const std::string err = "rename to " + path + ": " + errno_text(errno);
+    ::unlink(tmp.c_str());
+    return err;
+  }
+  return {};
+}
+
+}  // namespace gridpipe::util

@@ -1,0 +1,24 @@
+#pragma once
+// Small file-output helpers shared by the CLI and tests: an up-front
+// writability probe (so `--trace-out /no/such/dir/x.json` fails before a
+// ten-minute run, not after) and an atomic-replace writer (so a status
+// file read by another process mid-write never shows half a JSON
+// document).
+
+#include <string>
+
+namespace gridpipe::util {
+
+/// Checks that `path` can be opened for writing, creating the file if it
+/// does not exist (an empty file the later real write overwrites).
+/// Returns "" on success, else a human-readable error including the
+/// OS reason ("cannot open /x/y.json: No such file or directory").
+std::string probe_writable(const std::string& path);
+
+/// Writes `content` to `path` via a same-directory temp file + rename,
+/// so concurrent readers observe either the old or the new contents,
+/// never a partial write. Returns "" on success, else the error text.
+std::string write_file_atomic(const std::string& path,
+                              const std::string& content);
+
+}  // namespace gridpipe::util

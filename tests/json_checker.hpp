@@ -1,0 +1,116 @@
+#pragma once
+// Minimal JSON syntax checker shared by the test suites. The repo emits
+// JSON but deliberately has no parser, so the tests carry just enough of
+// one to assert that what the tracer, metrics snapshot and status hub
+// write is a well-formed document — the same promise CI checks with
+// `python -m json.tool`.
+
+#include <cctype>
+#include <cstring>
+#include <string_view>
+
+namespace gridpipe::test_support {
+
+class JsonChecker {
+ public:
+  explicit JsonChecker(std::string_view text) : text_(text) {}
+
+  bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == text_.size();
+  }
+
+ private:
+  bool eof() const { return pos_ >= text_.size(); }
+  char peek() const { return text_[pos_]; }
+  bool consume(char c) {
+    if (eof() || peek() != c) return false;
+    ++pos_;
+    return true;
+  }
+  void skip_ws() {
+    while (!eof() && (peek() == ' ' || peek() == '\t' || peek() == '\n' ||
+                      peek() == '\r')) {
+      ++pos_;
+    }
+  }
+  bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+  bool string() {
+    if (!consume('"')) return false;
+    while (!eof()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (eof()) return false;
+        const char esc = text_[pos_++];
+        if (esc == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            if (eof() || !std::isxdigit(static_cast<unsigned char>(peek()))) {
+              return false;
+            }
+            ++pos_;
+          }
+        } else if (!std::strchr("\"\\/bfnrt", esc)) {
+          return false;
+        }
+      }
+    }
+    return false;
+  }
+  bool digits() {
+    std::size_t start = pos_;
+    while (!eof() && std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    return pos_ > start;
+  }
+  bool number() {
+    consume('-');
+    if (!digits()) return false;
+    if (consume('.') && !digits()) return false;
+    if (!eof() && (peek() == 'e' || peek() == 'E')) {
+      ++pos_;
+      if (!eof() && (peek() == '+' || peek() == '-')) ++pos_;
+      if (!digits()) return false;
+    }
+    return true;
+  }
+  bool members(char close, bool keyed) {
+    skip_ws();
+    if (consume(close)) return true;
+    while (true) {
+      skip_ws();
+      if (keyed) {
+        if (!string()) return false;
+        skip_ws();
+        if (!consume(':')) return false;
+        skip_ws();
+      }
+      if (!value()) return false;
+      skip_ws();
+      if (consume(close)) return true;
+      if (!consume(',')) return false;
+    }
+  }
+  bool value() {
+    if (eof()) return false;
+    switch (peek()) {
+      case '{': ++pos_; return members('}', true);
+      case '[': ++pos_; return members(']', false);
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default:  return number();
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace gridpipe::test_support

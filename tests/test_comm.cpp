@@ -556,12 +556,12 @@ TEST(TelemetryWire, MalformedPayloadInsideValidFrameRejected) {
 }
 
 TEST(TelemetryWire, ReservedKindsSkippedForForwardCompat) {
-  // A newer writer may emit kinds in the reserved band (kTelemetry+1 ..
+  // A newer writer may emit kinds in the reserved band (kHealth+1 ..
   // kMaxReservedKind); this reader must skip them, count them, and keep
   // decoding what it does understand. Anything past the band is stream
   // corruption and still throws.
   wire::FrameReader reader;
-  for (const std::uint32_t kind : {7u, wire::kMaxReservedKind}) {
+  for (const std::uint32_t kind : {8u, wire::kMaxReservedKind}) {
     std::vector<std::byte> future(12 + 3);
     const std::uint32_t len = 3;
     std::memcpy(future.data(), &len, 4);

@@ -1,0 +1,460 @@
+// Tests for the forensic layer: flight-recorder ring semantics (create/
+// attach, wrap, tail ordering, inert handles, concurrent snapshots, and
+// post-mortem readout across fork + SIGKILL), the health record codec
+// and stall tracker edges, the status hub's provider lifecycle, and the
+// fsio helpers the CLI's fail-fast path rides on.
+
+#include <gtest/gtest.h>
+
+#include <sys/types.h>
+#include <sys/wait.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <bit>
+#include <csignal>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "json_checker.hpp"
+#include "obs/flight.hpp"
+#include "obs/health.hpp"
+#include "obs/status.hpp"
+#include "util/fsio.hpp"
+#include "util/json.hpp"
+
+namespace gridpipe::obs {
+namespace {
+
+using test_support::JsonChecker;
+
+// Backing storage for a standalone ring: zeroed, 8-byte aligned.
+std::vector<std::uint64_t> ring_storage(std::size_t capacity) {
+  return std::vector<std::uint64_t>(
+      (FlightRing::region_bytes(capacity) + 7) / 8, 0);
+}
+
+// ------------------------------------------------------------ FlightRing
+
+TEST(FlightRing, DefaultHandleIsInert) {
+  FlightRing ring;
+  EXPECT_FALSE(ring.valid());
+  EXPECT_EQ(ring.capacity(), 0u);
+  EXPECT_EQ(ring.count(), 0u);
+  ring.record(FlightKind::kAdmit, 1.0, 0, 42);  // must not crash
+  EXPECT_TRUE(ring.tail(16).empty());
+}
+
+TEST(FlightRing, CreateRecordAttachRoundTrips) {
+  auto storage = ring_storage(8);
+  FlightRing writer = FlightRing::create(storage.data(), 8);
+  ASSERT_TRUE(writer.valid());
+  EXPECT_EQ(writer.capacity(), 8u);
+
+  writer.record(FlightKind::kAdmit, 1.0, 0, 7);
+  writer.record(FlightKind::kTaskStart, 1.5, 2, 7);
+  writer.record(FlightKind::kComplete, 2.0, 0, 7);
+
+  // A second handle over the same region sees the same events: this is
+  // exactly what the parent does with a dead child's lane.
+  FlightRing reader = FlightRing::attach(storage.data());
+  ASSERT_TRUE(reader.valid());
+  EXPECT_EQ(reader.count(), 3u);
+  const std::vector<FlightEvent> events = reader.tail(16);
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].kind, FlightKind::kAdmit);
+  EXPECT_EQ(events[1].kind, FlightKind::kTaskStart);
+  EXPECT_EQ(events[1].arg, 2u);
+  EXPECT_EQ(events[1].a, 7u);
+  EXPECT_EQ(events[2].kind, FlightKind::kComplete);
+  EXPECT_EQ(events[2].time, 2.0);
+}
+
+TEST(FlightRing, AttachRejectsUninitializedRegion) {
+  auto storage = ring_storage(8);  // zeroed: no magic
+  EXPECT_FALSE(FlightRing::attach(storage.data()).valid());
+  EXPECT_FALSE(FlightRing::attach(nullptr).valid());
+  EXPECT_FALSE(FlightRing::create(nullptr, 8).valid());
+  EXPECT_FALSE(FlightRing::create(storage.data(), 0).valid());
+}
+
+TEST(FlightRing, TailIsOldestFirstAndDropsOverwrittenEvents) {
+  auto storage = ring_storage(4);
+  FlightRing ring = FlightRing::create(storage.data(), 4);
+  for (std::uint64_t item = 0; item < 6; ++item) {
+    ring.record(FlightKind::kAdmit, static_cast<double>(item), 0, item);
+  }
+  EXPECT_EQ(ring.count(), 6u);  // total ever recorded, not clamped
+
+  const std::vector<FlightEvent> events = ring.tail(16);
+  ASSERT_EQ(events.size(), 4u);  // capacity wins over max_events
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].a, i + 2) << "oldest-first after wrap";
+  }
+
+  const std::vector<FlightEvent> last_two = ring.tail(2);
+  ASSERT_EQ(last_two.size(), 2u);
+  EXPECT_EQ(last_two[0].a, 4u);
+  EXPECT_EQ(last_two[1].a, 5u);
+}
+
+TEST(FlightRing, UnknownKindDecodesAsNone) {
+  auto storage = ring_storage(4);
+  FlightRing ring = FlightRing::create(storage.data(), 4);
+  ring.record(static_cast<FlightKind>(99), 1.0);
+  const std::vector<FlightEvent> events = ring.tail(4);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].kind, FlightKind::kNone);
+}
+
+TEST(FlightRing, ConcurrentSnapshotsSeeOnlyDecodableEvents) {
+  auto storage = ring_storage(16);
+  FlightRing ring = FlightRing::create(storage.data(), 16);
+  std::thread writer([&ring] {
+    for (std::uint64_t i = 0; i < 50000; ++i) {
+      ring.record(FlightKind::kTaskStart, static_cast<double>(i), 1, i);
+    }
+  });
+  // Reader races the writer: every snapshot must be well-formed (bounded
+  // size, kinds within the enum) even if the oldest slot is torn.
+  FlightRing reader = FlightRing::attach(storage.data());
+  for (int pass = 0; pass < 2000; ++pass) {
+    const std::vector<FlightEvent> events = reader.tail(8);
+    ASSERT_LE(events.size(), 8u);
+    for (const FlightEvent& e : events) {
+      ASSERT_LE(static_cast<std::uint32_t>(e.kind), kMaxFlightKind);
+    }
+  }
+  writer.join();
+  EXPECT_EQ(ring.count(), 50000u);
+}
+
+// ------------------------------------------------------------ formatting
+
+TEST(FlightFormat, RendersKindSpecificFields) {
+  FlightEvent done;
+  done.kind = FlightKind::kTaskDone;
+  done.arg = 3;
+  done.a = 41;
+  done.b = std::bit_cast<std::uint64_t>(0.25);
+  EXPECT_EQ(format_event(done), "task-done stage=3 item=41 dur=0.2500s");
+
+  FlightEvent credit;
+  credit.kind = FlightKind::kCredit;
+  credit.a = 8;
+  credit.b = 8;
+  EXPECT_EQ(format_event(credit), "credit in-flight=8 window=8");
+
+  FlightEvent epoch;
+  epoch.kind = FlightKind::kEpoch;
+  epoch.arg = 3;  // decided | remapped
+  EXPECT_EQ(format_event(epoch), "epoch decided remapped");
+  epoch.arg = 0;
+  EXPECT_EQ(format_event(epoch), "epoch quiet");
+
+  FlightEvent close;
+  close.kind = FlightKind::kClose;
+  EXPECT_EQ(format_event(close), "close");
+}
+
+TEST(FlightFormat, MultiLineDumpPrefixesTimestamps) {
+  FlightEvent e;
+  e.kind = FlightKind::kAdmit;
+  e.time = 1.5;
+  e.a = 9;
+  const std::string dump = format_events({e, e});
+  EXPECT_NE(dump.find("  [t=1.5000s] admit item=9\n"), std::string::npos)
+      << dump;
+  EXPECT_EQ(std::count(dump.begin(), dump.end(), '\n'), 2);
+  EXPECT_TRUE(format_events({}).empty());
+}
+
+// -------------------------------------------------------- FlightRecorder
+
+TEST(FlightRecorder, DisabledRecorderHandsOutInertRings) {
+  FlightRecorder off;
+  EXPECT_FALSE(off.valid());
+  EXPECT_FALSE(off.ring(0).valid());
+  EXPECT_TRUE(off.tail(0, 8).empty());
+  EXPECT_TRUE(off.format_tail(0, 8).empty());
+
+  FlightRecorder zero(4, 0);  // events_per_lane = 0 is the off switch
+  EXPECT_FALSE(zero.valid());
+  EXPECT_FALSE(zero.ring(0).valid());
+}
+
+TEST(FlightRecorder, LanesAreIndependent) {
+  FlightRecorder recorder(3, 8);
+  ASSERT_TRUE(recorder.valid());
+  EXPECT_EQ(recorder.lanes(), 3u);
+  EXPECT_EQ(recorder.events_per_lane(), 8u);
+
+  for (std::size_t lane = 0; lane < 3; ++lane) {
+    recorder.ring(lane).record(FlightKind::kAdmit, 1.0, 0, lane);
+  }
+  for (std::size_t lane = 0; lane < 3; ++lane) {
+    const std::vector<FlightEvent> events = recorder.tail(lane, 8);
+    ASSERT_EQ(events.size(), 1u) << "lane " << lane;
+    EXPECT_EQ(events[0].a, lane);
+  }
+  EXPECT_FALSE(recorder.ring(3).valid()) << "out-of-range lane is inert";
+}
+
+TEST(FlightRecorder, MoveTransfersTheMapping) {
+  FlightRecorder a(2, 8);
+  a.ring(1).record(FlightKind::kClose, 4.0);
+  FlightRecorder b(std::move(a));
+  EXPECT_FALSE(a.valid());  // NOLINT(bugprone-use-after-move): moved-from is inert
+  ASSERT_TRUE(b.valid());
+  ASSERT_EQ(b.tail(1, 8).size(), 1u);
+  EXPECT_EQ(b.tail(1, 8)[0].kind, FlightKind::kClose);
+}
+
+TEST(FlightRecorder, ParentReadsKilledChildsLaneAfterFork) {
+  // The core forensic promise: the recorder is constructed pre-fork, a
+  // child writes its lane and dies by SIGKILL (no cleanup, no flush),
+  // and the parent still reads the child's last events out of the
+  // MAP_SHARED pages.
+  FlightRecorder recorder(2, 32);
+  ASSERT_TRUE(recorder.valid());
+
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    FlightRing lane = recorder.ring(1);
+    lane.record(FlightKind::kTaskStart, 1.0, 0, 100);
+    lane.record(FlightKind::kTaskDone, 1.5, 0, 100,
+                std::bit_cast<std::uint64_t>(0.5));
+    lane.record(FlightKind::kTaskStart, 2.0, 0, 101);  // died mid-task
+    ::raise(SIGKILL);
+    ::_exit(127);  // unreachable
+  }
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFSIGNALED(status));
+  ASSERT_EQ(WTERMSIG(status), SIGKILL);
+
+  const std::vector<FlightEvent> events = recorder.tail(1, 32);
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].kind, FlightKind::kTaskStart);
+  EXPECT_EQ(events[2].kind, FlightKind::kTaskStart);
+  EXPECT_EQ(events[2].a, 101u) << "last act before SIGKILL preserved";
+
+  const std::string tail = recorder.format_tail(1, 32);
+  EXPECT_NE(tail.find("task-start stage=0 item=101"), std::string::npos)
+      << tail;
+}
+
+// ---------------------------------------------------------- health codec
+
+HealthRecord sample_health() {
+  HealthRecord record;
+  record.node = 3;
+  record.time = 12.25;
+  record.last_progress = 11.5;
+  record.tasks_executed = 42;
+  record.queue_depth = 2;
+  record.ring_bytes = 4096;
+  record.rss_kb = 10240;
+  return record;
+}
+
+TEST(Health, CodecRoundTrips) {
+  const Bytes wire = encode_health(sample_health());
+  ASSERT_EQ(wire.size(), kHealthWireBytes);
+  EXPECT_EQ(decode_health(wire), sample_health());
+}
+
+TEST(Health, DecodeRejectsWrongSizes) {
+  Bytes wire = encode_health(sample_health());
+  Bytes shorter(wire.begin(), wire.end() - 1);
+  EXPECT_THROW(decode_health(shorter), std::invalid_argument);
+  wire.push_back(std::byte{0});
+  EXPECT_THROW(decode_health(wire), std::invalid_argument);
+  EXPECT_THROW(decode_health(Bytes{}), std::invalid_argument);
+}
+
+TEST(Health, SelfRssIsPositive) {
+  EXPECT_GT(self_rss_kb(), 0u);
+}
+
+// -------------------------------------------------------- HealthTracker
+
+TEST(HealthTracker, SilenceStallIsEdgeTriggeredWithRecovery) {
+  HealthTracker tracker;
+  tracker.reset(2, 0.0);
+
+  EXPECT_TRUE(tracker.check(10.0, 15.0).empty()) << "inside the window";
+
+  const auto stalls = tracker.check(16.0, 15.0);
+  ASSERT_EQ(stalls.size(), 2u);
+  EXPECT_TRUE(stalls[0].stalled);
+  EXPECT_FALSE(stalls[0].no_progress) << "silence shape, not wedged";
+  EXPECT_GT(stalls[0].silent_for, 15.0);
+
+  EXPECT_TRUE(tracker.check(17.0, 15.0).empty()) << "edge, not level";
+
+  tracker.on_frame(0, 18.0);  // any frame proves liveness
+  const auto recoveries = tracker.check(18.5, 15.0);
+  ASSERT_EQ(recoveries.size(), 1u);
+  EXPECT_EQ(recoveries[0].node, 0u);
+  EXPECT_FALSE(recoveries[0].stalled);
+
+  EXPECT_FALSE(tracker.nodes()[0].stalled);
+  EXPECT_EQ(tracker.nodes()[0].stall_count, 1u);
+  EXPECT_TRUE(tracker.nodes()[1].stalled);
+}
+
+TEST(HealthTracker, NoProgressWedgeRequiresQueuedWork) {
+  HealthTracker tracker;
+  tracker.reset(1, 0.0);
+
+  // Heartbeats keep arriving (never silent), but last_progress froze
+  // while the queue stays nonempty: the wedged shape.
+  HealthRecord beat;
+  beat.node = 0;
+  beat.last_progress = 1.0;
+  beat.queue_depth = 2;
+  for (double now = 2.0; now <= 20.0; now += 2.0) {
+    beat.time = now;
+    tracker.on_health(beat, now);
+    const auto transitions = tracker.check(now, 15.0);
+    if (now - beat.last_progress <= 15.0) {
+      EXPECT_TRUE(transitions.empty()) << "at t=" << now;
+    } else if (!transitions.empty()) {
+      EXPECT_TRUE(transitions[0].stalled);
+      EXPECT_TRUE(transitions[0].no_progress);
+    }
+  }
+  EXPECT_TRUE(tracker.nodes()[0].stalled);
+
+  // Same silence pattern with an empty queue is idle, not wedged.
+  HealthTracker idle;
+  idle.reset(1, 0.0);
+  beat.queue_depth = 0;
+  for (double now = 2.0; now <= 20.0; now += 2.0) {
+    beat.time = now;
+    idle.on_health(beat, now);
+    EXPECT_TRUE(idle.check(now, 15.0).empty()) << "at t=" << now;
+  }
+}
+
+TEST(HealthTracker, NonPositiveThresholdDisablesDetection) {
+  HealthTracker tracker;
+  tracker.reset(1, 0.0);
+  EXPECT_TRUE(tracker.check(1000.0, 0.0).empty());
+  EXPECT_TRUE(tracker.check(1000.0, -1.0).empty());
+  EXPECT_FALSE(tracker.nodes()[0].stalled);
+}
+
+TEST(HealthTracker, ToJsonIsWellFormedAndCarriesTheRecord) {
+  HealthTracker tracker;
+  tracker.reset(2, 0.0);
+  tracker.on_health(sample_health(), 12.5);  // node 3: out of range, dropped
+  HealthRecord record = sample_health();
+  record.node = 1;
+  tracker.on_health(record, 12.5);
+
+  const std::string text = tracker.to_json(13.0).dump(2);
+  EXPECT_TRUE(JsonChecker(text).valid()) << text;
+  EXPECT_NE(text.find("\"queue_depth\": 2"), std::string::npos) << text;
+  EXPECT_NE(text.find("\"rss_kb\": 10240"), std::string::npos) << text;
+}
+
+// ------------------------------------------------------------- StatusHub
+
+TEST(StatusHub, SnapshotCoversProvidersInRegistrationOrder) {
+  StatusHub& hub = StatusHub::global();
+  const std::size_t baseline = hub.size();
+
+  const int first = hub.add("alpha", [] {
+    util::Json status = util::Json::object();
+    status["items"] = std::uint64_t{7};
+    return status;
+  });
+  const int second = hub.add("beta", [] { return util::Json::object(); });
+  EXPECT_EQ(hub.size(), baseline + 2);
+
+  const std::string text = hub.snapshot_json();
+  EXPECT_TRUE(JsonChecker(text).valid()) << text;
+  const std::size_t alpha_pos = text.find("\"alpha\"");
+  const std::size_t beta_pos = text.find("\"beta\"");
+  ASSERT_NE(alpha_pos, std::string::npos);
+  ASSERT_NE(beta_pos, std::string::npos);
+  EXPECT_LT(alpha_pos, beta_pos);
+  EXPECT_NE(text.find("\"items\": 7"), std::string::npos) << text;
+
+  hub.remove(first);
+  hub.remove(second);
+  EXPECT_EQ(hub.size(), baseline);
+  EXPECT_EQ(hub.snapshot_json().find("\"alpha\""), std::string::npos);
+}
+
+TEST(StatusHub, ThrowingProviderBecomesErrorEntry) {
+  StatusHub& hub = StatusHub::global();
+  const int id = hub.add("doomed", []() -> util::Json {
+    throw std::runtime_error("provider exploded");
+  });
+  const std::string text = hub.snapshot_json();  // must not throw
+  hub.remove(id);
+  EXPECT_TRUE(JsonChecker(text).valid()) << text;
+  EXPECT_NE(text.find("provider exploded"), std::string::npos) << text;
+}
+
+TEST(StatusHub, RegistrationIsRaiiAndMovable) {
+  StatusHub& hub = StatusHub::global();
+  const std::size_t baseline = hub.size();
+  {
+    StatusRegistration reg("scoped", [] { return util::Json::object(); });
+    EXPECT_EQ(hub.size(), baseline + 1);
+    StatusRegistration moved(std::move(reg));
+    EXPECT_EQ(hub.size(), baseline + 1) << "move must not re-register";
+    StatusRegistration assigned;
+    assigned = std::move(moved);
+    EXPECT_EQ(hub.size(), baseline + 1);
+  }
+  EXPECT_EQ(hub.size(), baseline);
+}
+
+// ------------------------------------------------------------------ fsio
+
+TEST(Fsio, ProbeWritableAcceptsCreatableAndRejectsBadDirectories) {
+  const std::string path = ::testing::TempDir() + "gridpipe_probe_test.json";
+  std::remove(path.c_str());
+  EXPECT_EQ(util::probe_writable(path), "") << "creatable file";
+  EXPECT_EQ(util::probe_writable(path), "") << "existing file";
+  std::remove(path.c_str());
+
+  const std::string err =
+      util::probe_writable("/nonexistent-dir-gridpipe/x/status.json");
+  EXPECT_NE(err, "");
+  EXPECT_NE(err.find("/nonexistent-dir-gridpipe/x/status.json"),
+            std::string::npos)
+      << "error names the path: " << err;
+}
+
+TEST(Fsio, WriteFileAtomicReplacesContent) {
+  const std::string path = ::testing::TempDir() + "gridpipe_atomic_test.json";
+  EXPECT_EQ(util::write_file_atomic(path, "{\"v\": 1}\n"), "");
+  EXPECT_EQ(util::write_file_atomic(path, "{\"v\": 2}\n"), "");
+
+  std::ifstream in(path);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(content, "{\"v\": 2}\n");
+  std::remove(path.c_str());
+
+  EXPECT_NE(util::write_file_atomic("/nonexistent-dir-gridpipe/x.json", "{}"),
+            "");
+}
+
+}  // namespace
+}  // namespace gridpipe::obs

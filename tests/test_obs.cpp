@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cctype>
 #include <cmath>
@@ -17,6 +18,7 @@
 #include <string_view>
 #include <vector>
 
+#include "json_checker.hpp"
 #include "obs/config.hpp"
 #include "obs/metrics.hpp"
 #include "obs/sinks.hpp"
@@ -63,113 +65,9 @@ __attribute__((noinline)) void operator delete[](void* p,
 namespace gridpipe::obs {
 namespace {
 
-// ------------------------------------------------------ JSON validator
-// The repo emits JSON but deliberately has no parser, so the tests
-// carry a minimal syntax checker — enough to assert that what the
-// tracer and snapshot write is a well-formed document, the same promise
-// CI checks with `python -m json.tool`.
-
-class JsonChecker {
- public:
-  explicit JsonChecker(std::string_view text) : text_(text) {}
-
-  bool valid() {
-    skip_ws();
-    if (!value()) return false;
-    skip_ws();
-    return pos_ == text_.size();
-  }
-
- private:
-  bool eof() const { return pos_ >= text_.size(); }
-  char peek() const { return text_[pos_]; }
-  bool consume(char c) {
-    if (eof() || peek() != c) return false;
-    ++pos_;
-    return true;
-  }
-  void skip_ws() {
-    while (!eof() && (peek() == ' ' || peek() == '\t' || peek() == '\n' ||
-                      peek() == '\r')) {
-      ++pos_;
-    }
-  }
-  bool literal(std::string_view word) {
-    if (text_.substr(pos_, word.size()) != word) return false;
-    pos_ += word.size();
-    return true;
-  }
-  bool string() {
-    if (!consume('"')) return false;
-    while (!eof()) {
-      const char c = text_[pos_++];
-      if (c == '"') return true;
-      if (c == '\\') {
-        if (eof()) return false;
-        const char esc = text_[pos_++];
-        if (esc == 'u') {
-          for (int i = 0; i < 4; ++i) {
-            if (eof() || !std::isxdigit(static_cast<unsigned char>(peek()))) {
-              return false;
-            }
-            ++pos_;
-          }
-        } else if (!std::strchr("\"\\/bfnrt", esc)) {
-          return false;
-        }
-      }
-    }
-    return false;
-  }
-  bool digits() {
-    std::size_t start = pos_;
-    while (!eof() && std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
-    return pos_ > start;
-  }
-  bool number() {
-    consume('-');
-    if (!digits()) return false;
-    if (consume('.') && !digits()) return false;
-    if (!eof() && (peek() == 'e' || peek() == 'E')) {
-      ++pos_;
-      if (!eof() && (peek() == '+' || peek() == '-')) ++pos_;
-      if (!digits()) return false;
-    }
-    return true;
-  }
-  bool members(char close, bool keyed) {
-    skip_ws();
-    if (consume(close)) return true;
-    while (true) {
-      skip_ws();
-      if (keyed) {
-        if (!string()) return false;
-        skip_ws();
-        if (!consume(':')) return false;
-        skip_ws();
-      }
-      if (!value()) return false;
-      skip_ws();
-      if (consume(close)) return true;
-      if (!consume(',')) return false;
-    }
-  }
-  bool value() {
-    if (eof()) return false;
-    switch (peek()) {
-      case '{': ++pos_; return members('}', true);
-      case '[': ++pos_; return members(']', false);
-      case '"': return string();
-      case 't': return literal("true");
-      case 'f': return literal("false");
-      case 'n': return literal("null");
-      default:  return number();
-    }
-  }
-
-  std::string_view text_;
-  std::size_t pos_ = 0;
-};
+// JSON validation lives in the shared tests/json_checker.hpp (also used
+// by the flight-recorder and rt status suites).
+using test_support::JsonChecker;
 
 std::size_t count_occurrences(std::string_view haystack,
                               std::string_view needle) {
@@ -530,6 +428,105 @@ TEST(ObsTelemetry, ApplyWithNullSinksIsNoop) {
   Tracer tracer;
   apply_telemetry(sample_batch(), Sinks{&tracer, nullptr});
   EXPECT_EQ(tracer.size(), 2u);
+}
+
+// ---------------------------------------------- telemetry epoch section
+
+control::EpochRecord sample_epoch() {
+  control::EpochRecord e;
+  e.time = 12.5;
+  e.deployed_estimate = 1.5;
+  e.candidate_estimate = 1.8;
+  e.decided = true;
+  e.remapped = true;
+  e.reason.trigger = "on-change";
+  e.reason.mapper = "auto";
+  e.reason.gate_changed = true;
+  e.reason.searched = true;
+  e.reason.gain_ratio = 1.2;
+  e.reason.verdict = "gain above threshold, remap";
+  return e;
+}
+
+TEST(ObsTelemetry, EpochSectionRoundTripsDecisionReason) {
+  TelemetryBatch batch = sample_batch();
+  batch.epochs.push_back(sample_epoch());
+  control::EpochRecord quiet;  // undecided epoch: strings mostly empty
+  quiet.time = 22.5;
+  quiet.reason.trigger = "on-change";
+  quiet.reason.verdict = "quiet: resources unchanged, decision fresh";
+  batch.epochs.push_back(quiet);
+
+  const TelemetryBatch round = decode_telemetry(encode_telemetry(batch));
+  ASSERT_EQ(round.epochs.size(), 2u);
+  EXPECT_EQ(round, batch);  // decision-field equality
+  // EpochRecord's operator== deliberately ignores the reason, so check
+  // the explainability payload explicitly.
+  EXPECT_EQ(round.epochs[0].reason, batch.epochs[0].reason);
+  EXPECT_EQ(round.epochs[1].reason, batch.epochs[1].reason);
+}
+
+TEST(ObsTelemetry, EpochFreeBatchEncodesByteIdenticallyToLegacyWriter) {
+  // The epochs section is optional on the wire: an epoch-free batch must
+  // encode exactly as the pre-epochs writer did, and an epoch-carrying
+  // one must extend that encoding, not restructure it.
+  const Bytes legacy = encode_telemetry(sample_batch());
+  TelemetryBatch with_epochs = sample_batch();
+  with_epochs.epochs.push_back(sample_epoch());
+  const Bytes extended = encode_telemetry(with_epochs);
+  ASSERT_GT(extended.size(), legacy.size());
+  EXPECT_TRUE(std::equal(legacy.begin(), legacy.end(), extended.begin()));
+}
+
+TEST(ObsTelemetry, EpochSectionEveryTruncationThrows) {
+  TelemetryBatch batch = sample_batch();
+  batch.epochs.push_back(sample_epoch());
+  const Bytes good = encode_telemetry(batch);
+  const std::size_t boundary = encode_telemetry(sample_batch()).size();
+  for (std::size_t cut = 0; cut < good.size(); ++cut) {
+    // A cut exactly at the section boundary is a valid legacy batch;
+    // every other prefix must be rejected.
+    if (cut == boundary) continue;
+    EXPECT_THROW(
+        decode_telemetry(Bytes(good.begin(),
+                               good.begin() +
+                                   static_cast<std::ptrdiff_t>(cut))),
+        std::invalid_argument)
+        << "cut at " << cut;
+  }
+}
+
+TEST(ObsTelemetry, EpochCountLieRejected) {
+  // Claims 2^30 epochs in 4 bytes: the count-vs-remaining sanity check
+  // must refuse before reserving anything.
+  Bytes wire = encode_telemetry(sample_batch());
+  const std::uint32_t lie = 1u << 30;
+  const std::size_t off = wire.size();
+  wire.resize(off + 4);
+  std::memcpy(wire.data() + off, &lie, 4);
+  EXPECT_THROW(decode_telemetry(wire), std::invalid_argument);
+}
+
+TEST(ObsTelemetry, ApplyRecordsShippedEpochSpans) {
+  Tracer tracer;
+  TelemetryBatch batch;
+  batch.epochs.push_back(sample_epoch());
+  apply_telemetry(batch, Sinks{&tracer, nullptr});
+  EXPECT_EQ(tracer.size(), 1u);
+}
+
+TEST(ObsTelemetry, ExplainRendersDecidedAndQuietEpochs) {
+  const std::string decided = sample_epoch().explain();
+  EXPECT_NE(decided.find("on-change"), std::string::npos) << decided;
+  EXPECT_NE(decided.find("mapper=auto"), std::string::npos) << decided;
+  EXPECT_NE(decided.find("remapped"), std::string::npos) << decided;
+  EXPECT_NE(decided.find("gain above threshold"), std::string::npos)
+      << decided;
+
+  control::EpochRecord quiet;
+  quiet.time = 5.0;
+  EXPECT_NE(quiet.explain().find("quiet epoch"), std::string::npos)
+      << quiet.explain();
 }
 
 }  // namespace

@@ -7,13 +7,18 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstring>
+#include <thread>
 
+#include <signal.h>
 #include <unistd.h>
 
 #include "comm/wire.hpp"
 #include "core/dist_executor.hpp"
 #include "grid/builders.hpp"
+#include "json_checker.hpp"
+#include "obs/metrics.hpp"
 #include "proc/process_executor.hpp"
 
 namespace gridpipe::proc {
@@ -80,6 +85,7 @@ TEST(ProcWire, EveryFrameKindRoundTrips) {
       {wire::FrameKind::kShutdown, 0, {}},
       {wire::FrameKind::kSpeedObs, 3, wire::encode_f64(1.75)},
       {wire::FrameKind::kTelemetry, 1, task},  // payload opaque to framing
+      {wire::FrameKind::kHealth, 2, task},     // payload opaque to framing
   };
   for (const wire::Frame& frame : frames) {
     EXPECT_EQ(roundtrip_one(frame), frame) << wire::to_string(frame.kind);
@@ -264,6 +270,112 @@ TEST(ProcessExecutor, WorkerCrashSurfacesAsError) {
     EXPECT_NE(std::string(e.what()).find("exit code 7"), std::string::npos)
         << e.what();
   }
+}
+
+TEST(ProcessExecutor, SigkilledWorkerErrorCarriesItsFlightTail) {
+  // The tentpole forensic promise end to end: a worker killed by SIGKILL
+  // gets no chance to flush or report anything, yet the crash error must
+  // explain what it was doing — the parent reads the victim's flight
+  // lane out of the pre-fork MAP_SHARED mapping.
+  const auto g = grid::uniform_cluster(2, 1.0, 1e-3, 1e8);
+  auto stages = arithmetic_stages();
+  // Wedge stage 1 on item 6 so its worker can never drain the stream:
+  // items 0-5 complete (the lane has a story to tell), items 6+ stay
+  // in flight, and the SIGKILL is guaranteed to land mid-run rather
+  // than racing a clean finish.
+  stages[1].fn = [](core::ByteSpan in, Bytes& out) {
+    if (int_of_bytes(in) == 7) {  // item 6 after the +1 stage
+      std::this_thread::sleep_for(std::chrono::seconds(60));
+    }
+    append_int(out, int_of_bytes(in) * 3);
+  };
+  ProcessExecutor executor(g, std::move(stages),
+                           sched::Mapping(std::vector<NodeId>{0, 1, 0}),
+                           fast_proc_config());
+  executor.stream_begin();
+  const std::vector<int> pids = executor.worker_pids();
+  ASSERT_EQ(pids.size(), 2u);
+
+  // Let real work flow first so the victim's lane has a story to tell.
+  for (int i = 0; i < 12; ++i) executor.stream_push(bytes_of_int(i));
+  std::size_t popped = 0;
+  while (popped < 6) {
+    if (executor.stream_try_pop()) {
+      ++popped;
+    } else {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  ASSERT_EQ(::kill(pids[1], SIGKILL), 0);
+  executor.stream_close();
+  try {
+    executor.stream_finish();
+    FAIL() << "expected a crash report";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("worker for node 1 exited mid-run"),
+              std::string::npos)
+        << what;
+    EXPECT_NE(what.find("signal 9"), std::string::npos) << what;
+    EXPECT_NE(what.find("last flight events:"), std::string::npos) << what;
+    // The decoded tail holds the worker's own task events, recorded by
+    // the dead process into shared memory.
+    EXPECT_NE(what.find("task-done stage=1"), std::string::npos) << what;
+  }
+}
+
+TEST(ProcessExecutor, WedgedWorkerTripsStallDetection) {
+  const auto g = grid::uniform_cluster(2, 1.0, 1e-3, 1e8);
+  auto stages = arithmetic_stages();
+  // Stage 1 wedges on one item: its worker goes silent mid-task (no
+  // frames, no heartbeats) while the parent keeps polling — the silence
+  // stall shape. At time_scale 0.002 the 200ms sleep is ~100 virtual
+  // seconds of silence against a 10-second threshold.
+  stages[1].fn = [](core::ByteSpan in, Bytes& out) {
+    if (int_of_bytes(in) == 11) {  // item 10 after the +1 stage
+      std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    }
+    append_int(out, int_of_bytes(in) * 3);
+  };
+  obs::MetricsRegistry metrics;
+  ProcExecutorConfig config;
+  config.time_scale = 0.002;
+  config.health_interval = 1.0;
+  config.stall_after = 10.0;
+  config.obs.metrics = &metrics;
+  ProcessExecutor executor(g, std::move(stages),
+                           sched::Mapping(std::vector<NodeId>{0, 1, 0}),
+                           config);
+  std::vector<Bytes> inputs;
+  for (int i = 0; i < 30; ++i) inputs.push_back(bytes_of_int(i));
+  const auto report = executor.run(std::move(inputs));
+
+  EXPECT_EQ(report.items, 30u) << "a stall is a warning, not a failure";
+  EXPECT_GE(metrics.counter(obs::names::kWorkerStalls).value(), 1u);
+}
+
+TEST(ProcessExecutor, StatusSnapshotIsWellFormedMidStream) {
+  const auto g = grid::uniform_cluster(2, 1.0, 1e-3, 1e8);
+  ProcExecutorConfig config = fast_proc_config();
+  config.health_interval = 0.5;
+  ProcessExecutor executor(g, arithmetic_stages(),
+                           sched::Mapping(std::vector<NodeId>{0, 1, 0}),
+                           config);
+  executor.stream_begin();
+  for (int i = 0; i < 20; ++i) executor.stream_push(bytes_of_int(i));
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+
+  const std::string text = executor.status().dump(2);
+  EXPECT_TRUE(test_support::JsonChecker(text).valid()) << text;
+  EXPECT_NE(text.find("\"substrate\": \"process\""), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("\"mapping\": \"(1,2,1)\""), std::string::npos) << text;
+  EXPECT_NE(text.find("\"workers\""), std::string::npos) << text;
+  EXPECT_NE(text.find("\"worker_pids\""), std::string::npos) << text;
+
+  executor.stream_close();
+  const auto report = executor.stream_finish();
+  EXPECT_EQ(report.items, 20u);
 }
 
 TEST(ProcessExecutor, RejectsBadConstruction) {

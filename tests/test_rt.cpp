@@ -12,6 +12,8 @@
 #include <thread>
 
 #include "grid/builders.hpp"
+#include "json_checker.hpp"
+#include "obs/status.hpp"
 #include "rt/runtime.hpp"
 #include "sim/drivers.hpp"
 
@@ -418,6 +420,57 @@ TEST(RtObservability, TraceAndMetricsCoverEverySubstrate) {
         << to_string(kind) << ": adaptation never ran an epoch";
     EXPECT_EQ(epoch_spans, report.epochs.size()) << to_string(kind);
   }
+}
+
+TEST(RtObservability, StatusSnapshotsMidStreamOnEverySubstrate) {
+  // The live-introspection contract behind SIGUSR1 / --status-out: while
+  // a session is open on any substrate, session->status() and the global
+  // status hub both render well-formed JSON naming the substrate; once
+  // the session dies its provider unregisters.
+  const auto g = grid::uniform_cluster(2, 1.0, 1e-3, 1e8);
+  for (RuntimeKind kind : kAllRuntimeKinds) {
+    RuntimeOptions options;
+    options.time_scale = 0.002;
+    auto runtime = make_runtime(kind, g, typed_spec(), options);
+    auto session = runtime->open();
+    for (auto& item : int64_items(12)) session->push(std::move(item));
+
+    const std::string text = session->status().dump(2);
+    EXPECT_TRUE(test_support::JsonChecker(text).valid())
+        << to_string(kind) << ": " << text;
+    const std::string tag =
+        std::string("\"substrate\": \"") + to_string(kind) + "\"";
+    EXPECT_NE(text.find(tag), std::string::npos)
+        << to_string(kind) << ": " << text;
+
+    const std::string hub = obs::StatusHub::global().snapshot_json();
+    EXPECT_TRUE(test_support::JsonChecker(hub).valid())
+        << to_string(kind) << ": " << hub;
+    EXPECT_NE(hub.find("\"sessions\""), std::string::npos) << hub;
+    EXPECT_NE(hub.find(tag), std::string::npos)
+        << to_string(kind) << ": " << hub;
+
+    session->close();
+    EXPECT_EQ(session->report().items, 12u) << to_string(kind);
+    session.reset();
+    EXPECT_EQ(obs::StatusHub::global().snapshot_json().find(tag),
+              std::string::npos)
+        << to_string(kind) << ": provider leaked past the session";
+  }
+  EXPECT_EQ(obs::StatusHub::global().size(), 0u);
+}
+
+TEST(Session, DefaultStatusReportsUnknownSubstrate) {
+  struct BareSession : Session {
+    void push(std::any) override {}
+    std::optional<std::any> try_pop() override { return std::nullopt; }
+    void close() override {}
+    core::RunReport report() override { return {}; }
+  } session;
+  const std::string text = session.status().dump(2);
+  EXPECT_TRUE(test_support::JsonChecker(text).valid()) << text;
+  EXPECT_NE(text.find("\"substrate\": \"unknown\""), std::string::npos)
+      << text;
 }
 
 TEST(RtObservability, DisabledByDefaultLeavesReportSnapshotEmpty) {
