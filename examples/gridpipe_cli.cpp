@@ -10,6 +10,8 @@
 //                [--seed S] [--time-scale S] [--timeline WINDOW]
 //                [--trace-out FILE] [--metrics-out FILE]
 //                [--status-out FILE] [--status-interval S]
+//                [--recover] [--respawn-max N] [--respawn-backoff-ms MS]
+//                [--inject-fault SPEC]
 //                [--explain-epochs] [--log-level LEVEL] [--list]
 //
 //   --list                 print the scenario catalogue and exit
@@ -24,6 +26,14 @@
 //                          snapshot every --status-interval real seconds
 //                          while the run is live
 //   --status-interval S    status file refresh period (default 1.0s)
+//   --recover              process runtime: survive worker deaths (replay
+//                          journal + respawn supervisor + dedup)
+//   --respawn-max N        respawns per node before degrading (default 3)
+//   --respawn-backoff-ms   delay before the first respawn of a node,
+//                          doubling per subsequent one (default 0)
+//   --inject-fault SPEC    kill workers on purpose, e.g. "kill=1@25"
+//                          (node 1 dies at its 25th item) or
+//                          "rate=0.01;seed=7"; implies --recover
 //   --explain-epochs       print one human-readable reason line per
 //                          adaptation epoch after the run
 //   --log-level LEVEL      debug|info|warn|error|off (GRIDPIPE_LOG also
@@ -43,6 +53,7 @@
 // Large --items take real wall time on the live runtimes
 // (items × bottleneck-service × time-scale seconds).
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <csignal>
@@ -55,6 +66,7 @@
 
 #include "obs/status.hpp"
 #include "obs/trace.hpp"
+#include "recover/fault.hpp"
 #include "rt/runtime.hpp"
 #include "util/fsio.hpp"
 #include "util/logging.hpp"
@@ -75,6 +87,8 @@ int usage(const char* argv0) {
                "       [--time-scale S] [--timeline WINDOW]\n"
                "       [--trace-out FILE] [--metrics-out FILE]\n"
                "       [--status-out FILE] [--status-interval S]\n"
+               "       [--recover] [--respawn-max N] [--respawn-backoff-ms MS]\n"
+               "       [--inject-fault SPEC]\n"
                "       [--explain-epochs]\n"
                "       [--log-level debug|info|warn|error|off] [--list]\n";
   return 2;
@@ -199,6 +213,10 @@ int main(int argc, char** argv) {
   std::string metrics_out;
   std::string status_out;
   double status_interval = 1.0;
+  bool recover = false;
+  std::size_t respawn_max = 3;
+  double respawn_backoff_ms = 0.0;
+  std::string fault_spec;
   bool explain_epochs = false;
   std::vector<const char*> sim_only_flags;  // explicit but ignored off-sim
 
@@ -248,6 +266,15 @@ int main(int argc, char** argv) {
       status_out = next("--status-out");
     } else if (!std::strcmp(argv[i], "--status-interval")) {
       status_interval = std::stod(next("--status-interval"));
+    } else if (!std::strcmp(argv[i], "--recover")) {
+      recover = true;
+    } else if (!std::strcmp(argv[i], "--respawn-max")) {
+      respawn_max = std::stoull(next("--respawn-max"));
+    } else if (!std::strcmp(argv[i], "--respawn-backoff-ms")) {
+      respawn_backoff_ms = std::stod(next("--respawn-backoff-ms"));
+    } else if (!std::strcmp(argv[i], "--inject-fault")) {
+      fault_spec = next("--inject-fault");
+      recover = true;  // an injected kill without recovery just fails
     } else if (!std::strcmp(argv[i], "--explain-epochs")) {
       explain_epochs = true;
     } else if (!std::strcmp(argv[i], "--log-level")) {
@@ -312,6 +339,25 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (recover) {
+    if (kind != rt::RuntimeKind::kProcess) {
+      std::cerr << "note: --recover/--inject-fault apply to --runtime "
+                   "process only; ignored for --runtime "
+                << rt::to_string(kind) << "\n";
+    }
+    options.recovery.enabled = true;
+    options.recovery.respawn.max_respawns = respawn_max;
+    options.recovery.respawn.backoff_ms = respawn_backoff_ms;
+    if (!fault_spec.empty()) {
+      try {
+        options.recovery.faults = recover::FaultPlan::parse(fault_spec);
+      } catch (const std::invalid_argument& e) {
+        std::cerr << "--inject-fault: " << e.what() << "\n";
+        return usage(argv[0]);
+      }
+    }
+  }
+
   if (!trace_out.empty() || !metrics_out.empty()) {
     options.obs = obs::Config::full();
   }
@@ -357,6 +403,21 @@ int main(int argc, char** argv) {
   }
 
   print_report(s, kind, options, report, timeline_window);
+
+  if (options.recovery.enabled && kind == rt::RuntimeKind::kProcess) {
+    std::cout << "recovery   " << report.node_losses << " worker loss(es), "
+              << report.respawns << " respawn(s), " << report.items_replayed
+              << " item(s) replayed, " << report.items_deduped
+              << " duplicate(s) dropped";
+    if (!report.recovery_times.empty()) {
+      double worst = 0.0;
+      for (const double t : report.recovery_times) {
+        worst = std::max(worst, t);
+      }
+      std::cout << ", worst recovery window " << worst << " virtual s";
+    }
+    std::cout << "\n";
+  }
 
   if (explain_epochs) {
     std::cout << "decisions\n";

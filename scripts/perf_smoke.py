@@ -14,8 +14,16 @@ substrate's overhead exceeds the baseline by more than --max-regress
 (fractional, default 0.25) plus a small absolute epsilon that absorbs
 scheduler noise in the wall-clock-derived throughputs.
 
+The recovery gate works the same way over ``bench_r1_recovery --json``
+output (``bench_results/BENCH_R1.json``): the guarded quantities are the
+per-scenario recovery window (death detected -> last in-flight item
+re-delivered) and the fault-free journal overhead. Pass
+--recovery-candidate to enable it; either gate may run alone.
+
 Usage:
-    perf_smoke.py CANDIDATE.json [--baseline bench_results/BENCH_F2.json]
+    perf_smoke.py [CANDIDATE.json] [--baseline bench_results/BENCH_F2.json]
+                  [--recovery-candidate R1.json]
+                  [--recovery-baseline bench_results/BENCH_R1.json]
                   [--max-regress 0.25] [--noise-frac 0.02]
 """
 
@@ -53,10 +61,81 @@ def per_item_obs_costs(doc):
     return out
 
 
+def recovery_windows(doc):
+    """scenario -> recovery window (virtual s) for the fault scenarios."""
+    return {
+        row["scenario"]: row["recovery_window_vs"]
+        for row in doc["recovery"]
+        if row.get("node_losses", 0) > 0
+    }
+
+
+def check_recovery(cand_path, base_path, max_regress, noise_abs, failures):
+    with open(base_path) as f:
+        base_doc = json.load(f)
+    with open(cand_path) as f:
+        cand_doc = json.load(f)
+    base = recovery_windows(base_doc)
+    cand = recovery_windows(cand_doc)
+
+    print(f"{'recovery':<12} {'baseline':>12} {'candidate':>12} {'allowed':>12}")
+    for scenario in sorted(base):
+        if scenario not in cand:
+            failures.append(f"recovery {scenario}: missing from candidate run")
+            continue
+        allowed = base[scenario] * (1.0 + max_regress) + noise_abs
+        verdict = "ok" if cand[scenario] <= allowed else "REGRESSED"
+        print(
+            f"{scenario:<12} {base[scenario]:>12.4f} {cand[scenario]:>12.4f} "
+            f"{allowed:>12.4f}  {verdict}"
+        )
+        if cand[scenario] > allowed:
+            failures.append(
+                f"recovery {scenario}: window {cand[scenario]:.4f} > "
+                f"allowed {allowed:.4f} (baseline {base[scenario]:.4f})"
+            )
+
+    # Journal overhead on the fault-free path: near-zero by design, so the
+    # absolute slack does the work and a negative baseline clamps to 0.
+    base_j = max(0.0, base_doc.get("journal_overhead_vs", 0.0))
+    cand_j = cand_doc.get("journal_overhead_vs", 0.0)
+    allowed = base_j * (1.0 + max_regress) + noise_abs
+    verdict = "ok" if cand_j <= allowed else "REGRESSED"
+    print(
+        f"{'journal':<12} {base_j:>12.4f} {cand_j:>12.4f} "
+        f"{allowed:>12.4f}  {verdict}"
+    )
+    if cand_j > allowed:
+        failures.append(
+            f"recovery journal: fault-free overhead {cand_j:.4f} > "
+            f"allowed {allowed:.4f} (baseline {base_j:.4f})"
+        )
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("candidate", help="fresh bench_f2_overhead --json output")
+    parser.add_argument(
+        "candidate",
+        nargs="?",
+        default=None,
+        help="fresh bench_f2_overhead --json output",
+    )
     parser.add_argument("--baseline", default="bench_results/BENCH_F2.json")
+    parser.add_argument(
+        "--recovery-candidate",
+        default=None,
+        help="fresh bench_r1_recovery --json output (enables the recovery gate)",
+    )
+    parser.add_argument(
+        "--recovery-baseline", default="bench_results/BENCH_R1.json"
+    )
+    parser.add_argument(
+        "--recovery-noise-abs",
+        type=float,
+        default=0.5,
+        help="absolute slack on recovery windows in virtual seconds "
+        "(wall-clock-derived, so scheduler noise is absolute, not relative)",
+    )
     parser.add_argument(
         "--max-regress",
         type=float,
@@ -71,6 +150,27 @@ def main():
         "so near-zero baselines do not fail on scheduler noise",
     )
     args = parser.parse_args()
+    if args.candidate is None and args.recovery_candidate is None:
+        parser.error("nothing to gate: pass CANDIDATE.json and/or "
+                     "--recovery-candidate")
+
+    failures = []
+    if args.recovery_candidate is not None:
+        check_recovery(
+            args.recovery_candidate,
+            args.recovery_baseline,
+            args.max_regress,
+            args.recovery_noise_abs,
+            failures,
+        )
+    if args.candidate is None:
+        if failures:
+            print("perf_smoke: FAIL", file=sys.stderr)
+            for failure in failures:
+                print(f"  {failure}", file=sys.stderr)
+            return 1
+        print("perf_smoke: ok (recovery gate only)")
+        return 0
 
     with open(args.baseline) as f:
         base_doc = json.load(f)
@@ -81,7 +181,6 @@ def main():
     cand, _ = per_item_overheads(cand_doc)
     epsilon = args.noise_frac * base_threads_item
 
-    failures = []
     print(f"{'runtime':<10} {'baseline':>12} {'candidate':>12} {'allowed':>12}")
     for runtime in sorted(base):
         if runtime not in cand:

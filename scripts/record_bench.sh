@@ -10,6 +10,7 @@
 # Outputs:
 #   bench_results/BENCH_F2.json  adaptation + per-substrate overhead
 #   bench_results/BENCH_M1.json  microbenchmarks (google-benchmark JSON)
+#   bench_results/BENCH_R1.json  fault-tolerance cost (recovery windows)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -18,7 +19,8 @@ OUT_DIR="${OUT_DIR:-bench_results}"
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
 cmake -B "$BUILD_DIR" -S . -DGRIDPIPE_BUILD_BENCH=ON > /dev/null
-cmake --build "$BUILD_DIR" -j"$JOBS" --target bench_f2_overhead bench_m1_micro
+cmake --build "$BUILD_DIR" -j"$JOBS" --target bench_f2_overhead bench_m1_micro \
+  bench_r1_recovery
 
 mkdir -p "$OUT_DIR"
 
@@ -33,6 +35,10 @@ echo "== EXP-M1 (microbenchmarks) =="
   --benchmark_out_format=json \
   --benchmark_min_time=0.05
 
+echo "== EXP-R1 (fault-tolerance cost) =="
+"$BUILD_DIR"/bench/bench_r1_recovery --json "$OUT_DIR/BENCH_R1.json"
+
 python3 -m json.tool "$OUT_DIR/BENCH_F2.json" > /dev/null
 python3 -m json.tool "$OUT_DIR/BENCH_M1.json" > /dev/null
+python3 -m json.tool "$OUT_DIR/BENCH_R1.json" > /dev/null
 echo "baselines written to $OUT_DIR/"

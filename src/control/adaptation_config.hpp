@@ -20,7 +20,15 @@ enum class MapperKind { kAuto, kExhaustive, kDpContiguous, kGreedy, kLocalSearch
 ///  kOnChange   — only when the ResourceChangeGate reports a significant
 ///                move since the last decision, or max_staleness elapsed;
 ///                quiet epochs cost one estimate build and no search.
-enum class AdaptationTrigger { kEveryEpoch, kOnChange };
+///  kNodeLoss / kNodeArrival — event triggers, never configured as the
+///                periodic policy: a host feeds the controller a churn
+///                event (worker death, node join) and the controller runs
+///                a forced, ungated decision via run_churn_epoch. They
+///                exist in this enum so EpochRecord timelines name the
+///                trigger uniformly ("node-loss" epochs sit between
+///                "periodic" ones).
+enum class AdaptationTrigger { kEveryEpoch, kOnChange, kNodeLoss,
+                               kNodeArrival };
 
 const char* to_string(MapperKind kind);
 const char* to_string(AdaptationTrigger trigger);

@@ -27,8 +27,10 @@ const char* to_string(MapperKind kind) {
 
 const char* to_string(AdaptationTrigger trigger) {
   switch (trigger) {
-    case AdaptationTrigger::kEveryEpoch: return "periodic";
-    case AdaptationTrigger::kOnChange:   return "on-change";
+    case AdaptationTrigger::kEveryEpoch:  return "periodic";
+    case AdaptationTrigger::kOnChange:    return "on-change";
+    case AdaptationTrigger::kNodeLoss:    return "node-loss";
+    case AdaptationTrigger::kNodeArrival: return "node-arrival";
   }
   return "?";
 }
@@ -146,6 +148,97 @@ sched::MapperResult AdaptationController::plan(
                         config_.pin_first_stage, config_.max_total_replicas);
 }
 
+void AdaptationController::on_node_loss(std::size_t node) {
+  if (available_.empty()) available_.assign(grid_.num_nodes(), 1);
+  if (node < available_.size()) available_[node] = 0;
+}
+
+void AdaptationController::on_node_arrival(std::size_t node) {
+  if (available_.empty()) available_.assign(grid_.num_nodes(), 1);
+  if (node < available_.size()) available_[node] = 1;
+}
+
+bool AdaptationController::node_available(std::size_t node) const noexcept {
+  if (available_.empty()) return node < grid_.num_nodes();
+  return node < available_.size() && available_[node] != 0;
+}
+
+std::size_t AdaptationController::nodes_available() const noexcept {
+  if (available_.empty()) return grid_.num_nodes();
+  std::size_t up = 0;
+  for (char a : available_) up += a != 0;
+  return up;
+}
+
+void AdaptationController::apply_availability(
+    sched::ResourceEstimate& est) const {
+  if (available_.empty()) return;
+  for (std::size_t n = 0; n < available_.size(); ++n) {
+    if (available_[n] == 0 && n < est.node_speed.size()) {
+      // Zero speed → infinite busy time → zero modeled throughput for
+      // any mapping that touches the node; searches route around it.
+      est.node_speed[n] = 0.0;
+    }
+  }
+}
+
+EpochRecord AdaptationController::run_churn_epoch(AdaptationTrigger why,
+                                                 const std::string& event) {
+  const double now = host_.virtual_now();
+  EpochRecord record;
+  record.time = now;
+  record.reason.trigger = to_string(why);
+  record.reason.event = event;
+
+  host_.record_probes(now);
+  sched::ResourceEstimate est;
+  if (mode_ == Mode::kOracle) {
+    est = sched::ResourceEstimate::from_grid(grid_, now);
+  } else {
+    util::MutexLock lock(registry_mutex_);
+    est = sched::ResourceEstimate::from_monitor(registry_, grid_);
+  }
+  apply_availability(est);
+  gate_.accept(est);
+  last_decision_time_ = now;
+
+  const sched::MapperResult candidate =
+      choose_mapping(model_, profile_, est, config_.mapper,
+                     config_.pin_first_stage, config_.max_total_replicas);
+  const sched::Mapping deployed = host_.deployed_mapping();
+
+  record.decided = true;
+  record.deployed_estimate = model_.throughput(profile_, est, deployed);
+  record.candidate_estimate = candidate.breakdown.throughput;
+  record.reason.searched = true;
+  record.reason.mapper = to_string(config_.mapper);
+  record.reason.gain_ratio =
+      record.deployed_estimate > 0.0
+          ? record.candidate_estimate / record.deployed_estimate
+          : 0.0;
+
+  if (!(candidate.mapping == deployed)) {
+    record.reason.verdict = "forced: replanned for grid churn";
+    util::log_info("control: churn remap (", event, ") ",
+                   deployed.to_string(), " -> ",
+                   candidate.mapping.to_string());
+    // Pause 0: a crash already cost the pipeline its migration pause and
+    // an arrival costs nothing; the policy's cost model does not apply.
+    host_.apply_remap(candidate.mapping, 0.0);
+    policy_.notify_remapped();
+    record.remapped = true;
+  } else {
+    record.reason.verdict = "forced: deployed mapping already best for "
+                            "surviving grid";
+  }
+  if (obs_.metrics) {
+    obs_.metrics->counter(obs::names::kEpochs).add(1);
+    if (record.remapped) obs_.metrics->counter(obs::names::kRemaps).add(1);
+  }
+  epochs_.push_back(record);
+  return record;
+}
+
 EpochRecord AdaptationController::run_epoch() {
   using Clock = std::chrono::steady_clock;
   const double now = host_.virtual_now();
@@ -194,6 +287,7 @@ EpochRecord AdaptationController::run_epoch() {
     util::MutexLock lock(registry_mutex_);
     est = sched::ResourceEstimate::from_monitor(registry_, grid_);
   }
+  apply_availability(est);
   end_phase("forecast", record.phases.forecast);
 
   // kOnChange: skip the (expensive) mapping search on quiet epochs.

@@ -80,6 +80,24 @@ class AdaptationController {
   /// controlling thread at a time.
   EpochRecord run_epoch();
 
+  /// Runs a forced, ungated decision in response to a grid-churn event
+  /// (`why` must be kNodeLoss or kNodeArrival; `event` is a short
+  /// human-readable cause like "node 2 lost"). Bypasses both the change
+  /// gate and the adaptation policy — a dead node makes the deployed
+  /// mapping worthless no matter what hysteresis says — and remaps
+  /// whenever the candidate differs from the deployed mapping. Call
+  /// on_node_loss / on_node_arrival first so the estimate is masked.
+  EpochRecord run_churn_epoch(AdaptationTrigger why, const std::string& event);
+
+  /// Marks a grid node (un)available. Unavailable nodes get zero speed
+  /// in every subsequent resource estimate, so all mapping searches —
+  /// churn-forced and periodic alike — route around them. Call from the
+  /// same thread that runs epochs.
+  void on_node_loss(std::size_t node);
+  void on_node_arrival(std::size_t node);
+  bool node_available(std::size_t node) const noexcept;
+  std::size_t nodes_available() const noexcept;
+
   /// Initial mapping for a deployment-time resource state.
   sched::MapperResult plan(const sched::ResourceEstimate& est) const;
 
@@ -115,11 +133,16 @@ class AdaptationController {
   Mode mode_;
   obs::Sinks obs_;
 
+  void apply_availability(sched::ResourceEstimate& est) const;
+
   sched::PerfModel model_;
   sched::AdaptationPolicy policy_;
   sched::ResourceChangeGate gate_;
   double last_decision_time_ = 0.0;
   std::vector<EpochRecord> epochs_;
+  /// available_[n] == 0 → node n is masked out of estimates. Empty until
+  /// the first churn event (the common case pays nothing).
+  std::vector<char> available_;
 
   mutable util::Mutex registry_mutex_;
   monitor::MonitoringRegistry registry_ GRIDPIPE_GUARDED_BY(registry_mutex_);

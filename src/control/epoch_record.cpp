@@ -9,6 +9,11 @@ std::string EpochRecord::explain() const {
   std::snprintf(head, sizeof(head), "[t=%.2fs] ", time);
   std::string out = head;
   out += reason.trigger.empty() ? "epoch" : reason.trigger;
+  if (!reason.event.empty()) {
+    out += " (";
+    out += reason.event;
+    out += ')';
+  }
   out += ": ";
   if (!decided) {
     out += reason.verdict.empty() ? "quiet epoch, search skipped"

@@ -27,12 +27,17 @@ struct EpochPhases {
 /// Like EpochPhases, not part of EpochRecord identity: the strings may
 /// evolve without breaking bit-identical determinism checks.
 struct DecisionReason {
-  std::string trigger;        ///< "periodic" | "on-change"
+  std::string trigger;        ///< "periodic" | "on-change" | "node-loss" |
+                              ///< "node-arrival"
   std::string mapper;         ///< mapper that ran ("" when none did)
   bool gate_changed = false;  ///< resource gate saw a change (or no snapshot)
   bool searched = false;      ///< a mapping search ran this epoch
   double gain_ratio = 0.0;    ///< candidate / deployed modeled throughput
   std::string verdict;        ///< gate/policy outcome, human-readable
+  /// Churn event that forced the decision ("node 2 lost"); empty for
+  /// ordinary epochs. Rendered by explain(); not shipped over the
+  /// telemetry wire (the batch codec predates it).
+  std::string event;
 
   friend bool operator==(const DecisionReason&,
                          const DecisionReason&) = default;

@@ -1,5 +1,6 @@
 #include "core/report.hpp"
 
+#include <algorithm>
 #include <sstream>
 
 #include "util/table.hpp"
@@ -40,6 +41,18 @@ std::string RunReport::summary() const {
      << " items/s, " << remap_count << " remap(s), mapping "
      << initial_mapping;
   if (final_mapping != initial_mapping) os << " -> " << final_mapping;
+  if (node_losses > 0) {
+    os << "; recovered from " << node_losses << " worker loss(es) ("
+       << respawns << " respawn(s), " << items_replayed << " replayed, "
+       << items_deduped << " deduped";
+    if (!recovery_times.empty()) {
+      double worst = 0.0;
+      for (const double t : recovery_times) worst = std::max(worst, t);
+      os << ", worst window " << util::format_double(worst, 3)
+         << " virtual s";
+    }
+    os << ")";
+  }
   return os.str();
 }
 

@@ -40,6 +40,16 @@ struct RunReport {
   /// names appear on every substrate (see obs::names).
   obs::MetricsSnapshot obs_metrics;
 
+  // Fault-tolerance accounting (all zero unless the substrate ran with
+  // recovery enabled and something actually died).
+  std::uint64_t node_losses = 0;    ///< worker deaths detected
+  std::uint64_t respawns = 0;       ///< replacements successfully forked
+  std::uint64_t items_replayed = 0; ///< journal re-admissions
+  std::uint64_t items_deduped = 0;  ///< duplicate deliveries dropped
+  /// Virtual seconds per recovery window (death detected → every item
+  /// in flight at that moment delivered). One entry per window.
+  std::vector<double> recovery_times;
+
   /// One-paragraph human-readable summary.
   std::string summary() const;
 };

@@ -47,6 +47,10 @@ const char* to_string(FlightKind kind) noexcept {
     case FlightKind::kStall:        return "stall";
     case FlightKind::kClose:        return "close";
     case FlightKind::kError:        return "error";
+    case FlightKind::kDeath:        return "death";
+    case FlightKind::kRespawn:      return "respawn";
+    case FlightKind::kReplay:       return "replay";
+    case FlightKind::kDedup:        return "dedup";
   }
   return "?";
 }
@@ -92,6 +96,17 @@ std::string format_event(const FlightEvent& e) {
       break;
     case FlightKind::kError:
       out += " code=" + num(e.arg);
+      break;
+    case FlightKind::kDeath:
+      out += " node=" + num(e.arg);
+      if (e.a != 0 || e.b != 0) out += " item=" + num(e.a);
+      break;
+    case FlightKind::kRespawn:
+      out += " node=" + num(e.arg) + " incarnation=" + num(e.a);
+      break;
+    case FlightKind::kReplay:
+    case FlightKind::kDedup:
+      out += " item=" + num(e.a);
       break;
     case FlightKind::kNone:
     case FlightKind::kClose:

@@ -56,9 +56,14 @@ enum class FlightKind : std::uint32_t {
   kStall = 13,        ///< arg = node, b = silent-for bits (f64)
   kClose = 14,        ///< stream closed / shutdown observed
   kError = 15,        ///< arg = lane-specific error code
+  kDeath = 16,        ///< arg = node; for an injected fault the dying
+                      ///< worker also sets a = item it refused to run
+  kRespawn = 17,      ///< arg = node, a = incarnation (1 = first respawn)
+  kReplay = 18,       ///< a = item re-admitted from the journal
+  kDedup = 19,        ///< a = item whose duplicate delivery was dropped
 };
 inline constexpr std::uint32_t kMaxFlightKind =
-    static_cast<std::uint32_t>(FlightKind::kError);
+    static_cast<std::uint32_t>(FlightKind::kDedup);
 
 const char* to_string(FlightKind kind) noexcept;
 

@@ -86,16 +86,37 @@ void HealthTracker::on_health(const HealthRecord& record, double now) {
   node.last_seen = now;
 }
 
+void HealthTracker::set_down(std::size_t node, bool down) {
+  if (node >= nodes_.size()) return;
+  nodes_[node].down = down;
+}
+
+void HealthTracker::on_respawn(std::size_t node, double now) {
+  if (node >= nodes_.size()) return;
+  Node& state = nodes_[node];
+  const std::uint64_t stalls = state.stall_count;
+  state = Node{};
+  state.last_seen = now;
+  state.stall_count = stalls;
+}
+
 std::vector<HealthTracker::Transition> HealthTracker::check(
     double now, double stall_after) {
   std::vector<Transition> out;
   if (stall_after <= 0.0) return out;
   for (std::size_t i = 0; i < nodes_.size(); ++i) {
     Node& node = nodes_[i];
+    if (node.down) continue;  // known-dead: not a stall, a supervised outage
     const double silent = now - node.last_seen;
     // No-progress: the worker still heartbeats but reports work queued
-    // and a last-progress timestamp that stopped advancing.
-    const bool wedged = node.last.time > 0.0 && node.last.queue_depth > 0 &&
+    // and a last-progress timestamp that stopped advancing. The record
+    // must be *fresh* (a heartbeat within the stall window): a stale
+    // no-progress record otherwise pins the node stalled forever, which
+    // both misreports a worker that resumed and eats the next stall's
+    // edge (the transition can never re-fire).
+    const bool wedged = node.last.time > 0.0 &&
+                        now - node.last.time <= stall_after &&
+                        node.last.queue_depth > 0 &&
                         node.last.time - node.last.last_progress > stall_after;
     const bool stalled = silent > stall_after || wedged;
     if (stalled != node.stalled) {
@@ -117,6 +138,7 @@ util::Json HealthTracker::to_json(double now) const {
     entry["last_seen"] = node.last_seen;
     entry["silent_for"] = now - node.last_seen;
     entry["stalled"] = node.stalled;
+    entry["down"] = node.down;
     entry["stall_count"] = node.stall_count;
     if (node.last.time > 0.0) {
       entry["sampled_at"] = node.last.time;

@@ -73,6 +73,7 @@ class HealthTracker {
     HealthRecord last{};     ///< latest health record (last.time==0: none)
     double last_seen = 0.0;  ///< virtual time of the last frame, any kind
     bool stalled = false;
+    bool down = false;       ///< known-dead (awaiting respawn/degrade)
     std::uint64_t stall_count = 0;  ///< transitions into stalled
   };
 
@@ -92,6 +93,17 @@ class HealthTracker {
   /// Any frame from `node` proves liveness (health piggybacks for free).
   void on_frame(std::size_t node, double now);
   void on_health(const HealthRecord& record, double now);
+
+  /// Marks a node known-dead (reaped by the supervisor, awaiting respawn
+  /// or degrade): check() skips it, so a planned outage does not also
+  /// surface as a stall.
+  void set_down(std::size_t node, bool down);
+
+  /// A respawned (or newly arrived) worker starts fresh: clears the
+  /// stale record, the down flag, and the stalled latch — but keeps
+  /// stall_count — so the replacement re-arms and a *new* stall
+  /// re-triggers the worker_stalls edge.
+  void on_respawn(std::size_t node, double now);
 
   /// Scans every node against `stall_after` (<= 0 disables detection)
   /// and returns the edge transitions since the last check.

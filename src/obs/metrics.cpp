@@ -199,8 +199,13 @@ void StandardMetrics::bind(MetricsRegistry* registry) {
   remaps = &registry->counter(names::kRemaps);
   heartbeats = &registry->counter(names::kHeartbeats);
   worker_stalls = &registry->counter(names::kWorkerStalls);
+  node_losses = &registry->counter(names::kNodeLosses);
+  respawns = &registry->counter(names::kRespawns);
+  items_replayed = &registry->counter(names::kItemsReplayed);
+  items_deduped = &registry->counter(names::kItemsDeduped);
   item_latency = &registry->histogram(names::kItemLatency);
   stage_service = &registry->histogram(names::kStageService);
+  recovery_time = &registry->histogram(names::kRecoverySeconds);
 }
 
 }  // namespace gridpipe::obs

@@ -40,6 +40,12 @@ inline constexpr const char* kWorkerStalls = "worker_stalls";
 inline constexpr const char* kItemLatency = "item_latency_seconds";
 inline constexpr const char* kStageService = "stage_service_seconds";
 inline constexpr const char* kEpochWall = "epoch_wall_seconds";
+// Fault tolerance (process substrate with recovery enabled):
+inline constexpr const char* kNodeLosses = "node_losses";
+inline constexpr const char* kRespawns = "respawns";
+inline constexpr const char* kItemsReplayed = "items_replayed";
+inline constexpr const char* kItemsDeduped = "items_deduped";
+inline constexpr const char* kRecoverySeconds = "recovery_seconds";
 }  // namespace names
 
 class Counter {
@@ -186,8 +192,15 @@ struct StandardMetrics {
   Counter* remaps = nullptr;
   Counter* heartbeats = nullptr;
   Counter* worker_stalls = nullptr;
+  Counter* node_losses = nullptr;
+  Counter* respawns = nullptr;
+  Counter* items_replayed = nullptr;
+  Counter* items_deduped = nullptr;
   Histogram* item_latency = nullptr;
   Histogram* stage_service = nullptr;
+  /// Virtual seconds from a worker-death detection until every item in
+  /// flight at that moment had been delivered (one sample per recovery).
+  Histogram* recovery_time = nullptr;
 
   void bind(MetricsRegistry* registry);
 };

@@ -156,6 +156,14 @@ double virtual_now(const ChildContext& ctx) {
     const std::uint64_t item = task.item;
     const std::uint32_t stage = task.stage;
     if (stage >= stages.size()) _exit(2);
+    if (ctx.faults != nullptr &&
+        ctx.faults->should_die(self, item, stage, ctx.incarnation)) {
+      // Injected node loss: leave a note in the shared flight lane, then
+      // die exactly like a real crash — no flush, no orderly exit, no
+      // chance for buffered state to escape.
+      flight.record(obs::FlightKind::kDeath, virtual_now(ctx), self, item);
+      ::kill(::getpid(), SIGKILL);
+    }
     // Recorded before the stage runs: if the stage kills us, the parent's
     // post-mortem shows exactly which (stage, item) we died in.
     flight.record(obs::FlightKind::kTaskStart, virtual_now(ctx), stage, item);

@@ -18,6 +18,7 @@
 #include "obs/flight.hpp"
 #include "proc/shm_ring.hpp"
 #include "proc/transport.hpp"
+#include "recover/fault.hpp"
 #include "sched/mapping.hpp"
 
 namespace gridpipe::proc {
@@ -53,6 +54,14 @@ struct ChildContext {
   obs::FlightRing flight;
   /// Virtual seconds between kHealth heartbeats (<= 0: none).
   double health_interval = 5.0;
+  /// Fault-injection plan, consulted before each task runs (nullptr:
+  /// none). Points into the parent's config; fork copies the pages, so
+  /// the pointer stays valid in the child.
+  const recover::FaultPlan* faults = nullptr;
+  /// Which life of this node's worker this process is (0 = the original
+  /// fleet fork; respawns count up). Kill points fire only in life 0 so
+  /// a replayed item does not re-kill its replacement.
+  std::uint32_t incarnation = 0;
 };
 
 /// Child event loop: poll(socket, doorbell) → (remap | task | shutdown),

@@ -31,11 +31,27 @@
 // outputs in input order, and stream_finish() reaps every child with
 // waitpid before returning — no SIGCHLD handler (a library must not own
 // process-wide signal dispositions; synchronous reaping needs none). A
-// worker that dies mid-stream surfaces as EOF on its socket; the parent
-// reaps it for the exit status, kills the rest of the fleet and
-// stream_finish() rethrows the failure. run() is a batch wrapper over
-// one stream. (Remapping around a crashed node mid-epoch is a ROADMAP
-// follow-up.)
+// worker that dies mid-stream surfaces as EOF on its socket; by default
+// the parent reaps it for the exit status, kills the rest of the fleet
+// and stream_finish() rethrows the failure. run() is a batch wrapper
+// over one stream.
+//
+// Fault tolerance (config.recovery.enabled): a worker death no longer
+// fails the run. Every admitted item is journaled (seq, payload) until
+// its result reaches the ordered output buffer; on a death the parent
+// detaches just the dead worker (reap, close, recycle its queued
+// buffers), marks the node down, and asks the recover::Supervisor what
+// to do — respawn (fork a replacement after backoff, same node, next
+// incarnation) or degrade (run a node-loss churn epoch so the mapping
+// shrinks onto the survivors). Either way every journaled item that was
+// in flight when the node died is re-admitted from stage 0
+// (at-least-once re-execution); the journal retire doubles as the dedup
+// filter, so a replay racing its original past the crash still delivers
+// exactly once and the ordered output matches a crash-free run byte for
+// byte. request_arrival() is the inverse event: a degraded (or fresh)
+// node rejoins, the supervisor forks a worker for it and a node-arrival
+// churn epoch lets the mapping grow back — the elastic half of the
+// paper's adaptive grid story.
 //
 // fork() constraints: call stream_begin()/run() from a process where no
 // other threads are live (fork only carries the calling thread; a lock
@@ -43,17 +59,21 @@
 // fleet is forked *before* the controller thread starts, so the runtime
 // itself never forks with its own threads live.
 
+#include <array>
 #include <atomic>
+#include <chrono>
 #include <deque>
 #include <exception>
 #include <map>
 #include <memory>
 #include <optional>
+#include <set>
 #include <thread>
 #include <vector>
 
 #include "control/adaptation_controller.hpp"
 #include "core/dist_executor.hpp"  // core::DistStage, core::Bytes
+#include "core/ordered_buffer.hpp"
 #include "core/report.hpp"
 #include "obs/flight.hpp"
 #include "obs/health.hpp"
@@ -61,6 +81,8 @@
 #include "obs/sinks.hpp"
 #include "proc/shm_ring.hpp"
 #include "proc/transport.hpp"
+#include "recover/journal.hpp"
+#include "recover/supervisor.hpp"
 #include "sched/replica_router.hpp"
 #include "util/json.hpp"
 #include "util/sync.hpp"
@@ -97,6 +119,11 @@ struct ProcExecutorConfig {
   /// Virtual seconds of silence / no-progress before a worker counts as
   /// stalled (<= 0: stall detection off).
   double stall_after = 15.0;
+  /// Fault tolerance: replay journal + output dedup + crash-triggered
+  /// remap + respawn supervision, plus the fault plan injected into
+  /// workers. Default off: a worker death fails the run (the historical
+  /// contract crash-forensics tests rely on).
+  recover::RecoveryOptions recovery{};
 };
 
 class ProcessExecutor : private control::AdaptationHost {
@@ -133,6 +160,16 @@ class ProcessExecutor : private control::AdaptationHost {
   /// exercise crash forensics). Empty before stream_begin.
   std::vector<int> worker_pids() const;
 
+  /// Asks the controller thread to bring grid node `node` (back) into
+  /// the fleet: fork a worker for it and run a node-arrival churn epoch
+  /// so the mapping can grow onto it. No-op if the node is already up.
+  /// Requires recovery to be enabled. Safe from any thread mid-stream.
+  void request_arrival(std::size_t node);
+
+  /// Decoded tail of one flight-recorder lane (0 = controller, 1 + n =
+  /// worker n) — recovery tests assert on respawn/replay forensics.
+  std::string flight_tail(std::size_t lane, std::size_t max_events) const;
+
  private:
   struct Worker {
     int pid = -1;
@@ -150,18 +187,68 @@ class ProcessExecutor : private control::AdaptationHost {
   std::unique_ptr<control::AdaptationController> make_controller();
 
   void spawn_fleet();
+  /// Forks one worker for `node` (initial fleet and respawns share this
+  /// path; a respawn forks from the controller thread, which is safe:
+  /// fork copies only the calling thread, and the child touches nothing
+  /// another parent thread could hold locked — its own pool, its own
+  /// socket, read-only config, and MAP_SHARED pages). Throws
+  /// std::runtime_error if fork fails; the caller decides cleanup.
+  void spawn_worker(std::size_t node, std::uint32_t incarnation);
   /// Controller-thread entry: event_loop + graceful shutdown, with any
   /// failure captured into stream_error_.
   void controller_main();
   void event_loop();
   void handle_frame(std::size_t source, const comm::wire::FrameView& frame);
-  void admit(std::uint64_t index, Bytes payload);
+  void admit(grid::NodeId dst, std::uint64_t index, Bytes payload);
   /// Graceful: broadcast kShutdown, drain to EOF, close, reap.
   void shutdown_fleet();
   /// Crash path and destructor safety net: SIGKILL + reap, noexcept.
   void kill_fleet() noexcept;
   /// Reaps worker `node` and throws with its wait status.
   [[noreturn]] void fail_run(std::size_t node);
+
+  // ---- recovery machinery (controller thread only) ----
+  bool recovery_on() const noexcept { return config_.recovery.enabled; }
+  bool worker_up(std::size_t node) const noexcept {
+    return node < workers_.size() && workers_[node].sock.valid();
+  }
+  /// A socket write to `node` just failed (or its socket hit EOF):
+  /// either detach-and-recover (recovery on) or fail the run.
+  void on_worker_lost(std::size_t node);
+  /// Reaps and detaches one dead worker: close + recycle its queued
+  /// buffers, mark the node down, open the recovery window, queue the
+  /// node for a supervisor decision.
+  void mark_worker_dead(std::size_t node);
+  /// Drains the dead-node queue through the supervisor (respawn with
+  /// backoff, degrade, or give up and fail the run).
+  void process_dead_nodes();
+  /// Forks replacements whose backoff deadline has passed.
+  void process_respawns();
+  /// Consumes request_arrival() requests: fork + node-arrival epoch.
+  void process_arrivals();
+  /// Forks incarnation+1 for `node` (after draining its incoming rings
+  /// so the replacement's frame readers start frame-aligned).
+  /// Returns false if the fork failed (node re-queued for the
+  /// supervisor).
+  bool respawn_worker(std::size_t node);
+  /// Gives up on `node`: mask it out of the controller's availability
+  /// set and run a node-loss churn epoch so the mapping shrinks onto
+  /// the survivors. Throws if no nodes survive.
+  void degrade_node(std::size_t node);
+  /// Forced (gate-bypassing) replan for grid churn, plus a hard
+  /// executor-side guard: if the chosen mapping still touches an
+  /// unavailable node, fall back to a block mapping over survivors.
+  void run_churn_remap(control::AdaptationTrigger why, std::string event);
+  /// Re-admits from stage 0 every journaled item that was in flight
+  /// when a death was detected and has not since been delivered.
+  void replay_recovering_items();
+  /// Delivery-side recovery bookkeeping: closes the recovery window
+  /// once every item live at death detection has been delivered.
+  void note_retired(std::uint64_t item, double vnow);
+  /// Closes the parent's retained doorbell fds (recovery keeps them
+  /// open across the stream so respawned children can inherit them).
+  void close_parent_bells() noexcept;
+  [[noreturn]] void fail_lost(std::size_t node, const std::string& why);
 
   const grid::Grid& grid_;
   std::vector<core::DistStage> stages_;
@@ -211,16 +298,48 @@ class ProcessExecutor : private control::AdaptationHost {
   mutable util::Mutex stream_mutex_;
   std::deque<std::pair<std::uint64_t, Bytes>> incoming_
       GRIDPIPE_GUARDED_BY(stream_mutex_);
-  std::map<std::uint64_t, Bytes> out_buffer_
-      GRIDPIPE_GUARDED_BY(stream_mutex_);
+  /// Ordered, seq-keyed output reorder buffer. Its dedup (reject seqs
+  /// already delivered) is the exactly-once backstop behind the
+  /// journal's retire-as-dedup in the controller thread.
+  core::OrderedDedupBuffer out_ GRIDPIPE_GUARDED_BY(stream_mutex_);
   /// Virtual completion time per buffered output; populated only when
   /// tracing (feeds the ordered-buffer wait span on pop).
   std::map<std::uint64_t, double> completed_at_
       GRIDPIPE_GUARDED_BY(stream_mutex_);
-  std::uint64_t next_out_ GRIDPIPE_GUARDED_BY(stream_mutex_) = 0;
   std::uint64_t pushed_ GRIDPIPE_GUARDED_BY(stream_mutex_) = 0;
   bool closed_ GRIDPIPE_GUARDED_BY(stream_mutex_) = false;
   std::exception_ptr stream_error_ GRIDPIPE_GUARDED_BY(stream_mutex_);
+  /// Nodes request_arrival() asked the controller thread to bring up.
+  std::vector<std::size_t> arrivals_ GRIDPIPE_GUARDED_BY(stream_mutex_);
+
+  // ---- recovery state (controller thread only; the atomics mirror the
+  // counters for status()/stream_finish() readers) ----
+  recover::ReplayJournal journal_;
+  recover::Supervisor supervisor_;
+  /// Deaths detected but not yet taken to the supervisor.
+  std::deque<std::size_t> dead_nodes_;
+  /// Respawn deadline per node (steady_clock; nullopt = none pending).
+  std::vector<std::optional<std::chrono::steady_clock::time_point>>
+      respawn_at_;
+  std::vector<std::uint32_t> incarnation_;
+  /// Nodes degraded out of the mapping (mirror of the controller's
+  /// availability mask, consulted on the relay hot path).
+  std::vector<char> node_degraded_;
+  /// Items in flight when a death was detected; the recovery window
+  /// closes (and its duration is recorded) when all are delivered.
+  std::set<std::uint64_t> recovering_;
+  double recovery_started_v_ = 0.0;
+  std::vector<double> recovery_times_;
+  /// Parent-retained doorbell pipes (recovery only): a respawned child
+  /// must inherit its own read end and every sibling's write end, so
+  /// the parent cannot close them after the initial fleet forks.
+  std::vector<std::array<int, 2>> bells_;
+  std::vector<int> bell_wr_;
+  std::atomic<std::uint64_t> node_losses_{0};
+  std::atomic<std::uint64_t> respawns_{0};
+  std::atomic<std::uint64_t> replays_{0};
+  std::atomic<std::uint64_t> dedups_{0};
+  std::atomic<std::uint64_t> journal_live_{0};
 
   std::thread controller_thread_;
   bool stream_active_ = false;

@@ -66,6 +66,17 @@ void FrameSocket::close() noexcept {
     ::close(fd_);
     fd_ = -1;
   }
+  // Undelivered outbound buffers go back to the pool instead of dying
+  // with the deque: when a single worker is torn down mid-run (recovery
+  // path), its queued frames' pooled buffers must not leak from the
+  // pool's working set for the rest of the session.
+  while (!out_.empty()) {
+    recycle(std::move(out_.front()));
+    out_.pop_front();
+  }
+  front_sent_ = 0;
+  pending_bytes_ = 0;
+  reader_ = comm::wire::FrameReader{};
 }
 
 void FrameSocket::set_nonblocking(bool on) {

@@ -1,0 +1,34 @@
+#include "recover/journal.hpp"
+
+namespace gridpipe::recover {
+
+void ReplayJournal::admit(std::uint64_t seq, ByteSpan payload, double now) {
+  Entry& entry = live_[seq];
+  entry.seq = seq;
+  entry.payload.assign(payload.begin(), payload.end());
+  entry.admitted_at = now;
+}
+
+bool ReplayJournal::retire(std::uint64_t seq) {
+  return live_.erase(seq) > 0;
+}
+
+std::vector<std::uint64_t> ReplayJournal::live_seqs() const {
+  std::vector<std::uint64_t> out;
+  out.reserve(live_.size());
+  for (const auto& [seq, entry] : live_) out.push_back(seq);
+  return out;
+}
+
+const ReplayJournal::Entry* ReplayJournal::find(std::uint64_t seq) const {
+  const auto it = live_.find(seq);
+  return it == live_.end() ? nullptr : &it->second;
+}
+
+void ReplayJournal::note_replay(std::uint64_t seq) {
+  ++total_replays_;
+  const auto it = live_.find(seq);
+  if (it != live_.end()) ++it->second.replays;
+}
+
+}  // namespace gridpipe::recover

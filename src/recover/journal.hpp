@@ -1,0 +1,70 @@
+#pragma once
+// recover::ReplayJournal — the at-least-once half of fault tolerance.
+//
+// The parent records every admitted item (seq, encoded payload copy,
+// admission vtime) and retires the entry when the item's result reaches
+// the ordered output buffer. Between those two moments the item is *in
+// flight*: its bytes may live in a worker's queue, a shm ring, a socket
+// buffer, or a CPU register of a process that just took a SIGKILL. When
+// a node dies, everything still live in the journal is re-admitted from
+// stage 0 — re-execution is at-least-once, and the ordered output
+// buffer's seq-keyed dedup (core::OrderedDedupBuffer) turns that into
+// exactly-once delivery.
+//
+// retire() doubles as the duplicate detector: a result whose seq is no
+// longer live is a replay that raced the original to completion, and
+// the caller drops it. Not internally synchronized — owned by the
+// controller thread, like the executor's admission state.
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <vector>
+
+namespace gridpipe::recover {
+
+using Bytes = std::vector<std::byte>;
+using ByteSpan = std::span<const std::byte>;
+
+class ReplayJournal {
+ public:
+  struct Entry {
+    std::uint64_t seq = 0;
+    Bytes payload;            ///< encoded stage-0 input, owned copy
+    double admitted_at = 0.0; ///< virtual time of first admission
+    std::uint32_t replays = 0;
+  };
+
+  /// Records an admission (copies the payload). A seq is admitted once;
+  /// replays go through replaying() + note_replay instead.
+  void admit(std::uint64_t seq, ByteSpan payload, double now);
+
+  /// Removes the entry for `seq`. Returns false when the seq is not
+  /// live — i.e. the caller is looking at a duplicate delivery.
+  bool retire(std::uint64_t seq);
+
+  bool contains(std::uint64_t seq) const {
+    return live_.find(seq) != live_.end();
+  }
+  std::size_t live() const noexcept { return live_.size(); }
+  bool empty() const noexcept { return live_.empty(); }
+  void clear() { live_.clear(); }
+
+  /// Live seqs in ascending order (replay preserves admission order).
+  std::vector<std::uint64_t> live_seqs() const;
+
+  /// The live entry for `seq`; nullptr when retired. Bumps nothing.
+  const Entry* find(std::uint64_t seq) const;
+
+  /// Marks one more re-execution of `seq` (statistics only).
+  void note_replay(std::uint64_t seq);
+
+  /// Total re-admissions across all entries, including retired ones.
+  std::uint64_t total_replays() const noexcept { return total_replays_; }
+
+ private:
+  std::map<std::uint64_t, Entry> live_;
+  std::uint64_t total_replays_ = 0;
+};
+
+}  // namespace gridpipe::recover

@@ -1,0 +1,37 @@
+#include "recover/supervisor.hpp"
+
+namespace gridpipe::recover {
+
+void Supervisor::reset(RespawnPolicy policy, std::size_t nodes) {
+  policy_ = policy;
+  nodes_.assign(nodes, NodeState{});
+  for (NodeState& node : nodes_) node.next_backoff_ms = policy_.backoff_ms;
+  total_respawns_ = 0;
+}
+
+Supervisor::Action Supervisor::on_death(std::size_t node) {
+  if (node >= nodes_.size()) return {ActionKind::kFail, 0.0};
+  NodeState& state = nodes_[node];
+  if (state.respawns < policy_.max_respawns) {
+    Action action{ActionKind::kRespawn, state.next_backoff_ms};
+    ++state.respawns;
+    ++total_respawns_;
+    state.next_backoff_ms *= policy_.backoff_multiplier;
+    return action;
+  }
+  return {policy_.degrade_on_exhaust ? ActionKind::kDegrade
+                                     : ActionKind::kFail,
+          0.0};
+}
+
+void Supervisor::on_arrival(std::size_t node) {
+  if (node >= nodes_.size()) return;
+  nodes_[node] = NodeState{};
+  nodes_[node].next_backoff_ms = policy_.backoff_ms;
+}
+
+std::size_t Supervisor::respawns(std::size_t node) const {
+  return node < nodes_.size() ? nodes_[node].respawns : 0;
+}
+
+}  // namespace gridpipe::recover

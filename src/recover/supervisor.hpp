@@ -1,0 +1,87 @@
+#pragma once
+// recover::Supervisor — the policy half of worker churn: given "node N
+// just died", decide between respawning it (up to a budget, with
+// exponential backoff) and degrading the session to the surviving grid.
+//
+// The supervisor is pure bookkeeping — it never forks or signals. The
+// process executor asks it what to do, sleeps out the backoff on its
+// poll clock, and reports arrivals back so a revived node's budget
+// resets. Keeping the policy separate from the mechanism means the
+// tests can pin the decision table without a single fork.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "recover/fault.hpp"
+
+namespace gridpipe::recover {
+
+struct RespawnPolicy {
+  /// Respawn a dead node at most this many times before degrading (or
+  /// failing). 0 = never respawn: degrade on the first death.
+  std::size_t max_respawns = 3;
+  /// Real milliseconds before the first respawn of a node; doubles per
+  /// subsequent respawn of the same node. 0 = respawn immediately.
+  double backoff_ms = 0.0;
+  double backoff_multiplier = 2.0;
+  /// When a node exhausts its respawn budget: true → drop the node and
+  /// remap around the survivors; false → fail the run (the pre-recovery
+  /// behavior, surfaced through report()).
+  bool degrade_on_exhaust = true;
+
+  friend bool operator==(const RespawnPolicy&, const RespawnPolicy&) = default;
+};
+
+/// Everything the runtime layer needs to turn recovery on: the policy,
+/// and the faults to inject (empty plan = none).
+struct RecoveryOptions {
+  /// Master switch. Off (the default) preserves the historical contract:
+  /// any worker death fails the run with a crash error.
+  bool enabled = false;
+  RespawnPolicy respawn{};
+  FaultPlan faults{};
+};
+
+class Supervisor {
+ public:
+  enum class ActionKind {
+    kRespawn,  ///< fork a replacement after `delay_ms`
+    kDegrade,  ///< drop the node, remap around survivors
+    kFail,     ///< budget exhausted and degrade disabled: fail the run
+  };
+  struct Action {
+    ActionKind kind = ActionKind::kFail;
+    double delay_ms = 0.0;  ///< backoff before the respawn fork
+  };
+
+  Supervisor() = default;
+  Supervisor(RespawnPolicy policy, std::size_t nodes) { reset(policy, nodes); }
+
+  void reset(RespawnPolicy policy, std::size_t nodes);
+
+  /// Consumes one death of `node` and returns the decision. Respawn
+  /// decisions consume budget immediately (the fork may still fail, in
+  /// which case the executor reports the next death right back).
+  Action on_death(std::size_t node);
+
+  /// A node (re)joined outside the respawn path — reset its budget so a
+  /// long-lived session survives repeated, well-separated churn.
+  void on_arrival(std::size_t node);
+
+  std::size_t respawns(std::size_t node) const;
+  std::uint64_t total_respawns() const noexcept { return total_respawns_; }
+  const RespawnPolicy& policy() const noexcept { return policy_; }
+
+ private:
+  struct NodeState {
+    std::size_t respawns = 0;
+    double next_backoff_ms = 0.0;
+  };
+
+  RespawnPolicy policy_{};
+  std::vector<NodeState> nodes_;
+  std::uint64_t total_respawns_ = 0;
+};
+
+}  // namespace gridpipe::recover

@@ -400,6 +400,7 @@ class ProcRuntime final : public RuntimeBase {
     config.flight_events = options_.flight_events;
     config.health_interval = options_.health_interval;
     config.stall_after = options_.stall_after;
+    config.recovery = options_.recovery;
     return std::make_unique<ExecSession<proc::ProcessExecutor, CodecBridge>>(
         "process",
         std::make_unique<proc::ProcessExecutor>(grid_, wire_stages(spec_),

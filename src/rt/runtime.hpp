@@ -47,6 +47,7 @@
 #include "grid/grid.hpp"
 #include "obs/config.hpp"
 #include "obs/flight.hpp"
+#include "recover/supervisor.hpp"
 #include "sim/drivers.hpp"
 #include "util/json.hpp"
 
@@ -117,6 +118,10 @@ struct RuntimeOptions {
   /// Process runtime: a worker silent (or heartbeating without progress)
   /// for this much virtual time is flagged stalled.
   double stall_after = 15.0;
+  /// Process runtime: fault tolerance (replay journal, output dedup,
+  /// crash-triggered remap, respawn supervision) plus the fault plan to
+  /// inject into workers. Off by default: a worker death fails the run.
+  recover::RecoveryOptions recovery{};
 
   // --- simulator-only knobs -------------------------------------------
   /// Which experiment driver the sim session replays the stream under.
